@@ -1,0 +1,126 @@
+//! Microbenches of the hot substrate paths: wire codecs, LPM lookups,
+//! map-cache operations, and raw event throughput of the DES engine —
+//! the ablation benches for the design choices DESIGN.md §5 calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    use lispwire::dnswire::{Message, Name};
+    use lispwire::ipv4::{build_ipv4, IpProtocol, Ipv4Address, Ipv4Packet, Ipv4Repr};
+
+    let mut g = c.benchmark_group("wire");
+    let repr = Ipv4Repr {
+        src: Ipv4Address::new(10, 0, 0, 1),
+        dst: Ipv4Address::new(12, 0, 0, 9),
+        protocol: IpProtocol::Udp,
+        ttl: 64,
+        payload_len: 512,
+    };
+    let payload = vec![0u8; 512];
+    g.bench_function("ipv4_emit", |b| b.iter(|| black_box(build_ipv4(&repr, &payload))));
+    let pkt = build_ipv4(&repr, &payload);
+    g.bench_function("ipv4_parse_verify", |b| {
+        b.iter(|| {
+            let p = Ipv4Packet::new_checked(black_box(&pkt[..])).unwrap();
+            black_box(Ipv4Repr::parse(&p).unwrap())
+        })
+    });
+    let q = Message::query_a(7, Name::parse_str("host-3.d.example").unwrap(), true);
+    let qb = q.to_bytes();
+    g.bench_function("dns_emit", |b| b.iter(|| black_box(q.to_bytes())));
+    g.bench_function("dns_parse", |b| b.iter(|| black_box(Message::from_bytes(&qb).unwrap())));
+    g.finish();
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    use inet::{LpmTrie, Prefix};
+    use lispwire::Ipv4Address;
+
+    let mut g = c.benchmark_group("lpm");
+    let mut trie = LpmTrie::new();
+    // A realistically-sized inter-domain table slice.
+    for i in 0..10_000u32 {
+        let addr = Ipv4Address::from_u32(i << 12);
+        trie.insert(Prefix::new(addr, 20), i);
+    }
+    g.bench_function("lookup_10k", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(2654435761);
+            black_box(trie.lookup_value(Ipv4Address::from_u32(x)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_mapcache(c: &mut Criterion) {
+    use lispdp::MapCache;
+    use lispwire::lispctl::{Locator, MapRecord};
+    use lispwire::Ipv4Address;
+    use netsim::Ns;
+
+    let mut g = c.benchmark_group("mapcache");
+    let mut cache = MapCache::new(100_000);
+    for i in 0..50_000u32 {
+        cache.insert(
+            MapRecord {
+                eid_prefix: Ipv4Address::from_u32(0x64000000 | (i << 8)),
+                prefix_len: 24,
+                ttl_minutes: 60,
+                locators: vec![Locator::new(Ipv4Address::new(12, 0, 0, 1), 1, 100)],
+            },
+            Ns::ZERO,
+        );
+    }
+    g.bench_function("lookup_50k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            let hit = cache
+                .lookup(Ipv4Address::from_u32(0x64000000 | ((i % 50_000) << 8) | 1), Ns::from_secs(1))
+                .is_some();
+            black_box(hit)
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    use netsim::{Ctx, LinkCfg, Node, Ns, Sim};
+
+    struct PingPong {
+        remaining: u64,
+    }
+    impl Node for PingPong {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            ctx.send(0, vec![0u8; 64]);
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: usize, bytes: Vec<u8>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(port, bytes);
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("event_throughput_20k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let a = sim.add_node("a", Box::new(PingPong { remaining: 10_000 }));
+            let z = sim.add_node("z", Box::new(PingPong { remaining: 10_000 }));
+            sim.connect(a, z, LinkCfg::lan());
+            sim.schedule_timer(a, Ns::ZERO, 0);
+            sim.run();
+            black_box(sim.events_processed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(engine, bench_wire, bench_lpm, bench_mapcache, bench_engine);
+criterion_main!(engine);

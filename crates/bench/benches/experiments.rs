@@ -1,0 +1,100 @@
+//! Criterion benches: one per experiment cell, timing a representative
+//! simulation run of each. These regenerate the evaluation's underlying
+//! measurements (the exp_* binaries print the human-readable tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::Ns;
+use pcelisp::experiments::{e1_fig1, e2_drops, e3_resolution, e4_tcp_setup, e5_te, e6_cache, e7_reverse, e8_overhead};
+use pcelisp::scenario::CpKind;
+use std::hint::black_box;
+
+fn bench_e1_fig1(c: &mut Criterion) {
+    c.bench_function("e1/fig1_trace_pce", |b| {
+        b.iter(|| black_box(e1_fig1::run_fig1_trace(1)))
+    });
+}
+
+fn bench_e2_drops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_drops");
+    g.sample_size(10);
+    for cp in [CpKind::LispDrop, CpKind::LispQueue, CpKind::Nerd, CpKind::Pce] {
+        g.bench_function(cp.label(), |b| {
+            b.iter(|| black_box(e2_drops::run_drops_cell(cp, Ns::from_ms(30), 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e3_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_resolution");
+    g.sample_size(10);
+    for cp in [CpKind::LispDrop, CpKind::Alt { hops: 4 }, CpKind::Pce] {
+        g.bench_function(cp.label(), |b| {
+            b.iter(|| black_box(e3_resolution::run_resolution_cell(cp, Ns::from_ms(30), 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e4_setup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_tcp_setup");
+    g.sample_size(10);
+    for cp in [CpKind::NoLisp, CpKind::LispQueue, CpKind::Pce] {
+        g.bench_function(cp.label(), |b| {
+            b.iter(|| black_box(e4_tcp_setup::run_setup_cell(cp, Ns::from_ms(30), 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e5_te(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_te");
+    g.sample_size(10);
+    for cp in [CpKind::LispQueue, CpKind::Pce] {
+        g.bench_function(cp.label(), |b| b.iter(|| black_box(e5_te::run_te_cell(cp, 6, 1))));
+    }
+    g.finish();
+}
+
+fn bench_e6_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_cache");
+    g.sample_size(10);
+    g.bench_function("lisp_ttl1", |b| {
+        b.iter(|| black_box(e6_cache::run_cache_cell(CpKind::LispQueue, 1, 1.0, 1)))
+    });
+    g.bench_function("pce", |b| {
+        b.iter(|| black_box(e6_cache::run_cache_cell(CpKind::Pce, 1, 1.0, 1)))
+    });
+    g.finish();
+}
+
+fn bench_e7_reverse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_reverse");
+    g.sample_size(10);
+    g.bench_function("flows4", |b| b.iter(|| black_box(e7_reverse::run_reverse(4, 1))));
+    g.finish();
+}
+
+fn bench_e8_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_overhead");
+    g.sample_size(10);
+    for cp in [CpKind::LispQueue, CpKind::Nerd, CpKind::Pce] {
+        g.bench_function(cp.label(), |b| {
+            b.iter(|| black_box(e8_overhead::run_overhead_cell(cp, 6, 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_e1_fig1,
+    bench_e2_drops,
+    bench_e3_resolution,
+    bench_e4_setup,
+    bench_e5_te,
+    bench_e6_cache,
+    bench_e7_reverse,
+    bench_e8_overhead
+);
+criterion_main!(experiments);

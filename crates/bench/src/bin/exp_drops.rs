@@ -1,0 +1,5 @@
+//! E2: drops/queueing during mapping resolution, full sweep.
+fn main() {
+    let r = pcelisp::experiments::e2_drops::run_drops(pcelisp_bench::seed());
+    r.table().print();
+}

@@ -1,0 +1,5 @@
+//! E1: regenerate the Fig. 1 step-sequence table.
+fn main() {
+    let r = pcelisp::experiments::e1_fig1::run_fig1_trace(pcelisp_bench::seed());
+    r.table().print();
+}

@@ -1,0 +1,5 @@
+//! E8: control-plane overhead comparison.
+fn main() {
+    let r = pcelisp::experiments::e8_overhead::run_overhead(pcelisp_bench::seed());
+    r.table().print();
+}

@@ -1,0 +1,5 @@
+//! E7: reverse-mapping completion timeline.
+fn main() {
+    let r = pcelisp::experiments::e7_reverse::run_reverse(4, pcelisp_bench::seed());
+    r.table().print();
+}

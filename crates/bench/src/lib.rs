@@ -1,0 +1,12 @@
+//! `pcelisp-bench` — the benchmark harness regenerating every experiment
+//! of the reproduction (DESIGN.md §4). Each `exp_*` binary prints the
+//! rows of one experiment; the Criterion benches in `benches/` time the
+//! underlying simulation cells and the hot data structures.
+
+pub use pcelisp;
+
+/// Default seed used by all experiment binaries (override with the
+/// `PCELISP_SEED` environment variable).
+pub fn seed() -> u64 {
+    std::env::var("PCELISP_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}

@@ -1,0 +1,197 @@
+//! **E2 — packet loss and queueing during mapping resolution (claim C1).**
+//!
+//! A CBR UDP flow starts the instant the DNS answer arrives — the window
+//! in which baseline LISP has no mapping yet. For every control plane and
+//! a sweep of inter-domain one-way delays, measures packets sent,
+//! delivered, dropped at the ITR, and queued.
+//!
+//! Expected shape: PCE and NERD lose/queue **nothing**; LISP-drop loses
+//! ≈ `rate × T_map` packets, growing with OWD; LISP-queue delays the same
+//! amount; the overlay control planes (ALT/CONS) lose more as their
+//! resolution paths lengthen.
+
+use crate::hosts::FlowMode;
+use crate::scenario::{flow_script, CpKind, Fig1Builder};
+use lispdp::Xtr;
+use netsim::Ns;
+use simstats::Table;
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct DropRow {
+    /// Control plane label.
+    pub cp: String,
+    /// Provider-link one-way delay (ms).
+    pub owd_ms: u64,
+    /// UDP packets the host sent.
+    pub sent: u64,
+    /// Packets delivered to the destination host.
+    pub delivered: u64,
+    /// Packets dropped at ITRs for lack of a mapping.
+    pub miss_drops: u64,
+    /// Packets buffered at ITRs while resolving.
+    pub queued: u64,
+    /// Mean queue delay (ms) of flushed packets.
+    pub mean_queue_delay_ms: f64,
+}
+
+/// Result of the sweep.
+#[derive(Debug, Clone, Default)]
+pub struct DropsResult {
+    /// All rows.
+    pub rows: Vec<DropRow>,
+}
+
+impl DropsResult {
+    /// Render the result table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E2: drops/queueing during mapping resolution (CBR UDP from DNS answer)",
+            &["cp", "owd_ms", "sent", "delivered", "miss_drops", "queued", "mean_qdelay_ms"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.cp.clone(),
+                r.owd_ms.to_string(),
+                r.sent.to_string(),
+                r.delivered.to_string(),
+                r.miss_drops.to_string(),
+                r.queued.to_string(),
+                format!("{:.1}", r.mean_queue_delay_ms),
+            ]);
+        }
+        t
+    }
+
+    /// Rows for one control plane.
+    pub fn rows_for(&self, cp: &str) -> Vec<&DropRow> {
+        self.rows.iter().filter(|r| r.cp == cp).collect()
+    }
+}
+
+/// The control planes E2 compares.
+pub fn e2_variants() -> Vec<CpKind> {
+    vec![
+        CpKind::LispDrop,
+        CpKind::LispQueue,
+        CpKind::LispDataCp,
+        CpKind::Alt { hops: 4 },
+        CpKind::Cons { cdr_depth: 1 },
+        CpKind::Nerd,
+        CpKind::Pce,
+    ]
+}
+
+/// Run one (cp, owd) cell.
+pub fn run_drops_cell(cp: CpKind, owd: Ns, seed: u64) -> DropRow {
+    let packets = 150u32;
+    let interval = Ns::from_ms(5);
+    let mut world = Fig1Builder::new(cp)
+        .with_params(|p| {
+            p.provider_owd = owd;
+            p.flows = flow_script(
+                &[Ns::ZERO],
+                4,
+                FlowMode::Udp { packets, interval, size: 400 },
+            );
+        })
+        .build(seed);
+    world.schedule_all_flows();
+    world.sim.run_until(Ns::from_secs(60));
+
+    let rec = world.records()[0].clone();
+    let delivered = world.server_udp_received();
+    let (miss_drops, queued, delays): (u64, u64, Vec<Ns>) = match world.xtrs {
+        Some(xtrs) => {
+            let mut d = 0;
+            let mut q = 0;
+            let mut ds = Vec::new();
+            for &x in &xtrs {
+                let xtr = world.sim.node_ref::<Xtr>(x);
+                d += xtr.stats.miss_drops;
+                q += xtr.stats.queued;
+                ds.extend(xtr.queue_delays.iter().copied());
+            }
+            (d, q, ds)
+        }
+        None => (0, 0, Vec::new()),
+    };
+    let mean_queue_delay_ms = if delays.is_empty() {
+        0.0
+    } else {
+        delays.iter().map(|d| d.as_ms_f64()).sum::<f64>() / delays.len() as f64
+    };
+    DropRow {
+        cp: cp.label(),
+        owd_ms: owd.as_ms(),
+        sent: u64::from(rec.data_sent),
+        delivered,
+        miss_drops,
+        queued,
+        mean_queue_delay_ms,
+    }
+}
+
+/// Run the full sweep.
+pub fn run_drops(seed: u64) -> DropsResult {
+    let mut result = DropsResult::default();
+    for owd in [Ns::from_ms(15), Ns::from_ms(30), Ns::from_ms(60), Ns::from_ms(100)] {
+        for cp in e2_variants() {
+            result.rows.push(run_drops_cell(cp, owd, seed));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pce_and_nerd_lose_nothing() {
+        for cp in [CpKind::Pce, CpKind::Nerd] {
+            let row = run_drops_cell(cp, Ns::from_ms(30), 1);
+            assert_eq!(row.miss_drops, 0, "{}", row.cp);
+            assert_eq!(row.queued, 0, "{}", row.cp);
+            assert_eq!(row.delivered, row.sent, "{}", row.cp);
+        }
+    }
+
+    #[test]
+    fn lisp_drop_loses_resolution_window() {
+        let row = run_drops_cell(CpKind::LispDrop, Ns::from_ms(30), 1);
+        assert!(row.miss_drops > 0);
+        assert_eq!(row.delivered + row.miss_drops, row.sent);
+        // ≈ T_map / interval packets lost; T_map ≈ 3 legs × ~75 ms ≈ 200 ms
+        // → tens of packets at 2 ms spacing, but bounded by the flow size.
+        assert!(row.miss_drops >= 5, "drops {}", row.miss_drops);
+    }
+
+    #[test]
+    fn lisp_queue_delays_instead() {
+        let row = run_drops_cell(CpKind::LispQueue, Ns::from_ms(30), 1);
+        assert_eq!(row.miss_drops, 0);
+        assert!(row.queued > 0);
+        assert_eq!(row.delivered, row.sent);
+        assert!(row.mean_queue_delay_ms > 10.0);
+    }
+
+    #[test]
+    fn drops_grow_with_owd_for_lisp_drop() {
+        let near = run_drops_cell(CpKind::LispDrop, Ns::from_ms(15), 1);
+        let far = run_drops_cell(CpKind::LispDrop, Ns::from_ms(100), 1);
+        assert!(far.miss_drops >= near.miss_drops, "near {} far {}", near.miss_drops, far.miss_drops);
+    }
+
+    #[test]
+    fn overlay_cps_lose_more_than_mrms() {
+        let mrms = run_drops_cell(CpKind::LispDrop, Ns::from_ms(30), 1);
+        let alt = run_drops_cell(CpKind::Alt { hops: 6 }, Ns::from_ms(30), 1);
+        assert!(
+            alt.miss_drops >= mrms.miss_drops,
+            "alt {} vs mrms {}",
+            alt.miss_drops,
+            mrms.miss_drops
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! **E3 — mapping resolution hidden inside the DNS time (claim C2).**
+//!
+//! The paper's goal 2: `T_DNS + T_map_resol ≈ T_DNS`. For each control
+//! plane we measure `T_DNS` (query → answer at the host) and the
+//! *effective* extra mapping latency `T_map_eff` — how long after the DNS
+//! answer the first data packet can actually leave with a mapping in
+//! place. For pull systems (with the Queue policy so nothing is lost)
+//! that is the ITR queue delay of the first packet; for PCE/NERD the
+//! mapping pre-exists and the extra is zero.
+//!
+//! The reported ratio is `(T_DNS + T_map_eff) / T_DNS` — the paper claims
+//! ≈ 1.0 for its control plane.
+
+use crate::hosts::FlowMode;
+use crate::scenario::{flow_script, CpKind, Fig1Builder};
+use lispdp::{MissPolicy, Xtr};
+use netsim::Ns;
+use simstats::Table;
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct ResolutionRow {
+    /// Control plane label.
+    pub cp: String,
+    /// Provider-link one-way delay (ms).
+    pub owd_ms: u64,
+    /// Measured `T_DNS` (ms).
+    pub t_dns_ms: f64,
+    /// Effective extra mapping latency after the answer (ms).
+    pub t_map_eff_ms: f64,
+    /// `(T_DNS + T_map_eff) / T_DNS`.
+    pub ratio: f64,
+}
+
+/// Sweep result.
+#[derive(Debug, Clone, Default)]
+pub struct ResolutionResult {
+    /// All rows.
+    pub rows: Vec<ResolutionRow>,
+}
+
+impl ResolutionResult {
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E3: (T_DNS + T_map_eff)/T_DNS per control plane",
+            &["cp", "owd_ms", "t_dns_ms", "t_map_eff_ms", "ratio"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.cp.clone(),
+                r.owd_ms.to_string(),
+                format!("{:.1}", r.t_dns_ms),
+                format!("{:.1}", r.t_map_eff_ms),
+                format!("{:.3}", r.ratio),
+            ]);
+        }
+        t
+    }
+}
+
+/// Control planes compared in E3.
+pub fn e3_variants() -> Vec<CpKind> {
+    vec![
+        CpKind::LispDrop, // run with Queue policy override below
+        CpKind::Alt { hops: 4 },
+        CpKind::Cons { cdr_depth: 1 },
+        CpKind::Nerd,
+        CpKind::Pce,
+    ]
+}
+
+/// Run one (cp, owd) cell.
+pub fn run_resolution_cell(cp: CpKind, owd: Ns, seed: u64) -> ResolutionRow {
+    let mut world = Fig1Builder::new(cp)
+        .with_params(|p| {
+            p.provider_owd = owd;
+            p.flows = flow_script(
+                &[Ns::ZERO],
+                4,
+                FlowMode::Udp { packets: 4, interval: Ns::from_ms(1), size: 200 },
+            );
+        })
+        .build(seed);
+    // Queue policy for pull systems so the first packet's waiting time is
+    // exactly T_map.
+    if let Some(xtrs) = world.xtrs {
+        for &x in &xtrs {
+            let xtr = world.sim.node_mut::<Xtr>(x);
+            if matches!(xtr.cfg.mode, lispdp::CpMode::Pull { .. }) {
+                xtr.cfg.miss_policy = MissPolicy::Queue { max_packets: 64 };
+            }
+        }
+    }
+    world.schedule_all_flows();
+    world.sim.run_until(Ns::from_secs(60));
+
+    let rec = world.records()[0].clone();
+    let t_dns = rec.dns_time().unwrap_or(Ns::ZERO);
+    // First-packet queue delay across ITRs = T_map_eff for pull systems.
+    let t_map_eff = match world.xtrs {
+        Some(xtrs) => xtrs
+            .iter()
+            .flat_map(|&x| world.sim.node_ref::<Xtr>(x).queue_delays.clone())
+            .max()
+            .unwrap_or(Ns::ZERO),
+        None => Ns::ZERO,
+    };
+    let t_dns_ms = t_dns.as_ms_f64();
+    let t_map_eff_ms = t_map_eff.as_ms_f64();
+    let ratio = if t_dns_ms > 0.0 { (t_dns_ms + t_map_eff_ms) / t_dns_ms } else { 0.0 };
+    ResolutionRow { cp: cp.label(), owd_ms: owd.as_ms(), t_dns_ms, t_map_eff_ms, ratio }
+}
+
+/// Full sweep.
+pub fn run_resolution(seed: u64) -> ResolutionResult {
+    let mut result = ResolutionResult::default();
+    for owd in [Ns::from_ms(15), Ns::from_ms(30), Ns::from_ms(60), Ns::from_ms(100)] {
+        for cp in e3_variants() {
+            result.rows.push(run_resolution_cell(cp, owd, seed));
+        }
+    }
+    result
+}
+
+/// **Ablation A2** — PCE precompute vs. on-demand computation at step 6.
+/// Returns `(t_dns_precomputed_ms, t_dns_on_demand_ms)`.
+pub fn run_ablation_precompute(seed: u64) -> (f64, f64) {
+    let run = |precompute: bool| -> f64 {
+        let mut world = Fig1Builder::new(CpKind::Pce)
+            .with_params(|p| {
+                p.pce_precompute = precompute;
+                p.flows = flow_script(
+                    &[Ns::ZERO],
+                    4,
+                    FlowMode::Udp { packets: 1, interval: Ns::from_ms(1), size: 100 },
+                );
+            })
+            .build(seed);
+        world.schedule_all_flows();
+        world.sim.run_until(Ns::from_secs(30));
+        world.records()[0].dns_time().map(|t| t.as_ms_f64()).unwrap_or(f64::NAN)
+    };
+    (run(true), run(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pce_ratio_is_one() {
+        let row = run_resolution_cell(CpKind::Pce, Ns::from_ms(30), 1);
+        assert!(row.t_map_eff_ms == 0.0, "{row:?}");
+        assert!((row.ratio - 1.0).abs() < 1e-9, "{row:?}");
+        assert!(row.t_dns_ms > 100.0, "hierarchy walk expected: {row:?}");
+    }
+
+    #[test]
+    fn pull_ratio_exceeds_one() {
+        let row = run_resolution_cell(CpKind::LispDrop, Ns::from_ms(30), 1);
+        assert!(row.ratio > 1.1, "{row:?}");
+        assert!(row.t_map_eff_ms > 50.0, "{row:?}");
+    }
+
+    #[test]
+    fn alt_worse_than_mrms() {
+        let mrms = run_resolution_cell(CpKind::LispDrop, Ns::from_ms(30), 1);
+        let alt = run_resolution_cell(CpKind::Alt { hops: 6 }, Ns::from_ms(30), 1);
+        assert!(
+            alt.t_map_eff_ms > mrms.t_map_eff_ms,
+            "alt {} vs mrms {}",
+            alt.t_map_eff_ms,
+            mrms.t_map_eff_ms
+        );
+    }
+
+    #[test]
+    fn ablation_on_demand_slower() {
+        let (pre, demand) = run_ablation_precompute(1);
+        assert!(demand > pre, "precompute {pre} vs on-demand {demand}");
+        // The 2 ms on-demand penalty lands once on the DNS path.
+        assert!(demand - pre >= 1.5 && demand - pre <= 3.0, "delta {}", demand - pre);
+    }
+}

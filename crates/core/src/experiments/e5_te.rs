@@ -1,0 +1,217 @@
+//! **E5 — traffic-engineering flexibility (claim C3) + ablation A1.**
+//!
+//! Many UDP flows with echo (return traffic) run from domain S to domain
+//! D. The symmetric vanilla LISP baseline cannot steer inbound traffic:
+//! every mapping points at one registered RLOC, and gleaning sends return
+//! traffic back to the encapsulating ITR. The PCE control plane picks
+//! `RLOC_S` (inbound to S) and `RLOC_D` (inbound to D) per flow with its
+//! IRC engine, spreading load across both providers of each domain.
+//!
+//! Ablation **A1**: pushing mappings to *all* ITRs (paper default) makes
+//! mid-flow egress moves lossless; pushing to only the first ITR strands
+//! moved flows on a stateless border router.
+
+use crate::hosts::{FlowMode, ServerHost};
+use crate::scenario::{addrs, flow_script, CpKind, Fig1Builder, FlowRouter};
+use ircte::Imbalance;
+use netsim::Ns;
+use simstats::Table;
+
+/// One row: inbound byte distribution per domain.
+#[derive(Debug, Clone)]
+pub struct TeRow {
+    /// Control plane label.
+    pub cp: String,
+    /// Inbound bytes into S via provider A / B.
+    pub inbound_s: [u64; 2],
+    /// Inbound bytes into D via provider X / Y.
+    pub inbound_d: [u64; 2],
+    /// Imbalance of the D-side inbound split (normalised utilisations).
+    pub imbalance_d: Imbalance,
+    /// Imbalance of the S-side inbound split.
+    pub imbalance_s: Imbalance,
+}
+
+/// E5 result.
+#[derive(Debug, Clone, Default)]
+pub struct TeResult {
+    /// Comparison rows.
+    pub rows: Vec<TeRow>,
+}
+
+impl TeResult {
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E5: inbound TE — per-provider inbound bytes (flows with echo traffic)",
+            &["cp", "in_S_A", "in_S_B", "in_D_X", "in_D_Y", "max_util_D", "stddev_D"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.cp.clone(),
+                r.inbound_s[0].to_string(),
+                r.inbound_s[1].to_string(),
+                r.inbound_d[0].to_string(),
+                r.inbound_d[1].to_string(),
+                format!("{:.3}", r.imbalance_d.max),
+                format!("{:.3}", r.imbalance_d.stddev),
+            ]);
+        }
+        t
+    }
+}
+
+/// Run one control plane's TE measurement.
+pub fn run_te_cell(cp: CpKind, n_flows: usize, seed: u64) -> TeRow {
+    let starts: Vec<Ns> = (0..n_flows).map(|i| Ns::from_ms(400 * i as u64)).collect();
+    let mut world = Fig1Builder::new(cp)
+        .with_params(|p| {
+            p.dest_count = 8;
+            p.flows = flow_script(
+                &starts,
+                8,
+                FlowMode::Udp { packets: 20, interval: Ns::from_ms(5), size: 600 },
+            );
+        })
+        .build(seed);
+    world.sim.node_mut::<ServerHost>(world.host_d).echo_udp = true;
+    world.schedule_all_flows();
+    world.sim.run_until(Ns::from_secs(120));
+
+    let inbound = world.provider_inbound_bytes();
+    let inbound_s = [inbound[0], inbound[1]];
+    let inbound_d = [inbound[2], inbound[3]];
+    let norm = |pair: [u64; 2]| -> Imbalance {
+        let total = (pair[0] + pair[1]).max(1) as f64;
+        Imbalance::of(&[pair[0] as f64 / total, pair[1] as f64 / total])
+    };
+    TeRow {
+        cp: cp.label(),
+        inbound_s,
+        inbound_d,
+        imbalance_d: norm(inbound_d),
+        imbalance_s: norm(inbound_s),
+    }
+}
+
+/// Full comparison.
+pub fn run_te(seed: u64) -> TeResult {
+    let mut result = TeResult::default();
+    for cp in [CpKind::LispQueue, CpKind::Nerd, CpKind::Pce] {
+        result.rows.push(run_te_cell(cp, 12, seed));
+    }
+    result
+}
+
+/// **Ablation A1** result: mid-flow egress move with/without mappings
+/// pre-installed at every ITR.
+#[derive(Debug, Clone)]
+pub struct AblationPushResult {
+    /// Packets sent / delivered / dropped with push-to-all (paper).
+    pub push_all: (u64, u64, u64),
+    /// Same with push-to-one.
+    pub push_one: (u64, u64, u64),
+}
+
+impl AblationPushResult {
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "A1: mid-flow egress move — push-to-all-ITRs vs push-to-one",
+            &["variant", "sent", "delivered", "miss_drops"],
+        );
+        t.row(&[
+            "push-all (paper)".into(),
+            self.push_all.0.to_string(),
+            self.push_all.1.to_string(),
+            self.push_all.2.to_string(),
+        ]);
+        t.row(&[
+            "push-one (ablated)".into(),
+            self.push_one.0.to_string(),
+            self.push_one.1.to_string(),
+            self.push_one.2.to_string(),
+        ]);
+        t
+    }
+}
+
+/// Run the A1 ablation.
+pub fn run_ablation_push(seed: u64) -> AblationPushResult {
+    let run = |push_all: bool| -> (u64, u64, u64) {
+        let mut world = Fig1Builder::new(CpKind::Pce)
+            .with_params(|p| {
+                p.pce_push_all = push_all;
+                p.flows = flow_script(
+                    &[Ns::ZERO],
+                    4,
+                    FlowMode::Udp { packets: 60, interval: Ns::from_ms(10), size: 400 },
+                );
+            })
+            .build(seed);
+        world.schedule_all_flows();
+        // Let the flow resolve and stream for a while via xTR-A.
+        world.sim.run_until(Ns::from_ms(600));
+        // TE action: move the flow's egress to xTR-B.
+        let dest = {
+            let rec = &world.sim.node_ref::<crate::hosts::TrafficHost>(world.host_s).records[0];
+            rec.dest
+        };
+        if let (Some(dest), Some((_, port_b))) = (dest, world.site_s_egress_ports) {
+            let site_s = world.site_routers.0;
+            world.sim.node_mut::<FlowRouter>(site_s).pin_flow(addrs::HOST_S, dest, port_b);
+        }
+        world.sim.run_until(Ns::from_secs(60));
+        let rec = world.records()[0].clone();
+        let delivered = world.server_udp_received();
+        let drops = world.total_miss_drops();
+        (u64::from(rec.data_sent), delivered, drops)
+    };
+    AblationPushResult { push_all: run(true), push_one: run(false) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pce_spreads_inbound_at_d() {
+        let pce = run_te_cell(CpKind::Pce, 8, 1);
+        // Both D providers carry real traffic.
+        assert!(pce.inbound_d[0] > 0, "{pce:?}");
+        assert!(pce.inbound_d[1] > 0, "{pce:?}");
+        // No provider carries more than ~80% of inbound.
+        assert!(pce.imbalance_d.max < 0.8, "{pce:?}");
+    }
+
+    #[test]
+    fn vanilla_concentrates_inbound_at_d() {
+        let v = run_te_cell(CpKind::LispQueue, 8, 1);
+        // All inbound data lands on the registered RLOC (provider X);
+        // provider Y sees only control-plane noise.
+        assert!(
+            v.inbound_d[0] > v.inbound_d[1] * 5,
+            "X {} vs Y {}",
+            v.inbound_d[0],
+            v.inbound_d[1]
+        );
+    }
+
+    #[test]
+    fn pce_beats_vanilla_on_balance() {
+        let v = run_te_cell(CpKind::LispQueue, 8, 1);
+        let p = run_te_cell(CpKind::Pce, 8, 1);
+        assert!(p.imbalance_d.max < v.imbalance_d.max, "pce {p:?} vanilla {v:?}");
+        assert!(p.imbalance_s.max < v.imbalance_s.max, "pce {p:?} vanilla {v:?}");
+    }
+
+    #[test]
+    fn ablation_push_all_lossless_move() {
+        let r = run_ablation_push(1);
+        let (sent_all, delivered_all, drops_all) = r.push_all;
+        assert_eq!(drops_all, 0, "{r:?}");
+        assert_eq!(delivered_all, sent_all, "{r:?}");
+        let (_sent_one, _delivered_one, drops_one) = r.push_one;
+        assert!(drops_one > 0, "push-one must strand the moved flow: {r:?}");
+    }
+}

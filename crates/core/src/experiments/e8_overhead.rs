@@ -1,0 +1,193 @@
+//! **E8 — control-plane overhead: messages, state, propagation.**
+//!
+//! For each control plane, a burst of flows is run and the control-plane
+//! cost is tallied: control messages exchanged, mapping state held at
+//! border routers, and state held in the control plane itself. This is
+//! the axis on which NERD (global database everywhere) and the PCE
+//! control plane (per-active-flow state, domain-local database) sit at
+//! opposite ends — the paper's implicit scaling argument.
+
+use crate::hosts::FlowMode;
+use crate::pce::Pce;
+use crate::scenario::{flow_script, CpKind, Fig1Builder};
+use lispdp::Xtr;
+use mapsys::{AltRouter, ConsNode, MapResolver, NerdAuthority};
+use netsim::Ns;
+use simstats::Table;
+
+/// One row of the overhead comparison.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Control plane label.
+    pub cp: String,
+    /// Flows run.
+    pub flows: usize,
+    /// Control messages attributable to mapping resolution/distribution.
+    pub control_msgs: u64,
+    /// Mapping entries held across all border routers after the run.
+    pub itr_state_entries: u64,
+    /// Entries held by the control-plane infrastructure (MR table, NERD
+    /// db, PCE db, overlay routing entries).
+    pub cp_state_entries: u64,
+    /// Database bytes pushed (NERD) — zero elsewhere.
+    pub push_bytes: u64,
+}
+
+/// E8 result.
+#[derive(Debug, Clone, Default)]
+pub struct OverheadResult {
+    /// All rows.
+    pub rows: Vec<OverheadRow>,
+}
+
+impl OverheadResult {
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E8: control-plane overhead per flow burst",
+            &["cp", "flows", "ctl_msgs", "itr_state", "cp_state", "push_bytes"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.cp.clone(),
+                r.flows.to_string(),
+                r.control_msgs.to_string(),
+                r.itr_state_entries.to_string(),
+                r.cp_state_entries.to_string(),
+                r.push_bytes.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Run one control plane.
+pub fn run_overhead_cell(cp: CpKind, n_flows: usize, seed: u64) -> OverheadRow {
+    let starts: Vec<Ns> = (0..n_flows).map(|i| Ns::from_ms(300 * i as u64)).collect();
+    let mut world = Fig1Builder::new(cp)
+        .with_params(|p| {
+            p.dest_count = 8;
+            p.flows = flow_script(
+                &starts,
+                8,
+                FlowMode::Udp { packets: 3, interval: Ns::from_ms(2), size: 300 },
+            );
+        })
+        .build(seed);
+    if let Some(xtrs) = world.xtrs {
+        for &x in &xtrs {
+            let xtr = world.sim.node_mut::<Xtr>(x);
+            if matches!(xtr.cfg.mode, lispdp::CpMode::Pull { .. }) {
+                xtr.cfg.miss_policy = lispdp::MissPolicy::Queue { max_packets: 64 };
+            }
+        }
+    }
+    world.schedule_all_flows();
+    world.sim.run_until(Ns::from_secs(120));
+
+    let mut control_msgs = 0u64;
+    let mut itr_state = 0u64;
+    if let Some(xtrs) = world.xtrs {
+        for &x in &xtrs {
+            let xtr = world.sim.node_ref::<Xtr>(x);
+            control_msgs += xtr.stats.map_requests_sent
+                + xtr.stats.map_request_retries
+                + xtr.stats.map_replies_received
+                + xtr.stats.map_requests_answered
+                + xtr.stats.reverse_syncs_sent
+                + xtr.stats.flow_installs
+                + xtr.stats.db_records_installed;
+            itr_state += xtr.cache.len() as u64 + xtr.flows.len() as u64;
+        }
+    }
+    let mut cp_state = 0u64;
+    let mut push_bytes = 0u64;
+    if let Some(mr) = world.mr_node {
+        let node = world.sim.node_ref::<MapResolver>(mr);
+        control_msgs += node.forwarded;
+        cp_state += 2; // registered site prefixes in the MR table
+    }
+    if let Some(nerd) = world.nerd_node {
+        let node = world.sim.node_ref::<NerdAuthority>(nerd);
+        control_msgs += node.chunks_sent;
+        push_bytes = node.bytes_pushed;
+        cp_state += node.db_len() as u64;
+    }
+    for &id in &world.alt_nodes.clone() {
+        let node = world.sim.node_ref::<AltRouter>(id);
+        control_msgs += node.overlay_hops + node.delivered;
+        cp_state += 2; // overlay routing entries per router
+    }
+    for &id in &world.cons_nodes.clone() {
+        let node = world.sim.node_ref::<ConsNode>(id);
+        control_msgs += node.overlay_hops + node.delivered + node.replies_relayed;
+        cp_state += 2;
+    }
+    if let Some((pce_s, pce_d)) = world.pces {
+        let s = world.sim.node_ref::<Pce>(pce_s).stats.clone();
+        let s_db = world.sim.node_ref::<Pce>(pce_s).db.len() as u64;
+        let d = world.sim.node_ref::<Pce>(pce_d).stats.clone();
+        let d_db = world.sim.node_ref::<Pce>(pce_d).db.len() as u64;
+        control_msgs += s.pushes_sent + s.dns_intercepts + s.ipc_notices + d.pushes_sent + d.dns_intercepts + d.ipc_notices;
+        cp_state += s_db + d_db;
+    }
+
+    OverheadRow {
+        cp: cp.label(),
+        flows: n_flows,
+        control_msgs,
+        itr_state_entries: itr_state,
+        cp_state_entries: cp_state,
+        push_bytes,
+    }
+}
+
+/// Full comparison.
+pub fn run_overhead(seed: u64) -> OverheadResult {
+    let mut result = OverheadResult::default();
+    for cp in [
+        CpKind::LispQueue,
+        CpKind::Alt { hops: 4 },
+        CpKind::Cons { cdr_depth: 1 },
+        CpKind::Nerd,
+        CpKind::Pce,
+    ] {
+        result.rows.push(run_overhead_cell(cp, 12, seed));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nerd_pushes_bytes_others_dont() {
+        let nerd = run_overhead_cell(CpKind::Nerd, 6, 1);
+        assert!(nerd.push_bytes > 0, "{nerd:?}");
+        let pce = run_overhead_cell(CpKind::Pce, 6, 1);
+        assert_eq!(pce.push_bytes, 0, "{pce:?}");
+    }
+
+    #[test]
+    fn nerd_state_is_global_everywhere() {
+        let nerd = run_overhead_cell(CpKind::Nerd, 6, 1);
+        // 4 xTRs × 2 records = 8 ITR-side entries regardless of flows.
+        assert!(nerd.itr_state_entries >= 8, "{nerd:?}");
+    }
+
+    #[test]
+    fn pce_state_tracks_flows() {
+        let small = run_overhead_cell(CpKind::Pce, 2, 1);
+        let big = run_overhead_cell(CpKind::Pce, 8, 1);
+        assert!(big.itr_state_entries > small.itr_state_entries, "small {small:?} big {big:?}");
+        assert!(big.cp_state_entries >= small.cp_state_entries);
+    }
+
+    #[test]
+    fn overlay_cps_cost_more_messages_per_flow() {
+        let mrms = run_overhead_cell(CpKind::LispQueue, 6, 1);
+        let cons = run_overhead_cell(CpKind::Cons { cdr_depth: 2 }, 6, 1);
+        assert!(cons.control_msgs > mrms.control_msgs, "mrms {mrms:?} cons {cons:?}");
+    }
+}

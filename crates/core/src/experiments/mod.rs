@@ -1,0 +1,15 @@
+//! Experiment harnesses (see DESIGN.md §4 for the index).
+//!
+//! Each `run_*` function builds its worlds, runs them, and returns a
+//! typed result struct with a `table()` renderer; the `bench` crate binary
+//! for each experiment simply calls these and prints.
+
+pub mod e1_fig1;
+pub mod e2_drops;
+pub mod e3_resolution;
+pub mod e4_tcp_setup;
+pub mod e5_te;
+pub mod e6_cache;
+pub mod e7_reverse;
+pub mod e8_overhead;
+

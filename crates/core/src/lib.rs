@@ -1,0 +1,55 @@
+//! `pcelisp` — a PCE-based control plane for LISP.
+//!
+//! Reproduction of *“Advantages of a PCE-based Control Plane for LISP”*
+//! (Castro et al., ACM CoNEXT 2008). The crate provides:
+//!
+//! * [`pce`] — the paper's contribution: the PCE node that sits on the
+//!   data path of a domain's DNS server, transparently observes the
+//!   iterative resolution (steps 2–5), encapsulates the final DNS reply
+//!   together with the precomputed EID-to-RLOC mapping on the special
+//!   port `P` (step 6), and — on the requesting side — forwards the
+//!   answer to the DNS server while pushing the
+//!   `(E_S, E_D, RLOC_S, RLOC_D)` flow mapping to **all** local ITRs
+//!   (steps 7a/7b), with ingress selection by an online IRC engine
+//!   (step 1).
+//! * [`hosts`] — end-host nodes: a traffic client that resolves a name,
+//!   opens a TCP connection or blasts CBR UDP, and records every timing
+//!   the paper's equations mention; and a server peer.
+//! * [`scenario`] — builders for the paper's Fig. 1 world: two ASes, two
+//!   providers each (A/B and X/Y with prefixes 10–13/8), a three-level
+//!   DNS hierarchy, and any of the competing control planes installed.
+//! * [`workload`] — deterministic Poisson/Zipf flow workload generation.
+//! * [`experiments`] — the E1–E8 / A1–A2 harnesses of DESIGN.md, each
+//!   returning a typed result and a printable table.
+//!
+//! ```no_run
+//! use pcelisp::prelude::*;
+//!
+//! // Build the Fig. 1 world with the PCE control plane and run one flow.
+//! let mut world = Fig1Builder::new(CpKind::Pce).build(1);
+//! world.start_flow(0);
+//! world.sim.run_until(Ns::from_secs(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod hosts;
+pub mod pce;
+pub mod scenario;
+pub mod workload;
+
+/// Convenient re-exports for examples and benches.
+pub mod prelude {
+    pub use crate::experiments;
+    pub use crate::hosts::{FlowMode, FlowSpec, ServerHost, TrafficHost};
+    pub use crate::pce::{Pce, PceConfig};
+    pub use crate::scenario::{CpKind, Fig1Builder, Fig1World};
+    pub use crate::workload::{PoissonArrivals, ZipfPicker};
+    pub use inet::{Prefix, Router};
+    pub use lispdp::{CpMode, MissPolicy, Xtr};
+    pub use lispwire::Ipv4Address;
+    pub use netsim::{LinkCfg, Ns, Sim};
+    pub use simstats::{Histogram, Summary, Table};
+}

@@ -1,0 +1,683 @@
+//! The PCE node — the paper's contribution.
+//!
+//! A PCE is a *bump in the wire* on its domain's DNS path: **port 0 faces
+//! the DNS server, port 1 faces the domain network**. Every packet is
+//! forwarded transparently between the two ports, except:
+//!
+//! * **Step 1 (IPC)** — `IpcQueryNotice` messages from the local DNS
+//!   server record which end-host (`E_S`) asked for which name, and the
+//!   IRC engine's current ingress choice is noted for the reverse
+//!   direction.
+//! * **Step 6 (PCE_D role)** — a DNS *response* from the local server
+//!   whose A answer falls in this domain's EID space is intercepted and
+//!   re-sent as a [`PceDnsMapping`] on the special port `P`, addressed to
+//!   the querying DNS server, carrying the original reply plus the
+//!   precomputed mapping. The IRC engine runs "online … in background, so
+//!   the mapping is always known aforehand" — the `precompute` knob
+//!   models that claim (ablation A2 turns it off).
+//! * **Steps 7a/7b (PCE_S role)** — a port-`P` packet passing toward the
+//!   local DNS server is decapsulated: the original DNS reply continues
+//!   unmodified to the server (7a), while the flow mapping
+//!   `(E_S, E_D, RLOC_S, RLOC_D)` — with `RLOC_S` chosen by the IRC
+//!   engine for the *inbound* traffic — is pushed to **all** local ITRs
+//!   (7b).
+//! * **After step 8** — `ETR_SYNC` messages from the domain's ETRs update
+//!   the PCE database (two-way mapping completion).
+
+use inet::stack::{IpStack, Parsed};
+use inet::Prefix;
+use ircte::{IrcEngine, Provider, SelectionPolicy};
+use lispwire::dnswire::Message;
+use lispwire::lispctl::{Locator, MapRecord};
+use lispwire::pcewire::{FlowMapping, IpcQueryNotice, PceDnsMapping, PceFlowMsg, PceKind};
+use lispwire::{ports, Ipv4Address};
+use netsim::{Ctx, Node, Ns, PortId};
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Static configuration of a PCE.
+#[derive(Debug, Clone)]
+pub struct PceConfig {
+    /// The PCE's own address (RLOC space).
+    pub addr: Ipv4Address,
+    /// EID prefixes of the local domain (answers falling here trigger the
+    /// step-6 interception).
+    pub domain_eid_prefixes: Vec<Prefix>,
+    /// All local ITR/xTR RLOCs: step-7b push targets.
+    pub itr_rlocs: Vec<Ipv4Address>,
+    /// The providers of this domain, driving the IRC engine.
+    pub providers: Vec<Provider>,
+    /// IRC selection policy.
+    pub policy: SelectionPolicy,
+    /// TTL stamped on issued mappings (minutes).
+    pub mapping_ttl_minutes: u16,
+    /// Whether the outbound mapping is precomputed (paper claim: yes).
+    /// When `false`, every step-6 interception pays `on_demand_delay`
+    /// (ablation A2).
+    pub precompute: bool,
+    /// Extra computation delay when `precompute` is off.
+    pub on_demand_delay: Ns,
+    /// Per-packet transparent-forwarding delay of the bump in the wire.
+    pub forward_delay: Ns,
+    /// Rate estimate (capacity units) booked per admitted flow.
+    pub flow_rate_estimate: f64,
+    /// Push mappings to all ITRs (paper default) or only the first
+    /// (ablation A1).
+    pub push_to_all_itrs: bool,
+}
+
+impl PceConfig {
+    /// A configuration with the paper's defaults.
+    pub fn new(
+        addr: Ipv4Address,
+        domain_eid_prefixes: Vec<Prefix>,
+        itr_rlocs: Vec<Ipv4Address>,
+        providers: Vec<Provider>,
+    ) -> Self {
+        Self {
+            addr,
+            domain_eid_prefixes,
+            itr_rlocs,
+            providers,
+            policy: SelectionPolicy::WeightedBalance,
+            mapping_ttl_minutes: 60,
+            precompute: true,
+            on_demand_delay: Ns::from_ms(2),
+            forward_delay: Ns::from_us(5),
+            flow_rate_estimate: 1.0,
+            push_to_all_itrs: true,
+        }
+    }
+}
+
+/// Public counters of a PCE.
+#[derive(Debug, Default, Clone)]
+pub struct PceStats {
+    /// Packets transparently forwarded (both directions).
+    pub forwarded: u64,
+    /// IPC notices recorded.
+    pub ipc_notices: u64,
+    /// DNS replies intercepted and encapsulated (step 6).
+    pub dns_intercepts: u64,
+    /// Port-`P` packets decapsulated (step 7).
+    pub p_decaps: u64,
+    /// Flow-mapping pushes sent to ITRs (step 7b).
+    pub pushes_sent: u64,
+    /// Withdraw messages sent (TE moves).
+    pub withdraws_sent: u64,
+    /// Reverse syncs absorbed into the database.
+    pub reverse_syncs_received: u64,
+    /// Step-7 arrivals whose requester EID was unknown (no IPC notice).
+    pub unknown_requester: u64,
+    /// Malformed messages seen.
+    pub malformed: u64,
+}
+
+const DNS_PORT: PortId = 0;
+const NET_PORT: PortId = 1;
+const TOKEN_RELEASE: u64 = 0x7CE0_0000_0000_0000;
+
+/// The PCE node (acts as `PCE_S` and `PCE_D` simultaneously).
+pub struct Pce {
+    /// Static configuration.
+    pub cfg: PceConfig,
+    stack: IpStack,
+    /// The online IRC engine.
+    pub irc: IrcEngine,
+    /// qname → requesting end-host, learned over IPC (step 1).
+    pending_requesters: BTreeMap<String, Ipv4Address>,
+    /// The PCE mapping database: flow → mapping (updated by step 7b
+    /// decisions and ETR reverse syncs).
+    pub db: BTreeMap<(Ipv4Address, Ipv4Address), FlowMapping>,
+    release_queue: VecDeque<(PortId, Vec<u8>)>,
+    /// Counters.
+    pub stats: PceStats,
+    /// Times at which each step-7b push batch completed (for E3/E7).
+    pub push_times: Vec<Ns>,
+}
+
+impl Pce {
+    /// Build a PCE from its configuration.
+    pub fn new(cfg: PceConfig) -> Self {
+        let irc = IrcEngine::new(cfg.providers.clone(), cfg.policy);
+        Self {
+            stack: IpStack::new(cfg.addr),
+            irc,
+            pending_requesters: BTreeMap::new(),
+            db: BTreeMap::new(),
+            release_queue: VecDeque::new(),
+            stats: PceStats::default(),
+            push_times: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// This PCE's address.
+    pub fn addr(&self) -> Ipv4Address {
+        self.cfg.addr
+    }
+
+    fn in_domain_eids(&self, addr: Ipv4Address) -> bool {
+        self.cfg.domain_eid_prefixes.iter().any(|p| p.contains(addr))
+    }
+
+    fn release_later(&mut self, ctx: &mut Ctx<'_>, delay: Ns, port: PortId, pkt: Vec<u8>) {
+        self.release_queue.push_back((port, pkt));
+        ctx.set_timer(delay, TOKEN_RELEASE);
+    }
+
+    /// Compose the mapping record for a local EID: the full locator set
+    /// with the IRC engine's current choice at priority 1.
+    fn mapping_for(&mut self, eid: Ipv4Address) -> MapRecord {
+        let chosen = self.irc.peek_choice().map(|(p, _)| p);
+        let locators: Vec<Locator> = self
+            .irc
+            .providers()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Locator {
+                rloc: p.rloc,
+                priority: if Some(i) == chosen { 1 } else { 2 },
+                weight: p.weight.min(255) as u8,
+                reachable: p.up,
+            })
+            .collect();
+        MapRecord {
+            eid_prefix: eid,
+            prefix_len: 32,
+            ttl_minutes: self.cfg.mapping_ttl_minutes,
+            locators,
+        }
+    }
+
+    /// Step 6: intercept a DNS reply leaving the domain's server.
+    fn intercept_dns_reply(&mut self, ctx: &mut Ctx<'_>, original: Vec<u8>, reply_dst: Ipv4Address, answer_eid: Ipv4Address) {
+        self.stats.dns_intercepts += 1;
+        // Book the inbound flow on the chosen provider.
+        let _ = self.irc.admit_flow((reply_dst, answer_eid), self.cfg.flow_rate_estimate);
+        let mapping = self.mapping_for(answer_eid);
+        ctx.trace(format!(
+            "step6: PCE_D {} encapsulates DNS reply for {} with mapping (best rloc {})",
+            self.cfg.addr,
+            answer_eid,
+            mapping.best_locator().map(|l| l.rloc.to_string()).unwrap_or_default()
+        ));
+        let msg = PceDnsMapping { pce_d: self.cfg.addr, mapping, dns_reply: original };
+        let pkt = self.stack.udp(ports::PCE_MAP, reply_dst, ports::PCE_MAP, &msg.to_bytes());
+        let delay = if self.cfg.precompute {
+            self.cfg.forward_delay
+        } else {
+            self.cfg.forward_delay + self.cfg.on_demand_delay
+        };
+        self.release_later(ctx, delay, NET_PORT, pkt);
+    }
+
+    /// Steps 7a + 7b: a port-`P` packet arrived for our DNS server.
+    fn handle_port_p(&mut self, ctx: &mut Ctx<'_>, payload: &[u8]) {
+        let Ok(msg) = PceDnsMapping::from_bytes(payload) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        self.stats.p_decaps += 1;
+        // 7a: forward the original DNS answer to the server, unmodified.
+        ctx.trace(format!("step7a: PCE_S {} forwards DNS answer to local server", self.cfg.addr));
+        let dns_pkt = msg.dns_reply.clone();
+        let fwd_delay = self.cfg.forward_delay;
+        self.release_later(ctx, fwd_delay, DNS_PORT, dns_pkt);
+
+        // 7b: install the two-one-way-tunnel mapping at every ITR.
+        let dest_eid = msg.mapping.eid_prefix;
+        let Some(rloc_d) = msg.mapping.best_locator().map(|l| l.rloc) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        // Find E_S from the IPC notice (match on the reply's qname).
+        let qname = parse_qname(&msg.dns_reply);
+        let source_eid = match qname.as_deref().and_then(|q| self.pending_requesters.remove(q)) {
+            Some(es) => es,
+            None => {
+                self.stats.unknown_requester += 1;
+                return;
+            }
+        };
+        // Step 1's ingress choice for the reverse (inbound) direction.
+        let Some((_, rloc_s)) = self.irc.admit_flow((source_eid, dest_eid), self.cfg.flow_rate_estimate) else {
+            return;
+        };
+        let flow = FlowMapping {
+            source_eid,
+            dest_eid,
+            rloc_s,
+            rloc_d,
+            ttl_minutes: self.cfg.mapping_ttl_minutes,
+        };
+        self.db.insert((source_eid, dest_eid), flow);
+        self.push_flow(ctx, flow, PceKind::MappingPush);
+        self.push_times.push(ctx.now());
+        ctx.trace(format!(
+            "step7b: PCE_S {} pushed ({} -> {}) via (RLOC_S {}, RLOC_D {}) to {} ITRs",
+            self.cfg.addr,
+            source_eid,
+            dest_eid,
+            rloc_s,
+            rloc_d,
+            if self.cfg.push_to_all_itrs { self.cfg.itr_rlocs.len() } else { 1 }
+        ));
+    }
+
+    fn push_flow(&mut self, ctx: &mut Ctx<'_>, flow: FlowMapping, kind: PceKind) {
+        let msg = PceFlowMsg { kind, mapping: flow };
+        let body = msg.to_bytes();
+        let targets: Vec<Ipv4Address> = if self.cfg.push_to_all_itrs {
+            self.cfg.itr_rlocs.clone()
+        } else {
+            self.cfg.itr_rlocs.first().copied().into_iter().collect()
+        };
+        for itr in targets {
+            let pkt = self.stack.udp(ports::PCE_MAP, itr, ports::PCE_MAP, &body);
+            match kind {
+                PceKind::MappingWithdraw => self.stats.withdraws_sent += 1,
+                _ => self.stats.pushes_sent += 1,
+            }
+            ctx.send(NET_PORT, pkt);
+        }
+    }
+
+    /// TE action: re-optimise tracked flows and re-push the moved ones
+    /// with an updated `RLOC_S` (inbound move). Returns the number of
+    /// flows moved. Safe precisely because every ITR already has state
+    /// for every flow (the paper's argument for pushing to all ITRs).
+    pub fn reoptimize_and_push(&mut self, ctx: &mut Ctx<'_>) -> usize {
+        let moves = self.irc.reoptimize();
+        let mut count = 0;
+        for m in moves {
+            if let Some(flow) = self.db.get(&m.flow_key).copied() {
+                let updated = FlowMapping { rloc_s: m.new_rloc, ..flow };
+                self.db.insert(m.flow_key, updated);
+                self.push_flow(ctx, updated, PceKind::MappingPush);
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+/// Extract the question name from a full DNS-reply IP packet.
+fn parse_qname(ip_packet: &[u8]) -> Option<String> {
+    match IpStack::parse(ip_packet) {
+        Ok(Parsed::Udp { payload, .. }) => {
+            let msg = Message::from_bytes(&payload).ok()?;
+            msg.question().map(|q| q.name.as_str().to_string())
+        }
+        _ => None,
+    }
+}
+
+impl Node for Pce {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, bytes: Vec<u8>) {
+        let other = if port == DNS_PORT { NET_PORT } else { DNS_PORT };
+        let parsed = IpStack::parse(&bytes);
+        match parsed {
+            Ok(Parsed::Udp { dst, src_port, dst_port, payload, .. }) => {
+                // IPC from the local DNS server (either port; consumed).
+                if dst == self.cfg.addr && dst_port == ports::PCE_IPC {
+                    if let Ok(notice) = IpcQueryNotice::from_bytes(&payload) {
+                        self.stats.ipc_notices += 1;
+                        ctx.trace(format!(
+                            "step1: PCE {} learns E_S {} for query {}",
+                            self.cfg.addr, notice.client, notice.qname
+                        ));
+                        self.pending_requesters.insert(notice.qname, notice.client);
+                    } else {
+                        self.stats.malformed += 1;
+                    }
+                    return;
+                }
+                // ETR reverse sync addressed to us (database update).
+                if dst == self.cfg.addr && dst_port == ports::ETR_SYNC {
+                    if let Ok(msg) = PceFlowMsg::from_bytes(&payload) {
+                        if msg.kind == PceKind::ReverseSync {
+                            self.stats.reverse_syncs_received += 1;
+                            self.db
+                                .insert((msg.mapping.source_eid, msg.mapping.dest_eid), msg.mapping);
+                            ctx.trace(format!(
+                                "PCE {} database updated by reverse sync ({} -> {})",
+                                self.cfg.addr, msg.mapping.source_eid, msg.mapping.dest_eid
+                            ));
+                        }
+                    } else {
+                        self.stats.malformed += 1;
+                    }
+                    return;
+                }
+                // Step 7: port-P packets heading to our DNS server.
+                if port == NET_PORT && dst_port == ports::PCE_MAP {
+                    self.handle_port_p(ctx, &payload);
+                    return;
+                }
+                // Step 6: DNS responses leaving our server with an answer
+                // in the domain's EID space.
+                if port == DNS_PORT && src_port == ports::DNS {
+                    if let Ok(msg) = Message::from_bytes(&payload) {
+                        if msg.is_response && msg.authoritative {
+                            if let Some(answer) = msg.first_answer_a() {
+                                if self.in_domain_eids(answer) {
+                                    self.intercept_dns_reply(ctx, bytes, dst, answer);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Everything else: transparent bump-in-the-wire forward.
+                self.stats.forwarded += 1;
+                let d = self.cfg.forward_delay;
+                self.release_later(ctx, d, other, bytes);
+            }
+            _ => {
+                self.stats.forwarded += 1;
+                let d = self.cfg.forward_delay;
+                self.release_later(ctx, d, other, bytes);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_RELEASE {
+            if let Some((port, pkt)) = self.release_queue.pop_front() {
+                ctx.send(port, pkt);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{LinkCfg, Sim};
+
+    fn a(o: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(o)
+    }
+
+    fn pce_d_config() -> PceConfig {
+        PceConfig::new(
+            a([12, 0, 0, 200]),
+            vec![Prefix::new(a([101, 0, 0, 0]), 8)],
+            vec![a([12, 0, 0, 1]), a([13, 0, 0, 1])],
+            vec![
+                Provider::new("X", a([12, 0, 0, 1]), 100.0),
+                Provider::new("Y", a([13, 0, 0, 1]), 100.0),
+            ],
+        )
+    }
+
+    /// Node that feeds packets into a PCE port and records what comes out
+    /// the attached link.
+    struct Tap {
+        outbox: Vec<Vec<u8>>,
+        pub received: Vec<Vec<u8>>,
+    }
+    impl Node for Tap {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            if let Some(p) = self.outbox.get(token as usize) {
+                ctx.send(0, p.clone());
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
+            self.received.push(bytes);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn world(cfg: PceConfig) -> (Sim, netsim::NodeId, netsim::NodeId, netsim::NodeId) {
+        let mut sim = Sim::new(2);
+        sim.trace.enable();
+        let dns_side = sim.add_node("dns-side", Box::new(Tap { outbox: vec![], received: vec![] }));
+        let net_side = sim.add_node("net-side", Box::new(Tap { outbox: vec![], received: vec![] }));
+        let pce = sim.add_node("pce", Box::new(Pce::new(cfg)));
+        // PCE port 0 = DNS side, port 1 = network side.
+        sim.connect(pce, dns_side, LinkCfg::ipc());
+        sim.connect(pce, net_side, LinkCfg::lan());
+        (sim, pce, dns_side, net_side)
+    }
+
+    fn auth_reply_packet(answer: Ipv4Address, reply_dst: Ipv4Address) -> Vec<u8> {
+        use lispwire::dnswire::{Name, Record};
+        let q = Message::query_a(42, Name::parse_str("host.d.example").unwrap(), false);
+        let mut r = Message::response_to(&q);
+        r.authoritative = true;
+        r.answers.push(Record::a(Name::parse_str("host.d.example").unwrap(), answer, 300));
+        IpStack::new(a([12, 0, 0, 53])).udp(ports::DNS, reply_dst, 32853, &r.to_bytes())
+    }
+
+    #[test]
+    fn step6_intercepts_matching_reply() {
+        let (mut sim, pce, dns_side, net_side) = world(pce_d_config());
+        let reply = auth_reply_packet(a([101, 0, 0, 7]), a([10, 0, 0, 53]));
+        sim.node_mut::<Tap>(dns_side).outbox = vec![reply];
+        sim.schedule_timer(dns_side, Ns::ZERO, 0);
+        sim.run();
+        let p = sim.node_mut::<Pce>(pce);
+        assert_eq!(p.stats.dns_intercepts, 1);
+        assert_eq!(p.stats.forwarded, 0);
+        let out = sim.node_ref::<Tap>(net_side).received.clone();
+        assert_eq!(out.len(), 1);
+        match IpStack::parse(&out[0]).unwrap() {
+            Parsed::Udp { dst, dst_port, payload, .. } => {
+                assert_eq!(dst, a([10, 0, 0, 53]));
+                assert_eq!(dst_port, ports::PCE_MAP);
+                let msg = PceDnsMapping::from_bytes(&payload).unwrap();
+                assert_eq!(msg.pce_d, a([12, 0, 0, 200]));
+                assert_eq!(msg.mapping.eid_prefix, a([101, 0, 0, 7]));
+                assert_eq!(msg.mapping.locators.len(), 2);
+                // The original reply is carried verbatim.
+                assert!(matches!(IpStack::parse(&msg.dns_reply).unwrap(), Parsed::Udp { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_matching_reply_passes_through() {
+        let (mut sim, pce, dns_side, net_side) = world(pce_d_config());
+        // Answer outside the domain's EID space.
+        let reply = auth_reply_packet(a([55, 0, 0, 7]), a([10, 0, 0, 53]));
+        sim.node_mut::<Tap>(dns_side).outbox = vec![reply.clone()];
+        sim.schedule_timer(dns_side, Ns::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.node_mut::<Pce>(pce).stats.dns_intercepts, 0);
+        let out = sim.node_ref::<Tap>(net_side).received.clone();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], reply, "forwarded byte-identical");
+    }
+
+    #[test]
+    fn step7_decap_forwards_and_pushes() {
+        // PCE_S for domain S (EIDs 100/8, ITRs at 10.0.0.1 & 11.0.0.1).
+        let cfg = PceConfig::new(
+            a([10, 0, 0, 200]),
+            vec![Prefix::new(a([100, 0, 0, 0]), 8)],
+            vec![a([10, 0, 0, 1]), a([11, 0, 0, 1])],
+            vec![
+                Provider::new("A", a([10, 0, 0, 1]), 100.0),
+                Provider::new("B", a([11, 0, 0, 1]), 100.0),
+            ],
+        );
+        let (mut sim, pce, dns_side, net_side) = world(cfg);
+
+        // First the IPC notice: E_S asked for host.d.example.
+        let notice = IpcQueryNotice { client: a([100, 0, 0, 5]), qname: "host.d.example".into() };
+        let ipc_pkt = IpStack::new(a([10, 0, 0, 53])).udp(
+            ports::PCE_IPC,
+            a([10, 0, 0, 200]),
+            ports::PCE_IPC,
+            &notice.to_bytes(),
+        );
+        // Then the port-P packet from PCE_D.
+        let inner_reply = auth_reply_packet(a([101, 0, 0, 7]), a([10, 0, 0, 53]));
+        let mapping = MapRecord {
+            eid_prefix: a([101, 0, 0, 7]),
+            prefix_len: 32,
+            ttl_minutes: 60,
+            locators: vec![Locator::new(a([12, 0, 0, 1]), 1, 100)],
+        };
+        let p_msg = PceDnsMapping { pce_d: a([12, 0, 0, 200]), mapping, dns_reply: inner_reply };
+        let p_pkt = IpStack::new(a([12, 0, 0, 200])).udp(
+            ports::PCE_MAP,
+            a([10, 0, 0, 53]),
+            ports::PCE_MAP,
+            &p_msg.to_bytes(),
+        );
+
+        sim.node_mut::<Tap>(dns_side).outbox = vec![ipc_pkt];
+        sim.node_mut::<Tap>(net_side).outbox = vec![p_pkt];
+        sim.schedule_timer(dns_side, Ns::ZERO, 0);
+        sim.schedule_timer(net_side, Ns::from_ms(1), 0);
+        sim.run();
+
+        let p = sim.node_mut::<Pce>(pce);
+        assert_eq!(p.stats.ipc_notices, 1);
+        assert_eq!(p.stats.p_decaps, 1);
+        assert_eq!(p.stats.pushes_sent, 2, "pushed to both ITRs");
+        assert_eq!(p.stats.unknown_requester, 0);
+        assert_eq!(p.db.len(), 1);
+        let flow = p.db[&(a([100, 0, 0, 5]), a([101, 0, 0, 7]))];
+        assert_eq!(flow.rloc_d, a([12, 0, 0, 1]));
+        assert!(flow.rloc_s == a([10, 0, 0, 1]) || flow.rloc_s == a([11, 0, 0, 1]));
+
+        // 7a: the DNS server side got the original reply.
+        let dns_out = sim.node_ref::<Tap>(dns_side).received.clone();
+        assert_eq!(dns_out.len(), 1);
+        match IpStack::parse(&dns_out[0]).unwrap() {
+            Parsed::Udp { src_port, dst, .. } => {
+                assert_eq!(src_port, ports::DNS);
+                assert_eq!(dst, a([10, 0, 0, 53]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // 7b: the net side carried two pushes.
+        let net_out = sim.node_ref::<Tap>(net_side).received.clone();
+        let pushes: Vec<_> = net_out
+            .iter()
+            .filter(|b| matches!(IpStack::parse(b), Ok(Parsed::Udp { dst_port, .. }) if dst_port == ports::PCE_MAP))
+            .collect();
+        assert_eq!(pushes.len(), 2);
+    }
+
+    #[test]
+    fn step7_without_ipc_counts_unknown() {
+        let cfg = PceConfig::new(
+            a([10, 0, 0, 200]),
+            vec![Prefix::new(a([100, 0, 0, 0]), 8)],
+            vec![a([10, 0, 0, 1])],
+            vec![Provider::new("A", a([10, 0, 0, 1]), 100.0)],
+        );
+        let (mut sim, pce, _dns_side, net_side) = world(cfg);
+        let inner_reply = auth_reply_packet(a([101, 0, 0, 7]), a([10, 0, 0, 53]));
+        let mapping = MapRecord::host(a([101, 0, 0, 7]), a([12, 0, 0, 1]), 60);
+        let p_msg = PceDnsMapping { pce_d: a([12, 0, 0, 200]), mapping, dns_reply: inner_reply };
+        let p_pkt = IpStack::new(a([12, 0, 0, 200])).udp(
+            ports::PCE_MAP,
+            a([10, 0, 0, 53]),
+            ports::PCE_MAP,
+            &p_msg.to_bytes(),
+        );
+        sim.node_mut::<Tap>(net_side).outbox = vec![p_pkt];
+        sim.schedule_timer(net_side, Ns::ZERO, 0);
+        sim.run();
+        let p = sim.node_mut::<Pce>(pce);
+        assert_eq!(p.stats.p_decaps, 1);
+        assert_eq!(p.stats.unknown_requester, 1);
+        assert_eq!(p.stats.pushes_sent, 0);
+    }
+
+    #[test]
+    fn ablation_push_to_one_itr() {
+        let mut cfg = PceConfig::new(
+            a([10, 0, 0, 200]),
+            vec![Prefix::new(a([100, 0, 0, 0]), 8)],
+            vec![a([10, 0, 0, 1]), a([11, 0, 0, 1])],
+            vec![
+                Provider::new("A", a([10, 0, 0, 1]), 100.0),
+                Provider::new("B", a([11, 0, 0, 1]), 100.0),
+            ],
+        );
+        cfg.push_to_all_itrs = false;
+        let (mut sim, pce, dns_side, net_side) = world(cfg);
+        let notice = IpcQueryNotice { client: a([100, 0, 0, 5]), qname: "host.d.example".into() };
+        let ipc_pkt = IpStack::new(a([10, 0, 0, 53])).udp(
+            ports::PCE_IPC,
+            a([10, 0, 0, 200]),
+            ports::PCE_IPC,
+            &notice.to_bytes(),
+        );
+        let inner_reply = auth_reply_packet(a([101, 0, 0, 7]), a([10, 0, 0, 53]));
+        let p_msg = PceDnsMapping {
+            pce_d: a([12, 0, 0, 200]),
+            mapping: MapRecord::host(a([101, 0, 0, 7]), a([12, 0, 0, 1]), 60),
+            dns_reply: inner_reply,
+        };
+        let p_pkt = IpStack::new(a([12, 0, 0, 200])).udp(
+            ports::PCE_MAP,
+            a([10, 0, 0, 53]),
+            ports::PCE_MAP,
+            &p_msg.to_bytes(),
+        );
+        sim.node_mut::<Tap>(dns_side).outbox = vec![ipc_pkt];
+        sim.node_mut::<Tap>(net_side).outbox = vec![p_pkt];
+        sim.schedule_timer(dns_side, Ns::ZERO, 0);
+        sim.schedule_timer(net_side, Ns::from_ms(1), 0);
+        sim.run();
+        assert_eq!(sim.node_mut::<Pce>(pce).stats.pushes_sent, 1);
+    }
+
+    #[test]
+    fn on_demand_delays_step6() {
+        let run = |precompute: bool| -> Ns {
+            let mut cfg = pce_d_config();
+            cfg.precompute = precompute;
+            let (mut sim, _pce, dns_side, net_side) = world(cfg);
+            let reply = auth_reply_packet(a([101, 0, 0, 7]), a([10, 0, 0, 53]));
+            sim.node_mut::<Tap>(dns_side).outbox = vec![reply];
+            sim.schedule_timer(dns_side, Ns::ZERO, 0);
+            sim.run();
+            assert_eq!(sim.node_ref::<Tap>(net_side).received.len(), 1);
+            sim.now()
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(slow - fast, Ns::from_ms(2));
+    }
+
+    #[test]
+    fn reverse_sync_updates_db() {
+        let (mut sim, pce, _dns_side, net_side) = world(pce_d_config());
+        let flow = FlowMapping {
+            source_eid: a([101, 0, 0, 7]),
+            dest_eid: a([100, 0, 0, 5]),
+            rloc_s: a([12, 0, 0, 1]),
+            rloc_d: a([10, 0, 0, 1]),
+            ttl_minutes: 60,
+        };
+        let msg = PceFlowMsg { kind: PceKind::ReverseSync, mapping: flow };
+        let pkt = IpStack::new(a([12, 0, 0, 1])).udp(
+            ports::ETR_SYNC,
+            a([12, 0, 0, 200]),
+            ports::ETR_SYNC,
+            &msg.to_bytes(),
+        );
+        sim.node_mut::<Tap>(net_side).outbox = vec![pkt];
+        sim.schedule_timer(net_side, Ns::ZERO, 0);
+        sim.run();
+        let p = sim.node_mut::<Pce>(pce);
+        assert_eq!(p.stats.reverse_syncs_received, 1);
+        assert_eq!(p.db.len(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic workload generation: Poisson flow arrivals and Zipf
+//! destination popularity, both driven by seeded RNG.
+
+use netsim::Ns;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Poisson arrival process: exponential inter-arrival gaps with a given
+/// mean rate (flows per second).
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: SmallRng,
+    rate_per_sec: f64,
+    now: Ns,
+}
+
+impl PoissonArrivals {
+    /// A process with `rate_per_sec` mean arrivals per second.
+    ///
+    /// # Panics
+    /// Panics on a non-positive rate.
+    pub fn new(seed: u64, rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        Self { rng: SmallRng::seed_from_u64(seed), rate_per_sec, now: Ns::ZERO }
+    }
+
+    /// The next arrival instant.
+    pub fn next_arrival(&mut self) -> Ns {
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        let gap_secs = -u.ln() / self.rate_per_sec;
+        self.now += Ns((gap_secs * 1e9) as u64);
+        self.now
+    }
+
+    /// The first `n` arrivals.
+    pub fn take(&mut self, n: usize) -> Vec<Ns> {
+        (0..n).map(|_| self.next_arrival()).collect()
+    }
+}
+
+/// Zipf-distributed index picker over `n` items (rank 1 most popular).
+#[derive(Debug, Clone)]
+pub struct ZipfPicker {
+    rng: SmallRng,
+    cdf: Vec<f64>,
+}
+
+impl ZipfPicker {
+    /// A picker over `n` items with skew exponent `s` (s = 0 is uniform;
+    /// s ≈ 1 is classic web-like popularity).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(seed: u64, n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Self { rng: SmallRng::seed_from_u64(seed), cdf }
+    }
+
+    /// Pick an item index in `0..n`.
+    pub fn pick(&mut self) -> usize {
+        let u: f64 = self.rng.random_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty (constructor enforces n > 0).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_roughly_matches() {
+        let mut p = PoissonArrivals::new(1, 100.0); // 100 flows/s
+        let arrivals = p.take(2000);
+        let last = arrivals.last().unwrap();
+        let secs = last.as_secs_f64();
+        let rate = 2000.0 / secs;
+        assert!((rate - 100.0).abs() < 10.0, "rate {rate}");
+        // Strictly increasing.
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn poisson_deterministic_by_seed() {
+        let a = PoissonArrivals::new(7, 50.0).take(100);
+        let b = PoissonArrivals::new(7, 50.0).take(100);
+        assert_eq!(a, b);
+        let c = PoissonArrivals::new(8, 50.0).take(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let mut z = ZipfPicker::new(1, 100, 1.0);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..10_000 {
+            counts[z.pick()] += 1;
+        }
+        // Rank 0 must dominate rank 50 heavily under s=1.
+        assert!(counts[0] > counts[50] * 5, "c0={} c50={}", counts[0], counts[50]);
+        // All indexes in range (no panic) and some tail mass exists.
+        assert!(counts[99] < counts[0]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut z = ZipfPicker::new(2, 10, 0.0);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.pick()] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "not uniform: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zipf_empty_panics() {
+        let _ = ZipfPicker::new(1, 0, 1.0);
+    }
+}

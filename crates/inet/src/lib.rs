@@ -1,0 +1,30 @@
+//! `inet` — the internet substrate on top of `netsim`.
+//!
+//! Provides what the LISP and DNS layers stand on:
+//!
+//! * [`addr`] — IPv4 prefixes with containment tests.
+//! * [`lpm`] — a longest-prefix-match binary trie used by router
+//!   forwarding tables (and by the LISP map-cache).
+//! * [`stack`] — helpers to build and parse full IPv4/UDP/TCP datagrams,
+//!   shared by every endpoint node in the workspace.
+//! * [`router`] — a transit IPv4 router [`netsim::Node`]: parses real
+//!   headers, decrements TTL, verifies and refreshes checksums, forwards
+//!   by longest-prefix match.
+//! * [`tcp`] — a minimal TCP connection state machine (3-way handshake +
+//!   counted data segments), enough to measure the paper's
+//!   connection-establishment latencies.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod addr;
+pub mod lpm;
+pub mod router;
+pub mod stack;
+pub mod tcp;
+
+pub use addr::Prefix;
+pub use lpm::LpmTrie;
+pub use router::Router;
+pub use stack::{IpStack, Parsed};
+pub use tcp::{TcpEvent, TcpMachine, TcpState};

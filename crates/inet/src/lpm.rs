@@ -1,0 +1,256 @@
+//! A longest-prefix-match binary trie.
+//!
+//! Keys are [`Prefix`]es; values are generic. Lookup walks the trie bit by
+//! bit and remembers the deepest node holding a value — classic unibit
+//! trie, simple and verifiable (per the smoltcp philosophy, no compressed
+//! path tricks; route tables in these experiments are small).
+
+use crate::addr::Prefix;
+use lispwire::Ipv4Address;
+
+#[derive(Debug, Clone)]
+struct TrieNode<V> {
+    value: Option<V>,
+    children: [Option<Box<TrieNode<V>>>; 2],
+}
+
+impl<V> Default for TrieNode<V> {
+    fn default() -> Self {
+        Self { value: None, children: [None, None] }
+    }
+}
+
+/// A longest-prefix-match table from [`Prefix`] to `V`.
+#[derive(Debug, Clone, Default)]
+pub struct LpmTrie<V> {
+    root: TrieNode<V>,
+    len: usize,
+}
+
+fn bit(addr: u32, depth: u8) -> usize {
+    ((addr >> (31 - depth)) & 1) as usize
+}
+
+impl<V> LpmTrie<V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self { root: TrieNode::default(), len: 0 }
+    }
+
+    /// Number of installed prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefixes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) the value for `prefix`. Returns the previous
+    /// value if the prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let addr = prefix.addr().to_u32();
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = bit(addr, depth);
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup of a prefix.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let addr = prefix.addr().to_u32();
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let b = bit(addr, depth);
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match mutable lookup of a prefix.
+    pub fn get_mut(&mut self, prefix: &Prefix) -> Option<&mut V> {
+        let addr = prefix.addr().to_u32();
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = bit(addr, depth);
+            node = node.children[b].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Remove a prefix, returning its value. (Empty branches are left in
+    /// place; tables in this workspace are built once and queried often.)
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        let addr = prefix.addr().to_u32();
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = bit(addr, depth);
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix-match lookup: the value of the most specific
+    /// installed prefix containing `addr`, with its prefix.
+    pub fn lookup(&self, addr: Ipv4Address) -> Option<(Prefix, &V)> {
+        let a = addr.to_u32();
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for depth in 0..32u8 {
+            let b = bit(a, depth);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Prefix::new(addr, len), v))
+    }
+
+    /// Shorthand: just the matched value.
+    pub fn lookup_value(&self, addr: Ipv4Address) -> Option<&V> {
+        self.lookup(addr).map(|(_, v)| v)
+    }
+
+    /// Visit every `(prefix, value)` pair in lexicographic bit order.
+    pub fn for_each(&self, mut f: impl FnMut(Prefix, &V)) {
+        fn walk<V>(node: &TrieNode<V>, addr: u32, depth: u8, f: &mut impl FnMut(Prefix, &V)) {
+            if let Some(v) = &node.value {
+                f(Prefix::new(Ipv4Address::from_u32(addr), depth), v);
+            }
+            if depth == 32 {
+                return;
+            }
+            if let Some(child) = node.children[0].as_deref() {
+                walk(child, addr, depth + 1, f);
+            }
+            if let Some(child) = node.children[1].as_deref() {
+                walk(child, addr | (1 << (31 - depth)), depth + 1, f);
+            }
+        }
+        walk(&self.root, 0, 0, &mut f);
+    }
+
+    /// Collect all entries (mainly for tests and reports).
+    pub fn entries(&self) -> Vec<(Prefix, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.collect_entries(&self.root, 0, 0, &mut out);
+        out
+    }
+
+    fn collect_entries<'a>(
+        &'a self,
+        node: &'a TrieNode<V>,
+        addr: u32,
+        depth: u8,
+        out: &mut Vec<(Prefix, &'a V)>,
+    ) {
+        if let Some(v) = &node.value {
+            out.push((Prefix::new(Ipv4Address::from_u32(addr), depth), v));
+        }
+        if depth == 32 {
+            return;
+        }
+        if let Some(child) = node.children[0].as_deref() {
+            self.collect_entries(child, addr, depth + 1, out);
+        }
+        if let Some(child) = node.children[1].as_deref() {
+            self.collect_entries(child, addr | (1 << (31 - depth)), depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(s)
+    }
+    fn p(s: [u8; 4], len: u8) -> Prefix {
+        Prefix::new(a(s), len)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = LpmTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p([10, 0, 0, 0], 8), "ten"), None);
+        assert_eq!(t.insert(p([10, 0, 0, 0], 8), "TEN"), Some("ten"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p([10, 0, 0, 0], 8)), Some(&"TEN"));
+        assert_eq!(t.get(&p([10, 0, 0, 0], 9)), None);
+        assert_eq!(t.remove(&p([10, 0, 0, 0], 8)), Some("TEN"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut t = LpmTrie::new();
+        t.insert(Prefix::DEFAULT, 0u32);
+        t.insert(p([10, 0, 0, 0], 8), 1);
+        t.insert(p([10, 1, 0, 0], 16), 2);
+        t.insert(p([10, 1, 2, 0], 24), 3);
+        assert_eq!(t.lookup_value(a([11, 0, 0, 1])), Some(&0));
+        assert_eq!(t.lookup_value(a([10, 9, 9, 9])), Some(&1));
+        assert_eq!(t.lookup_value(a([10, 1, 9, 9])), Some(&2));
+        assert_eq!(t.lookup_value(a([10, 1, 2, 9])), Some(&3));
+        let (matched, v) = t.lookup(a([10, 1, 2, 9])).unwrap();
+        assert_eq!(matched, p([10, 1, 2, 0], 24));
+        assert_eq!(*v, 3);
+    }
+
+    #[test]
+    fn no_default_no_match() {
+        let mut t = LpmTrie::new();
+        t.insert(p([10, 0, 0, 0], 8), ());
+        assert!(t.lookup(a([11, 0, 0, 1])).is_none());
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = LpmTrie::new();
+        t.insert(Prefix::host(a([10, 0, 0, 1])), "h1");
+        t.insert(Prefix::host(a([10, 0, 0, 2])), "h2");
+        assert_eq!(t.lookup_value(a([10, 0, 0, 1])), Some(&"h1"));
+        assert_eq!(t.lookup_value(a([10, 0, 0, 2])), Some(&"h2"));
+        assert_eq!(t.lookup_value(a([10, 0, 0, 3])), None);
+    }
+
+    #[test]
+    fn entries_enumerates_all() {
+        let mut t = LpmTrie::new();
+        let prefixes = [p([10, 0, 0, 0], 8), p([11, 0, 0, 0], 8), p([10, 128, 0, 0], 9)];
+        for (i, pre) in prefixes.iter().enumerate() {
+            t.insert(*pre, i);
+        }
+        let entries = t.entries();
+        assert_eq!(entries.len(), 3);
+        for pre in &prefixes {
+            assert!(entries.iter().any(|(q, _)| q == pre));
+        }
+    }
+
+    #[test]
+    fn default_only() {
+        let mut t = LpmTrie::new();
+        t.insert(Prefix::DEFAULT, 9u8);
+        assert_eq!(t.lookup_value(a([255, 255, 255, 255])), Some(&9));
+        assert_eq!(t.lookup_value(a([0, 0, 0, 0])), Some(&9));
+    }
+}

@@ -1,0 +1,286 @@
+//! A minimal TCP connection state machine.
+//!
+//! Implements exactly what the paper's latency equations need: the
+//! three-way handshake with precise timing of when each side considers the
+//! connection established, plus simple counted data segments (no
+//! retransmission, no flow control — links in these experiments are
+//! loss-free unless fault injection is explicitly enabled, in which case
+//! handshake failures are themselves a measured outcome).
+//!
+//! The machine is transport-only: it consumes and produces [`TcpRepr`]
+//! segments; the owning node wraps them in IPv4 via [`crate::IpStack`].
+
+use lispwire::tcpseg::{TcpFlags, TcpRepr};
+use netsim::Ns;
+
+/// Connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Initial state.
+    Closed,
+    /// Client sent SYN.
+    SynSent,
+    /// Server received SYN, sent SYN-ACK.
+    SynReceived,
+    /// Handshake complete.
+    Established,
+}
+
+/// What the machine wants the owner to do after an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// Transmit this segment to the peer.
+    Send(TcpRepr),
+    /// The connection just became established (at the local side).
+    Established,
+    /// Transmit and also note establishment (server completing on ACK
+    /// with data, or client on SYN-ACK: send final ACK + established).
+    SendAndEstablish(TcpRepr),
+    /// Nothing to do.
+    None,
+}
+
+/// One endpoint of a TCP connection.
+#[derive(Debug, Clone)]
+pub struct TcpMachine {
+    /// Current state.
+    pub state: TcpState,
+    /// Local port.
+    pub local_port: u16,
+    /// Remote port.
+    pub remote_port: u16,
+    /// Next sequence number to send.
+    pub snd_nxt: u32,
+    /// Next sequence number expected.
+    pub rcv_nxt: u32,
+    /// When the connection was initiated (client: SYN sent).
+    pub opened_at: Option<Ns>,
+    /// When the connection became established locally.
+    pub established_at: Option<Ns>,
+    /// Data bytes received in order.
+    pub bytes_received: u64,
+    /// Data bytes sent.
+    pub bytes_sent: u64,
+}
+
+impl TcpMachine {
+    /// A closed endpoint with the given ports.
+    pub fn new(local_port: u16, remote_port: u16, isn: u32) -> Self {
+        Self {
+            state: TcpState::Closed,
+            local_port,
+            remote_port,
+            snd_nxt: isn,
+            rcv_nxt: 0,
+            opened_at: None,
+            established_at: None,
+            bytes_received: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Client side: begin the handshake. Returns the SYN to transmit.
+    pub fn connect(&mut self, now: Ns) -> TcpRepr {
+        assert_eq!(self.state, TcpState::Closed, "connect on non-closed machine");
+        self.state = TcpState::SynSent;
+        self.opened_at = Some(now);
+        let seg = TcpRepr {
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            seq: self.snd_nxt,
+            ack: 0,
+            flags: TcpFlags::SYN,
+        };
+        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+        seg
+    }
+
+    /// Feed an incoming segment; `payload_len` is the number of data bytes
+    /// it carried. Returns what to do next.
+    pub fn on_segment(&mut self, now: Ns, seg: &TcpRepr, payload_len: usize) -> TcpEvent {
+        match self.state {
+            TcpState::Closed => {
+                if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::ACK) {
+                    // Passive open: reply SYN-ACK.
+                    self.state = TcpState::SynReceived;
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.opened_at = Some(now);
+                    let reply = TcpRepr {
+                        src_port: self.local_port,
+                        dst_port: self.remote_port,
+                        seq: self.snd_nxt,
+                        ack: self.rcv_nxt,
+                        flags: TcpFlags::SYN | TcpFlags::ACK,
+                    };
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                    TcpEvent::Send(reply)
+                } else {
+                    TcpEvent::None
+                }
+            }
+            TcpState::SynSent => {
+                if seg.flags.contains(TcpFlags::SYN)
+                    && seg.flags.contains(TcpFlags::ACK)
+                    && seg.ack == self.snd_nxt
+                {
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.state = TcpState::Established;
+                    self.established_at = Some(now);
+                    let ack = TcpRepr {
+                        src_port: self.local_port,
+                        dst_port: self.remote_port,
+                        seq: self.snd_nxt,
+                        ack: self.rcv_nxt,
+                        flags: TcpFlags::ACK,
+                    };
+                    TcpEvent::SendAndEstablish(ack)
+                } else {
+                    TcpEvent::None
+                }
+            }
+            TcpState::SynReceived => {
+                if seg.flags.contains(TcpFlags::ACK) && seg.ack == self.snd_nxt {
+                    self.state = TcpState::Established;
+                    self.established_at = Some(now);
+                    if payload_len > 0 {
+                        self.bytes_received += payload_len as u64;
+                        self.rcv_nxt = self.rcv_nxt.wrapping_add(payload_len as u32);
+                    }
+                    TcpEvent::Established
+                } else {
+                    TcpEvent::None
+                }
+            }
+            TcpState::Established => {
+                if payload_len > 0 {
+                    self.bytes_received += payload_len as u64;
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(payload_len as u32);
+                }
+                TcpEvent::None
+            }
+        }
+    }
+
+    /// Produce a data segment of `len` bytes (caller provides the bytes).
+    ///
+    /// # Panics
+    /// Panics if the connection is not established.
+    pub fn data_segment(&mut self, len: usize) -> TcpRepr {
+        assert_eq!(self.state, TcpState::Established, "data on non-established connection");
+        let seg = TcpRepr {
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            seq: self.snd_nxt,
+            ack: self.rcv_nxt,
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+        };
+        self.snd_nxt = self.snd_nxt.wrapping_add(len as u32);
+        self.bytes_sent += len as u64;
+        seg
+    }
+
+    /// Time from open to establishment, if both happened.
+    pub fn establishment_latency(&self) -> Option<Ns> {
+        match (self.opened_at, self.established_at) {
+            (Some(o), Some(e)) => Some(e.saturating_sub(o)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a full handshake through both machines, with `owd` between
+    /// the sides, and return (client, server).
+    fn handshake(owd: Ns) -> (TcpMachine, TcpMachine) {
+        let mut c = TcpMachine::new(40000, 80, 1000);
+        let mut s = TcpMachine::new(80, 40000, 9000);
+        let t0 = Ns::ZERO;
+        let syn = c.connect(t0);
+        // SYN arrives at server after owd.
+        let ev = s.on_segment(t0 + owd, &syn, 0);
+        let synack = match ev {
+            TcpEvent::Send(seg) => seg,
+            other => panic!("expected SYN-ACK, got {other:?}"),
+        };
+        assert_eq!(s.state, TcpState::SynReceived);
+        // SYN-ACK arrives at client after another owd.
+        let ev = c.on_segment(t0 + owd * 2, &synack, 0);
+        let ack = match ev {
+            TcpEvent::SendAndEstablish(seg) => seg,
+            other => panic!("expected final ACK, got {other:?}"),
+        };
+        assert_eq!(c.state, TcpState::Established);
+        // ACK arrives at server.
+        let ev = s.on_segment(t0 + owd * 3, &ack, 0);
+        assert_eq!(ev, TcpEvent::Established);
+        assert_eq!(s.state, TcpState::Established);
+        (c, s)
+    }
+
+    #[test]
+    fn three_way_handshake_times() {
+        let owd = Ns::from_ms(40);
+        let (c, s) = handshake(owd);
+        // Client establishes after 2 OWD (SYN out, SYN-ACK back).
+        assert_eq!(c.establishment_latency(), Some(owd * 2));
+        // Server establishes after SYN->(t=owd) .. ACK(t=3*owd): 2 OWD later.
+        assert_eq!(s.establishment_latency(), Some(owd * 2));
+    }
+
+    #[test]
+    fn data_counted() {
+        let (mut c, mut s) = handshake(Ns::from_ms(1));
+        let seg = c.data_segment(500);
+        assert_eq!(c.bytes_sent, 500);
+        let ev = s.on_segment(Ns::from_ms(10), &seg, 500);
+        assert_eq!(ev, TcpEvent::None);
+        assert_eq!(s.bytes_received, 500);
+        assert_eq!(s.rcv_nxt, 1001 + 500);
+    }
+
+    #[test]
+    fn stray_segments_ignored() {
+        let mut s = TcpMachine::new(80, 40000, 1);
+        // ACK to a closed socket: ignored.
+        let ack = TcpRepr { src_port: 40000, dst_port: 80, seq: 5, ack: 6, flags: TcpFlags::ACK };
+        assert_eq!(s.on_segment(Ns::ZERO, &ack, 0), TcpEvent::None);
+        assert_eq!(s.state, TcpState::Closed);
+
+        let mut c = TcpMachine::new(40000, 80, 1);
+        c.connect(Ns::ZERO);
+        // Wrong ack number: ignored.
+        let bad = TcpRepr {
+            src_port: 80,
+            dst_port: 40000,
+            seq: 0,
+            ack: 999,
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+        };
+        assert_eq!(c.on_segment(Ns::from_ms(1), &bad, 0), TcpEvent::None);
+        assert_eq!(c.state, TcpState::SynSent);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-established")]
+    fn data_before_established_panics() {
+        let mut c = TcpMachine::new(1, 2, 3);
+        let _ = c.data_segment(10);
+    }
+
+    #[test]
+    fn syn_with_ack_does_not_passive_open() {
+        let mut s = TcpMachine::new(80, 40000, 1);
+        let synack = TcpRepr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 0,
+            ack: 1,
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+        };
+        assert_eq!(s.on_segment(Ns::ZERO, &synack, 0), TcpEvent::None);
+        assert_eq!(s.state, TcpState::Closed);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: the LPM trie must agree with a linear-scan oracle on
+//! arbitrary route tables, and prefix algebra must be self-consistent.
+
+use inet::{LpmTrie, Prefix};
+use lispwire::Ipv4Address;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(Ipv4Address::from_u32(addr), len))
+}
+
+/// Oracle: longest matching prefix by linear scan.
+fn oracle_lookup(table: &HashMap<Prefix, u32>, addr: Ipv4Address) -> Option<(Prefix, u32)> {
+    table
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, v)| (*p, *v))
+}
+
+proptest! {
+    #[test]
+    fn trie_matches_linear_oracle(
+        routes in prop::collection::hash_map(arb_prefix(), any::<u32>(), 0..40),
+        queries in prop::collection::vec(any::<u32>(), 0..60),
+    ) {
+        let mut trie = LpmTrie::new();
+        for (p, v) in &routes {
+            trie.insert(*p, *v);
+        }
+        prop_assert_eq!(trie.len(), routes.len());
+        for q in queries {
+            let addr = Ipv4Address::from_u32(q);
+            let got = trie.lookup(addr).map(|(p, v)| (p, *v));
+            let want = oracle_lookup(&routes, addr);
+            match (got, want) {
+                (None, None) => {}
+                (Some((gp, gv)), Some((wp, wv))) => {
+                    // Same specificity; values must match when lengths match
+                    // (duplicate-length different-prefix cannot both contain addr).
+                    prop_assert_eq!(gp.len(), wp.len());
+                    prop_assert_eq!(gv, wv);
+                }
+                other => prop_assert!(false, "mismatch: {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn insert_remove_restores(routes in prop::collection::hash_map(arb_prefix(), any::<u32>(), 1..20)) {
+        let mut trie = LpmTrie::new();
+        for (p, v) in &routes {
+            trie.insert(*p, *v);
+        }
+        let keys: Vec<Prefix> = routes.keys().copied().collect();
+        // Remove half, re-query the rest.
+        let (gone, kept) = keys.split_at(keys.len() / 2);
+        for p in gone {
+            prop_assert_eq!(trie.remove(p), Some(routes[p]));
+        }
+        for p in gone {
+            prop_assert_eq!(trie.get(p), None);
+        }
+        for p in kept {
+            prop_assert_eq!(trie.get(p), Some(&routes[p]));
+        }
+        prop_assert_eq!(trie.len(), kept.len());
+    }
+
+    #[test]
+    fn prefix_contains_consistent_with_covers(p1 in arb_prefix(), p2 in arb_prefix()) {
+        if p1.covers(&p2) {
+            // Every address in p2 is in p1; check its network and a probe.
+            prop_assert!(p1.contains(p2.addr()));
+            prop_assert!(p1.contains(p2.nth_host(1)));
+        }
+        // covers is a partial order: reflexive and antisymmetric.
+        prop_assert!(p1.covers(&p1));
+        if p1.covers(&p2) && p2.covers(&p1) {
+            prop_assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn nth_host_stays_inside(p in arb_prefix(), i in any::<u32>()) {
+        prop_assert!(p.contains(p.nth_host(i)));
+    }
+
+    #[test]
+    fn entries_roundtrip(routes in prop::collection::hash_map(arb_prefix(), any::<u32>(), 0..30)) {
+        let mut trie = LpmTrie::new();
+        for (p, v) in &routes {
+            trie.insert(*p, *v);
+        }
+        let entries = trie.entries();
+        prop_assert_eq!(entries.len(), routes.len());
+        for (p, v) in entries {
+            prop_assert_eq!(routes.get(&p), Some(v));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! `ircte` — Intelligent Route Control and Traffic Engineering.
+//!
+//! The paper's PCEs run "an online IRC engine … in background, so the
+//! mapping is always known aforehand" (step 6) and compute ingress RLOCs
+//! "based on TE constraints … inherently the same used today by
+//! Intelligent Route Control techniques" (step 1). This crate provides
+//! that engine:
+//!
+//! * [`monitor`] — per-provider path monitors (EWMA latency and loss).
+//! * [`policy`] — deterministic selection policies: lowest latency,
+//!   lowest loss, lowest cost, weighted load balance, and a composite
+//!   score.
+//! * [`objective`] — the TE objective: minimise the maximum provider
+//!   utilisation; greedy flow assignment plus imbalance metrics.
+//! * [`engine`] — the [`engine::IrcEngine`] tying them together: choose
+//!   ingress/egress RLOCs per flow, track allocated load, re-optimise.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod monitor;
+pub mod objective;
+pub mod policy;
+
+pub use engine::{IrcEngine, Provider, ProviderId};
+pub use monitor::PathMonitor;
+pub use objective::{assign_min_max, Imbalance};
+pub use policy::SelectionPolicy;

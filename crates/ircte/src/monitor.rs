@@ -1,0 +1,129 @@
+//! Path monitoring: exponentially-weighted moving averages of latency and
+//! loss per provider path, fed by active probes or passive observation.
+
+use netsim::Ns;
+
+/// EWMA smoothing factor numerator (alpha = 1/8, RFC 6298-style).
+const ALPHA_NUM: u64 = 1;
+const ALPHA_DEN: u64 = 8;
+
+/// A per-path monitor.
+#[derive(Debug, Clone)]
+pub struct PathMonitor {
+    srtt: Option<Ns>,
+    loss_ewma: f64,
+    samples: u64,
+    losses: u64,
+}
+
+impl Default for PathMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PathMonitor {
+    /// A fresh monitor with no samples.
+    pub fn new() -> Self {
+        Self { srtt: None, loss_ewma: 0.0, samples: 0, losses: 0 }
+    }
+
+    /// Feed a successful probe with measured round-trip time.
+    pub fn record_rtt(&mut self, rtt: Ns) {
+        self.samples += 1;
+        self.srtt = Some(match self.srtt {
+            None => rtt,
+            Some(s) => {
+                // srtt = (1-a)*srtt + a*rtt, in integer ns.
+                Ns((s.0 * (ALPHA_DEN - ALPHA_NUM) + rtt.0 * ALPHA_NUM) / ALPHA_DEN)
+            }
+        });
+        self.loss_ewma *= 1.0 - (ALPHA_NUM as f64 / ALPHA_DEN as f64);
+    }
+
+    /// Feed a lost probe.
+    pub fn record_loss(&mut self) {
+        self.samples += 1;
+        self.losses += 1;
+        let a = ALPHA_NUM as f64 / ALPHA_DEN as f64;
+        self.loss_ewma = self.loss_ewma * (1.0 - a) + a;
+    }
+
+    /// Smoothed RTT, if any sample succeeded.
+    pub fn srtt(&self) -> Option<Ns> {
+        self.srtt
+    }
+
+    /// Smoothed loss estimate in [0, 1].
+    pub fn loss(&self) -> f64 {
+        self.loss_ewma
+    }
+
+    /// Total probes fed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Raw loss fraction over all samples.
+    pub fn raw_loss_ratio(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.losses as f64 / self.samples as f64
+        }
+    }
+
+    /// True once the monitor has enough data to be trusted.
+    pub fn warmed_up(&self) -> bool {
+        self.samples >= 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_sets_srtt() {
+        let mut m = PathMonitor::new();
+        assert_eq!(m.srtt(), None);
+        m.record_rtt(Ns::from_ms(40));
+        assert_eq!(m.srtt(), Some(Ns::from_ms(40)));
+    }
+
+    #[test]
+    fn ewma_converges_toward_new_level() {
+        let mut m = PathMonitor::new();
+        m.record_rtt(Ns::from_ms(100));
+        for _ in 0..100 {
+            m.record_rtt(Ns::from_ms(20));
+        }
+        let s = m.srtt().unwrap();
+        assert!(s < Ns::from_ms(22), "srtt {s}");
+        assert!(s >= Ns::from_ms(20));
+    }
+
+    #[test]
+    fn loss_ewma_rises_and_decays() {
+        let mut m = PathMonitor::new();
+        for _ in 0..10 {
+            m.record_loss();
+        }
+        assert!(m.loss() > 0.5);
+        for _ in 0..50 {
+            m.record_rtt(Ns::from_ms(10));
+        }
+        assert!(m.loss() < 0.01);
+        assert_eq!(m.raw_loss_ratio(), 10.0 / 60.0);
+    }
+
+    #[test]
+    fn warmup_threshold() {
+        let mut m = PathMonitor::new();
+        assert!(!m.warmed_up());
+        m.record_rtt(Ns::from_ms(1));
+        m.record_loss();
+        m.record_rtt(Ns::from_ms(1));
+        assert!(m.warmed_up());
+    }
+}

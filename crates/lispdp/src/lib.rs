@@ -1,0 +1,26 @@
+//! `lispdp` — the LISP data plane (draft-farinacci-lisp-08).
+//!
+//! * [`mapcache`] — the ITR's EID-prefix map-cache with TTL aging and a
+//!   bounded capacity with deterministic LRU eviction.
+//! * [`policy`] — what an ITR does with packets that miss the cache while
+//!   the mapping resolves: **Drop** (default LISP), **Queue** (bounded
+//!   buffer, flushed on install), or **DataOverCp** (the palliative the
+//!   paper criticises: data rides the control plane).
+//! * [`xtr`] — the border-router node combining ITR and ETR roles:
+//!   encapsulates site traffic toward remote RLOCs (real outer
+//!   IPv4+UDP+LISP headers), decapsulates tunnel traffic toward the site,
+//!   gleans reverse mappings (vanilla LISP), accepts PCE flow-mapping
+//!   pushes (the paper's step 7b `(E_S, E_D, RLOC_S, RLOC_D)` tuples with
+//!   independent one-way tunnels), and multicasts reverse-sync messages to
+//!   peer ETRs on first decapsulation (the paper's two-way completion).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod mapcache;
+pub mod policy;
+pub mod xtr;
+
+pub use mapcache::{CacheEntry, MapCache};
+pub use policy::MissPolicy;
+pub use xtr::{CpMode, Xtr, XtrConfig};

@@ -1,0 +1,254 @@
+//! The ITR map-cache: EID-prefix → locator set, with TTL aging and a
+//! bounded capacity evicted in deterministic least-recently-used order.
+//!
+//! The paper's weakness 1 ("a hit might not necessarily be found, either
+//! because the mapping has aged out, or simply because it was never
+//! requested before") is exactly what this structure models; experiment
+//! E6 sweeps its TTL against workload skew.
+
+use inet::{LpmTrie, Prefix};
+use lispwire::lispctl::MapRecord;
+use lispwire::Ipv4Address;
+use netsim::Ns;
+
+/// One cached mapping.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The mapping record (locator set with priorities/weights).
+    pub record: MapRecord,
+    /// When the entry was installed.
+    pub inserted: Ns,
+    /// When it expires.
+    pub expires: Ns,
+    /// Last lookup that hit it (drives LRU eviction).
+    pub last_used: Ns,
+    /// Number of hits.
+    pub hits: u64,
+}
+
+impl CacheEntry {
+    /// The prefix this entry covers.
+    pub fn prefix(&self) -> Prefix {
+        Prefix::new(self.record.eid_prefix, self.record.prefix_len)
+    }
+}
+
+/// The map-cache.
+#[derive(Debug, Clone)]
+pub struct MapCache {
+    trie: LpmTrie<CacheEntry>,
+    max_entries: usize,
+    /// Lookup hits.
+    pub hit_count: u64,
+    /// Lookup misses (no entry or expired).
+    pub miss_count: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries dropped because they expired.
+    pub expirations: u64,
+}
+
+impl MapCache {
+    /// A cache holding at most `max_entries` mappings.
+    pub fn new(max_entries: usize) -> Self {
+        Self {
+            trie: LpmTrie::new(),
+            max_entries,
+            hit_count: 0,
+            miss_count: 0,
+            evictions: 0,
+            expirations: 0,
+        }
+    }
+
+    /// Number of live entries (including not-yet-purged expired ones).
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Install (or refresh) a mapping at time `now`. The record TTL is in
+    /// minutes, per the LISP control format.
+    pub fn insert(&mut self, record: MapRecord, now: Ns) {
+        let prefix = Prefix::new(record.eid_prefix, record.prefix_len);
+        let ttl = Ns::from_secs(u64::from(record.ttl_minutes) * 60);
+        if self.trie.get(&prefix).is_none() && self.trie.len() >= self.max_entries {
+            self.evict_lru();
+        }
+        self.trie.insert(
+            prefix,
+            CacheEntry { record, inserted: now, expires: now + ttl, last_used: now, hits: 0 },
+        );
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .trie
+            .entries()
+            .into_iter()
+            .min_by_key(|(p, e)| (e.last_used, *p))
+            .map(|(p, _)| p);
+        if let Some(p) = victim {
+            self.trie.remove(&p);
+            self.evictions += 1;
+        }
+    }
+
+    /// Look up the mapping for `eid` at time `now`. Expired entries count
+    /// as misses (and are removed).
+    pub fn lookup(&mut self, eid: Ipv4Address, now: Ns) -> Option<&MapRecord> {
+        let matched = self.trie.lookup(eid).map(|(p, _)| p);
+        let Some(prefix) = matched else {
+            self.miss_count += 1;
+            return None;
+        };
+        // Two-phase to satisfy the borrow checker: find, then mutate.
+        let expired = {
+            let entry = self.trie.get(&prefix).expect("entry just matched");
+            entry.expires <= now
+        };
+        if expired {
+            self.trie.remove(&prefix);
+            self.expirations += 1;
+            self.miss_count += 1;
+            return None;
+        }
+        self.hit_count += 1;
+        // Update recency. get_mut is not provided by the trie; remove and
+        // reinsert would churn, so extend the trie API instead.
+        let entry = self
+            .trie
+            .get_mut(&prefix)
+            .expect("entry just matched");
+        entry.last_used = now;
+        entry.hits += 1;
+        Some(&self.trie.get(&prefix).expect("entry present").record)
+    }
+
+    /// Remove every expired entry at time `now`.
+    pub fn purge_expired(&mut self, now: Ns) {
+        let expired: Vec<Prefix> = self
+            .trie
+            .entries()
+            .into_iter()
+            .filter(|(_, e)| e.expires <= now)
+            .map(|(p, _)| p)
+            .collect();
+        for p in expired {
+            self.trie.remove(&p);
+            self.expirations += 1;
+        }
+    }
+
+    /// Remove a specific prefix.
+    pub fn remove(&mut self, prefix: &Prefix) -> bool {
+        self.trie.remove(prefix).is_some()
+    }
+
+    /// Observed hit ratio so far (0 when no lookups).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hit_count + self.miss_count;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_count as f64 / total as f64
+        }
+    }
+
+    /// All live entries (for state-size accounting in E8).
+    pub fn entries(&self) -> Vec<(Prefix, &CacheEntry)> {
+        self.trie.entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lispwire::lispctl::Locator;
+
+    fn a(o: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(o)
+    }
+
+    fn record(prefix: [u8; 4], len: u8, ttl_minutes: u16) -> MapRecord {
+        MapRecord {
+            eid_prefix: a(prefix),
+            prefix_len: len,
+            ttl_minutes,
+            locators: vec![Locator::new(a([12, 0, 0, 1]), 1, 100)],
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut c = MapCache::new(10);
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::ZERO).is_none());
+        c.insert(record([101, 0, 0, 0], 8, 5), Ns::ZERO);
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(1)).is_some());
+        assert!(c.lookup(a([102, 1, 1, 1]), Ns::from_secs(1)).is_none());
+        assert_eq!(c.hit_count, 1);
+        assert_eq!(c.miss_count, 2);
+        assert!((c.hit_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut c = MapCache::new(10);
+        c.insert(record([101, 0, 0, 0], 8, 1), Ns::ZERO); // 1 minute
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(59)).is_some());
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(60)).is_none());
+        assert_eq!(c.expirations, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = MapCache::new(2);
+        c.insert(record([101, 0, 0, 0], 8, 60), Ns::ZERO);
+        c.insert(record([102, 0, 0, 0], 8, 60), Ns::ZERO);
+        // Touch 101 so 102 becomes LRU.
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(10)).is_some());
+        c.insert(record([103, 0, 0, 0], 8, 60), Ns::from_secs(20));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions, 1);
+        assert!(c.lookup(a([102, 1, 1, 1]), Ns::from_secs(21)).is_none());
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(21)).is_some());
+        assert!(c.lookup(a([103, 1, 1, 1]), Ns::from_secs(21)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_ttl() {
+        let mut c = MapCache::new(10);
+        c.insert(record([101, 0, 0, 0], 8, 1), Ns::ZERO);
+        c.insert(record([101, 0, 0, 0], 8, 1), Ns::from_secs(50));
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(100)).is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn purge_expired_bulk() {
+        let mut c = MapCache::new(10);
+        c.insert(record([101, 0, 0, 0], 8, 1), Ns::ZERO);
+        c.insert(record([102, 0, 0, 0], 8, 2), Ns::ZERO);
+        c.purge_expired(Ns::from_secs(61));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.expirations, 1);
+    }
+
+    #[test]
+    fn longest_prefix_semantics() {
+        let mut c = MapCache::new(10);
+        c.insert(record([101, 0, 0, 0], 8, 60), Ns::ZERO);
+        let mut specific = record([101, 2, 0, 0], 16, 60);
+        specific.locators = vec![Locator::new(a([13, 0, 0, 9]), 1, 100)];
+        c.insert(specific, Ns::ZERO);
+        let got = c.lookup(a([101, 2, 3, 4]), Ns::from_secs(1)).unwrap();
+        assert_eq!(got.locators[0].rloc, a([13, 0, 0, 9]));
+        let got = c.lookup(a([101, 9, 3, 4]), Ns::from_secs(1)).unwrap();
+        assert_eq!(got.locators[0].rloc, a([12, 0, 0, 1]));
+    }
+}

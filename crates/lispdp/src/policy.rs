@@ -1,0 +1,70 @@
+//! Miss policies: what an ITR does with data packets while the
+//! EID-to-RLOC mapping is being resolved.
+//!
+//! The paper's §1 enumerates the options deployed or proposed for LISP:
+//! dropping (the default), buffering, or the "undesirable effect of using
+//! the Control Plane to transport data while the mapping is being
+//! resolved". All three are implemented so experiment E2 can compare them
+//! against the PCE control plane, which needs none of them.
+
+use netsim::Ns;
+
+/// Policy applied to cache-missing data packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissPolicy {
+    /// Drop the packet (default LISP behaviour).
+    Drop,
+    /// Buffer up to `max_packets` per EID; flush on mapping install.
+    Queue {
+        /// Per-destination buffer capacity in packets.
+        max_packets: usize,
+    },
+    /// Forward the packet through the control plane (slow path with the
+    /// given extra one-way latency and a rate penalty counted in E8).
+    DataOverCp {
+        /// Extra latency of the control-plane path.
+        extra_latency: Ns,
+    },
+}
+
+impl Default for MissPolicy {
+    fn default() -> Self {
+        MissPolicy::Drop
+    }
+}
+
+impl MissPolicy {
+    /// A queue policy with the conventional small buffer.
+    pub fn small_queue() -> Self {
+        MissPolicy::Queue { max_packets: 8 }
+    }
+
+    /// Short human-readable label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MissPolicy::Drop => "drop",
+            MissPolicy::Queue { .. } => "queue",
+            MissPolicy::DataOverCp { .. } => "data-over-cp",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(MissPolicy::Drop.label(), "drop");
+        assert_eq!(MissPolicy::small_queue().label(), "queue");
+        assert_eq!(
+            MissPolicy::DataOverCp { extra_latency: Ns::from_ms(50) }.label(),
+            "data-over-cp"
+        );
+    }
+
+    #[test]
+    fn default_is_drop() {
+        assert_eq!(MissPolicy::default(), MissPolicy::Drop);
+    }
+}

@@ -1,0 +1,1031 @@
+//! The xTR: a site border router combining ITR and ETR roles.
+//!
+//! Port convention: **port 0 faces the site**, **port 1 faces the WAN**
+//! (its provider). A domain multihomed through two providers deploys two
+//! xTRs, as in the paper's Fig. 1.
+//!
+//! The node implements three control-plane modes:
+//!
+//! * [`CpMode::Pull`] — vanilla LISP: EID-prefix map-cache, Map-Request /
+//!   Map-Reply resolution through a map-resolver address, configurable
+//!   [`MissPolicy`], and reverse-mapping *gleaning* from decapsulated
+//!   packets (the paper's observation that the ITR doubles as the local
+//!   ETR to avoid a second resolution).
+//! * [`CpMode::PushDb`] — NERD-style: the full mapping database is pushed
+//!   into the cache via `DbPush` messages; no pull path.
+//! * [`CpMode::Pce`] — the paper's control plane: per-flow
+//!   `(E_S, E_D, RLOC_S, RLOC_D)` tuples arrive from the domain PCE
+//!   (step 7b) before data flows; the encapsulation source RLOC may
+//!   differ from this router's own address (independent one-way tunnels);
+//!   on first decapsulation of a new flow the ETR installs the return
+//!   mapping, multicasts it to its peer xTRs and updates the PCE database
+//!   (the paper's two-way completion after step 8).
+
+use crate::mapcache::MapCache;
+use crate::policy::MissPolicy;
+use inet::stack::{build_udp_ip, peek_dst, peek_src, IpStack, Parsed};
+use inet::Prefix;
+use lispwire::lisp::{encapsulate, LispPacket, LispRepr};
+use lispwire::lispctl::{self, DbPush, Locator, MapRecord, MapReply, MapRequest};
+use lispwire::pcewire::{FlowMapping, PceFlowMsg, PceKind};
+use lispwire::{ports, Ipv4Address};
+use netsim::{Ctx, Node, Ns, PortId};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Which control plane feeds this xTR's mapping state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpMode {
+    /// Vanilla LISP pull through a map-resolver.
+    Pull {
+        /// Where Map-Requests are sent (None = no resolution, policy only).
+        map_resolver: Option<Ipv4Address>,
+    },
+    /// NERD-style pushed database.
+    PushDb,
+    /// The paper's PCE-based control plane.
+    Pce,
+}
+
+/// Static configuration of an xTR.
+#[derive(Debug, Clone)]
+pub struct XtrConfig {
+    /// This router's RLOC (its WAN-side, globally routable address).
+    pub rloc: Ipv4Address,
+    /// EID prefixes of the local site (decap targets, glean sources).
+    pub site_prefixes: Vec<Prefix>,
+    /// The global EID space: destinations inside it need mappings,
+    /// destinations outside it are plain-forwarded (RLOC space).
+    pub eid_space: Vec<Prefix>,
+    /// Control-plane mode.
+    pub mode: CpMode,
+    /// Policy for cache-missing data packets.
+    pub miss_policy: MissPolicy,
+    /// Map-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// The locator set advertised for this site in Map-Replies, in
+    /// priority order. Defaults to `[rloc]`.
+    pub site_locators: Vec<Locator>,
+    /// TTL (minutes) for records this xTR issues in Map-Replies.
+    pub reply_ttl_minutes: u16,
+    /// Answer Map-Requests with a /32 record for the queried EID instead
+    /// of the covering site prefix (host-granular mappings).
+    pub reply_host_granularity: bool,
+    /// TTL (minutes) for gleaned reverse mappings.
+    pub glean_ttl_minutes: u16,
+    /// Enable gleaning in Pull mode.
+    pub gleaning: bool,
+    /// Peer xTR RLOCs in the same domain (PCE reverse-sync targets).
+    pub reverse_sync_peers: Vec<Ipv4Address>,
+    /// The domain PCE database address to notify on reverse sync.
+    pub pced_addr: Option<Ipv4Address>,
+    /// RLOC-space subnets *inside* the site (DNS servers, PCEs): plain
+    /// WAN packets to these are forwarded onto the site port, and plain
+    /// site packets from them go out unencapsulated.
+    pub internal_plain_prefixes: Vec<Prefix>,
+    /// Map-Request retransmit interval.
+    pub request_retransmit: Ns,
+    /// Map-Request max transmissions.
+    pub request_max_tries: u32,
+}
+
+impl XtrConfig {
+    /// A sane default configuration for the given RLOC and site prefix.
+    pub fn new(rloc: Ipv4Address, site_prefix: Prefix, eid_space: Vec<Prefix>, mode: CpMode) -> Self {
+        Self {
+            rloc,
+            site_prefixes: vec![site_prefix],
+            eid_space,
+            mode,
+            miss_policy: MissPolicy::Drop,
+            cache_capacity: 65_536,
+            site_locators: vec![Locator::new(rloc, 1, 100)],
+            reply_ttl_minutes: 60,
+            reply_host_granularity: false,
+            glean_ttl_minutes: 5,
+            gleaning: true,
+            reverse_sync_peers: Vec::new(),
+            pced_addr: None,
+            internal_plain_prefixes: Vec::new(),
+            request_retransmit: Ns::from_secs(1),
+            request_max_tries: 3,
+        }
+    }
+}
+
+const SITE_PORT: PortId = 0;
+const WAN_PORT: PortId = 1;
+const TOKEN_RETRY_BASE: u64 = 0x4000_0000_0000_0000;
+const TOKEN_CP_RELEASE: u64 = 0x2000_0000_0000_0000;
+
+#[derive(Debug, Default, Clone)]
+/// Public data-plane counters of an xTR.
+pub struct XtrStats {
+    /// Packets received from the site side.
+    pub from_site: u64,
+    /// Packets encapsulated toward a remote RLOC.
+    pub encap: u64,
+    /// Non-EID packets plain-forwarded to the WAN.
+    pub plain_to_wan: u64,
+    /// Non-LISP WAN packets delivered into the site.
+    pub plain_to_site: u64,
+    /// Cache-miss events (one per missing packet).
+    pub miss_events: u64,
+    /// Packets dropped by the Drop policy.
+    pub miss_drops: u64,
+    /// Packets buffered by the Queue policy.
+    pub queued: u64,
+    /// Packets dropped because the per-EID queue was full.
+    pub queue_overflow_drops: u64,
+    /// Buffered packets flushed after mapping install.
+    pub flushed: u64,
+    /// Packets carried over the control plane (DataOverCp policy).
+    pub cp_data_packets: u64,
+    /// Tunnel packets decapsulated.
+    pub decap: u64,
+    /// Decapsulated packets delivered into the site.
+    pub decap_to_site: u64,
+    /// Reverse mappings gleaned (vanilla LISP).
+    pub gleaned: u64,
+    /// Reverse-sync messages sent (PCE mode).
+    pub reverse_syncs_sent: u64,
+    /// Flow mappings installed (pushes + syncs).
+    pub flow_installs: u64,
+    /// Flow mappings withdrawn.
+    pub flow_withdrawals: u64,
+    /// Map-Requests sent (first transmissions).
+    pub map_requests_sent: u64,
+    /// Map-Request retransmissions.
+    pub map_request_retries: u64,
+    /// Map-Replies received.
+    pub map_replies_received: u64,
+    /// Map-Requests answered (ETR authority role).
+    pub map_requests_answered: u64,
+    /// Records installed from DbPush messages.
+    pub db_records_installed: u64,
+    /// Malformed / unparseable packets seen.
+    pub malformed: u64,
+}
+
+/// The xTR node.
+pub struct Xtr {
+    /// Static configuration.
+    pub cfg: XtrConfig,
+    stack: IpStack,
+    /// The EID-prefix map-cache (Pull and PushDb modes; also gleans).
+    pub cache: MapCache,
+    /// The PCE per-flow table: `(src_eid, dst_eid)` → mapping.
+    pub flows: BTreeMap<(Ipv4Address, Ipv4Address), FlowMapping>,
+    pending: BTreeMap<Ipv4Address, VecDeque<(Vec<u8>, Ns)>>,
+    in_flight: BTreeMap<Ipv4Address, (u64, u32)>, // eid -> (nonce, tries)
+    cp_release: VecDeque<Vec<u8>>,
+    seen_wan_flows: BTreeSet<(Ipv4Address, Ipv4Address)>,
+    nonce_counter: u64,
+    /// Data-plane counters.
+    pub stats: XtrStats,
+    /// Encapsulated packets per outer destination RLOC (TE accounting).
+    pub tx_per_rloc: BTreeMap<Ipv4Address, u64>,
+    /// Encapsulated packets per outer *source* RLOC (one-way tunnel use).
+    pub tx_per_src_rloc: BTreeMap<Ipv4Address, u64>,
+    /// Queue delays experienced by flushed packets.
+    pub queue_delays: Vec<Ns>,
+}
+
+impl Xtr {
+    /// Build an xTR from its configuration.
+    pub fn new(cfg: XtrConfig) -> Self {
+        let cache_capacity = cfg.cache_capacity;
+        Self {
+            stack: IpStack::new(cfg.rloc),
+            cache: MapCache::new(cache_capacity),
+            flows: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+            cp_release: VecDeque::new(),
+            seen_wan_flows: BTreeSet::new(),
+            nonce_counter: 1,
+            stats: XtrStats::default(),
+            tx_per_rloc: BTreeMap::new(),
+            tx_per_src_rloc: BTreeMap::new(),
+            queue_delays: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// This xTR's RLOC.
+    pub fn rloc(&self) -> Ipv4Address {
+        self.cfg.rloc
+    }
+
+    fn in_site(&self, addr: Ipv4Address) -> bool {
+        self.cfg.site_prefixes.iter().any(|p| p.contains(addr))
+    }
+
+    fn in_eid_space(&self, addr: Ipv4Address) -> bool {
+        self.cfg.eid_space.iter().any(|p| p.contains(addr))
+    }
+
+    fn in_internal_plain(&self, addr: Ipv4Address) -> bool {
+        self.cfg.internal_plain_prefixes.iter().any(|p| p.contains(addr))
+    }
+
+    /// Control messages to peers inside the domain ride the site network;
+    /// anything else exits via the provider.
+    fn control_port_for(&self, dst: Ipv4Address) -> PortId {
+        if self.in_internal_plain(dst) || self.in_site(dst) {
+            SITE_PORT
+        } else {
+            WAN_PORT
+        }
+    }
+
+    fn next_nonce(&mut self) -> u64 {
+        self.nonce_counter = self.nonce_counter.wrapping_add(1);
+        self.nonce_counter
+    }
+
+    /// Build the LISP-encapsulated packet for `inner`.
+    fn build_encap(&mut self, inner: &[u8], outer_src: Ipv4Address, outer_dst: Ipv4Address) -> Vec<u8> {
+        let nonce = (self.next_nonce() & 0x00ff_ffff) as u32;
+        let lisp_repr = LispRepr::with_nonce(nonce, self.cfg.site_locators.len() as u32);
+        let lisp_payload = encapsulate(&lisp_repr, inner);
+        build_udp_ip(outer_src, ports::LISP_DATA, outer_dst, ports::LISP_DATA, &lisp_payload, 64)
+    }
+
+    fn send_encap(&mut self, ctx: &mut Ctx<'_>, inner: Vec<u8>, outer_src: Ipv4Address, outer_dst: Ipv4Address) {
+        let pkt = self.build_encap(&inner, outer_src, outer_dst);
+        self.stats.encap += 1;
+        *self.tx_per_rloc.entry(outer_dst).or_insert(0) += 1;
+        *self.tx_per_src_rloc.entry(outer_src).or_insert(0) += 1;
+        ctx.send(WAN_PORT, pkt);
+    }
+
+    /// ITR path: a site packet toward an EID that needs a tunnel.
+    fn handle_eid_egress(&mut self, ctx: &mut Ctx<'_>, bytes: Vec<u8>, src_eid: Ipv4Address, dst_eid: Ipv4Address) {
+        // PCE flow table first (exact flow match, independent tunnels).
+        if let Some(flow) = self.flows.get(&(src_eid, dst_eid)).copied() {
+            self.send_encap(ctx, bytes, flow.rloc_s, flow.rloc_d);
+            return;
+        }
+        // Prefix map-cache.
+        let now = ctx.now();
+        let looked = self.cache.lookup(dst_eid, now).cloned();
+        if let Some(record) = looked {
+            if let Some(loc) = record.best_locator() {
+                let rloc = loc.rloc;
+                self.send_encap(ctx, bytes, self.cfg.rloc, rloc);
+                return;
+            }
+        }
+        // Miss.
+        self.stats.miss_events += 1;
+        ctx.count("xtr.miss_events", 1);
+        self.apply_miss_policy(ctx, bytes, dst_eid);
+        self.maybe_request_mapping(ctx, src_eid, dst_eid);
+    }
+
+    fn apply_miss_policy(&mut self, ctx: &mut Ctx<'_>, bytes: Vec<u8>, dst_eid: Ipv4Address) {
+        match self.cfg.miss_policy {
+            MissPolicy::Drop => {
+                self.stats.miss_drops += 1;
+                ctx.count("xtr.miss_drops", 1);
+                ctx.trace(format!("ITR {} dropped packet to {} (no mapping)", self.cfg.rloc, dst_eid));
+            }
+            MissPolicy::Queue { max_packets } => {
+                let q = self.pending.entry(dst_eid).or_default();
+                if q.len() >= max_packets {
+                    self.stats.queue_overflow_drops += 1;
+                    ctx.count("xtr.queue_overflow_drops", 1);
+                } else {
+                    q.push_back((bytes, ctx.now()));
+                    self.stats.queued += 1;
+                    ctx.count("xtr.queued", 1);
+                }
+            }
+            MissPolicy::DataOverCp { .. } => {
+                // Buffered unbounded; released onto the slow path when the
+                // mapping arrives (flush applies the extra latency).
+                self.pending.entry(dst_eid).or_default().push_back((bytes, ctx.now()));
+                self.stats.queued += 1;
+            }
+        }
+    }
+
+    fn maybe_request_mapping(&mut self, ctx: &mut Ctx<'_>, src_eid: Ipv4Address, dst_eid: Ipv4Address) {
+        let CpMode::Pull { map_resolver: Some(mr) } = self.cfg.mode else {
+            return;
+        };
+        if self.in_flight.contains_key(&dst_eid) {
+            return;
+        }
+        let nonce = self.next_nonce();
+        self.in_flight.insert(dst_eid, (nonce, 1));
+        self.stats.map_requests_sent += 1;
+        let req = MapRequest {
+            nonce,
+            source_eid: src_eid,
+            target_eid: dst_eid,
+            itr_rloc: self.cfg.rloc,
+            hop_count: 32,
+        };
+        let pkt = self.stack.udp(ports::LISP_CONTROL, mr, ports::LISP_CONTROL, &req.to_bytes());
+        ctx.trace(format!("ITR {} map-request for {}", self.cfg.rloc, dst_eid));
+        ctx.send(WAN_PORT, pkt);
+        ctx.set_timer(self.cfg.request_retransmit, TOKEN_RETRY_BASE | u64::from(dst_eid.to_u32()));
+    }
+
+    /// Install a record and flush any packets waiting on it.
+    fn install_record(&mut self, ctx: &mut Ctx<'_>, record: MapRecord, now: Ns) {
+        let prefix = Prefix::new(record.eid_prefix, record.prefix_len);
+        // The mapping is resolved for every covered EID: stop retrying.
+        let resolved: Vec<Ipv4Address> =
+            self.in_flight.keys().copied().filter(|eid| prefix.contains(*eid)).collect();
+        for eid in resolved {
+            self.in_flight.remove(&eid);
+        }
+        let covered: Vec<Ipv4Address> =
+            self.pending.keys().copied().filter(|eid| prefix.contains(*eid)).collect();
+        let best = record.best_locator().map(|l| l.rloc);
+        self.cache.insert(record, now);
+        for eid in covered {
+            let Some(rloc) = best else { continue };
+            let Some(q) = self.pending.remove(&eid) else { continue };
+            for (bytes, enqueued) in q {
+                self.stats.flushed += 1;
+                self.queue_delays.push(now.saturating_sub(enqueued));
+                match self.cfg.miss_policy {
+                    MissPolicy::DataOverCp { extra_latency } => {
+                        // The packet rode the control plane: it reaches the
+                        // WAN after the CP's extra latency.
+                        self.stats.cp_data_packets += 1;
+                        let pkt = self.build_encap(&bytes, self.cfg.rloc, rloc);
+                        self.stats.encap += 1;
+                        *self.tx_per_rloc.entry(rloc).or_insert(0) += 1;
+                        *self.tx_per_src_rloc.entry(self.cfg.rloc).or_insert(0) += 1;
+                        self.cp_release.push_back(pkt);
+                        ctx.set_timer(extra_latency, TOKEN_CP_RELEASE);
+                    }
+                    _ => {
+                        self.send_encap(ctx, bytes, self.cfg.rloc, rloc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Install a PCE flow mapping (push or reverse sync) and flush.
+    fn install_flow(&mut self, ctx: &mut Ctx<'_>, flow: FlowMapping) {
+        self.flows.insert((flow.source_eid, flow.dest_eid), flow);
+        self.stats.flow_installs += 1;
+        ctx.trace(format!(
+            "xTR {} installed flow {}->{} via ({} -> {})",
+            self.cfg.rloc, flow.source_eid, flow.dest_eid, flow.rloc_s, flow.rloc_d
+        ));
+        let now = ctx.now();
+        if let Some(q) = self.pending.remove(&flow.dest_eid) {
+            for (bytes, enqueued) in q {
+                self.stats.flushed += 1;
+                self.queue_delays.push(now.saturating_sub(enqueued));
+                self.send_encap(ctx, bytes, flow.rloc_s, flow.rloc_d);
+            }
+        }
+    }
+
+    /// ETR path: decapsulate a LISP data packet.
+    fn handle_decap(&mut self, ctx: &mut Ctx<'_>, outer_src: Ipv4Address, outer_dst: Ipv4Address, lisp_payload: &[u8]) {
+        let Ok(lisp) = LispPacket::new_checked(lisp_payload) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        let inner = lisp.payload().to_vec();
+        let (Ok(inner_src), Ok(inner_dst)) = (peek_src(&inner), peek_dst(&inner)) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        self.stats.decap += 1;
+        ctx.trace(format!(
+            "ETR {} decap {} -> {} (outer {} -> {})",
+            self.cfg.rloc, inner_src, inner_dst, outer_src, outer_dst
+        ));
+
+        // ETR reverse-mapping duties on the first packet of a flow.
+        if self.seen_wan_flows.insert((inner_src, inner_dst)) {
+            match self.cfg.mode {
+                CpMode::Pull { .. } if self.cfg.gleaning => {
+                    // Vanilla LISP: glean "inner_src is reachable at
+                    // outer_src" so return traffic avoids a resolution.
+                    let rec = MapRecord::host(inner_src, outer_src, self.cfg.glean_ttl_minutes);
+                    let now = ctx.now();
+                    self.install_record(ctx, rec, now);
+                    self.stats.gleaned += 1;
+                    ctx.count("xtr.gleaned", 1);
+                }
+                CpMode::Pce => {
+                    // The paper, after step 8: install the return mapping,
+                    // multicast it to the peer xTRs, update the PCE DB.
+                    let reverse = FlowMapping {
+                        source_eid: inner_dst,
+                        dest_eid: inner_src,
+                        rloc_s: outer_dst,
+                        rloc_d: outer_src,
+                        ttl_minutes: self.cfg.reply_ttl_minutes,
+                    };
+                    self.install_flow(ctx, reverse);
+                    let msg = PceFlowMsg { kind: PceKind::ReverseSync, mapping: reverse };
+                    let body = msg.to_bytes();
+                    let peers: Vec<Ipv4Address> = self.cfg.reverse_sync_peers.clone();
+                    for peer in peers {
+                        if peer == self.cfg.rloc {
+                            continue;
+                        }
+                        let port = self.control_port_for(peer);
+                        let pkt = self.stack.udp(ports::ETR_SYNC, peer, ports::ETR_SYNC, &body);
+                        ctx.send(port, pkt);
+                        self.stats.reverse_syncs_sent += 1;
+                    }
+                    if let Some(pced) = self.cfg.pced_addr {
+                        let port = self.control_port_for(pced);
+                        let pkt = self.stack.udp(ports::ETR_SYNC, pced, ports::ETR_SYNC, &body);
+                        ctx.send(port, pkt);
+                        self.stats.reverse_syncs_sent += 1;
+                    }
+                    ctx.trace(format!("ETR {} reverse-sync for flow {} -> {}", self.cfg.rloc, inner_dst, inner_src));
+                }
+                _ => {}
+            }
+        }
+
+        if self.in_site(inner_dst) {
+            self.stats.decap_to_site += 1;
+            ctx.send(SITE_PORT, inner);
+        } else {
+            self.stats.malformed += 1;
+        }
+    }
+
+    /// Handle a LISP control message arriving on UDP 4342.
+    fn handle_control(&mut self, ctx: &mut Ctx<'_>, src: Ipv4Address, payload: &[u8]) {
+        match lispctl::message_type(payload) {
+            Ok(lispctl::TYPE_MAP_REQUEST) => {
+                let Ok(req) = MapRequest::from_bytes(payload) else {
+                    self.stats.malformed += 1;
+                    return;
+                };
+                // ETR authority role: answer for our site prefixes.
+                let Some(prefix) = self.cfg.site_prefixes.iter().find(|p| p.contains(req.target_eid)) else {
+                    return;
+                };
+                let record = if self.cfg.reply_host_granularity {
+                    MapRecord {
+                        eid_prefix: req.target_eid,
+                        prefix_len: 32,
+                        ttl_minutes: self.cfg.reply_ttl_minutes,
+                        locators: self.cfg.site_locators.clone(),
+                    }
+                } else {
+                    MapRecord {
+                        eid_prefix: prefix.addr(),
+                        prefix_len: prefix.len(),
+                        ttl_minutes: self.cfg.reply_ttl_minutes,
+                        locators: self.cfg.site_locators.clone(),
+                    }
+                };
+                let reply = MapReply { nonce: req.nonce, records: vec![record] };
+                self.stats.map_requests_answered += 1;
+                ctx.trace(format!("ETR {} map-reply for {} to {}", self.cfg.rloc, req.target_eid, req.itr_rloc));
+                let pkt = self.stack.udp(ports::LISP_CONTROL, req.itr_rloc, ports::LISP_CONTROL, &reply.to_bytes());
+                ctx.send(WAN_PORT, pkt);
+            }
+            Ok(lispctl::TYPE_MAP_REPLY) => {
+                let Ok(reply) = MapReply::from_bytes(payload) else {
+                    self.stats.malformed += 1;
+                    return;
+                };
+                self.stats.map_replies_received += 1;
+                ctx.trace(format!("ITR {} map-reply received from {}", self.cfg.rloc, src));
+                let now = ctx.now();
+                for record in reply.records {
+                    self.install_record(ctx, record, now);
+                }
+            }
+            Ok(lispctl::TYPE_DB_PUSH) => {
+                let Ok(push) = DbPush::from_bytes(payload) else {
+                    self.stats.malformed += 1;
+                    return;
+                };
+                let now = ctx.now();
+                self.stats.db_records_installed += push.records.len() as u64;
+                for record in push.records {
+                    self.install_record(ctx, record, now);
+                }
+            }
+            _ => self.stats.malformed += 1,
+        }
+    }
+
+    /// Handle a PCE flow message (push/withdraw on `PCE_MAP`, reverse sync
+    /// on `ETR_SYNC`).
+    fn handle_pce_flow(&mut self, ctx: &mut Ctx<'_>, payload: &[u8]) {
+        let Ok(msg) = PceFlowMsg::from_bytes(payload) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        match msg.kind {
+            PceKind::MappingPush | PceKind::ReverseSync => self.install_flow(ctx, msg.mapping),
+            PceKind::MappingWithdraw => {
+                if self.flows.remove(&(msg.mapping.source_eid, msg.mapping.dest_eid)).is_some() {
+                    self.stats.flow_withdrawals += 1;
+                }
+            }
+            PceKind::DnsMapping => self.stats.malformed += 1,
+        }
+    }
+}
+
+impl Node for Xtr {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, bytes: Vec<u8>) {
+        if port == SITE_PORT {
+            self.stats.from_site += 1;
+            let (Ok(src), Ok(dst)) = (peek_src(&bytes), peek_dst(&bytes)) else {
+                self.stats.malformed += 1;
+                return;
+            };
+            // Control messages from inside the domain (PCE pushes, peer
+            // ETR syncs) addressed to this router.
+            if dst == self.cfg.rloc {
+                if let Ok(Parsed::Udp { dst_port, payload, .. }) = IpStack::parse(&bytes) {
+                    match dst_port {
+                        ports::PCE_MAP | ports::ETR_SYNC => {
+                            self.handle_pce_flow(ctx, &payload);
+                            return;
+                        }
+                        ports::LISP_CONTROL => {
+                            self.handle_control(ctx, src, &payload);
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+                return;
+            }
+            if self.in_site(dst) {
+                // Intra-site traffic hairpins back (should be rare).
+                ctx.send(SITE_PORT, bytes);
+                return;
+            }
+            if self.in_eid_space(dst) {
+                self.handle_eid_egress(ctx, bytes, src, dst);
+            } else {
+                // RLOC-space destination (DNS, PCE, control traffic):
+                // globally routable, no tunnel.
+                self.stats.plain_to_wan += 1;
+                ctx.send(WAN_PORT, bytes);
+            }
+            return;
+        }
+
+        // WAN side.
+        match IpStack::parse(&bytes) {
+            Ok(Parsed::Udp { src, dst, dst_port, payload, .. }) => match dst_port {
+                ports::LISP_DATA => self.handle_decap(ctx, src, dst, &payload),
+                ports::LISP_CONTROL if dst == self.cfg.rloc => self.handle_control(ctx, src, &payload),
+                ports::PCE_MAP if dst == self.cfg.rloc => self.handle_pce_flow(ctx, &payload),
+                ports::ETR_SYNC if dst == self.cfg.rloc => self.handle_pce_flow(ctx, &payload),
+                _ => {
+                    // Plain packet transiting into the site (RLOC-space
+                    // senders talking to site infrastructure).
+                    if self.in_site(dst) || self.in_internal_plain(dst) {
+                        self.stats.plain_to_site += 1;
+                        ctx.send(SITE_PORT, bytes);
+                    }
+                }
+            },
+            Ok(_) => {
+                if let Ok(dst) = peek_dst(&bytes) {
+                    if self.in_site(dst) || self.in_internal_plain(dst) {
+                        self.stats.plain_to_site += 1;
+                        ctx.send(SITE_PORT, bytes);
+                    }
+                }
+            }
+            Err(_) => self.stats.malformed += 1,
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token & TOKEN_CP_RELEASE != 0 {
+            if let Some(pkt) = self.cp_release.pop_front() {
+                ctx.send(WAN_PORT, pkt);
+            }
+            return;
+        }
+        if token & TOKEN_RETRY_BASE != 0 {
+            let eid = Ipv4Address::from_u32((token & 0xffff_ffff) as u32);
+            let CpMode::Pull { map_resolver: Some(mr) } = self.cfg.mode else {
+                return;
+            };
+            let Some((nonce, tries)) = self.in_flight.get(&eid).copied() else {
+                return; // answered already
+            };
+            if tries >= self.cfg.request_max_tries {
+                // Give up: drop any queued packets for this EID.
+                self.in_flight.remove(&eid);
+                if let Some(q) = self.pending.remove(&eid) {
+                    self.stats.miss_drops += q.len() as u64;
+                }
+                return;
+            }
+            self.in_flight.insert(eid, (nonce, tries + 1));
+            self.stats.map_request_retries += 1;
+            let req = MapRequest {
+                nonce,
+                source_eid: Ipv4Address::UNSPECIFIED,
+                target_eid: eid,
+                itr_rloc: self.cfg.rloc,
+                hop_count: 32,
+            };
+            let pkt = self.stack.udp(ports::LISP_CONTROL, mr, ports::LISP_CONTROL, &req.to_bytes());
+            ctx.send(WAN_PORT, pkt);
+            ctx.set_timer(self.cfg.request_retransmit, TOKEN_RETRY_BASE | u64::from(eid.to_u32()));
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{LinkCfg, Sim};
+
+    fn a(o: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(o)
+    }
+
+    fn eid_space() -> Vec<Prefix> {
+        vec![Prefix::new(a([100, 0, 0, 0]), 6)] // 100..103
+    }
+
+    /// A site host that sends prebuilt packets and records received ones.
+    struct SiteHost {
+        #[allow(dead_code)]
+        stack: IpStack,
+        outbox: Vec<Vec<u8>>,
+        pub received: Vec<(Ns, Vec<u8>)>,
+    }
+    impl Node for SiteHost {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            if let Some(pkt) = self.outbox.get(token as usize) {
+                ctx.send(0, pkt.clone());
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+            self.received.push((ctx.now(), bytes));
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// A stub map-server: answers any Map-Request with a fixed locator
+    /// after a configurable delay.
+    struct StubMapServer {
+        stack: IpStack,
+        rloc_for_everything: Ipv4Address,
+        delay: Ns,
+        queue: VecDeque<(Ipv4Address, Vec<u8>)>,
+        pub requests_seen: u64,
+    }
+    impl Node for StubMapServer {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+            let Ok(Parsed::Udp { payload, .. }) = IpStack::parse(&bytes) else { return };
+            let Ok(req) = MapRequest::from_bytes(&payload) else { return };
+            self.requests_seen += 1;
+            let reply = MapReply {
+                nonce: req.nonce,
+                records: vec![MapRecord {
+                    eid_prefix: Ipv4Address::from_u32(req.target_eid.to_u32() & 0xff00_0000),
+                    prefix_len: 8,
+                    ttl_minutes: 60,
+                    locators: vec![Locator::new(self.rloc_for_everything, 1, 100)],
+                }],
+            };
+            let pkt = self.stack.udp(ports::LISP_CONTROL, req.itr_rloc, ports::LISP_CONTROL, &reply.to_bytes());
+            self.queue.push_back((req.itr_rloc, pkt));
+            ctx.set_timer(self.delay, 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            if let Some((_, pkt)) = self.queue.pop_front() {
+                ctx.send(0, pkt);
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Two sites S (100/8 behind xtr_s @ 10.0.0.1) and D (101/8 behind
+    /// xtr_d @ 12.0.0.1) joined by a core router; a stub map-server at
+    /// 8.0.0.10.
+    struct World {
+        sim: Sim,
+        host_s: netsim::NodeId,
+        host_d: netsim::NodeId,
+        xtr_s: netsim::NodeId,
+        xtr_d: netsim::NodeId,
+        #[allow(dead_code)]
+        ms: netsim::NodeId,
+    }
+
+    fn build_world(mode_s: CpMode, mode_d: CpMode, miss_policy: MissPolicy, resolver_delay: Ns) -> World {
+        use inet::Router;
+        let mut sim = Sim::new(42);
+        sim.trace.enable();
+
+        let hs_addr = a([100, 0, 0, 5]);
+        let hd_addr = a([101, 0, 0, 7]);
+        let s_rloc = a([10, 0, 0, 1]);
+        let d_rloc = a([12, 0, 0, 1]);
+        let ms_addr = a([8, 0, 0, 10]);
+
+        let mut cfg_s = XtrConfig::new(s_rloc, Prefix::new(a([100, 0, 0, 0]), 8), eid_space(), mode_s);
+        cfg_s.miss_policy = miss_policy;
+        let mut cfg_d = XtrConfig::new(d_rloc, Prefix::new(a([101, 0, 0, 0]), 8), eid_space(), mode_d);
+        cfg_d.miss_policy = miss_policy;
+
+        let host_s = sim.add_node(
+            "host-s",
+            Box::new(SiteHost { stack: IpStack::new(hs_addr), outbox: vec![], received: vec![] }),
+        );
+        let host_d = sim.add_node(
+            "host-d",
+            Box::new(SiteHost { stack: IpStack::new(hd_addr), outbox: vec![], received: vec![] }),
+        );
+        let xtr_s = sim.add_node("xtr-s", Box::new(Xtr::new(cfg_s)));
+        let xtr_d = sim.add_node("xtr-d", Box::new(Xtr::new(cfg_d)));
+        let core = sim.add_node("core", Box::new(Router::new()));
+        let ms = sim.add_node(
+            "map-server",
+            Box::new(StubMapServer {
+                stack: IpStack::new(ms_addr),
+                rloc_for_everything: d_rloc,
+                delay: resolver_delay,
+                queue: VecDeque::new(),
+                requests_seen: 0,
+            }),
+        );
+
+        // Site links: host <-> xtr port 0.
+        sim.connect(host_s, xtr_s, LinkCfg::lan());
+        sim.connect(host_d, xtr_d, LinkCfg::lan());
+        // WAN links: xtr port 1 <-> core router.
+        let (_, c_s) = sim.connect(xtr_s, core, LinkCfg::wan(Ns::from_ms(30)));
+        let (_, c_d) = sim.connect(xtr_d, core, LinkCfg::wan(Ns::from_ms(30)));
+        let (_, c_ms) = sim.connect(ms, core, LinkCfg::wan(Ns::from_ms(10)));
+        {
+            let r = sim.node_mut::<Router>(core);
+            r.add_route(Prefix::new(a([10, 0, 0, 0]), 8), c_s);
+            r.add_route(Prefix::new(a([12, 0, 0, 0]), 8), c_d);
+            r.add_route(Prefix::new(a([8, 0, 0, 0]), 8), c_ms);
+        }
+        World { sim, host_s, host_d, xtr_s, xtr_d, ms }
+    }
+
+    fn data_packet(src: Ipv4Address, dst: Ipv4Address, tag: u8) -> Vec<u8> {
+        IpStack::new(src).udp(7000, dst, 7001, &[tag; 16])
+    }
+
+    #[test]
+    fn pull_mode_first_packet_dropped_then_flow_works() {
+        let mut w = build_world(
+            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
+            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
+            MissPolicy::Drop,
+            Ns::from_us(100),
+        );
+        let pkt1 = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 1);
+        let pkt2 = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 2);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt1, pkt2];
+        w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
+        // Second packet 500 ms later: mapping resolved by then.
+        w.sim.schedule_timer(w.host_s, Ns::from_ms(500), 1);
+        w.sim.run();
+
+        let xtr = w.sim.node_mut::<Xtr>(w.xtr_s);
+        assert_eq!(xtr.stats.miss_drops, 1);
+        assert_eq!(xtr.stats.encap, 1);
+        assert_eq!(xtr.stats.map_requests_sent, 1);
+        assert_eq!(xtr.stats.map_replies_received, 1);
+        let received = &w.sim.node_ref::<SiteHost>(w.host_d).received;
+        assert_eq!(received.len(), 1, "only the post-resolution packet arrives");
+        match IpStack::parse(&received[0].1).unwrap() {
+            Parsed::Udp { payload, .. } => assert_eq!(payload[0], 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_policy_delays_instead_of_dropping() {
+        let mut w = build_world(
+            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
+            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
+            MissPolicy::Queue { max_packets: 8 },
+            Ns::from_us(100),
+        );
+        let pkt1 = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 1);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt1];
+        w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
+        w.sim.run();
+
+        let xtr = w.sim.node_mut::<Xtr>(w.xtr_s);
+        assert_eq!(xtr.stats.miss_drops, 0);
+        assert_eq!(xtr.stats.queued, 1);
+        assert_eq!(xtr.stats.flushed, 1);
+        assert_eq!(xtr.queue_delays.len(), 1);
+        // Queue delay ≈ map-request RTT: 2×(30+10) ms + processing.
+        assert!(xtr.queue_delays[0] >= Ns::from_ms(80), "delay {}", xtr.queue_delays[0]);
+        assert_eq!(w.sim.node_ref::<SiteHost>(w.host_d).received.len(), 1);
+    }
+
+    #[test]
+    fn gleaning_avoids_reverse_resolution() {
+        let mut w = build_world(
+            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
+            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
+            MissPolicy::Queue { max_packets: 8 },
+            Ns::from_us(100),
+        );
+        let fwd = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 1);
+        let rev = data_packet(a([101, 0, 0, 7]), a([100, 0, 0, 5]), 2);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![fwd];
+        w.sim.node_mut::<SiteHost>(w.host_d).outbox = vec![rev];
+        w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
+        // Reverse traffic after the forward packet landed.
+        w.sim.schedule_timer(w.host_d, Ns::from_secs(1), 0);
+        w.sim.run();
+
+        let xtr_d = w.sim.node_mut::<Xtr>(w.xtr_d);
+        assert_eq!(xtr_d.stats.gleaned, 1);
+        assert_eq!(xtr_d.stats.map_requests_sent, 0, "gleaned mapping, no pull needed");
+        assert_eq!(xtr_d.stats.encap, 1);
+        assert_eq!(w.sim.node_ref::<SiteHost>(w.host_s).received.len(), 1);
+    }
+
+    #[test]
+    fn pce_mode_pushed_flow_forwards_first_packet() {
+        let mut w = build_world(CpMode::Pce, CpMode::Pce, MissPolicy::Drop, Ns::from_us(100));
+        // Install the flow mapping before any data, as the PCE CP does.
+        let flow = FlowMapping {
+            source_eid: a([100, 0, 0, 5]),
+            dest_eid: a([101, 0, 0, 7]),
+            rloc_s: a([10, 0, 0, 1]),
+            rloc_d: a([12, 0, 0, 1]),
+            ttl_minutes: 30,
+        };
+        {
+            let sim = &mut w.sim;
+            let xtr = sim.node_mut::<Xtr>(w.xtr_s);
+            xtr.flows.insert((flow.source_eid, flow.dest_eid), flow);
+        }
+        let pkt = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 9);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt];
+        w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
+        w.sim.run();
+
+        let xtr_s = w.sim.node_mut::<Xtr>(w.xtr_s);
+        assert_eq!(xtr_s.stats.miss_events, 0);
+        assert_eq!(xtr_s.stats.encap, 1);
+        assert_eq!(w.sim.node_ref::<SiteHost>(w.host_d).received.len(), 1);
+        // ETR installed the return flow and (having no peers configured)
+        // sent no syncs but the flow table has the reverse entry.
+        let xtr_d = w.sim.node_mut::<Xtr>(w.xtr_d);
+        assert_eq!(xtr_d.stats.flow_installs, 1);
+        assert!(xtr_d.flows.contains_key(&(a([101, 0, 0, 7]), a([100, 0, 0, 5]))));
+    }
+
+    #[test]
+    fn pce_independent_one_way_tunnels() {
+        // rloc_s differs from the ITR's own RLOC: the encapsulation source
+        // must be the mapping's rloc_s, not the router address.
+        let mut w = build_world(CpMode::Pce, CpMode::Pce, MissPolicy::Drop, Ns::from_us(100));
+        let flow = FlowMapping {
+            source_eid: a([100, 0, 0, 5]),
+            dest_eid: a([101, 0, 0, 7]),
+            rloc_s: a([11, 0, 0, 99]), // a *different* local RLOC
+            rloc_d: a([12, 0, 0, 1]),
+            ttl_minutes: 30,
+        };
+        w.sim.node_mut::<Xtr>(w.xtr_s).flows.insert((flow.source_eid, flow.dest_eid), flow);
+        let pkt = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 9);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt];
+        w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
+        w.sim.run();
+
+        let xtr_s = w.sim.node_mut::<Xtr>(w.xtr_s);
+        assert_eq!(xtr_s.tx_per_src_rloc.get(&a([11, 0, 0, 99])), Some(&1));
+        // The ETR's gleaned return flow must target that source RLOC.
+        let xtr_d = w.sim.node_mut::<Xtr>(w.xtr_d);
+        let rev = xtr_d.flows.get(&(a([101, 0, 0, 7]), a([100, 0, 0, 5]))).unwrap();
+        assert_eq!(rev.rloc_d, a([11, 0, 0, 99]));
+    }
+
+    #[test]
+    fn plain_rloc_traffic_not_encapsulated() {
+        let mut w = build_world(CpMode::Pce, CpMode::Pce, MissPolicy::Drop, Ns::from_us(100));
+        // Site host talks to the map-server address (RLOC space).
+        let pkt = data_packet(a([100, 0, 0, 5]), a([8, 0, 0, 10]), 3);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt];
+        w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
+        w.sim.run();
+        let xtr_s = w.sim.node_mut::<Xtr>(w.xtr_s);
+        assert_eq!(xtr_s.stats.plain_to_wan, 1);
+        assert_eq!(xtr_s.stats.encap, 0);
+    }
+
+    #[test]
+    fn db_push_populates_cache() {
+        let w = build_world(CpMode::PushDb, CpMode::PushDb, MissPolicy::Drop, Ns::from_us(100));
+        // Push the database into xtr_s via the control port.
+        let push = DbPush {
+            version: 1,
+            chunk: 0,
+            total_chunks: 1,
+            records: vec![MapRecord {
+                eid_prefix: a([101, 0, 0, 0]),
+                prefix_len: 8,
+                ttl_minutes: 1440,
+                locators: vec![Locator::new(a([12, 0, 0, 1]), 1, 100)],
+            }],
+        };
+        let pkt = IpStack::new(a([8, 0, 0, 10])).udp(
+            ports::LISP_CONTROL,
+            a([10, 0, 0, 1]),
+            ports::LISP_CONTROL,
+            &push.to_bytes(),
+        );
+        // Deliver the push via the map-server node's link (it sits on the
+        // core router); reuse host_d? Simplest: inject directly from the
+        // stub server by scheduling a custom send is not available, so
+        // send from the site host of S addressed to the xTR RLOC — the
+        // xTR plain-forwards site->WAN only for non-local dst, so instead
+        // parse the push at the xTR by handing it in via the WAN: use the
+        // map-server's outbox-like path. We just call the handler
+        // directly through a mini-sim with two nodes.
+        let mut sim = Sim::new(7);
+        struct Pusher {
+            pkt: Vec<u8>,
+        }
+        impl Node for Pusher {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                ctx.send(0, self.pkt.clone());
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut cfg = XtrConfig::new(
+            a([10, 0, 0, 1]),
+            Prefix::new(a([100, 0, 0, 0]), 8),
+            eid_space(),
+            CpMode::PushDb,
+        );
+        cfg.miss_policy = MissPolicy::Drop;
+        let pusher = sim.add_node("pusher", Box::new(Pusher { pkt }));
+        let xtr = sim.add_node("xtr", Box::new(Xtr::new(cfg)));
+        let site = sim.add_node("site", Box::new(SiteHost {
+            stack: IpStack::new(a([100, 0, 0, 5])),
+            outbox: vec![],
+            received: vec![],
+        }));
+        sim.connect(site, xtr, LinkCfg::lan()); // xtr port 0 = site
+        sim.connect(xtr, pusher, LinkCfg::lan()); // xtr port 1 = wan
+        sim.schedule_timer(pusher, Ns::ZERO, 0);
+        sim.run();
+        let x = sim.node_mut::<Xtr>(xtr);
+        assert_eq!(x.stats.db_records_installed, 1);
+        assert_eq!(x.cache.len(), 1);
+        drop(w);
+    }
+
+    #[test]
+    fn retransmit_gives_up_after_max_tries() {
+        // Map-resolver exists but is unreachable (no route to 9/8).
+        let mut w = build_world(
+            CpMode::Pull { map_resolver: Some(a([9, 9, 9, 9])) },
+            CpMode::Pull { map_resolver: None },
+            MissPolicy::Queue { max_packets: 8 },
+            Ns::from_us(100),
+        );
+        let pkt = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 1);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt];
+        w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
+        w.sim.run_until(Ns::from_secs(30));
+        let xtr = w.sim.node_mut::<Xtr>(w.xtr_s);
+        assert_eq!(xtr.stats.map_requests_sent, 1);
+        assert_eq!(xtr.stats.map_request_retries, 2); // tries 2 and 3
+        assert_eq!(xtr.stats.miss_drops, 1, "queued packet dropped on give-up");
+        assert!(w.sim.node_ref::<SiteHost>(w.host_d).received.is_empty());
+    }
+}

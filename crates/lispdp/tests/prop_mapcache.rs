@@ -1,0 +1,87 @@
+//! Property tests for the map-cache: capacity, TTL, and accounting
+//! invariants under arbitrary operation sequences.
+
+use lispdp::MapCache;
+use lispwire::lispctl::{Locator, MapRecord};
+use lispwire::Ipv4Address;
+use netsim::Ns;
+use proptest::prelude::*;
+
+fn record(prefix: u32, len: u8, ttl_minutes: u16) -> MapRecord {
+    MapRecord {
+        eid_prefix: Ipv4Address::from_u32(prefix),
+        prefix_len: len,
+        ttl_minutes,
+        locators: vec![Locator::new(Ipv4Address::new(12, 0, 0, 1), 1, 100)],
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { prefix: u32, len: u8, ttl: u16 },
+    Lookup { addr: u32 },
+    Advance { secs: u16 },
+    Purge,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u32>(), 8u8..=32, 1u16..10).prop_map(|(prefix, len, ttl)| Op::Insert { prefix, len, ttl }),
+        any::<u32>().prop_map(|addr| Op::Lookup { addr }),
+        (1u16..300).prop_map(|secs| Op::Advance { secs }),
+        Just(Op::Purge),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold(ops in prop::collection::vec(arb_op(), 1..120), cap in 1usize..16) {
+        let mut cache = MapCache::new(cap);
+        let mut now = Ns::ZERO;
+        let mut lookups = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert { prefix, len, ttl } => {
+                    cache.insert(record(prefix, len, ttl), now);
+                    prop_assert!(cache.len() <= cap, "capacity exceeded");
+                }
+                Op::Lookup { addr } => {
+                    lookups += 1;
+                    if let Some(rec) = cache.lookup(Ipv4Address::from_u32(addr), now) {
+                        // Any returned record must actually cover the address.
+                        let p = inet::Prefix::new(rec.eid_prefix, rec.prefix_len);
+                        prop_assert!(p.contains(Ipv4Address::from_u32(addr)));
+                    }
+                }
+                Op::Advance { secs } => now += Ns::from_secs(u64::from(secs)),
+                Op::Purge => cache.purge_expired(now),
+            }
+            prop_assert_eq!(cache.hit_count + cache.miss_count, lookups);
+        }
+    }
+
+    #[test]
+    fn fresh_insert_always_hits(prefix in any::<u32>(), len in 8u8..=32, ttl in 1u16..100) {
+        let mut cache = MapCache::new(8);
+        let rec = record(prefix, len, ttl);
+        let probe = rec.eid_prefix;
+        cache.insert(rec, Ns::ZERO);
+        prop_assert!(cache.lookup(probe, Ns::from_secs(1)).is_some());
+        // And it never returns after expiry.
+        let after = Ns::from_secs(u64::from(ttl) * 60);
+        prop_assert!(cache.lookup(probe, after).is_none());
+    }
+
+    #[test]
+    fn eviction_keeps_most_recent(n in 2usize..20) {
+        let mut cache = MapCache::new(1);
+        for i in 0..n {
+            cache.insert(record((i as u32) << 8, 24, 60), Ns::from_secs(i as u64));
+        }
+        // Only the last insert survives a capacity-1 cache.
+        let last = Ipv4Address::from_u32(((n - 1) as u32) << 8);
+        prop_assert!(cache.lookup(last, Ns::from_secs(n as u64)).is_some());
+        prop_assert_eq!(cache.len(), 1);
+        prop_assert_eq!(cache.evictions as usize, n - 1);
+    }
+}

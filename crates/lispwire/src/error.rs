@@ -1,0 +1,46 @@
+//! Error type shared by all wire-format parsers.
+
+use core::fmt;
+
+/// Errors that can occur while parsing or emitting a wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is too short to contain the fixed header.
+    Truncated,
+    /// A length field points past the end of the buffer.
+    BadLength,
+    /// A version field holds an unsupported value.
+    BadVersion,
+    /// A checksum did not verify.
+    BadChecksum,
+    /// A field holds a value that is not valid for this protocol.
+    Malformed,
+    /// A DNS name used more compression pointers than we allow
+    /// (loop protection), or a pointer points forward.
+    BadPointer,
+    /// The provided output buffer is too small for `emit`.
+    BufferTooSmall,
+    /// An unknown / unsupported message type code.
+    UnknownType,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WireError::Truncated => "buffer truncated",
+            WireError::BadLength => "length field inconsistent",
+            WireError::BadVersion => "unsupported version",
+            WireError::BadChecksum => "checksum mismatch",
+            WireError::Malformed => "malformed field",
+            WireError::BadPointer => "bad or looping compression pointer",
+            WireError::BufferTooSmall => "output buffer too small",
+            WireError::UnknownType => "unknown message type",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for wire operations.
+pub type WireResult<T> = Result<T, WireError>;

@@ -1,0 +1,61 @@
+//! `lispwire` — typed wire formats for the PCE-LISP reproduction.
+//!
+//! Every packet that crosses a simulated link is a real byte buffer; nodes
+//! parse and emit these formats at every hop, in the style of
+//! [smoltcp](https://github.com/smoltcp-rs/smoltcp): a zero-copy typed view
+//! (`Packet<T: AsRef<[u8]>>`) giving field accessors over the raw buffer,
+//! plus a high-level representation (`Repr`) that can be parsed from and
+//! emitted into such a view.
+//!
+//! Formats provided:
+//!
+//! * [`ipv4`] — IPv4 headers (RFC 791 subset: no options).
+//! * [`udp`] — UDP datagrams (RFC 768).
+//! * [`tcpseg`] — a minimal TCP segment (handshake flags + seq numbers),
+//!   enough to measure connection-establishment latency.
+//! * [`lisp`] — the LISP data-plane encapsulation header
+//!   (draft-farinacci-lisp-08 §5).
+//! * [`lispctl`] — LISP control messages: Map-Request and Map-Reply with
+//!   locator records (priority/weight), draft-farinacci-lisp-08 §6.
+//! * [`dnswire`] — DNS messages (RFC 1035 subset: header, QNAME label
+//!   codec with compression-pointer *parsing*, A/NS questions and records).
+//! * [`pcewire`] — the paper's step-6 encapsulation: a UDP payload on the
+//!   special port `P` carrying the original DNS reply plus an EID-to-RLOC
+//!   mapping record (Fig. 1 of the paper).
+//!
+//! The crate is `#![forbid(unsafe_code)]` and has no dependencies.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod checksum;
+pub mod dnswire;
+pub mod error;
+pub mod ipv4;
+pub mod lisp;
+pub mod lispctl;
+pub mod pcewire;
+pub mod tcpseg;
+pub mod udp;
+
+pub use error::{WireError, WireResult};
+pub use ipv4::{IpProtocol, Ipv4Address, Ipv4Packet, Ipv4Repr};
+pub use udp::{UdpPacket, UdpRepr};
+
+/// Well-known simulated port numbers used throughout the reproduction.
+pub mod ports {
+    /// DNS (RFC 1035).
+    pub const DNS: u16 = 53;
+    /// LISP data-plane encapsulation (draft-farinacci-lisp-08).
+    pub const LISP_DATA: u16 = 4341;
+    /// LISP control-plane (Map-Request / Map-Reply).
+    pub const LISP_CONTROL: u16 = 4342;
+    /// The paper's special port `P` listened on by the source-domain PCE
+    /// (Fig. 1 step 7): PCE-encapsulated DNS replies carrying mappings.
+    pub const PCE_MAP: u16 = 44342;
+    /// Reverse-mapping multicast among ETRs (paper §2, after step 8).
+    pub const ETR_SYNC: u16 = 44343;
+    /// The IPC channel between a domain's DNS server and its PCE (the
+    /// dashed line of Fig. 1, step 1).
+    pub const PCE_IPC: u16 = 44344;
+}

@@ -1,0 +1,220 @@
+//! LISP data-plane encapsulation header (draft-farinacci-lisp-08 §5).
+//!
+//! On the wire a LISP-encapsulated packet looks like:
+//!
+//! ```text
+//! outer IPv4 (RLOC -> RLOC) | UDP (src ephemeral, dst 4341) | LISP | inner IPv4 (EID -> EID) | ...
+//! ```
+//!
+//! The 8-byte LISP header carries a nonce for echo-nonce reachability
+//! testing and locator-status-bits advertising the up/down state of the
+//! sending site's locators:
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |N|L|E|V|I|flags|            Nonce (24 bits)                    |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |                 Instance ID / Locator Status Bits             |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! ```
+
+use crate::error::{WireError, WireResult};
+
+/// Length of the LISP data header.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed view over a LISP data header followed by the inner packet.
+#[derive(Debug, Clone)]
+pub struct LispPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> LispPacket<T> {
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Wrap, checking the minimum length.
+    pub fn new_checked(buffer: T) -> WireResult<Self> {
+        let p = Self::new_unchecked(buffer);
+        if p.buffer.as_ref().len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(p)
+    }
+
+    /// N bit: nonce present.
+    pub fn nonce_present(&self) -> bool {
+        self.buffer.as_ref()[0] & 0x80 != 0
+    }
+
+    /// L bit: locator-status-bits field enabled.
+    pub fn lsb_enabled(&self) -> bool {
+        self.buffer.as_ref()[0] & 0x40 != 0
+    }
+
+    /// E bit: echo-nonce request.
+    pub fn echo_nonce(&self) -> bool {
+        self.buffer.as_ref()[0] & 0x20 != 0
+    }
+
+    /// The 24-bit nonce.
+    pub fn nonce(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([0, b[1], b[2], b[3]])
+    }
+
+    /// The locator-status-bits / instance-id word.
+    pub fn lsb(&self) -> u32 {
+        u32::from_be_bytes(self.buffer.as_ref()[4..8].try_into().unwrap())
+    }
+
+    /// The encapsulated (inner) packet.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> LispPacket<T> {
+    /// Set the flag bits (N, L, E as bools; reserved bits zeroed).
+    pub fn set_flags(&mut self, nonce_present: bool, lsb_enabled: bool, echo_nonce: bool) {
+        let mut b = 0u8;
+        if nonce_present {
+            b |= 0x80;
+        }
+        if lsb_enabled {
+            b |= 0x40;
+        }
+        if echo_nonce {
+            b |= 0x20;
+        }
+        self.buffer.as_mut()[0] = b;
+    }
+
+    /// Set the 24-bit nonce (upper byte of the argument is ignored).
+    pub fn set_nonce(&mut self, nonce: u32) {
+        let b = nonce.to_be_bytes();
+        let buf = self.buffer.as_mut();
+        buf[1] = b[1];
+        buf[2] = b[2];
+        buf[3] = b[3];
+    }
+
+    /// Set the locator-status-bits word.
+    pub fn set_lsb(&mut self, lsb: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&lsb.to_be_bytes());
+    }
+}
+
+/// High-level representation of a LISP data header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LispRepr {
+    /// 24-bit nonce (present iff `nonce_present`).
+    pub nonce: u32,
+    /// Whether the N bit is set.
+    pub nonce_present: bool,
+    /// Locator-status bits (the low bits flag which of the sender's
+    /// locators are up).
+    pub lsb: u32,
+    /// Whether the L bit is set.
+    pub lsb_enabled: bool,
+}
+
+impl LispRepr {
+    /// A default header with a given nonce and all-ones LSB for `n` locators.
+    pub fn with_nonce(nonce: u32, locator_count: u32) -> Self {
+        let lsb = if locator_count >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << locator_count) - 1
+        };
+        Self { nonce: nonce & 0x00ff_ffff, nonce_present: true, lsb, lsb_enabled: true }
+    }
+
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &LispPacket<T>) -> WireResult<Self> {
+        Ok(Self {
+            nonce: packet.nonce(),
+            nonce_present: packet.nonce_present(),
+            lsb: packet.lsb(),
+            lsb_enabled: packet.lsb_enabled(),
+        })
+    }
+
+    /// Buffer length needed for header plus inner packet.
+    pub fn buffer_len(&self, inner_len: usize) -> usize {
+        HEADER_LEN + inner_len
+    }
+
+    /// Emit the header.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut LispPacket<T>) {
+        packet.set_flags(self.nonce_present, self.lsb_enabled, false);
+        packet.set_nonce(self.nonce);
+        packet.set_lsb(self.lsb);
+    }
+}
+
+/// Convenience: encapsulate `inner` behind a LISP data header.
+pub fn encapsulate(repr: &LispRepr, inner: &[u8]) -> Vec<u8> {
+    let mut buf = vec![0u8; HEADER_LEN + inner.len()];
+    buf[HEADER_LEN..].copy_from_slice(inner);
+    let mut packet = LispPacket::new_unchecked(&mut buf[..]);
+    repr.emit(&mut packet);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let repr = LispRepr::with_nonce(0x00abcdef, 2);
+        let bytes = encapsulate(&repr, b"inner-packet");
+        let packet = LispPacket::new_checked(&bytes[..]).unwrap();
+        let parsed = LispRepr::parse(&packet).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(packet.payload(), b"inner-packet");
+    }
+
+    #[test]
+    fn nonce_is_24_bits() {
+        let repr = LispRepr::with_nonce(0xff_ffff_ff, 1);
+        assert_eq!(repr.nonce, 0x00ff_ffff);
+        let bytes = encapsulate(&repr, &[]);
+        let packet = LispPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(packet.nonce(), 0x00ff_ffff);
+    }
+
+    #[test]
+    fn lsb_mask_for_counts() {
+        assert_eq!(LispRepr::with_nonce(0, 0).lsb, 0);
+        assert_eq!(LispRepr::with_nonce(0, 1).lsb, 1);
+        assert_eq!(LispRepr::with_nonce(0, 2).lsb, 3);
+        assert_eq!(LispRepr::with_nonce(0, 32).lsb, u32::MAX);
+        assert_eq!(LispRepr::with_nonce(0, 40).lsb, u32::MAX);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(LispPacket::new_checked(&[0u8; 7][..]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn flags_independent() {
+        let mut buf = [0u8; HEADER_LEN];
+        let mut p = LispPacket::new_unchecked(&mut buf[..]);
+        p.set_flags(true, false, true);
+        p.set_nonce(42);
+        p.set_lsb(7);
+        let p = LispPacket::new_checked(&buf[..]).unwrap();
+        assert!(p.nonce_present());
+        assert!(!p.lsb_enabled());
+        assert!(p.echo_nonce());
+        assert_eq!(p.nonce(), 42);
+        assert_eq!(p.lsb(), 7);
+    }
+}

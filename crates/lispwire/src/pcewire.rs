@@ -1,0 +1,393 @@
+//! The PCE control-plane encapsulation of the paper (Fig. 1, step 6).
+//!
+//! When the destination-domain PCE (`PCE_D`) observes the authoritative DNS
+//! reply carrying the resolved EID `E_D`, it wraps the reply in a new UDP
+//! message addressed to `DNS_S` on the special port `P`
+//! ([`crate::ports::PCE_MAP`]). The payload of that outer message is this
+//! structure: the precomputed EID-to-RLOC mapping for `E_D`, followed by
+//! the original DNS reply bytes so that `PCE_S` can forward the answer to
+//! `DNS_S` unmodified (step 7a) while installing the mapping at the ITRs
+//! (step 7b).
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! u16 magic (0x5043 "PC") | u8 version (1) | u8 kind
+//! u32 pce_d_addr            (so PCE_S learns PCE_D's address)
+//! MapRecord                 (lispctl wire format; the mapping for E_D)
+//! u16 dns_len | dns_len bytes of the original DNS reply
+//! ```
+//!
+//! `kind` distinguishes the DNS-reply encapsulation from the reverse-mapping
+//! sync messages multicast among ETRs after the first data packet arrives
+//! (paper §2, after step 8).
+
+use crate::error::{WireError, WireResult};
+use crate::ipv4::Ipv4Address;
+use crate::lispctl::MapRecord;
+
+/// Magic bytes identifying a PCE control message.
+pub const MAGIC: u16 = 0x5043;
+/// Current version.
+pub const VERSION: u8 = 1;
+
+/// Message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PceKind {
+    /// Step 6: encapsulated DNS reply + forward mapping.
+    DnsMapping,
+    /// ETR-to-ETR reverse-mapping sync (multicast, port `ETR_SYNC`).
+    ReverseSync,
+    /// PCE-to-ITR mapping installation push (step 7b).
+    MappingPush,
+    /// PCE-to-ITR mapping withdrawal (TE re-optimisation).
+    MappingWithdraw,
+}
+
+impl From<PceKind> for u8 {
+    fn from(k: PceKind) -> u8 {
+        match k {
+            PceKind::DnsMapping => 1,
+            PceKind::ReverseSync => 2,
+            PceKind::MappingPush => 3,
+            PceKind::MappingWithdraw => 4,
+        }
+    }
+}
+
+impl TryFrom<u8> for PceKind {
+    type Error = WireError;
+    fn try_from(v: u8) -> Result<Self, WireError> {
+        match v {
+            1 => Ok(PceKind::DnsMapping),
+            2 => Ok(PceKind::ReverseSync),
+            3 => Ok(PceKind::MappingPush),
+            4 => Ok(PceKind::MappingWithdraw),
+            _ => Err(WireError::UnknownType),
+        }
+    }
+}
+
+/// The step-6 encapsulation: DNS reply plus the forward mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PceDnsMapping {
+    /// Address of the originating `PCE_D` (learned by `PCE_S` in step 7).
+    pub pce_d: Ipv4Address,
+    /// The precomputed mapping for the destination EID.
+    pub mapping: MapRecord,
+    /// The original DNS reply bytes, forwarded verbatim in step 7a.
+    pub dns_reply: Vec<u8>,
+}
+
+impl PceDnsMapping {
+    /// Serialize to owned bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.mapping.wire_len() + 2 + self.dns_reply.len());
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        out.push(VERSION);
+        out.push(PceKind::DnsMapping.into());
+        out.extend_from_slice(&self.pce_d.0);
+        self.mapping.emit(&mut out);
+        out.extend_from_slice(&(self.dns_reply.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.dns_reply);
+        out
+    }
+
+    /// Parse from bytes.
+    pub fn from_bytes(buf: &[u8]) -> WireResult<Self> {
+        let (kind, rest) = parse_header(buf)?;
+        if kind != PceKind::DnsMapping {
+            return Err(WireError::UnknownType);
+        }
+        if rest.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let pce_d = Ipv4Address(rest[..4].try_into().unwrap());
+        let (mapping, rest) = MapRecord::parse(&rest[4..])?;
+        if rest.len() < 2 {
+            return Err(WireError::Truncated);
+        }
+        let dns_len = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+        let dns_reply = rest.get(2..2 + dns_len).ok_or(WireError::Truncated)?.to_vec();
+        Ok(Self { pce_d, mapping, dns_reply })
+    }
+}
+
+/// The two-one-way-tunnels mapping tuple of step 7b:
+/// `(E_S, E_D, RLOC_S, RLOC_D)`. Pushed by `PCE_S` to **all** ITRs of the
+/// domain, so TE moves never strand a flow on an ITR without state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowMapping {
+    /// Source end-host EID.
+    pub source_eid: Ipv4Address,
+    /// Destination end-host EID.
+    pub dest_eid: Ipv4Address,
+    /// The local RLOC to stamp as the encapsulation *source* — chosen by
+    /// `PCE_S` for the *reverse* traffic (inbound TE, step 1). May differ
+    /// from the forwarding ITR's own address.
+    pub rloc_s: Ipv4Address,
+    /// The remote RLOC to tunnel to (outbound selection by `PCE_D`).
+    pub rloc_d: Ipv4Address,
+    /// Mapping lifetime in minutes.
+    pub ttl_minutes: u16,
+}
+
+impl FlowMapping {
+    /// Wire length of a flow-mapping body.
+    pub const WIRE_LEN: usize = 4 * 4 + 2;
+
+    fn emit_body(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.source_eid.0);
+        out.extend_from_slice(&self.dest_eid.0);
+        out.extend_from_slice(&self.rloc_s.0);
+        out.extend_from_slice(&self.rloc_d.0);
+        out.extend_from_slice(&self.ttl_minutes.to_be_bytes());
+    }
+
+    fn parse_body(buf: &[u8]) -> WireResult<Self> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(Self {
+            source_eid: Ipv4Address(buf[0..4].try_into().unwrap()),
+            dest_eid: Ipv4Address(buf[4..8].try_into().unwrap()),
+            rloc_s: Ipv4Address(buf[8..12].try_into().unwrap()),
+            rloc_d: Ipv4Address(buf[12..16].try_into().unwrap()),
+            ttl_minutes: u16::from_be_bytes([buf[16], buf[17]]),
+        })
+    }
+}
+
+/// A push (install) or withdraw message from the PCE to an ITR, or a
+/// reverse-mapping sync among ETRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PceFlowMsg {
+    /// Install, withdraw, or reverse-sync.
+    pub kind: PceKind,
+    /// The flow mapping tuple.
+    pub mapping: FlowMapping,
+}
+
+impl PceFlowMsg {
+    /// Serialize to owned bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + FlowMapping::WIRE_LEN);
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        out.push(VERSION);
+        out.push(self.kind.into());
+        self.mapping.emit_body(&mut out);
+        out
+    }
+
+    /// Parse from bytes; accepts `MappingPush`, `MappingWithdraw`, and
+    /// `ReverseSync` kinds.
+    pub fn from_bytes(buf: &[u8]) -> WireResult<Self> {
+        let (kind, rest) = parse_header(buf)?;
+        match kind {
+            PceKind::MappingPush | PceKind::MappingWithdraw | PceKind::ReverseSync => {
+                Ok(Self { kind, mapping: FlowMapping::parse_body(rest)? })
+            }
+            PceKind::DnsMapping => Err(WireError::UnknownType),
+        }
+    }
+}
+
+/// Peek at the kind of any PCE message.
+pub fn peek_kind(buf: &[u8]) -> WireResult<PceKind> {
+    parse_header(buf).map(|(k, _)| k)
+}
+
+/// The DNS→PCE IPC notice (the dashed line of Fig. 1, step 1): "end-host
+/// `client` just asked me to resolve `qname`". Lets the PCE associate the
+/// eventual mapping with the requesting EID and precompute the ingress
+/// RLOC for the reverse direction.
+///
+/// Layout: `u16 magic | u8 version | u8 0xF0 | u32 client | u8 len | qname bytes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IpcQueryNotice {
+    /// The requesting end-host (`E_S`).
+    pub client: Ipv4Address,
+    /// The queried name, presentation format.
+    pub qname: String,
+}
+
+const IPC_TAG: u8 = 0xF0;
+
+impl IpcQueryNotice {
+    /// Serialize.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let name = self.qname.as_bytes();
+        let mut out = Vec::with_capacity(9 + name.len());
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        out.push(VERSION);
+        out.push(IPC_TAG);
+        out.extend_from_slice(&self.client.0);
+        out.push(name.len().min(255) as u8);
+        out.extend_from_slice(&name[..name.len().min(255)]);
+        out
+    }
+
+    /// Parse.
+    pub fn from_bytes(buf: &[u8]) -> WireResult<Self> {
+        if buf.len() < 9 {
+            return Err(WireError::Truncated);
+        }
+        if u16::from_be_bytes([buf[0], buf[1]]) != MAGIC {
+            return Err(WireError::Malformed);
+        }
+        if buf[2] != VERSION {
+            return Err(WireError::BadVersion);
+        }
+        if buf[3] != IPC_TAG {
+            return Err(WireError::UnknownType);
+        }
+        let client = Ipv4Address(buf[4..8].try_into().unwrap());
+        let len = buf[8] as usize;
+        let name = buf.get(9..9 + len).ok_or(WireError::Truncated)?;
+        let qname = core::str::from_utf8(name).map_err(|_| WireError::Malformed)?.to_string();
+        Ok(Self { client, qname })
+    }
+}
+
+fn parse_header(buf: &[u8]) -> WireResult<(PceKind, &[u8])> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    if u16::from_be_bytes([buf[0], buf[1]]) != MAGIC {
+        return Err(WireError::Malformed);
+    }
+    if buf[2] != VERSION {
+        return Err(WireError::BadVersion);
+    }
+    let kind = PceKind::try_from(buf[3])?;
+    Ok((kind, &buf[4..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lispctl::Locator;
+
+    fn addr(a: u8, b: u8, c: u8, d: u8) -> Ipv4Address {
+        Ipv4Address::new(a, b, c, d)
+    }
+
+    fn sample_mapping() -> MapRecord {
+        MapRecord {
+            eid_prefix: addr(101, 2, 2, 2),
+            prefix_len: 32,
+            ttl_minutes: 60,
+            locators: vec![Locator::new(addr(12, 0, 0, 1), 1, 60), Locator::new(addr(13, 0, 0, 1), 1, 40)],
+        }
+    }
+
+    #[test]
+    fn dns_mapping_roundtrip() {
+        let msg = PceDnsMapping {
+            pce_d: addr(12, 0, 0, 200),
+            mapping: sample_mapping(),
+            dns_reply: vec![0xab; 37],
+        };
+        let bytes = msg.to_bytes();
+        assert_eq!(PceDnsMapping::from_bytes(&bytes).unwrap(), msg);
+        assert_eq!(peek_kind(&bytes).unwrap(), PceKind::DnsMapping);
+    }
+
+    #[test]
+    fn flow_msg_roundtrip_all_kinds() {
+        let mapping = FlowMapping {
+            source_eid: addr(100, 1, 1, 1),
+            dest_eid: addr(101, 2, 2, 2),
+            rloc_s: addr(11, 0, 0, 1),
+            rloc_d: addr(12, 0, 0, 1),
+            ttl_minutes: 30,
+        };
+        for kind in [PceKind::MappingPush, PceKind::MappingWithdraw, PceKind::ReverseSync] {
+            let msg = PceFlowMsg { kind, mapping };
+            let bytes = msg.to_bytes();
+            assert_eq!(PceFlowMsg::from_bytes(&bytes).unwrap(), msg);
+            assert_eq!(peek_kind(&bytes).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn independent_one_way_tunnels_representable() {
+        // The paper's key TE point: RLOC_S may differ from the ITR's own
+        // address; the tuple must carry both directions independently.
+        let mapping = FlowMapping {
+            source_eid: addr(100, 1, 1, 1),
+            dest_eid: addr(101, 2, 2, 2),
+            rloc_s: addr(11, 0, 0, 1), // ingress via provider B
+            rloc_d: addr(13, 0, 0, 1), // egress toward provider Y
+            ttl_minutes: 30,
+        };
+        let msg = PceFlowMsg { kind: PceKind::MappingPush, mapping };
+        let parsed = PceFlowMsg::from_bytes(&msg.to_bytes()).unwrap();
+        assert_ne!(parsed.mapping.rloc_s, parsed.mapping.rloc_d);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mapping = sample_mapping();
+        let msg = PceDnsMapping { pce_d: addr(1, 1, 1, 1), mapping, dns_reply: vec![] };
+        let mut bytes = msg.to_bytes();
+        bytes[0] = 0;
+        assert_eq!(PceDnsMapping::from_bytes(&bytes).unwrap_err(), WireError::Malformed);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let msg = PceFlowMsg {
+            kind: PceKind::ReverseSync,
+            mapping: FlowMapping {
+                source_eid: addr(1, 1, 1, 1),
+                dest_eid: addr(2, 2, 2, 2),
+                rloc_s: addr(3, 3, 3, 3),
+                rloc_d: addr(4, 4, 4, 4),
+                ttl_minutes: 1,
+            },
+        };
+        let mut bytes = msg.to_bytes();
+        bytes[2] = 99;
+        assert_eq!(PceFlowMsg::from_bytes(&bytes).unwrap_err(), WireError::BadVersion);
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let msg = PceDnsMapping {
+            pce_d: addr(1, 1, 1, 1),
+            mapping: sample_mapping(),
+            dns_reply: vec![1, 2, 3],
+        };
+        assert_eq!(PceFlowMsg::from_bytes(&msg.to_bytes()).unwrap_err(), WireError::UnknownType);
+    }
+
+    #[test]
+    fn ipc_notice_roundtrip() {
+        let n = IpcQueryNotice { client: addr(100, 0, 0, 5), qname: "host.d.example".into() };
+        assert_eq!(IpcQueryNotice::from_bytes(&n.to_bytes()).unwrap(), n);
+        let empty = IpcQueryNotice { client: addr(1, 2, 3, 4), qname: String::new() };
+        assert_eq!(IpcQueryNotice::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn ipc_notice_truncation_rejected() {
+        let n = IpcQueryNotice { client: addr(100, 0, 0, 5), qname: "host.d.example".into() };
+        let b = n.to_bytes();
+        assert_eq!(IpcQueryNotice::from_bytes(&b[..b.len() - 3]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn truncated_dns_reply_rejected() {
+        let msg = PceDnsMapping {
+            pce_d: addr(1, 1, 1, 1),
+            mapping: sample_mapping(),
+            dns_reply: vec![9; 10],
+        };
+        let bytes = msg.to_bytes();
+        assert_eq!(
+            PceDnsMapping::from_bytes(&bytes[..bytes.len() - 4]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! LISP+ALT: the aggregated overlay mapping system
+//! (draft-fuller-lisp-alt).
+//!
+//! ALT routers form an overlay (BGP sessions over GRE tunnels in the
+//! draft) advertising aggregated EID prefixes. A Map-Request enters the
+//! overlay at the ITR's gateway and is routed hop-by-hop toward the
+//! authoritative ETR, which replies *directly* to the ITR over native
+//! forwarding. Each overlay hop is a real UDP message across the underlay
+//! plus a per-hop processing delay — the well-known ALT latency cost is
+//! the sum of these hops (experiments E2/E3 expose it).
+
+use inet::stack::{IpStack, Parsed};
+use inet::{LpmTrie, Prefix};
+use lispwire::lispctl::MapRequest;
+use lispwire::{ports, Ipv4Address};
+use netsim::{Ctx, Node, Ns, PortId};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// One ALT overlay router.
+pub struct AltRouter {
+    stack: IpStack,
+    /// Overlay routing: EID prefix → next ALT router address.
+    routes: LpmTrie<Ipv4Address>,
+    /// Local delivery: EID prefix → authoritative ETR address.
+    delivery: LpmTrie<Ipv4Address>,
+    processing_delay: Ns,
+    outbox: VecDeque<Vec<u8>>,
+    /// Requests forwarded to another overlay router.
+    pub overlay_hops: u64,
+    /// Requests delivered to an ETR.
+    pub delivered: u64,
+    /// Requests dropped (no route or hop budget exhausted).
+    pub dropped: u64,
+}
+
+const TOKEN_FWD: u64 = 1;
+
+impl AltRouter {
+    /// A router at `addr` with a default 500 µs per-hop processing delay
+    /// (BGP-over-GRE overlays are not fast paths).
+    pub fn new(addr: Ipv4Address) -> Self {
+        Self {
+            stack: IpStack::new(addr),
+            routes: LpmTrie::new(),
+            delivery: LpmTrie::new(),
+            processing_delay: Ns::from_us(500),
+            outbox: VecDeque::new(),
+            overlay_hops: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Override the per-hop processing delay.
+    pub fn with_processing_delay(mut self, d: Ns) -> Self {
+        self.processing_delay = d;
+        self
+    }
+
+    /// Advertise: requests for `prefix` go to overlay neighbour `next`.
+    pub fn add_overlay_route(&mut self, prefix: Prefix, next: Ipv4Address) -> &mut Self {
+        self.routes.insert(prefix, next);
+        self
+    }
+
+    /// Attach: requests for `prefix` are delivered to ETR `etr`.
+    pub fn add_delivery(&mut self, prefix: Prefix, etr: Ipv4Address) -> &mut Self {
+        self.delivery.insert(prefix, etr);
+        self
+    }
+
+    /// This router's overlay address.
+    pub fn addr(&self) -> Ipv4Address {
+        self.stack.addr
+    }
+}
+
+impl Node for AltRouter {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+        let Ok(Parsed::Udp { dst, dst_port, payload, .. }) = IpStack::parse(&bytes) else {
+            return;
+        };
+        if dst != self.stack.addr || dst_port != ports::LISP_CONTROL {
+            return;
+        }
+        let Ok(mut req) = MapRequest::from_bytes(&payload) else { return };
+
+        // Deliver if an attached site covers the target.
+        if let Some(&etr) = self.delivery.lookup_value(req.target_eid) {
+            self.delivered += 1;
+            ctx.trace(format!("alt {} delivers request for {} to etr {}", self.stack.addr, req.target_eid, etr));
+            let pkt = self.stack.udp(ports::LISP_CONTROL, etr, ports::LISP_CONTROL, &payload);
+            self.outbox.push_back(pkt);
+            ctx.set_timer(self.processing_delay, TOKEN_FWD);
+            return;
+        }
+        // Otherwise route across the overlay.
+        if req.hop_count == 0 {
+            self.dropped += 1;
+            ctx.count("alt.hop_exhausted", 1);
+            return;
+        }
+        match self.routes.lookup_value(req.target_eid) {
+            Some(&next) => {
+                req.hop_count -= 1;
+                self.overlay_hops += 1;
+                ctx.trace(format!("alt {} forwards request for {} to {}", self.stack.addr, req.target_eid, next));
+                let pkt = self.stack.udp(ports::LISP_CONTROL, next, ports::LISP_CONTROL, &req.to_bytes());
+                self.outbox.push_back(pkt);
+                ctx.set_timer(self.processing_delay, TOKEN_FWD);
+            }
+            None => {
+                self.dropped += 1;
+                ctx.count("alt.no_route", 1);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_FWD {
+            if let Some(pkt) = self.outbox.pop_front() {
+                ctx.send(0, pkt);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Build a linear ALT chain covering `site_prefix → etr`: the first router
+/// is the ITR-facing gateway, the last delivers to the ETR. Returns the
+/// routers in chain order (caller attaches them to the underlay).
+pub fn linear_chain(addrs: &[Ipv4Address], site_prefix: Prefix, etr: Ipv4Address) -> Vec<AltRouter> {
+    let mut routers: Vec<AltRouter> = Vec::with_capacity(addrs.len());
+    for (i, &addr) in addrs.iter().enumerate() {
+        let mut r = AltRouter::new(addr);
+        if i + 1 < addrs.len() {
+            r.add_overlay_route(site_prefix, addrs[i + 1]);
+        } else {
+            r.add_delivery(site_prefix, etr);
+        }
+        routers.push(r);
+    }
+    routers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet::Router;
+    use netsim::{LinkCfg, NodeId, Sim};
+
+    fn a(o: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(o)
+    }
+
+    /// A fake ETR: records delivered requests and replies nothing.
+    struct EtrSink {
+        stack: IpStack,
+        pub requests: Vec<MapRequest>,
+    }
+    impl Node for EtrSink {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
+            if let Ok(Parsed::Udp { dst, payload, .. }) = IpStack::parse(&bytes) {
+                if dst == self.stack.addr {
+                    if let Ok(req) = MapRequest::from_bytes(&payload) {
+                        self.requests.push(req);
+                    }
+                }
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Injector {
+        stack: IpStack,
+        target: Ipv4Address,
+        entry: Ipv4Address,
+        hop_budget: u16,
+    }
+    impl Node for Injector {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            let req = MapRequest {
+                nonce: 9,
+                source_eid: a([100, 0, 0, 1]),
+                target_eid: self.target,
+                itr_rloc: self.stack.addr,
+                hop_count: self.hop_budget,
+            };
+            let pkt = self.stack.udp(ports::LISP_CONTROL, self.entry, ports::LISP_CONTROL, &req.to_bytes());
+            ctx.send(0, pkt);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn wire_star(sim: &mut Sim, core: NodeId, nodes: &[(NodeId, Ipv4Address)], owd: Ns) {
+        for &(node, addr) in nodes {
+            let (_, port) = sim.connect(node, core, LinkCfg::wan(owd));
+            sim.node_mut::<Router>(core).add_route(Prefix::host(addr), port);
+        }
+    }
+
+    #[test]
+    fn chain_routes_to_etr() {
+        let mut sim = Sim::new(9);
+        sim.trace.enable();
+        let core = sim.add_node("core", Box::new(Router::new()));
+        let chain_addrs = [a([9, 0, 0, 1]), a([9, 0, 0, 2]), a([9, 0, 0, 3])];
+        let site = Prefix::new(a([101, 0, 0, 0]), 8);
+        let etr_addr = a([12, 0, 0, 1]);
+        let routers = linear_chain(&chain_addrs, site, etr_addr);
+
+        let mut wiring = Vec::new();
+        for (i, r) in routers.into_iter().enumerate() {
+            let id = sim.add_node(&format!("alt{i}"), Box::new(r));
+            wiring.push((id, chain_addrs[i]));
+        }
+        let etr = sim.add_node("etr", Box::new(EtrSink { stack: IpStack::new(etr_addr), requests: vec![] }));
+        wiring.push((etr, etr_addr));
+        let inj_addr = a([10, 0, 0, 1]);
+        let inj = sim.add_node(
+            "itr",
+            Box::new(Injector { stack: IpStack::new(inj_addr), target: a([101, 0, 0, 7]), entry: chain_addrs[0], hop_budget: 16 }),
+        );
+        wiring.push((inj, inj_addr));
+        wire_star(&mut sim, core, &wiring, Ns::from_ms(10));
+
+        sim.schedule_timer(inj, Ns::ZERO, 0);
+        sim.run();
+
+        let got = &sim.node_ref::<EtrSink>(etr).requests;
+        assert_eq!(got.len(), 1);
+        // Two overlay hops consumed.
+        assert_eq!(got[0].hop_count, 16 - 2);
+        assert_eq!(got[0].itr_rloc, inj_addr, "reply path is native: itr_rloc preserved");
+        // ≈ 4 underlay RTlegs * (10+10) ms + processing ≥ 80 ms.
+        assert!(sim.now() >= Ns::from_ms(80));
+    }
+
+    #[test]
+    fn hop_budget_exhaustion_drops() {
+        let mut sim = Sim::new(9);
+        let core = sim.add_node("core", Box::new(Router::new()));
+        let chain_addrs = [a([9, 0, 0, 1]), a([9, 0, 0, 2]), a([9, 0, 0, 3])];
+        let site = Prefix::new(a([101, 0, 0, 0]), 8);
+        let etr_addr = a([12, 0, 0, 1]);
+        let routers = linear_chain(&chain_addrs, site, etr_addr);
+        let mut wiring = Vec::new();
+        let mut ids = Vec::new();
+        for (i, r) in routers.into_iter().enumerate() {
+            let id = sim.add_node(&format!("alt{i}"), Box::new(r));
+            ids.push(id);
+            wiring.push((id, chain_addrs[i]));
+        }
+        let etr = sim.add_node("etr", Box::new(EtrSink { stack: IpStack::new(etr_addr), requests: vec![] }));
+        wiring.push((etr, etr_addr));
+        let inj_addr = a([10, 0, 0, 1]);
+        // Budget 1: can cross alt0 -> alt1 but alt1 cannot forward again.
+        let inj = sim.add_node(
+            "itr",
+            Box::new(Injector { stack: IpStack::new(inj_addr), target: a([101, 0, 0, 7]), entry: chain_addrs[0], hop_budget: 1 }),
+        );
+        wiring.push((inj, inj_addr));
+        wire_star(&mut sim, core, &wiring, Ns::from_ms(5));
+        sim.schedule_timer(inj, Ns::ZERO, 0);
+        sim.run();
+        assert!(sim.node_ref::<EtrSink>(etr).requests.is_empty());
+        assert_eq!(sim.node_ref::<AltRouter>(ids[1]).dropped, 1);
+        assert_eq!(sim.counter("alt.hop_exhausted"), 1);
+    }
+
+    #[test]
+    fn no_route_drops() {
+        let mut sim = Sim::new(9);
+        let r_addr = a([9, 0, 0, 1]);
+        let alt = sim.add_node("alt", Box::new(AltRouter::new(r_addr)));
+        let inj_addr = a([10, 0, 0, 1]);
+        let inj = sim.add_node(
+            "itr",
+            Box::new(Injector { stack: IpStack::new(inj_addr), target: a([55, 0, 0, 7]), entry: r_addr, hop_budget: 16 }),
+        );
+        sim.connect(inj, alt, LinkCfg::wan(Ns::from_ms(5)));
+        sim.schedule_timer(inj, Ns::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.node_ref::<AltRouter>(alt).dropped, 1);
+        assert_eq!(sim.counter("alt.no_route"), 1);
+    }
+}

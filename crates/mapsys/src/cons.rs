@@ -1,0 +1,452 @@
+//! LISP-CONS: the hierarchical Content-distribution Overlay Network
+//! Service (draft-meyer-lisp-cons).
+//!
+//! CARs (Content Access Routers, the leaves ITRs/ETRs attach to) and CDRs
+//! (Content Distribution Routers, the interior) form a tree. A Map-Request
+//! travels *up* from the requesting CAR until a node knows a child zone
+//! covering the target, then *down* to the CAR serving the destination
+//! site, which hands it to the ETR. Unlike ALT, the **reply retraces the
+//! overlay path** (CONS is connection-oriented); we emulate that state
+//! with an explicit record-route carried in a small wrapper format, plus a
+//! per-leaf pending table keyed by nonce.
+
+use inet::stack::{IpStack, Parsed};
+use inet::{LpmTrie, Prefix};
+use lispwire::lispctl::{self, MapRequest};
+use lispwire::{ports, Ipv4Address, WireError, WireResult};
+use netsim::{Ctx, Node, Ns, PortId};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+/// UDP port CONS overlay nodes use among themselves.
+pub const CONS_PORT: u16 = 4343;
+
+/// Wrapper message carried between CONS nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsMsg {
+    /// True for replies retracing the path, false for requests going up.
+    pub is_reply: bool,
+    /// The original requesting ITR (final reply target).
+    pub orig_itr: Ipv4Address,
+    /// Record-route: addresses to retrace, most recent last.
+    pub via: Vec<Ipv4Address>,
+    /// The encapsulated Map-Request or Map-Reply bytes.
+    pub inner: Vec<u8>,
+}
+
+impl ConsMsg {
+    /// Serialize.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.via.len() * 4 + self.inner.len());
+        out.push(0xC5);
+        out.push(u8::from(self.is_reply));
+        out.extend_from_slice(&self.orig_itr.0);
+        out.push(self.via.len() as u8);
+        for v in &self.via {
+            out.extend_from_slice(&v.0);
+        }
+        out.extend_from_slice(&(self.inner.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.inner);
+        out
+    }
+
+    /// Parse.
+    pub fn from_bytes(buf: &[u8]) -> WireResult<Self> {
+        if buf.len() < 9 {
+            return Err(WireError::Truncated);
+        }
+        if buf[0] != 0xC5 {
+            return Err(WireError::UnknownType);
+        }
+        let is_reply = buf[1] != 0;
+        let orig_itr = Ipv4Address(buf[2..6].try_into().unwrap());
+        let n = buf[6] as usize;
+        let mut pos = 7;
+        let mut via = Vec::with_capacity(n);
+        for _ in 0..n {
+            let b = buf.get(pos..pos + 4).ok_or(WireError::Truncated)?;
+            via.push(Ipv4Address(b.try_into().unwrap()));
+            pos += 4;
+        }
+        let lb = buf.get(pos..pos + 2).ok_or(WireError::Truncated)?;
+        let len = u16::from_be_bytes([lb[0], lb[1]]) as usize;
+        pos += 2;
+        let inner = buf.get(pos..pos + len).ok_or(WireError::Truncated)?.to_vec();
+        Ok(Self { is_reply, orig_itr, via, inner })
+    }
+}
+
+/// One CONS overlay node (CAR when it has attached sites, CDR otherwise).
+pub struct ConsNode {
+    stack: IpStack,
+    parent: Option<Ipv4Address>,
+    /// Child zones: prefix → child node address.
+    children: LpmTrie<Ipv4Address>,
+    /// Sites attached to this CAR: prefix → ETR address.
+    serving: LpmTrie<Ipv4Address>,
+    /// Pending request state at leaf CARs: nonce → (orig itr, return path).
+    pending: HashMap<u64, (Ipv4Address, Vec<Ipv4Address>)>,
+    processing_delay: Ns,
+    outbox: VecDeque<Vec<u8>>,
+    /// Requests moved up/down the hierarchy.
+    pub overlay_hops: u64,
+    /// Requests handed to an ETR.
+    pub delivered: u64,
+    /// Replies relayed back down the path.
+    pub replies_relayed: u64,
+    /// Messages dropped (no route).
+    pub dropped: u64,
+}
+
+const TOKEN_FWD: u64 = 1;
+
+impl ConsNode {
+    /// A node at `addr`, optionally with a parent in the hierarchy.
+    pub fn new(addr: Ipv4Address, parent: Option<Ipv4Address>) -> Self {
+        Self {
+            stack: IpStack::new(addr),
+            parent,
+            children: LpmTrie::new(),
+            serving: LpmTrie::new(),
+            pending: HashMap::new(),
+            processing_delay: Ns::from_us(500),
+            outbox: VecDeque::new(),
+            overlay_hops: 0,
+            delivered: 0,
+            replies_relayed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Override the per-hop processing delay.
+    pub fn with_processing_delay(mut self, d: Ns) -> Self {
+        self.processing_delay = d;
+        self
+    }
+
+    /// Register a child zone.
+    pub fn add_child(&mut self, prefix: Prefix, child: Ipv4Address) -> &mut Self {
+        self.children.insert(prefix, child);
+        self
+    }
+
+    /// Attach a served site (makes this node a CAR for it).
+    pub fn add_site(&mut self, prefix: Prefix, etr: Ipv4Address) -> &mut Self {
+        self.serving.insert(prefix, etr);
+        self
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> Ipv4Address {
+        self.stack.addr
+    }
+
+    fn enqueue(&mut self, ctx: &mut Ctx<'_>, pkt: Vec<u8>) {
+        self.outbox.push_back(pkt);
+        ctx.set_timer(self.processing_delay, TOKEN_FWD);
+    }
+
+    /// Route a wrapped request one step.
+    fn route_request(&mut self, ctx: &mut Ctx<'_>, mut msg: ConsMsg) {
+        let Ok(req) = MapRequest::from_bytes(&msg.inner) else {
+            self.dropped += 1;
+            return;
+        };
+        // Serving CAR: hand to the ETR with itr_rloc rewritten to us so
+        // the reply comes back through the overlay.
+        if let Some(&etr) = self.serving.lookup_value(req.target_eid) {
+            let mut rewritten = req;
+            rewritten.itr_rloc = self.stack.addr;
+            self.pending.insert(rewritten.nonce, (msg.orig_itr, msg.via.clone()));
+            self.delivered += 1;
+            ctx.trace(format!("cons {} delivers request for {} to etr {}", self.stack.addr, req.target_eid, etr));
+            let pkt = self.stack.udp(ports::LISP_CONTROL, etr, ports::LISP_CONTROL, &rewritten.to_bytes());
+            self.enqueue(ctx, pkt);
+            return;
+        }
+        // Down toward a child zone?
+        let next = self
+            .children
+            .lookup_value(req.target_eid)
+            .copied()
+            .or(self.parent);
+        match next {
+            Some(next) => {
+                msg.via.push(self.stack.addr);
+                self.overlay_hops += 1;
+                ctx.trace(format!("cons {} relays request for {} to {}", self.stack.addr, req.target_eid, next));
+                let pkt = self.stack.udp(CONS_PORT, next, CONS_PORT, &msg.to_bytes());
+                self.enqueue(ctx, pkt);
+            }
+            None => {
+                self.dropped += 1;
+                ctx.count("cons.no_route", 1);
+            }
+        }
+    }
+
+    /// Route a wrapped reply one step back.
+    fn route_reply(&mut self, ctx: &mut Ctx<'_>, mut msg: ConsMsg) {
+        match msg.via.pop() {
+            Some(prev) => {
+                self.replies_relayed += 1;
+                ctx.trace(format!("cons {} relays reply toward {}", self.stack.addr, prev));
+                let pkt = self.stack.udp(CONS_PORT, prev, CONS_PORT, &msg.to_bytes());
+                self.enqueue(ctx, pkt);
+            }
+            None => {
+                // We are the requester's CAR: deliver natively to the ITR.
+                self.replies_relayed += 1;
+                ctx.trace(format!("cons {} delivers reply to itr {}", self.stack.addr, msg.orig_itr));
+                let pkt = self.stack.udp(ports::LISP_CONTROL, msg.orig_itr, ports::LISP_CONTROL, &msg.inner);
+                self.enqueue(ctx, pkt);
+            }
+        }
+    }
+}
+
+impl Node for ConsNode {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+        let Ok(Parsed::Udp { dst, dst_port, payload, .. }) = IpStack::parse(&bytes) else {
+            return;
+        };
+        if dst != self.stack.addr {
+            return;
+        }
+        match dst_port {
+            // Plain control traffic: a new request from an ITR, or a reply
+            // from an ETR we handed a request to.
+            ports::LISP_CONTROL => match lispctl::message_type(&payload) {
+                Ok(lispctl::TYPE_MAP_REQUEST) => {
+                    let Ok(req) = MapRequest::from_bytes(&payload) else { return };
+                    let msg = ConsMsg {
+                        is_reply: false,
+                        orig_itr: req.itr_rloc,
+                        via: Vec::new(),
+                        inner: payload,
+                    };
+                    self.route_request(ctx, msg);
+                }
+                Ok(lispctl::TYPE_MAP_REPLY) => {
+                    let Ok(reply) = lispctl::MapReply::from_bytes(&payload) else { return };
+                    let Some((orig_itr, via)) = self.pending.remove(&reply.nonce) else {
+                        self.dropped += 1;
+                        return;
+                    };
+                    let msg = ConsMsg { is_reply: true, orig_itr, via, inner: payload };
+                    self.route_reply(ctx, msg);
+                }
+                _ => {}
+            },
+            CONS_PORT => {
+                let Ok(msg) = ConsMsg::from_bytes(&payload) else {
+                    self.dropped += 1;
+                    return;
+                };
+                if msg.is_reply {
+                    self.route_reply(ctx, msg);
+                } else {
+                    self.route_request(ctx, msg);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_FWD {
+            if let Some(pkt) = self.outbox.pop_front() {
+                ctx.send(0, pkt);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet::Router;
+    use lispwire::lispctl::{Locator, MapRecord, MapReply};
+    use netsim::{LinkCfg, NodeId, Sim};
+
+    fn a(o: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(o)
+    }
+
+    #[test]
+    fn consmsg_roundtrip() {
+        let msg = ConsMsg {
+            is_reply: true,
+            orig_itr: a([10, 0, 0, 1]),
+            via: vec![a([9, 0, 0, 1]), a([9, 0, 0, 2])],
+            inner: vec![1, 2, 3, 4],
+        };
+        assert_eq!(ConsMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn consmsg_truncation_rejected() {
+        let msg = ConsMsg { is_reply: false, orig_itr: a([1, 1, 1, 1]), via: vec![], inner: vec![7; 8] };
+        let b = msg.to_bytes();
+        assert!(ConsMsg::from_bytes(&b[..b.len() - 2]).is_err());
+        assert!(ConsMsg::from_bytes(&[0xC5]).is_err());
+        let mut bad = b.clone();
+        bad[0] = 0;
+        assert_eq!(ConsMsg::from_bytes(&bad).unwrap_err(), WireError::UnknownType);
+    }
+
+    /// An ETR stub that answers Map-Requests with a Map-Reply.
+    struct EtrStub {
+        stack: IpStack,
+        record: MapRecord,
+        pub answered: u64,
+    }
+    impl Node for EtrStub {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
+            let Ok(Parsed::Udp { dst, payload, .. }) = IpStack::parse(&bytes) else { return };
+            if dst != self.stack.addr {
+                return;
+            }
+            let Ok(req) = MapRequest::from_bytes(&payload) else { return };
+            self.answered += 1;
+            let reply = MapReply { nonce: req.nonce, records: vec![self.record.clone()] };
+            let pkt = self.stack.udp(ports::LISP_CONTROL, req.itr_rloc, ports::LISP_CONTROL, &reply.to_bytes());
+            ctx.send(0, pkt);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// An ITR stub: sends one request to its CAR, records the reply time.
+    struct ItrStub {
+        stack: IpStack,
+        car: Ipv4Address,
+        target: Ipv4Address,
+        pub reply_at: Option<netsim::Ns>,
+        pub reply: Option<MapReply>,
+    }
+    impl Node for ItrStub {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            let req = MapRequest {
+                nonce: 77,
+                source_eid: a([100, 0, 0, 1]),
+                target_eid: self.target,
+                itr_rloc: self.stack.addr,
+                hop_count: 32,
+            };
+            let pkt = self.stack.udp(ports::LISP_CONTROL, self.car, ports::LISP_CONTROL, &req.to_bytes());
+            ctx.send(0, pkt);
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
+            let Ok(Parsed::Udp { dst, payload, .. }) = IpStack::parse(&bytes) else { return };
+            if dst != self.stack.addr {
+                return;
+            }
+            if let Ok(reply) = MapReply::from_bytes(&payload) {
+                self.reply_at = Some(ctx.now());
+                self.reply = Some(reply);
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn wire_star(sim: &mut Sim, core: NodeId, nodes: &[(NodeId, Ipv4Address)], owd: Ns) {
+        for &(node, addr) in nodes {
+            let (_, port) = sim.connect(node, core, LinkCfg::wan(owd));
+            sim.node_mut::<Router>(core).add_route(Prefix::host(addr), port);
+        }
+    }
+
+    /// Two CARs under one CDR; request from CAR-S side resolves a site
+    /// attached to CAR-D; the reply retraces the overlay.
+    #[test]
+    fn request_up_down_reply_retraces() {
+        let mut sim = Sim::new(4);
+        sim.trace.enable();
+        let core = sim.add_node("core", Box::new(Router::new()));
+
+        let car_s_addr = a([9, 1, 0, 1]);
+        let cdr_addr = a([9, 0, 0, 1]);
+        let car_d_addr = a([9, 2, 0, 1]);
+        let etr_addr = a([12, 0, 0, 1]);
+        let itr_addr = a([10, 0, 0, 1]);
+        let site = Prefix::new(a([101, 0, 0, 0]), 8);
+
+        let car_s = ConsNode::new(car_s_addr, Some(cdr_addr));
+        let mut cdr = ConsNode::new(cdr_addr, None);
+        cdr.add_child(site, car_d_addr);
+        let mut car_d = ConsNode::new(car_d_addr, Some(cdr_addr));
+        car_d.add_site(site, etr_addr);
+
+        let record = MapRecord {
+            eid_prefix: a([101, 0, 0, 0]),
+            prefix_len: 8,
+            ttl_minutes: 60,
+            locators: vec![Locator::new(etr_addr, 1, 100)],
+        };
+
+        let n_car_s = sim.add_node("car-s", Box::new(car_s));
+        let n_cdr = sim.add_node("cdr", Box::new(cdr));
+        let n_car_d = sim.add_node("car-d", Box::new(car_d));
+        let n_etr = sim.add_node("etr", Box::new(EtrStub { stack: IpStack::new(etr_addr), record, answered: 0 }));
+        let n_itr = sim.add_node(
+            "itr",
+            Box::new(ItrStub { stack: IpStack::new(itr_addr), car: car_s_addr, target: a([101, 0, 0, 7]), reply_at: None, reply: None }),
+        );
+
+        wire_star(
+            &mut sim,
+            core,
+            &[
+                (n_car_s, car_s_addr),
+                (n_cdr, cdr_addr),
+                (n_car_d, car_d_addr),
+                (n_etr, etr_addr),
+                (n_itr, itr_addr),
+            ],
+            Ns::from_ms(10),
+        );
+        sim.schedule_timer(n_itr, Ns::ZERO, 0);
+        sim.run();
+
+        let itr = sim.node_mut::<ItrStub>(n_itr);
+        let reply = itr.reply.clone().expect("no reply");
+        assert_eq!(reply.nonce, 77);
+        assert_eq!(reply.records[0].locators[0].rloc, etr_addr);
+        // Path: itr->car_s->cdr->car_d->etr->car_d->cdr->car_s->itr
+        // = 8 one-way underlay trips of 20 ms each ≥ 160 ms.
+        assert!(itr.reply_at.unwrap() >= Ns::from_ms(160));
+        assert_eq!(sim.node_ref::<EtrStub>(n_etr).answered, 1);
+        assert_eq!(sim.node_ref::<ConsNode>(n_car_d).delivered, 1);
+        // Reply relayed by car_d, cdr and car_s.
+        let relayed: u64 = [n_car_s, n_cdr, n_car_d]
+            .iter()
+            .map(|&n| sim.node_ref::<ConsNode>(n).replies_relayed)
+            .sum();
+        assert_eq!(relayed, 3);
+    }
+
+    #[test]
+    fn unknown_target_dropped_at_root() {
+        let mut sim = Sim::new(4);
+        let cdr_addr = a([9, 0, 0, 1]);
+        let itr_addr = a([10, 0, 0, 1]);
+        let cdr = sim.add_node("cdr", Box::new(ConsNode::new(cdr_addr, None)));
+        let itr = sim.add_node(
+            "itr",
+            Box::new(ItrStub { stack: IpStack::new(itr_addr), car: cdr_addr, target: a([55, 0, 0, 1]), reply_at: None, reply: None }),
+        );
+        sim.connect(itr, cdr, LinkCfg::wan(Ns::from_ms(5)));
+        sim.schedule_timer(itr, Ns::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.node_ref::<ConsNode>(cdr).dropped, 1);
+        assert!(sim.node_ref::<ItrStub>(itr).reply.is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! `mapsys` — the baseline LISP mapping systems the paper positions its
+//! control plane against (§1: "the current proposals for its control plane
+//! (e.g., ALT, CONS, NERD) have various shortcomings").
+//!
+//! * [`api`] — the shared mapping database used to configure every system
+//!   consistently in experiments.
+//! * [`mrms`] — a Map-Resolver/Map-Server pull system: one indirection hop
+//!   between the ITR and the authoritative ETR.
+//! * [`alt`] — LISP+ALT: an aggregated overlay; Map-Requests are routed
+//!   hop-by-hop through overlay routers (BGP-over-GRE in the draft,
+//!   modelled as real UDP hops with per-hop processing delay); the ETR
+//!   replies *directly* to the ITR over native forwarding.
+//! * [`cons`] — LISP-CONS: a CAR/CDR hierarchy; both the request *and the
+//!   reply* traverse the overlay (record-route emulation of CONS's
+//!   connection-oriented state).
+//! * [`nerd`] — NERD: a central authority pushes the *full* database to
+//!   every subscriber xTR; lookups never miss once synchronised, at the
+//!   cost of global state and slow update propagation (experiment E8).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod alt;
+pub mod api;
+pub mod cons;
+pub mod mrms;
+pub mod nerd;
+
+pub use alt::AltRouter;
+pub use api::MappingDb;
+pub use cons::ConsNode;
+pub use mrms::MapResolver;
+pub use nerd::NerdAuthority;

@@ -1,0 +1,227 @@
+//! Map-Resolver / Map-Server: the single-indirection pull baseline.
+//!
+//! The ITR sends its Map-Request to the map-resolver, which knows the
+//! authoritative ETR for every registered prefix and forwards the request
+//! there; the ETR Map-Replies directly to the ITR. Resolution latency is
+//! therefore `OWD(ITR,MR) + OWD(MR,ETR) + OWD(ETR,ITR)` plus processing.
+
+use crate::api::MappingDb;
+use inet::stack::{IpStack, Parsed};
+use inet::LpmTrie;
+use lispwire::lispctl::MapRequest;
+use lispwire::{ports, Ipv4Address};
+use netsim::{Ctx, Node, Ns, PortId};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// The map-resolver node.
+pub struct MapResolver {
+    stack: IpStack,
+    table: LpmTrie<Ipv4Address>,
+    processing_delay: Ns,
+    outbox: VecDeque<Vec<u8>>,
+    /// Requests forwarded to an authoritative ETR.
+    pub forwarded: u64,
+    /// Requests for unregistered prefixes (dropped; ITR will retry and
+    /// eventually give up — LISP sends a negative reply in later drafts,
+    /// draft-08 behaviour is silence).
+    pub unresolved: u64,
+}
+
+const TOKEN_FWD: u64 = 1;
+
+impl MapResolver {
+    /// A resolver at `addr` seeded from the shared database.
+    pub fn new(addr: Ipv4Address, db: &MappingDb) -> Self {
+        let mut table = LpmTrie::new();
+        for site in db.sites() {
+            table.insert(site.prefix, site.etr_addr);
+        }
+        Self {
+            stack: IpStack::new(addr),
+            table,
+            processing_delay: Ns::from_us(50),
+            outbox: VecDeque::new(),
+            forwarded: 0,
+            unresolved: 0,
+        }
+    }
+
+    /// Override the per-request processing delay.
+    pub fn with_processing_delay(mut self, d: Ns) -> Self {
+        self.processing_delay = d;
+        self
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> Ipv4Address {
+        self.stack.addr
+    }
+}
+
+impl Node for MapResolver {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+        let Ok(Parsed::Udp { dst, dst_port, payload, .. }) = IpStack::parse(&bytes) else {
+            return;
+        };
+        if dst != self.stack.addr || dst_port != ports::LISP_CONTROL {
+            return;
+        }
+        let Ok(req) = MapRequest::from_bytes(&payload) else { return };
+        match self.table.lookup_value(req.target_eid) {
+            Some(&etr) => {
+                self.forwarded += 1;
+                ctx.trace(format!("map-resolver forwards request for {} to {}", req.target_eid, etr));
+                let pkt = self.stack.udp(ports::LISP_CONTROL, etr, ports::LISP_CONTROL, &payload);
+                self.outbox.push_back(pkt);
+                ctx.set_timer(self.processing_delay, TOKEN_FWD);
+            }
+            None => {
+                self.unresolved += 1;
+                ctx.trace(format!("map-resolver has no entry for {}", req.target_eid));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_FWD {
+            if let Some(pkt) = self.outbox.pop_front() {
+                ctx.send(0, pkt);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SiteEntry;
+    use inet::{Prefix, Router};
+    use lispdp::{CpMode, MissPolicy, Xtr, XtrConfig};
+    use netsim::{LinkCfg, Sim};
+
+    fn a(o: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(o)
+    }
+
+    /// Full pull resolution: host packet -> ITR miss -> MR -> ETR -> reply.
+    #[test]
+    fn end_to_end_resolution_via_mrms() {
+        let mut sim = Sim::new(3);
+        sim.trace.enable();
+        let eid_space = vec![Prefix::new(a([100, 0, 0, 0]), 6)];
+
+        let mut db = MappingDb::new();
+        db.register(SiteEntry::single(Prefix::new(a([101, 0, 0, 0]), 8), a([12, 0, 0, 1]), 60));
+
+        // Site S sender host.
+        struct Src {
+            pkt: Vec<u8>,
+        }
+        impl Node for Src {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.send(0, self.pkt.clone());
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct Dst {
+            pub got: u64,
+        }
+        impl Node for Dst {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, _b: Vec<u8>) {
+                self.got += 1;
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let data = IpStack::new(a([100, 0, 0, 5])).udp(7000, a([101, 0, 0, 7]), 7001, b"hello");
+        let src = sim.add_node("src", Box::new(Src { pkt: data }));
+        let dst = sim.add_node("dst", Box::new(Dst { got: 0 }));
+
+        let mut cfg_s = XtrConfig::new(
+            a([10, 0, 0, 1]),
+            Prefix::new(a([100, 0, 0, 0]), 8),
+            eid_space.clone(),
+            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 1])) },
+        );
+        cfg_s.miss_policy = MissPolicy::Queue { max_packets: 8 };
+        let xtr_s = sim.add_node("xtr-s", Box::new(Xtr::new(cfg_s)));
+
+        let cfg_d = XtrConfig::new(
+            a([12, 0, 0, 1]),
+            Prefix::new(a([101, 0, 0, 0]), 8),
+            eid_space,
+            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 1])) },
+        );
+        let xtr_d = sim.add_node("xtr-d", Box::new(Xtr::new(cfg_d)));
+
+        let mr = sim.add_node("map-resolver", Box::new(MapResolver::new(a([8, 0, 0, 1]), &db)));
+        let core = sim.add_node("core", Box::new(Router::new()));
+
+        sim.connect(src, xtr_s, LinkCfg::lan());
+        sim.connect(dst, xtr_d, LinkCfg::lan());
+        let (_, p_s) = sim.connect(xtr_s, core, LinkCfg::wan(Ns::from_ms(25)));
+        let (_, p_d) = sim.connect(xtr_d, core, LinkCfg::wan(Ns::from_ms(25)));
+        let (_, p_mr) = sim.connect(mr, core, LinkCfg::wan(Ns::from_ms(15)));
+        {
+            let r = sim.node_mut::<Router>(core);
+            r.add_route(Prefix::new(a([10, 0, 0, 0]), 8), p_s);
+            r.add_route(Prefix::new(a([12, 0, 0, 0]), 8), p_d);
+            r.add_route(Prefix::new(a([8, 0, 0, 0]), 8), p_mr);
+        }
+
+        sim.schedule_timer(src, Ns::ZERO, 0);
+        sim.run();
+
+        assert_eq!(sim.node_ref::<Dst>(dst).got, 1);
+        assert_eq!(sim.node_ref::<MapResolver>(mr).forwarded, 1);
+        let x = sim.node_mut::<Xtr>(xtr_s);
+        assert_eq!(x.stats.map_replies_received, 1);
+        assert_eq!(x.stats.flushed, 1);
+        // Resolution latency ≈ ITR->MR (25+15) + MR->ETR (15+25) + ETR->ITR (25+25) = 130 ms.
+        assert!(x.queue_delays[0] >= Ns::from_ms(130), "delay {}", x.queue_delays[0]);
+        assert!(x.queue_delays[0] < Ns::from_ms(200), "delay {}", x.queue_delays[0]);
+        let xd = sim.node_mut::<Xtr>(xtr_d);
+        assert_eq!(xd.stats.map_requests_answered, 1);
+    }
+
+    #[test]
+    fn unregistered_prefix_counted() {
+        let mut sim = Sim::new(3);
+        let db = MappingDb::new();
+        let mr = sim.add_node("mr", Box::new(MapResolver::new(a([8, 0, 0, 1]), &db)));
+        struct Asker {
+            stack: IpStack,
+        }
+        impl Node for Asker {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                let req = MapRequest {
+                    nonce: 5,
+                    source_eid: a([100, 0, 0, 1]),
+                    target_eid: a([101, 0, 0, 1]),
+                    itr_rloc: a([10, 0, 0, 1]),
+                    hop_count: 8,
+                };
+                let pkt = self.stack.udp(ports::LISP_CONTROL, a([8, 0, 0, 1]), ports::LISP_CONTROL, &req.to_bytes());
+                ctx.send(0, pkt);
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let asker = sim.add_node("asker", Box::new(Asker { stack: IpStack::new(a([10, 0, 0, 1])) }));
+        sim.connect(asker, mr, LinkCfg::wan(Ns::from_ms(5)));
+        sim.schedule_timer(asker, Ns::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.node_ref::<MapResolver>(mr).unresolved, 1);
+        assert_eq!(sim.node_ref::<MapResolver>(mr).forwarded, 0);
+    }
+}

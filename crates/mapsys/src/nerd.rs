@@ -1,0 +1,228 @@
+//! NERD: a Not-so-novel EID-to-RLOC Database (draft-lear-lisp-nerd).
+//!
+//! A central authority holds the complete mapping database and pushes it
+//! to every subscriber xTR. After synchronisation an ITR never misses —
+//! NERD's strength — but every router carries global state and an update
+//! is visible only after the next push completes (its weaknesses,
+//! quantified in experiment E8).
+
+use crate::api::MappingDb;
+use inet::stack::IpStack;
+use lispwire::lispctl::{DbPush, MapRecord};
+use lispwire::{ports, Ipv4Address};
+use netsim::{Ctx, Node, Ns};
+use std::any::Any;
+
+/// The central NERD authority node.
+pub struct NerdAuthority {
+    stack: IpStack,
+    records: Vec<MapRecord>,
+    subscribers: Vec<Ipv4Address>,
+    chunk_records: usize,
+    version: u32,
+    /// Push batches transmitted (chunks × subscribers).
+    pub chunks_sent: u64,
+    /// Bytes of database pushed in total.
+    pub bytes_pushed: u64,
+    /// Completed full-database push rounds.
+    pub push_rounds: u64,
+}
+
+/// Timer token: start (or restart) a full push round.
+pub const TOKEN_PUSH: u64 = 0x9e4d;
+
+impl NerdAuthority {
+    /// An authority at `addr` seeded from the shared database, pushing to
+    /// `subscribers`.
+    pub fn new(addr: Ipv4Address, db: &MappingDb, subscribers: Vec<Ipv4Address>) -> Self {
+        Self {
+            stack: IpStack::new(addr),
+            records: db.records(),
+            subscribers,
+            chunk_records: 64,
+            version: 1,
+            chunks_sent: 0,
+            bytes_pushed: 0,
+            push_rounds: 0,
+        }
+    }
+
+    /// Override the records-per-chunk granularity.
+    pub fn with_chunk_records(mut self, n: usize) -> Self {
+        self.chunk_records = n.max(1);
+        self
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> Ipv4Address {
+        self.stack.addr
+    }
+
+    /// Current database version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Replace/extend the database (an "update"), bumping the version.
+    /// The new data reaches subscribers only at the next push round.
+    pub fn update(&mut self, record: MapRecord) {
+        // Replace a record for the same prefix if present.
+        if let Some(existing) = self
+            .records
+            .iter_mut()
+            .find(|r| r.eid_prefix == record.eid_prefix && r.prefix_len == record.prefix_len)
+        {
+            *existing = record;
+        } else {
+            self.records.push(record);
+        }
+        self.version += 1;
+    }
+
+    /// Execute one full push round immediately.
+    pub fn push_all(&mut self, ctx: &mut Ctx<'_>) {
+        let chunks: Vec<Vec<MapRecord>> = self
+            .records
+            .chunks(self.chunk_records)
+            .map(|c| c.to_vec())
+            .collect();
+        let total = chunks.len().max(1) as u16;
+        for sub in self.subscribers.clone() {
+            for (i, chunk) in chunks.iter().enumerate() {
+                let push = DbPush {
+                    version: self.version,
+                    chunk: i as u16,
+                    total_chunks: total,
+                    records: chunk.clone(),
+                };
+                let body = push.to_bytes();
+                self.bytes_pushed += body.len() as u64;
+                self.chunks_sent += 1;
+                let pkt = self.stack.udp(ports::LISP_CONTROL, sub, ports::LISP_CONTROL, &body);
+                ctx.send(0, pkt);
+            }
+        }
+        self.push_rounds += 1;
+        ctx.trace(format!(
+            "nerd v{} pushed {} records to {} subscribers",
+            self.version,
+            self.records.len(),
+            self.subscribers.len()
+        ));
+    }
+
+    /// Database size in records.
+    pub fn db_len(&self) -> usize {
+        self.records.len()
+    }
+}
+
+impl Node for NerdAuthority {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Initial synchronisation shortly after boot.
+        ctx.set_timer(Ns::from_us(10), TOKEN_PUSH);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_PUSH {
+            self.push_all(ctx);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SiteEntry;
+    use inet::{Prefix, Router};
+    use lispdp::{CpMode, Xtr, XtrConfig};
+    use lispwire::lispctl::Locator;
+    use netsim::{LinkCfg, Sim};
+
+    fn a(o: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(o)
+    }
+
+    fn build() -> (Sim, netsim::NodeId, netsim::NodeId) {
+        let mut sim = Sim::new(6);
+        sim.trace.enable();
+        let eid_space = vec![Prefix::new(a([100, 0, 0, 0]), 6)];
+        let mut db = MappingDb::new();
+        db.register(SiteEntry::single(Prefix::new(a([101, 0, 0, 0]), 8), a([12, 0, 0, 1]), 1440));
+        db.register(SiteEntry::single(Prefix::new(a([102, 0, 0, 0]), 8), a([13, 0, 0, 1]), 1440));
+
+        let cfg = XtrConfig::new(a([10, 0, 0, 1]), Prefix::new(a([100, 0, 0, 0]), 8), eid_space, CpMode::PushDb);
+        let xtr = sim.add_node("xtr", Box::new(Xtr::new(cfg)));
+        let auth = sim.add_node(
+            "nerd",
+            Box::new(NerdAuthority::new(a([8, 0, 0, 2]), &db, vec![a([10, 0, 0, 1])]).with_chunk_records(1)),
+        );
+        let core = sim.add_node("core", Box::new(Router::new()));
+        // xTR site port placeholder (unused), then WAN to core.
+        struct Idle;
+        impl Node for Idle {
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let idle = sim.add_node("site", Box::new(Idle));
+        sim.connect(idle, xtr, LinkCfg::lan());
+        let (_, px) = sim.connect(xtr, core, LinkCfg::wan(Ns::from_ms(20)));
+        let (_, pa) = sim.connect(auth, core, LinkCfg::wan(Ns::from_ms(20)));
+        {
+            let r = sim.node_mut::<Router>(core);
+            r.add_route(Prefix::new(a([10, 0, 0, 0]), 8), px);
+            r.add_route(Prefix::new(a([8, 0, 0, 0]), 8), pa);
+        }
+        (sim, xtr, auth)
+    }
+
+    #[test]
+    fn boot_push_populates_subscriber() {
+        let (mut sim, xtr, auth) = build();
+        sim.run();
+        let x = sim.node_mut::<Xtr>(xtr);
+        assert_eq!(x.stats.db_records_installed, 2);
+        assert_eq!(x.cache.len(), 2);
+        let n = sim.node_ref::<NerdAuthority>(auth);
+        assert_eq!(n.push_rounds, 1);
+        assert_eq!(n.chunks_sent, 2); // 2 records, chunk size 1, 1 subscriber
+        assert!(n.bytes_pushed > 0);
+    }
+
+    #[test]
+    fn update_propagates_on_next_round() {
+        let (mut sim, xtr, auth) = build();
+        sim.run();
+        // Update: site 101/8 moves to a new RLOC.
+        {
+            let n = sim.node_mut::<NerdAuthority>(auth);
+            n.update(MapRecord {
+                eid_prefix: a([101, 0, 0, 0]),
+                prefix_len: 8,
+                ttl_minutes: 1440,
+                locators: vec![Locator::new(a([14, 0, 0, 9]), 1, 100)],
+            });
+            assert_eq!(n.version(), 2);
+            assert_eq!(n.db_len(), 2);
+        }
+        // Subscriber still has the old locator until the next push.
+        {
+            let x = sim.node_mut::<Xtr>(xtr);
+            let now = netsim::Ns::from_secs(1);
+            let rec = x.cache.lookup(a([101, 0, 0, 7]), now).unwrap();
+            assert_eq!(rec.locators[0].rloc, a([12, 0, 0, 1]));
+        }
+        // Trigger the next round.
+        sim.schedule_timer(auth, Ns::ZERO, TOKEN_PUSH);
+        sim.run();
+        let now = sim.now() + Ns::from_secs(1);
+        let x = sim.node_mut::<Xtr>(xtr);
+        let rec = x.cache.lookup(a([101, 0, 0, 7]), now).unwrap();
+        assert_eq!(rec.locators[0].rloc, a([14, 0, 0, 9]));
+    }
+}

@@ -1,0 +1,153 @@
+//! The [`Node`] behaviour trait and the [`Ctx`] handle through which nodes
+//! interact with the simulation.
+
+use crate::link::{Transmitter, TxOutcome};
+use crate::time::Ns;
+use crate::trace::Trace;
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Identifies a node within a simulation.
+pub type NodeId = usize;
+
+/// Identifies one of a node's attachment points (interfaces), in the order
+/// the node was connected.
+pub type PortId = usize;
+
+/// Behaviour of a simulated element (host, router, DNS server, xTR, PCE…).
+///
+/// Implementations must also provide `as_any` so experiment code can
+/// downcast and read results after a run:
+///
+/// ```ignore
+/// fn as_any(&mut self) -> &mut dyn std::any::Any { self }
+/// ```
+pub trait Node {
+    /// Called once when the simulation starts (before any event).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A packet arrived on `port`.
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _bytes: Vec<u8>) {}
+
+    /// A timer set via [`Ctx::set_timer`] (or externally via
+    /// `Sim::schedule_timer`) fired with its token.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Downcast support (see trait docs).
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+/// Internal: where a port leads — which peer node/port and which
+/// transmitter index carries packets in that direction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PortBinding {
+    pub peer_node: NodeId,
+    pub peer_port: PortId,
+    pub tx_index: usize,
+}
+
+/// An action queued by a node during event handling, applied by the engine
+/// afterwards.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Deliver { at: Ns, node: NodeId, port: PortId, bytes: Vec<u8> },
+    Timer { at: Ns, node: NodeId, token: u64 },
+    Stop,
+}
+
+/// The handle through which a node interacts with the simulation while
+/// handling an event.
+pub struct Ctx<'a> {
+    pub(crate) now: Ns,
+    pub(crate) node: NodeId,
+    pub(crate) node_name: &'a str,
+    pub(crate) ports: &'a [PortBinding],
+    pub(crate) transmitters: &'a mut [Transmitter],
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) trace: &'a mut Trace,
+    pub(crate) counters: &'a mut BTreeMap<String, u64>,
+    pub(crate) actions: &'a mut Vec<Action>,
+}
+
+impl<'a> Ctx<'a> {
+    /// The current virtual time.
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of ports this node has.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Send `bytes` out of `port`. Queueing, serialisation, propagation
+    /// and fault injection are applied by the link; delivery to the peer
+    /// is scheduled automatically. Returns `false` if the packet was
+    /// dropped (queue full or fault injection).
+    ///
+    /// # Panics
+    /// Panics if `port` is not connected.
+    pub fn send(&mut self, port: PortId, bytes: Vec<u8>) -> bool {
+        let binding = self.ports[port];
+        let tx = &mut self.transmitters[binding.tx_index];
+        // Fault injection: random drop.
+        if tx.cfg.drop_prob > 0.0 && self.rng.random_bool(tx.cfg.drop_prob) {
+            tx.stats.fault_drops += 1;
+            return false;
+        }
+        let mut bytes = bytes;
+        // Fault injection: corrupt one random octet.
+        if tx.cfg.corrupt_prob > 0.0 && !bytes.is_empty() && self.rng.random_bool(tx.cfg.corrupt_prob)
+        {
+            let idx = self.rng.random_range(0..bytes.len());
+            bytes[idx] ^= 1 << self.rng.random_range(0..8u8);
+            tx.stats.corrupted += 1;
+        }
+        match tx.offer(self.now, bytes.len()) {
+            TxOutcome::Deliver { arrival } => {
+                self.actions.push(Action::Deliver {
+                    at: arrival,
+                    node: binding.peer_node,
+                    port: binding.peer_port,
+                    bytes,
+                });
+                true
+            }
+            TxOutcome::QueueDrop => false,
+        }
+    }
+
+    /// Set a timer to fire after `delay` with `token`.
+    pub fn set_timer(&mut self, delay: Ns, token: u64) {
+        self.actions.push(Action::Timer { at: self.now + delay, node: self.node, token });
+    }
+
+    /// Record a trace message (no-op unless tracing is enabled).
+    pub fn trace(&mut self, msg: impl Into<String>) {
+        if self.trace.is_enabled() {
+            self.trace.push(self.now, self.node, self.node_name, msg.into());
+        }
+    }
+
+    /// Increment a global counter by `n`.
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// The simulation RNG (seeded; deterministic).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Stop the simulation after this event is processed.
+    pub fn stop(&mut self) {
+        self.actions.push(Action::Stop);
+    }
+}

@@ -1,0 +1,518 @@
+//! The simulation engine: event queue, node registry, link registry.
+
+use crate::link::{LinkCfg, LinkStats, Transmitter};
+use crate::node::{Action, Ctx, Node, NodeId, PortBinding, PortId};
+use crate::time::Ns;
+use crate::trace::Trace;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+#[derive(Debug)]
+enum EventKind {
+    Packet { port: PortId, bytes: Vec<u8> },
+    Timer { token: u64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: Ns,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind,
+}
+
+/// A deterministic discrete-event simulation.
+pub struct Sim {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    names: Vec<String>,
+    ports: Vec<Vec<PortBinding>>,
+    transmitters: Vec<Transmitter>,
+    queue: BinaryHeap<Reverse<(u64, u64)>>, // (time, seq)
+    events: BTreeMap<u64, Event>,           // seq -> event
+    now: Ns,
+    seq: u64,
+    rng: SmallRng,
+    /// The trace log (enable before running to record).
+    pub trace: Trace,
+    counters: BTreeMap<String, u64>,
+    stopped: bool,
+    started: bool,
+    events_processed: u64,
+    event_limit: u64,
+}
+
+impl Sim {
+    /// Create a simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            names: Vec::new(),
+            ports: Vec::new(),
+            transmitters: Vec::new(),
+            queue: BinaryHeap::new(),
+            events: BTreeMap::new(),
+            now: Ns::ZERO,
+            seq: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            trace: Trace::new(),
+            counters: BTreeMap::new(),
+            stopped: false,
+            started: false,
+            events_processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Register a node; returns its id.
+    pub fn add_node(&mut self, name: &str, node: Box<dyn Node>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Some(node));
+        self.names.push(name.to_string());
+        self.ports.push(Vec::new());
+        id
+    }
+
+    /// Connect two nodes with a duplex link using `cfg` for both
+    /// directions. Returns the port ids assigned at `a` and `b`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, cfg: LinkCfg) -> (PortId, PortId) {
+        self.connect_asym(a, b, cfg, cfg)
+    }
+
+    /// Connect two nodes with per-direction configurations
+    /// (`cfg_ab` carries a→b, `cfg_ba` carries b→a).
+    pub fn connect_asym(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        cfg_ab: LinkCfg,
+        cfg_ba: LinkCfg,
+    ) -> (PortId, PortId) {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "unknown node");
+        let tx_ab = self.transmitters.len();
+        self.transmitters.push(Transmitter::new(cfg_ab));
+        let tx_ba = self.transmitters.len();
+        self.transmitters.push(Transmitter::new(cfg_ba));
+        let port_a = self.ports[a].len();
+        let port_b = self.ports[b].len();
+        self.ports[a].push(PortBinding { peer_node: b, peer_port: port_b, tx_index: tx_ab });
+        self.ports[b].push(PortBinding { peer_node: a, peer_port: port_a, tx_index: tx_ba });
+        (port_a, port_b)
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// A node's display name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Schedule a timer for `node` at absolute-delay `delay` from now.
+    pub fn schedule_timer(&mut self, node: NodeId, delay: Ns, token: u64) {
+        let at = self.now + delay;
+        self.push_event(Event { at, seq: 0, node, kind: EventKind::Timer { token } });
+    }
+
+    /// Global counter value (see [`Ctx::count`]).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All global counters.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Transmit statistics of the `dir` direction of the `n`-th link
+    /// created (0-based; direction 0 = a→b of that `connect` call).
+    pub fn link_stats(&self, link: usize, dir: usize) -> LinkStats {
+        self.transmitters[link * 2 + dir].stats
+    }
+
+    /// Number of links created so far (the index the *next* `connect`
+    /// call will get).
+    pub fn link_count(&self) -> usize {
+        self.transmitters.len() / 2
+    }
+
+    /// Sum of queue-drop counts across all links.
+    pub fn total_queue_drops(&self) -> u64 {
+        self.transmitters.iter().map(|t| t.stats.queue_drops).sum()
+    }
+
+    /// Sum of fault-drop counts across all links.
+    pub fn total_fault_drops(&self) -> u64 {
+        self.transmitters.iter().map(|t| t.stats.fault_drops).sum()
+    }
+
+    /// Limit the number of processed events (runaway protection in tests).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if the type does not match or the node is mid-event.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id]
+            .as_mut()
+            .expect("node is mid-event")
+            .as_any()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if the type does not match or the node is mid-event.
+    pub fn node_ref<T: 'static>(&mut self, id: NodeId) -> &T {
+        // Downcasting through `as_any` requires &mut; expose as shared.
+        &*self.node_mut::<T>(id)
+    }
+
+    fn push_event(&mut self, mut ev: Event) {
+        self.seq += 1;
+        ev.seq = self.seq;
+        self.queue.push(Reverse((ev.at.0, ev.seq)));
+        self.events.insert(ev.seq, ev);
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        let node_id = ev.node;
+        let mut node = match self.nodes[node_id].take() {
+            Some(n) => n,
+            None => return, // node is being dispatched already (cannot happen single-threaded)
+        };
+        let mut actions: Vec<Action> = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                node: node_id,
+                node_name: &self.names[node_id],
+                ports: &self.ports[node_id],
+                transmitters: &mut self.transmitters,
+                rng: &mut self.rng,
+                trace: &mut self.trace,
+                counters: &mut self.counters,
+                actions: &mut actions,
+            };
+            match ev.kind {
+                EventKind::Packet { port, bytes } => node.on_packet(&mut ctx, port, bytes),
+                EventKind::Timer { token } => node.on_timer(&mut ctx, token),
+            }
+        }
+        self.nodes[node_id] = Some(node);
+        for action in actions {
+            match action {
+                Action::Deliver { at, node, port, bytes } => {
+                    self.push_event(Event { at, seq: 0, node, kind: EventKind::Packet { port, bytes } });
+                }
+                Action::Timer { at, node, token } => {
+                    self.push_event(Event { at, seq: 0, node, kind: EventKind::Timer { token } });
+                }
+                Action::Stop => self.stopped = true,
+            }
+        }
+    }
+
+    fn start_all(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node_id in 0..self.nodes.len() {
+            let mut node = self.nodes[node_id].take().expect("node missing at start");
+            let mut actions: Vec<Action> = Vec::new();
+            {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    node: node_id,
+                    node_name: &self.names[node_id],
+                    ports: &self.ports[node_id],
+                    transmitters: &mut self.transmitters,
+                    rng: &mut self.rng,
+                    trace: &mut self.trace,
+                    counters: &mut self.counters,
+                    actions: &mut actions,
+                };
+                node.on_start(&mut ctx);
+            }
+            self.nodes[node_id] = Some(node);
+            for action in actions {
+                match action {
+                    Action::Deliver { at, node, port, bytes } => {
+                        self.push_event(Event { at, seq: 0, node, kind: EventKind::Packet { port, bytes } });
+                    }
+                    Action::Timer { at, node, token } => {
+                        self.push_event(Event { at, seq: 0, node, kind: EventKind::Timer { token } });
+                    }
+                    Action::Stop => self.stopped = true,
+                }
+            }
+        }
+    }
+
+    /// Run until the event queue is empty, a node calls [`Ctx::stop`], or
+    /// the event limit is hit.
+    pub fn run(&mut self) {
+        self.run_until(Ns::MAX);
+    }
+
+    /// Run until virtual time `deadline` (events at exactly `deadline` are
+    /// processed), the queue drains, or a stop is requested.
+    pub fn run_until(&mut self, deadline: Ns) {
+        self.start_all();
+        while !self.stopped && self.events_processed < self.event_limit {
+            let Some(&Reverse((at, seq))) = self.queue.peek() else {
+                break;
+            };
+            if Ns(at) > deadline {
+                break;
+            }
+            self.queue.pop();
+            let ev = self.events.remove(&seq).expect("event table out of sync");
+            debug_assert!(Ns(at) >= self.now, "time went backwards");
+            self.now = Ns(at);
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        if self.now < deadline && deadline != Ns::MAX {
+            self.now = deadline;
+        }
+    }
+
+    /// True if a stop was requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkCfg;
+
+    struct Echo;
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, bytes: Vec<u8>) {
+            ctx.send(port, bytes);
+        }
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    struct Pinger {
+        sent_at: Ns,
+        rtt: Option<Ns>,
+        payload: usize,
+    }
+    impl Node for Pinger {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            self.sent_at = ctx.now();
+            ctx.send(0, vec![0u8; self.payload]);
+            ctx.trace("ping sent");
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, _bytes: Vec<u8>) {
+            self.rtt = Some(ctx.now() - self.sent_at);
+            ctx.trace("pong received");
+            ctx.count("pongs", 1);
+        }
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn ping_sim(delay: Ns, payload: usize) -> (Sim, NodeId) {
+        let mut sim = Sim::new(7);
+        let a = sim.add_node("pinger", Box::new(Pinger { sent_at: Ns::ZERO, rtt: None, payload }));
+        let b = sim.add_node("echo", Box::new(Echo));
+        sim.connect(a, b, LinkCfg::wan(delay));
+        sim.schedule_timer(a, Ns::ZERO, 0);
+        (sim, a)
+    }
+
+    #[test]
+    fn rtt_is_twice_owd_plus_serialization() {
+        let (mut sim, a) = ping_sim(Ns::from_ms(25), 1250);
+        sim.run();
+        // 1250 B at 1 Gbps = 10 us serialisation each way.
+        let expect = (Ns::from_ms(25) + Ns::from_us(10)) * 2;
+        assert_eq!(sim.node_ref::<Pinger>(a).rtt, Some(expect));
+        assert_eq!(sim.counter("pongs"), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, a) = ping_sim(Ns::from_ms(25), 1250);
+        sim.run_until(Ns::from_ms(10));
+        assert_eq!(sim.node_ref::<Pinger>(a).rtt, None);
+        assert_eq!(sim.now(), Ns::from_ms(10));
+        sim.run_until(Ns::from_ms(100));
+        assert!(sim.node_ref::<Pinger>(a).rtt.is_some());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut sim = Sim::new(seed);
+            sim.trace.enable();
+            let a = sim.add_node("pinger", Box::new(Pinger { sent_at: Ns::ZERO, rtt: None, payload: 100 }));
+            let b = sim.add_node("echo", Box::new(Echo));
+            sim.connect(a, b, LinkCfg::wan(Ns::from_ms(5)).with_drop_prob(0.3));
+            for i in 0..20 {
+                sim.schedule_timer(a, Ns::from_ms(i), i);
+            }
+            sim.run();
+            sim.trace.render()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn fault_drops_counted() {
+        let mut sim = Sim::new(3);
+        let a = sim.add_node("pinger", Box::new(Pinger { sent_at: Ns::ZERO, rtt: None, payload: 100 }));
+        let b = sim.add_node("echo", Box::new(Echo));
+        sim.connect(a, b, LinkCfg::wan(Ns::from_ms(1)).with_drop_prob(1.0));
+        sim.schedule_timer(a, Ns::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.node_ref::<Pinger>(a).rtt, None);
+        assert_eq!(sim.total_fault_drops(), 1);
+    }
+
+    #[test]
+    fn corruption_flips_one_bit() {
+        struct Collect {
+            got: Option<Vec<u8>>,
+        }
+        impl Node for Collect {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+                self.got = Some(bytes);
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        struct Sender;
+        impl Node for Sender {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                ctx.send(0, vec![0u8; 64]);
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(5);
+        let s = sim.add_node("s", Box::new(Sender));
+        let c = sim.add_node("c", Box::new(Collect { got: None }));
+        sim.connect(s, c, LinkCfg::lan().with_corrupt_prob(1.0));
+        sim.schedule_timer(s, Ns::ZERO, 0);
+        sim.run();
+        let got = sim.node_ref::<Collect>(c).got.clone().unwrap();
+        let ones: u32 = got.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit flipped");
+        assert_eq!(sim.link_stats(0, 0).corrupted, 1);
+    }
+
+    #[test]
+    fn same_time_events_fifo() {
+        struct Recorder {
+            tokens: Vec<u64>,
+        }
+        impl Node for Recorder {
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.tokens.push(token);
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(1);
+        let r = sim.add_node("r", Box::new(Recorder { tokens: Vec::new() }));
+        for t in [3u64, 1, 4, 1, 5] {
+            sim.schedule_timer(r, Ns::from_ms(1), t);
+        }
+        sim.run();
+        assert_eq!(sim.node_ref::<Recorder>(r).tokens, vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn event_limit_halts() {
+        struct Looper;
+        impl Node for Looper {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                ctx.set_timer(Ns::from_us(1), token + 1);
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(1);
+        let l = sim.add_node("loop", Box::new(Looper));
+        sim.schedule_timer(l, Ns::ZERO, 0);
+        sim.set_event_limit(100);
+        sim.run();
+        assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        struct Stopper {
+            fired: u64,
+        }
+        impl Node for Stopper {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                self.fired += 1;
+                ctx.stop();
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(1);
+        let s = sim.add_node("s", Box::new(Stopper { fired: 0 }));
+        sim.schedule_timer(s, Ns::from_ms(1), 0);
+        sim.schedule_timer(s, Ns::from_ms(2), 1);
+        sim.run();
+        assert!(sim.is_stopped());
+        assert_eq!(sim.node_ref::<Stopper>(s).fired, 1);
+    }
+
+    #[test]
+    fn on_start_runs_once() {
+        struct Starter {
+            starts: u64,
+        }
+        impl Node for Starter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.starts += 1;
+                ctx.set_timer(Ns::from_ms(1), 0);
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(1);
+        let s = sim.add_node("s", Box::new(Starter { starts: 0 }));
+        sim.run_until(Ns::from_ms(5));
+        sim.run_until(Ns::from_ms(10));
+        assert_eq!(sim.node_ref::<Starter>(s).starts, 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Virtual time: a nanosecond-precision instant/duration newtype.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A virtual-time instant or duration in nanoseconds.
+///
+/// The same type serves as both instant and duration (the simulation epoch
+/// is 0), which keeps arithmetic simple and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// Zero (the simulation epoch).
+    pub const ZERO: Ns = Ns(0);
+    /// The largest representable time.
+    pub const MAX: Ns = Ns(u64::MAX);
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Ns {
+        Ns(s * 1_000_000_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_ms(ms: u64) -> Ns {
+        Ns(ms * 1_000_000)
+    }
+
+    /// From microseconds.
+    pub const fn from_us(us: u64) -> Ns {
+        Ns(us * 1_000)
+    }
+
+    /// As (truncated) milliseconds.
+    pub const fn as_ms(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// As (truncated) microseconds.
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Ns) -> Option<Ns> {
+        self.0.checked_sub(rhs.0).map(Ns)
+    }
+
+    /// The larger of two times.
+    pub fn max(self, rhs: Ns) -> Ns {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, rhs: Ns) -> Ns {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ns {
+    type Output = Ns;
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == 0 {
+            write!(f, "0")
+        } else if ns % 1_000_000_000 == 0 {
+            write!(f, "{}s", ns / 1_000_000_000)
+        } else if ns % 1_000_000 == 0 {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns % 1_000 == 0 {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Ns::from_secs(2), Ns(2_000_000_000));
+        assert_eq!(Ns::from_ms(3), Ns(3_000_000));
+        assert_eq!(Ns::from_us(4), Ns(4_000));
+        assert_eq!(Ns::from_ms(1500).as_ms(), 1500);
+        assert_eq!(Ns::from_us(1500).as_us(), 1500);
+        assert!((Ns::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((Ns::from_us(1500).as_ms_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ns::from_ms(10);
+        let b = Ns::from_ms(4);
+        assert_eq!(a + b, Ns::from_ms(14));
+        assert_eq!(a - b, Ns::from_ms(6));
+        assert_eq!(a * 3, Ns::from_ms(30));
+        assert_eq!(a / 2, Ns::from_ms(5));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Ns::from_ms(14));
+    }
+
+    #[test]
+    fn saturating_and_checked() {
+        assert_eq!(Ns(5).saturating_sub(Ns(10)), Ns::ZERO);
+        assert_eq!(Ns(10).checked_sub(Ns(5)), Some(Ns(5)));
+        assert_eq!(Ns(5).checked_sub(Ns(10)), None);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Ns(1).max(Ns(2)), Ns(2));
+        assert_eq!(Ns(1).min(Ns(2)), Ns(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ns::ZERO.to_string(), "0");
+        assert_eq!(Ns::from_secs(2).to_string(), "2s");
+        assert_eq!(Ns::from_ms(5).to_string(), "5ms");
+        assert_eq!(Ns::from_us(7).to_string(), "7us");
+        assert_eq!(Ns(123).to_string(), "123ns");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ns::from_ms(1) < Ns::from_ms(2));
+        assert!(Ns::MAX > Ns::from_secs(1_000_000));
+    }
+}

@@ -1,0 +1,192 @@
+//! Event tracing: a time-stamped log of node-emitted messages.
+//!
+//! Traces drive the Fig. 1 step-sequence assertions (experiment E1) and
+//! the determinism integration test (same seed ⇒ identical trace).
+
+use crate::node::NodeId;
+use crate::time::Ns;
+use core::fmt;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub t: Ns,
+    /// Node that emitted it.
+    pub node: NodeId,
+    /// Node name at emission time.
+    pub node_name: String,
+    /// Free-form message.
+    pub msg: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:<12} {}", self.t.to_string(), self.node_name, self.msg)
+    }
+}
+
+/// A bounded trace log. Disabled by default: enabling costs allocations
+/// per event, so experiments that only need counters leave it off.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    cap: usize,
+}
+
+impl Trace {
+    /// A disabled trace.
+    pub fn new() -> Self {
+        Self { enabled: false, events: Vec::new(), cap: 1 << 20 }
+    }
+
+    /// Enable recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disable recording (existing events are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Set the maximum number of retained events.
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap;
+    }
+
+    /// Record an event (no-op when disabled or full).
+    pub fn push(&mut self, t: Ns, node: NodeId, node_name: &str, msg: String) {
+        if self.enabled && self.events.len() < self.cap {
+            self.events.push(TraceEvent { t, node, node_name: node_name.to_string(), msg });
+        }
+    }
+
+    /// All recorded events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose message contains `needle`.
+    pub fn find(&self, needle: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.msg.contains(needle)).collect()
+    }
+
+    /// The first event containing `needle`, if any.
+    pub fn first(&self, needle: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.msg.contains(needle))
+    }
+
+    /// Time of the first event containing `needle`.
+    pub fn time_of(&self, needle: &str) -> Option<Ns> {
+        self.first(needle).map(|e| e.t)
+    }
+
+    /// Assert that the given needles appear in this exact relative order
+    /// (other events may be interleaved). Returns the matched times.
+    ///
+    /// # Panics
+    /// Panics with a readable message if the order is violated.
+    pub fn assert_order(&self, needles: &[&str]) -> Vec<Ns> {
+        let mut times = Vec::with_capacity(needles.len());
+        let mut idx = 0usize;
+        for needle in needles {
+            let found = self.events[idx..]
+                .iter()
+                .position(|e| e.msg.contains(needle))
+                .unwrap_or_else(|| panic!("trace order violated: `{needle}` not found after index {idx}"));
+            idx += found;
+            times.push(self.events[idx].t);
+            idx += 1;
+        }
+        times
+    }
+
+    /// Render the full trace as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Trace {
+        let mut t = Trace::new();
+        t.enable();
+        t.push(Ns::from_ms(1), 0, "a", "step1: hello".into());
+        t.push(Ns::from_ms(2), 1, "b", "noise".into());
+        t.push(Ns::from_ms(3), 0, "a", "step2: world".into());
+        t
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::new();
+        t.push(Ns::ZERO, 0, "a", "x".into());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn find_and_time_of() {
+        let t = mk();
+        assert_eq!(t.find("step").len(), 2);
+        assert_eq!(t.time_of("step2"), Some(Ns::from_ms(3)));
+        assert_eq!(t.time_of("missing"), None);
+    }
+
+    #[test]
+    fn order_assertion_passes() {
+        let t = mk();
+        let times = t.assert_order(&["step1", "step2"]);
+        assert_eq!(times, vec![Ns::from_ms(1), Ns::from_ms(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace order violated")]
+    fn order_assertion_fails() {
+        let t = mk();
+        t.assert_order(&["step2", "step1"]);
+    }
+
+    #[test]
+    fn capacity_bounds() {
+        let mut t = Trace::new();
+        t.enable();
+        t.set_capacity(2);
+        for i in 0..5 {
+            t.push(Ns(i), 0, "a", format!("e{i}"));
+        }
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn render_contains_names() {
+        let t = mk();
+        let s = t.render();
+        assert!(s.contains("step1: hello"));
+        assert!(s.contains("1ms"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Builders assembling a root / TLD / authoritative DNS hierarchy inside a
+//! simulation.
+//!
+//! The hierarchy is what gives `T_DNS` its multi-round-trip structure: a
+//! cold resolution walks root → TLD → authoritative, so the paper's claim
+//! that mapping resolution fits within `T_DNS` can be tested against
+//! hierarchies of different depth.
+
+use crate::auth::AuthServer;
+use crate::zone::{Zone, ZoneStore};
+use inet::{Prefix, Router};
+use lispwire::dnswire::Name;
+use lispwire::Ipv4Address;
+use netsim::{LinkCfg, NodeId, Ns, Sim};
+
+/// Specification of one leaf (authoritative) domain.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// The delegated zone (e.g. `d.example`).
+    pub zone: Name,
+    /// The authoritative server address for that zone.
+    pub server: Ipv4Address,
+    /// Host records inside the zone.
+    pub hosts: Vec<(Name, Ipv4Address, u32)>,
+}
+
+/// Specification of a whole hierarchy.
+#[derive(Debug, Clone)]
+pub struct HierarchySpec {
+    /// Root server address.
+    pub root: Ipv4Address,
+    /// TLD zones: `(zone, server address)`. Root delegates each.
+    pub tlds: Vec<(Name, Ipv4Address)>,
+    /// Leaf domains; each is delegated by the TLD its name falls under.
+    pub domains: Vec<DomainSpec>,
+    /// NS/glue TTL seconds.
+    pub ns_ttl: u32,
+}
+
+impl HierarchySpec {
+    /// A classic 3-level hierarchy with one TLD and one leaf domain.
+    pub fn classic(
+        root: Ipv4Address,
+        tld: (Name, Ipv4Address),
+        domain: DomainSpec,
+    ) -> Self {
+        Self { root, tlds: vec![tld], domains: vec![domain], ns_ttl: 86_400 }
+    }
+}
+
+/// The node ids created by [`HierarchyBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct HierarchyNodes {
+    /// Root server node.
+    pub root: NodeId,
+    /// TLD server nodes, in spec order.
+    pub tlds: Vec<NodeId>,
+    /// Authoritative server nodes, in spec order.
+    pub auths: Vec<NodeId>,
+}
+
+/// Builds the DNS server nodes of a hierarchy and attaches each to a given
+/// attachment router with a given link.
+pub struct HierarchyBuilder {
+    spec: HierarchySpec,
+}
+
+impl HierarchyBuilder {
+    /// A builder for `spec`.
+    pub fn new(spec: HierarchySpec) -> Self {
+        Self { spec }
+    }
+
+    /// Compose the root zone store.
+    pub fn root_store(&self) -> ZoneStore {
+        let mut z = Zone::new(Name::root());
+        for (tld, server) in &self.spec.tlds {
+            let nsname = Name::parse_str(&format!("ns.{tld}")).expect("valid ns name");
+            z.delegate(tld.clone(), vec![(nsname, *server)], self.spec.ns_ttl);
+        }
+        let mut s = ZoneStore::new();
+        s.add_zone(z);
+        s
+    }
+
+    /// Compose the zone store for TLD index `i`.
+    pub fn tld_store(&self, i: usize) -> ZoneStore {
+        let (tld, _) = &self.spec.tlds[i];
+        let mut z = Zone::new(tld.clone());
+        for d in &self.spec.domains {
+            if d.zone.is_subdomain_of(tld) && &d.zone != tld {
+                let nsname = Name::parse_str(&format!("ns.{}", d.zone)).expect("valid ns name");
+                z.delegate(d.zone.clone(), vec![(nsname, d.server)], self.spec.ns_ttl);
+            }
+        }
+        let mut s = ZoneStore::new();
+        s.add_zone(z);
+        s
+    }
+
+    /// Compose the zone store for leaf domain index `i`.
+    pub fn domain_store(&self, i: usize) -> ZoneStore {
+        let d = &self.spec.domains[i];
+        let mut z = Zone::new(d.zone.clone());
+        for (host, addr, ttl) in &d.hosts {
+            z.add_a(host.clone(), *addr, *ttl);
+        }
+        let mut s = ZoneStore::new();
+        s.add_zone(z);
+        s
+    }
+
+    /// Create all server nodes in `sim`, attach each to `attach_router`
+    /// with `link`, and install host routes for their addresses on the
+    /// router. Returns the created node ids.
+    pub fn build(&self, sim: &mut Sim, attach_router: NodeId, link: LinkCfg) -> HierarchyNodes {
+        let root = sim.add_node("dns-root", Box::new(AuthServer::new(self.spec.root, self.root_store())));
+        let (_, rport) = sim.connect(root, attach_router, link);
+        sim.node_mut::<Router>(attach_router).add_route(Prefix::host(self.spec.root), rport);
+
+        let mut tlds = Vec::new();
+        for (i, (tld, addr)) in self.spec.tlds.iter().enumerate() {
+            let node = sim.add_node(
+                &format!("dns-tld-{tld}"),
+                Box::new(AuthServer::new(*addr, self.tld_store(i))),
+            );
+            let (_, port) = sim.connect(node, attach_router, link);
+            sim.node_mut::<Router>(attach_router).add_route(Prefix::host(*addr), port);
+            tlds.push(node);
+        }
+
+        let mut auths = Vec::new();
+        for (i, d) in self.spec.domains.iter().enumerate() {
+            let node = sim.add_node(
+                &format!("dns-auth-{}", d.zone),
+                Box::new(AuthServer::new(d.server, self.domain_store(i))),
+            );
+            let (_, port) = sim.connect(node, attach_router, link);
+            sim.node_mut::<Router>(attach_router).add_route(Prefix::host(d.server), port);
+            auths.push(node);
+        }
+        HierarchyNodes { root, tlds, auths }
+    }
+
+    /// The spec this builder wraps.
+    pub fn spec(&self) -> &HierarchySpec {
+        &self.spec
+    }
+}
+
+/// Default WAN link used between DNS infrastructure and the core.
+pub fn default_dns_link() -> LinkCfg {
+    LinkCfg::wan(Ns::from_ms(15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::Resolver;
+    use crate::client::DnsClient;
+
+    fn n(s: &str) -> Name {
+        Name::parse_str(s).unwrap()
+    }
+    fn a(o: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(o)
+    }
+
+    fn spec() -> HierarchySpec {
+        HierarchySpec::classic(
+            a([8, 0, 0, 53]),
+            (n("example"), a([12, 0, 0, 53])),
+            DomainSpec {
+                zone: n("d.example"),
+                server: a([13, 0, 0, 53]),
+                hosts: vec![(n("host.d.example"), a([101, 0, 0, 5]), 300)],
+            },
+        )
+    }
+
+    #[test]
+    fn stores_compose_correctly() {
+        let b = HierarchyBuilder::new(spec());
+        let root = b.root_store();
+        assert!(matches!(
+            root.lookup(&n("host.d.example")),
+            crate::zone::LookupResult::Referral { .. }
+        ));
+        let tld = b.tld_store(0);
+        assert!(matches!(
+            tld.lookup(&n("host.d.example")),
+            crate::zone::LookupResult::Referral { .. }
+        ));
+        let auth = b.domain_store(0);
+        assert!(matches!(auth.lookup(&n("host.d.example")), crate::zone::LookupResult::Answer(_)));
+    }
+
+    #[test]
+    fn full_resolution_through_built_hierarchy() {
+        let mut sim = Sim::new(5);
+        let router = sim.add_node("core-router", Box::new(Router::new()));
+        let b = HierarchyBuilder::new(spec());
+        let _nodes = b.build(&mut sim, router, LinkCfg::wan(Ns::from_ms(10)));
+
+        let resolver_addr = a([10, 0, 0, 53]);
+        let resolver = sim.add_node("resolver", Box::new(Resolver::new(resolver_addr, vec![a([8, 0, 0, 53])])));
+        let (_, rp) = sim.connect(resolver, router, LinkCfg::wan(Ns::from_ms(10)));
+        sim.node_mut::<Router>(router).add_route(Prefix::host(resolver_addr), rp);
+
+        let client_addr = a([10, 0, 0, 1]);
+        let client = sim.add_node(
+            "client",
+            Box::new(DnsClient::new(client_addr, resolver_addr, vec![n("host.d.example")])),
+        );
+        let (_, cp) = sim.connect(client, router, LinkCfg::lan());
+        sim.node_mut::<Router>(router).add_route(Prefix::host(client_addr), cp);
+
+        sim.schedule_timer(client, Ns::ZERO, 0);
+        sim.run();
+
+        let c = sim.node_mut::<DnsClient>(client);
+        assert_eq!(c.answers.len(), 1);
+        assert_eq!(c.answers[0].addr, Some(a([101, 0, 0, 5])));
+        let lat = c.latency(0).unwrap();
+        // Three iterative RTTs of ≈40 ms each plus processing.
+        assert!(lat >= Ns::from_ms(120), "latency {lat}");
+    }
+}

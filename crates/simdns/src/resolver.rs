@@ -1,0 +1,603 @@
+//! The recursive resolver node (`DNS_S` in the paper's Fig. 1).
+//!
+//! Clients send it RD=1 queries; it resolves them *iteratively* from root
+//! hints, following referrals and caching both positive answers and
+//! NS/glue sets. Retransmission timers recover from lost upstream packets
+//! (relevant for fault-injection experiments); a step budget bounds
+//! referral chains.
+
+use crate::zone::ZoneStore;
+use inet::stack::{IpStack, Parsed};
+use lispwire::dnswire::{Message, Name, Rcode, Rdata, Record};
+use lispwire::{ports, Ipv4Address};
+use netsim::{Ctx, Node, Ns, PortId};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Resolver tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolverConfig {
+    /// Retransmit an unanswered upstream query after this long.
+    pub retransmit: Ns,
+    /// Give up after this many transmissions of the same step.
+    pub max_tries: u32,
+    /// Maximum referral steps per resolution.
+    pub max_steps: u32,
+    /// Enable the positive and NS caches.
+    pub cache_enabled: bool,
+    /// If set, notify this address (the domain's PCE) of every client
+    /// query via an [`lispwire::pcewire::IpcQueryNotice`] on the IPC port
+    /// — the paper's Fig. 1 dashed line (step 1).
+    pub ipc_notify: Option<Ipv4Address>,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        Self {
+            retransmit: Ns::from_secs(1),
+            max_tries: 3,
+            max_steps: 16,
+            cache_enabled: true,
+            ipc_notify: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    client: Ipv4Address,
+    client_port: u16,
+    client_qid: u16,
+    qname: Name,
+    started: Ns,
+    server: Ipv4Address,
+    tries: u32,
+    steps: u32,
+    generation: u32,
+}
+
+#[derive(Debug, Clone)]
+struct CachedAnswer {
+    addr: Ipv4Address,
+    expires: Ns,
+    original_ttl: u32,
+}
+
+#[derive(Debug, Clone)]
+struct CachedNs {
+    servers: Vec<Ipv4Address>,
+    expires: Ns,
+}
+
+/// A recursive (iterating) resolver.
+pub struct Resolver {
+    stack: IpStack,
+    cfg: ResolverConfig,
+    root_hints: Vec<Ipv4Address>,
+    answer_cache: HashMap<Name, CachedAnswer>,
+    ns_cache: HashMap<Name, CachedNs>,
+    in_flight: HashMap<u16, InFlight>,
+    next_qid: u16,
+    /// Client queries received.
+    pub client_queries: u64,
+    /// Answers served from the positive cache.
+    pub cache_hits: u64,
+    /// Resolutions completed successfully.
+    pub resolved: u64,
+    /// Resolutions failed (SERVFAIL to client).
+    pub failed: u64,
+    /// Upstream queries sent (including retransmissions).
+    pub upstream_queries: u64,
+    /// Retransmissions.
+    pub retries: u64,
+    /// Completed resolution latencies `(name, latency)`.
+    pub resolution_times: Vec<(Name, Ns)>,
+}
+
+const UPSTREAM_PORT: u16 = 32853;
+
+impl Resolver {
+    /// A resolver at `addr` with the given root hints.
+    pub fn new(addr: Ipv4Address, root_hints: Vec<Ipv4Address>) -> Self {
+        Self::with_config(addr, root_hints, ResolverConfig::default())
+    }
+
+    /// A resolver with explicit tunables.
+    pub fn with_config(addr: Ipv4Address, root_hints: Vec<Ipv4Address>, cfg: ResolverConfig) -> Self {
+        Self {
+            stack: IpStack::new(addr),
+            cfg,
+            root_hints,
+            answer_cache: HashMap::new(),
+            ns_cache: HashMap::new(),
+            in_flight: HashMap::new(),
+            next_qid: 1,
+            client_queries: 0,
+            cache_hits: 0,
+            resolved: 0,
+            failed: 0,
+            upstream_queries: 0,
+            retries: 0,
+            resolution_times: Vec::new(),
+        }
+    }
+
+    /// This resolver's address.
+    pub fn addr(&self) -> Ipv4Address {
+        self.stack.addr
+    }
+
+    /// Entries currently in the positive cache (expired ones included
+    /// until next touch).
+    pub fn cache_len(&self) -> usize {
+        self.answer_cache.len()
+    }
+
+    /// Drop all cached state (used between experiment repetitions).
+    pub fn flush_cache(&mut self) {
+        self.answer_cache.clear();
+        self.ns_cache.clear();
+    }
+
+    /// The deepest cached NS set applicable to `qname`, else a root hint.
+    fn pick_server(&self, qname: &Name, now: Ns) -> Ipv4Address {
+        let mut zone = qname.clone();
+        loop {
+            if let Some(c) = self.ns_cache.get(&zone) {
+                if c.expires > now && !c.servers.is_empty() {
+                    return c.servers[0];
+                }
+            }
+            if zone.is_root() {
+                break;
+            }
+            zone = zone.parent();
+        }
+        self.root_hints[0]
+    }
+
+    fn send_upstream(&mut self, ctx: &mut Ctx<'_>, qid: u16) {
+        let Some(fl) = self.in_flight.get(&qid) else { return };
+        let q = Message::query_a(qid, fl.qname.clone(), false);
+        let pkt = self.stack.udp(UPSTREAM_PORT, fl.server, ports::DNS, &q.to_bytes());
+        self.upstream_queries += 1;
+        ctx.trace(format!("resolver asks {} for {}", fl.server, fl.qname));
+        ctx.send(0, pkt);
+        let token = timer_token(qid, fl.generation);
+        ctx.set_timer(self.cfg.retransmit, token);
+    }
+
+    fn reply_client(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        fl: &InFlight,
+        rcode: Rcode,
+        answers: Vec<Record>,
+    ) {
+        let mut resp = Message {
+            id: fl.client_qid,
+            is_response: true,
+            authoritative: false,
+            recursion_desired: true,
+            recursion_available: true,
+            rcode,
+            questions: vec![lispwire::dnswire::Question {
+                name: fl.qname.clone(),
+                qtype: lispwire::dnswire::RecordType::A,
+            }],
+            answers,
+            authority: Vec::new(),
+            additional: Vec::new(),
+        };
+        resp.recursion_available = true;
+        let pkt = self.stack.udp(ports::DNS, fl.client, fl.client_port, &resp.to_bytes());
+        ctx.send(0, pkt);
+    }
+
+    fn handle_client_query(&mut self, ctx: &mut Ctx<'_>, src: Ipv4Address, src_port: u16, msg: Message) {
+        let Some(q) = msg.question().cloned() else { return };
+        self.client_queries += 1;
+        ctx.trace(format!("resolver got client query for {}", q.name));
+        // Step 1 of the paper: the PCE obtains E_S by IPC with the DNS.
+        if let Some(pce) = self.cfg.ipc_notify {
+            let notice = lispwire::pcewire::IpcQueryNotice {
+                client: src,
+                qname: q.name.as_str().to_string(),
+            };
+            let pkt = self.stack.udp(ports::PCE_IPC, pce, ports::PCE_IPC, &notice.to_bytes());
+            ctx.trace(format!("resolver IPC notice to PCE: {} asked for {}", src, q.name));
+            ctx.send(0, pkt);
+        }
+        let now = ctx.now();
+        if self.cfg.cache_enabled {
+            if let Some(hit) = self.answer_cache.get(&q.name) {
+                if hit.expires > now {
+                    self.cache_hits += 1;
+                    let remaining = (hit.expires - now).0 / 1_000_000_000;
+                    let rec = Record::a(q.name.clone(), hit.addr, remaining.min(u64::from(hit.original_ttl)) as u32);
+                    let fl = InFlight {
+                        client: src,
+                        client_port: src_port,
+                        client_qid: msg.id,
+                        qname: q.name.clone(),
+                        started: now,
+                        server: Ipv4Address::UNSPECIFIED,
+                        tries: 0,
+                        steps: 0,
+                        generation: 0,
+                    };
+                    ctx.trace(format!("resolver cache hit for {}", q.name));
+                    self.reply_client(ctx, &fl, Rcode::NoError, vec![rec]);
+                    return;
+                }
+            }
+        }
+        let qid = self.next_qid;
+        self.next_qid = self.next_qid.wrapping_add(1).max(1);
+        let server = self.pick_server(&q.name, now);
+        self.in_flight.insert(
+            qid,
+            InFlight {
+                client: src,
+                client_port: src_port,
+                client_qid: msg.id,
+                qname: q.name,
+                started: now,
+                server,
+                tries: 1,
+                steps: 0,
+                generation: 0,
+            },
+        );
+        self.send_upstream(ctx, qid);
+    }
+
+    fn handle_upstream_response(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let qid = msg.id;
+        let Some(mut fl) = self.in_flight.remove(&qid) else { return };
+        let now = ctx.now();
+        fl.generation += 1; // invalidate outstanding retransmit timers
+
+        // Positive answer?
+        if msg.rcode == Rcode::NoError {
+            if let Some(addr) = msg.first_answer_a() {
+                let ttl = msg.answers.first().map(|r| r.ttl).unwrap_or(60);
+                if self.cfg.cache_enabled {
+                    self.answer_cache.insert(
+                        fl.qname.clone(),
+                        CachedAnswer { addr, expires: now + Ns::from_secs(u64::from(ttl)), original_ttl: ttl },
+                    );
+                }
+                self.resolved += 1;
+                let latency = now - fl.started;
+                self.resolution_times.push((fl.qname.clone(), latency));
+                ctx.trace(format!("resolver resolved {} -> {} in {}", fl.qname, addr, latency));
+                let rec = Record::a(fl.qname.clone(), addr, ttl);
+                self.reply_client(ctx, &fl, Rcode::NoError, vec![rec]);
+                return;
+            }
+            // Referral?
+            if !msg.authority.is_empty() {
+                let mut glue_addrs: Vec<(Name, Ipv4Address, u32)> = Vec::new();
+                for rec in &msg.additional {
+                    if let Rdata::A(a) = rec.rdata {
+                        glue_addrs.push((rec.name.clone(), a, rec.ttl));
+                    }
+                }
+                // Zone being delegated = owner of the NS records.
+                let zone = msg.authority[0].name.clone();
+                let servers: Vec<Ipv4Address> = msg
+                    .authority
+                    .iter()
+                    .filter_map(|ns_rec| match &ns_rec.rdata {
+                        Rdata::Ns(nsname) => glue_addrs
+                            .iter()
+                            .find(|(gname, _, _)| gname == nsname)
+                            .map(|(_, a, _)| *a),
+                        _ => None,
+                    })
+                    .collect();
+                if servers.is_empty() {
+                    self.failed += 1;
+                    self.reply_client(ctx, &fl, Rcode::ServFail, vec![]);
+                    return;
+                }
+                let ttl = msg.authority[0].ttl;
+                if self.cfg.cache_enabled {
+                    self.ns_cache.insert(
+                        zone.clone(),
+                        CachedNs { servers: servers.clone(), expires: now + Ns::from_secs(u64::from(ttl)) },
+                    );
+                }
+                fl.steps += 1;
+                if fl.steps > self.cfg.max_steps {
+                    self.failed += 1;
+                    self.reply_client(ctx, &fl, Rcode::ServFail, vec![]);
+                    return;
+                }
+                fl.server = servers[0];
+                fl.tries = 1;
+                ctx.trace(format!("resolver follows referral for {} to zone {} @ {}", fl.qname, zone, fl.server));
+                self.in_flight.insert(qid, fl);
+                self.send_upstream(ctx, qid);
+                return;
+            }
+            // NoError but neither answer nor referral: treat as failure.
+            self.failed += 1;
+            self.reply_client(ctx, &fl, Rcode::ServFail, vec![]);
+            return;
+        }
+        // NXDOMAIN propagates; anything else is SERVFAIL.
+        let code = if msg.rcode == Rcode::NxDomain { Rcode::NxDomain } else { Rcode::ServFail };
+        if code == Rcode::NxDomain {
+            self.resolved += 1;
+        } else {
+            self.failed += 1;
+        }
+        self.reply_client(ctx, &fl, code, vec![]);
+    }
+}
+
+fn timer_token(qid: u16, generation: u32) -> u64 {
+    (u64::from(generation) << 16) | u64::from(qid)
+}
+
+impl Node for Resolver {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+        let Ok(Parsed::Udp { src, dst, src_port, dst_port, payload }) = IpStack::parse(&bytes) else {
+            return;
+        };
+        if dst != self.stack.addr {
+            return;
+        }
+        let Ok(msg) = Message::from_bytes(&payload) else { return };
+        if dst_port == ports::DNS && !msg.is_response {
+            self.handle_client_query(ctx, src, src_port, msg);
+        } else if dst_port == UPSTREAM_PORT && msg.is_response && src_port == ports::DNS {
+            self.handle_upstream_response(ctx, msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let qid = (token & 0xffff) as u16;
+        let generation = (token >> 16) as u32;
+        let give_up;
+        match self.in_flight.get_mut(&qid) {
+            Some(fl) if fl.generation == generation => {
+                if fl.tries >= self.cfg.max_tries {
+                    give_up = true;
+                } else {
+                    fl.tries += 1;
+                    give_up = false;
+                }
+            }
+            _ => return, // stale timer
+        }
+        if give_up {
+            let fl = self.in_flight.remove(&qid).expect("checked above");
+            self.failed += 1;
+            ctx.trace(format!("resolver gives up on {}", fl.qname));
+            self.reply_client(ctx, &fl, Rcode::ServFail, vec![]);
+        } else {
+            self.retries += 1;
+            ctx.trace(format!("resolver retransmits qid {qid}"));
+            self.send_upstream(ctx, qid);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Convenience for building a resolver-facing client query packet.
+pub fn client_query_packet(
+    client: &IpStack,
+    client_port: u16,
+    resolver: Ipv4Address,
+    qid: u16,
+    qname: Name,
+) -> Vec<u8> {
+    let q = Message::query_a(qid, qname, true);
+    client.udp(client_port, resolver, ports::DNS, &q.to_bytes())
+}
+
+/// Build zone stores for a classic 3-level hierarchy in tests.
+#[doc(hidden)]
+pub fn _test_zone_store() -> ZoneStore {
+    ZoneStore::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthServer;
+    use crate::zone::Zone;
+    use inet::{Prefix, Router};
+    use netsim::{LinkCfg, Sim};
+
+    fn n(s: &str) -> Name {
+        Name::parse_str(s).unwrap()
+    }
+    fn a(o: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(o)
+    }
+
+    struct TestClient {
+        stack: IpStack,
+        resolver: Ipv4Address,
+        qname: Name,
+        pub answers: Vec<(Ns, Option<Ipv4Address>)>,
+    }
+    impl Node for TestClient {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            let pkt = client_query_packet(&self.stack, 40000, self.resolver, token as u16, self.qname.clone());
+            ctx.send(0, pkt);
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+            if let Ok(Parsed::Udp { payload, .. }) = IpStack::parse(&bytes) {
+                if let Ok(msg) = Message::from_bytes(&payload) {
+                    self.answers.push((ctx.now(), msg.first_answer_a()));
+                }
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Build: client - resolver - router - {root, tld(example), auth(d.example)}
+    /// Root delegates `example` to TLD; TLD delegates `d.example` to auth;
+    /// auth holds host.d.example A 101.0.0.5.
+    fn build(owd: Ns, drop_prob: f64) -> (Sim, netsim::NodeId, netsim::NodeId) {
+        let root_addr = a([8, 0, 0, 53]);
+        let tld_addr = a([12, 0, 0, 53]);
+        let auth_addr = a([13, 0, 0, 53]);
+        let resolver_addr = a([10, 0, 0, 53]);
+
+        let mut root_zone = Zone::new(Name::root());
+        root_zone.delegate(n("example"), vec![(n("ns.example"), tld_addr)], 86400);
+        let mut root_store = ZoneStore::new();
+        root_store.add_zone(root_zone);
+
+        let mut tld_zone = Zone::new(n("example"));
+        tld_zone.delegate(n("d.example"), vec![(n("ns.d.example"), auth_addr)], 3600);
+        let mut tld_store = ZoneStore::new();
+        tld_store.add_zone(tld_zone);
+
+        let mut auth_zone = Zone::new(n("d.example"));
+        auth_zone.add_a(n("host.d.example"), a([101, 0, 0, 5]), 300);
+        let mut auth_store = ZoneStore::new();
+        auth_store.add_zone(auth_zone);
+
+        let mut sim = Sim::new(11);
+        sim.trace.enable();
+        let client = sim.add_node(
+            "client",
+            Box::new(TestClient {
+                stack: IpStack::new(a([10, 0, 0, 1])),
+                resolver: resolver_addr,
+                qname: n("host.d.example"),
+                answers: vec![],
+            }),
+        );
+        let resolver = sim.add_node("resolver", Box::new(Resolver::new(resolver_addr, vec![root_addr])));
+        let router = sim.add_node("router", Box::new(Router::new()));
+        let root = sim.add_node("root", Box::new(AuthServer::new(root_addr, root_store)));
+        let tld = sim.add_node("tld", Box::new(AuthServer::new(tld_addr, tld_store)));
+        let auth = sim.add_node("auth", Box::new(AuthServer::new(auth_addr, auth_store)));
+
+        // Every endpoint is single-homed behind the router (endpoints
+        // always transmit on port 0).
+        let (_, r_client) = sim.connect(client, router, LinkCfg::lan());
+        let cfg = LinkCfg::wan(owd).with_drop_prob(drop_prob);
+        let (_, r_res) = sim.connect(resolver, router, cfg);
+        let (_, r_root) = sim.connect(root, router, cfg);
+        let (_, r_tld) = sim.connect(tld, router, cfg);
+        let (_, r_auth) = sim.connect(auth, router, cfg);
+        {
+            let rt = sim.node_mut::<Router>(router);
+            rt.add_route(Prefix::host(a([10, 0, 0, 1])), r_client);
+            rt.add_route(Prefix::host(resolver_addr), r_res);
+            rt.add_route(Prefix::new(a([8, 0, 0, 0]), 8), r_root);
+            rt.add_route(Prefix::new(a([12, 0, 0, 0]), 8), r_tld);
+            rt.add_route(Prefix::new(a([13, 0, 0, 0]), 8), r_auth);
+        }
+        (sim, client, resolver)
+    }
+
+    #[test]
+    fn iterative_resolution_walks_hierarchy() {
+        let (mut sim, client, resolver) = build(Ns::from_ms(20), 0.0);
+        sim.schedule_timer(client, Ns::ZERO, 1);
+        sim.run();
+        let answers = &sim.node_ref::<TestClient>(client).answers;
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].1, Some(a([101, 0, 0, 5])));
+        // Three upstream round trips (root, tld, auth), each ≈ 2×(20+20) ms
+        // via the router, plus processing: at least 240 ms.
+        assert!(answers[0].0 >= Ns::from_ms(240), "answered at {}", answers[0].0);
+        let r = sim.node_mut::<Resolver>(resolver);
+        assert_eq!(r.upstream_queries, 3);
+        assert_eq!(r.resolved, 1);
+        assert_eq!(r.resolution_times.len(), 1);
+    }
+
+    #[test]
+    fn cache_hit_is_local() {
+        let (mut sim, client, resolver) = build(Ns::from_ms(20), 0.0);
+        sim.schedule_timer(client, Ns::ZERO, 1);
+        sim.run();
+        // Second query after the first fully drains: served from cache,
+        // no new upstream traffic.
+        let t0 = sim.now();
+        sim.schedule_timer(client, Ns::ZERO, 2);
+        sim.run();
+        let answers = sim.node_ref::<TestClient>(client).answers.clone();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[1].1, Some(a([101, 0, 0, 5])));
+        // One client<->resolver round trip (the 20 ms WAN hop is on that
+        // path in this topology), but no iterative walk (~240 ms).
+        let second_latency = answers[1].0 - t0;
+        assert!(second_latency < Ns::from_ms(50), "cache answer took {second_latency}");
+        let r = sim.node_mut::<Resolver>(resolver);
+        assert_eq!(r.upstream_queries, 3, "no extra upstream queries");
+        assert_eq!(r.cache_hits, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_forces_refetch() {
+        let (mut sim, client, resolver) = build(Ns::from_ms(20), 0.0);
+        sim.schedule_timer(client, Ns::ZERO, 1);
+        sim.run();
+        // A record TTL is 300 s; jump past it.
+        let later = sim.now() + Ns::from_secs(301);
+        sim.schedule_timer(client, later - sim.now(), 2);
+        sim.run();
+        let r = sim.node_mut::<Resolver>(resolver);
+        assert_eq!(r.cache_hits, 0);
+        // NS caches (TTL 3600/86400) are still valid: only 1 more query.
+        assert_eq!(r.upstream_queries, 4);
+        assert_eq!(r.resolved, 2);
+    }
+
+    #[test]
+    fn retransmission_recovers_from_loss() {
+        let (mut sim, client, resolver) = build(Ns::from_ms(10), 0.35);
+        sim.schedule_timer(client, Ns::ZERO, 1);
+        sim.run_until(Ns::from_secs(30));
+        let answers = &sim.node_ref::<TestClient>(client).answers;
+        // With 35% loss and 3 tries/step the query usually succeeds; accept
+        // either outcome but require a reply of some kind (no deadlock).
+        assert_eq!(answers.len(), 1, "resolver must answer eventually");
+        let r = sim.node_mut::<Resolver>(resolver);
+        assert!(r.retries > 0 || r.resolved == 1);
+    }
+
+    #[test]
+    fn nxdomain_propagates() {
+        let (mut sim, client, _resolver) = build(Ns::from_ms(10), 0.0);
+        {
+            let c = sim.node_mut::<TestClient>(client);
+            c.qname = n("missing.d.example");
+        }
+        sim.schedule_timer(client, Ns::ZERO, 1);
+        sim.run();
+        let answers = &sim.node_ref::<TestClient>(client).answers;
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].1, None);
+    }
+
+    #[test]
+    fn cache_disabled_repeats_full_walk() {
+        let (mut sim, client, resolver) = build(Ns::from_ms(10), 0.0);
+        sim.node_mut::<Resolver>(resolver).cfg.cache_enabled = false;
+        sim.schedule_timer(client, Ns::ZERO, 1);
+        sim.run();
+        sim.schedule_timer(client, Ns::ZERO, 2);
+        sim.run();
+        let r = sim.node_mut::<Resolver>(resolver);
+        assert_eq!(r.upstream_queries, 6);
+        assert_eq!(r.cache_hits, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Named event counters.
+
+use std::collections::BTreeMap;
+
+/// A set of named monotonic counters.
+///
+/// Uses a `BTreeMap` so that iteration (and therefore report output) is
+/// deterministic.
+#[derive(Debug, Default, Clone)]
+pub struct CounterSet {
+    counters: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment `name` by 1.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment `name` by `n`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of `name` (0 if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True if no counter was ever incremented.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Merge another set into this one (summing matching names).
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Reset all counters to zero (removing them).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_and_get() {
+        let mut c = CounterSet::new();
+        assert_eq!(c.get("drops"), 0);
+        c.incr("drops");
+        c.incr("drops");
+        c.add("bytes", 1500);
+        assert_eq!(c.get("drops"), 2);
+        assert_eq!(c.get("bytes"), 1500);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut c = CounterSet::new();
+        c.incr("zebra");
+        c.incr("alpha");
+        c.incr("mid");
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zebra"]);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = CounterSet::new();
+        a.add("x", 1);
+        let mut b = CounterSet::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = CounterSet::new();
+        c.incr("a");
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! A log-bucketed histogram for latency-like values.
+//!
+//! Values are bucketed with ~4.5% relative resolution (32 sub-buckets per
+//! power of two), which is plenty for latency distributions while keeping
+//! the structure allocation-light. Percentile queries return an upper bound
+//! of the bucket containing the requested rank.
+
+/// Sub-buckets per octave. 32 gives ≈ 2.2% worst-case relative error.
+const SUB_BUCKETS: u64 = 32;
+const SUB_BITS: u32 = 5;
+
+/// A log-bucketed histogram of `u64` values (e.g. nanoseconds).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = msb - SUB_BITS + 1;
+    let sub = (value >> (octave - 1)) - SUB_BUCKETS;
+    (octave as u64 * SUB_BUCKETS + SUB_BUCKETS + sub as u64) as usize
+        - SUB_BUCKETS as usize
+}
+
+fn bucket_upper_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let octave = (index - SUB_BUCKETS) / SUB_BUCKETS + 1;
+    let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+    (SUB_BUCKETS + sub + 1) << (octave - 1)
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at the given percentile (0.0–100.0), as the upper bound of the
+    /// containing bucket. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS - 1);
+        assert_eq!(h.count(), SUB_BUCKETS);
+        // Small values are bucketed exactly.
+        assert_eq!(h.percentile(100.0), SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentile_bounds_relative_error() {
+        let mut h = Histogram::new();
+        for v in [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000] {
+            h.record(v);
+        }
+        // Each percentile upper bound must be >= true value and within ~7%.
+        let p100 = h.percentile(100.0);
+        assert!(p100 >= 10_000_000 || p100 == h.max());
+        let p20 = h.percentile(20.0);
+        assert!(p20 >= 1_000, "p20={p20}");
+        assert!((p20 as f64) <= 1_000.0 * 1.07, "p20={p20}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_of_uniform() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let m = h.median();
+        assert!(m >= 500_000 && m <= 530_000, "median={m}");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn bucket_index_monotone() {
+        let mut last = 0usize;
+        for v in (0..10_000_000u64).step_by(9973) {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_upper() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 123_456, u32::MAX as u64] {
+            let idx = bucket_index(v);
+            let ub = bucket_upper_bound(idx);
+            assert!(ub >= v, "ub({idx})={ub} < {v}");
+        }
+    }
+}

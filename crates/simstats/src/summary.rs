@@ -1,0 +1,147 @@
+//! Exact summaries for small samples (keeps every value).
+
+/// An exact-sample summary: stores all recorded values, gives exact
+/// percentiles, mean and standard deviation. Use [`crate::Histogram`] for
+/// high-volume data instead.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Create an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a value.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation (0 when fewer than 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Exact percentile via nearest-rank (0 when empty).
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary"));
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.values.len() as f64).ceil().max(1.0) as usize;
+        self.values[rank - 1]
+    }
+
+    /// Exact median.
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Access the raw values (unsorted order not guaranteed).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn mean_std() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_percentiles() {
+        let mut s = Summary::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(95.0), 95.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.median(), 50.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let mut s = Summary::new();
+        s.record(-3.5);
+        s.record(12.25);
+        assert_eq!(s.min(), -3.5);
+        assert_eq!(s.max(), 12.25);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.record(42.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.median(), 42.0);
+    }
+}

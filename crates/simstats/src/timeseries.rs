@@ -1,0 +1,111 @@
+//! Fixed-interval time series, used for link-utilisation traces.
+
+/// A time series that aggregates values into fixed-width time bins.
+///
+/// Typical use: record bytes transmitted on a link with the virtual-time
+/// nanosecond stamp; read back per-bin throughput and utilisation.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bin_width: u64,
+    bins: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Create a series with the given bin width (e.g. ns per bin).
+    ///
+    /// # Panics
+    /// Panics if `bin_width` is zero.
+    pub fn new(bin_width: u64) -> Self {
+        assert!(bin_width > 0, "bin width must be positive");
+        Self { bin_width, bins: Vec::new() }
+    }
+
+    /// The bin width.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Add `value` at time `t`.
+    pub fn add(&mut self, t: u64, value: f64) {
+        let idx = (t / self.bin_width) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += value;
+    }
+
+    /// Number of bins (up to the last time seen).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Value of bin `i` (0 for out-of-range bins).
+    pub fn bin(&self, i: usize) -> f64 {
+        self.bins.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// All bins.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Sum over all bins.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// The maximum bin value (0 when empty).
+    pub fn peak(&self) -> f64 {
+        self.bins.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean bin value over the occupied range (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.bins.is_empty() {
+            0.0
+        } else {
+            self.total() / self.bins.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_accumulate() {
+        let mut ts = TimeSeries::new(100);
+        ts.add(0, 1.0);
+        ts.add(50, 2.0);
+        ts.add(100, 5.0);
+        ts.add(250, 7.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.bin(0), 3.0);
+        assert_eq!(ts.bin(1), 5.0);
+        assert_eq!(ts.bin(2), 7.0);
+        assert_eq!(ts.bin(3), 0.0);
+        assert_eq!(ts.total(), 15.0);
+        assert_eq!(ts.peak(), 7.0);
+        assert_eq!(ts.mean(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_width_panics() {
+        let _ = TimeSeries::new(0);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(10);
+        assert!(ts.is_empty());
+        assert_eq!(ts.peak(), 0.0);
+        assert_eq!(ts.mean(), 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: histogram percentiles bound the true values; the
+//! exact summary agrees with naive computation.
+
+use proptest::prelude::*;
+use simstats::{Histogram, Summary};
+
+proptest! {
+    /// Histogram invariants: count/mean exact; percentiles are upper
+    /// bounds within the bucket resolution; monotone in p.
+    #[test]
+    fn histogram_bounds(values in prop::collection::vec(0u64..10_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        let naive_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - naive_mean).abs() < 1e-6);
+        let mut last = 0u64;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let got = h.percentile(p);
+            // Upper bound of the true nearest-rank percentile, within ~7%.
+            let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
+            let truth = sorted[rank - 1];
+            prop_assert!(got as f64 >= truth as f64 * 0.999, "p{p}: got {got} < {truth}");
+            prop_assert!(got as f64 <= (truth as f64) * 1.07 + 1.0, "p{p}: got {got} >> {truth}");
+            prop_assert!(got >= last, "percentile not monotone at p{p}");
+            last = got;
+        }
+    }
+
+    /// Merged histograms equal one histogram fed everything.
+    #[test]
+    fn histogram_merge_equiv(a in prop::collection::vec(0u64..1_000_000, 0..100),
+                             b in prop::collection::vec(0u64..1_000_000, 0..100)) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a { ha.record(v); hall.record(v); }
+        for &v in &b { hb.record(v); hall.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.min(), hall.min());
+        prop_assert_eq!(ha.max(), hall.max());
+        for p in [50.0, 90.0, 99.0] {
+            prop_assert_eq!(ha.percentile(p), hall.percentile(p));
+        }
+    }
+
+    /// Summary percentiles are exactly nearest-rank.
+    #[test]
+    fn summary_exact(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = Summary::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
+            prop_assert_eq!(s.percentile(p), sorted[rank - 1]);
+        }
+        prop_assert_eq!(s.min(), sorted[0]);
+        prop_assert_eq!(s.max(), *sorted.last().unwrap());
+    }
+}

@@ -1,0 +1,33 @@
+//! Compare every control plane on the two headline metrics: packets lost
+//! or delayed during mapping resolution (E2) and TCP connection-setup
+//! latency (E4), at one representative inter-domain delay.
+//!
+//! ```sh
+//! cargo run --release --example cp_comparison
+//! ```
+
+use pcelisp::experiments::e2_drops::{e2_variants, run_drops_cell};
+use pcelisp::experiments::e4_tcp_setup::{e4_variants, run_setup_cell};
+use pcelisp::prelude::*;
+
+fn main() {
+    let owd = Ns::from_ms(30);
+
+    let mut drops = pcelisp::experiments::e2_drops::DropsResult::default();
+    for cp in e2_variants() {
+        drops.rows.push(run_drops_cell(cp, owd, 1));
+    }
+    drops.table().print();
+    println!();
+
+    let mut setup = pcelisp::experiments::e4_tcp_setup::SetupResult::default();
+    for cp in e4_variants() {
+        setup.rows.push(run_setup_cell(cp, owd, 1));
+    }
+    setup.table().print();
+    println!();
+    println!(
+        "Shape check: PCE loses nothing and matches the no-LISP setup time;\n\
+         vanilla LISP pays T_map on the handshake (queue) or fails outright (drop)."
+    );
+}

@@ -1,0 +1,36 @@
+//! Quickstart: build the paper's Fig. 1 world with the PCE control plane,
+//! run one TCP flow from `E_S` to `host-0.d.example`, and print the full
+//! step-by-step control-plane trace plus the headline timings.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pcelisp::experiments::e1_fig1::run_fig1_trace;
+
+fn main() {
+    let result = run_fig1_trace(0);
+
+    println!("── Fig. 1 control-plane trace ───────────────────────────────────────");
+    // Show only the interesting control-plane lines, in order.
+    for line in result.trace.lines() {
+        if line.contains("step")
+            || line.contains("resolver asks")
+            || line.contains("IPC")
+            || line.contains("installed flow")
+            || line.contains("decap")
+            || line.contains("reverse-sync")
+            || line.contains("established")
+        {
+            println!("{line}");
+        }
+    }
+    println!();
+    result.table().print();
+    println!();
+    println!(
+        "The mapping was installed at every ITR before the DNS answer reached \
+         the end-host: {} — the paper's claims C1 and C2 in one run.",
+        result.installed_before_answer
+    );
+}

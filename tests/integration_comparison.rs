@@ -1,0 +1,48 @@
+//! Integration: the cross-control-plane comparisons keep the paper's
+//! qualitative shape (who wins, and roughly by how much).
+
+use netsim::Ns;
+use pcelisp::experiments::e2_drops::run_drops_cell;
+use pcelisp::experiments::e3_resolution::run_resolution_cell;
+use pcelisp::experiments::e4_tcp_setup::run_setup_cell;
+use pcelisp::scenario::CpKind;
+
+#[test]
+fn e2_shape_pce_zero_vanilla_loses() {
+    let owd = Ns::from_ms(30);
+    let pce = run_drops_cell(CpKind::Pce, owd, 5);
+    let nerd = run_drops_cell(CpKind::Nerd, owd, 5);
+    let drop = run_drops_cell(CpKind::LispDrop, owd, 5);
+    let alt = run_drops_cell(CpKind::Alt { hops: 4 }, owd, 5);
+    assert_eq!(pce.miss_drops + pce.queued, 0);
+    assert_eq!(nerd.miss_drops + nerd.queued, 0);
+    assert!(drop.miss_drops > 0);
+    assert!(alt.miss_drops >= drop.miss_drops);
+    assert_eq!(pce.delivered, pce.sent);
+}
+
+#[test]
+fn e3_shape_ratio_one_for_pce_grows_with_overlay_depth() {
+    let owd = Ns::from_ms(30);
+    let pce = run_resolution_cell(CpKind::Pce, owd, 5);
+    let mrms = run_resolution_cell(CpKind::LispDrop, owd, 5);
+    let alt4 = run_resolution_cell(CpKind::Alt { hops: 4 }, owd, 5);
+    let alt8 = run_resolution_cell(CpKind::Alt { hops: 8 }, owd, 5);
+    assert!((pce.ratio - 1.0).abs() < 1e-9);
+    assert!(mrms.ratio > 1.0);
+    assert!(alt4.t_map_eff_ms > mrms.t_map_eff_ms);
+    assert!(alt8.t_map_eff_ms > alt4.t_map_eff_ms);
+}
+
+#[test]
+fn e4_shape_pce_matches_todays_internet() {
+    let owd = Ns::from_ms(60);
+    let nolisp = run_setup_cell(CpKind::NoLisp, owd, 5);
+    let pce = run_setup_cell(CpKind::Pce, owd, 5);
+    let queue = run_setup_cell(CpKind::LispQueue, owd, 5);
+    let b = nolisp.t_setup_ms.unwrap();
+    let p = pce.t_setup_ms.unwrap();
+    let q = queue.t_setup_ms.unwrap();
+    assert!((p - b).abs() < 10.0, "pce {p} vs base {b}");
+    assert!(q > p + 50.0, "queue {q} must pay T_map over pce {p}");
+}

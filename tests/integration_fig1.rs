@@ -1,0 +1,26 @@
+//! Integration: the full Fig. 1 message sequence across every crate —
+//! wire formats, DES engine, routers, DNS hierarchy, xTRs, PCEs.
+
+use pcelisp::experiments::e1_fig1::run_fig1_trace;
+use pcelisp::experiments::e7_reverse::run_reverse;
+
+#[test]
+fn fig1_steps_in_paper_order_with_no_drops() {
+    let r = run_fig1_trace(0);
+    assert!(r.installed_before_answer, "mapping must precede the DNS answer\n{}", r.trace);
+    assert!(r.no_drops);
+    assert!(r.established);
+    // The eight labelled steps appear in order.
+    let labels: Vec<&str> = r.step_times.iter().map(|(l, _)| l.as_str()).collect();
+    assert_eq!(labels.len(), 8);
+    assert!(labels[0].starts_with("1:"));
+    assert!(labels[7].starts_with("8:"));
+}
+
+#[test]
+fn reverse_mapping_completes_two_way_resolution() {
+    let r = run_reverse(4, 7);
+    assert!(r.reverse_entries_complete);
+    assert!(r.db_entries >= 4);
+    assert!(r.t_db_update >= r.t_first_decap);
+}

@@ -1,0 +1,22 @@
+//! Integration: the TE claims — independent one-way tunnels spread
+//! inbound load; push-to-all-ITRs makes egress moves lossless.
+
+use pcelisp::experiments::e5_te::{run_ablation_push, run_te_cell};
+use pcelisp::scenario::CpKind;
+
+#[test]
+fn inbound_te_spreads_both_domains() {
+    let pce = run_te_cell(CpKind::Pce, 10, 11);
+    assert!(pce.inbound_d[0] > 0 && pce.inbound_d[1] > 0, "{pce:?}");
+    assert!(pce.inbound_s[0] > 0 && pce.inbound_s[1] > 0, "{pce:?}");
+    let vanilla = run_te_cell(CpKind::LispQueue, 10, 11);
+    assert!(pce.imbalance_d.max < vanilla.imbalance_d.max, "pce {pce:?} vanilla {vanilla:?}");
+}
+
+#[test]
+fn ablation_a1_push_all_is_lossless() {
+    let r = run_ablation_push(11);
+    assert_eq!(r.push_all.2, 0, "{r:?}");
+    assert_eq!(r.push_all.0, r.push_all.1, "{r:?}");
+    assert!(r.push_one.2 > 0, "{r:?}");
+}
