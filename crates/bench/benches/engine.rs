@@ -1,6 +1,8 @@
 //! Microbenches of the hot substrate paths: wire codecs, LPM lookups,
 //! map-cache operations, and raw event throughput of the DES engine —
 //! the ablation benches for the design choices DESIGN.md §5 calls out.
+//! The engine cells are shared with `bin/bench_engine_json.rs`, which
+//! emits the machine-readable `BENCH_engine.json` trajectory record.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -18,7 +20,9 @@ fn bench_wire(c: &mut Criterion) {
         payload_len: 512,
     };
     let payload = vec![0u8; 512];
-    g.bench_function("ipv4_emit", |b| b.iter(|| black_box(build_ipv4(&repr, &payload))));
+    g.bench_function("ipv4_emit", |b| {
+        b.iter(|| black_box(build_ipv4(&repr, &payload)))
+    });
     let pkt = build_ipv4(&repr, &payload);
     g.bench_function("ipv4_parse_verify", |b| {
         b.iter(|| {
@@ -29,7 +33,9 @@ fn bench_wire(c: &mut Criterion) {
     let q = Message::query_a(7, Name::parse_str("host-3.d.example").unwrap(), true);
     let qb = q.to_bytes();
     g.bench_function("dns_emit", |b| b.iter(|| black_box(q.to_bytes())));
-    g.bench_function("dns_parse", |b| b.iter(|| black_box(Message::from_bytes(&qb).unwrap())));
+    g.bench_function("dns_parse", |b| {
+        b.iter(|| black_box(Message::from_bytes(&qb).unwrap()))
+    });
     g.finish();
 }
 
@@ -78,7 +84,10 @@ fn bench_mapcache(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(7919);
             let hit = cache
-                .lookup(Ipv4Address::from_u32(0x64000000 | ((i % 50_000) << 8) | 1), Ns::from_secs(1))
+                .lookup(
+                    Ipv4Address::from_u32(0x64000000 | ((i % 50_000) << 8) | 1),
+                    Ns::from_secs(1),
+                )
                 .is_some();
             black_box(hit)
         })
@@ -87,37 +96,15 @@ fn bench_mapcache(c: &mut Criterion) {
 }
 
 fn bench_engine(c: &mut Criterion) {
-    use netsim::{Ctx, LinkCfg, Node, Ns, Sim};
-
-    struct PingPong {
-        remaining: u64,
-    }
-    impl Node for PingPong {
-        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
-            ctx.send(0, vec![0u8; 64]);
-        }
-        fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: usize, bytes: Vec<u8>) {
-            if self.remaining > 0 {
-                self.remaining -= 1;
-                ctx.send(port, bytes);
-            }
-        }
-        fn as_any(&mut self) -> &mut dyn std::any::Any {
-            self
-        }
-    }
+    use pcelisp_bench::workloads::{run_ping_pong, run_star, STAR_LEAVES, STAR_ROUNDS};
 
     let mut g = c.benchmark_group("engine");
     g.bench_function("event_throughput_20k", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(1);
-            let a = sim.add_node("a", Box::new(PingPong { remaining: 10_000 }));
-            let z = sim.add_node("z", Box::new(PingPong { remaining: 10_000 }));
-            sim.connect(a, z, LinkCfg::lan());
-            sim.schedule_timer(a, Ns::ZERO, 0);
-            sim.run();
-            black_box(sim.events_processed())
-        })
+        b.iter(|| black_box(run_ping_pong(10_000)))
+    });
+    // 64 nodes, >1M events per run: deep-queue throughput.
+    g.bench_function("event_throughput_star64_1m", |b| {
+        b.iter(|| black_box(run_star(STAR_LEAVES, STAR_ROUNDS)))
     });
     g.finish();
 }

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use netsim::Ns;
-use pcelisp::experiments::{e1_fig1, e2_drops, e3_resolution, e4_tcp_setup, e5_te, e6_cache, e7_reverse, e8_overhead};
+use pcelisp::experiments::{
+    e1_fig1, e2_drops, e3_resolution, e4_tcp_setup, e5_te, e6_cache, e7_reverse, e8_overhead,
+};
 use pcelisp::scenario::CpKind;
 use std::hint::black_box;
 
@@ -17,7 +19,12 @@ fn bench_e1_fig1(c: &mut Criterion) {
 fn bench_e2_drops(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_drops");
     g.sample_size(10);
-    for cp in [CpKind::LispDrop, CpKind::LispQueue, CpKind::Nerd, CpKind::Pce] {
+    for cp in [
+        CpKind::LispDrop,
+        CpKind::LispQueue,
+        CpKind::Nerd,
+        CpKind::Pce,
+    ] {
         g.bench_function(cp.label(), |b| {
             b.iter(|| black_box(e2_drops::run_drops_cell(cp, Ns::from_ms(30), 1)))
         });
@@ -51,7 +58,9 @@ fn bench_e5_te(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_te");
     g.sample_size(10);
     for cp in [CpKind::LispQueue, CpKind::Pce] {
-        g.bench_function(cp.label(), |b| b.iter(|| black_box(e5_te::run_te_cell(cp, 6, 1))));
+        g.bench_function(cp.label(), |b| {
+            b.iter(|| black_box(e5_te::run_te_cell(cp, 6, 1)))
+        });
     }
     g.finish();
 }
@@ -71,7 +80,9 @@ fn bench_e6_cache(c: &mut Criterion) {
 fn bench_e7_reverse(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7_reverse");
     g.sample_size(10);
-    g.bench_function("flows4", |b| b.iter(|| black_box(e7_reverse::run_reverse(4, 1))));
+    g.bench_function("flows4", |b| {
+        b.iter(|| black_box(e7_reverse::run_reverse(4, 1)))
+    });
     g.finish();
 }
 

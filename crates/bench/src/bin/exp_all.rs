@@ -2,23 +2,39 @@
 //! evaluation regeneration in one command.
 fn main() {
     let seed = pcelisp_bench::seed();
-    pcelisp::experiments::e1_fig1::run_fig1_trace(seed).table().print();
+    pcelisp::experiments::e1_fig1::run_fig1_trace(seed)
+        .table()
+        .print();
     println!();
-    pcelisp::experiments::e2_drops::run_drops(seed).table().print();
+    pcelisp::experiments::e2_drops::run_drops(seed)
+        .table()
+        .print();
     println!();
-    pcelisp::experiments::e3_resolution::run_resolution(seed).table().print();
+    pcelisp::experiments::e3_resolution::run_resolution(seed)
+        .table()
+        .print();
     let (pre, demand) = pcelisp::experiments::e3_resolution::run_ablation_precompute(seed);
     println!("A2 ablation: precomputed = {pre:.1} ms; on-demand = {demand:.1} ms");
     println!();
-    pcelisp::experiments::e4_tcp_setup::run_tcp_setup(seed).table().print();
+    pcelisp::experiments::e4_tcp_setup::run_tcp_setup(seed)
+        .table()
+        .print();
     println!();
     pcelisp::experiments::e5_te::run_te(seed).table().print();
     println!();
-    pcelisp::experiments::e5_te::run_ablation_push(seed).table().print();
+    pcelisp::experiments::e5_te::run_ablation_push(seed)
+        .table()
+        .print();
     println!();
-    pcelisp::experiments::e6_cache::run_cache(seed).table().print();
+    pcelisp::experiments::e6_cache::run_cache(seed)
+        .table()
+        .print();
     println!();
-    pcelisp::experiments::e7_reverse::run_reverse(4, seed).table().print();
+    pcelisp::experiments::e7_reverse::run_reverse(4, seed)
+        .table()
+        .print();
     println!();
-    pcelisp::experiments::e8_overhead::run_overhead(seed).table().print();
+    pcelisp::experiments::e8_overhead::run_overhead(seed)
+        .table()
+        .print();
 }

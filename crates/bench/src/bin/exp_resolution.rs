@@ -5,5 +5,7 @@ fn main() {
     r.table().print();
     let (pre, demand) = pcelisp::experiments::e3_resolution::run_ablation_precompute(seed);
     println!();
-    println!("A2 ablation: T_DNS with precomputed mapping = {pre:.1} ms; on-demand = {demand:.1} ms");
+    println!(
+        "A2 ablation: T_DNS with precomputed mapping = {pre:.1} ms; on-demand = {demand:.1} ms"
+    );
 }

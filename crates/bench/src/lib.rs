@@ -5,8 +5,13 @@
 
 pub use pcelisp;
 
+pub mod workloads;
+
 /// Default seed used by all experiment binaries (override with the
 /// `PCELISP_SEED` environment variable).
 pub fn seed() -> u64 {
-    std::env::var("PCELISP_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+    std::env::var("PCELISP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
 }

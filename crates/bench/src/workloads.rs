@@ -1,0 +1,140 @@
+//! Engine throughput workloads shared by the Criterion bench
+//! (`benches/engine.rs`) and the JSON trajectory emitter
+//! (`bin/bench_engine_json.rs`), so both time exactly the same cells.
+//!
+//! Two shapes stress different parts of the hot path (DESIGN.md §1):
+//!
+//! * **ping-pong** — two nodes, one link, one packet in flight: the
+//!   queue stays tiny, so per-event constant costs (dispatch, context
+//!   setup, link math) dominate.
+//! * **64-node star** — one hub echoing to 63 leaves, 63 packets in
+//!   flight: the heap holds ~64 events, so sift depth and payload moves
+//!   matter too. With the default 8 000 rounds this processes >1M
+//!   events per run.
+
+use netsim::{Ctx, LinkCfg, Node, Ns, Sim};
+
+/// Two nodes bouncing one packet back and forth `remaining` times each.
+struct PingPong {
+    remaining: u64,
+}
+
+impl Node for PingPong {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        let buf = ctx.buffer(64);
+        ctx.send(0, buf);
+    }
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: usize, bytes: Vec<u8>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(port, bytes);
+        } else {
+            ctx.recycle(bytes);
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Run the two-node ping-pong cell (`2 * pairs + 1` events) and return
+/// the number of events the engine processed.
+pub fn run_ping_pong(pairs: u64) -> u64 {
+    let mut sim = Sim::new(1);
+    let a = sim.add_node("a", Box::new(PingPong { remaining: pairs }));
+    let z = sim.add_node("z", Box::new(PingPong { remaining: pairs }));
+    sim.connect(a, z, LinkCfg::lan());
+    sim.schedule_timer(a, Ns::ZERO, 0);
+    sim.run();
+    sim.events_processed()
+}
+
+/// The hub of the star: echo every packet back out the port it came in.
+struct Hub;
+
+impl Node for Hub {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: usize, bytes: Vec<u8>) {
+        ctx.send(port, bytes);
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A leaf: fires one packet at start, re-sends on every echo until its
+/// round budget is spent.
+struct Leaf {
+    rounds: u64,
+}
+
+impl Node for Leaf {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        let buf = ctx.buffer(64);
+        ctx.send(0, buf);
+    }
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: usize, bytes: Vec<u8>) {
+        if self.rounds > 0 {
+            self.rounds -= 1;
+            ctx.send(port, bytes);
+        } else {
+            ctx.recycle(bytes);
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Run the star cell: one hub plus `leaves` leaf nodes, each doing
+/// `rounds` round-trips (≈ `2 * leaves * rounds` events). Returns the
+/// number of events the engine processed.
+pub fn run_star(leaves: usize, rounds: u64) -> u64 {
+    let mut sim = Sim::new(1);
+    let hub = sim.add_node("hub", Box::new(Hub));
+    for i in 0..leaves {
+        let leaf = sim.add_node(&format!("leaf{i}"), Box::new(Leaf { rounds }));
+        sim.connect(leaf, hub, LinkCfg::lan());
+        sim.schedule_timer(leaf, Ns::ZERO, 0);
+    }
+    sim.run();
+    sim.events_processed()
+}
+
+/// Leaves in the standard star cell (64 nodes total with the hub).
+pub const STAR_LEAVES: usize = 63;
+
+/// Rounds per leaf in the standard star cell (>1M events total).
+pub const STAR_ROUNDS: u64 = 8_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_event_count() {
+        // One kick-off timer, 2 deliveries per round trip, and the
+        // final unanswered delivery.
+        assert_eq!(run_ping_pong(100), 202);
+    }
+
+    #[test]
+    fn star_event_count_exceeds_budget() {
+        // 4 leaves * 10 rounds: each leaf fires a timer, then every
+        // round trip is leaf→hub→leaf (2 deliveries) plus the final
+        // unanswered echo pair accounting.
+        let events = run_star(4, 10);
+        assert!(events >= 4 * 10 * 2, "got {events}");
+        // The standard cell comfortably clears one million events.
+        let per_leaf = 2 * STAR_ROUNDS + 2;
+        assert!(STAR_LEAVES as u64 * per_leaf >= 1_000_000);
+    }
+}

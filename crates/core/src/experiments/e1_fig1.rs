@@ -4,8 +4,8 @@
 //! step ordering of the paper's figure: IPC (1), iterative DNS through
 //! the PCE data path (2–5), encapsulation on port `P` (6), decapsulation
 //! + forward + push (7a/7b), DNS answer at `E_S` (8) — and the headline
-//! property: *the mapping is installed at every ITR before the end-host
-//! receives its DNS answer*, so the first data packet finds state.
+//!   property: *the mapping is installed at every ITR before the end-host
+//!   receives its DNS answer*, so the first data packet finds state.
 
 use crate::hosts::{FlowMode, TrafficHost};
 use crate::scenario::{flow_script, CpKind, Fig1Builder};
@@ -30,7 +30,10 @@ pub struct Fig1Result {
 impl Fig1Result {
     /// Summary table.
     pub fn table(&self) -> Table {
-        let mut t = Table::new("E1: Fig.1 step sequence (PCE control plane)", &["step", "t_ms"]);
+        let mut t = Table::new(
+            "E1: Fig.1 step sequence (PCE control plane)",
+            &["step", "t_ms"],
+        );
         for (label, at) in &self.step_times {
             t.row(&[label.clone(), format!("{:.3}", at.as_ms_f64())]);
         }
@@ -51,7 +54,11 @@ pub fn run_fig1_trace(seed: u64) -> Fig1Result {
             p.flows = flow_script(
                 &[Ns::ZERO],
                 4,
-                FlowMode::Tcp { packets: 3, interval: Ns::from_ms(1), size: 200 },
+                FlowMode::Tcp {
+                    packets: 3,
+                    interval: Ns::from_ms(1),
+                    size: 200,
+                },
             );
         })
         .build(1 + seed);
@@ -80,7 +87,11 @@ pub fn run_fig1_trace(seed: u64) -> Fig1Result {
         .collect();
 
     // Install times at both ITRs vs. the answer time at E_S.
-    let answer_t = world.sim.trace.time_of("step8: E_S").expect("answer traced");
+    let answer_t = world
+        .sim
+        .trace
+        .time_of("step8: E_S")
+        .expect("answer traced");
     let installs: Vec<Ns> = world
         .sim
         .trace
@@ -94,8 +105,9 @@ pub fn run_fig1_trace(seed: u64) -> Fig1Result {
     let no_drops = world.total_miss_drops() == 0
         && world.sim.total_queue_drops() == 0
         && world.sim.total_fault_drops() == 0;
-    let established =
-        world.sim.node_ref::<TrafficHost>(world.host_s).records[0].t_established.is_some();
+    let established = world.sim.node_ref::<TrafficHost>(world.host_s).records[0]
+        .t_established
+        .is_some();
 
     Fig1Result {
         trace: world.sim.trace.render(),

@@ -47,7 +47,15 @@ impl DropsResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E2: drops/queueing during mapping resolution (CBR UDP from DNS answer)",
-            &["cp", "owd_ms", "sent", "delivered", "miss_drops", "queued", "mean_qdelay_ms"],
+            &[
+                "cp",
+                "owd_ms",
+                "sent",
+                "delivered",
+                "miss_drops",
+                "queued",
+                "mean_qdelay_ms",
+            ],
         );
         for r in &self.rows {
             t.row(&[
@@ -92,7 +100,11 @@ pub fn run_drops_cell(cp: CpKind, owd: Ns, seed: u64) -> DropRow {
             p.flows = flow_script(
                 &[Ns::ZERO],
                 4,
-                FlowMode::Udp { packets, interval, size: 400 },
+                FlowMode::Udp {
+                    packets,
+                    interval,
+                    size: 400,
+                },
             );
         })
         .build(seed);
@@ -135,7 +147,12 @@ pub fn run_drops_cell(cp: CpKind, owd: Ns, seed: u64) -> DropRow {
 /// Run the full sweep.
 pub fn run_drops(seed: u64) -> DropsResult {
     let mut result = DropsResult::default();
-    for owd in [Ns::from_ms(15), Ns::from_ms(30), Ns::from_ms(60), Ns::from_ms(100)] {
+    for owd in [
+        Ns::from_ms(15),
+        Ns::from_ms(30),
+        Ns::from_ms(60),
+        Ns::from_ms(100),
+    ] {
         for cp in e2_variants() {
             result.rows.push(run_drops_cell(cp, owd, seed));
         }
@@ -180,7 +197,12 @@ mod tests {
     fn drops_grow_with_owd_for_lisp_drop() {
         let near = run_drops_cell(CpKind::LispDrop, Ns::from_ms(15), 1);
         let far = run_drops_cell(CpKind::LispDrop, Ns::from_ms(100), 1);
-        assert!(far.miss_drops >= near.miss_drops, "near {} far {}", near.miss_drops, far.miss_drops);
+        assert!(
+            far.miss_drops >= near.miss_drops,
+            "near {} far {}",
+            near.miss_drops,
+            far.miss_drops
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub fn run_resolution_cell(cp: CpKind, owd: Ns, seed: u64) -> ResolutionRow {
             p.flows = flow_script(
                 &[Ns::ZERO],
                 4,
-                FlowMode::Udp { packets: 4, interval: Ns::from_ms(1), size: 200 },
+                FlowMode::Udp {
+                    packets: 4,
+                    interval: Ns::from_ms(1),
+                    size: 200,
+                },
             );
         })
         .build(seed);
@@ -108,14 +112,29 @@ pub fn run_resolution_cell(cp: CpKind, owd: Ns, seed: u64) -> ResolutionRow {
     };
     let t_dns_ms = t_dns.as_ms_f64();
     let t_map_eff_ms = t_map_eff.as_ms_f64();
-    let ratio = if t_dns_ms > 0.0 { (t_dns_ms + t_map_eff_ms) / t_dns_ms } else { 0.0 };
-    ResolutionRow { cp: cp.label(), owd_ms: owd.as_ms(), t_dns_ms, t_map_eff_ms, ratio }
+    let ratio = if t_dns_ms > 0.0 {
+        (t_dns_ms + t_map_eff_ms) / t_dns_ms
+    } else {
+        0.0
+    };
+    ResolutionRow {
+        cp: cp.label(),
+        owd_ms: owd.as_ms(),
+        t_dns_ms,
+        t_map_eff_ms,
+        ratio,
+    }
 }
 
 /// Full sweep.
 pub fn run_resolution(seed: u64) -> ResolutionResult {
     let mut result = ResolutionResult::default();
-    for owd in [Ns::from_ms(15), Ns::from_ms(30), Ns::from_ms(60), Ns::from_ms(100)] {
+    for owd in [
+        Ns::from_ms(15),
+        Ns::from_ms(30),
+        Ns::from_ms(60),
+        Ns::from_ms(100),
+    ] {
         for cp in e3_variants() {
             result.rows.push(run_resolution_cell(cp, owd, seed));
         }
@@ -133,13 +152,20 @@ pub fn run_ablation_precompute(seed: u64) -> (f64, f64) {
                 p.flows = flow_script(
                     &[Ns::ZERO],
                     4,
-                    FlowMode::Udp { packets: 1, interval: Ns::from_ms(1), size: 100 },
+                    FlowMode::Udp {
+                        packets: 1,
+                        interval: Ns::from_ms(1),
+                        size: 100,
+                    },
                 );
             })
             .build(seed);
         world.schedule_all_flows();
         world.sim.run_until(Ns::from_secs(30));
-        world.records()[0].dns_time().map(|t| t.as_ms_f64()).unwrap_or(f64::NAN)
+        world.records()[0]
+            .dns_time()
+            .map(|t| t.as_ms_f64())
+            .unwrap_or(f64::NAN)
     };
     (run(true), run(false))
 }
@@ -180,6 +206,10 @@ mod tests {
         let (pre, demand) = run_ablation_precompute(1);
         assert!(demand > pre, "precompute {pre} vs on-demand {demand}");
         // The 2 ms on-demand penalty lands once on the DNS path.
-        assert!(demand - pre >= 1.5 && demand - pre <= 3.0, "delta {}", demand - pre);
+        assert!(
+            demand - pre >= 1.5 && demand - pre <= 3.0,
+            "delta {}",
+            demand - pre
+        );
     }
 }

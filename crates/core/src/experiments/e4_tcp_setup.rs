@@ -52,8 +52,12 @@ impl SetupResult {
                 r.cp.clone(),
                 r.owd_ms.to_string(),
                 format!("{:.1}", r.t_dns_ms),
-                r.t_setup_ms.map(|v| format!("{v:.1}")).unwrap_or_else(|| "FAILED".into()),
-                r.handshake_ms.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
+                r.t_setup_ms
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "FAILED".into()),
+                r.handshake_ms
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
         t
@@ -87,15 +91,23 @@ pub fn run_setup_cell(cp: CpKind, owd: Ns, seed: u64) -> SetupRow {
             p.flows = flow_script(
                 &[Ns::ZERO],
                 4,
-                FlowMode::Tcp { packets: 2, interval: Ns::from_ms(1), size: 200 },
+                FlowMode::Tcp {
+                    packets: 2,
+                    interval: Ns::from_ms(1),
+                    size: 200,
+                },
             );
         })
         .build(seed);
     // ALT/CONS need queueing to complete the handshake at all.
-    if matches!(cp, CpKind::Alt { .. } | CpKind::Cons { .. } | CpKind::LispQueue) {
+    if matches!(
+        cp,
+        CpKind::Alt { .. } | CpKind::Cons { .. } | CpKind::LispQueue
+    ) {
         if let Some(xtrs) = world.xtrs {
             for &x in &xtrs {
-                world.sim.node_mut::<Xtr>(x).cfg.miss_policy = MissPolicy::Queue { max_packets: 64 };
+                world.sim.node_mut::<Xtr>(x).cfg.miss_policy =
+                    MissPolicy::Queue { max_packets: 64 };
             }
         }
     }
@@ -106,13 +118,24 @@ pub fn run_setup_cell(cp: CpKind, owd: Ns, seed: u64) -> SetupRow {
     let t_dns_ms = rec.dns_time().map(|t| t.as_ms_f64()).unwrap_or(f64::NAN);
     let t_setup_ms = rec.setup_time().map(|t| t.as_ms_f64());
     let handshake_ms = t_setup_ms.map(|s| s - t_dns_ms);
-    SetupRow { cp: cp.label(), owd_ms: owd.as_ms(), t_dns_ms, t_setup_ms, handshake_ms }
+    SetupRow {
+        cp: cp.label(),
+        owd_ms: owd.as_ms(),
+        t_dns_ms,
+        t_setup_ms,
+        handshake_ms,
+    }
 }
 
 /// Full sweep.
 pub fn run_tcp_setup(seed: u64) -> SetupResult {
     let mut result = SetupResult::default();
-    for owd in [Ns::from_ms(15), Ns::from_ms(30), Ns::from_ms(60), Ns::from_ms(100)] {
+    for owd in [
+        Ns::from_ms(15),
+        Ns::from_ms(30),
+        Ns::from_ms(60),
+        Ns::from_ms(100),
+    ] {
         for cp in e4_variants() {
             result.rows.push(run_setup_cell(cp, owd, seed));
         }

@@ -44,7 +44,15 @@ impl TeResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E5: inbound TE — per-provider inbound bytes (flows with echo traffic)",
-            &["cp", "in_S_A", "in_S_B", "in_D_X", "in_D_Y", "max_util_D", "stddev_D"],
+            &[
+                "cp",
+                "in_S_A",
+                "in_S_B",
+                "in_D_X",
+                "in_D_Y",
+                "max_util_D",
+                "stddev_D",
+            ],
         );
         for r in &self.rows {
             t.row(&[
@@ -70,7 +78,11 @@ pub fn run_te_cell(cp: CpKind, n_flows: usize, seed: u64) -> TeRow {
             p.flows = flow_script(
                 &starts,
                 8,
-                FlowMode::Udp { packets: 20, interval: Ns::from_ms(5), size: 600 },
+                FlowMode::Udp {
+                    packets: 20,
+                    interval: Ns::from_ms(5),
+                    size: 600,
+                },
             );
         })
         .build(seed);
@@ -145,7 +157,11 @@ pub fn run_ablation_push(seed: u64) -> AblationPushResult {
                 p.flows = flow_script(
                     &[Ns::ZERO],
                     4,
-                    FlowMode::Udp { packets: 60, interval: Ns::from_ms(10), size: 400 },
+                    FlowMode::Udp {
+                        packets: 60,
+                        interval: Ns::from_ms(10),
+                        size: 400,
+                    },
                 );
             })
             .build(seed);
@@ -154,12 +170,18 @@ pub fn run_ablation_push(seed: u64) -> AblationPushResult {
         world.sim.run_until(Ns::from_ms(600));
         // TE action: move the flow's egress to xTR-B.
         let dest = {
-            let rec = &world.sim.node_ref::<crate::hosts::TrafficHost>(world.host_s).records[0];
+            let rec = &world
+                .sim
+                .node_ref::<crate::hosts::TrafficHost>(world.host_s)
+                .records[0];
             rec.dest
         };
         if let (Some(dest), Some((_, port_b))) = (dest, world.site_s_egress_ports) {
             let site_s = world.site_routers.0;
-            world.sim.node_mut::<FlowRouter>(site_s).pin_flow(addrs::HOST_S, dest, port_b);
+            world
+                .sim
+                .node_mut::<FlowRouter>(site_s)
+                .pin_flow(addrs::HOST_S, dest, port_b);
         }
         world.sim.run_until(Ns::from_secs(60));
         let rec = world.records()[0].clone();
@@ -167,7 +189,10 @@ pub fn run_ablation_push(seed: u64) -> AblationPushResult {
         let drops = world.total_miss_drops();
         (u64::from(rec.data_sent), delivered, drops)
     };
-    AblationPushResult { push_all: run(true), push_one: run(false) }
+    AblationPushResult {
+        push_all: run(true),
+        push_one: run(false),
+    }
 }
 
 #[cfg(test)]
@@ -201,8 +226,14 @@ mod tests {
     fn pce_beats_vanilla_on_balance() {
         let v = run_te_cell(CpKind::LispQueue, 8, 1);
         let p = run_te_cell(CpKind::Pce, 8, 1);
-        assert!(p.imbalance_d.max < v.imbalance_d.max, "pce {p:?} vanilla {v:?}");
-        assert!(p.imbalance_s.max < v.imbalance_s.max, "pce {p:?} vanilla {v:?}");
+        assert!(
+            p.imbalance_d.max < v.imbalance_d.max,
+            "pce {p:?} vanilla {v:?}"
+        );
+        assert!(
+            p.imbalance_s.max < v.imbalance_s.max,
+            "pce {p:?} vanilla {v:?}"
+        );
     }
 
     #[test]

@@ -49,7 +49,16 @@ impl CacheResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E6: map-cache hit ratio vs TTL and workload skew (vanilla LISP vs PCE)",
-            &["cp", "ttl_min", "zipf_s", "hits", "misses", "expired", "hit_ratio", "affected_pkts"],
+            &[
+                "cp",
+                "ttl_min",
+                "zipf_s",
+                "hits",
+                "misses",
+                "expired",
+                "hit_ratio",
+                "affected_pkts",
+            ],
         );
         for r in &self.rows {
             t.row(&[
@@ -68,14 +77,24 @@ impl CacheResult {
 }
 
 /// Build the Zipf/Poisson flow script.
-fn zipf_flows(n_flows: usize, dest_count: usize, zipf_s: f64, rate_per_sec: f64, seed: u64) -> Vec<crate::hosts::FlowSpec> {
+fn zipf_flows(
+    n_flows: usize,
+    dest_count: usize,
+    zipf_s: f64,
+    rate_per_sec: f64,
+    seed: u64,
+) -> Vec<crate::hosts::FlowSpec> {
     let mut arrivals = PoissonArrivals::new(seed, rate_per_sec);
     let mut zipf = ZipfPicker::new(seed.wrapping_add(1), dest_count, zipf_s);
     (0..n_flows)
         .map(|_| crate::hosts::FlowSpec {
             start: arrivals.next_arrival(),
             qname: Name::parse_str(&format!("host-{}.d.example", zipf.pick())).expect("valid"),
-            mode: FlowMode::Udp { packets: 3, interval: Ns::from_ms(2), size: 300 },
+            mode: FlowMode::Udp {
+                packets: 3,
+                interval: Ns::from_ms(2),
+                size: 300,
+            },
         })
         .collect()
 }
@@ -124,7 +143,11 @@ pub fn run_cache_cell(cp: CpKind, ttl_minutes: u16, zipf_s: f64, seed: u64) -> C
         hits,
         misses,
         expirations,
-        hit_ratio: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
+        hit_ratio: if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        },
         affected_packets: affected,
     }
 }
@@ -134,9 +157,13 @@ pub fn run_cache(seed: u64) -> CacheResult {
     let mut result = CacheResult::default();
     for &zipf_s in &[0.0, 1.0] {
         for &ttl in &[1u16, 2, 10] {
-            result.rows.push(run_cache_cell(CpKind::LispQueue, ttl, zipf_s, seed));
+            result
+                .rows
+                .push(run_cache_cell(CpKind::LispQueue, ttl, zipf_s, seed));
         }
-        result.rows.push(run_cache_cell(CpKind::Pce, 10, zipf_s, seed));
+        result
+            .rows
+            .push(run_cache_cell(CpKind::Pce, 10, zipf_s, seed));
     }
     result
 }
@@ -155,7 +182,10 @@ mod tests {
             short.hit_ratio,
             long.hit_ratio
         );
-        assert!(short.expirations > 0, "1-minute TTL must age out: {short:?}");
+        assert!(
+            short.expirations > 0,
+            "1-minute TTL must age out: {short:?}"
+        );
     }
 
     #[test]

@@ -52,13 +52,21 @@ impl ReverseResult {
                 format!("{:.3}", at.saturating_sub(base).as_ms_f64()),
             ]);
         }
-        t.row(&["concurrent flows".into(), self.concurrent_flows.to_string(), String::new()]);
+        t.row(&[
+            "concurrent flows".into(),
+            self.concurrent_flows.to_string(),
+            String::new(),
+        ]);
         t.row(&[
             "reverse entries complete".into(),
             self.reverse_entries_complete.to_string(),
             String::new(),
         ]);
-        t.row(&["PCE db entries".into(), self.db_entries.to_string(), String::new()]);
+        t.row(&[
+            "PCE db entries".into(),
+            self.db_entries.to_string(),
+            String::new(),
+        ]);
         t
     }
 }
@@ -73,7 +81,11 @@ pub fn run_reverse(concurrent_flows: usize, seed: u64) -> ReverseResult {
             p.flows = flow_script(
                 &starts,
                 n.max(4),
-                FlowMode::Udp { packets: 4, interval: Ns::from_ms(2), size: 300 },
+                FlowMode::Udp {
+                    packets: 4,
+                    interval: Ns::from_ms(2),
+                    size: 300,
+                },
             );
         })
         .build(seed);
@@ -90,7 +102,10 @@ pub fn run_reverse(concurrent_flows: usize, seed: u64) -> ReverseResult {
         .expect("local install traced");
     // The peer install is the first "installed flow 101." event at a node
     // other than the decapsulating one.
-    let decap_node = trace.first("decap 100.0.0.5").map(|e| e.node).expect("decap node");
+    let decap_node = trace
+        .first("decap 100.0.0.5")
+        .map(|e| e.node)
+        .expect("decap node");
     let t_peer_install = trace
         .find("installed flow 101.")
         .iter()
@@ -100,17 +115,16 @@ pub fn run_reverse(concurrent_flows: usize, seed: u64) -> ReverseResult {
     let t_db_update = trace.time_of("database updated").expect("db update traced");
 
     // Verify every flow's reverse entry exists at both D-side xTRs.
-    let dest_of_flow: Vec<_> = world
-        .records()
-        .iter()
-        .filter_map(|r| r.dest)
-        .collect();
+    let dest_of_flow: Vec<_> = world.records().iter().filter_map(|r| r.dest).collect();
     let xtrs = world.xtrs.expect("pce world has xtrs");
     let mut complete = !dest_of_flow.is_empty();
     for &x in &xtrs[2..] {
         let xtr = world.sim.node_ref::<Xtr>(x);
         for dest in &dest_of_flow {
-            if !xtr.flows.contains_key(&(*dest, crate::scenario::addrs::HOST_S)) {
+            if !xtr
+                .flows
+                .contains_key(&(*dest, crate::scenario::addrs::HOST_S))
+            {
                 complete = false;
             }
         }

@@ -45,7 +45,14 @@ impl OverheadResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E8: control-plane overhead per flow burst",
-            &["cp", "flows", "ctl_msgs", "itr_state", "cp_state", "push_bytes"],
+            &[
+                "cp",
+                "flows",
+                "ctl_msgs",
+                "itr_state",
+                "cp_state",
+                "push_bytes",
+            ],
         );
         for r in &self.rows {
             t.row(&[
@@ -70,7 +77,11 @@ pub fn run_overhead_cell(cp: CpKind, n_flows: usize, seed: u64) -> OverheadRow {
             p.flows = flow_script(
                 &starts,
                 8,
-                FlowMode::Udp { packets: 3, interval: Ns::from_ms(2), size: 300 },
+                FlowMode::Udp {
+                    packets: 3,
+                    interval: Ns::from_ms(2),
+                    size: 300,
+                },
             );
         })
         .build(seed);
@@ -128,7 +139,12 @@ pub fn run_overhead_cell(cp: CpKind, n_flows: usize, seed: u64) -> OverheadRow {
         let s_db = world.sim.node_ref::<Pce>(pce_s).db.len() as u64;
         let d = world.sim.node_ref::<Pce>(pce_d).stats.clone();
         let d_db = world.sim.node_ref::<Pce>(pce_d).db.len() as u64;
-        control_msgs += s.pushes_sent + s.dns_intercepts + s.ipc_notices + d.pushes_sent + d.dns_intercepts + d.ipc_notices;
+        control_msgs += s.pushes_sent
+            + s.dns_intercepts
+            + s.ipc_notices
+            + d.pushes_sent
+            + d.dns_intercepts
+            + d.ipc_notices;
         cp_state += s_db + d_db;
     }
 
@@ -180,7 +196,10 @@ mod tests {
     fn pce_state_tracks_flows() {
         let small = run_overhead_cell(CpKind::Pce, 2, 1);
         let big = run_overhead_cell(CpKind::Pce, 8, 1);
-        assert!(big.itr_state_entries > small.itr_state_entries, "small {small:?} big {big:?}");
+        assert!(
+            big.itr_state_entries > small.itr_state_entries,
+            "small {small:?} big {big:?}"
+        );
         assert!(big.cp_state_entries >= small.cp_state_entries);
     }
 
@@ -188,6 +207,9 @@ mod tests {
     fn overlay_cps_cost_more_messages_per_flow() {
         let mrms = run_overhead_cell(CpKind::LispQueue, 6, 1);
         let cons = run_overhead_cell(CpKind::Cons { cdr_depth: 2 }, 6, 1);
-        assert!(cons.control_msgs > mrms.control_msgs, "mrms {mrms:?} cons {cons:?}");
+        assert!(
+            cons.control_msgs > mrms.control_msgs,
+            "mrms {mrms:?} cons {cons:?}"
+        );
     }
 }

@@ -12,4 +12,3 @@ pub mod e5_te;
 pub mod e6_cache;
 pub mod e7_reverse;
 pub mod e8_overhead;
-

@@ -11,7 +11,7 @@ use inet::stack::{IpStack, Parsed};
 use inet::tcp::{TcpEvent, TcpMachine};
 use lispwire::dnswire::{Message, Name};
 use lispwire::{ports, Ipv4Address};
-use netsim::{Ctx, Node, Ns, PortId};
+use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -128,7 +128,14 @@ impl TrafficHost {
             })
             .collect();
         let port_of_flow = (0..flows.len()).map(|i| 41000 + i as u16).collect();
-        Self { stack: IpStack::new(addr), resolver, flows, records, tcp: HashMap::new(), port_of_flow }
+        Self {
+            stack: IpStack::new(addr),
+            resolver,
+            flows,
+            records,
+            tcp: HashMap::new(),
+            port_of_flow,
+        }
     }
 
     /// This host's address.
@@ -143,21 +150,34 @@ impl TrafficHost {
     }
 
     fn send_data(&mut self, ctx: &mut Ctx<'_>, flow: usize, seq: u32) {
-        let Some(dest) = self.records[flow].dest else { return };
+        let Some(dest) = self.records[flow].dest else {
+            return;
+        };
         let (packets, interval, size, is_tcp) = match self.flows[flow].mode {
-            FlowMode::Tcp { packets, interval, size } => (packets, interval, size, true),
-            FlowMode::Udp { packets, interval, size } => (packets, interval, size, false),
+            FlowMode::Tcp {
+                packets,
+                interval,
+                size,
+            } => (packets, interval, size, true),
+            FlowMode::Udp {
+                packets,
+                interval,
+                size,
+            } => (packets, interval, size, false),
         };
         if seq >= packets {
             return;
         }
         let payload = vec![(seq & 0xff) as u8; size];
         let pkt = if is_tcp {
-            let Some(m) = self.tcp.get_mut(&flow) else { return };
+            let Some(m) = self.tcp.get_mut(&flow) else {
+                return;
+            };
             let seg = m.data_segment(size);
             self.stack.tcp(dest, &seg, &payload)
         } else {
-            self.stack.udp(self.port_of_flow[flow], dest, 7001, &payload)
+            self.stack
+                .udp(self.port_of_flow[flow], dest, 7001, &payload)
         };
         ctx.send(0, pkt);
         self.records[flow].data_sent += 1;
@@ -178,8 +198,16 @@ impl Node for TrafficHost {
                 let qname = self.flows[flow].qname.clone();
                 self.records[flow].t_query = Some(ctx.now());
                 let q = Message::query_a(flow as u16, qname.clone(), true);
-                let pkt = self.stack.udp(self.port_of_flow[flow], self.resolver, ports::DNS, &q.to_bytes());
-                ctx.trace(format!("E_S {} resolves {} (flow {})", self.stack.addr, qname, flow));
+                let pkt = self.stack.udp(
+                    self.port_of_flow[flow],
+                    self.resolver,
+                    ports::DNS,
+                    &q.to_bytes(),
+                );
+                ctx.trace(format!(
+                    "E_S {} resolves {} (flow {})",
+                    self.stack.addr, qname, flow
+                ));
                 ctx.send(0, pkt);
             }
             KIND_DATA => self.send_data(ctx, flow, seq),
@@ -190,8 +218,15 @@ impl Node for TrafficHost {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
         match IpStack::parse(&bytes) {
             // DNS answer.
-            Ok(Parsed::Udp { src_port, dst_port, payload, .. }) if src_port == ports::DNS => {
-                let Ok(msg) = Message::from_bytes(&payload) else { return };
+            Ok(Parsed::Udp {
+                src_port,
+                dst_port,
+                payload,
+                ..
+            }) if src_port == ports::DNS => {
+                let Ok(msg) = Message::from_bytes(&payload) else {
+                    return;
+                };
                 if !msg.is_response {
                     return;
                 }
@@ -205,14 +240,20 @@ impl Node for TrafficHost {
                     "step8: E_S {} got DNS answer {:?} for flow {}",
                     self.stack.addr, self.records[flow].dest, flow
                 ));
-                let Some(dest) = self.records[flow].dest else { return };
+                let Some(dest) = self.records[flow].dest else {
+                    return;
+                };
                 match self.flows[flow].mode {
                     FlowMode::Tcp { .. } => {
-                        let mut m = TcpMachine::new(self.port_of_flow[flow], 7001, 1000 + flow as u32);
+                        let mut m =
+                            TcpMachine::new(self.port_of_flow[flow], 7001, 1000 + flow as u32);
                         let syn = m.connect(ctx.now());
                         self.tcp.insert(flow, m);
                         let pkt = self.stack.tcp(dest, &syn, &[]);
-                        ctx.trace(format!("E_S {} SYN to {} (flow {})", self.stack.addr, dest, flow));
+                        ctx.trace(format!(
+                            "E_S {} SYN to {} (flow {})",
+                            self.stack.addr, dest, flow
+                        ));
                         ctx.send(0, pkt);
                     }
                     FlowMode::Udp { .. } => {
@@ -222,13 +263,14 @@ impl Node for TrafficHost {
                 }
             }
             // TCP segment.
-            Ok(Parsed::Tcp { src, seg, payload, .. }) => {
-                let flow = self
-                    .port_of_flow
-                    .iter()
-                    .position(|&p| p == seg.dst_port);
+            Ok(Parsed::Tcp {
+                src, seg, payload, ..
+            }) => {
+                let flow = self.port_of_flow.iter().position(|&p| p == seg.dst_port);
                 let Some(flow) = flow else { return };
-                let Some(m) = self.tcp.get_mut(&flow) else { return };
+                let Some(m) = self.tcp.get_mut(&flow) else {
+                    return;
+                };
                 match m.on_segment(ctx.now(), &seg, payload.len()) {
                     TcpEvent::SendAndEstablish(ack) => {
                         self.records[flow].t_established = Some(ctx.now());
@@ -255,6 +297,9 @@ impl Node for TrafficHost {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
 }
 
 /// The passive peer: accepts TCP handshakes, counts TCP and UDP payload
@@ -273,6 +318,8 @@ pub struct ServerHost {
     pub established: Vec<(Ipv4Address, Ns)>,
     /// Arrival time of the first UDP packet per source.
     pub first_udp_at: HashMap<Ipv4Address, Ns>,
+    ctr_udp: LazyCounter,
+    ctr_tcp_data: LazyCounter,
 }
 
 impl ServerHost {
@@ -286,6 +333,8 @@ impl ServerHost {
             tcp_data_received: HashMap::new(),
             established: Vec::new(),
             first_udp_at: HashMap::new(),
+            ctr_udp: LazyCounter::new(),
+            ctr_tcp_data: LazyCounter::new(),
         }
     }
 
@@ -308,17 +357,29 @@ impl ServerHost {
 impl Node for ServerHost {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
         match IpStack::parse(&bytes) {
-            Ok(Parsed::Udp { src, dst, src_port, dst_port, payload }) if dst_port == 7001 => {
+            Ok(Parsed::Udp {
+                src,
+                dst,
+                src_port,
+                dst_port,
+                payload,
+            }) if dst_port == 7001 => {
                 let _ = &self.stack; // identity only; replies use the addressed dst
                 *self.udp_received.entry(src).or_insert(0) += 1;
                 self.first_udp_at.entry(src).or_insert_with(|| ctx.now());
-                ctx.count("server.udp_received", 1);
+                self.ctr_udp.add(ctx, "server.udp_received", 1);
                 if self.echo_udp {
                     let reply = IpStack::new(dst).udp(dst_port, src, src_port, &payload);
                     ctx.send(0, reply);
                 }
             }
-            Ok(Parsed::Tcp { src, dst, seg, payload, .. }) => {
+            Ok(Parsed::Tcp {
+                src,
+                dst,
+                seg,
+                payload,
+                ..
+            }) => {
                 // The server answers as whichever of its EIDs was
                 // addressed (multi-address host), so checksums and the
                 // client's flow demux line up.
@@ -330,7 +391,7 @@ impl Node for ServerHost {
                     .or_insert_with(|| TcpMachine::new(seg.dst_port, seg.src_port, 9000));
                 if !payload.is_empty() {
                     *self.tcp_data_received.entry(src).or_insert(0) += 1;
-                    ctx.count("server.tcp_data_received", 1);
+                    self.ctr_tcp_data.add(ctx, "server.tcp_data_received", 1);
                 }
                 match m.on_segment(ctx.now(), &seg, payload.len()) {
                     TcpEvent::Send(out) => {
@@ -356,6 +417,9 @@ impl Node for ServerHost {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
 }
 
 #[cfg(test)]
@@ -377,17 +441,29 @@ mod tests {
     }
     impl Node for StubDns {
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
-            let Ok(Parsed::Udp { src, src_port, dst_port, payload, .. }) = IpStack::parse(&bytes)
+            let Ok(Parsed::Udp {
+                src,
+                src_port,
+                dst_port,
+                payload,
+                ..
+            }) = IpStack::parse(&bytes)
             else {
                 return;
             };
             if dst_port != ports::DNS {
                 return;
             }
-            let Ok(q) = Message::from_bytes(&payload) else { return };
+            let Ok(q) = Message::from_bytes(&payload) else {
+                return;
+            };
             let mut r = Message::response_to(&q);
             if let Some(question) = q.question() {
-                r.answers.push(lispwire::dnswire::Record::a(question.name.clone(), self.answer, 60));
+                r.answers.push(lispwire::dnswire::Record::a(
+                    question.name.clone(),
+                    self.answer,
+                    60,
+                ));
             }
             let pkt = self.stack.udp(ports::DNS, src, src_port, &r.to_bytes());
             self.queue.push_back(pkt);
@@ -399,6 +475,9 @@ mod tests {
             }
         }
         fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn Any {
             self
         }
     }
@@ -416,7 +495,11 @@ mod tests {
             Box::new(TrafficHost::new(
                 c_addr,
                 dns_addr,
-                vec![FlowSpec { start: Ns::ZERO, qname: Name::parse_str("host.d.example").unwrap(), mode }],
+                vec![FlowSpec {
+                    start: Ns::ZERO,
+                    qname: Name::parse_str("host.d.example").unwrap(),
+                    mode,
+                }],
             )),
         );
         let server = sim.add_node("server", Box::new(ServerHost::new(s_addr)));
@@ -446,14 +529,21 @@ mod tests {
     #[test]
     fn tcp_flow_full_sequence() {
         let (mut sim, client, server) = world(
-            FlowMode::Tcp { packets: 3, interval: Ns::from_ms(1), size: 100 },
+            FlowMode::Tcp {
+                packets: 3,
+                interval: Ns::from_ms(1),
+                size: 100,
+            },
             Ns::from_ms(50),
         );
         sim.run();
         let rec = sim.node_ref::<TrafficHost>(client).records[0].clone();
         // T_DNS = RTT to resolver (40 ms) + 50 ms stub delay = 90 ms.
         let tdns = rec.dns_time().unwrap();
-        assert!(tdns >= Ns::from_ms(90) && tdns < Ns::from_ms(95), "tdns {tdns}");
+        assert!(
+            tdns >= Ns::from_ms(90) && tdns < Ns::from_ms(95),
+            "tdns {tdns}"
+        );
         // Setup = T_DNS + 2 OWD(c,s) = +40 ms.
         let setup = rec.setup_time().unwrap();
         assert!(setup >= tdns + Ns::from_ms(40), "setup {setup}");
@@ -467,7 +557,11 @@ mod tests {
     #[test]
     fn udp_flow_starts_at_answer() {
         let (mut sim, client, server) = world(
-            FlowMode::Udp { packets: 5, interval: Ns::from_ms(2), size: 200 },
+            FlowMode::Udp {
+                packets: 5,
+                interval: Ns::from_ms(2),
+                size: 200,
+            },
             Ns::from_ms(50),
         );
         sim.run();

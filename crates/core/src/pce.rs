@@ -158,7 +158,10 @@ impl Pce {
     }
 
     fn in_domain_eids(&self, addr: Ipv4Address) -> bool {
-        self.cfg.domain_eid_prefixes.iter().any(|p| p.contains(addr))
+        self.cfg
+            .domain_eid_prefixes
+            .iter()
+            .any(|p| p.contains(addr))
     }
 
     fn release_later(&mut self, ctx: &mut Ctx<'_>, delay: Ns, port: PortId, pkt: Vec<u8>) {
@@ -191,19 +194,36 @@ impl Pce {
     }
 
     /// Step 6: intercept a DNS reply leaving the domain's server.
-    fn intercept_dns_reply(&mut self, ctx: &mut Ctx<'_>, original: Vec<u8>, reply_dst: Ipv4Address, answer_eid: Ipv4Address) {
+    fn intercept_dns_reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        original: Vec<u8>,
+        reply_dst: Ipv4Address,
+        answer_eid: Ipv4Address,
+    ) {
         self.stats.dns_intercepts += 1;
         // Book the inbound flow on the chosen provider.
-        let _ = self.irc.admit_flow((reply_dst, answer_eid), self.cfg.flow_rate_estimate);
+        let _ = self
+            .irc
+            .admit_flow((reply_dst, answer_eid), self.cfg.flow_rate_estimate);
         let mapping = self.mapping_for(answer_eid);
         ctx.trace(format!(
             "step6: PCE_D {} encapsulates DNS reply for {} with mapping (best rloc {})",
             self.cfg.addr,
             answer_eid,
-            mapping.best_locator().map(|l| l.rloc.to_string()).unwrap_or_default()
+            mapping
+                .best_locator()
+                .map(|l| l.rloc.to_string())
+                .unwrap_or_default()
         ));
-        let msg = PceDnsMapping { pce_d: self.cfg.addr, mapping, dns_reply: original };
-        let pkt = self.stack.udp(ports::PCE_MAP, reply_dst, ports::PCE_MAP, &msg.to_bytes());
+        let msg = PceDnsMapping {
+            pce_d: self.cfg.addr,
+            mapping,
+            dns_reply: original,
+        };
+        let pkt = self
+            .stack
+            .udp(ports::PCE_MAP, reply_dst, ports::PCE_MAP, &msg.to_bytes());
         let delay = if self.cfg.precompute {
             self.cfg.forward_delay
         } else {
@@ -220,7 +240,10 @@ impl Pce {
         };
         self.stats.p_decaps += 1;
         // 7a: forward the original DNS answer to the server, unmodified.
-        ctx.trace(format!("step7a: PCE_S {} forwards DNS answer to local server", self.cfg.addr));
+        ctx.trace(format!(
+            "step7a: PCE_S {} forwards DNS answer to local server",
+            self.cfg.addr
+        ));
         let dns_pkt = msg.dns_reply.clone();
         let fwd_delay = self.cfg.forward_delay;
         self.release_later(ctx, fwd_delay, DNS_PORT, dns_pkt);
@@ -233,7 +256,10 @@ impl Pce {
         };
         // Find E_S from the IPC notice (match on the reply's qname).
         let qname = parse_qname(&msg.dns_reply);
-        let source_eid = match qname.as_deref().and_then(|q| self.pending_requesters.remove(q)) {
+        let source_eid = match qname
+            .as_deref()
+            .and_then(|q| self.pending_requesters.remove(q))
+        {
             Some(es) => es,
             None => {
                 self.stats.unknown_requester += 1;
@@ -241,7 +267,10 @@ impl Pce {
             }
         };
         // Step 1's ingress choice for the reverse (inbound) direction.
-        let Some((_, rloc_s)) = self.irc.admit_flow((source_eid, dest_eid), self.cfg.flow_rate_estimate) else {
+        let Some((_, rloc_s)) = self
+            .irc
+            .admit_flow((source_eid, dest_eid), self.cfg.flow_rate_estimate)
+        else {
             return;
         };
         let flow = FlowMapping {
@@ -261,12 +290,19 @@ impl Pce {
             dest_eid,
             rloc_s,
             rloc_d,
-            if self.cfg.push_to_all_itrs { self.cfg.itr_rlocs.len() } else { 1 }
+            if self.cfg.push_to_all_itrs {
+                self.cfg.itr_rlocs.len()
+            } else {
+                1
+            }
         ));
     }
 
     fn push_flow(&mut self, ctx: &mut Ctx<'_>, flow: FlowMapping, kind: PceKind) {
-        let msg = PceFlowMsg { kind, mapping: flow };
+        let msg = PceFlowMsg {
+            kind,
+            mapping: flow,
+        };
         let body = msg.to_bytes();
         let targets: Vec<Ipv4Address> = if self.cfg.push_to_all_itrs {
             self.cfg.itr_rlocs.clone()
@@ -292,7 +328,10 @@ impl Pce {
         let mut count = 0;
         for m in moves {
             if let Some(flow) = self.db.get(&m.flow_key).copied() {
-                let updated = FlowMapping { rloc_s: m.new_rloc, ..flow };
+                let updated = FlowMapping {
+                    rloc_s: m.new_rloc,
+                    ..flow
+                };
                 self.db.insert(m.flow_key, updated);
                 self.push_flow(ctx, updated, PceKind::MappingPush);
                 count += 1;
@@ -318,7 +357,13 @@ impl Node for Pce {
         let other = if port == DNS_PORT { NET_PORT } else { DNS_PORT };
         let parsed = IpStack::parse(&bytes);
         match parsed {
-            Ok(Parsed::Udp { dst, src_port, dst_port, payload, .. }) => {
+            Ok(Parsed::Udp {
+                dst,
+                src_port,
+                dst_port,
+                payload,
+                ..
+            }) => {
                 // IPC from the local DNS server (either port; consumed).
                 if dst == self.cfg.addr && dst_port == ports::PCE_IPC {
                     if let Ok(notice) = IpcQueryNotice::from_bytes(&payload) {
@@ -338,8 +383,10 @@ impl Node for Pce {
                     if let Ok(msg) = PceFlowMsg::from_bytes(&payload) {
                         if msg.kind == PceKind::ReverseSync {
                             self.stats.reverse_syncs_received += 1;
-                            self.db
-                                .insert((msg.mapping.source_eid, msg.mapping.dest_eid), msg.mapping);
+                            self.db.insert(
+                                (msg.mapping.source_eid, msg.mapping.dest_eid),
+                                msg.mapping,
+                            );
                             ctx.trace(format!(
                                 "PCE {} database updated by reverse sync ({} -> {})",
                                 self.cfg.addr, msg.mapping.source_eid, msg.mapping.dest_eid
@@ -393,6 +440,9 @@ impl Node for Pce {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
 }
 
 #[cfg(test)]
@@ -434,13 +484,28 @@ mod tests {
         fn as_any(&mut self) -> &mut dyn Any {
             self
         }
+        fn as_any_ref(&self) -> &dyn Any {
+            self
+        }
     }
 
     fn world(cfg: PceConfig) -> (Sim, netsim::NodeId, netsim::NodeId, netsim::NodeId) {
         let mut sim = Sim::new(2);
         sim.trace.enable();
-        let dns_side = sim.add_node("dns-side", Box::new(Tap { outbox: vec![], received: vec![] }));
-        let net_side = sim.add_node("net-side", Box::new(Tap { outbox: vec![], received: vec![] }));
+        let dns_side = sim.add_node(
+            "dns-side",
+            Box::new(Tap {
+                outbox: vec![],
+                received: vec![],
+            }),
+        );
+        let net_side = sim.add_node(
+            "net-side",
+            Box::new(Tap {
+                outbox: vec![],
+                received: vec![],
+            }),
+        );
         let pce = sim.add_node("pce", Box::new(Pce::new(cfg)));
         // PCE port 0 = DNS side, port 1 = network side.
         sim.connect(pce, dns_side, LinkCfg::ipc());
@@ -453,7 +518,11 @@ mod tests {
         let q = Message::query_a(42, Name::parse_str("host.d.example").unwrap(), false);
         let mut r = Message::response_to(&q);
         r.authoritative = true;
-        r.answers.push(Record::a(Name::parse_str("host.d.example").unwrap(), answer, 300));
+        r.answers.push(Record::a(
+            Name::parse_str("host.d.example").unwrap(),
+            answer,
+            300,
+        ));
         IpStack::new(a([12, 0, 0, 53])).udp(ports::DNS, reply_dst, 32853, &r.to_bytes())
     }
 
@@ -470,7 +539,12 @@ mod tests {
         let out = sim.node_ref::<Tap>(net_side).received.clone();
         assert_eq!(out.len(), 1);
         match IpStack::parse(&out[0]).unwrap() {
-            Parsed::Udp { dst, dst_port, payload, .. } => {
+            Parsed::Udp {
+                dst,
+                dst_port,
+                payload,
+                ..
+            } => {
                 assert_eq!(dst, a([10, 0, 0, 53]));
                 assert_eq!(dst_port, ports::PCE_MAP);
                 let msg = PceDnsMapping::from_bytes(&payload).unwrap();
@@ -478,7 +552,10 @@ mod tests {
                 assert_eq!(msg.mapping.eid_prefix, a([101, 0, 0, 7]));
                 assert_eq!(msg.mapping.locators.len(), 2);
                 // The original reply is carried verbatim.
-                assert!(matches!(IpStack::parse(&msg.dns_reply).unwrap(), Parsed::Udp { .. }));
+                assert!(matches!(
+                    IpStack::parse(&msg.dns_reply).unwrap(),
+                    Parsed::Udp { .. }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -513,7 +590,10 @@ mod tests {
         let (mut sim, pce, dns_side, net_side) = world(cfg);
 
         // First the IPC notice: E_S asked for host.d.example.
-        let notice = IpcQueryNotice { client: a([100, 0, 0, 5]), qname: "host.d.example".into() };
+        let notice = IpcQueryNotice {
+            client: a([100, 0, 0, 5]),
+            qname: "host.d.example".into(),
+        };
         let ipc_pkt = IpStack::new(a([10, 0, 0, 53])).udp(
             ports::PCE_IPC,
             a([10, 0, 0, 200]),
@@ -528,7 +608,11 @@ mod tests {
             ttl_minutes: 60,
             locators: vec![Locator::new(a([12, 0, 0, 1]), 1, 100)],
         };
-        let p_msg = PceDnsMapping { pce_d: a([12, 0, 0, 200]), mapping, dns_reply: inner_reply };
+        let p_msg = PceDnsMapping {
+            pce_d: a([12, 0, 0, 200]),
+            mapping,
+            dns_reply: inner_reply,
+        };
         let p_pkt = IpStack::new(a([12, 0, 0, 200])).udp(
             ports::PCE_MAP,
             a([10, 0, 0, 53]),
@@ -582,7 +666,11 @@ mod tests {
         let (mut sim, pce, _dns_side, net_side) = world(cfg);
         let inner_reply = auth_reply_packet(a([101, 0, 0, 7]), a([10, 0, 0, 53]));
         let mapping = MapRecord::host(a([101, 0, 0, 7]), a([12, 0, 0, 1]), 60);
-        let p_msg = PceDnsMapping { pce_d: a([12, 0, 0, 200]), mapping, dns_reply: inner_reply };
+        let p_msg = PceDnsMapping {
+            pce_d: a([12, 0, 0, 200]),
+            mapping,
+            dns_reply: inner_reply,
+        };
         let p_pkt = IpStack::new(a([12, 0, 0, 200])).udp(
             ports::PCE_MAP,
             a([10, 0, 0, 53]),
@@ -611,7 +699,10 @@ mod tests {
         );
         cfg.push_to_all_itrs = false;
         let (mut sim, pce, dns_side, net_side) = world(cfg);
-        let notice = IpcQueryNotice { client: a([100, 0, 0, 5]), qname: "host.d.example".into() };
+        let notice = IpcQueryNotice {
+            client: a([100, 0, 0, 5]),
+            qname: "host.d.example".into(),
+        };
         let ipc_pkt = IpStack::new(a([10, 0, 0, 53])).udp(
             ports::PCE_IPC,
             a([10, 0, 0, 200]),
@@ -666,7 +757,10 @@ mod tests {
             rloc_d: a([10, 0, 0, 1]),
             ttl_minutes: 60,
         };
-        let msg = PceFlowMsg { kind: PceKind::ReverseSync, mapping: flow };
+        let msg = PceFlowMsg {
+            kind: PceKind::ReverseSync,
+            mapping: flow,
+        };
         let pkt = IpStack::new(a([12, 0, 0, 1])).udp(
             ports::ETR_SYNC,
             a([12, 0, 0, 200]),

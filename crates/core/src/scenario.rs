@@ -19,7 +19,7 @@ use lispwire::Ipv4Address;
 use mapsys::alt::linear_chain;
 use mapsys::api::{MappingDb, SiteEntry};
 use mapsys::{ConsNode, MapResolver, NerdAuthority};
-use netsim::{Ctx, LinkCfg, Node, NodeId, Ns, PortId, Sim};
+use netsim::{Ctx, LazyCounter, LinkCfg, Node, NodeId, Ns, PortId, Sim};
 use simdns::zone::{Zone, ZoneStore};
 use simdns::{AuthServer, Resolver, ResolverConfig};
 use std::any::Any;
@@ -93,12 +93,19 @@ pub struct FlowRouter {
     pub forwarded: u64,
     /// Packets dropped for lack of a route.
     pub dropped: u64,
+    ctr_dropped: LazyCounter,
 }
 
 impl FlowRouter {
     /// An empty flow router.
     pub fn new() -> Self {
-        Self { routes: LpmTrie::new(), overrides: HashMap::new(), forwarded: 0, dropped: 0 }
+        Self {
+            routes: LpmTrie::new(),
+            overrides: HashMap::new(),
+            forwarded: 0,
+            dropped: 0,
+            ctr_dropped: LazyCounter::new(),
+        }
     }
 
     /// Install a prefix route.
@@ -151,12 +158,15 @@ impl Node for FlowRouter {
             }
             None => {
                 self.dropped += 1;
-                ctx.count("flowrouter.dropped", 1);
+                self.ctr_dropped.add(ctx, "flowrouter.dropped", 1);
             }
         }
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
         self
     }
 }
@@ -233,7 +243,11 @@ impl Default for Fig1Params {
             flows: vec![FlowSpec {
                 start: Ns::ZERO,
                 qname: Name::parse_str("host-0.d.example").expect("valid"),
-                mode: FlowMode::Tcp { packets: 4, interval: Ns::from_ms(1), size: 200 },
+                mode: FlowMode::Tcp {
+                    packets: 4,
+                    interval: Ns::from_ms(1),
+                    size: 200,
+                },
             }],
             pce_precompute: true,
             pce_push_all: true,
@@ -287,21 +301,30 @@ impl Fig1World {
     pub fn schedule_all_flows(&mut self) {
         let starts: Vec<(usize, Ns)> = {
             let host = self.sim.node_mut::<TrafficHost>(self.host_s);
-            host.flows.iter().enumerate().map(|(i, f)| (i, f.start)).collect()
+            host.flows
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i, f.start))
+                .collect()
         };
         for (i, at) in starts {
-            self.sim.schedule_timer(self.host_s, at, TrafficHost::start_token(i));
+            self.sim
+                .schedule_timer(self.host_s, at, TrafficHost::start_token(i));
         }
     }
 
     /// Start one flow now.
     pub fn start_flow(&mut self, i: usize) {
-        self.sim.schedule_timer(self.host_s, Ns::ZERO, TrafficHost::start_token(i));
+        self.sim
+            .schedule_timer(self.host_s, Ns::ZERO, TrafficHost::start_token(i));
     }
 
     /// The flow records measured so far.
     pub fn records(&mut self) -> Vec<crate::hosts::FlowRecord> {
-        self.sim.node_ref::<TrafficHost>(self.host_s).records.clone()
+        self.sim
+            .node_ref::<TrafficHost>(self.host_s)
+            .records
+            .clone()
     }
 
     /// Data packets received by the destination host (UDP mode).
@@ -351,7 +374,10 @@ pub struct Fig1Builder {
 impl Fig1Builder {
     /// A builder for the given control plane with default parameters.
     pub fn new(cp: CpKind) -> Self {
-        Self { cp, params: Fig1Params::default() }
+        Self {
+            cp,
+            params: Fig1Params::default(),
+        }
     }
 
     /// Override the parameters.
@@ -395,14 +421,21 @@ impl Fig1Builder {
         let mut tld_zone = Zone::new(Name::parse_str("example").expect("valid"));
         tld_zone.delegate(
             Name::parse_str("d.example").expect("valid"),
-            vec![(Name::parse_str("ns.d.example").expect("valid"), addrs::DNS_D)],
+            vec![(
+                Name::parse_str("ns.d.example").expect("valid"),
+                addrs::DNS_D,
+            )],
             86_400,
         );
         let mut tld_store = ZoneStore::new();
         tld_store.add_zone(tld_zone);
 
         let mut d_zone = Zone::new(Name::parse_str("d.example").expect("valid"));
-        d_zone.add_a(Name::parse_str("host.d.example").expect("valid"), addrs::HOST_D_BASE, 300);
+        d_zone.add_a(
+            Name::parse_str("host.d.example").expect("valid"),
+            addrs::HOST_D_BASE,
+            300,
+        );
         for (i, eid) in dest_eids.iter().enumerate() {
             d_zone.add_a(
                 Name::parse_str(&format!("host-{i}.d.example")).expect("valid"),
@@ -420,7 +453,11 @@ impl Fig1Builder {
 
         let host_s = sim.add_node(
             "E_S",
-            Box::new(TrafficHost::new(addrs::HOST_S, addrs::DNS_S, p.flows.clone())),
+            Box::new(TrafficHost::new(
+                addrs::HOST_S,
+                addrs::DNS_S,
+                p.flows.clone(),
+            )),
         );
         let host_d = sim.add_node("E_D", Box::new(ServerHost::new(addrs::HOST_D_BASE)));
 
@@ -430,10 +467,17 @@ impl Fig1Builder {
         }
         let resolver_s = sim.add_node(
             "DNS_S",
-            Box::new(Resolver::with_config(addrs::DNS_S, vec![addrs::ROOT], resolver_cfg)),
+            Box::new(Resolver::with_config(
+                addrs::DNS_S,
+                vec![addrs::ROOT],
+                resolver_cfg,
+            )),
         );
         let dns_d = sim.add_node("DNS_D", Box::new(AuthServer::new(addrs::DNS_D, d_store)));
-        let root = sim.add_node("dns-root", Box::new(AuthServer::new(addrs::ROOT, root_store)));
+        let root = sim.add_node(
+            "dns-root",
+            Box::new(AuthServer::new(addrs::ROOT, root_store)),
+        );
         let tld = sim.add_node("dns-tld", Box::new(AuthServer::new(addrs::TLD, tld_store)));
 
         // ---- Hosts & site wiring ---------------------------------------------
@@ -510,13 +554,17 @@ impl Fig1Builder {
             let (sp_up_s, cp_s) = sim.connect(
                 site_s,
                 core,
-                LinkCfg::wan(p.provider_owd).with_bandwidth(p.provider_bw[0]).with_drop_prob(p.wan_drop_prob),
+                LinkCfg::wan(p.provider_owd)
+                    .with_bandwidth(p.provider_bw[0])
+                    .with_drop_prob(p.wan_drop_prob),
             );
             let l_x = sim.link_count();
             let (sp_up_d, cp_d) = sim.connect(
                 site_d,
                 core,
-                LinkCfg::wan(p.provider_owd).with_bandwidth(p.provider_bw[2]).with_drop_prob(p.wan_drop_prob),
+                LinkCfg::wan(p.provider_owd)
+                    .with_bandwidth(p.provider_bw[2])
+                    .with_drop_prob(p.wan_drop_prob),
             );
             provider_links = [l_a, l_a, l_x, l_x];
             {
@@ -544,7 +592,9 @@ impl Fig1Builder {
             let mode_d: CpMode;
             let miss: MissPolicy = match cp {
                 CpKind::LispQueue => MissPolicy::Queue { max_packets: 64 },
-                CpKind::LispDataCp => MissPolicy::DataOverCp { extra_latency: Ns::from_ms(40) },
+                CpKind::LispDataCp => MissPolicy::DataOverCp {
+                    extra_latency: Ns::from_ms(40),
+                },
                 _ => MissPolicy::Drop,
             };
             match cp {
@@ -556,11 +606,18 @@ impl Fig1Builder {
                     mode_s = CpMode::PushDb;
                     mode_d = CpMode::PushDb;
                 }
-                CpKind::Alt { .. } | CpKind::Cons { .. } | CpKind::LispDrop | CpKind::LispQueue
+                CpKind::Alt { .. }
+                | CpKind::Cons { .. }
+                | CpKind::LispDrop
+                | CpKind::LispQueue
                 | CpKind::LispDataCp => {
                     // Resolver address fixed below per variant.
-                    mode_s = CpMode::Pull { map_resolver: Some(addrs::MAP_RESOLVER) };
-                    mode_d = CpMode::Pull { map_resolver: Some(addrs::MAP_RESOLVER) };
+                    mode_s = CpMode::Pull {
+                        map_resolver: Some(addrs::MAP_RESOLVER),
+                    };
+                    mode_d = CpMode::Pull {
+                        map_resolver: Some(addrs::MAP_RESOLVER),
+                    };
                 }
                 CpKind::NoLisp => unreachable!(),
             }
@@ -581,8 +638,16 @@ impl Fig1Builder {
                 cfg
             };
 
-            let pce_s_db = if cp == CpKind::Pce { Some(addrs::PCE_S) } else { None };
-            let pce_d_db = if cp == CpKind::Pce { Some(addrs::PCE_D) } else { None };
+            let pce_s_db = if cp == CpKind::Pce {
+                Some(addrs::PCE_S)
+            } else {
+                None
+            };
+            let pce_d_db = if cp == CpKind::Pce {
+                Some(addrs::PCE_D)
+            } else {
+                None
+            };
 
             let xtr_a = sim.add_node(
                 "xTR-A",
@@ -652,13 +717,14 @@ impl Fig1Builder {
                 let (_, core_port) = sim.connect(
                     xtr,
                     core,
-                    LinkCfg::wan(p.provider_owd).with_bandwidth(bw).with_drop_prob(p.wan_drop_prob),
+                    LinkCfg::wan(p.provider_owd)
+                        .with_bandwidth(bw)
+                        .with_drop_prob(p.wan_drop_prob),
                 );
-                let provider_prefix = Prefix::new(
-                    Ipv4Address::new([10, 11, 12, 13][i], 0, 0, 0),
-                    8,
-                );
-                sim.node_mut::<Router>(core).add_route(provider_prefix, core_port);
+                let provider_prefix =
+                    Prefix::new(Ipv4Address::new([10, 11, 12, 13][i], 0, 0, 0), 8);
+                sim.node_mut::<Router>(core)
+                    .add_route(provider_prefix, core_port);
             }
             provider_links = links;
 
@@ -690,28 +756,57 @@ impl Fig1Builder {
 
         // ---- DNS infrastructure at the core ------------------------------------
         for (node, addr) in [(root, addrs::ROOT), (tld, addrs::TLD)] {
-            let (_, port) = sim.connect(node, core, LinkCfg::wan(p.infra_owd).with_drop_prob(p.wan_drop_prob));
-            sim.node_mut::<Router>(core).add_route(Prefix::host(addr), port);
+            let (_, port) = sim.connect(
+                node,
+                core,
+                LinkCfg::wan(p.infra_owd).with_drop_prob(p.wan_drop_prob),
+            );
+            sim.node_mut::<Router>(core)
+                .add_route(Prefix::host(addr), port);
         }
 
         // ---- Mapping-system infrastructure --------------------------------------
         let mut db = MappingDb::new();
         if p.fine_grained_mappings {
-            db.register(SiteEntry::single(Prefix::host(addrs::HOST_S), addrs::XTR_A, p.mapping_ttl_minutes));
-            db.register(SiteEntry::single(Prefix::host(addrs::HOST_D_BASE), addrs::XTR_X, p.mapping_ttl_minutes));
+            db.register(SiteEntry::single(
+                Prefix::host(addrs::HOST_S),
+                addrs::XTR_A,
+                p.mapping_ttl_minutes,
+            ));
+            db.register(SiteEntry::single(
+                Prefix::host(addrs::HOST_D_BASE),
+                addrs::XTR_X,
+                p.mapping_ttl_minutes,
+            ));
             for eid in &dest_eids {
-                db.register(SiteEntry::single(Prefix::host(*eid), addrs::XTR_X, p.mapping_ttl_minutes));
+                db.register(SiteEntry::single(
+                    Prefix::host(*eid),
+                    addrs::XTR_X,
+                    p.mapping_ttl_minutes,
+                ));
             }
         } else {
-            db.register(SiteEntry::single(s_prefix, addrs::XTR_A, p.mapping_ttl_minutes));
-            db.register(SiteEntry::single(d_prefix, addrs::XTR_X, p.mapping_ttl_minutes));
+            db.register(SiteEntry::single(
+                s_prefix,
+                addrs::XTR_A,
+                p.mapping_ttl_minutes,
+            ));
+            db.register(SiteEntry::single(
+                d_prefix,
+                addrs::XTR_X,
+                p.mapping_ttl_minutes,
+            ));
         }
 
         match cp {
             CpKind::LispDrop | CpKind::LispQueue | CpKind::LispDataCp => {
-                let mr = sim.add_node("map-resolver", Box::new(MapResolver::new(addrs::MAP_RESOLVER, &db)));
+                let mr = sim.add_node(
+                    "map-resolver",
+                    Box::new(MapResolver::new(addrs::MAP_RESOLVER, &db)),
+                );
                 let (_, port) = sim.connect(mr, core, LinkCfg::wan(p.infra_owd));
-                sim.node_mut::<Router>(core).add_route(Prefix::host(addrs::MAP_RESOLVER), port);
+                sim.node_mut::<Router>(core)
+                    .add_route(Prefix::host(addrs::MAP_RESOLVER), port);
                 mr_node = Some(mr);
             }
             CpKind::Alt { hops } => {
@@ -738,22 +833,25 @@ impl Fig1Builder {
                 for (i, r) in routers.into_iter().enumerate() {
                     let node = sim.add_node(&format!("alt-{i}"), Box::new(r));
                     let (_, port) = sim.connect(node, core, LinkCfg::wan(p.infra_owd));
-                    sim.node_mut::<Router>(core).add_route(Prefix::host(chain_addrs[i]), port);
+                    sim.node_mut::<Router>(core)
+                        .add_route(Prefix::host(chain_addrs[i]), port);
                     alt_nodes.push(node);
                 }
                 // Point the xTRs at the entry router.
                 if let Some(xtrs) = xtrs_opt {
                     for &x in &xtrs {
-                        sim.node_mut::<Xtr>(x).cfg.mode =
-                            CpMode::Pull { map_resolver: Some(chain_addrs[0]) };
+                        sim.node_mut::<Xtr>(x).cfg.mode = CpMode::Pull {
+                            map_resolver: Some(chain_addrs[0]),
+                        };
                     }
                 }
             }
             CpKind::Cons { cdr_depth } => {
                 let car_s_addr = Ipv4Address::new(9, 2, 0, 1);
                 let car_d_addr = Ipv4Address::new(9, 2, 0, 2);
-                let cdr_addrs: Vec<Ipv4Address> =
-                    (0..=cdr_depth).map(|i| Ipv4Address::new(9, 2, 1, (i + 1) as u8)).collect();
+                let cdr_addrs: Vec<Ipv4Address> = (0..=cdr_depth)
+                    .map(|i| Ipv4Address::new(9, 2, 1, (i + 1) as u8))
+                    .collect();
                 // CAR_S -> cdr[0] -> ... -> cdr[depth] (root) and CAR_D
                 // under the root as well.
                 let mut car_s = ConsNode::new(car_s_addr, Some(cdr_addrs[0]));
@@ -776,21 +874,31 @@ impl Fig1Builder {
                 for (node, addr) in [(car_s, car_s_addr), (car_d, car_d_addr)] {
                     let id = sim.add_node(&format!("cons-car-{addr}"), Box::new(node));
                     let (_, port) = sim.connect(id, core, LinkCfg::wan(p.infra_owd));
-                    sim.node_mut::<Router>(core).add_route(Prefix::host(addr), port);
+                    sim.node_mut::<Router>(core)
+                        .add_route(Prefix::host(addr), port);
                     cons_nodes.push(id);
                 }
                 for (i, node) in cdrs.into_iter().enumerate() {
                     let id = sim.add_node(&format!("cons-cdr-{i}"), Box::new(node));
                     let (_, port) = sim.connect(id, core, LinkCfg::wan(p.infra_owd));
-                    sim.node_mut::<Router>(core).add_route(Prefix::host(cdr_addrs[i]), port);
+                    sim.node_mut::<Router>(core)
+                        .add_route(Prefix::host(cdr_addrs[i]), port);
                     cons_nodes.push(id);
                 }
                 if let Some(xtrs) = xtrs_opt {
                     // S-side xTRs ask CAR_S; D-side ask CAR_D.
-                    sim.node_mut::<Xtr>(xtrs[0]).cfg.mode = CpMode::Pull { map_resolver: Some(car_s_addr) };
-                    sim.node_mut::<Xtr>(xtrs[1]).cfg.mode = CpMode::Pull { map_resolver: Some(car_s_addr) };
-                    sim.node_mut::<Xtr>(xtrs[2]).cfg.mode = CpMode::Pull { map_resolver: Some(car_d_addr) };
-                    sim.node_mut::<Xtr>(xtrs[3]).cfg.mode = CpMode::Pull { map_resolver: Some(car_d_addr) };
+                    sim.node_mut::<Xtr>(xtrs[0]).cfg.mode = CpMode::Pull {
+                        map_resolver: Some(car_s_addr),
+                    };
+                    sim.node_mut::<Xtr>(xtrs[1]).cfg.mode = CpMode::Pull {
+                        map_resolver: Some(car_s_addr),
+                    };
+                    sim.node_mut::<Xtr>(xtrs[2]).cfg.mode = CpMode::Pull {
+                        map_resolver: Some(car_d_addr),
+                    };
+                    sim.node_mut::<Xtr>(xtrs[3]).cfg.mode = CpMode::Pull {
+                        map_resolver: Some(car_d_addr),
+                    };
                 }
             }
             CpKind::Nerd => {
@@ -801,7 +909,8 @@ impl Fig1Builder {
                 );
                 let nerd = sim.add_node("nerd", Box::new(authority));
                 let (_, port) = sim.connect(nerd, core, LinkCfg::wan(p.infra_owd));
-                sim.node_mut::<Router>(core).add_route(Prefix::host(addrs::NERD), port);
+                sim.node_mut::<Router>(core)
+                    .add_route(Prefix::host(addrs::NERD), port);
                 nerd_node = Some(nerd);
             }
             CpKind::NoLisp | CpKind::Pce => {}
@@ -849,7 +958,11 @@ mod tests {
     use super::*;
 
     fn tcp_mode() -> FlowMode {
-        FlowMode::Tcp { packets: 2, interval: Ns::from_ms(1), size: 100 }
+        FlowMode::Tcp {
+            packets: 2,
+            interval: Ns::from_ms(1),
+            size: 100,
+        }
     }
 
     fn run_one(cp: CpKind) -> (Fig1World, crate::hosts::FlowRecord) {
@@ -876,7 +989,11 @@ mod tests {
     fn pce_flow_completes() {
         let (mut w, rec) = run_one(CpKind::Pce);
         assert!(rec.dns_time().is_some(), "dns: {:?}", rec);
-        assert!(rec.setup_time().is_some(), "tcp never established; trace:\n{}", w.sim.trace.render());
+        assert!(
+            rec.setup_time().is_some(),
+            "tcp never established; trace:\n{}",
+            w.sim.trace.render()
+        );
         // No drops anywhere in the PCE world.
         assert_eq!(w.total_miss_drops(), 0);
         // The PCEs actually did their steps.
@@ -901,10 +1018,16 @@ mod tests {
     #[test]
     fn lisp_queue_flow_completes() {
         let (mut w, rec) = run_one(CpKind::LispQueue);
-        assert!(rec.setup_time().is_some(), "queued SYN must eventually establish");
+        assert!(
+            rec.setup_time().is_some(),
+            "queued SYN must eventually establish"
+        );
         assert_eq!(w.total_miss_drops(), 0);
         let xtrs = w.xtrs.unwrap();
-        let queued: u64 = xtrs.iter().map(|&x| w.sim.node_ref::<Xtr>(x).stats.queued).sum();
+        let queued: u64 = xtrs
+            .iter()
+            .map(|&x| w.sim.node_ref::<Xtr>(x).stats.queued)
+            .sum();
         assert!(queued >= 1);
     }
 
@@ -914,8 +1037,10 @@ mod tests {
         assert!(rec.setup_time().is_some());
         assert_eq!(w.total_miss_drops(), 0);
         let xtrs = w.xtrs.unwrap();
-        let installed: u64 =
-            xtrs.iter().map(|&x| w.sim.node_ref::<Xtr>(x).stats.db_records_installed).sum();
+        let installed: u64 = xtrs
+            .iter()
+            .map(|&x| w.sim.node_ref::<Xtr>(x).stats.db_records_installed)
+            .sum();
         assert!(installed >= 8, "4 xTRs x 2 records");
     }
 
@@ -929,7 +1054,8 @@ mod tests {
         // Queue policy so the handshake survives resolution latency.
         if let Some(xtrs) = world.xtrs {
             for &x in &xtrs {
-                world.sim.node_mut::<Xtr>(x).cfg.miss_policy = MissPolicy::Queue { max_packets: 64 };
+                world.sim.node_mut::<Xtr>(x).cfg.miss_policy =
+                    MissPolicy::Queue { max_packets: 64 };
             }
         }
         world.schedule_all_flows();
@@ -947,7 +1073,8 @@ mod tests {
             .build(1);
         if let Some(xtrs) = world.xtrs {
             for &x in &xtrs {
-                world.sim.node_mut::<Xtr>(x).cfg.miss_policy = MissPolicy::Queue { max_packets: 64 };
+                world.sim.node_mut::<Xtr>(x).cfg.miss_policy =
+                    MissPolicy::Queue { max_packets: 64 };
             }
         }
         world.schedule_all_flows();
@@ -966,6 +1093,9 @@ mod tests {
         let nolisp = rec_nolisp.setup_time().unwrap();
         assert!(pce < q, "pce {pce} vs queue {q}");
         // PCE ≈ today's Internet (within 15 ms of slack for PCE bumps).
-        assert!(pce < nolisp + Ns::from_ms(15), "pce {pce} vs no-lisp {nolisp}");
+        assert!(
+            pce < nolisp + Ns::from_ms(15),
+            "pce {pce} vs no-lisp {nolisp}"
+        );
     }
 }

@@ -21,7 +21,11 @@ impl PoissonArrivals {
     /// Panics on a non-positive rate.
     pub fn new(seed: u64, rate_per_sec: f64) -> Self {
         assert!(rate_per_sec > 0.0, "rate must be positive");
-        Self { rng: SmallRng::seed_from_u64(seed), rate_per_sec, now: Ns::ZERO }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            rate_per_sec,
+            now: Ns::ZERO,
+        }
     }
 
     /// The next arrival instant.
@@ -63,13 +67,19 @@ impl ZipfPicker {
                 acc
             })
             .collect();
-        Self { rng: SmallRng::seed_from_u64(seed), cdf }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            cdf,
+        }
     }
 
     /// Pick an item index in `0..n`.
     pub fn pick(&mut self) -> usize {
         let u: f64 = self.rng.random_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }
@@ -118,7 +128,12 @@ mod tests {
             counts[z.pick()] += 1;
         }
         // Rank 0 must dominate rank 50 heavily under s=1.
-        assert!(counts[0] > counts[50] * 5, "c0={} c50={}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "c0={} c50={}",
+            counts[0],
+            counts[50]
+        );
         // All indexes in range (no panic) and some tail mass exists.
         assert!(counts[99] < counts[0]);
     }

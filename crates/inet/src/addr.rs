@@ -15,7 +15,10 @@ pub struct Prefix {
 
 impl Prefix {
     /// The default route `0.0.0.0/0`.
-    pub const DEFAULT: Prefix = Prefix { addr: Ipv4Address([0; 4]), len: 0 };
+    pub const DEFAULT: Prefix = Prefix {
+        addr: Ipv4Address([0; 4]),
+        len: 0,
+    };
 
     /// Construct, canonicalising host bits.
     ///
@@ -23,7 +26,10 @@ impl Prefix {
     /// Panics if `len > 32`.
     pub fn new(addr: Ipv4Address, len: u8) -> Self {
         assert!(len <= 32, "prefix length out of range");
-        Self { addr: Ipv4Address::from_u32(addr.to_u32() & Self::mask(len)), len }
+        Self {
+            addr: Ipv4Address::from_u32(addr.to_u32() & Self::mask(len)),
+            len,
+        }
     }
 
     /// A host prefix (`/32`).
@@ -46,6 +52,7 @@ impl Prefix {
     }
 
     /// The prefix length.
+    #[allow(clippy::len_without_is_empty)] // a mask length, not a container
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -67,7 +74,11 @@ impl Prefix {
 
     /// The `i`-th host address inside the prefix (wraps within the prefix).
     pub fn nth_host(&self, i: u32) -> Ipv4Address {
-        let span = if self.len == 32 { 1u64 } else { 1u64 << (32 - self.len) };
+        let span = if self.len == 32 {
+            1u64
+        } else {
+            1u64 << (32 - self.len)
+        };
         Ipv4Address::from_u32(self.addr.to_u32() | ((u64::from(i) % span) as u32))
     }
 }

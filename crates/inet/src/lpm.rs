@@ -16,7 +16,10 @@ struct TrieNode<V> {
 
 impl<V> Default for TrieNode<V> {
     fn default() -> Self {
-        Self { value: None, children: [None, None] }
+        Self {
+            value: None,
+            children: [None, None],
+        }
     }
 }
 
@@ -34,7 +37,10 @@ fn bit(addr: u32, depth: u8) -> usize {
 impl<V> LpmTrie<V> {
     /// An empty table.
     pub fn new() -> Self {
-        Self { root: TrieNode::default(), len: 0 }
+        Self {
+            root: TrieNode::default(),
+            len: 0,
+        }
     }
 
     /// Number of installed prefixes.
@@ -235,7 +241,11 @@ mod tests {
     #[test]
     fn entries_enumerates_all() {
         let mut t = LpmTrie::new();
-        let prefixes = [p([10, 0, 0, 0], 8), p([11, 0, 0, 0], 8), p([10, 128, 0, 0], 9)];
+        let prefixes = [
+            p([10, 0, 0, 0], 8),
+            p([11, 0, 0, 0], 8),
+            p([10, 128, 0, 0], 9),
+        ];
         for (i, pre) in prefixes.iter().enumerate() {
             t.insert(*pre, i);
         }

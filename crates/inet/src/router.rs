@@ -11,7 +11,7 @@
 use crate::addr::Prefix;
 use crate::lpm::LpmTrie;
 use crate::stack::{forward_hop, peek_dst};
-use netsim::{Ctx, Node, Ns, PortId};
+use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
 use std::any::Any;
 use std::collections::VecDeque;
 
@@ -28,6 +28,9 @@ pub struct Router {
     /// Packets dropped: malformed / bad checksum.
     pub malformed_drops: u64,
     pending: VecDeque<(PortId, Vec<u8>)>,
+    ctr_ttl: LazyCounter,
+    ctr_malformed: LazyCounter,
+    ctr_no_route: LazyCounter,
 }
 
 const TOKEN_FORWARD: u64 = u64::MAX - 0xF0F0;
@@ -48,6 +51,9 @@ impl Router {
             ttl_drops: 0,
             malformed_drops: 0,
             pending: VecDeque::new(),
+            ctr_ttl: LazyCounter::new(),
+            ctr_malformed: LazyCounter::new(),
+            ctr_no_route: LazyCounter::new(),
         }
     }
 
@@ -85,12 +91,12 @@ impl Node for Router {
             Ok(()) => {}
             Err(lispwire::WireError::Malformed) => {
                 self.ttl_drops += 1;
-                ctx.count("router.ttl_drops", 1);
+                self.ctr_ttl.add(ctx, "router.ttl_drops", 1);
                 return;
             }
             Err(_) => {
                 self.malformed_drops += 1;
-                ctx.count("router.malformed_drops", 1);
+                self.ctr_malformed.add(ctx, "router.malformed_drops", 1);
                 return;
             }
         }
@@ -106,7 +112,7 @@ impl Node for Router {
             }
             None => {
                 self.no_route_drops += 1;
-                ctx.count("router.no_route_drops", 1);
+                self.ctr_no_route.add(ctx, "router.no_route_drops", 1);
             }
         }
     }
@@ -120,6 +126,9 @@ impl Node for Router {
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
         self
     }
 }
@@ -143,6 +152,9 @@ mod tests {
         fn as_any(&mut self) -> &mut dyn Any {
             self
         }
+        fn as_any_ref(&self) -> &dyn Any {
+            self
+        }
     }
 
     /// A source that emits one prebuilt packet per timer tick.
@@ -156,6 +168,9 @@ mod tests {
             ctx.send(0, pkt);
         }
         fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn Any {
             self
         }
     }
@@ -176,7 +191,12 @@ mod tests {
         let p2 = stack.udp(1000, alt_ip, 2000, b"to-11");
 
         let mut sim = Sim::new(1);
-        let src = sim.add_node("src", Box::new(Source { packets: vec![p1, p2] }));
+        let src = sim.add_node(
+            "src",
+            Box::new(Source {
+                packets: vec![p1, p2],
+            }),
+        );
         let r1 = sim.add_node("r1", Box::new(Router::new()));
         let r2 = sim.add_node("r2", Box::new(Router::new()));
         let dst = sim.add_node("dst", Box::new(Sink { received: vec![] }));
@@ -192,7 +212,8 @@ mod tests {
         sim.node_mut::<Router>(r1)
             .add_route(Prefix::new(addr([12, 0, 0, 0]), 8), r1_to_r2)
             .add_route(Prefix::new(addr([11, 0, 0, 0]), 8), r1_to_alt);
-        sim.node_mut::<Router>(r2).add_route(Prefix::new(addr([12, 0, 0, 0]), 8), r2_to_dst);
+        sim.node_mut::<Router>(r2)
+            .add_route(Prefix::new(addr([12, 0, 0, 0]), 8), r2_to_dst);
 
         sim.schedule_timer(src, Ns::ZERO, 0);
         sim.schedule_timer(src, Ns::from_ms(1), 1);
@@ -268,7 +289,12 @@ mod tests {
         let pkt = stack.udp(1, addr([12, 0, 0, 1]), 2, b"x");
         let run_with = |delay: Ns| -> Ns {
             let mut sim = Sim::new(1);
-            let src = sim.add_node("src", Box::new(Source { packets: vec![pkt.clone()] }));
+            let src = sim.add_node(
+                "src",
+                Box::new(Source {
+                    packets: vec![pkt.clone()],
+                }),
+            );
             let r = sim.add_node("r", Box::new(Router::with_processing_delay(delay)));
             let snk = sim.add_node("s", Box::new(Sink { received: vec![] }));
             sim.connect(src, r, LinkCfg::lan());

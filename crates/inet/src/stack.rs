@@ -62,7 +62,10 @@ pub enum Parsed {
 impl IpStack {
     /// A stack with the default TTL.
     pub fn new(addr: Ipv4Address) -> Self {
-        Self { addr, ttl: Ipv4Repr::DEFAULT_TTL }
+        Self {
+            addr,
+            ttl: Ipv4Repr::DEFAULT_TTL,
+        }
     }
 
     /// Build a UDP-in-IPv4 packet from this stack's address.
@@ -186,7 +189,13 @@ mod tests {
         let stack = IpStack::new(A);
         let pkt = stack.udp(1234, B, 53, b"query");
         match IpStack::parse(&pkt).unwrap() {
-            Parsed::Udp { src, dst, src_port, dst_port, payload } => {
+            Parsed::Udp {
+                src,
+                dst,
+                src_port,
+                dst_port,
+                payload,
+            } => {
                 assert_eq!(src, A);
                 assert_eq!(dst, B);
                 assert_eq!(src_port, 1234);
@@ -200,10 +209,21 @@ mod tests {
     #[test]
     fn tcp_build_parse() {
         let stack = IpStack::new(A);
-        let seg = TcpRepr { src_port: 40000, dst_port: 80, seq: 1, ack: 0, flags: TcpFlags::SYN };
+        let seg = TcpRepr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::SYN,
+        };
         let pkt = stack.tcp(B, &seg, &[]);
         match IpStack::parse(&pkt).unwrap() {
-            Parsed::Tcp { src, dst, seg: parsed, payload } => {
+            Parsed::Tcp {
+                src,
+                dst,
+                seg: parsed,
+                payload,
+            } => {
                 assert_eq!(src, A);
                 assert_eq!(dst, B);
                 assert_eq!(parsed, seg);

@@ -81,7 +81,11 @@ impl TcpMachine {
 
     /// Client side: begin the handshake. Returns the SYN to transmit.
     pub fn connect(&mut self, now: Ns) -> TcpRepr {
-        assert_eq!(self.state, TcpState::Closed, "connect on non-closed machine");
+        assert_eq!(
+            self.state,
+            TcpState::Closed,
+            "connect on non-closed machine"
+        );
         self.state = TcpState::SynSent;
         self.opened_at = Some(now);
         let seg = TcpRepr {
@@ -166,7 +170,11 @@ impl TcpMachine {
     /// # Panics
     /// Panics if the connection is not established.
     pub fn data_segment(&mut self, len: usize) -> TcpRepr {
-        assert_eq!(self.state, TcpState::Established, "data on non-established connection");
+        assert_eq!(
+            self.state,
+            TcpState::Established,
+            "data on non-established connection"
+        );
         let seg = TcpRepr {
             src_port: self.local_port,
             dst_port: self.remote_port,
@@ -245,7 +253,13 @@ mod tests {
     fn stray_segments_ignored() {
         let mut s = TcpMachine::new(80, 40000, 1);
         // ACK to a closed socket: ignored.
-        let ack = TcpRepr { src_port: 40000, dst_port: 80, seq: 5, ack: 6, flags: TcpFlags::ACK };
+        let ack = TcpRepr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 5,
+            ack: 6,
+            flags: TcpFlags::ACK,
+        };
         assert_eq!(s.on_segment(Ns::ZERO, &ack, 0), TcpEvent::None);
         assert_eq!(s.state, TcpState::Closed);
 

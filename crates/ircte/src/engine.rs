@@ -32,7 +32,14 @@ pub struct Provider {
 impl Provider {
     /// A provider with default cost/weight.
     pub fn new(name: &str, rloc: Ipv4Address, capacity: f64) -> Self {
-        Self { name: name.to_string(), rloc, capacity, cost: 1.0, weight: 1, up: true }
+        Self {
+            name: name.to_string(),
+            rloc,
+            capacity,
+            cost: 1.0,
+            weight: 1,
+            up: true,
+        }
     }
 
     /// Builder: set cost.
@@ -187,7 +194,14 @@ impl IrcEngine {
     ) -> Option<(ProviderId, Ipv4Address)> {
         let views = self.views();
         let p = self.policy.select(&views)?;
-        self.flows.insert(Self::key(flow), TrackedFlow { key: flow, rate, provider: p });
+        self.flows.insert(
+            Self::key(flow),
+            TrackedFlow {
+                key: flow,
+                rate,
+                provider: p,
+            },
+        );
         self.flows_admitted += 1;
         Some((p, self.providers[p].rloc))
     }
@@ -234,7 +248,10 @@ impl IrcEngine {
         for (i, f) in flows.iter().enumerate() {
             let new_p = assignment[i];
             if new_p != f.provider {
-                self.flows.get_mut(&Self::key(f.key)).expect("tracked").provider = new_p;
+                self.flows
+                    .get_mut(&Self::key(f.key))
+                    .expect("tracked")
+                    .provider = new_p;
                 moves.push(Move {
                     flow_key: f.key,
                     new_provider: new_p,

@@ -25,7 +25,12 @@ impl Default for PathMonitor {
 impl PathMonitor {
     /// A fresh monitor with no samples.
     pub fn new() -> Self {
-        Self { srtt: None, loss_ewma: 0.0, samples: 0, losses: 0 }
+        Self {
+            srtt: None,
+            loss_ewma: 0.0,
+            samples: 0,
+            losses: 0,
+        }
     }
 
     /// Feed a successful probe with measured round-trip time.

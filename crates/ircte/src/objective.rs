@@ -17,13 +17,23 @@ impl Imbalance {
     /// Compute from utilisations (empty input yields zeros).
     pub fn of(utils: &[f64]) -> Self {
         if utils.is_empty() {
-            return Self { max: 0.0, min: 0.0, mean: 0.0, stddev: 0.0 };
+            return Self {
+                max: 0.0,
+                min: 0.0,
+                mean: 0.0,
+                stddev: 0.0,
+            };
         }
         let max = utils.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let min = utils.iter().copied().fold(f64::INFINITY, f64::min);
         let mean = utils.iter().sum::<f64>() / utils.len() as f64;
         let var = utils.iter().map(|u| (u - mean) * (u - mean)).sum::<f64>() / utils.len() as f64;
-        Self { max, min, mean, stddev: var.sqrt() }
+        Self {
+            max,
+            min,
+            mean,
+            stddev: var.sqrt(),
+        }
     }
 }
 
@@ -68,7 +78,10 @@ pub fn utilisations(flow_rates: &[f64], capacities: &[f64], assignment: &[usize]
     for (f, &p) in assignment.iter().enumerate() {
         load[p] += flow_rates[f];
     }
-    load.iter().zip(capacities).map(|(l, c)| l / c.max(f64::MIN_POSITIVE)).collect()
+    load.iter()
+        .zip(capacities)
+        .map(|(l, c)| l / c.max(f64::MIN_POSITIVE))
+        .collect()
 }
 
 #[cfg(test)]

@@ -64,19 +64,27 @@ impl SelectionPolicy {
                 .map(|(i, _)| i),
             SelectionPolicy::MinLoss => candidates
                 .min_by(|(ia, a), (ib, b)| {
-                    a.loss.partial_cmp(&b.loss).expect("loss is finite").then(ia.cmp(ib))
+                    a.loss
+                        .partial_cmp(&b.loss)
+                        .expect("loss is finite")
+                        .then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i),
             SelectionPolicy::MinCost => candidates
                 .min_by(|(ia, a), (ib, b)| {
-                    a.cost.partial_cmp(&b.cost).expect("cost is finite").then(ia.cmp(ib))
+                    a.cost
+                        .partial_cmp(&b.cost)
+                        .expect("cost is finite")
+                        .then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i),
             SelectionPolicy::WeightedBalance => candidates
                 .min_by(|(ia, a), (ib, b)| {
                     let ra = a.utilisation / f64::from(a.weight.max(1));
                     let rb = b.utilisation / f64::from(b.weight.max(1));
-                    ra.partial_cmp(&rb).expect("ratio is finite").then(ia.cmp(ib))
+                    ra.partial_cmp(&rb)
+                        .expect("ratio is finite")
+                        .then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i),
             SelectionPolicy::Composite { wl, wc, wu } => candidates
@@ -90,7 +98,10 @@ impl SelectionPolicy {
                         // Loss folds into latency as a 1 s penalty per unit.
                         wl * (lat_ms + v.loss * 1000.0) + wc * v.cost + wu * v.utilisation
                     };
-                    score(a).partial_cmp(&score(b)).expect("score is finite").then(ia.cmp(ib))
+                    score(a)
+                        .partial_cmp(&score(b))
+                        .expect("score is finite")
+                        .then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i),
         }
@@ -102,7 +113,14 @@ mod tests {
     use super::*;
 
     fn view(latency_ms: u64, loss: f64, cost: f64, util: f64, weight: u32) -> ProviderView {
-        ProviderView { latency_ns: latency_ms * 1_000_000, loss, cost, utilisation: util, weight, up: true }
+        ProviderView {
+            latency_ns: latency_ms * 1_000_000,
+            loss,
+            cost,
+            utilisation: util,
+            weight,
+            up: true,
+        }
     }
 
     #[test]
@@ -147,12 +165,22 @@ mod tests {
         let views = [view(10, 0.0, 10.0, 0.0, 1), view(30, 0.0, 1.0, 0.0, 1)];
         // Latency-dominated: pick 0.
         assert_eq!(
-            SelectionPolicy::Composite { wl: 1.0, wc: 0.1, wu: 0.0 }.select(&views),
+            SelectionPolicy::Composite {
+                wl: 1.0,
+                wc: 0.1,
+                wu: 0.0
+            }
+            .select(&views),
             Some(0)
         );
         // Cost-dominated: pick 1.
         assert_eq!(
-            SelectionPolicy::Composite { wl: 0.01, wc: 1.0, wu: 0.0 }.select(&views),
+            SelectionPolicy::Composite {
+                wl: 0.01,
+                wc: 1.0,
+                wu: 0.0
+            }
+            .select(&views),
             Some(1)
         );
     }

@@ -4,7 +4,8 @@
 //! The paper's weakness 1 ("a hit might not necessarily be found, either
 //! because the mapping has aged out, or simply because it was never
 //! requested before") is exactly what this structure models; experiment
-//! E6 sweeps its TTL against workload skew.
+//! E6 sweeps its TTL against workload skew, and the `mapcache` Criterion
+//! group tracks its lookup cost (DESIGN.md §5).
 
 use inet::{LpmTrie, Prefix};
 use lispwire::lispctl::MapRecord;
@@ -81,7 +82,13 @@ impl MapCache {
         }
         self.trie.insert(
             prefix,
-            CacheEntry { record, inserted: now, expires: now + ttl, last_used: now, hits: 0 },
+            CacheEntry {
+                record,
+                inserted: now,
+                expires: now + ttl,
+                last_used: now,
+                hits: 0,
+            },
         );
     }
 
@@ -118,15 +125,12 @@ impl MapCache {
             return None;
         }
         self.hit_count += 1;
-        // Update recency. get_mut is not provided by the trie; remove and
-        // reinsert would churn, so extend the trie API instead.
-        let entry = self
-            .trie
-            .get_mut(&prefix)
-            .expect("entry just matched");
+        // Update recency in place and return through the same borrow —
+        // one trie walk, not two.
+        let entry = self.trie.get_mut(&prefix).expect("entry just matched");
         entry.last_used = now;
         entry.hits += 1;
-        Some(&self.trie.get(&prefix).expect("entry present").record)
+        Some(&entry.record)
     }
 
     /// Remove every expired entry at time `now`.

@@ -10,9 +10,10 @@
 use netsim::Ns;
 
 /// Policy applied to cache-missing data packets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MissPolicy {
     /// Drop the packet (default LISP behaviour).
+    #[default]
     Drop,
     /// Buffer up to `max_packets` per EID; flush on mapping install.
     Queue {
@@ -25,12 +26,6 @@ pub enum MissPolicy {
         /// Extra latency of the control-plane path.
         extra_latency: Ns,
     },
-}
-
-impl Default for MissPolicy {
-    fn default() -> Self {
-        MissPolicy::Drop
-    }
 }
 
 impl MissPolicy {
@@ -58,7 +53,10 @@ mod tests {
         assert_eq!(MissPolicy::Drop.label(), "drop");
         assert_eq!(MissPolicy::small_queue().label(), "queue");
         assert_eq!(
-            MissPolicy::DataOverCp { extra_latency: Ns::from_ms(50) }.label(),
+            MissPolicy::DataOverCp {
+                extra_latency: Ns::from_ms(50)
+            }
+            .label(),
             "data-over-cp"
         );
     }

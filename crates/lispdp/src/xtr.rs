@@ -29,7 +29,7 @@ use lispwire::lisp::{encapsulate, LispPacket, LispRepr};
 use lispwire::lispctl::{self, DbPush, Locator, MapRecord, MapReply, MapRequest};
 use lispwire::pcewire::{FlowMapping, PceFlowMsg, PceKind};
 use lispwire::{ports, Ipv4Address};
-use netsim::{Ctx, Node, Ns, PortId};
+use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -91,7 +91,12 @@ pub struct XtrConfig {
 
 impl XtrConfig {
     /// A sane default configuration for the given RLOC and site prefix.
-    pub fn new(rloc: Ipv4Address, site_prefix: Prefix, eid_space: Vec<Prefix>, mode: CpMode) -> Self {
+    pub fn new(
+        rloc: Ipv4Address,
+        site_prefix: Prefix,
+        eid_space: Vec<Prefix>,
+        mode: CpMode,
+    ) -> Self {
         Self {
             rloc,
             site_prefixes: vec![site_prefix],
@@ -189,6 +194,11 @@ pub struct Xtr {
     pub tx_per_src_rloc: BTreeMap<Ipv4Address, u64>,
     /// Queue delays experienced by flushed packets.
     pub queue_delays: Vec<Ns>,
+    ctr_miss_events: LazyCounter,
+    ctr_miss_drops: LazyCounter,
+    ctr_overflow_drops: LazyCounter,
+    ctr_queued: LazyCounter,
+    ctr_gleaned: LazyCounter,
 }
 
 impl Xtr {
@@ -208,6 +218,11 @@ impl Xtr {
             tx_per_rloc: BTreeMap::new(),
             tx_per_src_rloc: BTreeMap::new(),
             queue_delays: Vec::new(),
+            ctr_miss_events: LazyCounter::new(),
+            ctr_miss_drops: LazyCounter::new(),
+            ctr_overflow_drops: LazyCounter::new(),
+            ctr_queued: LazyCounter::new(),
+            ctr_gleaned: LazyCounter::new(),
             cfg,
         }
     }
@@ -226,7 +241,10 @@ impl Xtr {
     }
 
     fn in_internal_plain(&self, addr: Ipv4Address) -> bool {
-        self.cfg.internal_plain_prefixes.iter().any(|p| p.contains(addr))
+        self.cfg
+            .internal_plain_prefixes
+            .iter()
+            .any(|p| p.contains(addr))
     }
 
     /// Control messages to peers inside the domain ride the site network;
@@ -245,14 +263,32 @@ impl Xtr {
     }
 
     /// Build the LISP-encapsulated packet for `inner`.
-    fn build_encap(&mut self, inner: &[u8], outer_src: Ipv4Address, outer_dst: Ipv4Address) -> Vec<u8> {
+    fn build_encap(
+        &mut self,
+        inner: &[u8],
+        outer_src: Ipv4Address,
+        outer_dst: Ipv4Address,
+    ) -> Vec<u8> {
         let nonce = (self.next_nonce() & 0x00ff_ffff) as u32;
         let lisp_repr = LispRepr::with_nonce(nonce, self.cfg.site_locators.len() as u32);
         let lisp_payload = encapsulate(&lisp_repr, inner);
-        build_udp_ip(outer_src, ports::LISP_DATA, outer_dst, ports::LISP_DATA, &lisp_payload, 64)
+        build_udp_ip(
+            outer_src,
+            ports::LISP_DATA,
+            outer_dst,
+            ports::LISP_DATA,
+            &lisp_payload,
+            64,
+        )
     }
 
-    fn send_encap(&mut self, ctx: &mut Ctx<'_>, inner: Vec<u8>, outer_src: Ipv4Address, outer_dst: Ipv4Address) {
+    fn send_encap(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        inner: Vec<u8>,
+        outer_src: Ipv4Address,
+        outer_dst: Ipv4Address,
+    ) {
         let pkt = self.build_encap(&inner, outer_src, outer_dst);
         self.stats.encap += 1;
         *self.tx_per_rloc.entry(outer_dst).or_insert(0) += 1;
@@ -261,7 +297,13 @@ impl Xtr {
     }
 
     /// ITR path: a site packet toward an EID that needs a tunnel.
-    fn handle_eid_egress(&mut self, ctx: &mut Ctx<'_>, bytes: Vec<u8>, src_eid: Ipv4Address, dst_eid: Ipv4Address) {
+    fn handle_eid_egress(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        bytes: Vec<u8>,
+        src_eid: Ipv4Address,
+        dst_eid: Ipv4Address,
+    ) {
         // PCE flow table first (exact flow match, independent tunnels).
         if let Some(flow) = self.flows.get(&(src_eid, dst_eid)).copied() {
             self.send_encap(ctx, bytes, flow.rloc_s, flow.rloc_d);
@@ -279,7 +321,7 @@ impl Xtr {
         }
         // Miss.
         self.stats.miss_events += 1;
-        ctx.count("xtr.miss_events", 1);
+        self.ctr_miss_events.add(ctx, "xtr.miss_events", 1);
         self.apply_miss_policy(ctx, bytes, dst_eid);
         self.maybe_request_mapping(ctx, src_eid, dst_eid);
     }
@@ -288,31 +330,46 @@ impl Xtr {
         match self.cfg.miss_policy {
             MissPolicy::Drop => {
                 self.stats.miss_drops += 1;
-                ctx.count("xtr.miss_drops", 1);
-                ctx.trace(format!("ITR {} dropped packet to {} (no mapping)", self.cfg.rloc, dst_eid));
+                self.ctr_miss_drops.add(ctx, "xtr.miss_drops", 1);
+                ctx.trace(format!(
+                    "ITR {} dropped packet to {} (no mapping)",
+                    self.cfg.rloc, dst_eid
+                ));
             }
             MissPolicy::Queue { max_packets } => {
                 let q = self.pending.entry(dst_eid).or_default();
                 if q.len() >= max_packets {
                     self.stats.queue_overflow_drops += 1;
-                    ctx.count("xtr.queue_overflow_drops", 1);
+                    self.ctr_overflow_drops
+                        .add(ctx, "xtr.queue_overflow_drops", 1);
                 } else {
                     q.push_back((bytes, ctx.now()));
                     self.stats.queued += 1;
-                    ctx.count("xtr.queued", 1);
+                    self.ctr_queued.add(ctx, "xtr.queued", 1);
                 }
             }
             MissPolicy::DataOverCp { .. } => {
                 // Buffered unbounded; released onto the slow path when the
                 // mapping arrives (flush applies the extra latency).
-                self.pending.entry(dst_eid).or_default().push_back((bytes, ctx.now()));
+                self.pending
+                    .entry(dst_eid)
+                    .or_default()
+                    .push_back((bytes, ctx.now()));
                 self.stats.queued += 1;
             }
         }
     }
 
-    fn maybe_request_mapping(&mut self, ctx: &mut Ctx<'_>, src_eid: Ipv4Address, dst_eid: Ipv4Address) {
-        let CpMode::Pull { map_resolver: Some(mr) } = self.cfg.mode else {
+    fn maybe_request_mapping(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src_eid: Ipv4Address,
+        dst_eid: Ipv4Address,
+    ) {
+        let CpMode::Pull {
+            map_resolver: Some(mr),
+        } = self.cfg.mode
+        else {
             return;
         };
         if self.in_flight.contains_key(&dst_eid) {
@@ -328,28 +385,46 @@ impl Xtr {
             itr_rloc: self.cfg.rloc,
             hop_count: 32,
         };
-        let pkt = self.stack.udp(ports::LISP_CONTROL, mr, ports::LISP_CONTROL, &req.to_bytes());
+        let pkt = self.stack.udp(
+            ports::LISP_CONTROL,
+            mr,
+            ports::LISP_CONTROL,
+            &req.to_bytes(),
+        );
         ctx.trace(format!("ITR {} map-request for {}", self.cfg.rloc, dst_eid));
         ctx.send(WAN_PORT, pkt);
-        ctx.set_timer(self.cfg.request_retransmit, TOKEN_RETRY_BASE | u64::from(dst_eid.to_u32()));
+        ctx.set_timer(
+            self.cfg.request_retransmit,
+            TOKEN_RETRY_BASE | u64::from(dst_eid.to_u32()),
+        );
     }
 
     /// Install a record and flush any packets waiting on it.
     fn install_record(&mut self, ctx: &mut Ctx<'_>, record: MapRecord, now: Ns) {
         let prefix = Prefix::new(record.eid_prefix, record.prefix_len);
         // The mapping is resolved for every covered EID: stop retrying.
-        let resolved: Vec<Ipv4Address> =
-            self.in_flight.keys().copied().filter(|eid| prefix.contains(*eid)).collect();
+        let resolved: Vec<Ipv4Address> = self
+            .in_flight
+            .keys()
+            .copied()
+            .filter(|eid| prefix.contains(*eid))
+            .collect();
         for eid in resolved {
             self.in_flight.remove(&eid);
         }
-        let covered: Vec<Ipv4Address> =
-            self.pending.keys().copied().filter(|eid| prefix.contains(*eid)).collect();
+        let covered: Vec<Ipv4Address> = self
+            .pending
+            .keys()
+            .copied()
+            .filter(|eid| prefix.contains(*eid))
+            .collect();
         let best = record.best_locator().map(|l| l.rloc);
         self.cache.insert(record, now);
         for eid in covered {
             let Some(rloc) = best else { continue };
-            let Some(q) = self.pending.remove(&eid) else { continue };
+            let Some(q) = self.pending.remove(&eid) else {
+                continue;
+            };
             for (bytes, enqueued) in q {
                 self.stats.flushed += 1;
                 self.queue_delays.push(now.saturating_sub(enqueued));
@@ -392,7 +467,13 @@ impl Xtr {
     }
 
     /// ETR path: decapsulate a LISP data packet.
-    fn handle_decap(&mut self, ctx: &mut Ctx<'_>, outer_src: Ipv4Address, outer_dst: Ipv4Address, lisp_payload: &[u8]) {
+    fn handle_decap(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        outer_src: Ipv4Address,
+        outer_dst: Ipv4Address,
+        lisp_payload: &[u8],
+    ) {
         let Ok(lisp) = LispPacket::new_checked(lisp_payload) else {
             self.stats.malformed += 1;
             return;
@@ -418,7 +499,7 @@ impl Xtr {
                     let now = ctx.now();
                     self.install_record(ctx, rec, now);
                     self.stats.gleaned += 1;
-                    ctx.count("xtr.gleaned", 1);
+                    self.ctr_gleaned.add(ctx, "xtr.gleaned", 1);
                 }
                 CpMode::Pce => {
                     // The paper, after step 8: install the return mapping,
@@ -431,7 +512,10 @@ impl Xtr {
                         ttl_minutes: self.cfg.reply_ttl_minutes,
                     };
                     self.install_flow(ctx, reverse);
-                    let msg = PceFlowMsg { kind: PceKind::ReverseSync, mapping: reverse };
+                    let msg = PceFlowMsg {
+                        kind: PceKind::ReverseSync,
+                        mapping: reverse,
+                    };
                     let body = msg.to_bytes();
                     let peers: Vec<Ipv4Address> = self.cfg.reverse_sync_peers.clone();
                     for peer in peers {
@@ -439,17 +523,24 @@ impl Xtr {
                             continue;
                         }
                         let port = self.control_port_for(peer);
-                        let pkt = self.stack.udp(ports::ETR_SYNC, peer, ports::ETR_SYNC, &body);
+                        let pkt = self
+                            .stack
+                            .udp(ports::ETR_SYNC, peer, ports::ETR_SYNC, &body);
                         ctx.send(port, pkt);
                         self.stats.reverse_syncs_sent += 1;
                     }
                     if let Some(pced) = self.cfg.pced_addr {
                         let port = self.control_port_for(pced);
-                        let pkt = self.stack.udp(ports::ETR_SYNC, pced, ports::ETR_SYNC, &body);
+                        let pkt = self
+                            .stack
+                            .udp(ports::ETR_SYNC, pced, ports::ETR_SYNC, &body);
                         ctx.send(port, pkt);
                         self.stats.reverse_syncs_sent += 1;
                     }
-                    ctx.trace(format!("ETR {} reverse-sync for flow {} -> {}", self.cfg.rloc, inner_dst, inner_src));
+                    ctx.trace(format!(
+                        "ETR {} reverse-sync for flow {} -> {}",
+                        self.cfg.rloc, inner_dst, inner_src
+                    ));
                 }
                 _ => {}
             }
@@ -472,7 +563,12 @@ impl Xtr {
                     return;
                 };
                 // ETR authority role: answer for our site prefixes.
-                let Some(prefix) = self.cfg.site_prefixes.iter().find(|p| p.contains(req.target_eid)) else {
+                let Some(prefix) = self
+                    .cfg
+                    .site_prefixes
+                    .iter()
+                    .find(|p| p.contains(req.target_eid))
+                else {
                     return;
                 };
                 let record = if self.cfg.reply_host_granularity {
@@ -490,10 +586,21 @@ impl Xtr {
                         locators: self.cfg.site_locators.clone(),
                     }
                 };
-                let reply = MapReply { nonce: req.nonce, records: vec![record] };
+                let reply = MapReply {
+                    nonce: req.nonce,
+                    records: vec![record],
+                };
                 self.stats.map_requests_answered += 1;
-                ctx.trace(format!("ETR {} map-reply for {} to {}", self.cfg.rloc, req.target_eid, req.itr_rloc));
-                let pkt = self.stack.udp(ports::LISP_CONTROL, req.itr_rloc, ports::LISP_CONTROL, &reply.to_bytes());
+                ctx.trace(format!(
+                    "ETR {} map-reply for {} to {}",
+                    self.cfg.rloc, req.target_eid, req.itr_rloc
+                ));
+                let pkt = self.stack.udp(
+                    ports::LISP_CONTROL,
+                    req.itr_rloc,
+                    ports::LISP_CONTROL,
+                    &reply.to_bytes(),
+                );
                 ctx.send(WAN_PORT, pkt);
             }
             Ok(lispctl::TYPE_MAP_REPLY) => {
@@ -502,7 +609,10 @@ impl Xtr {
                     return;
                 };
                 self.stats.map_replies_received += 1;
-                ctx.trace(format!("ITR {} map-reply received from {}", self.cfg.rloc, src));
+                ctx.trace(format!(
+                    "ITR {} map-reply received from {}",
+                    self.cfg.rloc, src
+                ));
                 let now = ctx.now();
                 for record in reply.records {
                     self.install_record(ctx, record, now);
@@ -533,7 +643,11 @@ impl Xtr {
         match msg.kind {
             PceKind::MappingPush | PceKind::ReverseSync => self.install_flow(ctx, msg.mapping),
             PceKind::MappingWithdraw => {
-                if self.flows.remove(&(msg.mapping.source_eid, msg.mapping.dest_eid)).is_some() {
+                if self
+                    .flows
+                    .remove(&(msg.mapping.source_eid, msg.mapping.dest_eid))
+                    .is_some()
+                {
                     self.stats.flow_withdrawals += 1;
                 }
             }
@@ -553,7 +667,10 @@ impl Node for Xtr {
             // Control messages from inside the domain (PCE pushes, peer
             // ETR syncs) addressed to this router.
             if dst == self.cfg.rloc {
-                if let Ok(Parsed::Udp { dst_port, payload, .. }) = IpStack::parse(&bytes) {
+                if let Ok(Parsed::Udp {
+                    dst_port, payload, ..
+                }) = IpStack::parse(&bytes)
+                {
                     match dst_port {
                         ports::PCE_MAP | ports::ETR_SYNC => {
                             self.handle_pce_flow(ctx, &payload);
@@ -586,9 +703,17 @@ impl Node for Xtr {
 
         // WAN side.
         match IpStack::parse(&bytes) {
-            Ok(Parsed::Udp { src, dst, dst_port, payload, .. }) => match dst_port {
+            Ok(Parsed::Udp {
+                src,
+                dst,
+                dst_port,
+                payload,
+                ..
+            }) => match dst_port {
                 ports::LISP_DATA => self.handle_decap(ctx, src, dst, &payload),
-                ports::LISP_CONTROL if dst == self.cfg.rloc => self.handle_control(ctx, src, &payload),
+                ports::LISP_CONTROL if dst == self.cfg.rloc => {
+                    self.handle_control(ctx, src, &payload)
+                }
                 ports::PCE_MAP if dst == self.cfg.rloc => self.handle_pce_flow(ctx, &payload),
                 ports::ETR_SYNC if dst == self.cfg.rloc => self.handle_pce_flow(ctx, &payload),
                 _ => {
@@ -621,7 +746,10 @@ impl Node for Xtr {
         }
         if token & TOKEN_RETRY_BASE != 0 {
             let eid = Ipv4Address::from_u32((token & 0xffff_ffff) as u32);
-            let CpMode::Pull { map_resolver: Some(mr) } = self.cfg.mode else {
+            let CpMode::Pull {
+                map_resolver: Some(mr),
+            } = self.cfg.mode
+            else {
                 return;
             };
             let Some((nonce, tries)) = self.in_flight.get(&eid).copied() else {
@@ -644,13 +772,24 @@ impl Node for Xtr {
                 itr_rloc: self.cfg.rloc,
                 hop_count: 32,
             };
-            let pkt = self.stack.udp(ports::LISP_CONTROL, mr, ports::LISP_CONTROL, &req.to_bytes());
+            let pkt = self.stack.udp(
+                ports::LISP_CONTROL,
+                mr,
+                ports::LISP_CONTROL,
+                &req.to_bytes(),
+            );
             ctx.send(WAN_PORT, pkt);
-            ctx.set_timer(self.cfg.request_retransmit, TOKEN_RETRY_BASE | u64::from(eid.to_u32()));
+            ctx.set_timer(
+                self.cfg.request_retransmit,
+                TOKEN_RETRY_BASE | u64::from(eid.to_u32()),
+            );
         }
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
         self
     }
 }
@@ -687,6 +826,9 @@ mod tests {
         fn as_any(&mut self) -> &mut dyn Any {
             self
         }
+        fn as_any_ref(&self) -> &dyn Any {
+            self
+        }
     }
 
     /// A stub map-server: answers any Map-Request with a fixed locator
@@ -700,8 +842,12 @@ mod tests {
     }
     impl Node for StubMapServer {
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-            let Ok(Parsed::Udp { payload, .. }) = IpStack::parse(&bytes) else { return };
-            let Ok(req) = MapRequest::from_bytes(&payload) else { return };
+            let Ok(Parsed::Udp { payload, .. }) = IpStack::parse(&bytes) else {
+                return;
+            };
+            let Ok(req) = MapRequest::from_bytes(&payload) else {
+                return;
+            };
             self.requests_seen += 1;
             let reply = MapReply {
                 nonce: req.nonce,
@@ -712,7 +858,12 @@ mod tests {
                     locators: vec![Locator::new(self.rloc_for_everything, 1, 100)],
                 }],
             };
-            let pkt = self.stack.udp(ports::LISP_CONTROL, req.itr_rloc, ports::LISP_CONTROL, &reply.to_bytes());
+            let pkt = self.stack.udp(
+                ports::LISP_CONTROL,
+                req.itr_rloc,
+                ports::LISP_CONTROL,
+                &reply.to_bytes(),
+            );
             self.queue.push_back((req.itr_rloc, pkt));
             ctx.set_timer(self.delay, 1);
         }
@@ -722,6 +873,9 @@ mod tests {
             }
         }
         fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn Any {
             self
         }
     }
@@ -739,7 +893,12 @@ mod tests {
         ms: netsim::NodeId,
     }
 
-    fn build_world(mode_s: CpMode, mode_d: CpMode, miss_policy: MissPolicy, resolver_delay: Ns) -> World {
+    fn build_world(
+        mode_s: CpMode,
+        mode_d: CpMode,
+        miss_policy: MissPolicy,
+        resolver_delay: Ns,
+    ) -> World {
         use inet::Router;
         let mut sim = Sim::new(42);
         sim.trace.enable();
@@ -750,18 +909,36 @@ mod tests {
         let d_rloc = a([12, 0, 0, 1]);
         let ms_addr = a([8, 0, 0, 10]);
 
-        let mut cfg_s = XtrConfig::new(s_rloc, Prefix::new(a([100, 0, 0, 0]), 8), eid_space(), mode_s);
+        let mut cfg_s = XtrConfig::new(
+            s_rloc,
+            Prefix::new(a([100, 0, 0, 0]), 8),
+            eid_space(),
+            mode_s,
+        );
         cfg_s.miss_policy = miss_policy;
-        let mut cfg_d = XtrConfig::new(d_rloc, Prefix::new(a([101, 0, 0, 0]), 8), eid_space(), mode_d);
+        let mut cfg_d = XtrConfig::new(
+            d_rloc,
+            Prefix::new(a([101, 0, 0, 0]), 8),
+            eid_space(),
+            mode_d,
+        );
         cfg_d.miss_policy = miss_policy;
 
         let host_s = sim.add_node(
             "host-s",
-            Box::new(SiteHost { stack: IpStack::new(hs_addr), outbox: vec![], received: vec![] }),
+            Box::new(SiteHost {
+                stack: IpStack::new(hs_addr),
+                outbox: vec![],
+                received: vec![],
+            }),
         );
         let host_d = sim.add_node(
             "host-d",
-            Box::new(SiteHost { stack: IpStack::new(hd_addr), outbox: vec![], received: vec![] }),
+            Box::new(SiteHost {
+                stack: IpStack::new(hd_addr),
+                outbox: vec![],
+                received: vec![],
+            }),
         );
         let xtr_s = sim.add_node("xtr-s", Box::new(Xtr::new(cfg_s)));
         let xtr_d = sim.add_node("xtr-d", Box::new(Xtr::new(cfg_d)));
@@ -790,7 +967,14 @@ mod tests {
             r.add_route(Prefix::new(a([12, 0, 0, 0]), 8), c_d);
             r.add_route(Prefix::new(a([8, 0, 0, 0]), 8), c_ms);
         }
-        World { sim, host_s, host_d, xtr_s, xtr_d, ms }
+        World {
+            sim,
+            host_s,
+            host_d,
+            xtr_s,
+            xtr_d,
+            ms,
+        }
     }
 
     fn data_packet(src: Ipv4Address, dst: Ipv4Address, tag: u8) -> Vec<u8> {
@@ -800,8 +984,12 @@ mod tests {
     #[test]
     fn pull_mode_first_packet_dropped_then_flow_works() {
         let mut w = build_world(
-            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
-            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 10])),
+            },
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 10])),
+            },
             MissPolicy::Drop,
             Ns::from_us(100),
         );
@@ -829,8 +1017,12 @@ mod tests {
     #[test]
     fn queue_policy_delays_instead_of_dropping() {
         let mut w = build_world(
-            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
-            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 10])),
+            },
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 10])),
+            },
             MissPolicy::Queue { max_packets: 8 },
             Ns::from_us(100),
         );
@@ -845,15 +1037,23 @@ mod tests {
         assert_eq!(xtr.stats.flushed, 1);
         assert_eq!(xtr.queue_delays.len(), 1);
         // Queue delay ≈ map-request RTT: 2×(30+10) ms + processing.
-        assert!(xtr.queue_delays[0] >= Ns::from_ms(80), "delay {}", xtr.queue_delays[0]);
+        assert!(
+            xtr.queue_delays[0] >= Ns::from_ms(80),
+            "delay {}",
+            xtr.queue_delays[0]
+        );
         assert_eq!(w.sim.node_ref::<SiteHost>(w.host_d).received.len(), 1);
     }
 
     #[test]
     fn gleaning_avoids_reverse_resolution() {
         let mut w = build_world(
-            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
-            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 10])) },
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 10])),
+            },
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 10])),
+            },
             MissPolicy::Queue { max_packets: 8 },
             Ns::from_us(100),
         );
@@ -868,7 +1068,10 @@ mod tests {
 
         let xtr_d = w.sim.node_mut::<Xtr>(w.xtr_d);
         assert_eq!(xtr_d.stats.gleaned, 1);
-        assert_eq!(xtr_d.stats.map_requests_sent, 0, "gleaned mapping, no pull needed");
+        assert_eq!(
+            xtr_d.stats.map_requests_sent, 0,
+            "gleaned mapping, no pull needed"
+        );
         assert_eq!(xtr_d.stats.encap, 1);
         assert_eq!(w.sim.node_ref::<SiteHost>(w.host_s).received.len(), 1);
     }
@@ -902,7 +1105,9 @@ mod tests {
         // sent no syncs but the flow table has the reverse entry.
         let xtr_d = w.sim.node_mut::<Xtr>(w.xtr_d);
         assert_eq!(xtr_d.stats.flow_installs, 1);
-        assert!(xtr_d.flows.contains_key(&(a([101, 0, 0, 7]), a([100, 0, 0, 5]))));
+        assert!(xtr_d
+            .flows
+            .contains_key(&(a([101, 0, 0, 7]), a([100, 0, 0, 5]))));
     }
 
     #[test]
@@ -917,7 +1122,10 @@ mod tests {
             rloc_d: a([12, 0, 0, 1]),
             ttl_minutes: 30,
         };
-        w.sim.node_mut::<Xtr>(w.xtr_s).flows.insert((flow.source_eid, flow.dest_eid), flow);
+        w.sim
+            .node_mut::<Xtr>(w.xtr_s)
+            .flows
+            .insert((flow.source_eid, flow.dest_eid), flow);
         let pkt = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 9);
         w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt];
         w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
@@ -927,7 +1135,10 @@ mod tests {
         assert_eq!(xtr_s.tx_per_src_rloc.get(&a([11, 0, 0, 99])), Some(&1));
         // The ETR's gleaned return flow must target that source RLOC.
         let xtr_d = w.sim.node_mut::<Xtr>(w.xtr_d);
-        let rev = xtr_d.flows.get(&(a([101, 0, 0, 7]), a([100, 0, 0, 5]))).unwrap();
+        let rev = xtr_d
+            .flows
+            .get(&(a([101, 0, 0, 7]), a([100, 0, 0, 5])))
+            .unwrap();
         assert_eq!(rev.rloc_d, a([11, 0, 0, 99]));
     }
 
@@ -946,7 +1157,12 @@ mod tests {
 
     #[test]
     fn db_push_populates_cache() {
-        let w = build_world(CpMode::PushDb, CpMode::PushDb, MissPolicy::Drop, Ns::from_us(100));
+        let w = build_world(
+            CpMode::PushDb,
+            CpMode::PushDb,
+            MissPolicy::Drop,
+            Ns::from_us(100),
+        );
         // Push the database into xtr_s via the control port.
         let push = DbPush {
             version: 1,
@@ -984,6 +1200,9 @@ mod tests {
             fn as_any(&mut self) -> &mut dyn Any {
                 self
             }
+            fn as_any_ref(&self) -> &dyn Any {
+                self
+            }
         }
         let mut cfg = XtrConfig::new(
             a([10, 0, 0, 1]),
@@ -994,11 +1213,14 @@ mod tests {
         cfg.miss_policy = MissPolicy::Drop;
         let pusher = sim.add_node("pusher", Box::new(Pusher { pkt }));
         let xtr = sim.add_node("xtr", Box::new(Xtr::new(cfg)));
-        let site = sim.add_node("site", Box::new(SiteHost {
-            stack: IpStack::new(a([100, 0, 0, 5])),
-            outbox: vec![],
-            received: vec![],
-        }));
+        let site = sim.add_node(
+            "site",
+            Box::new(SiteHost {
+                stack: IpStack::new(a([100, 0, 0, 5])),
+                outbox: vec![],
+                received: vec![],
+            }),
+        );
         sim.connect(site, xtr, LinkCfg::lan()); // xtr port 0 = site
         sim.connect(xtr, pusher, LinkCfg::lan()); // xtr port 1 = wan
         sim.schedule_timer(pusher, Ns::ZERO, 0);
@@ -1013,7 +1235,9 @@ mod tests {
     fn retransmit_gives_up_after_max_tries() {
         // Map-resolver exists but is unreachable (no route to 9/8).
         let mut w = build_world(
-            CpMode::Pull { map_resolver: Some(a([9, 9, 9, 9])) },
+            CpMode::Pull {
+                map_resolver: Some(a([9, 9, 9, 9])),
+            },
             CpMode::Pull { map_resolver: None },
             MissPolicy::Queue { max_packets: 8 },
             Ns::from_us(100),

@@ -26,7 +26,11 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u32>(), 8u8..=32, 1u16..10).prop_map(|(prefix, len, ttl)| Op::Insert { prefix, len, ttl }),
+        (any::<u32>(), 8u8..=32, 1u16..10).prop_map(|(prefix, len, ttl)| Op::Insert {
+            prefix,
+            len,
+            ttl
+        }),
         any::<u32>().prop_map(|addr| Op::Lookup { addr }),
         (1u16..300).prop_map(|secs| Op::Advance { secs }),
         Just(Op::Purge),

@@ -100,8 +100,10 @@ mod tests {
 
     #[test]
     fn verify_roundtrip() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0x00,
-                            0x00, 0x0a, 0x00, 0x00, 0x01, 0x0b, 0x00, 0x00, 0x02];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00, 0x0a, 0x00,
+            0x00, 0x01, 0x0b, 0x00, 0x00, 0x02,
+        ];
         let c = checksum(&data);
         data[10] = (c >> 8) as u8;
         data[11] = c as u8;

@@ -283,12 +283,20 @@ pub struct Record {
 impl Record {
     /// An A record.
     pub fn a(name: Name, addr: Ipv4Address, ttl: u32) -> Self {
-        Self { name, ttl, rdata: Rdata::A(addr) }
+        Self {
+            name,
+            ttl,
+            rdata: Rdata::A(addr),
+        }
     }
 
     /// An NS record.
     pub fn ns(name: Name, nsdname: Name, ttl: u32) -> Self {
-        Self { name, ttl, rdata: Rdata::Ns(nsdname) }
+        Self {
+            name,
+            ttl,
+            rdata: Rdata::Ns(nsdname),
+        }
     }
 
     /// The record type implied by the rdata.
@@ -336,7 +344,10 @@ impl Message {
             recursion_desired,
             recursion_available: false,
             rcode: Rcode::NoError,
-            questions: vec![Question { name, qtype: RecordType::A }],
+            questions: vec![Question {
+                name,
+                qtype: RecordType::A,
+            }],
             answers: Vec::new(),
             authority: Vec::new(),
             additional: Vec::new(),
@@ -400,7 +411,12 @@ impl Message {
             out.extend_from_slice(&u16::from(q.qtype).to_be_bytes());
             out.extend_from_slice(&1u16.to_be_bytes()); // class IN
         }
-        for r in self.answers.iter().chain(&self.authority).chain(&self.additional) {
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authority)
+            .chain(&self.additional)
+        {
             r.name.emit(&mut out);
             out.extend_from_slice(&u16::from(r.rtype()).to_be_bytes());
             out.extend_from_slice(&1u16.to_be_bytes());
@@ -538,7 +554,12 @@ mod tests {
 
     #[test]
     fn name_wire_roundtrip() {
-        for s in ["", "com", "example.com", "a.very.deep.sub.domain.example.org"] {
+        for s in [
+            "",
+            "com",
+            "example.com",
+            "a.very.deep.sub.domain.example.org",
+        ] {
             let n = name(s);
             let mut out = Vec::new();
             n.emit(&mut out);
@@ -592,11 +613,18 @@ mod tests {
         let q = Message::query_a(7, name("host.d.example"), false);
         let mut r = Message::response_to(&q);
         r.authoritative = true;
-        r.answers.push(Record::a(name("host.d.example"), Ipv4Address::new(101, 0, 0, 5), 300));
+        r.answers.push(Record::a(
+            name("host.d.example"),
+            Ipv4Address::new(101, 0, 0, 5),
+            300,
+        ));
         let bytes = r.to_bytes();
         let parsed = Message::from_bytes(&bytes).unwrap();
         assert_eq!(parsed, r);
-        assert_eq!(parsed.first_answer_a(), Some(Ipv4Address::new(101, 0, 0, 5)));
+        assert_eq!(
+            parsed.first_answer_a(),
+            Some(Ipv4Address::new(101, 0, 0, 5))
+        );
         assert!(parsed.authoritative);
     }
 
@@ -604,8 +632,13 @@ mod tests {
     fn referral_roundtrip() {
         let q = Message::query_a(9, name("host.d.example"), false);
         let mut r = Message::response_to(&q);
-        r.authority.push(Record::ns(name("example"), name("ns1.example"), 86400));
-        r.additional.push(Record::a(name("ns1.example"), Ipv4Address::new(12, 0, 0, 53), 86400));
+        r.authority
+            .push(Record::ns(name("example"), name("ns1.example"), 86400));
+        r.additional.push(Record::a(
+            name("ns1.example"),
+            Ipv4Address::new(12, 0, 0, 53),
+            86400,
+        ));
         let bytes = r.to_bytes();
         let parsed = Message::from_bytes(&bytes).unwrap();
         assert_eq!(parsed, r);
@@ -625,7 +658,10 @@ mod tests {
 
     #[test]
     fn truncated_header_rejected() {
-        assert_eq!(Message::from_bytes(&[0u8; 11]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            Message::from_bytes(&[0u8; 11]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

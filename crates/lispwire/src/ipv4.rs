@@ -415,7 +415,10 @@ mod tests {
         let mut bytes = build_ipv4(&repr, &[1, 2, 3, 4]);
         bytes[12] ^= 0xff; // flip a source-address byte
         let packet = Ipv4Packet::new_checked(&bytes[..]).unwrap();
-        assert_eq!(Ipv4Repr::parse(&packet).unwrap_err(), WireError::BadChecksum);
+        assert_eq!(
+            Ipv4Repr::parse(&packet).unwrap_err(),
+            WireError::BadChecksum
+        );
     }
 
     #[test]
@@ -450,7 +453,12 @@ mod tests {
 
     #[test]
     fn protocol_codes_roundtrip() {
-        for p in [IpProtocol::Icmp, IpProtocol::Tcp, IpProtocol::Udp, IpProtocol::Unknown(99)] {
+        for p in [
+            IpProtocol::Icmp,
+            IpProtocol::Tcp,
+            IpProtocol::Udp,
+            IpProtocol::Unknown(99),
+        ] {
             assert_eq!(IpProtocol::from(u8::from(p)), p);
         }
     }

@@ -131,7 +131,12 @@ impl LispRepr {
         } else {
             (1u32 << locator_count) - 1
         };
-        Self { nonce: nonce & 0x00ff_ffff, nonce_present: true, lsb, lsb_enabled: true }
+        Self {
+            nonce: nonce & 0x00ff_ffff,
+            nonce_present: true,
+            lsb,
+            lsb_enabled: true,
+        }
     }
 
     /// Parse from a checked view.
@@ -182,7 +187,7 @@ mod tests {
 
     #[test]
     fn nonce_is_24_bits() {
-        let repr = LispRepr::with_nonce(0xff_ffff_ff, 1);
+        let repr = LispRepr::with_nonce(0xffff_ffff, 1);
         assert_eq!(repr.nonce, 0x00ff_ffff);
         let bytes = encapsulate(&repr, &[]);
         let packet = LispPacket::new_checked(&bytes[..]).unwrap();
@@ -200,7 +205,10 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(LispPacket::new_checked(&[0u8; 7][..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            LispPacket::new_checked(&[0u8; 7][..]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

@@ -54,7 +54,12 @@ impl Locator {
 
     /// A reachable locator with the given priority and weight.
     pub fn new(rloc: Ipv4Address, priority: u8, weight: u8) -> Self {
-        Self { rloc, priority, weight, reachable: true }
+        Self {
+            rloc,
+            priority,
+            weight,
+            reachable: true,
+        }
     }
 
     fn emit(&self, out: &mut Vec<u8>) {
@@ -139,7 +144,15 @@ impl MapRecord {
             locators.push(l);
             rest = r;
         }
-        Ok((Self { eid_prefix, prefix_len, ttl_minutes, locators }, rest))
+        Ok((
+            Self {
+                eid_prefix,
+                prefix_len,
+                ttl_minutes,
+                locators,
+            },
+            rest,
+        ))
     }
 
     /// The best locator: lowest priority among reachable ones, ties broken
@@ -214,7 +227,8 @@ pub struct MapReply {
 impl MapReply {
     /// Serialize to owned bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(12 + self.records.iter().map(|r| r.wire_len()).sum::<usize>());
+        let mut out =
+            Vec::with_capacity(12 + self.records.iter().map(|r| r.wire_len()).sum::<usize>());
         out.push(TYPE_MAP_REPLY);
         out.push(0);
         out.extend_from_slice(&(self.records.len() as u16).to_be_bytes());
@@ -295,7 +309,12 @@ impl DbPush {
             records.push(r);
             rest = next;
         }
-        Ok(Self { version, chunk, total_chunks, records })
+        Ok(Self {
+            version,
+            chunk,
+            total_chunks,
+            records,
+        })
     }
 }
 
@@ -413,7 +432,10 @@ mod tests {
             hop_count: 1,
         };
         let bytes = req.to_bytes();
-        assert_eq!(MapReply::from_bytes(&bytes).unwrap_err(), WireError::UnknownType);
+        assert_eq!(
+            MapReply::from_bytes(&bytes).unwrap_err(),
+            WireError::UnknownType
+        );
     }
 
     #[test]

@@ -108,8 +108,15 @@ impl PceDnsMapping {
             return Err(WireError::Truncated);
         }
         let dns_len = u16::from_be_bytes([rest[0], rest[1]]) as usize;
-        let dns_reply = rest.get(2..2 + dns_len).ok_or(WireError::Truncated)?.to_vec();
-        Ok(Self { pce_d, mapping, dns_reply })
+        let dns_reply = rest
+            .get(2..2 + dns_len)
+            .ok_or(WireError::Truncated)?
+            .to_vec();
+        Ok(Self {
+            pce_d,
+            mapping,
+            dns_reply,
+        })
     }
 }
 
@@ -184,9 +191,10 @@ impl PceFlowMsg {
     pub fn from_bytes(buf: &[u8]) -> WireResult<Self> {
         let (kind, rest) = parse_header(buf)?;
         match kind {
-            PceKind::MappingPush | PceKind::MappingWithdraw | PceKind::ReverseSync => {
-                Ok(Self { kind, mapping: FlowMapping::parse_body(rest)? })
-            }
+            PceKind::MappingPush | PceKind::MappingWithdraw | PceKind::ReverseSync => Ok(Self {
+                kind,
+                mapping: FlowMapping::parse_body(rest)?,
+            }),
             PceKind::DnsMapping => Err(WireError::UnknownType),
         }
     }
@@ -244,7 +252,9 @@ impl IpcQueryNotice {
         let client = Ipv4Address(buf[4..8].try_into().unwrap());
         let len = buf[8] as usize;
         let name = buf.get(9..9 + len).ok_or(WireError::Truncated)?;
-        let qname = core::str::from_utf8(name).map_err(|_| WireError::Malformed)?.to_string();
+        let qname = core::str::from_utf8(name)
+            .map_err(|_| WireError::Malformed)?
+            .to_string();
         Ok(Self { client, qname })
     }
 }
@@ -277,7 +287,10 @@ mod tests {
             eid_prefix: addr(101, 2, 2, 2),
             prefix_len: 32,
             ttl_minutes: 60,
-            locators: vec![Locator::new(addr(12, 0, 0, 1), 1, 60), Locator::new(addr(13, 0, 0, 1), 1, 40)],
+            locators: vec![
+                Locator::new(addr(12, 0, 0, 1), 1, 60),
+                Locator::new(addr(13, 0, 0, 1), 1, 40),
+            ],
         }
     }
 
@@ -302,7 +315,11 @@ mod tests {
             rloc_d: addr(12, 0, 0, 1),
             ttl_minutes: 30,
         };
-        for kind in [PceKind::MappingPush, PceKind::MappingWithdraw, PceKind::ReverseSync] {
+        for kind in [
+            PceKind::MappingPush,
+            PceKind::MappingWithdraw,
+            PceKind::ReverseSync,
+        ] {
             let msg = PceFlowMsg { kind, mapping };
             let bytes = msg.to_bytes();
             assert_eq!(PceFlowMsg::from_bytes(&bytes).unwrap(), msg);
@@ -321,7 +338,10 @@ mod tests {
             rloc_d: addr(13, 0, 0, 1), // egress toward provider Y
             ttl_minutes: 30,
         };
-        let msg = PceFlowMsg { kind: PceKind::MappingPush, mapping };
+        let msg = PceFlowMsg {
+            kind: PceKind::MappingPush,
+            mapping,
+        };
         let parsed = PceFlowMsg::from_bytes(&msg.to_bytes()).unwrap();
         assert_ne!(parsed.mapping.rloc_s, parsed.mapping.rloc_d);
     }
@@ -329,10 +349,17 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let mapping = sample_mapping();
-        let msg = PceDnsMapping { pce_d: addr(1, 1, 1, 1), mapping, dns_reply: vec![] };
+        let msg = PceDnsMapping {
+            pce_d: addr(1, 1, 1, 1),
+            mapping,
+            dns_reply: vec![],
+        };
         let mut bytes = msg.to_bytes();
         bytes[0] = 0;
-        assert_eq!(PceDnsMapping::from_bytes(&bytes).unwrap_err(), WireError::Malformed);
+        assert_eq!(
+            PceDnsMapping::from_bytes(&bytes).unwrap_err(),
+            WireError::Malformed
+        );
     }
 
     #[test]
@@ -349,7 +376,10 @@ mod tests {
         };
         let mut bytes = msg.to_bytes();
         bytes[2] = 99;
-        assert_eq!(PceFlowMsg::from_bytes(&bytes).unwrap_err(), WireError::BadVersion);
+        assert_eq!(
+            PceFlowMsg::from_bytes(&bytes).unwrap_err(),
+            WireError::BadVersion
+        );
     }
 
     #[test]
@@ -359,22 +389,40 @@ mod tests {
             mapping: sample_mapping(),
             dns_reply: vec![1, 2, 3],
         };
-        assert_eq!(PceFlowMsg::from_bytes(&msg.to_bytes()).unwrap_err(), WireError::UnknownType);
+        assert_eq!(
+            PceFlowMsg::from_bytes(&msg.to_bytes()).unwrap_err(),
+            WireError::UnknownType
+        );
     }
 
     #[test]
     fn ipc_notice_roundtrip() {
-        let n = IpcQueryNotice { client: addr(100, 0, 0, 5), qname: "host.d.example".into() };
+        let n = IpcQueryNotice {
+            client: addr(100, 0, 0, 5),
+            qname: "host.d.example".into(),
+        };
         assert_eq!(IpcQueryNotice::from_bytes(&n.to_bytes()).unwrap(), n);
-        let empty = IpcQueryNotice { client: addr(1, 2, 3, 4), qname: String::new() };
-        assert_eq!(IpcQueryNotice::from_bytes(&empty.to_bytes()).unwrap(), empty);
+        let empty = IpcQueryNotice {
+            client: addr(1, 2, 3, 4),
+            qname: String::new(),
+        };
+        assert_eq!(
+            IpcQueryNotice::from_bytes(&empty.to_bytes()).unwrap(),
+            empty
+        );
     }
 
     #[test]
     fn ipc_notice_truncation_rejected() {
-        let n = IpcQueryNotice { client: addr(100, 0, 0, 5), qname: "host.d.example".into() };
+        let n = IpcQueryNotice {
+            client: addr(100, 0, 0, 5),
+            qname: "host.d.example".into(),
+        };
         let b = n.to_bytes();
-        assert_eq!(IpcQueryNotice::from_bytes(&b[..b.len() - 3]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            IpcQueryNotice::from_bytes(&b[..b.len() - 3]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

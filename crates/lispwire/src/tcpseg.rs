@@ -277,12 +277,7 @@ impl TcpRepr {
 }
 
 /// Convenience: build an owned TCP segment.
-pub fn build_tcp(
-    repr: &TcpRepr,
-    src: Ipv4Address,
-    dst: Ipv4Address,
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn build_tcp(repr: &TcpRepr, src: Ipv4Address, dst: Ipv4Address, payload: &[u8]) -> Vec<u8> {
     let mut buf = vec![0u8; HEADER_LEN + payload.len()];
     buf[HEADER_LEN..].copy_from_slice(payload);
     let mut packet = TcpPacket::new_unchecked(&mut buf[..]);
@@ -319,7 +314,11 @@ mod tests {
 
     #[test]
     fn synack_flags() {
-        let repr = TcpRepr { flags: TcpFlags::SYN | TcpFlags::ACK, ack: 1001, ..syn() };
+        let repr = TcpRepr {
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+            ack: 1001,
+            ..syn()
+        };
         let bytes = build_tcp(&repr, DST, SRC, &[]);
         let packet = TcpPacket::new_checked(&bytes[..]).unwrap();
         let parsed = TcpRepr::parse(&packet, DST, SRC).unwrap();
@@ -330,7 +329,10 @@ mod tests {
 
     #[test]
     fn payload_carried_and_checksummed() {
-        let repr = TcpRepr { flags: TcpFlags::ACK | TcpFlags::PSH, ..syn() };
+        let repr = TcpRepr {
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            ..syn()
+        };
         let mut bytes = build_tcp(&repr, SRC, DST, b"data!");
         {
             let packet = TcpPacket::new_checked(&bytes[..]).unwrap();
@@ -344,6 +346,9 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(TcpPacket::new_checked(&[0u8; 8][..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            TcpPacket::new_checked(&[0u8; 8][..]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 }

@@ -173,12 +173,7 @@ impl UdpRepr {
 }
 
 /// Convenience: build an owned UDP datagram (header + payload).
-pub fn build_udp(
-    repr: &UdpRepr,
-    src: Ipv4Address,
-    dst: Ipv4Address,
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn build_udp(repr: &UdpRepr, src: Ipv4Address, dst: Ipv4Address, payload: &[u8]) -> Vec<u8> {
     let mut buf = vec![0u8; HEADER_LEN + payload.len()];
     buf[HEADER_LEN..].copy_from_slice(payload);
     let mut packet = UdpPacket::new_unchecked(&mut buf[..]);
@@ -195,7 +190,10 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let repr = UdpRepr { src_port: 5353, dst_port: 53 };
+        let repr = UdpRepr {
+            src_port: 5353,
+            dst_port: 53,
+        };
         let bytes = build_udp(&repr, SRC, DST, b"hello");
         let packet = UdpPacket::new_checked(&bytes[..]).unwrap();
         assert_eq!(UdpRepr::parse(&packet, SRC, DST).unwrap(), repr);
@@ -205,25 +203,40 @@ mod tests {
 
     #[test]
     fn corrupt_payload_detected() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let mut bytes = build_udp(&repr, SRC, DST, b"hello");
         bytes[HEADER_LEN] ^= 0x55;
         let packet = UdpPacket::new_checked(&bytes[..]).unwrap();
-        assert_eq!(UdpRepr::parse(&packet, SRC, DST).unwrap_err(), WireError::BadChecksum);
+        assert_eq!(
+            UdpRepr::parse(&packet, SRC, DST).unwrap_err(),
+            WireError::BadChecksum
+        );
     }
 
     #[test]
     fn wrong_pseudo_header_detected() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let bytes = build_udp(&repr, SRC, DST, b"hello");
         let packet = UdpPacket::new_checked(&bytes[..]).unwrap();
         let other = Ipv4Address::new(99, 0, 0, 1);
-        assert_eq!(UdpRepr::parse(&packet, other, DST).unwrap_err(), WireError::BadChecksum);
+        assert_eq!(
+            UdpRepr::parse(&packet, other, DST).unwrap_err(),
+            WireError::BadChecksum
+        );
     }
 
     #[test]
     fn zero_checksum_accepted() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let mut bytes = build_udp(&repr, SRC, DST, b"x");
         bytes[6] = 0;
         bytes[7] = 0;
@@ -233,15 +246,24 @@ mod tests {
 
     #[test]
     fn short_buffer_rejected() {
-        assert_eq!(UdpPacket::new_checked(&[0u8; 4][..]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            UdpPacket::new_checked(&[0u8; 4][..]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]
     fn bad_length_field_rejected() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let mut bytes = build_udp(&repr, SRC, DST, b"hello");
         bytes[4] = 0xff;
         bytes[5] = 0xff;
-        assert_eq!(UdpPacket::new_checked(&bytes[..]).unwrap_err(), WireError::BadLength);
+        assert_eq!(
+            UdpPacket::new_checked(&bytes[..]).unwrap_err(),
+            WireError::BadLength
+        );
     }
 }

@@ -15,23 +15,31 @@ fn arb_addr() -> impl Strategy<Value = Ipv4Address> {
 }
 
 fn arb_locator() -> impl Strategy<Value = Locator> {
-    (arb_addr(), any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(rloc, priority, weight, reachable)| Locator {
-        rloc,
-        priority,
-        weight,
-        reachable,
-    })
+    (arb_addr(), any::<u8>(), any::<u8>(), any::<bool>()).prop_map(
+        |(rloc, priority, weight, reachable)| Locator {
+            rloc,
+            priority,
+            weight,
+            reachable,
+        },
+    )
 }
 
 fn arb_map_record() -> impl Strategy<Value = MapRecord> {
-    (arb_addr(), 0u8..=32, any::<u16>(), prop::collection::vec(arb_locator(), 0..6)).prop_map(
-        |(eid_prefix, prefix_len, ttl_minutes, locators)| MapRecord {
-            eid_prefix,
-            prefix_len,
-            ttl_minutes,
-            locators,
-        },
+    (
+        arb_addr(),
+        0u8..=32,
+        any::<u16>(),
+        prop::collection::vec(arb_locator(), 0..6),
     )
+        .prop_map(
+            |(eid_prefix, prefix_len, ttl_minutes, locators)| MapRecord {
+                eid_prefix,
+                prefix_len,
+                ttl_minutes,
+                locators,
+            },
+        )
 }
 
 fn arb_label() -> impl Strategy<Value = String> {

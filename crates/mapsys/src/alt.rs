@@ -13,7 +13,7 @@ use inet::stack::{IpStack, Parsed};
 use inet::{LpmTrie, Prefix};
 use lispwire::lispctl::MapRequest;
 use lispwire::{ports, Ipv4Address};
-use netsim::{Ctx, Node, Ns, PortId};
+use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
 use std::any::Any;
 use std::collections::VecDeque;
 
@@ -32,6 +32,8 @@ pub struct AltRouter {
     pub delivered: u64,
     /// Requests dropped (no route or hop budget exhausted).
     pub dropped: u64,
+    ctr_hop_exhausted: LazyCounter,
+    ctr_no_route: LazyCounter,
 }
 
 const TOKEN_FWD: u64 = 1;
@@ -49,6 +51,8 @@ impl AltRouter {
             overlay_hops: 0,
             delivered: 0,
             dropped: 0,
+            ctr_hop_exhausted: LazyCounter::new(),
+            ctr_no_route: LazyCounter::new(),
         }
     }
 
@@ -78,19 +82,32 @@ impl AltRouter {
 
 impl Node for AltRouter {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let Ok(Parsed::Udp { dst, dst_port, payload, .. }) = IpStack::parse(&bytes) else {
+        let Ok(Parsed::Udp {
+            dst,
+            dst_port,
+            payload,
+            ..
+        }) = IpStack::parse(&bytes)
+        else {
             return;
         };
         if dst != self.stack.addr || dst_port != ports::LISP_CONTROL {
             return;
         }
-        let Ok(mut req) = MapRequest::from_bytes(&payload) else { return };
+        let Ok(mut req) = MapRequest::from_bytes(&payload) else {
+            return;
+        };
 
         // Deliver if an attached site covers the target.
         if let Some(&etr) = self.delivery.lookup_value(req.target_eid) {
             self.delivered += 1;
-            ctx.trace(format!("alt {} delivers request for {} to etr {}", self.stack.addr, req.target_eid, etr));
-            let pkt = self.stack.udp(ports::LISP_CONTROL, etr, ports::LISP_CONTROL, &payload);
+            ctx.trace(format!(
+                "alt {} delivers request for {} to etr {}",
+                self.stack.addr, req.target_eid, etr
+            ));
+            let pkt = self
+                .stack
+                .udp(ports::LISP_CONTROL, etr, ports::LISP_CONTROL, &payload);
             self.outbox.push_back(pkt);
             ctx.set_timer(self.processing_delay, TOKEN_FWD);
             return;
@@ -98,21 +115,29 @@ impl Node for AltRouter {
         // Otherwise route across the overlay.
         if req.hop_count == 0 {
             self.dropped += 1;
-            ctx.count("alt.hop_exhausted", 1);
+            self.ctr_hop_exhausted.add(ctx, "alt.hop_exhausted", 1);
             return;
         }
         match self.routes.lookup_value(req.target_eid) {
             Some(&next) => {
                 req.hop_count -= 1;
                 self.overlay_hops += 1;
-                ctx.trace(format!("alt {} forwards request for {} to {}", self.stack.addr, req.target_eid, next));
-                let pkt = self.stack.udp(ports::LISP_CONTROL, next, ports::LISP_CONTROL, &req.to_bytes());
+                ctx.trace(format!(
+                    "alt {} forwards request for {} to {}",
+                    self.stack.addr, req.target_eid, next
+                ));
+                let pkt = self.stack.udp(
+                    ports::LISP_CONTROL,
+                    next,
+                    ports::LISP_CONTROL,
+                    &req.to_bytes(),
+                );
                 self.outbox.push_back(pkt);
                 ctx.set_timer(self.processing_delay, TOKEN_FWD);
             }
             None => {
                 self.dropped += 1;
-                ctx.count("alt.no_route", 1);
+                self.ctr_no_route.add(ctx, "alt.no_route", 1);
             }
         }
     }
@@ -128,12 +153,19 @@ impl Node for AltRouter {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
 }
 
 /// Build a linear ALT chain covering `site_prefix → etr`: the first router
 /// is the ITR-facing gateway, the last delivers to the ETR. Returns the
 /// routers in chain order (caller attaches them to the underlay).
-pub fn linear_chain(addrs: &[Ipv4Address], site_prefix: Prefix, etr: Ipv4Address) -> Vec<AltRouter> {
+pub fn linear_chain(
+    addrs: &[Ipv4Address],
+    site_prefix: Prefix,
+    etr: Ipv4Address,
+) -> Vec<AltRouter> {
     let mut routers: Vec<AltRouter> = Vec::with_capacity(addrs.len());
     for (i, &addr) in addrs.iter().enumerate() {
         let mut r = AltRouter::new(addr);
@@ -175,6 +207,9 @@ mod tests {
         fn as_any(&mut self) -> &mut dyn Any {
             self
         }
+        fn as_any_ref(&self) -> &dyn Any {
+            self
+        }
     }
 
     struct Injector {
@@ -192,10 +227,18 @@ mod tests {
                 itr_rloc: self.stack.addr,
                 hop_count: self.hop_budget,
             };
-            let pkt = self.stack.udp(ports::LISP_CONTROL, self.entry, ports::LISP_CONTROL, &req.to_bytes());
+            let pkt = self.stack.udp(
+                ports::LISP_CONTROL,
+                self.entry,
+                ports::LISP_CONTROL,
+                &req.to_bytes(),
+            );
             ctx.send(0, pkt);
         }
         fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn Any {
             self
         }
     }
@@ -203,7 +246,8 @@ mod tests {
     fn wire_star(sim: &mut Sim, core: NodeId, nodes: &[(NodeId, Ipv4Address)], owd: Ns) {
         for &(node, addr) in nodes {
             let (_, port) = sim.connect(node, core, LinkCfg::wan(owd));
-            sim.node_mut::<Router>(core).add_route(Prefix::host(addr), port);
+            sim.node_mut::<Router>(core)
+                .add_route(Prefix::host(addr), port);
         }
     }
 
@@ -222,12 +266,23 @@ mod tests {
             let id = sim.add_node(&format!("alt{i}"), Box::new(r));
             wiring.push((id, chain_addrs[i]));
         }
-        let etr = sim.add_node("etr", Box::new(EtrSink { stack: IpStack::new(etr_addr), requests: vec![] }));
+        let etr = sim.add_node(
+            "etr",
+            Box::new(EtrSink {
+                stack: IpStack::new(etr_addr),
+                requests: vec![],
+            }),
+        );
         wiring.push((etr, etr_addr));
         let inj_addr = a([10, 0, 0, 1]);
         let inj = sim.add_node(
             "itr",
-            Box::new(Injector { stack: IpStack::new(inj_addr), target: a([101, 0, 0, 7]), entry: chain_addrs[0], hop_budget: 16 }),
+            Box::new(Injector {
+                stack: IpStack::new(inj_addr),
+                target: a([101, 0, 0, 7]),
+                entry: chain_addrs[0],
+                hop_budget: 16,
+            }),
         );
         wiring.push((inj, inj_addr));
         wire_star(&mut sim, core, &wiring, Ns::from_ms(10));
@@ -239,7 +294,10 @@ mod tests {
         assert_eq!(got.len(), 1);
         // Two overlay hops consumed.
         assert_eq!(got[0].hop_count, 16 - 2);
-        assert_eq!(got[0].itr_rloc, inj_addr, "reply path is native: itr_rloc preserved");
+        assert_eq!(
+            got[0].itr_rloc, inj_addr,
+            "reply path is native: itr_rloc preserved"
+        );
         // ≈ 4 underlay RTlegs * (10+10) ms + processing ≥ 80 ms.
         assert!(sim.now() >= Ns::from_ms(80));
     }
@@ -259,13 +317,24 @@ mod tests {
             ids.push(id);
             wiring.push((id, chain_addrs[i]));
         }
-        let etr = sim.add_node("etr", Box::new(EtrSink { stack: IpStack::new(etr_addr), requests: vec![] }));
+        let etr = sim.add_node(
+            "etr",
+            Box::new(EtrSink {
+                stack: IpStack::new(etr_addr),
+                requests: vec![],
+            }),
+        );
         wiring.push((etr, etr_addr));
         let inj_addr = a([10, 0, 0, 1]);
         // Budget 1: can cross alt0 -> alt1 but alt1 cannot forward again.
         let inj = sim.add_node(
             "itr",
-            Box::new(Injector { stack: IpStack::new(inj_addr), target: a([101, 0, 0, 7]), entry: chain_addrs[0], hop_budget: 1 }),
+            Box::new(Injector {
+                stack: IpStack::new(inj_addr),
+                target: a([101, 0, 0, 7]),
+                entry: chain_addrs[0],
+                hop_budget: 1,
+            }),
         );
         wiring.push((inj, inj_addr));
         wire_star(&mut sim, core, &wiring, Ns::from_ms(5));
@@ -284,7 +353,12 @@ mod tests {
         let inj_addr = a([10, 0, 0, 1]);
         let inj = sim.add_node(
             "itr",
-            Box::new(Injector { stack: IpStack::new(inj_addr), target: a([55, 0, 0, 7]), entry: r_addr, hop_budget: 16 }),
+            Box::new(Injector {
+                stack: IpStack::new(inj_addr),
+                target: a([55, 0, 0, 7]),
+                entry: r_addr,
+                hop_budget: 16,
+            }),
         );
         sim.connect(inj, alt, LinkCfg::wan(Ns::from_ms(5)));
         sim.schedule_timer(inj, Ns::ZERO, 0);

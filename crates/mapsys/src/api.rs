@@ -23,7 +23,12 @@ pub struct SiteEntry {
 impl SiteEntry {
     /// A single-homed site: one RLOC which is also the ETR.
     pub fn single(prefix: Prefix, rloc: Ipv4Address, ttl_minutes: u16) -> Self {
-        Self { prefix, locators: vec![Locator::new(rloc, 1, 100)], etr_addr: rloc, ttl_minutes }
+        Self {
+            prefix,
+            locators: vec![Locator::new(rloc, 1, 100)],
+            etr_addr: rloc,
+            ttl_minutes,
+        }
     }
 
     /// The mapping record for this site.
@@ -100,18 +105,36 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut db = MappingDb::new();
-        db.register(SiteEntry::single(Prefix::new(a([101, 0, 0, 0]), 8), a([12, 0, 0, 1]), 60));
-        db.register(SiteEntry::single(Prefix::new(a([101, 5, 0, 0]), 16), a([13, 0, 0, 1]), 60));
+        db.register(SiteEntry::single(
+            Prefix::new(a([101, 0, 0, 0]), 8),
+            a([12, 0, 0, 1]),
+            60,
+        ));
+        db.register(SiteEntry::single(
+            Prefix::new(a([101, 5, 0, 0]), 16),
+            a([13, 0, 0, 1]),
+            60,
+        ));
         assert_eq!(db.len(), 2);
-        assert_eq!(db.lookup(a([101, 1, 2, 3])).unwrap().etr_addr, a([12, 0, 0, 1]));
-        assert_eq!(db.lookup(a([101, 5, 2, 3])).unwrap().etr_addr, a([13, 0, 0, 1]));
+        assert_eq!(
+            db.lookup(a([101, 1, 2, 3])).unwrap().etr_addr,
+            a([12, 0, 0, 1])
+        );
+        assert_eq!(
+            db.lookup(a([101, 5, 2, 3])).unwrap().etr_addr,
+            a([13, 0, 0, 1])
+        );
         assert!(db.lookup(a([99, 0, 0, 1])).is_none());
     }
 
     #[test]
     fn records_and_size() {
         let mut db = MappingDb::new();
-        db.register(SiteEntry::single(Prefix::new(a([101, 0, 0, 0]), 8), a([12, 0, 0, 1]), 60));
+        db.register(SiteEntry::single(
+            Prefix::new(a([101, 0, 0, 0]), 8),
+            a([12, 0, 0, 1]),
+            60,
+        ));
         let recs = db.records();
         assert_eq!(recs.len(), 1);
         assert_eq!(db.wire_size(), recs[0].wire_len());

@@ -14,7 +14,7 @@ use inet::stack::{IpStack, Parsed};
 use inet::{LpmTrie, Prefix};
 use lispwire::lispctl::{self, MapRequest};
 use lispwire::{ports, Ipv4Address, WireError, WireResult};
-use netsim::{Ctx, Node, Ns, PortId};
+use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
@@ -71,8 +71,16 @@ impl ConsMsg {
         let lb = buf.get(pos..pos + 2).ok_or(WireError::Truncated)?;
         let len = u16::from_be_bytes([lb[0], lb[1]]) as usize;
         pos += 2;
-        let inner = buf.get(pos..pos + len).ok_or(WireError::Truncated)?.to_vec();
-        Ok(Self { is_reply, orig_itr, via, inner })
+        let inner = buf
+            .get(pos..pos + len)
+            .ok_or(WireError::Truncated)?
+            .to_vec();
+        Ok(Self {
+            is_reply,
+            orig_itr,
+            via,
+            inner,
+        })
     }
 }
 
@@ -96,6 +104,7 @@ pub struct ConsNode {
     pub replies_relayed: u64,
     /// Messages dropped (no route).
     pub dropped: u64,
+    ctr_no_route: LazyCounter,
 }
 
 const TOKEN_FWD: u64 = 1;
@@ -115,6 +124,7 @@ impl ConsNode {
             delivered: 0,
             replies_relayed: 0,
             dropped: 0,
+            ctr_no_route: LazyCounter::new(),
         }
     }
 
@@ -157,10 +167,19 @@ impl ConsNode {
         if let Some(&etr) = self.serving.lookup_value(req.target_eid) {
             let mut rewritten = req;
             rewritten.itr_rloc = self.stack.addr;
-            self.pending.insert(rewritten.nonce, (msg.orig_itr, msg.via.clone()));
+            self.pending
+                .insert(rewritten.nonce, (msg.orig_itr, msg.via.clone()));
             self.delivered += 1;
-            ctx.trace(format!("cons {} delivers request for {} to etr {}", self.stack.addr, req.target_eid, etr));
-            let pkt = self.stack.udp(ports::LISP_CONTROL, etr, ports::LISP_CONTROL, &rewritten.to_bytes());
+            ctx.trace(format!(
+                "cons {} delivers request for {} to etr {}",
+                self.stack.addr, req.target_eid, etr
+            ));
+            let pkt = self.stack.udp(
+                ports::LISP_CONTROL,
+                etr,
+                ports::LISP_CONTROL,
+                &rewritten.to_bytes(),
+            );
             self.enqueue(ctx, pkt);
             return;
         }
@@ -174,13 +193,16 @@ impl ConsNode {
             Some(next) => {
                 msg.via.push(self.stack.addr);
                 self.overlay_hops += 1;
-                ctx.trace(format!("cons {} relays request for {} to {}", self.stack.addr, req.target_eid, next));
+                ctx.trace(format!(
+                    "cons {} relays request for {} to {}",
+                    self.stack.addr, req.target_eid, next
+                ));
                 let pkt = self.stack.udp(CONS_PORT, next, CONS_PORT, &msg.to_bytes());
                 self.enqueue(ctx, pkt);
             }
             None => {
                 self.dropped += 1;
-                ctx.count("cons.no_route", 1);
+                self.ctr_no_route.add(ctx, "cons.no_route", 1);
             }
         }
     }
@@ -190,15 +212,26 @@ impl ConsNode {
         match msg.via.pop() {
             Some(prev) => {
                 self.replies_relayed += 1;
-                ctx.trace(format!("cons {} relays reply toward {}", self.stack.addr, prev));
+                ctx.trace(format!(
+                    "cons {} relays reply toward {}",
+                    self.stack.addr, prev
+                ));
                 let pkt = self.stack.udp(CONS_PORT, prev, CONS_PORT, &msg.to_bytes());
                 self.enqueue(ctx, pkt);
             }
             None => {
                 // We are the requester's CAR: deliver natively to the ITR.
                 self.replies_relayed += 1;
-                ctx.trace(format!("cons {} delivers reply to itr {}", self.stack.addr, msg.orig_itr));
-                let pkt = self.stack.udp(ports::LISP_CONTROL, msg.orig_itr, ports::LISP_CONTROL, &msg.inner);
+                ctx.trace(format!(
+                    "cons {} delivers reply to itr {}",
+                    self.stack.addr, msg.orig_itr
+                ));
+                let pkt = self.stack.udp(
+                    ports::LISP_CONTROL,
+                    msg.orig_itr,
+                    ports::LISP_CONTROL,
+                    &msg.inner,
+                );
                 self.enqueue(ctx, pkt);
             }
         }
@@ -207,7 +240,13 @@ impl ConsNode {
 
 impl Node for ConsNode {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let Ok(Parsed::Udp { dst, dst_port, payload, .. }) = IpStack::parse(&bytes) else {
+        let Ok(Parsed::Udp {
+            dst,
+            dst_port,
+            payload,
+            ..
+        }) = IpStack::parse(&bytes)
+        else {
             return;
         };
         if dst != self.stack.addr {
@@ -218,7 +257,9 @@ impl Node for ConsNode {
             // from an ETR we handed a request to.
             ports::LISP_CONTROL => match lispctl::message_type(&payload) {
                 Ok(lispctl::TYPE_MAP_REQUEST) => {
-                    let Ok(req) = MapRequest::from_bytes(&payload) else { return };
+                    let Ok(req) = MapRequest::from_bytes(&payload) else {
+                        return;
+                    };
                     let msg = ConsMsg {
                         is_reply: false,
                         orig_itr: req.itr_rloc,
@@ -228,12 +269,19 @@ impl Node for ConsNode {
                     self.route_request(ctx, msg);
                 }
                 Ok(lispctl::TYPE_MAP_REPLY) => {
-                    let Ok(reply) = lispctl::MapReply::from_bytes(&payload) else { return };
+                    let Ok(reply) = lispctl::MapReply::from_bytes(&payload) else {
+                        return;
+                    };
                     let Some((orig_itr, via)) = self.pending.remove(&reply.nonce) else {
                         self.dropped += 1;
                         return;
                     };
-                    let msg = ConsMsg { is_reply: true, orig_itr, via, inner: payload };
+                    let msg = ConsMsg {
+                        is_reply: true,
+                        orig_itr,
+                        via,
+                        inner: payload,
+                    };
                     self.route_reply(ctx, msg);
                 }
                 _ => {}
@@ -264,6 +312,9 @@ impl Node for ConsNode {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
 }
 
 #[cfg(test)]
@@ -290,13 +341,21 @@ mod tests {
 
     #[test]
     fn consmsg_truncation_rejected() {
-        let msg = ConsMsg { is_reply: false, orig_itr: a([1, 1, 1, 1]), via: vec![], inner: vec![7; 8] };
+        let msg = ConsMsg {
+            is_reply: false,
+            orig_itr: a([1, 1, 1, 1]),
+            via: vec![],
+            inner: vec![7; 8],
+        };
         let b = msg.to_bytes();
         assert!(ConsMsg::from_bytes(&b[..b.len() - 2]).is_err());
         assert!(ConsMsg::from_bytes(&[0xC5]).is_err());
         let mut bad = b.clone();
         bad[0] = 0;
-        assert_eq!(ConsMsg::from_bytes(&bad).unwrap_err(), WireError::UnknownType);
+        assert_eq!(
+            ConsMsg::from_bytes(&bad).unwrap_err(),
+            WireError::UnknownType
+        );
     }
 
     /// An ETR stub that answers Map-Requests with a Map-Reply.
@@ -307,17 +366,32 @@ mod tests {
     }
     impl Node for EtrStub {
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
-            let Ok(Parsed::Udp { dst, payload, .. }) = IpStack::parse(&bytes) else { return };
+            let Ok(Parsed::Udp { dst, payload, .. }) = IpStack::parse(&bytes) else {
+                return;
+            };
             if dst != self.stack.addr {
                 return;
             }
-            let Ok(req) = MapRequest::from_bytes(&payload) else { return };
+            let Ok(req) = MapRequest::from_bytes(&payload) else {
+                return;
+            };
             self.answered += 1;
-            let reply = MapReply { nonce: req.nonce, records: vec![self.record.clone()] };
-            let pkt = self.stack.udp(ports::LISP_CONTROL, req.itr_rloc, ports::LISP_CONTROL, &reply.to_bytes());
+            let reply = MapReply {
+                nonce: req.nonce,
+                records: vec![self.record.clone()],
+            };
+            let pkt = self.stack.udp(
+                ports::LISP_CONTROL,
+                req.itr_rloc,
+                ports::LISP_CONTROL,
+                &reply.to_bytes(),
+            );
             ctx.send(0, pkt);
         }
         fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn Any {
             self
         }
     }
@@ -339,11 +413,18 @@ mod tests {
                 itr_rloc: self.stack.addr,
                 hop_count: 32,
             };
-            let pkt = self.stack.udp(ports::LISP_CONTROL, self.car, ports::LISP_CONTROL, &req.to_bytes());
+            let pkt = self.stack.udp(
+                ports::LISP_CONTROL,
+                self.car,
+                ports::LISP_CONTROL,
+                &req.to_bytes(),
+            );
             ctx.send(0, pkt);
         }
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
-            let Ok(Parsed::Udp { dst, payload, .. }) = IpStack::parse(&bytes) else { return };
+            let Ok(Parsed::Udp { dst, payload, .. }) = IpStack::parse(&bytes) else {
+                return;
+            };
             if dst != self.stack.addr {
                 return;
             }
@@ -355,12 +436,16 @@ mod tests {
         fn as_any(&mut self) -> &mut dyn Any {
             self
         }
+        fn as_any_ref(&self) -> &dyn Any {
+            self
+        }
     }
 
     fn wire_star(sim: &mut Sim, core: NodeId, nodes: &[(NodeId, Ipv4Address)], owd: Ns) {
         for &(node, addr) in nodes {
             let (_, port) = sim.connect(node, core, LinkCfg::wan(owd));
-            sim.node_mut::<Router>(core).add_route(Prefix::host(addr), port);
+            sim.node_mut::<Router>(core)
+                .add_route(Prefix::host(addr), port);
         }
     }
 
@@ -395,10 +480,23 @@ mod tests {
         let n_car_s = sim.add_node("car-s", Box::new(car_s));
         let n_cdr = sim.add_node("cdr", Box::new(cdr));
         let n_car_d = sim.add_node("car-d", Box::new(car_d));
-        let n_etr = sim.add_node("etr", Box::new(EtrStub { stack: IpStack::new(etr_addr), record, answered: 0 }));
+        let n_etr = sim.add_node(
+            "etr",
+            Box::new(EtrStub {
+                stack: IpStack::new(etr_addr),
+                record,
+                answered: 0,
+            }),
+        );
         let n_itr = sim.add_node(
             "itr",
-            Box::new(ItrStub { stack: IpStack::new(itr_addr), car: car_s_addr, target: a([101, 0, 0, 7]), reply_at: None, reply: None }),
+            Box::new(ItrStub {
+                stack: IpStack::new(itr_addr),
+                car: car_s_addr,
+                target: a([101, 0, 0, 7]),
+                reply_at: None,
+                reply: None,
+            }),
         );
 
         wire_star(
@@ -441,7 +539,13 @@ mod tests {
         let cdr = sim.add_node("cdr", Box::new(ConsNode::new(cdr_addr, None)));
         let itr = sim.add_node(
             "itr",
-            Box::new(ItrStub { stack: IpStack::new(itr_addr), car: cdr_addr, target: a([55, 0, 0, 1]), reply_at: None, reply: None }),
+            Box::new(ItrStub {
+                stack: IpStack::new(itr_addr),
+                car: cdr_addr,
+                target: a([55, 0, 0, 1]),
+                reply_at: None,
+                reply: None,
+            }),
         );
         sim.connect(itr, cdr, LinkCfg::wan(Ns::from_ms(5)));
         sim.schedule_timer(itr, Ns::ZERO, 0);

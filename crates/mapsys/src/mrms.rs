@@ -61,18 +61,31 @@ impl MapResolver {
 
 impl Node for MapResolver {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let Ok(Parsed::Udp { dst, dst_port, payload, .. }) = IpStack::parse(&bytes) else {
+        let Ok(Parsed::Udp {
+            dst,
+            dst_port,
+            payload,
+            ..
+        }) = IpStack::parse(&bytes)
+        else {
             return;
         };
         if dst != self.stack.addr || dst_port != ports::LISP_CONTROL {
             return;
         }
-        let Ok(req) = MapRequest::from_bytes(&payload) else { return };
+        let Ok(req) = MapRequest::from_bytes(&payload) else {
+            return;
+        };
         match self.table.lookup_value(req.target_eid) {
             Some(&etr) => {
                 self.forwarded += 1;
-                ctx.trace(format!("map-resolver forwards request for {} to {}", req.target_eid, etr));
-                let pkt = self.stack.udp(ports::LISP_CONTROL, etr, ports::LISP_CONTROL, &payload);
+                ctx.trace(format!(
+                    "map-resolver forwards request for {} to {}",
+                    req.target_eid, etr
+                ));
+                let pkt = self
+                    .stack
+                    .udp(ports::LISP_CONTROL, etr, ports::LISP_CONTROL, &payload);
                 self.outbox.push_back(pkt);
                 ctx.set_timer(self.processing_delay, TOKEN_FWD);
             }
@@ -92,6 +105,9 @@ impl Node for MapResolver {
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
         self
     }
 }
@@ -116,7 +132,11 @@ mod tests {
         let eid_space = vec![Prefix::new(a([100, 0, 0, 0]), 6)];
 
         let mut db = MappingDb::new();
-        db.register(SiteEntry::single(Prefix::new(a([101, 0, 0, 0]), 8), a([12, 0, 0, 1]), 60));
+        db.register(SiteEntry::single(
+            Prefix::new(a([101, 0, 0, 0]), 8),
+            a([12, 0, 0, 1]),
+            60,
+        ));
 
         // Site S sender host.
         struct Src {
@@ -127,6 +147,9 @@ mod tests {
                 ctx.send(0, self.pkt.clone());
             }
             fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn Any {
                 self
             }
         }
@@ -140,6 +163,9 @@ mod tests {
             fn as_any(&mut self) -> &mut dyn Any {
                 self
             }
+            fn as_any_ref(&self) -> &dyn Any {
+                self
+            }
         }
 
         let data = IpStack::new(a([100, 0, 0, 5])).udp(7000, a([101, 0, 0, 7]), 7001, b"hello");
@@ -150,7 +176,9 @@ mod tests {
             a([10, 0, 0, 1]),
             Prefix::new(a([100, 0, 0, 0]), 8),
             eid_space.clone(),
-            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 1])) },
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 1])),
+            },
         );
         cfg_s.miss_policy = MissPolicy::Queue { max_packets: 8 };
         let xtr_s = sim.add_node("xtr-s", Box::new(Xtr::new(cfg_s)));
@@ -159,11 +187,16 @@ mod tests {
             a([12, 0, 0, 1]),
             Prefix::new(a([101, 0, 0, 0]), 8),
             eid_space,
-            CpMode::Pull { map_resolver: Some(a([8, 0, 0, 1])) },
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 1])),
+            },
         );
         let xtr_d = sim.add_node("xtr-d", Box::new(Xtr::new(cfg_d)));
 
-        let mr = sim.add_node("map-resolver", Box::new(MapResolver::new(a([8, 0, 0, 1]), &db)));
+        let mr = sim.add_node(
+            "map-resolver",
+            Box::new(MapResolver::new(a([8, 0, 0, 1]), &db)),
+        );
         let core = sim.add_node("core", Box::new(Router::new()));
 
         sim.connect(src, xtr_s, LinkCfg::lan());
@@ -187,8 +220,16 @@ mod tests {
         assert_eq!(x.stats.map_replies_received, 1);
         assert_eq!(x.stats.flushed, 1);
         // Resolution latency ≈ ITR->MR (25+15) + MR->ETR (15+25) + ETR->ITR (25+25) = 130 ms.
-        assert!(x.queue_delays[0] >= Ns::from_ms(130), "delay {}", x.queue_delays[0]);
-        assert!(x.queue_delays[0] < Ns::from_ms(200), "delay {}", x.queue_delays[0]);
+        assert!(
+            x.queue_delays[0] >= Ns::from_ms(130),
+            "delay {}",
+            x.queue_delays[0]
+        );
+        assert!(
+            x.queue_delays[0] < Ns::from_ms(200),
+            "delay {}",
+            x.queue_delays[0]
+        );
         let xd = sim.node_mut::<Xtr>(xtr_d);
         assert_eq!(xd.stats.map_requests_answered, 1);
     }
@@ -210,14 +251,27 @@ mod tests {
                     itr_rloc: a([10, 0, 0, 1]),
                     hop_count: 8,
                 };
-                let pkt = self.stack.udp(ports::LISP_CONTROL, a([8, 0, 0, 1]), ports::LISP_CONTROL, &req.to_bytes());
+                let pkt = self.stack.udp(
+                    ports::LISP_CONTROL,
+                    a([8, 0, 0, 1]),
+                    ports::LISP_CONTROL,
+                    &req.to_bytes(),
+                );
                 ctx.send(0, pkt);
             }
             fn as_any(&mut self) -> &mut dyn Any {
                 self
             }
+            fn as_any_ref(&self) -> &dyn Any {
+                self
+            }
         }
-        let asker = sim.add_node("asker", Box::new(Asker { stack: IpStack::new(a([10, 0, 0, 1])) }));
+        let asker = sim.add_node(
+            "asker",
+            Box::new(Asker {
+                stack: IpStack::new(a([10, 0, 0, 1])),
+            }),
+        );
         sim.connect(asker, mr, LinkCfg::wan(Ns::from_ms(5)));
         sim.schedule_timer(asker, Ns::ZERO, 0);
         sim.run();

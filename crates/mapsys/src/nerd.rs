@@ -98,7 +98,9 @@ impl NerdAuthority {
                 let body = push.to_bytes();
                 self.bytes_pushed += body.len() as u64;
                 self.chunks_sent += 1;
-                let pkt = self.stack.udp(ports::LISP_CONTROL, sub, ports::LISP_CONTROL, &body);
+                let pkt = self
+                    .stack
+                    .udp(ports::LISP_CONTROL, sub, ports::LISP_CONTROL, &body);
                 ctx.send(0, pkt);
             }
         }
@@ -132,6 +134,9 @@ impl Node for NerdAuthority {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
 }
 
 #[cfg(test)]
@@ -152,20 +157,39 @@ mod tests {
         sim.trace.enable();
         let eid_space = vec![Prefix::new(a([100, 0, 0, 0]), 6)];
         let mut db = MappingDb::new();
-        db.register(SiteEntry::single(Prefix::new(a([101, 0, 0, 0]), 8), a([12, 0, 0, 1]), 1440));
-        db.register(SiteEntry::single(Prefix::new(a([102, 0, 0, 0]), 8), a([13, 0, 0, 1]), 1440));
+        db.register(SiteEntry::single(
+            Prefix::new(a([101, 0, 0, 0]), 8),
+            a([12, 0, 0, 1]),
+            1440,
+        ));
+        db.register(SiteEntry::single(
+            Prefix::new(a([102, 0, 0, 0]), 8),
+            a([13, 0, 0, 1]),
+            1440,
+        ));
 
-        let cfg = XtrConfig::new(a([10, 0, 0, 1]), Prefix::new(a([100, 0, 0, 0]), 8), eid_space, CpMode::PushDb);
+        let cfg = XtrConfig::new(
+            a([10, 0, 0, 1]),
+            Prefix::new(a([100, 0, 0, 0]), 8),
+            eid_space,
+            CpMode::PushDb,
+        );
         let xtr = sim.add_node("xtr", Box::new(Xtr::new(cfg)));
         let auth = sim.add_node(
             "nerd",
-            Box::new(NerdAuthority::new(a([8, 0, 0, 2]), &db, vec![a([10, 0, 0, 1])]).with_chunk_records(1)),
+            Box::new(
+                NerdAuthority::new(a([8, 0, 0, 2]), &db, vec![a([10, 0, 0, 1])])
+                    .with_chunk_records(1),
+            ),
         );
         let core = sim.add_node("core", Box::new(Router::new()));
         // xTR site port placeholder (unused), then WAN to core.
         struct Idle;
         impl Node for Idle {
             fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn Any {
                 self
             }
         }

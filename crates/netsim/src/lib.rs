@@ -25,6 +25,7 @@
 //!         ctx.send(port, bytes); // bounce it back
 //!     }
 //!     fn as_any(&mut self) -> &mut dyn std::any::Any { self }
+//!     fn as_any_ref(&self) -> &dyn std::any::Any { self }
 //! }
 //!
 //! struct Pinger { pub got_reply: bool }
@@ -36,6 +37,7 @@
 //!         self.got_reply = true;
 //!     }
 //!     fn as_any(&mut self) -> &mut dyn std::any::Any { self }
+//!     fn as_any_ref(&self) -> &dyn std::any::Any { self }
 //! }
 //!
 //! let mut sim = Sim::new(1);
@@ -51,12 +53,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod counters;
 pub mod link;
 pub mod node;
 pub mod sim;
 pub mod time;
 pub mod trace;
 
+pub use counters::{CounterId, Counters, LazyCounter};
 pub use link::{LinkCfg, LinkStats};
 pub use node::{Ctx, Node, NodeId, PortId};
 pub use sim::Sim;

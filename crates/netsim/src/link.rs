@@ -120,6 +120,11 @@ pub struct Transmitter {
     pub busy_until: Ns,
     /// Statistics.
     pub stats: LinkStats,
+    /// One-entry serialisation-time memo keyed on (size, bandwidth):
+    /// most traffic repeats a handful of packet sizes, and the exact
+    /// computation costs a u128 division. Keying on the bandwidth keeps
+    /// the memo correct if `cfg` is mutated mid-run.
+    ser_memo: (usize, u64, Ns),
 }
 
 /// Result of offering a packet to a transmitter.
@@ -137,7 +142,28 @@ pub enum TxOutcome {
 impl Transmitter {
     /// New idle transmitter.
     pub fn new(cfg: LinkCfg) -> Self {
-        Self { cfg, busy_until: Ns::ZERO, stats: LinkStats::default() }
+        // Memo slot primed with the zero-length packet (always 0 ns).
+        Self {
+            cfg,
+            busy_until: Ns::ZERO,
+            stats: LinkStats::default(),
+            ser_memo: (0, cfg.bandwidth_bps, Ns::ZERO),
+        }
+    }
+
+    /// Serialisation time of `len` bytes, memoised on the last distinct
+    /// (size, bandwidth) pair (bit-exact with
+    /// [`LinkCfg::serialization_time`]).
+    #[inline]
+    fn serialization_time_memo(&mut self, len: usize) -> Ns {
+        if self.ser_memo.0 != len || self.ser_memo.1 != self.cfg.bandwidth_bps {
+            self.ser_memo = (
+                len,
+                self.cfg.bandwidth_bps,
+                self.cfg.serialization_time(len),
+            );
+        }
+        self.ser_memo.2
     }
 
     /// Offer a packet of `len` bytes at time `now`. Fault injection is
@@ -145,8 +171,9 @@ impl Transmitter {
     /// and serialisation.
     pub fn offer(&mut self, now: Ns, len: usize) -> TxOutcome {
         let backlog_time = self.busy_until.saturating_sub(now);
-        // Convert backlog time to queued bytes at line rate.
-        let queued_bytes = if self.cfg.bandwidth_bps == 0 {
+        // Convert backlog time to queued bytes at line rate. The idle
+        // case skips the u128 division — it dominates light-load runs.
+        let queued_bytes = if backlog_time.0 == 0 || self.cfg.bandwidth_bps == 0 {
             0
         } else {
             (backlog_time.0 as u128 * self.cfg.bandwidth_bps as u128 / 8 / 1_000_000_000) as u64
@@ -156,11 +183,16 @@ impl Transmitter {
             return TxOutcome::QueueDrop;
         }
         let start = self.busy_until.max(now);
-        let ser = self.cfg.serialization_time(len);
-        self.busy_until = start + ser;
+        let ser = self.serialization_time_memo(len);
+        // Saturating: near the clock ceiling an arrival clamps to
+        // Ns::MAX, which the engine treats as "never delivered" rather
+        // than overflowing.
+        self.busy_until = start.saturating_add(ser);
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += len as u64;
-        TxOutcome::Deliver { arrival: self.busy_until + self.cfg.delay }
+        TxOutcome::Deliver {
+            arrival: self.busy_until.saturating_add(self.cfg.delay),
+        }
     }
 
     /// Current backlog (queued but unserialised time) at `now`.
@@ -211,7 +243,9 @@ mod tests {
 
     #[test]
     fn full_queue_tail_drops() {
-        let cfg = LinkCfg::wan(Ns::from_ms(1)).with_queue_bytes(2500).with_bandwidth(1_000_000); // 1 Mbps
+        let cfg = LinkCfg::wan(Ns::from_ms(1))
+            .with_queue_bytes(2500)
+            .with_bandwidth(1_000_000); // 1 Mbps
         let mut tx = Transmitter::new(cfg);
         // Each 1250-byte packet takes 10 ms to serialise at 1 Mbps.
         let mut drops = 0;
@@ -239,7 +273,9 @@ mod tests {
     fn presets_sane() {
         assert!(LinkCfg::lan().bandwidth_bps > LinkCfg::wan(Ns::ZERO).bandwidth_bps);
         assert!(LinkCfg::ipc().delay < LinkCfg::lan().delay);
-        let f = LinkCfg::wan(Ns::ZERO).with_drop_prob(0.1).with_corrupt_prob(0.2);
+        let f = LinkCfg::wan(Ns::ZERO)
+            .with_drop_prob(0.1)
+            .with_corrupt_prob(0.2);
         assert_eq!(f.drop_prob, 0.1);
         assert_eq!(f.corrupt_prob, 0.2);
     }

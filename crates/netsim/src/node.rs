@@ -1,13 +1,16 @@
 //! The [`Node`] behaviour trait and the [`Ctx`] handle through which nodes
 //! interact with the simulation.
 
+use crate::counters::{CounterId, Counters};
 use crate::link::{Transmitter, TxOutcome};
+use crate::sim::{EventKind, TimedEvent};
 use crate::time::Ns;
 use crate::trace::Trace;
 use rand::rngs::SmallRng;
 use rand::RngExt;
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Identifies a node within a simulation.
 pub type NodeId = usize;
@@ -18,11 +21,12 @@ pub type PortId = usize;
 
 /// Behaviour of a simulated element (host, router, DNS server, xTR, PCE…).
 ///
-/// Implementations must also provide `as_any` so experiment code can
-/// downcast and read results after a run:
+/// Implementations must also provide `as_any` / `as_any_ref` so
+/// experiment code can downcast and read results after a run:
 ///
 /// ```ignore
 /// fn as_any(&mut self) -> &mut dyn std::any::Any { self }
+/// fn as_any_ref(&self) -> &dyn std::any::Any { self }
 /// ```
 pub trait Node {
     /// Called once when the simulation starts (before any event).
@@ -37,6 +41,14 @@ pub trait Node {
 
     /// Downcast support (see trait docs).
     fn as_any(&mut self) -> &mut dyn Any;
+
+    /// Shared-reference downcast support, so results can be inspected
+    /// without a mutable borrow (see [`crate::Sim::node_ref`]):
+    ///
+    /// ```ignore
+    /// fn as_any_ref(&self) -> &dyn std::any::Any { self }
+    /// ```
+    fn as_any_ref(&self) -> &dyn Any;
 }
 
 /// Internal: where a port leads — which peer node/port and which
@@ -46,15 +58,6 @@ pub(crate) struct PortBinding {
     pub peer_node: NodeId,
     pub peer_port: PortId,
     pub tx_index: usize,
-}
-
-/// An action queued by a node during event handling, applied by the engine
-/// afterwards.
-#[derive(Debug)]
-pub(crate) enum Action {
-    Deliver { at: Ns, node: NodeId, port: PortId, bytes: Vec<u8> },
-    Timer { at: Ns, node: NodeId, token: u64 },
-    Stop,
 }
 
 /// The handle through which a node interacts with the simulation while
@@ -67,11 +70,22 @@ pub struct Ctx<'a> {
     pub(crate) transmitters: &'a mut [Transmitter],
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) trace: &'a mut Trace,
-    pub(crate) counters: &'a mut BTreeMap<String, u64>,
-    pub(crate) actions: &'a mut Vec<Action>,
+    pub(crate) counters: &'a mut Counters,
+    pub(crate) queue: &'a mut BinaryHeap<Reverse<TimedEvent>>,
+    pub(crate) seq: &'a mut u64,
+    pub(crate) stopped: &'a mut bool,
+    pub(crate) pool: &'a mut Vec<Vec<u8>>,
 }
 
 impl<'a> Ctx<'a> {
+    /// Push an event straight into the engine's queue (the shared
+    /// scheduling routine, so engine- and node-scheduled events follow
+    /// one `(time, seq)` total order).
+    #[inline]
+    fn push_event(&mut self, at: Ns, node: NodeId, kind: EventKind) {
+        crate::sim::push_event(self.queue, self.seq, at, node, kind);
+    }
+
     /// The current virtual time.
     pub fn now(&self) -> Ns {
         self.now
@@ -100,11 +114,14 @@ impl<'a> Ctx<'a> {
         // Fault injection: random drop.
         if tx.cfg.drop_prob > 0.0 && self.rng.random_bool(tx.cfg.drop_prob) {
             tx.stats.fault_drops += 1;
+            crate::sim::recycle_into(self.pool, bytes);
             return false;
         }
         let mut bytes = bytes;
         // Fault injection: corrupt one random octet.
-        if tx.cfg.corrupt_prob > 0.0 && !bytes.is_empty() && self.rng.random_bool(tx.cfg.corrupt_prob)
+        if tx.cfg.corrupt_prob > 0.0
+            && !bytes.is_empty()
+            && self.rng.random_bool(tx.cfg.corrupt_prob)
         {
             let idx = self.rng.random_range(0..bytes.len());
             bytes[idx] ^= 1 << self.rng.random_range(0..8u8);
@@ -112,33 +129,78 @@ impl<'a> Ctx<'a> {
         }
         match tx.offer(self.now, bytes.len()) {
             TxOutcome::Deliver { arrival } => {
-                self.actions.push(Action::Deliver {
-                    at: arrival,
-                    node: binding.peer_node,
-                    port: binding.peer_port,
-                    bytes,
-                });
+                self.push_event(
+                    arrival,
+                    binding.peer_node,
+                    EventKind::Packet {
+                        port: binding.peer_port,
+                        bytes,
+                    },
+                );
                 true
             }
-            TxOutcome::QueueDrop => false,
+            TxOutcome::QueueDrop => {
+                crate::sim::recycle_into(self.pool, bytes);
+                false
+            }
         }
     }
 
-    /// Set a timer to fire after `delay` with `token`.
+    /// Set a timer to fire after `delay` with `token`. Delays that
+    /// would overflow the clock saturate to [`Ns::MAX`], which the
+    /// engine treats as "never" — such timers do not fire.
     pub fn set_timer(&mut self, delay: Ns, token: u64) {
-        self.actions.push(Action::Timer { at: self.now + delay, node: self.node, token });
+        let at = self.now.saturating_add(delay);
+        self.push_event(at, self.node, EventKind::Timer { token });
     }
 
     /// Record a trace message (no-op unless tracing is enabled).
     pub fn trace(&mut self, msg: impl Into<String>) {
         if self.trace.is_enabled() {
-            self.trace.push(self.now, self.node, self.node_name, msg.into());
+            self.trace
+                .push(self.now, self.node, self.node_name, msg.into());
         }
     }
 
-    /// Increment a global counter by `n`.
+    /// Increment a global counter by `n` (interned by name: one hash
+    /// lookup, no allocation after the first use of `name`). Hot call
+    /// sites should pre-register via [`Ctx::counter_id`] /
+    /// [`crate::Sim::register_counter`] and use [`Ctx::count_id`].
     pub fn count(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += n;
+        self.counters.add_named(name, n);
+    }
+
+    /// Increment the counter behind a pre-registered id by `n` — the
+    /// zero-lookup hot path.
+    #[inline]
+    pub fn count_id(&mut self, id: CounterId, n: u64) {
+        self.counters.add(id, n);
+    }
+
+    /// Intern `name` and return its [`CounterId`] (idempotent; typically
+    /// called once from [`Node::on_start`]).
+    pub fn counter_id(&mut self, name: &str) -> CounterId {
+        self.counters.register(name)
+    }
+
+    /// Take a packet buffer of `len` zeroed bytes from the engine's
+    /// freelist (allocating only when the pool is empty). Pairs with
+    /// [`Ctx::recycle`]; dropped sends are recycled automatically.
+    pub fn buffer(&mut self, len: usize) -> Vec<u8> {
+        match self.pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => vec![0; len],
+        }
+    }
+
+    /// Return a finished packet buffer to the engine's freelist so a
+    /// later [`Ctx::buffer`] (or internal) use can skip an allocation.
+    pub fn recycle(&mut self, bytes: Vec<u8>) {
+        crate::sim::recycle_into(self.pool, bytes);
     }
 
     /// The simulation RNG (seeded; deterministic).
@@ -148,6 +210,6 @@ impl<'a> Ctx<'a> {
 
     /// Stop the simulation after this event is processed.
     pub fn stop(&mut self) {
-        self.actions.push(Action::Stop);
+        *self.stopped = true;
     }
 }

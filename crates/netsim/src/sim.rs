@@ -1,26 +1,98 @@
 //! The simulation engine: event queue, node registry, link registry.
+//!
+//! Hot-path design (DESIGN.md §1–§3): the event queue is a single
+//! `BinaryHeap` of [`TimedEvent`]s carrying their payload inline —
+//! ordered by `(time, sequence)` so same-time events fire in scheduling
+//! (FIFO) order. Nodes schedule through [`Ctx`], which holds split
+//! borrows of the queue and pushes directly into the heap, and packet
+//! buffers come from a recycling freelist — so the steady-state event
+//! loop performs no allocations.
 
+use crate::counters::{CounterId, Counters};
 use crate::link::{LinkCfg, LinkStats, Transmitter};
-use crate::node::{Action, Ctx, Node, NodeId, PortBinding, PortId};
+use crate::node::{Ctx, Node, NodeId, PortBinding, PortId};
 use crate::time::Ns;
 use crate::trace::Trace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
+/// Maximum number of packet buffers kept on the recycle freelist.
+const POOL_CAP: usize = 1024;
+
+/// Push an event into `queue`, stamping it with the next sequence
+/// number — the single scheduling routine shared by the engine
+/// ([`Sim`]) and node contexts ([`Ctx`]), so the `(time, seq)` total
+/// order has exactly one implementation. Events at [`Ns::MAX`] mean
+/// "never" (saturated timers) and are not enqueued at all.
+#[inline]
+pub(crate) fn push_event(
+    queue: &mut BinaryHeap<Reverse<TimedEvent>>,
+    seq: &mut u64,
+    at: Ns,
+    node: NodeId,
+    kind: EventKind,
+) {
+    if at == Ns::MAX {
+        return;
+    }
+    *seq += 1;
+    queue.push(Reverse(TimedEvent {
+        at,
+        seq: *seq,
+        node,
+        kind,
+    }));
+}
+
+/// Return `bytes` to the freelist `pool` (dropped when the pool is full
+/// or the buffer never had a heap allocation).
+#[inline]
+pub(crate) fn recycle_into(pool: &mut Vec<Vec<u8>>, bytes: Vec<u8>) {
+    if pool.len() < POOL_CAP && bytes.capacity() > 0 {
+        pool.push(bytes);
+    }
+}
+
+/// What a scheduled event delivers.
 #[derive(Debug)]
-enum EventKind {
+pub(crate) enum EventKind {
     Packet { port: PortId, bytes: Vec<u8> },
     Timer { token: u64 },
 }
 
+/// A scheduled event, stored inline in the priority queue (no side
+/// table, no per-event allocation). The total order is `(at, seq)`:
+/// `seq` increases monotonically with every schedule, which both breaks
+/// time ties deterministically and yields FIFO order among same-time
+/// events.
 #[derive(Debug)]
-struct Event {
-    at: Ns,
-    seq: u64,
-    node: NodeId,
-    kind: EventKind,
+pub(crate) struct TimedEvent {
+    pub(crate) at: Ns,
+    pub(crate) seq: u64,
+    pub(crate) node: NodeId,
+    pub(crate) kind: EventKind,
+}
+
+impl PartialEq for TimedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for TimedEvent {}
+
+impl PartialOrd for TimedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
 }
 
 /// A deterministic discrete-event simulation.
@@ -29,18 +101,19 @@ pub struct Sim {
     names: Vec<String>,
     ports: Vec<Vec<PortBinding>>,
     transmitters: Vec<Transmitter>,
-    queue: BinaryHeap<Reverse<(u64, u64)>>, // (time, seq)
-    events: BTreeMap<u64, Event>,           // seq -> event
+    queue: BinaryHeap<Reverse<TimedEvent>>,
     now: Ns,
     seq: u64,
     rng: SmallRng,
     /// The trace log (enable before running to record).
     pub trace: Trace,
-    counters: BTreeMap<String, u64>,
+    counters: Counters,
     stopped: bool,
     started: bool,
     events_processed: u64,
     event_limit: u64,
+    /// Freelist of packet buffers (see [`Ctx::buffer`] / [`Ctx::recycle`]).
+    pool: Vec<Vec<u8>>,
 }
 
 impl Sim {
@@ -52,16 +125,16 @@ impl Sim {
             ports: Vec::new(),
             transmitters: Vec::new(),
             queue: BinaryHeap::new(),
-            events: BTreeMap::new(),
             now: Ns::ZERO,
             seq: 0,
             rng: SmallRng::seed_from_u64(seed),
             trace: Trace::new(),
-            counters: BTreeMap::new(),
+            counters: Counters::new(),
             stopped: false,
             started: false,
             events_processed: 0,
             event_limit: u64::MAX,
+            pool: Vec::new(),
         }
     }
 
@@ -96,8 +169,16 @@ impl Sim {
         self.transmitters.push(Transmitter::new(cfg_ba));
         let port_a = self.ports[a].len();
         let port_b = self.ports[b].len();
-        self.ports[a].push(PortBinding { peer_node: b, peer_port: port_b, tx_index: tx_ab });
-        self.ports[b].push(PortBinding { peer_node: a, peer_port: port_a, tx_index: tx_ba });
+        self.ports[a].push(PortBinding {
+            peer_node: b,
+            peer_port: port_b,
+            tx_index: tx_ab,
+        });
+        self.ports[b].push(PortBinding {
+            peer_node: a,
+            peer_port: port_a,
+            tx_index: tx_ba,
+        });
         (port_a, port_b)
     }
 
@@ -117,19 +198,27 @@ impl Sim {
     }
 
     /// Schedule a timer for `node` at absolute-delay `delay` from now.
+    /// Delays that would overflow the clock saturate to [`Ns::MAX`],
+    /// which the engine treats as "never" — such timers do not fire.
     pub fn schedule_timer(&mut self, node: NodeId, delay: Ns, token: u64) {
-        let at = self.now + delay;
-        self.push_event(Event { at, seq: 0, node, kind: EventKind::Timer { token } });
+        let at = self.now.saturating_add(delay);
+        self.push_event(at, node, EventKind::Timer { token });
     }
 
     /// Global counter value (see [`Ctx::count`]).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters.get(name)
     }
 
-    /// All global counters.
-    pub fn counters(&self) -> &BTreeMap<String, u64> {
+    /// The global counter table (interned; see [`Counters`]).
+    pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Intern a counter name ahead of the run so hot call sites can use
+    /// [`Ctx::count_id`] without any string handling.
+    pub fn register_counter(&mut self, name: &str) -> CounterId {
+        self.counters.register(name)
     }
 
     /// Transmit statistics of the `dir` direction of the `n`-th link
@@ -181,25 +270,31 @@ impl Sim {
     ///
     /// # Panics
     /// Panics if the type does not match or the node is mid-event.
-    pub fn node_ref<T: 'static>(&mut self, id: NodeId) -> &T {
-        // Downcasting through `as_any` requires &mut; expose as shared.
-        &*self.node_mut::<T>(id)
+    pub fn node_ref<T: 'static>(&self, id: NodeId) -> &T {
+        self.nodes[id]
+            .as_ref()
+            .expect("node is mid-event")
+            .as_any_ref()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
     }
 
-    fn push_event(&mut self, mut ev: Event) {
-        self.seq += 1;
-        ev.seq = self.seq;
-        self.queue.push(Reverse((ev.at.0, ev.seq)));
-        self.events.insert(ev.seq, ev);
+    #[inline]
+    fn push_event(&mut self, at: Ns, node: NodeId, kind: EventKind) {
+        push_event(&mut self.queue, &mut self.seq, at, node, kind);
     }
 
-    fn dispatch(&mut self, ev: Event) {
-        let node_id = ev.node;
-        let mut node = match self.nodes[node_id].take() {
-            Some(n) => n,
-            None => return, // node is being dispatched already (cannot happen single-threaded)
+    /// Run `f` against `node_id` with a fully-wired [`Ctx`]. This is the
+    /// single dispatch helper shared by event delivery and `start_all`
+    /// (the seed engine duplicated this loop in both places). The
+    /// context holds split borrows of the queue, so everything a node
+    /// schedules is pushed straight into the heap — steady-state
+    /// dispatch materialises no intermediate action list and performs
+    /// no allocations.
+    fn with_node_ctx<F: FnOnce(&mut dyn Node, &mut Ctx<'_>)>(&mut self, node_id: NodeId, f: F) {
+        let Some(mut node) = self.nodes[node_id].take() else {
+            return; // node is mid-event (cannot happen single-threaded)
         };
-        let mut actions: Vec<Action> = Vec::new();
         {
             let mut ctx = Ctx {
                 now: self.now,
@@ -210,25 +305,22 @@ impl Sim {
                 rng: &mut self.rng,
                 trace: &mut self.trace,
                 counters: &mut self.counters,
-                actions: &mut actions,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                stopped: &mut self.stopped,
+                pool: &mut self.pool,
             };
-            match ev.kind {
-                EventKind::Packet { port, bytes } => node.on_packet(&mut ctx, port, bytes),
-                EventKind::Timer { token } => node.on_timer(&mut ctx, token),
-            }
+            f(node.as_mut(), &mut ctx);
         }
         self.nodes[node_id] = Some(node);
-        for action in actions {
-            match action {
-                Action::Deliver { at, node, port, bytes } => {
-                    self.push_event(Event { at, seq: 0, node, kind: EventKind::Packet { port, bytes } });
-                }
-                Action::Timer { at, node, token } => {
-                    self.push_event(Event { at, seq: 0, node, kind: EventKind::Timer { token } });
-                }
-                Action::Stop => self.stopped = true,
-            }
-        }
+    }
+
+    fn dispatch(&mut self, ev: TimedEvent) {
+        let kind = ev.kind;
+        self.with_node_ctx(ev.node, move |node, ctx| match kind {
+            EventKind::Packet { port, bytes } => node.on_packet(ctx, port, bytes),
+            EventKind::Timer { token } => node.on_timer(ctx, token),
+        });
     }
 
     fn start_all(&mut self) {
@@ -237,34 +329,7 @@ impl Sim {
         }
         self.started = true;
         for node_id in 0..self.nodes.len() {
-            let mut node = self.nodes[node_id].take().expect("node missing at start");
-            let mut actions: Vec<Action> = Vec::new();
-            {
-                let mut ctx = Ctx {
-                    now: self.now,
-                    node: node_id,
-                    node_name: &self.names[node_id],
-                    ports: &self.ports[node_id],
-                    transmitters: &mut self.transmitters,
-                    rng: &mut self.rng,
-                    trace: &mut self.trace,
-                    counters: &mut self.counters,
-                    actions: &mut actions,
-                };
-                node.on_start(&mut ctx);
-            }
-            self.nodes[node_id] = Some(node);
-            for action in actions {
-                match action {
-                    Action::Deliver { at, node, port, bytes } => {
-                        self.push_event(Event { at, seq: 0, node, kind: EventKind::Packet { port, bytes } });
-                    }
-                    Action::Timer { at, node, token } => {
-                        self.push_event(Event { at, seq: 0, node, kind: EventKind::Timer { token } });
-                    }
-                    Action::Stop => self.stopped = true,
-                }
-            }
+            self.with_node_ctx(node_id, |node, ctx| node.on_start(ctx));
         }
     }
 
@@ -279,16 +344,15 @@ impl Sim {
     pub fn run_until(&mut self, deadline: Ns) {
         self.start_all();
         while !self.stopped && self.events_processed < self.event_limit {
-            let Some(&Reverse((at, seq))) = self.queue.peek() else {
+            let Some(Reverse(head)) = self.queue.peek() else {
                 break;
             };
-            if Ns(at) > deadline {
+            if head.at > deadline {
                 break;
             }
-            self.queue.pop();
-            let ev = self.events.remove(&seq).expect("event table out of sync");
-            debug_assert!(Ns(at) >= self.now, "time went backwards");
-            self.now = Ns(at);
+            let Reverse(ev) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
             self.events_processed += 1;
             self.dispatch(ev);
         }
@@ -316,6 +380,9 @@ mod tests {
         fn as_any(&mut self) -> &mut dyn std::any::Any {
             self
         }
+        fn as_any_ref(&self) -> &dyn std::any::Any {
+            self
+        }
     }
 
     struct Pinger {
@@ -326,22 +393,34 @@ mod tests {
     impl Node for Pinger {
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
             self.sent_at = ctx.now();
-            ctx.send(0, vec![0u8; self.payload]);
+            let buf = ctx.buffer(self.payload);
+            ctx.send(0, buf);
             ctx.trace("ping sent");
         }
-        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, _bytes: Vec<u8>) {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
             self.rtt = Some(ctx.now() - self.sent_at);
             ctx.trace("pong received");
             ctx.count("pongs", 1);
+            ctx.recycle(bytes);
         }
         fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn std::any::Any {
             self
         }
     }
 
     fn ping_sim(delay: Ns, payload: usize) -> (Sim, NodeId) {
         let mut sim = Sim::new(7);
-        let a = sim.add_node("pinger", Box::new(Pinger { sent_at: Ns::ZERO, rtt: None, payload }));
+        let a = sim.add_node(
+            "pinger",
+            Box::new(Pinger {
+                sent_at: Ns::ZERO,
+                rtt: None,
+                payload,
+            }),
+        );
         let b = sim.add_node("echo", Box::new(Echo));
         sim.connect(a, b, LinkCfg::wan(delay));
         sim.schedule_timer(a, Ns::ZERO, 0);
@@ -373,7 +452,14 @@ mod tests {
         let run = |seed| {
             let mut sim = Sim::new(seed);
             sim.trace.enable();
-            let a = sim.add_node("pinger", Box::new(Pinger { sent_at: Ns::ZERO, rtt: None, payload: 100 }));
+            let a = sim.add_node(
+                "pinger",
+                Box::new(Pinger {
+                    sent_at: Ns::ZERO,
+                    rtt: None,
+                    payload: 100,
+                }),
+            );
             let b = sim.add_node("echo", Box::new(Echo));
             sim.connect(a, b, LinkCfg::wan(Ns::from_ms(5)).with_drop_prob(0.3));
             for i in 0..20 {
@@ -388,7 +474,14 @@ mod tests {
     #[test]
     fn fault_drops_counted() {
         let mut sim = Sim::new(3);
-        let a = sim.add_node("pinger", Box::new(Pinger { sent_at: Ns::ZERO, rtt: None, payload: 100 }));
+        let a = sim.add_node(
+            "pinger",
+            Box::new(Pinger {
+                sent_at: Ns::ZERO,
+                rtt: None,
+                payload: 100,
+            }),
+        );
         let b = sim.add_node("echo", Box::new(Echo));
         sim.connect(a, b, LinkCfg::wan(Ns::from_ms(1)).with_drop_prob(1.0));
         sim.schedule_timer(a, Ns::ZERO, 0);
@@ -409,6 +502,9 @@ mod tests {
             fn as_any(&mut self) -> &mut dyn std::any::Any {
                 self
             }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
         }
         struct Sender;
         impl Node for Sender {
@@ -416,6 +512,9 @@ mod tests {
                 ctx.send(0, vec![0u8; 64]);
             }
             fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
                 self
             }
         }
@@ -443,6 +542,9 @@ mod tests {
             fn as_any(&mut self) -> &mut dyn std::any::Any {
                 self
             }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
         }
         let mut sim = Sim::new(1);
         let r = sim.add_node("r", Box::new(Recorder { tokens: Vec::new() }));
@@ -461,6 +563,9 @@ mod tests {
                 ctx.set_timer(Ns::from_us(1), token + 1);
             }
             fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
                 self
             }
         }
@@ -483,6 +588,9 @@ mod tests {
                 ctx.stop();
             }
             fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
                 self
             }
         }
@@ -508,11 +616,129 @@ mod tests {
             fn as_any(&mut self) -> &mut dyn std::any::Any {
                 self
             }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
         }
         let mut sim = Sim::new(1);
         let s = sim.add_node("s", Box::new(Starter { starts: 0 }));
         sim.run_until(Ns::from_ms(5));
         sim.run_until(Ns::from_ms(10));
         assert_eq!(sim.node_ref::<Starter>(s).starts, 1);
+    }
+
+    #[test]
+    fn node_ref_through_shared_borrow() {
+        // node_ref now takes &self: two concurrent shared reads compile.
+        let (mut sim, a) = ping_sim(Ns::from_ms(1), 64);
+        sim.run();
+        let sim_ref: &Sim = &sim;
+        let first = sim_ref.node_ref::<Pinger>(a);
+        let second = sim_ref.node_ref::<Pinger>(a);
+        assert_eq!(first.rtt, second.rtt);
+    }
+
+    #[test]
+    fn timer_overflow_saturates() {
+        struct FarFuture;
+        impl Node for FarFuture {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                if token == 0 {
+                    // Would overflow `now + delay` in the old engine.
+                    ctx.set_timer(Ns::MAX, 1);
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(1);
+        let f = sim.add_node("f", Box::new(FarFuture));
+        sim.schedule_timer(f, Ns::from_ms(1), 0);
+        sim.schedule_timer(f, Ns::MAX, 7);
+        sim.run_until(Ns::from_secs(1));
+        assert_eq!(sim.events_processed(), 1);
+        // Saturated "never" timers stay unreachable even under run(),
+        // whose deadline is Ns::MAX itself.
+        sim.run();
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn counter_ids_and_names_agree() {
+        struct CountBoth {
+            id: Option<CounterId>,
+        }
+        impl Node for CountBoth {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.id = Some(ctx.counter_id("events.seen"));
+                ctx.set_timer(Ns::from_ms(1), 0);
+                ctx.set_timer(Ns::from_ms(2), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                if token == 0 {
+                    ctx.count_id(self.id.unwrap(), 2);
+                } else {
+                    ctx.count("events.seen", 3);
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(1);
+        let pre = sim.register_counter("events.seen");
+        sim.add_node("c", Box::new(CountBoth { id: None }));
+        sim.run();
+        assert_eq!(sim.counter("events.seen"), 5);
+        assert_eq!(sim.counters().value(pre), 5);
+        assert_eq!(sim.counters().sorted(), vec![("events.seen", 5)]);
+    }
+
+    #[test]
+    fn packet_pool_recycles_buffers() {
+        // A dropped send must return its buffer to the pool, and
+        // `Ctx::buffer` must hand it back out.
+        struct Dropper {
+            grabbed: Vec<usize>,
+        }
+        impl Node for Dropper {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                let buf = ctx.buffer(48);
+                self.grabbed.push(buf.capacity());
+                if token < 3 {
+                    ctx.send(0, buf); // drop_prob = 1.0 → recycled
+                    ctx.set_timer(Ns::from_ms(1), token + 1);
+                } else {
+                    ctx.recycle(buf);
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(1);
+        let d = sim.add_node(
+            "d",
+            Box::new(Dropper {
+                grabbed: Vec::new(),
+            }),
+        );
+        let e = sim.add_node("e", Box::new(Echo));
+        sim.connect(d, e, LinkCfg::wan(Ns::from_ms(1)).with_drop_prob(1.0));
+        sim.schedule_timer(d, Ns::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.node_ref::<Dropper>(d).grabbed.len(), 4);
+        assert_eq!(sim.total_fault_drops(), 3);
+        assert_eq!(sim.pool.len(), 1, "final recycle keeps one pooled buffer");
     }
 }

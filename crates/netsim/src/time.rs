@@ -51,6 +51,12 @@ impl Ns {
         self.0 as f64 / 1e9
     }
 
+    /// Saturating addition — clamps to [`Ns::MAX`] instead of
+    /// overflowing, so "effectively never" timers are safe to schedule.
+    pub fn saturating_add(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_add(rhs.0))
+    }
+
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: Ns) -> Ns {
         Ns(self.0.saturating_sub(rhs.0))
@@ -119,11 +125,11 @@ impl fmt::Display for Ns {
         let ns = self.0;
         if ns == 0 {
             write!(f, "0")
-        } else if ns % 1_000_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", ns / 1_000_000_000)
-        } else if ns % 1_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000) {
             write!(f, "{}ms", ns / 1_000_000)
-        } else if ns % 1_000 == 0 {
+        } else if ns.is_multiple_of(1_000) {
             write!(f, "{}us", ns / 1_000)
         } else {
             write!(f, "{ns}ns")
@@ -162,6 +168,8 @@ mod tests {
     #[test]
     fn saturating_and_checked() {
         assert_eq!(Ns(5).saturating_sub(Ns(10)), Ns::ZERO);
+        assert_eq!(Ns::MAX.saturating_add(Ns(1)), Ns::MAX);
+        assert_eq!(Ns(5).saturating_add(Ns(10)), Ns(15));
         assert_eq!(Ns(10).checked_sub(Ns(5)), Some(Ns(5)));
         assert_eq!(Ns(5).checked_sub(Ns(10)), None);
     }

@@ -22,7 +22,13 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<12} {}", self.t.to_string(), self.node_name, self.msg)
+        write!(
+            f,
+            "[{:>12}] {:<12} {}",
+            self.t.to_string(),
+            self.node_name,
+            self.msg
+        )
     }
 }
 
@@ -38,7 +44,11 @@ pub struct Trace {
 impl Trace {
     /// A disabled trace.
     pub fn new() -> Self {
-        Self { enabled: false, events: Vec::new(), cap: 1 << 20 }
+        Self {
+            enabled: false,
+            events: Vec::new(),
+            cap: 1 << 20,
+        }
     }
 
     /// Enable recording.
@@ -64,7 +74,12 @@ impl Trace {
     /// Record an event (no-op when disabled or full).
     pub fn push(&mut self, t: Ns, node: NodeId, node_name: &str, msg: String) {
         if self.enabled && self.events.len() < self.cap {
-            self.events.push(TraceEvent { t, node, node_name: node_name.to_string(), msg });
+            self.events.push(TraceEvent {
+                t,
+                node,
+                node_name: node_name.to_string(),
+                msg,
+            });
         }
     }
 
@@ -75,7 +90,10 @@ impl Trace {
 
     /// Events whose message contains `needle`.
     pub fn find(&self, needle: &str) -> Vec<&TraceEvent> {
-        self.events.iter().filter(|e| e.msg.contains(needle)).collect()
+        self.events
+            .iter()
+            .filter(|e| e.msg.contains(needle))
+            .collect()
     }
 
     /// The first event containing `needle`, if any.
@@ -100,7 +118,9 @@ impl Trace {
             let found = self.events[idx..]
                 .iter()
                 .position(|e| e.msg.contains(needle))
-                .unwrap_or_else(|| panic!("trace order violated: `{needle}` not found after index {idx}"));
+                .unwrap_or_else(|| {
+                    panic!("trace order violated: `{needle}` not found after index {idx}")
+                });
             idx += found;
             times.push(self.events[idx].t);
             idx += 1;

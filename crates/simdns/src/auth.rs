@@ -32,7 +32,11 @@ impl AuthServer {
     }
 
     /// A server with an explicit processing delay.
-    pub fn with_processing_delay(addr: Ipv4Address, zones: ZoneStore, processing_delay: Ns) -> Self {
+    pub fn with_processing_delay(
+        addr: Ipv4Address,
+        zones: ZoneStore,
+        processing_delay: Ns,
+    ) -> Self {
         Self {
             stack: IpStack::new(addr),
             zones,
@@ -85,7 +89,14 @@ impl Node for AuthServer {
                 return;
             }
         };
-        let Parsed::Udp { src, dst, src_port, dst_port, payload } = parsed else {
+        let Parsed::Udp {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            payload,
+        } = parsed
+        else {
             self.ignored += 1;
             return;
         };
@@ -104,7 +115,10 @@ impl Node for AuthServer {
         let resp = self.answer(&query);
         self.queries_answered += 1;
         if let Some(q) = query.question() {
-            ctx.trace(format!("auth {} answers {} -> {:?}", self.stack.addr, q.name, resp.rcode));
+            ctx.trace(format!(
+                "auth {} answers {} -> {:?}",
+                self.stack.addr, q.name, resp.rcode
+            ));
         }
         let reply_pkt = self.stack.udp(ports::DNS, src, src_port, &resp.to_bytes());
         if self.processing_delay == Ns::ZERO {
@@ -126,6 +140,9 @@ impl Node for AuthServer {
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +161,11 @@ mod tests {
     fn server() -> AuthServer {
         let mut zone = Zone::new(n("example"));
         zone.add_a(n("host.example"), a([101, 0, 0, 5]), 300);
-        zone.delegate(n("sub.example"), vec![(n("ns.sub.example"), a([13, 0, 0, 53]))], 3600);
+        zone.delegate(
+            n("sub.example"),
+            vec![(n("ns.sub.example"), a([13, 0, 0, 53]))],
+            3600,
+        );
         let mut store = ZoneStore::new();
         store.add_zone(zone);
         AuthServer::new(a([12, 0, 0, 53]), store)
@@ -173,8 +194,14 @@ mod tests {
     #[test]
     fn nxdomain_and_servfail() {
         let s = server();
-        assert_eq!(s.answer(&Message::query_a(3, n("no.example"), false)).rcode, Rcode::NxDomain);
-        assert_eq!(s.answer(&Message::query_a(4, n("else.org"), false)).rcode, Rcode::ServFail);
+        assert_eq!(
+            s.answer(&Message::query_a(3, n("no.example"), false)).rcode,
+            Rcode::NxDomain
+        );
+        assert_eq!(
+            s.answer(&Message::query_a(4, n("else.org"), false)).rcode,
+            Rcode::ServFail
+        );
     }
 
     #[test]
@@ -200,12 +227,19 @@ mod tests {
             fn as_any(&mut self) -> &mut dyn Any {
                 self
             }
+            fn as_any_ref(&self) -> &dyn Any {
+                self
+            }
         }
 
         let mut sim = Sim::new(1);
         let asker = sim.add_node(
             "asker",
-            Box::new(Asker { stack: IpStack::new(a([10, 0, 0, 1])), server: a([12, 0, 0, 53]), got: None }),
+            Box::new(Asker {
+                stack: IpStack::new(a([10, 0, 0, 1])),
+                server: a([12, 0, 0, 53]),
+                got: None,
+            }),
         );
         let auth = sim.add_node("auth", Box::new(server()));
         sim.connect(asker, auth, LinkCfg::wan(Ns::from_ms(15)));

@@ -42,7 +42,13 @@ impl DnsClient {
     /// A client at `addr` talking to `resolver`, with a query script.
     pub fn new(addr: Ipv4Address, resolver: Ipv4Address, script: Vec<Name>) -> Self {
         let n = script.len();
-        Self { stack: IpStack::new(addr), resolver, script, asked: vec![None; n], answers: Vec::new() }
+        Self {
+            stack: IpStack::new(addr),
+            resolver,
+            script,
+            asked: vec![None; n],
+            answers: Vec::new(),
+        }
     }
 
     /// This client's address.
@@ -62,31 +68,51 @@ impl DnsClient {
 impl Node for DnsClient {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let i = token as usize;
-        let Some(name) = self.script.get(i).cloned() else { return };
+        let Some(name) = self.script.get(i).cloned() else {
+            return;
+        };
         if self.asked.len() <= i {
             self.asked.resize(i + 1, None);
         }
         self.asked[i] = Some(ctx.now());
         let q = Message::query_a(i as u16, name.clone(), true);
-        let pkt = self.stack.udp(40000, self.resolver, ports::DNS, &q.to_bytes());
+        let pkt = self
+            .stack
+            .udp(40000, self.resolver, ports::DNS, &q.to_bytes());
         ctx.trace(format!("client queries {}", name));
         ctx.send(0, pkt);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let Ok(Parsed::Udp { src_port, dst_port, payload, .. }) = IpStack::parse(&bytes) else {
+        let Ok(Parsed::Udp {
+            src_port,
+            dst_port,
+            payload,
+            ..
+        }) = IpStack::parse(&bytes)
+        else {
             return;
         };
         if src_port != ports::DNS || dst_port != 40000 {
             return;
         }
-        let Ok(msg) = Message::from_bytes(&payload) else { return };
+        let Ok(msg) = Message::from_bytes(&payload) else {
+            return;
+        };
         if !msg.is_response {
             return;
         }
         let qid = msg.id;
-        let qname = msg.question().map(|q| q.name.clone()).unwrap_or_else(Name::root);
-        let asked_at = self.asked.get(qid as usize).copied().flatten().unwrap_or(Ns::ZERO);
+        let qname = msg
+            .question()
+            .map(|q| q.name.clone())
+            .unwrap_or_else(Name::root);
+        let asked_at = self
+            .asked
+            .get(qid as usize)
+            .copied()
+            .flatten()
+            .unwrap_or(Ns::ZERO);
         let addr = msg.first_answer_a();
         ctx.trace(format!("client answer for {} -> {:?}", qname, addr));
         self.answers.push(DnsAnswer {
@@ -100,6 +126,9 @@ impl Node for DnsClient {
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
         self
     }
 }

@@ -39,12 +39,13 @@ pub struct HierarchySpec {
 
 impl HierarchySpec {
     /// A classic 3-level hierarchy with one TLD and one leaf domain.
-    pub fn classic(
-        root: Ipv4Address,
-        tld: (Name, Ipv4Address),
-        domain: DomainSpec,
-    ) -> Self {
-        Self { root, tlds: vec![tld], domains: vec![domain], ns_ttl: 86_400 }
+    pub fn classic(root: Ipv4Address, tld: (Name, Ipv4Address), domain: DomainSpec) -> Self {
+        Self {
+            root,
+            tlds: vec![tld],
+            domains: vec![domain],
+            ns_ttl: 86_400,
+        }
     }
 }
 
@@ -114,9 +115,13 @@ impl HierarchyBuilder {
     /// with `link`, and install host routes for their addresses on the
     /// router. Returns the created node ids.
     pub fn build(&self, sim: &mut Sim, attach_router: NodeId, link: LinkCfg) -> HierarchyNodes {
-        let root = sim.add_node("dns-root", Box::new(AuthServer::new(self.spec.root, self.root_store())));
+        let root = sim.add_node(
+            "dns-root",
+            Box::new(AuthServer::new(self.spec.root, self.root_store())),
+        );
         let (_, rport) = sim.connect(root, attach_router, link);
-        sim.node_mut::<Router>(attach_router).add_route(Prefix::host(self.spec.root), rport);
+        sim.node_mut::<Router>(attach_router)
+            .add_route(Prefix::host(self.spec.root), rport);
 
         let mut tlds = Vec::new();
         for (i, (tld, addr)) in self.spec.tlds.iter().enumerate() {
@@ -125,7 +130,8 @@ impl HierarchyBuilder {
                 Box::new(AuthServer::new(*addr, self.tld_store(i))),
             );
             let (_, port) = sim.connect(node, attach_router, link);
-            sim.node_mut::<Router>(attach_router).add_route(Prefix::host(*addr), port);
+            sim.node_mut::<Router>(attach_router)
+                .add_route(Prefix::host(*addr), port);
             tlds.push(node);
         }
 
@@ -136,7 +142,8 @@ impl HierarchyBuilder {
                 Box::new(AuthServer::new(d.server, self.domain_store(i))),
             );
             let (_, port) = sim.connect(node, attach_router, link);
-            sim.node_mut::<Router>(attach_router).add_route(Prefix::host(d.server), port);
+            sim.node_mut::<Router>(attach_router)
+                .add_route(Prefix::host(d.server), port);
             auths.push(node);
         }
         HierarchyNodes { root, tlds, auths }
@@ -156,8 +163,8 @@ pub fn default_dns_link() -> LinkCfg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::resolver::Resolver;
     use crate::client::DnsClient;
+    use crate::resolver::Resolver;
 
     fn n(s: &str) -> Name {
         Name::parse_str(s).unwrap()
@@ -192,7 +199,10 @@ mod tests {
             crate::zone::LookupResult::Referral { .. }
         ));
         let auth = b.domain_store(0);
-        assert!(matches!(auth.lookup(&n("host.d.example")), crate::zone::LookupResult::Answer(_)));
+        assert!(matches!(
+            auth.lookup(&n("host.d.example")),
+            crate::zone::LookupResult::Answer(_)
+        ));
     }
 
     #[test]
@@ -203,17 +213,26 @@ mod tests {
         let _nodes = b.build(&mut sim, router, LinkCfg::wan(Ns::from_ms(10)));
 
         let resolver_addr = a([10, 0, 0, 53]);
-        let resolver = sim.add_node("resolver", Box::new(Resolver::new(resolver_addr, vec![a([8, 0, 0, 53])])));
+        let resolver = sim.add_node(
+            "resolver",
+            Box::new(Resolver::new(resolver_addr, vec![a([8, 0, 0, 53])])),
+        );
         let (_, rp) = sim.connect(resolver, router, LinkCfg::wan(Ns::from_ms(10)));
-        sim.node_mut::<Router>(router).add_route(Prefix::host(resolver_addr), rp);
+        sim.node_mut::<Router>(router)
+            .add_route(Prefix::host(resolver_addr), rp);
 
         let client_addr = a([10, 0, 0, 1]);
         let client = sim.add_node(
             "client",
-            Box::new(DnsClient::new(client_addr, resolver_addr, vec![n("host.d.example")])),
+            Box::new(DnsClient::new(
+                client_addr,
+                resolver_addr,
+                vec![n("host.d.example")],
+            )),
         );
         let (_, cp) = sim.connect(client, router, LinkCfg::lan());
-        sim.node_mut::<Router>(router).add_route(Prefix::host(client_addr), cp);
+        sim.node_mut::<Router>(router)
+            .add_route(Prefix::host(client_addr), cp);
 
         sim.schedule_timer(client, Ns::ZERO, 0);
         sim.run();

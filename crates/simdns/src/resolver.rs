@@ -103,7 +103,11 @@ impl Resolver {
     }
 
     /// A resolver with explicit tunables.
-    pub fn with_config(addr: Ipv4Address, root_hints: Vec<Ipv4Address>, cfg: ResolverConfig) -> Self {
+    pub fn with_config(
+        addr: Ipv4Address,
+        root_hints: Vec<Ipv4Address>,
+        cfg: ResolverConfig,
+    ) -> Self {
         Self {
             stack: IpStack::new(addr),
             cfg,
@@ -157,9 +161,13 @@ impl Resolver {
     }
 
     fn send_upstream(&mut self, ctx: &mut Ctx<'_>, qid: u16) {
-        let Some(fl) = self.in_flight.get(&qid) else { return };
+        let Some(fl) = self.in_flight.get(&qid) else {
+            return;
+        };
         let q = Message::query_a(qid, fl.qname.clone(), false);
-        let pkt = self.stack.udp(UPSTREAM_PORT, fl.server, ports::DNS, &q.to_bytes());
+        let pkt = self
+            .stack
+            .udp(UPSTREAM_PORT, fl.server, ports::DNS, &q.to_bytes());
         self.upstream_queries += 1;
         ctx.trace(format!("resolver asks {} for {}", fl.server, fl.qname));
         ctx.send(0, pkt);
@@ -190,12 +198,22 @@ impl Resolver {
             additional: Vec::new(),
         };
         resp.recursion_available = true;
-        let pkt = self.stack.udp(ports::DNS, fl.client, fl.client_port, &resp.to_bytes());
+        let pkt = self
+            .stack
+            .udp(ports::DNS, fl.client, fl.client_port, &resp.to_bytes());
         ctx.send(0, pkt);
     }
 
-    fn handle_client_query(&mut self, ctx: &mut Ctx<'_>, src: Ipv4Address, src_port: u16, msg: Message) {
-        let Some(q) = msg.question().cloned() else { return };
+    fn handle_client_query(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: Ipv4Address,
+        src_port: u16,
+        msg: Message,
+    ) {
+        let Some(q) = msg.question().cloned() else {
+            return;
+        };
         self.client_queries += 1;
         ctx.trace(format!("resolver got client query for {}", q.name));
         // Step 1 of the paper: the PCE obtains E_S by IPC with the DNS.
@@ -204,8 +222,13 @@ impl Resolver {
                 client: src,
                 qname: q.name.as_str().to_string(),
             };
-            let pkt = self.stack.udp(ports::PCE_IPC, pce, ports::PCE_IPC, &notice.to_bytes());
-            ctx.trace(format!("resolver IPC notice to PCE: {} asked for {}", src, q.name));
+            let pkt = self
+                .stack
+                .udp(ports::PCE_IPC, pce, ports::PCE_IPC, &notice.to_bytes());
+            ctx.trace(format!(
+                "resolver IPC notice to PCE: {} asked for {}",
+                src, q.name
+            ));
             ctx.send(0, pkt);
         }
         let now = ctx.now();
@@ -214,7 +237,11 @@ impl Resolver {
                 if hit.expires > now {
                     self.cache_hits += 1;
                     let remaining = (hit.expires - now).0 / 1_000_000_000;
-                    let rec = Record::a(q.name.clone(), hit.addr, remaining.min(u64::from(hit.original_ttl)) as u32);
+                    let rec = Record::a(
+                        q.name.clone(),
+                        hit.addr,
+                        remaining.min(u64::from(hit.original_ttl)) as u32,
+                    );
                     let fl = InFlight {
                         client: src,
                         client_port: src_port,
@@ -254,7 +281,9 @@ impl Resolver {
 
     fn handle_upstream_response(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         let qid = msg.id;
-        let Some(mut fl) = self.in_flight.remove(&qid) else { return };
+        let Some(mut fl) = self.in_flight.remove(&qid) else {
+            return;
+        };
         let now = ctx.now();
         fl.generation += 1; // invalidate outstanding retransmit timers
 
@@ -265,13 +294,20 @@ impl Resolver {
                 if self.cfg.cache_enabled {
                     self.answer_cache.insert(
                         fl.qname.clone(),
-                        CachedAnswer { addr, expires: now + Ns::from_secs(u64::from(ttl)), original_ttl: ttl },
+                        CachedAnswer {
+                            addr,
+                            expires: now + Ns::from_secs(u64::from(ttl)),
+                            original_ttl: ttl,
+                        },
                     );
                 }
                 self.resolved += 1;
                 let latency = now - fl.started;
                 self.resolution_times.push((fl.qname.clone(), latency));
-                ctx.trace(format!("resolver resolved {} -> {} in {}", fl.qname, addr, latency));
+                ctx.trace(format!(
+                    "resolver resolved {} -> {} in {}",
+                    fl.qname, addr, latency
+                ));
                 let rec = Record::a(fl.qname.clone(), addr, ttl);
                 self.reply_client(ctx, &fl, Rcode::NoError, vec![rec]);
                 return;
@@ -306,7 +342,10 @@ impl Resolver {
                 if self.cfg.cache_enabled {
                     self.ns_cache.insert(
                         zone.clone(),
-                        CachedNs { servers: servers.clone(), expires: now + Ns::from_secs(u64::from(ttl)) },
+                        CachedNs {
+                            servers: servers.clone(),
+                            expires: now + Ns::from_secs(u64::from(ttl)),
+                        },
                     );
                 }
                 fl.steps += 1;
@@ -317,7 +356,10 @@ impl Resolver {
                 }
                 fl.server = servers[0];
                 fl.tries = 1;
-                ctx.trace(format!("resolver follows referral for {} to zone {} @ {}", fl.qname, zone, fl.server));
+                ctx.trace(format!(
+                    "resolver follows referral for {} to zone {} @ {}",
+                    fl.qname, zone, fl.server
+                ));
                 self.in_flight.insert(qid, fl);
                 self.send_upstream(ctx, qid);
                 return;
@@ -328,7 +370,11 @@ impl Resolver {
             return;
         }
         // NXDOMAIN propagates; anything else is SERVFAIL.
-        let code = if msg.rcode == Rcode::NxDomain { Rcode::NxDomain } else { Rcode::ServFail };
+        let code = if msg.rcode == Rcode::NxDomain {
+            Rcode::NxDomain
+        } else {
+            Rcode::ServFail
+        };
         if code == Rcode::NxDomain {
             self.resolved += 1;
         } else {
@@ -344,13 +390,22 @@ fn timer_token(qid: u16, generation: u32) -> u64 {
 
 impl Node for Resolver {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let Ok(Parsed::Udp { src, dst, src_port, dst_port, payload }) = IpStack::parse(&bytes) else {
+        let Ok(Parsed::Udp {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            payload,
+        }) = IpStack::parse(&bytes)
+        else {
             return;
         };
         if dst != self.stack.addr {
             return;
         }
-        let Ok(msg) = Message::from_bytes(&payload) else { return };
+        let Ok(msg) = Message::from_bytes(&payload) else {
+            return;
+        };
         if dst_port == ports::DNS && !msg.is_response {
             self.handle_client_query(ctx, src, src_port, msg);
         } else if dst_port == UPSTREAM_PORT && msg.is_response && src_port == ports::DNS {
@@ -386,6 +441,9 @@ impl Node for Resolver {
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
         self
     }
 }
@@ -431,7 +489,13 @@ mod tests {
     }
     impl Node for TestClient {
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-            let pkt = client_query_packet(&self.stack, 40000, self.resolver, token as u16, self.qname.clone());
+            let pkt = client_query_packet(
+                &self.stack,
+                40000,
+                self.resolver,
+                token as u16,
+                self.qname.clone(),
+            );
             ctx.send(0, pkt);
         }
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
@@ -442,6 +506,9 @@ mod tests {
             }
         }
         fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn Any {
             self
         }
     }
@@ -481,7 +548,10 @@ mod tests {
                 answers: vec![],
             }),
         );
-        let resolver = sim.add_node("resolver", Box::new(Resolver::new(resolver_addr, vec![root_addr])));
+        let resolver = sim.add_node(
+            "resolver",
+            Box::new(Resolver::new(resolver_addr, vec![root_addr])),
+        );
         let router = sim.add_node("router", Box::new(Router::new()));
         let root = sim.add_node("root", Box::new(AuthServer::new(root_addr, root_store)));
         let tld = sim.add_node("tld", Box::new(AuthServer::new(tld_addr, tld_store)));
@@ -516,7 +586,11 @@ mod tests {
         assert_eq!(answers[0].1, Some(a([101, 0, 0, 5])));
         // Three upstream round trips (root, tld, auth), each ≈ 2×(20+20) ms
         // via the router, plus processing: at least 240 ms.
-        assert!(answers[0].0 >= Ns::from_ms(240), "answered at {}", answers[0].0);
+        assert!(
+            answers[0].0 >= Ns::from_ms(240),
+            "answered at {}",
+            answers[0].0
+        );
         let r = sim.node_mut::<Resolver>(resolver);
         assert_eq!(r.upstream_queries, 3);
         assert_eq!(r.resolved, 1);
@@ -539,7 +613,10 @@ mod tests {
         // One client<->resolver round trip (the 20 ms WAN hop is on that
         // path in this topology), but no iterative walk (~240 ms).
         let second_latency = answers[1].0 - t0;
-        assert!(second_latency < Ns::from_ms(50), "cache answer took {second_latency}");
+        assert!(
+            second_latency < Ns::from_ms(50),
+            "cache answer took {second_latency}"
+        );
         let r = sim.node_mut::<Resolver>(resolver);
         assert_eq!(r.upstream_queries, 3, "no extra upstream queries");
         assert_eq!(r.cache_hits, 1);

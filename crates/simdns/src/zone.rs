@@ -29,7 +29,11 @@ pub struct Zone {
 impl Zone {
     /// An empty zone with the given apex.
     pub fn new(apex: Name) -> Self {
-        Self { apex, a_records: BTreeMap::new(), delegations: BTreeMap::new() }
+        Self {
+            apex,
+            a_records: BTreeMap::new(),
+            delegations: BTreeMap::new(),
+        }
     }
 
     /// Add an A record.
@@ -40,9 +44,21 @@ impl Zone {
     }
 
     /// Add a delegation for a child zone.
-    pub fn delegate(&mut self, child: Name, servers: Vec<(Name, Ipv4Address)>, ttl: u32) -> &mut Self {
+    pub fn delegate(
+        &mut self,
+        child: Name,
+        servers: Vec<(Name, Ipv4Address)>,
+        ttl: u32,
+    ) -> &mut Self {
         debug_assert!(child.is_subdomain_of(&self.apex), "delegation outside zone");
-        self.delegations.insert(child.clone(), Delegation { zone: child, servers, ttl });
+        self.delegations.insert(
+            child.clone(),
+            Delegation {
+                zone: child,
+                servers,
+                ttl,
+            },
+        );
         self
     }
 
@@ -137,7 +153,11 @@ impl ZoneStore {
             return LookupResult::Referral { ns, glue };
         }
         if let Some((addr, ttl)) = zone.a_records.get(qname) {
-            return LookupResult::Answer(vec![Record { name: qname.clone(), ttl: *ttl, rdata: Rdata::A(*addr) }]);
+            return LookupResult::Answer(vec![Record {
+                name: qname.clone(),
+                ttl: *ttl,
+                rdata: Rdata::A(*addr),
+            }]);
         }
         LookupResult::NxDomain
     }
@@ -156,14 +176,22 @@ mod tests {
 
     fn root_zone() -> Zone {
         let mut z = Zone::new(Name::root());
-        z.delegate(n("example"), vec![(n("ns.example"), a([12, 0, 0, 53]))], 86400);
+        z.delegate(
+            n("example"),
+            vec![(n("ns.example"), a([12, 0, 0, 53]))],
+            86400,
+        );
         z
     }
 
     fn example_zone() -> Zone {
         let mut z = Zone::new(n("example"));
         z.add_a(n("host.d.example"), a([101, 0, 0, 5]), 300);
-        z.delegate(n("deep.example"), vec![(n("ns.deep.example"), a([13, 0, 0, 53]))], 3600);
+        z.delegate(
+            n("deep.example"),
+            vec![(n("ns.deep.example"), a([13, 0, 0, 53]))],
+            3600,
+        );
         z
     }
 
@@ -206,7 +234,10 @@ mod tests {
     fn not_authoritative_outside() {
         let mut store = ZoneStore::new();
         store.add_zone(example_zone());
-        assert_eq!(store.lookup(&n("other.org")), LookupResult::NotAuthoritative);
+        assert_eq!(
+            store.lookup(&n("other.org")),
+            LookupResult::NotAuthoritative
+        );
     }
 
     #[test]
@@ -216,7 +247,10 @@ mod tests {
         store.add_zone(example_zone());
         // With both zones loaded, example data answers directly instead of
         // the root's referral.
-        assert!(matches!(store.lookup(&n("host.d.example")), LookupResult::Answer(_)));
+        assert!(matches!(
+            store.lookup(&n("host.d.example")),
+            LookupResult::Answer(_)
+        ));
     }
 
     #[test]
@@ -231,6 +265,9 @@ mod tests {
     fn root_zone_covers_everything() {
         let mut store = ZoneStore::new();
         store.add_zone(root_zone());
-        assert!(!matches!(store.lookup(&n("anything.at.all")), LookupResult::NotAuthoritative));
+        assert!(!matches!(
+            store.lookup(&n("anything.at.all")),
+            LookupResult::NotAuthoritative
+        ));
     }
 }

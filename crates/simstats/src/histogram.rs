@@ -26,8 +26,7 @@ fn bucket_index(value: u64) -> usize {
     let msb = 63 - value.leading_zeros();
     let octave = msb - SUB_BITS + 1;
     let sub = (value >> (octave - 1)) - SUB_BUCKETS;
-    (octave as u64 * SUB_BUCKETS + SUB_BUCKETS + sub as u64) as usize
-        - SUB_BUCKETS as usize
+    (octave as u64 * SUB_BUCKETS + SUB_BUCKETS + sub) as usize - SUB_BUCKETS as usize
 }
 
 fn bucket_upper_bound(index: usize) -> u64 {
@@ -43,7 +42,13 @@ fn bucket_upper_bound(index: usize) -> u64 {
 impl Histogram {
     /// Create an empty histogram.
     pub fn new() -> Self {
-        Self { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Self {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// Record one value.
@@ -188,7 +193,7 @@ mod tests {
             h.record(v * 1000);
         }
         let m = h.median();
-        assert!(m >= 500_000 && m <= 530_000, "median={m}");
+        assert!((500_000..=530_000).contains(&m), "median={m}");
     }
 
     #[test]
@@ -215,7 +220,19 @@ mod tests {
 
     #[test]
     fn upper_bound_is_upper() {
-        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 123_456, u32::MAX as u64] {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            123_456,
+            u32::MAX as u64,
+        ] {
             let idx = bucket_index(v);
             let ub = bucket_upper_bound(idx);
             assert!(ub >= v, "ub({idx})={ub} < {v}");

@@ -45,8 +45,8 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
-            / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
         var.sqrt()
     }
 
@@ -63,7 +63,10 @@ impl Summary {
         if self.values.is_empty() {
             return 0.0;
         }
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Exact percentile via nearest-rank (0 when empty).
@@ -72,7 +75,8 @@ impl Summary {
             return 0.0;
         }
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary"));
             self.sorted = true;
         }
         let p = p.clamp(0.0, 100.0);

@@ -32,7 +32,8 @@ impl Table {
 
     /// Append a row of string slices.
     pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

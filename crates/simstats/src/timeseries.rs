@@ -17,7 +17,10 @@ impl TimeSeries {
     /// Panics if `bin_width` is zero.
     pub fn new(bin_width: u64) -> Self {
         assert!(bin_width > 0, "bin width must be positive");
-        Self { bin_width, bins: Vec::new() }
+        Self {
+            bin_width,
+            bins: Vec::new(),
+        }
     }
 
     /// The bin width.

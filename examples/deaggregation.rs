@@ -27,7 +27,11 @@ fn run_cell(cp: CpKind, dest_count: usize, flows: usize) -> (u64, u64) {
             p.flows = flow_script(
                 &starts,
                 dest_count,
-                FlowMode::Udp { packets: 2, interval: Ns::from_ms(2), size: 200 },
+                FlowMode::Udp {
+                    packets: 2,
+                    interval: Ns::from_ms(2),
+                    size: 200,
+                },
             );
         })
         .build(1);
@@ -52,7 +56,13 @@ fn main() {
     let flows = 6;
     let mut table = Table::new(
         "De-aggregation sweep: xTR mapping state and pushed bytes vs prefix count",
-        &["dest_prefixes", "nerd_itr_state", "nerd_push_bytes", "pce_itr_state", "pce_push_bytes"],
+        &[
+            "dest_prefixes",
+            "nerd_itr_state",
+            "nerd_push_bytes",
+            "pce_itr_state",
+            "pce_push_bytes",
+        ],
     );
     for dest_count in [8usize, 32, 96, 192] {
         let (nerd_state, nerd_bytes) = run_cell(CpKind::Nerd, dest_count, flows);

@@ -1,0 +1,14 @@
+//! `pcelisp-repro` — the workspace root package.
+//!
+//! This crate exists to host the repo-level integration tests (`tests/`)
+//! and runnable examples (`examples/`); the actual implementation lives
+//! in the `crates/` workspace members. See `DESIGN.md` for the
+//! architecture and `ROADMAP.md` for the growth plan.
+
+#![forbid(unsafe_code)]
+
+pub use inet;
+pub use lispwire;
+pub use mapsys;
+pub use netsim;
+pub use pcelisp;

@@ -2,10 +2,10 @@
 //! every control plane, same seed ⇒ identical trace; different seed with
 //! randomized workload ⇒ different schedule.
 
+use netsim::Ns;
 use pcelisp::hosts::FlowMode;
 use pcelisp::scenario::{flow_script, CpKind, Fig1Builder};
 use pcelisp::workload::PoissonArrivals;
-use netsim::Ns;
 
 fn run_trace(cp: CpKind, seed: u64) -> String {
     let mut world = Fig1Builder::new(cp)
@@ -13,7 +13,11 @@ fn run_trace(cp: CpKind, seed: u64) -> String {
             p.flows = flow_script(
                 &[Ns::ZERO, Ns::from_ms(100)],
                 4,
-                FlowMode::Udp { packets: 5, interval: Ns::from_ms(2), size: 300 },
+                FlowMode::Udp {
+                    packets: 5,
+                    interval: Ns::from_ms(2),
+                    size: 300,
+                },
             );
         })
         .build(seed);

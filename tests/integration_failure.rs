@@ -3,9 +3,9 @@
 //! recovers the resolution; no deadlock), and vanilla LISP's drop counts
 //! rise with the loss rate.
 
+use netsim::Ns;
 use pcelisp::hosts::{FlowMode, TrafficHost};
 use pcelisp::scenario::{flow_script, CpKind, Fig1Builder};
-use netsim::Ns;
 
 fn run_lossy(cp: CpKind, drop_prob: f64, seed: u64) -> (bool, u64) {
     let mut world = Fig1Builder::new(cp)
@@ -14,7 +14,11 @@ fn run_lossy(cp: CpKind, drop_prob: f64, seed: u64) -> (bool, u64) {
             p.flows = flow_script(
                 &[Ns::ZERO],
                 4,
-                FlowMode::Udp { packets: 10, interval: Ns::from_ms(5), size: 300 },
+                FlowMode::Udp {
+                    packets: 10,
+                    interval: Ns::from_ms(5),
+                    size: 300,
+                },
             );
         })
         .build(seed);
@@ -61,7 +65,11 @@ fn corruption_is_detected_not_crashing() {
             p.flows = flow_script(
                 &[Ns::ZERO],
                 4,
-                FlowMode::Udp { packets: 5, interval: Ns::from_ms(5), size: 300 },
+                FlowMode::Udp {
+                    packets: 5,
+                    interval: Ns::from_ms(5),
+                    size: 300,
+                },
             );
         })
         .build(3);

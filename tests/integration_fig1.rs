@@ -7,7 +7,11 @@ use pcelisp::experiments::e7_reverse::run_reverse;
 #[test]
 fn fig1_steps_in_paper_order_with_no_drops() {
     let r = run_fig1_trace(0);
-    assert!(r.installed_before_answer, "mapping must precede the DNS answer\n{}", r.trace);
+    assert!(
+        r.installed_before_answer,
+        "mapping must precede the DNS answer\n{}",
+        r.trace
+    );
     assert!(r.no_drops);
     assert!(r.established);
     // The eight labelled steps appear in order.

@@ -10,7 +10,10 @@ fn inbound_te_spreads_both_domains() {
     assert!(pce.inbound_d[0] > 0 && pce.inbound_d[1] > 0, "{pce:?}");
     assert!(pce.inbound_s[0] > 0 && pce.inbound_s[1] > 0, "{pce:?}");
     let vanilla = run_te_cell(CpKind::LispQueue, 10, 11);
-    assert!(pce.imbalance_d.max < vanilla.imbalance_d.max, "pce {pce:?} vanilla {vanilla:?}");
+    assert!(
+        pce.imbalance_d.max < vanilla.imbalance_d.max,
+        "pce {pce:?} vanilla {vanilla:?}"
+    );
 }
 
 #[test]

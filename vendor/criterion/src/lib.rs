@@ -1,0 +1,224 @@
+//! Vendored offline shim of the `criterion` API subset used by this
+//! workspace's benches (`Criterion`, benchmark groups, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!`).
+//!
+//! The build environment has no crates.io access, so the workspace
+//! carries this minimal wall-clock harness. Methodology: each bench is
+//! warmed up (default 0.5 s), then measured over several batches
+//! (default 2 s total) and reported as the median ns/iteration with the
+//! min–max spread. Environment overrides: `BENCH_WARMUP_MS`,
+//! `BENCH_MEASURE_MS`. Not statistically rigorous like real criterion,
+//! but stable enough to compare engine revisions on one machine.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/name`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest batch, ns/iter.
+    pub min_ns: f64,
+    /// Slowest batch, ns/iter.
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    /// All measurements recorded so far (for JSON emitters).
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = |var: &str, default: u64| {
+            Duration::from_millis(
+                std::env::var(var)
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(default),
+            )
+        };
+        Criterion {
+            warmup: ms("BENCH_WARMUP_MS", 500),
+            measure: ms("BENCH_MEASURE_MS", 2000),
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(id.as_ref().to_string(), f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        // Warmup: run until the warmup budget elapses, learning the
+        // per-call cost so measurement batches can be sized.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        while warm_start.elapsed() < self.warmup || calls == 0 {
+            f(&mut bencher);
+            calls += 1;
+        }
+
+        // Measurement: batches of closure calls until the budget elapses.
+        let mut samples: Vec<f64> = Vec::new();
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || samples.is_empty() {
+            let mut b = Bencher {
+                iters: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+                total_iters += b.iters;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let m = Measurement {
+            id,
+            median_ns: median,
+            min_ns: samples[0],
+            max_ns: *samples.last().unwrap(),
+            iterations: total_iters,
+        };
+        println!(
+            "{:<40} time: [{} {} {}]  ({} iters)",
+            m.id,
+            fmt_ns(m.min_ns),
+            fmt_ns(m.median_ns),
+            fmt_ns(m.max_ns),
+            m.iterations
+        );
+        self.measurements.push(m);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// A named group of benchmarks sharing the driver's settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's batching is governed
+    /// by the time budget (`BENCH_MEASURE_MS`), not a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    /// Finish the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the inner routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (batched by the driver).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        std::env::set_var("BENCH_WARMUP_MS", "1");
+        std::env::set_var("BENCH_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.measurements.len(), 1);
+        assert_eq!(c.measurements[0].id, "g/noop");
+        assert!(c.measurements[0].median_ns >= 0.0);
+        assert!(c.measurements[0].iterations > 0);
+    }
+}

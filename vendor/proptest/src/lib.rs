@@ -1,0 +1,563 @@
+//! Vendored offline shim of the `proptest` API subset used by this
+//! workspace's property tests.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! carries this minimal implementation: deterministic random case
+//! generation (no shrinking) behind the same surface — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! `any::<T>()`, integer/float range strategies, tuple strategies,
+//! [`collection::vec`] / [`collection::hash_map`], [`sample::select`],
+//! [`string::string_regex`], [`strategy::Just`] and [`prop_oneof!`].
+//!
+//! Differences from real proptest, by design:
+//! * failing cases are reported by panic (via `assert!`) without input
+//!   shrinking — the deterministic RNG means a failure reproduces
+//!   exactly on re-run;
+//! * each test's RNG stream is seeded from a hash of the test name, so
+//!   the whole suite is reproducible build-to-build;
+//! * `PROPTEST_CASES` overrides the per-test case count (default 64).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use super::*;
+
+    /// The deterministic RNG driving case generation.
+    pub struct TestRng(pub(crate) SmallRng);
+
+    impl TestRng {
+        /// A per-test deterministic RNG, seeded from the test's name.
+        pub fn deterministic(test_name: &str) -> Self {
+            // FNV-1a over the name keeps unrelated tests on unrelated
+            // streams while staying reproducible run-to-run.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(SmallRng::seed_from_u64(h))
+        }
+    }
+
+    /// Number of cases to run per property (env `PROPTEST_CASES`).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Box a strategy as a trait object (used by [`crate::prop_oneof!`]).
+    pub fn boxed_dyn<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among several strategies of one value type.
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given arms (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.0.random_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.0.random_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $i:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use core::marker::PhantomData;
+    use rand::RngExt;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.0.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.0.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.0.random_range(-1.0e12f64..1.0e12)
+        }
+    }
+
+    /// Strategy for the full domain of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use core::ops::Range;
+    use rand::RngExt;
+    use std::collections::HashMap;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec`s with sizes drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of values from `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.random_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashMap`s with sizes drawn from `size`.
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// A hash map of `key`/`value` pairs with a size in `size`
+    /// (best-effort: key collisions may yield a smaller map).
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> HashMapStrategy<K, V> {
+        HashMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+    where
+        K::Value: Hash + Eq,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+            let target = rng.0.random_range(self.size.clone());
+            let mut map = HashMap::with_capacity(target);
+            let mut attempts = 0;
+            while map.len() < target && attempts < target * 10 + 16 {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Strategy choosing uniformly among fixed options.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.0.random_range(0..self.0.len());
+            self.0[i].clone()
+        }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Error from [`string_regex`] on an unsupported pattern.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    enum Atom {
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a (tiny) regex subset:
+    /// literals, character classes like `[a-z0-9_]`, and `{m,n}` /
+    /// `{n}` quantifiers.
+    pub struct RegexStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    /// Compile `pattern` into a generation strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| Error(format!("unclosed class in {pattern:?}")))?
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            if lo > hi {
+                                return Err(Error(format!("bad range in {pattern:?}")));
+                            }
+                            set.extend(lo..=hi);
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(Error(format!("empty class in {pattern:?}")));
+                    }
+                    i = close + 1;
+                    Atom::Class(set)
+                }
+                c if c.is_alphanumeric() || c == '.' || c == '_' || c == '-' => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                other => return Err(Error(format!("unsupported regex char {other:?}"))),
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error(format!("unclosed quantifier in {pattern:?}")))?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let parse = |s: &str| {
+                    s.parse::<usize>()
+                        .map_err(|_| Error(format!("bad quantifier in {pattern:?}")))
+                };
+                let bounds = match body.split_once(',') {
+                    Some((m, n)) => (parse(m)?, parse(n)?),
+                    None => {
+                        let n = parse(&body)?;
+                        (n, n)
+                    }
+                };
+                i = close + 1;
+                bounds
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(Error(format!("inverted quantifier in {pattern:?}")));
+            }
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexStrategy { pieces })
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let n = rng.0.random_range(piece.min..=piece.max);
+                for _ in 0..n {
+                    match &piece.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(set) => {
+                            out.push(set[rng.0.random_range(0..set.len())]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespaced access to sub-strategies (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `PROPTEST_CASES` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            let ($($arg,)+) = &__strategies;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..$crate::test_runner::cases() {
+                let ($($arg,)+) =
+                    ($($crate::strategy::Strategy::generate($arg, &mut __rng),)+);
+                $body
+            }
+        }
+    )+};
+}
+
+/// Assert within a property body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed_dyn($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 1u32..10, ab in (0u8..5, 10u16..=20)) {
+            let (a, b) = ab;
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 5);
+            prop_assert!((10..=20).contains(&b));
+        }
+
+        #[test]
+        fn collections(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn mapping(s in (0u32..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(s % 2, 0);
+            prop_assert!(s < 200);
+        }
+
+        #[test]
+        fn oneof_and_select(
+            x in prop_oneof![Just(1u8), Just(2u8), 5u8..7],
+            y in prop::sample::select(vec!["a", "b"]),
+        ) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+            prop_assert!(y == "a" || y == "b");
+        }
+    }
+
+    #[test]
+    fn string_regex_subset() {
+        let s = crate::string::string_regex("[a-z0-9]{1,20}").unwrap();
+        let mut rng = crate::test_runner::TestRng::deterministic("string_regex_subset");
+        for _ in 0..200 {
+            let v = crate::strategy::Strategy::generate(&s, &mut rng);
+            assert!((1..=20).contains(&v.len()));
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+        assert!(crate::string::string_regex("(unsupported)").is_err());
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let s = prop::collection::vec(any::<u32>(), 0..10);
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        for _ in 0..20 {
+            assert_eq!(
+                crate::strategy::Strategy::generate(&s, &mut a),
+                crate::strategy::Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Sample every exported range flavour through the crate's public API
+//! (also serves as the package-boundary smoke check for the shim).
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    println!("u64  0..100      -> {}", rng.random_range(0u64..100));
+    println!("u8   0..=8       -> {}", rng.random_range(0u8..=8));
+    println!("i32  -5..5       -> {}", rng.random_range(-5i32..5));
+    println!("i8   -3..=3      -> {}", rng.random_range(-3i8..=3));
+    println!(
+        "i64  full domain -> {}",
+        rng.random_range(i64::MIN..i64::MAX)
+    );
+    println!("f64  0.0..1.0    -> {:.6}", rng.random_range(0.0f64..1.0));
+    println!("bool p=0.3       -> {}", rng.random_bool(0.3));
+}
