@@ -1,40 +1,135 @@
-//! Run every experiment (E1–E8, A1, A2) and print all tables — the full
-//! evaluation regeneration in one command.
-fn main() {
-    let seed = pcelisp_bench::seed();
-    pcelisp::experiments::e1_fig1::run_fig1_trace(seed)
-        .table()
-        .print();
-    println!();
-    pcelisp::experiments::e2_drops::run_drops(seed)
-        .table()
-        .print();
-    println!();
-    pcelisp::experiments::e3_resolution::run_resolution(seed)
-        .table()
-        .print();
-    let (pre, demand) = pcelisp::experiments::e3_resolution::run_ablation_precompute(seed);
-    println!("A2 ablation: precomputed = {pre:.1} ms; on-demand = {demand:.1} ms");
-    println!();
-    pcelisp::experiments::e4_tcp_setup::run_tcp_setup(seed)
-        .table()
-        .print();
-    println!();
-    pcelisp::experiments::e5_te::run_te(seed).table().print();
-    println!();
-    pcelisp::experiments::e5_te::run_ablation_push(seed)
-        .table()
-        .print();
-    println!();
-    pcelisp::experiments::e6_cache::run_cache(seed)
-        .table()
-        .print();
-    println!();
-    pcelisp::experiments::e7_reverse::run_reverse(4, seed)
-        .table()
-        .print();
-    println!();
-    pcelisp::experiments::e8_overhead::run_overhead(seed)
-        .table()
-        .print();
+//! Registry-driven experiment runner: every experiment (E1–E9, with the
+//! A1/A2 ablations inside E5/E3) in one command.
+//!
+//! ```sh
+//! exp_all                      # run the whole registry, print tables
+//! exp_all --only e2,e5         # a subset, in registry order
+//! exp_all --json out.json      # also write the typed JSON report
+//! exp_all --seed 7             # override the seed (or PCELISP_SEED)
+//! exp_all --list               # list registered experiments and exit
+//! ```
+//!
+//! The process exits non-zero when any selected experiment produces an
+//! incomplete report (missing or empty sections) — the CI smoke gate.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+struct Args {
+    json: Option<String>,
+    only: Option<Vec<String>>,
+    seed: Option<u64>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: None,
+        only: None,
+        seed: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json needs a file path")?);
+            }
+            "--only" => {
+                let list = it.next().ok_or("--only needs a comma-separated list")?;
+                args.only = Some(
+                    list.split(',')
+                        .map(|s| s.trim().to_lowercase())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+            }
+            "--list" => args.list = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("exp_all: {e}");
+            eprintln!("usage: exp_all [--json out.json] [--only e2,e5] [--seed N] [--list]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = pcelisp::experiments::registry();
+    if args.list {
+        for exp in &registry {
+            println!("{:4}  {}", exp.name(), exp.title());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(only) = &args.only {
+        let known: Vec<&str> = registry.iter().map(|e| e.name()).collect();
+        for name in only {
+            if !known.contains(&name.as_str()) {
+                eprintln!("exp_all: unknown experiment {name:?} (have: {known:?})");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let seed = args.seed.unwrap_or_else(pcelisp_bench::seed);
+    let selected: Vec<_> = registry
+        .into_iter()
+        .filter(|e| {
+            args.only
+                .as_ref()
+                .map(|only| only.iter().any(|n| n == e.name()))
+                .unwrap_or(true)
+        })
+        .collect();
+
+    let mut reports = Vec::new();
+    let mut incomplete = Vec::new();
+    for (i, exp) in selected.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let report = exp.run(seed);
+        report.print();
+        if !report.is_complete() {
+            incomplete.push(report.name.clone());
+        }
+        reports.push(report);
+    }
+
+    if let Some(path) = &args.json {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"seed\":{seed},\"experiments\":[");
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
+        out.push('\n');
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("exp_all: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+        println!("wrote {} experiment reports to {path}", reports.len());
+    }
+
+    if !incomplete.is_empty() {
+        eprintln!("exp_all: incomplete reports (missing/empty sections): {incomplete:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -1,5 +1,4 @@
 //! E6: map-cache hit ratio vs TTL and skew.
 fn main() {
-    let r = pcelisp::experiments::e6_cache::run_cache(pcelisp_bench::seed());
-    r.table().print();
+    pcelisp_bench::run_and_print("e6");
 }

@@ -1,5 +1,4 @@
 //! E2: drops/queueing during mapping resolution, full sweep.
 fn main() {
-    let r = pcelisp::experiments::e2_drops::run_drops(pcelisp_bench::seed());
-    r.table().print();
+    pcelisp_bench::run_and_print("e2");
 }

@@ -1,5 +1,4 @@
 //! E1: regenerate the Fig. 1 step-sequence table.
 fn main() {
-    let r = pcelisp::experiments::e1_fig1::run_fig1_trace(pcelisp_bench::seed());
-    r.table().print();
+    pcelisp_bench::run_and_print("e1");
 }

@@ -1,5 +1,4 @@
 //! E8: control-plane overhead comparison.
 fn main() {
-    let r = pcelisp::experiments::e8_overhead::run_overhead(pcelisp_bench::seed());
-    r.table().print();
+    pcelisp_bench::run_and_print("e8");
 }

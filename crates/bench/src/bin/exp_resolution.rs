@@ -1,11 +1,4 @@
 //! E3: (T_DNS + T_map_eff)/T_DNS sweep, plus ablation A2.
 fn main() {
-    let seed = pcelisp_bench::seed();
-    let r = pcelisp::experiments::e3_resolution::run_resolution(seed);
-    r.table().print();
-    let (pre, demand) = pcelisp::experiments::e3_resolution::run_ablation_precompute(seed);
-    println!();
-    println!(
-        "A2 ablation: T_DNS with precomputed mapping = {pre:.1} ms; on-demand = {demand:.1} ms"
-    );
+    pcelisp_bench::run_and_print("e3");
 }

@@ -1,5 +1,4 @@
 //! E7: reverse-mapping completion timeline.
 fn main() {
-    let r = pcelisp::experiments::e7_reverse::run_reverse(4, pcelisp_bench::seed());
-    r.table().print();
+    pcelisp_bench::run_and_print("e7");
 }

@@ -1,0 +1,5 @@
+//! E9: mapping-system scale sweep (N destination sites, every control
+//! plane, Zipf cross-site popularity).
+fn main() {
+    pcelisp_bench::run_and_print("e9");
+}

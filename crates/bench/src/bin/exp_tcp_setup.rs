@@ -1,5 +1,4 @@
 //! E4: TCP connection-establishment latency sweep.
 fn main() {
-    let r = pcelisp::experiments::e4_tcp_setup::run_tcp_setup(pcelisp_bench::seed());
-    r.table().print();
+    pcelisp_bench::run_and_print("e4");
 }

@@ -1,9 +1,4 @@
 //! E5: inbound-TE comparison plus ablation A1.
 fn main() {
-    let seed = pcelisp_bench::seed();
-    let r = pcelisp::experiments::e5_te::run_te(seed);
-    r.table().print();
-    println!();
-    let a = pcelisp::experiments::e5_te::run_ablation_push(seed);
-    a.table().print();
+    pcelisp_bench::run_and_print("e5");
 }

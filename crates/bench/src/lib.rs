@@ -1,7 +1,9 @@
 //! `pcelisp-bench` — the benchmark harness regenerating every experiment
-//! of the reproduction (DESIGN.md §4). Each `exp_*` binary prints the
-//! rows of one experiment; the Criterion benches in `benches/` time the
-//! underlying simulation cells and the hot data structures.
+//! of the reproduction (DESIGN.md §4/§6). Each `exp_*` binary prints the
+//! rows of one experiment via the shared registry; `exp_all` drives the
+//! whole registry with `--json` / `--only` selection. The Criterion
+//! benches in `benches/` time the underlying simulation cells and the
+//! hot data structures.
 
 pub use pcelisp;
 
@@ -14,4 +16,15 @@ pub fn seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
+}
+
+/// Run one registry experiment at the default seed and print its
+/// tables — the body of every single-experiment binary.
+///
+/// # Panics
+/// Panics if `name` is not a registered experiment.
+pub fn run_and_print(name: &str) {
+    let exp = pcelisp::experiments::by_name(name)
+        .unwrap_or_else(|| panic!("no experiment named {name:?} in the registry"));
+    exp.run(seed()).print();
 }

@@ -7,8 +7,10 @@
 //!   property: *the mapping is installed at every ITR before the end-host
 //!   receives its DNS answer*, so the first data packet finds state.
 
+use crate::experiments::report::{Cell, ExpReport, Section};
 use crate::hosts::{FlowMode, TrafficHost};
-use crate::scenario::{flow_script, CpKind, Fig1Builder};
+use crate::scenario::{flow_script, CpKind};
+use crate::spec::ScenarioSpec;
 use netsim::Ns;
 use simstats::Table;
 
@@ -28,30 +30,39 @@ pub struct Fig1Result {
 }
 
 impl Fig1Result {
-    /// Summary table.
-    pub fn table(&self) -> Table {
-        let mut t = Table::new(
+    /// The typed result section.
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "steps",
             "E1: Fig.1 step sequence (PCE control plane)",
             &["step", "t_ms"],
         );
         for (label, at) in &self.step_times {
-            t.row(&[label.clone(), format!("{:.3}", at.as_ms_f64())]);
+            s.row(vec![Cell::str(label.clone()), Cell::f64(at.as_ms_f64(), 3)]);
         }
-        t.row(&[
-            "mapping installed before DNS answer".into(),
-            self.installed_before_answer.to_string(),
+        s.row(vec![
+            Cell::str("mapping installed before DNS answer"),
+            Cell::bool(self.installed_before_answer),
         ]);
-        t.row(&["no drops".into(), self.no_drops.to_string()]);
-        t.row(&["tcp established".into(), self.established.to_string()]);
-        t
+        s.row(vec![Cell::str("no drops"), Cell::bool(self.no_drops)]);
+        s.row(vec![
+            Cell::str("tcp established"),
+            Cell::bool(self.established),
+        ]);
+        s
+    }
+
+    /// Summary table.
+    pub fn table(&self) -> Table {
+        self.section().table()
     }
 }
 
 /// Run the experiment.
 pub fn run_fig1_trace(seed: u64) -> Fig1Result {
-    let mut world = Fig1Builder::new(CpKind::Pce)
-        .with_params(|p| {
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(CpKind::Pce)
+        .with(|s| {
+            s.set_flows(flow_script(
                 &[Ns::ZERO],
                 4,
                 FlowMode::Tcp {
@@ -59,7 +70,7 @@ pub fn run_fig1_trace(seed: u64) -> Fig1Result {
                     interval: Ns::from_ms(1),
                     size: 200,
                 },
-            );
+            ));
         })
         .build(1 + seed);
     world.sim.trace.enable();
@@ -105,7 +116,10 @@ pub fn run_fig1_trace(seed: u64) -> Fig1Result {
     let no_drops = world.total_miss_drops() == 0
         && world.sim.total_queue_drops() == 0
         && world.sim.total_fault_drops() == 0;
-    let established = world.sim.node_ref::<TrafficHost>(world.host_s).records[0]
+    let established = world
+        .sim
+        .node_ref::<TrafficHost>(world.client().host)
+        .records[0]
         .t_established
         .is_some();
 
@@ -115,6 +129,21 @@ pub fn run_fig1_trace(seed: u64) -> Fig1Result {
         installed_before_answer,
         no_drops,
         established,
+    }
+}
+
+/// The registry entry for E1.
+pub struct E1Fig1;
+
+impl crate::experiments::Experiment for E1Fig1 {
+    fn name(&self) -> &'static str {
+        "e1"
+    }
+    fn title(&self) -> &'static str {
+        "Fig.1 step-sequence reproduction (PCE control plane)"
+    }
+    fn run(&self, seed: u64) -> ExpReport {
+        ExpReport::new(self.name(), self.title()).with_section(run_fig1_trace(seed).section())
     }
 }
 

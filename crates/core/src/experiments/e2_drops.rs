@@ -10,8 +10,10 @@
 //! amount; the overlay control planes (ALT/CONS) lose more as their
 //! resolution paths lengthen.
 
+use crate::experiments::report::{Cell, ExpReport, Section};
 use crate::hosts::FlowMode;
-use crate::scenario::{flow_script, CpKind, Fig1Builder};
+use crate::scenario::{flow_script, CpKind};
+use crate::spec::ScenarioSpec;
 use lispdp::Xtr;
 use netsim::Ns;
 use simstats::Table;
@@ -43,9 +45,10 @@ pub struct DropsResult {
 }
 
 impl DropsResult {
-    /// Render the result table.
-    pub fn table(&self) -> Table {
-        let mut t = Table::new(
+    /// The typed result section.
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "drops",
             "E2: drops/queueing during mapping resolution (CBR UDP from DNS answer)",
             &[
                 "cp",
@@ -58,17 +61,22 @@ impl DropsResult {
             ],
         );
         for r in &self.rows {
-            t.row(&[
-                r.cp.clone(),
-                r.owd_ms.to_string(),
-                r.sent.to_string(),
-                r.delivered.to_string(),
-                r.miss_drops.to_string(),
-                r.queued.to_string(),
-                format!("{:.1}", r.mean_queue_delay_ms),
+            s.row(vec![
+                Cell::str(r.cp.clone()),
+                Cell::u64(r.owd_ms),
+                Cell::u64(r.sent),
+                Cell::u64(r.delivered),
+                Cell::u64(r.miss_drops),
+                Cell::u64(r.queued),
+                Cell::f64(r.mean_queue_delay_ms, 1),
             ]);
         }
-        t
+        s
+    }
+
+    /// Render the result table.
+    pub fn table(&self) -> Table {
+        self.section().table()
     }
 
     /// Rows for one control plane.
@@ -94,10 +102,10 @@ pub fn e2_variants() -> Vec<CpKind> {
 pub fn run_drops_cell(cp: CpKind, owd: Ns, seed: u64) -> DropRow {
     let packets = 150u32;
     let interval = Ns::from_ms(5);
-    let mut world = Fig1Builder::new(cp)
-        .with_params(|p| {
-            p.provider_owd = owd;
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(cp)
+        .with(|s| {
+            s.set_provider_owd(owd);
+            s.set_flows(flow_script(
                 &[Ns::ZERO],
                 4,
                 FlowMode::Udp {
@@ -105,7 +113,7 @@ pub fn run_drops_cell(cp: CpKind, owd: Ns, seed: u64) -> DropRow {
                     interval,
                     size: 400,
                 },
-            );
+            ));
         })
         .build(seed);
     world.schedule_all_flows();
@@ -113,28 +121,22 @@ pub fn run_drops_cell(cp: CpKind, owd: Ns, seed: u64) -> DropRow {
 
     let rec = world.records()[0].clone();
     let delivered = world.server_udp_received();
-    let (miss_drops, queued, delays): (u64, u64, Vec<Ns>) = match world.xtrs {
-        Some(xtrs) => {
-            let mut d = 0;
-            let mut q = 0;
-            let mut ds = Vec::new();
-            for &x in &xtrs {
-                let xtr = world.sim.node_ref::<Xtr>(x);
-                d += xtr.stats.miss_drops;
-                q += xtr.stats.queued;
-                ds.extend(xtr.queue_delays.iter().copied());
-            }
-            (d, q, ds)
-        }
-        None => (0, 0, Vec::new()),
-    };
+    let mut miss_drops = 0;
+    let mut queued = 0;
+    let mut delays: Vec<Ns> = Vec::new();
+    for x in world.all_xtrs() {
+        let xtr = world.sim.node_ref::<Xtr>(x);
+        miss_drops += xtr.stats.miss_drops;
+        queued += xtr.stats.queued;
+        delays.extend(xtr.queue_delays.iter().copied());
+    }
     let mean_queue_delay_ms = if delays.is_empty() {
         0.0
     } else {
         delays.iter().map(|d| d.as_ms_f64()).sum::<f64>() / delays.len() as f64
     };
     DropRow {
-        cp: cp.label(),
+        cp: cp.label().into_owned(),
         owd_ms: owd.as_ms(),
         sent: u64::from(rec.data_sent),
         delivered,
@@ -158,6 +160,21 @@ pub fn run_drops(seed: u64) -> DropsResult {
         }
     }
     result
+}
+
+/// The registry entry for E2.
+pub struct E2Drops;
+
+impl crate::experiments::Experiment for E2Drops {
+    fn name(&self) -> &'static str {
+        "e2"
+    }
+    fn title(&self) -> &'static str {
+        "Packet loss/queueing during mapping resolution"
+    }
+    fn run(&self, seed: u64) -> ExpReport {
+        ExpReport::new(self.name(), self.title()).with_section(run_drops(seed).section())
+    }
 }
 
 #[cfg(test)]

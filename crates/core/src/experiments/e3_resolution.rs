@@ -11,8 +11,10 @@
 //! The reported ratio is `(T_DNS + T_map_eff) / T_DNS` — the paper claims
 //! ≈ 1.0 for its control plane.
 
+use crate::experiments::report::{Cell, ExpReport, Section};
 use crate::hosts::FlowMode;
-use crate::scenario::{flow_script, CpKind, Fig1Builder};
+use crate::scenario::{flow_script, CpKind};
+use crate::spec::ScenarioSpec;
 use lispdp::{MissPolicy, Xtr};
 use netsim::Ns;
 use simstats::Table;
@@ -40,22 +42,28 @@ pub struct ResolutionResult {
 }
 
 impl ResolutionResult {
-    /// Render the table.
-    pub fn table(&self) -> Table {
-        let mut t = Table::new(
+    /// The typed result section.
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "resolution",
             "E3: (T_DNS + T_map_eff)/T_DNS per control plane",
             &["cp", "owd_ms", "t_dns_ms", "t_map_eff_ms", "ratio"],
         );
         for r in &self.rows {
-            t.row(&[
-                r.cp.clone(),
-                r.owd_ms.to_string(),
-                format!("{:.1}", r.t_dns_ms),
-                format!("{:.1}", r.t_map_eff_ms),
-                format!("{:.3}", r.ratio),
+            s.row(vec![
+                Cell::str(r.cp.clone()),
+                Cell::u64(r.owd_ms),
+                Cell::f64(r.t_dns_ms, 1),
+                Cell::f64(r.t_map_eff_ms, 1),
+                Cell::f64(r.ratio, 3),
             ]);
         }
-        t
+        s
+    }
+
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        self.section().table()
     }
 }
 
@@ -72,10 +80,10 @@ pub fn e3_variants() -> Vec<CpKind> {
 
 /// Run one (cp, owd) cell.
 pub fn run_resolution_cell(cp: CpKind, owd: Ns, seed: u64) -> ResolutionRow {
-    let mut world = Fig1Builder::new(cp)
-        .with_params(|p| {
-            p.provider_owd = owd;
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(cp)
+        .with(|s| {
+            s.set_provider_owd(owd);
+            s.set_flows(flow_script(
                 &[Ns::ZERO],
                 4,
                 FlowMode::Udp {
@@ -83,33 +91,24 @@ pub fn run_resolution_cell(cp: CpKind, owd: Ns, seed: u64) -> ResolutionRow {
                     interval: Ns::from_ms(1),
                     size: 200,
                 },
-            );
+            ));
         })
         .build(seed);
     // Queue policy for pull systems so the first packet's waiting time is
     // exactly T_map.
-    if let Some(xtrs) = world.xtrs {
-        for &x in &xtrs {
-            let xtr = world.sim.node_mut::<Xtr>(x);
-            if matches!(xtr.cfg.mode, lispdp::CpMode::Pull { .. }) {
-                xtr.cfg.miss_policy = MissPolicy::Queue { max_packets: 64 };
-            }
-        }
-    }
+    world.override_pull_miss_policy(MissPolicy::Queue { max_packets: 64 });
     world.schedule_all_flows();
     world.sim.run_until(Ns::from_secs(60));
 
     let rec = world.records()[0].clone();
     let t_dns = rec.dns_time().unwrap_or(Ns::ZERO);
     // First-packet queue delay across ITRs = T_map_eff for pull systems.
-    let t_map_eff = match world.xtrs {
-        Some(xtrs) => xtrs
-            .iter()
-            .flat_map(|&x| world.sim.node_ref::<Xtr>(x).queue_delays.clone())
-            .max()
-            .unwrap_or(Ns::ZERO),
-        None => Ns::ZERO,
-    };
+    let t_map_eff = world
+        .all_xtrs()
+        .iter()
+        .flat_map(|&x| world.sim.node_ref::<Xtr>(x).queue_delays.clone())
+        .max()
+        .unwrap_or(Ns::ZERO);
     let t_dns_ms = t_dns.as_ms_f64();
     let t_map_eff_ms = t_map_eff.as_ms_f64();
     let ratio = if t_dns_ms > 0.0 {
@@ -118,7 +117,7 @@ pub fn run_resolution_cell(cp: CpKind, owd: Ns, seed: u64) -> ResolutionRow {
         0.0
     };
     ResolutionRow {
-        cp: cp.label(),
+        cp: cp.label().into_owned(),
         owd_ms: owd.as_ms(),
         t_dns_ms,
         t_map_eff_ms,
@@ -146,10 +145,10 @@ pub fn run_resolution(seed: u64) -> ResolutionResult {
 /// Returns `(t_dns_precomputed_ms, t_dns_on_demand_ms)`.
 pub fn run_ablation_precompute(seed: u64) -> (f64, f64) {
     let run = |precompute: bool| -> f64 {
-        let mut world = Fig1Builder::new(CpKind::Pce)
-            .with_params(|p| {
-                p.pce_precompute = precompute;
-                p.flows = flow_script(
+        let mut world = ScenarioSpec::fig1(CpKind::Pce)
+            .with(|s| {
+                s.pce_precompute = precompute;
+                s.set_flows(flow_script(
                     &[Ns::ZERO],
                     4,
                     FlowMode::Udp {
@@ -157,7 +156,7 @@ pub fn run_ablation_precompute(seed: u64) -> (f64, f64) {
                         interval: Ns::from_ms(1),
                         size: 100,
                     },
-                );
+                ));
             })
             .build(seed);
         world.schedule_all_flows();
@@ -168,6 +167,36 @@ pub fn run_ablation_precompute(seed: u64) -> (f64, f64) {
             .unwrap_or(f64::NAN)
     };
     (run(true), run(false))
+}
+
+/// The A2 ablation as a typed section.
+pub fn ablation_precompute_section(seed: u64) -> Section {
+    let (pre, demand) = run_ablation_precompute(seed);
+    let mut s = Section::new(
+        "ablation_precompute",
+        "A2: PCE precompute vs on-demand mapping computation",
+        &["variant", "t_dns_ms"],
+    );
+    s.row(vec![Cell::str("precomputed (paper)"), Cell::f64(pre, 1)]);
+    s.row(vec![Cell::str("on-demand (ablated)"), Cell::f64(demand, 1)]);
+    s
+}
+
+/// The registry entry for E3 (includes the A2 ablation section).
+pub struct E3Resolution;
+
+impl crate::experiments::Experiment for E3Resolution {
+    fn name(&self) -> &'static str {
+        "e3"
+    }
+    fn title(&self) -> &'static str {
+        "Mapping resolution hidden inside the DNS time"
+    }
+    fn run(&self, seed: u64) -> ExpReport {
+        ExpReport::new(self.name(), self.title())
+            .with_section(run_resolution(seed).section())
+            .with_section(ablation_precompute_section(seed))
+    }
 }
 
 #[cfg(test)]

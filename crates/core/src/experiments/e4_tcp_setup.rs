@@ -11,9 +11,11 @@
 //! * PCE control plane: `T_DNS + 2·OWD`, i.e. indistinguishable from
 //!   today's Internet.
 
-use crate::hosts::{FlowMode, TrafficHost};
-use crate::scenario::{flow_script, CpKind, Fig1Builder};
-use lispdp::{MissPolicy, Xtr};
+use crate::experiments::report::{Cell, ExpReport, Section};
+use crate::hosts::FlowMode;
+use crate::scenario::{flow_script, CpKind};
+use crate::spec::ScenarioSpec;
+use lispdp::MissPolicy;
 use netsim::Ns;
 use simstats::Table;
 
@@ -41,26 +43,28 @@ pub struct SetupResult {
 }
 
 impl SetupResult {
-    /// Render the table.
-    pub fn table(&self) -> Table {
-        let mut t = Table::new(
+    /// The typed result section.
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "setup",
             "E4: TCP connection establishment (client-side), per control plane",
             &["cp", "owd_ms", "t_dns_ms", "t_setup_ms", "handshake_ms"],
         );
         for r in &self.rows {
-            t.row(&[
-                r.cp.clone(),
-                r.owd_ms.to_string(),
-                format!("{:.1}", r.t_dns_ms),
-                r.t_setup_ms
-                    .map(|v| format!("{v:.1}"))
-                    .unwrap_or_else(|| "FAILED".into()),
-                r.handshake_ms
-                    .map(|v| format!("{v:.1}"))
-                    .unwrap_or_else(|| "-".into()),
+            s.row(vec![
+                Cell::str(r.cp.clone()),
+                Cell::u64(r.owd_ms),
+                Cell::f64(r.t_dns_ms, 1),
+                Cell::opt_f64(r.t_setup_ms, 1, "FAILED"),
+                Cell::opt_f64(r.handshake_ms, 1, "-"),
             ]);
         }
-        t
+        s
+    }
+
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        self.section().table()
     }
 
     /// Find a row.
@@ -85,10 +89,10 @@ pub fn e4_variants() -> Vec<CpKind> {
 
 /// Run one cell.
 pub fn run_setup_cell(cp: CpKind, owd: Ns, seed: u64) -> SetupRow {
-    let mut world = Fig1Builder::new(cp)
-        .with_params(|p| {
-            p.provider_owd = owd;
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(cp)
+        .with(|s| {
+            s.set_provider_owd(owd);
+            s.set_flows(flow_script(
                 &[Ns::ZERO],
                 4,
                 FlowMode::Tcp {
@@ -96,7 +100,7 @@ pub fn run_setup_cell(cp: CpKind, owd: Ns, seed: u64) -> SetupRow {
                     interval: Ns::from_ms(1),
                     size: 200,
                 },
-            );
+            ));
         })
         .build(seed);
     // ALT/CONS need queueing to complete the handshake at all.
@@ -104,22 +108,17 @@ pub fn run_setup_cell(cp: CpKind, owd: Ns, seed: u64) -> SetupRow {
         cp,
         CpKind::Alt { .. } | CpKind::Cons { .. } | CpKind::LispQueue
     ) {
-        if let Some(xtrs) = world.xtrs {
-            for &x in &xtrs {
-                world.sim.node_mut::<Xtr>(x).cfg.miss_policy =
-                    MissPolicy::Queue { max_packets: 64 };
-            }
-        }
+        world.override_pull_miss_policy(MissPolicy::Queue { max_packets: 64 });
     }
     world.schedule_all_flows();
     world.sim.run_until(Ns::from_secs(60));
 
-    let rec = world.sim.node_ref::<TrafficHost>(world.host_s).records[0].clone();
+    let rec = world.records()[0].clone();
     let t_dns_ms = rec.dns_time().map(|t| t.as_ms_f64()).unwrap_or(f64::NAN);
     let t_setup_ms = rec.setup_time().map(|t| t.as_ms_f64());
     let handshake_ms = t_setup_ms.map(|s| s - t_dns_ms);
     SetupRow {
-        cp: cp.label(),
+        cp: cp.label().into_owned(),
         owd_ms: owd.as_ms(),
         t_dns_ms,
         t_setup_ms,
@@ -141,6 +140,21 @@ pub fn run_tcp_setup(seed: u64) -> SetupResult {
         }
     }
     result
+}
+
+/// The registry entry for E4.
+pub struct E4TcpSetup;
+
+impl crate::experiments::Experiment for E4TcpSetup {
+    fn name(&self) -> &'static str {
+        "e4"
+    }
+    fn title(&self) -> &'static str {
+        "TCP connection-establishment latency"
+    }
+    fn run(&self, seed: u64) -> ExpReport {
+        ExpReport::new(self.name(), self.title()).with_section(run_tcp_setup(seed).section())
+    }
 }
 
 #[cfg(test)]

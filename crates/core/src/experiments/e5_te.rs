@@ -11,8 +11,10 @@
 //! mid-flow egress moves lossless; pushing to only the first ITR strands
 //! moved flows on a stateless border router.
 
+use crate::experiments::report::{Cell, ExpReport, Section};
 use crate::hosts::{FlowMode, ServerHost};
-use crate::scenario::{addrs, flow_script, CpKind, Fig1Builder, FlowRouter};
+use crate::scenario::{flow_script, CpKind, FlowRouter};
+use crate::spec::ScenarioSpec;
 use ircte::Imbalance;
 use netsim::Ns;
 use simstats::Table;
@@ -40,9 +42,10 @@ pub struct TeResult {
 }
 
 impl TeResult {
-    /// Render the table.
-    pub fn table(&self) -> Table {
-        let mut t = Table::new(
+    /// The typed result section.
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "inbound_te",
             "E5: inbound TE — per-provider inbound bytes (flows with echo traffic)",
             &[
                 "cp",
@@ -55,27 +58,32 @@ impl TeResult {
             ],
         );
         for r in &self.rows {
-            t.row(&[
-                r.cp.clone(),
-                r.inbound_s[0].to_string(),
-                r.inbound_s[1].to_string(),
-                r.inbound_d[0].to_string(),
-                r.inbound_d[1].to_string(),
-                format!("{:.3}", r.imbalance_d.max),
-                format!("{:.3}", r.imbalance_d.stddev),
+            s.row(vec![
+                Cell::str(r.cp.clone()),
+                Cell::u64(r.inbound_s[0]),
+                Cell::u64(r.inbound_s[1]),
+                Cell::u64(r.inbound_d[0]),
+                Cell::u64(r.inbound_d[1]),
+                Cell::f64(r.imbalance_d.max, 3),
+                Cell::f64(r.imbalance_d.stddev, 3),
             ]);
         }
-        t
+        s
+    }
+
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        self.section().table()
     }
 }
 
 /// Run one control plane's TE measurement.
 pub fn run_te_cell(cp: CpKind, n_flows: usize, seed: u64) -> TeRow {
     let starts: Vec<Ns> = (0..n_flows).map(|i| Ns::from_ms(400 * i as u64)).collect();
-    let mut world = Fig1Builder::new(cp)
-        .with_params(|p| {
-            p.dest_count = 8;
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(cp)
+        .with(|s| {
+            s.set_dest_count(8);
+            s.set_flows(flow_script(
                 &starts,
                 8,
                 FlowMode::Udp {
@@ -83,22 +91,24 @@ pub fn run_te_cell(cp: CpKind, n_flows: usize, seed: u64) -> TeRow {
                     interval: Ns::from_ms(5),
                     size: 600,
                 },
-            );
+            ));
         })
         .build(seed);
-    world.sim.node_mut::<ServerHost>(world.host_d).echo_udp = true;
+    let host_d = world.site("D").host;
+    world.sim.node_mut::<ServerHost>(host_d).echo_udp = true;
     world.schedule_all_flows();
     world.sim.run_until(Ns::from_secs(120));
 
-    let inbound = world.provider_inbound_bytes();
-    let inbound_s = [inbound[0], inbound[1]];
-    let inbound_d = [inbound[2], inbound[3]];
+    let in_s = world.provider_inbound_bytes("S");
+    let in_d = world.provider_inbound_bytes("D");
+    let inbound_s = [in_s[0], in_s[1]];
+    let inbound_d = [in_d[0], in_d[1]];
     let norm = |pair: [u64; 2]| -> Imbalance {
         let total = (pair[0] + pair[1]).max(1) as f64;
         Imbalance::of(&[pair[0] as f64 / total, pair[1] as f64 / total])
     };
     TeRow {
-        cp: cp.label(),
+        cp: cp.label().into_owned(),
         inbound_s,
         inbound_d,
         imbalance_d: norm(inbound_d),
@@ -126,35 +136,41 @@ pub struct AblationPushResult {
 }
 
 impl AblationPushResult {
-    /// Render the table.
-    pub fn table(&self) -> Table {
-        let mut t = Table::new(
+    /// The typed result section.
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "ablation_push",
             "A1: mid-flow egress move — push-to-all-ITRs vs push-to-one",
             &["variant", "sent", "delivered", "miss_drops"],
         );
-        t.row(&[
-            "push-all (paper)".into(),
-            self.push_all.0.to_string(),
-            self.push_all.1.to_string(),
-            self.push_all.2.to_string(),
+        s.row(vec![
+            Cell::str("push-all (paper)"),
+            Cell::u64(self.push_all.0),
+            Cell::u64(self.push_all.1),
+            Cell::u64(self.push_all.2),
         ]);
-        t.row(&[
-            "push-one (ablated)".into(),
-            self.push_one.0.to_string(),
-            self.push_one.1.to_string(),
-            self.push_one.2.to_string(),
+        s.row(vec![
+            Cell::str("push-one (ablated)"),
+            Cell::u64(self.push_one.0),
+            Cell::u64(self.push_one.1),
+            Cell::u64(self.push_one.2),
         ]);
-        t
+        s
+    }
+
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        self.section().table()
     }
 }
 
 /// Run the A1 ablation.
 pub fn run_ablation_push(seed: u64) -> AblationPushResult {
     let run = |push_all: bool| -> (u64, u64, u64) {
-        let mut world = Fig1Builder::new(CpKind::Pce)
-            .with_params(|p| {
-                p.pce_push_all = push_all;
-                p.flows = flow_script(
+        let mut world = ScenarioSpec::fig1(CpKind::Pce)
+            .with(|s| {
+                s.pce_push_all = push_all;
+                s.set_flows(flow_script(
                     &[Ns::ZERO],
                     4,
                     FlowMode::Udp {
@@ -162,26 +178,27 @@ pub fn run_ablation_push(seed: u64) -> AblationPushResult {
                         interval: Ns::from_ms(10),
                         size: 400,
                     },
-                );
+                ));
             })
             .build(seed);
         world.schedule_all_flows();
         // Let the flow resolve and stream for a while via xTR-A.
         world.sim.run_until(Ns::from_ms(600));
         // TE action: move the flow's egress to xTR-B.
-        let dest = {
-            let rec = &world
-                .sim
-                .node_ref::<crate::hosts::TrafficHost>(world.host_s)
-                .records[0];
-            rec.dest
+        let dest = world.records()[0].dest;
+        let (host_s_addr, site_s, port_b) = {
+            let site = world.site("S");
+            (
+                site.host_addr,
+                site.router,
+                site.egress_ports.get(1).copied(),
+            )
         };
-        if let (Some(dest), Some((_, port_b))) = (dest, world.site_s_egress_ports) {
-            let site_s = world.site_routers.0;
+        if let (Some(dest), Some(port_b)) = (dest, port_b) {
             world
                 .sim
                 .node_mut::<FlowRouter>(site_s)
-                .pin_flow(addrs::HOST_S, dest, port_b);
+                .pin_flow(host_s_addr, dest, port_b);
         }
         world.sim.run_until(Ns::from_secs(60));
         let rec = world.records()[0].clone();
@@ -192,6 +209,23 @@ pub fn run_ablation_push(seed: u64) -> AblationPushResult {
     AblationPushResult {
         push_all: run(true),
         push_one: run(false),
+    }
+}
+
+/// The registry entry for E5 (includes the A1 ablation section).
+pub struct E5Te;
+
+impl crate::experiments::Experiment for E5Te {
+    fn name(&self) -> &'static str {
+        "e5"
+    }
+    fn title(&self) -> &'static str {
+        "Inbound traffic-engineering flexibility"
+    }
+    fn run(&self, seed: u64) -> ExpReport {
+        ExpReport::new(self.name(), self.title())
+            .with_section(run_te(seed).section())
+            .with_section(run_ablation_push(seed).section())
     }
 }
 

@@ -8,8 +8,10 @@
 //! control plane (the PCE control plane never takes a data-driven miss —
 //! shown alongside).
 
+use crate::experiments::report::{Cell, ExpReport, Section};
 use crate::hosts::FlowMode;
-use crate::scenario::{CpKind, Fig1Builder};
+use crate::scenario::CpKind;
+use crate::spec::ScenarioSpec;
 use crate::workload::{PoissonArrivals, ZipfPicker};
 use lispdp::{MissPolicy, Xtr};
 use lispwire::dnswire::Name;
@@ -45,9 +47,10 @@ pub struct CacheResult {
 }
 
 impl CacheResult {
-    /// Render the table.
-    pub fn table(&self) -> Table {
-        let mut t = Table::new(
+    /// The typed result section.
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "cache",
             "E6: map-cache hit ratio vs TTL and workload skew (vanilla LISP vs PCE)",
             &[
                 "cp",
@@ -61,18 +64,23 @@ impl CacheResult {
             ],
         );
         for r in &self.rows {
-            t.row(&[
-                r.cp.clone(),
-                r.ttl_minutes.to_string(),
-                format!("{:.1}", r.zipf_s),
-                r.hits.to_string(),
-                r.misses.to_string(),
-                r.expirations.to_string(),
-                format!("{:.3}", r.hit_ratio),
-                r.affected_packets.to_string(),
+            s.row(vec![
+                Cell::str(r.cp.clone()),
+                Cell::u64(u64::from(r.ttl_minutes)),
+                Cell::f64(r.zipf_s, 1),
+                Cell::u64(r.hits),
+                Cell::u64(r.misses),
+                Cell::u64(r.expirations),
+                Cell::f64(r.hit_ratio, 3),
+                Cell::u64(r.affected_packets),
             ]);
         }
-        t
+        s
+    }
+
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        self.section().table()
     }
 }
 
@@ -105,39 +113,30 @@ pub fn run_cache_cell(cp: CpKind, ttl_minutes: u16, zipf_s: f64, seed: u64) -> C
     let dest_count = 16;
     let flows = zipf_flows(n_flows, dest_count, zipf_s, 1.2, seed);
     let horizon = flows.last().map(|f| f.start).unwrap_or(Ns::ZERO) + Ns::from_secs(30);
-    let mut world = Fig1Builder::new(cp)
-        .with_params(|p| {
-            p.dest_count = dest_count;
-            p.mapping_ttl_minutes = ttl_minutes;
-            p.fine_grained_mappings = true;
-            p.flows = flows;
+    let mut world = ScenarioSpec::fig1(cp)
+        .with(|s| {
+            s.set_dest_count(dest_count);
+            s.mapping_ttl_minutes = ttl_minutes;
+            s.fine_grained_mappings = true;
+            s.set_flows(flows);
         })
         .build(seed);
-    if let Some(xtrs) = world.xtrs {
-        for &x in &xtrs {
-            let xtr = world.sim.node_mut::<Xtr>(x);
-            if matches!(xtr.cfg.mode, lispdp::CpMode::Pull { .. }) {
-                xtr.cfg.miss_policy = MissPolicy::Queue { max_packets: 64 };
-            }
-        }
-    }
+    world.override_pull_miss_policy(MissPolicy::Queue { max_packets: 64 });
     world.schedule_all_flows();
     world.sim.run_until(horizon);
 
     let (mut hits, mut misses, mut expirations, mut affected) = (0u64, 0u64, 0u64, 0u64);
-    if let Some(xtrs) = world.xtrs {
-        // Only the S-side ITRs see the forward data path.
-        for &x in &xtrs[..2] {
-            let xtr = world.sim.node_ref::<Xtr>(x);
-            hits += xtr.cache.hit_count;
-            misses += xtr.cache.miss_count;
-            expirations += xtr.cache.expirations;
-            affected += xtr.stats.miss_drops + xtr.stats.queued;
-        }
+    // Only the S-side ITRs see the forward data path.
+    for &x in &world.site("S").xtrs {
+        let xtr = world.sim.node_ref::<Xtr>(x);
+        hits += xtr.cache.hit_count;
+        misses += xtr.cache.miss_count;
+        expirations += xtr.cache.expirations;
+        affected += xtr.stats.miss_drops + xtr.stats.queued;
     }
     let total = hits + misses;
     CacheRow {
-        cp: cp.label(),
+        cp: cp.label().into_owned(),
         ttl_minutes,
         zipf_s,
         hits,
@@ -166,6 +165,21 @@ pub fn run_cache(seed: u64) -> CacheResult {
             .push(run_cache_cell(CpKind::Pce, 10, zipf_s, seed));
     }
     result
+}
+
+/// The registry entry for E6.
+pub struct E6Cache;
+
+impl crate::experiments::Experiment for E6Cache {
+    fn name(&self) -> &'static str {
+        "e6"
+    }
+    fn title(&self) -> &'static str {
+        "Map-cache behaviour under TTL aging and workload skew"
+    }
+    fn run(&self, seed: u64) -> ExpReport {
+        ExpReport::new(self.name(), self.title()).with_section(run_cache(seed).section())
+    }
 }
 
 #[cfg(test)]

@@ -6,9 +6,11 @@
 //! after the first decapsulation, and verifies correctness under
 //! concurrent flows.
 
+use crate::experiments::report::{Cell, ExpReport, Section};
 use crate::hosts::FlowMode;
 use crate::pce::Pce;
-use crate::scenario::{flow_script, CpKind, Fig1Builder};
+use crate::scenario::{flow_script, CpKind};
+use crate::spec::ScenarioSpec;
 use lispdp::Xtr;
 use netsim::Ns;
 use simstats::Table;
@@ -33,9 +35,10 @@ pub struct ReverseResult {
 }
 
 impl ReverseResult {
-    /// Render the table.
-    pub fn table(&self) -> Table {
-        let mut t = Table::new(
+    /// The typed result section.
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "reverse",
             "E7: reverse-mapping completion after first packet at ETR",
             &["milestone", "t_ms", "delta_from_decap_ms"],
         );
@@ -46,28 +49,33 @@ impl ReverseResult {
             ("peer xTR install (multicast)", self.t_peer_install),
             ("PCE database update", self.t_db_update),
         ] {
-            t.row(&[
-                label.into(),
-                format!("{:.3}", at.as_ms_f64()),
-                format!("{:.3}", at.saturating_sub(base).as_ms_f64()),
+            s.row(vec![
+                Cell::str(label),
+                Cell::f64(at.as_ms_f64(), 3),
+                Cell::f64(at.saturating_sub(base).as_ms_f64(), 3),
             ]);
         }
-        t.row(&[
-            "concurrent flows".into(),
-            self.concurrent_flows.to_string(),
-            String::new(),
+        s.row(vec![
+            Cell::str("concurrent flows"),
+            Cell::usize(self.concurrent_flows),
+            Cell::empty(),
         ]);
-        t.row(&[
-            "reverse entries complete".into(),
-            self.reverse_entries_complete.to_string(),
-            String::new(),
+        s.row(vec![
+            Cell::str("reverse entries complete"),
+            Cell::bool(self.reverse_entries_complete),
+            Cell::empty(),
         ]);
-        t.row(&[
-            "PCE db entries".into(),
-            self.db_entries.to_string(),
-            String::new(),
+        s.row(vec![
+            Cell::str("PCE db entries"),
+            Cell::usize(self.db_entries),
+            Cell::empty(),
         ]);
-        t
+        s
+    }
+
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        self.section().table()
     }
 }
 
@@ -75,10 +83,10 @@ impl ReverseResult {
 pub fn run_reverse(concurrent_flows: usize, seed: u64) -> ReverseResult {
     let n = concurrent_flows.max(1);
     let starts: Vec<Ns> = (0..n).map(|i| Ns::from_ms(50 * i as u64)).collect();
-    let mut world = Fig1Builder::new(CpKind::Pce)
-        .with_params(|p| {
-            p.dest_count = n.max(4);
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(CpKind::Pce)
+        .with(|s| {
+            s.set_dest_count(n.max(4));
+            s.set_flows(flow_script(
                 &starts,
                 n.max(4),
                 FlowMode::Udp {
@@ -86,7 +94,7 @@ pub fn run_reverse(concurrent_flows: usize, seed: u64) -> ReverseResult {
                     interval: Ns::from_ms(2),
                     size: 300,
                 },
-            );
+            ));
         })
         .build(seed);
     world.sim.trace.enable();
@@ -115,21 +123,18 @@ pub fn run_reverse(concurrent_flows: usize, seed: u64) -> ReverseResult {
     let t_db_update = trace.time_of("database updated").expect("db update traced");
 
     // Verify every flow's reverse entry exists at both D-side xTRs.
+    let host_s_addr = world.client().host_addr;
     let dest_of_flow: Vec<_> = world.records().iter().filter_map(|r| r.dest).collect();
-    let xtrs = world.xtrs.expect("pce world has xtrs");
     let mut complete = !dest_of_flow.is_empty();
-    for &x in &xtrs[2..] {
+    for &x in &world.site("D").xtrs {
         let xtr = world.sim.node_ref::<Xtr>(x);
         for dest in &dest_of_flow {
-            if !xtr
-                .flows
-                .contains_key(&(*dest, crate::scenario::addrs::HOST_S))
-            {
+            if !xtr.flows.contains_key(&(*dest, host_s_addr)) {
                 complete = false;
             }
         }
     }
-    let (_, pce_d) = world.pces.expect("pce world");
+    let pce_d = world.site("D").pce.expect("pce world");
     let db_entries = world.sim.node_ref::<Pce>(pce_d).db.len();
 
     ReverseResult {
@@ -140,6 +145,21 @@ pub fn run_reverse(concurrent_flows: usize, seed: u64) -> ReverseResult {
         concurrent_flows: n,
         reverse_entries_complete: complete,
         db_entries,
+    }
+}
+
+/// The registry entry for E7 (runs with 4 concurrent flows).
+pub struct E7Reverse;
+
+impl crate::experiments::Experiment for E7Reverse {
+    fn name(&self) -> &'static str {
+        "e7"
+    }
+    fn title(&self) -> &'static str {
+        "Two-way (reverse) mapping completion"
+    }
+    fn run(&self, seed: u64) -> ExpReport {
+        ExpReport::new(self.name(), self.title()).with_section(run_reverse(4, seed).section())
     }
 }
 

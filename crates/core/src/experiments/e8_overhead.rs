@@ -7,9 +7,11 @@
 //! control plane (per-active-flow state, domain-local database) sit at
 //! opposite ends — the paper's implicit scaling argument.
 
+use crate::experiments::report::{Cell, ExpReport, Section};
 use crate::hosts::FlowMode;
 use crate::pce::Pce;
-use crate::scenario::{flow_script, CpKind, Fig1Builder};
+use crate::scenario::{flow_script, CpKind};
+use crate::spec::{ScenarioSpec, World};
 use lispdp::Xtr;
 use mapsys::{AltRouter, ConsNode, MapResolver, NerdAuthority};
 use netsim::Ns;
@@ -41,9 +43,10 @@ pub struct OverheadResult {
 }
 
 impl OverheadResult {
-    /// Render the table.
-    pub fn table(&self) -> Table {
-        let mut t = Table::new(
+    /// The typed result section.
+    pub fn section(&self) -> Section {
+        let mut s = Section::new(
+            "overhead",
             "E8: control-plane overhead per flow burst",
             &[
                 "cp",
@@ -55,26 +58,92 @@ impl OverheadResult {
             ],
         );
         for r in &self.rows {
-            t.row(&[
-                r.cp.clone(),
-                r.flows.to_string(),
-                r.control_msgs.to_string(),
-                r.itr_state_entries.to_string(),
-                r.cp_state_entries.to_string(),
-                r.push_bytes.to_string(),
+            s.row(vec![
+                Cell::str(r.cp.clone()),
+                Cell::usize(r.flows),
+                Cell::u64(r.control_msgs),
+                Cell::u64(r.itr_state_entries),
+                Cell::u64(r.cp_state_entries),
+                Cell::u64(r.push_bytes),
             ]);
         }
-        t
+        s
     }
+
+    /// Render the table.
+    pub fn table(&self) -> Table {
+        self.section().table()
+    }
+}
+
+/// Control-plane cost tally of a finished world (shared by E8 and the
+/// E9 scale sweep).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpTally {
+    /// Control messages attributable to mapping resolution/distribution.
+    pub control_msgs: u64,
+    /// Mapping entries held across all border routers.
+    pub itr_state_entries: u64,
+    /// Entries held by the control-plane infrastructure.
+    pub cp_state_entries: u64,
+    /// Database bytes pushed (NERD).
+    pub push_bytes: u64,
+}
+
+/// Tally the control-plane cost of a finished run.
+pub fn control_plane_tally(world: &World) -> CpTally {
+    let mut t = CpTally::default();
+    let site_count = world.sites.len() as u64;
+    for x in world.all_xtrs() {
+        let xtr = world.sim.node_ref::<Xtr>(x);
+        t.control_msgs += xtr.stats.map_requests_sent
+            + xtr.stats.map_request_retries
+            + xtr.stats.map_replies_received
+            + xtr.stats.map_requests_answered
+            + xtr.stats.reverse_syncs_sent
+            + xtr.stats.flow_installs
+            + xtr.stats.db_records_installed;
+        t.itr_state_entries += xtr.cache.len() as u64 + xtr.flows.len() as u64;
+    }
+    if let Some(mr) = world.mr_node {
+        let node = world.sim.node_ref::<MapResolver>(mr);
+        t.control_msgs += node.forwarded;
+        t.cp_state_entries += site_count; // registered site prefixes in the MR table
+    }
+    if let Some(nerd) = world.nerd_node {
+        let node = world.sim.node_ref::<NerdAuthority>(nerd);
+        t.control_msgs += node.chunks_sent;
+        t.push_bytes = node.bytes_pushed;
+        t.cp_state_entries += node.db_len() as u64;
+    }
+    for &id in &world.alt_nodes {
+        let node = world.sim.node_ref::<AltRouter>(id);
+        t.control_msgs += node.overlay_hops + node.delivered;
+        t.cp_state_entries += site_count; // overlay routing entries per router
+    }
+    for &id in &world.cons_nodes {
+        let node = world.sim.node_ref::<ConsNode>(id);
+        t.control_msgs += node.overlay_hops + node.delivered + node.replies_relayed;
+        t.cp_state_entries += site_count;
+    }
+    for site in &world.sites {
+        if let Some(pce) = site.pce {
+            let node = world.sim.node_ref::<Pce>(pce);
+            t.control_msgs +=
+                node.stats.pushes_sent + node.stats.dns_intercepts + node.stats.ipc_notices;
+            t.cp_state_entries += node.db.len() as u64;
+        }
+    }
+    t
 }
 
 /// Run one control plane.
 pub fn run_overhead_cell(cp: CpKind, n_flows: usize, seed: u64) -> OverheadRow {
     let starts: Vec<Ns> = (0..n_flows).map(|i| Ns::from_ms(300 * i as u64)).collect();
-    let mut world = Fig1Builder::new(cp)
-        .with_params(|p| {
-            p.dest_count = 8;
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(cp)
+        .with(|s| {
+            s.set_dest_count(8);
+            s.set_flows(flow_script(
                 &starts,
                 8,
                 FlowMode::Udp {
@@ -82,79 +151,21 @@ pub fn run_overhead_cell(cp: CpKind, n_flows: usize, seed: u64) -> OverheadRow {
                     interval: Ns::from_ms(2),
                     size: 300,
                 },
-            );
+            ));
         })
         .build(seed);
-    if let Some(xtrs) = world.xtrs {
-        for &x in &xtrs {
-            let xtr = world.sim.node_mut::<Xtr>(x);
-            if matches!(xtr.cfg.mode, lispdp::CpMode::Pull { .. }) {
-                xtr.cfg.miss_policy = lispdp::MissPolicy::Queue { max_packets: 64 };
-            }
-        }
-    }
+    world.override_pull_miss_policy(lispdp::MissPolicy::Queue { max_packets: 64 });
     world.schedule_all_flows();
     world.sim.run_until(Ns::from_secs(120));
 
-    let mut control_msgs = 0u64;
-    let mut itr_state = 0u64;
-    if let Some(xtrs) = world.xtrs {
-        for &x in &xtrs {
-            let xtr = world.sim.node_ref::<Xtr>(x);
-            control_msgs += xtr.stats.map_requests_sent
-                + xtr.stats.map_request_retries
-                + xtr.stats.map_replies_received
-                + xtr.stats.map_requests_answered
-                + xtr.stats.reverse_syncs_sent
-                + xtr.stats.flow_installs
-                + xtr.stats.db_records_installed;
-            itr_state += xtr.cache.len() as u64 + xtr.flows.len() as u64;
-        }
-    }
-    let mut cp_state = 0u64;
-    let mut push_bytes = 0u64;
-    if let Some(mr) = world.mr_node {
-        let node = world.sim.node_ref::<MapResolver>(mr);
-        control_msgs += node.forwarded;
-        cp_state += 2; // registered site prefixes in the MR table
-    }
-    if let Some(nerd) = world.nerd_node {
-        let node = world.sim.node_ref::<NerdAuthority>(nerd);
-        control_msgs += node.chunks_sent;
-        push_bytes = node.bytes_pushed;
-        cp_state += node.db_len() as u64;
-    }
-    for &id in &world.alt_nodes.clone() {
-        let node = world.sim.node_ref::<AltRouter>(id);
-        control_msgs += node.overlay_hops + node.delivered;
-        cp_state += 2; // overlay routing entries per router
-    }
-    for &id in &world.cons_nodes.clone() {
-        let node = world.sim.node_ref::<ConsNode>(id);
-        control_msgs += node.overlay_hops + node.delivered + node.replies_relayed;
-        cp_state += 2;
-    }
-    if let Some((pce_s, pce_d)) = world.pces {
-        let s = world.sim.node_ref::<Pce>(pce_s).stats.clone();
-        let s_db = world.sim.node_ref::<Pce>(pce_s).db.len() as u64;
-        let d = world.sim.node_ref::<Pce>(pce_d).stats.clone();
-        let d_db = world.sim.node_ref::<Pce>(pce_d).db.len() as u64;
-        control_msgs += s.pushes_sent
-            + s.dns_intercepts
-            + s.ipc_notices
-            + d.pushes_sent
-            + d.dns_intercepts
-            + d.ipc_notices;
-        cp_state += s_db + d_db;
-    }
-
+    let t = control_plane_tally(&world);
     OverheadRow {
-        cp: cp.label(),
+        cp: cp.label().into_owned(),
         flows: n_flows,
-        control_msgs,
-        itr_state_entries: itr_state,
-        cp_state_entries: cp_state,
-        push_bytes,
+        control_msgs: t.control_msgs,
+        itr_state_entries: t.itr_state_entries,
+        cp_state_entries: t.cp_state_entries,
+        push_bytes: t.push_bytes,
     }
 }
 
@@ -171,6 +182,21 @@ pub fn run_overhead(seed: u64) -> OverheadResult {
         result.rows.push(run_overhead_cell(cp, 12, seed));
     }
     result
+}
+
+/// The registry entry for E8.
+pub struct E8Overhead;
+
+impl crate::experiments::Experiment for E8Overhead {
+    fn name(&self) -> &'static str {
+        "e8"
+    }
+    fn title(&self) -> &'static str {
+        "Control-plane overhead: messages and state"
+    }
+    fn run(&self, seed: u64) -> ExpReport {
+        ExpReport::new(self.name(), self.title()).with_section(run_overhead(seed).section())
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,19 @@
-//! Experiment harnesses (see DESIGN.md §4 for the index).
+//! Experiment harnesses (see DESIGN.md §4 and §6 for the index).
 //!
 //! Each `run_*` function builds its worlds, runs them, and returns a
-//! typed result struct with a `table()` renderer; the `bench` crate binary
-//! for each experiment simply calls these and prints.
+//! typed result struct with `section()` / `table()` renderers. Every
+//! experiment is also registered behind the [`Experiment`] trait, so
+//! runners iterate [`registry`] instead of hand-listing modules:
+//!
+//! ```no_run
+//! for exp in pcelisp::experiments::registry() {
+//!     let report = exp.run(1);
+//!     report.print();
+//!     let _json = report.to_json();
+//! }
+//! ```
+
+pub mod report;
 
 pub mod e1_fig1;
 pub mod e2_drops;
@@ -12,3 +23,46 @@ pub mod e5_te;
 pub mod e6_cache;
 pub mod e7_reverse;
 pub mod e8_overhead;
+pub mod e9_scale;
+
+pub use report::{Cell, ExpReport, Experiment, Section, Value};
+
+/// Every experiment in run order (E1–E9).
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(e1_fig1::E1Fig1),
+        Box::new(e2_drops::E2Drops),
+        Box::new(e3_resolution::E3Resolution),
+        Box::new(e4_tcp_setup::E4TcpSetup),
+        Box::new(e5_te::E5Te),
+        Box::new(e6_cache::E6Cache),
+        Box::new(e7_reverse::E7Reverse),
+        Box::new(e8_overhead::E8Overhead),
+        Box::new(e9_scale::E9Scale),
+    ]
+}
+
+/// Look up one experiment by its registry name (`"e1"` … `"e9"`).
+pub fn by_name(name: &str) -> Option<Box<dyn Experiment>> {
+    registry().into_iter().find(|e| e.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_ordered() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]
+        );
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("e5").is_some());
+        assert!(by_name("e99").is_none());
+    }
+}

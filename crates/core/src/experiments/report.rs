@@ -1,0 +1,347 @@
+//! The unified experiment interface: [`Experiment`] (name + run) and
+//! [`ExpReport`] (typed rows + printable tables + JSON).
+//!
+//! Every experiment produces an `ExpReport` made of [`Section`]s. A
+//! section is a titled grid whose cells carry **both** the exact table
+//! text (so renderings stay byte-identical to the historical tables)
+//! and a typed [`Value`] (so JSON emission keeps numbers as numbers).
+
+use simstats::Table;
+use std::fmt::Write as _;
+
+/// A typed cell value, used for JSON serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float (emitted raw, full precision).
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// Missing / not applicable.
+    Null,
+}
+
+/// One table cell: the rendered text plus the typed value behind it.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Exact text shown in the table rendering.
+    pub text: String,
+    /// Typed value for JSON.
+    pub value: Value,
+}
+
+impl Cell {
+    /// A string cell.
+    pub fn str(s: impl Into<String>) -> Self {
+        let text = s.into();
+        Self {
+            value: Value::Str(text.clone()),
+            text,
+        }
+    }
+
+    /// An unsigned-integer cell.
+    pub fn u64(v: u64) -> Self {
+        Self {
+            text: v.to_string(),
+            value: Value::UInt(v),
+        }
+    }
+
+    /// A `usize` cell.
+    pub fn usize(v: usize) -> Self {
+        Self::u64(v as u64)
+    }
+
+    /// A float cell rendered with `prec` decimals.
+    pub fn f64(v: f64, prec: usize) -> Self {
+        Self {
+            text: format!("{v:.prec$}"),
+            value: Value::Float(v),
+        }
+    }
+
+    /// An optional float: `None` renders as `placeholder` and
+    /// serializes as JSON `null`.
+    pub fn opt_f64(v: Option<f64>, prec: usize, placeholder: &str) -> Self {
+        match v {
+            Some(v) => Self::f64(v, prec),
+            None => Self {
+                text: placeholder.to_string(),
+                value: Value::Null,
+            },
+        }
+    }
+
+    /// A boolean cell (renders `true` / `false`).
+    pub fn bool(v: bool) -> Self {
+        Self {
+            text: v.to_string(),
+            value: Value::Bool(v),
+        }
+    }
+
+    /// An empty cell (renders as nothing, serializes as `null`).
+    pub fn empty() -> Self {
+        Self {
+            text: String::new(),
+            value: Value::Null,
+        }
+    }
+}
+
+/// One titled result grid of an experiment.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Stable machine key (`"drops"`, `"ablation_push"`, …).
+    pub key: String,
+    /// Human title (becomes the table title).
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Typed rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Section {
+    /// An empty section.
+    pub fn new(key: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            key: key.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a typed row.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as a plain-text [`Table`].
+    pub fn table(&self) -> Table {
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        let mut t = Table::new(&self.title, &cols);
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| c.text.clone()).collect();
+            t.row(&cells);
+        }
+        t
+    }
+}
+
+/// The result of one experiment run: typed sections with table and
+/// JSON renderings.
+#[derive(Debug, Clone)]
+pub struct ExpReport {
+    /// Experiment key (`"e1"` … `"e9"`).
+    pub name: String,
+    /// One-line experiment title.
+    pub title: String,
+    /// Result sections (≥ 1 for a complete report).
+    pub sections: Vec<Section>,
+}
+
+impl ExpReport {
+    /// An empty report.
+    pub fn new(name: &str, title: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            title: title.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Add a section, builder-style.
+    pub fn with_section(mut self, section: Section) -> Self {
+        self.sections.push(section);
+        self
+    }
+
+    /// All sections as printable tables, in order.
+    pub fn tables(&self) -> Vec<Table> {
+        self.sections.iter().map(Section::table).collect()
+    }
+
+    /// Print every section table to stdout, blank-line separated.
+    pub fn print(&self) {
+        for (i, t) in self.tables().iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            t.print();
+        }
+    }
+
+    /// A report is complete when it has at least one section and every
+    /// section has at least one row (the CI smoke gate).
+    pub fn is_complete(&self) -> bool {
+        !self.sections.is_empty() && self.sections.iter().all(|s| !s.rows.is_empty())
+    }
+
+    /// Serialize to a JSON object:
+    /// `{"name", "title", "sections": [{"key","title","columns","rows"}]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        let _ = write!(
+            out,
+            "\"name\":{},\"title\":{},\"sections\":[",
+            json_str(&self.name),
+            json_str(&self.title)
+        );
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"key\":{},\"title\":{},\"columns\":[",
+                json_str(&s.key),
+                json_str(&s.title)
+            );
+            for (j, c) in s.columns.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(c));
+            }
+            out.push_str("],\"rows\":[");
+            for (j, row) in s.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (k, cell) in row.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_value(&cell.value));
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// JSON-escape a string (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => json_str(s),
+        Value::UInt(n) => n.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Float(f) if f.is_finite() => {
+            // Guarantee a float-typed JSON literal.
+            let s = format!("{f}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Float(_) => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Null => "null".to_string(),
+    }
+}
+
+/// A runnable, registry-listed experiment.
+pub trait Experiment {
+    /// Stable key used by `exp_all --only` (`"e1"` … `"e9"`).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list` output.
+    fn title(&self) -> &'static str;
+    /// Run the experiment at the given seed.
+    fn run(&self, seed: u64) -> ExpReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_report() -> ExpReport {
+        let mut s = Section::new("rows", "demo section", &["cp", "drops", "ratio", "ok"]);
+        s.row(vec![
+            Cell::str("pce"),
+            Cell::u64(0),
+            Cell::f64(1.0, 3),
+            Cell::bool(true),
+        ]);
+        s.row(vec![
+            Cell::str("lisp \"drop\""),
+            Cell::u64(12),
+            Cell::opt_f64(None, 1, "FAILED"),
+            Cell::bool(false),
+        ]);
+        ExpReport::new("e0", "demo").with_section(s)
+    }
+
+    #[test]
+    fn table_renders_cell_text() {
+        let r = demo_report();
+        let rendered = r.tables()[0].render();
+        assert!(rendered.contains("== demo section =="));
+        assert!(rendered.contains("1.000"));
+        assert!(rendered.contains("FAILED"));
+    }
+
+    #[test]
+    fn json_is_typed_and_escaped() {
+        let json = demo_report().to_json();
+        assert!(json.contains("\"name\":\"e0\""));
+        assert!(json.contains("[\"pce\",0,1.0,true]"), "{json}");
+        assert!(json.contains("\"lisp \\\"drop\\\"\""), "{json}");
+        assert!(
+            json.contains(",null,"),
+            "None must serialize as null: {json}"
+        );
+    }
+
+    #[test]
+    fn completeness_gate() {
+        assert!(demo_report().is_complete());
+        let empty = ExpReport::new("x", "no sections");
+        assert!(!empty.is_complete());
+        let hollow =
+            ExpReport::new("x", "empty section").with_section(Section::new("k", "t", &["a"]));
+        assert!(!hollow.is_complete());
+    }
+
+    #[test]
+    fn float_json_always_has_decimal_point() {
+        let mut s = Section::new("k", "t", &["v"]);
+        s.row(vec![Cell::f64(2.0, 1)]);
+        let json = ExpReport::new("e", "t").with_section(s).to_json();
+        assert!(json.contains("[2.0]"), "{json}");
+    }
+}

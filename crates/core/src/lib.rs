@@ -15,20 +15,35 @@
 //! * [`hosts`] — end-host nodes: a traffic client that resolves a name,
 //!   opens a TCP connection or blasts CBR UDP, and records every timing
 //!   the paper's equations mention; and a server peer.
-//! * [`scenario`] — builders for the paper's Fig. 1 world: two ASes, two
-//!   providers each (A/B and X/Y with prefixes 10–13/8), a three-level
-//!   DNS hierarchy, and any of the competing control planes installed.
+//! * [`spec`] — the declarative scenario layer: [`spec::TopologySpec`]
+//!   / [`spec::ScenarioSpec`] describe sites (EID prefix, providers
+//!   with per-link OWD/bandwidth/loss, host population), DNS depth,
+//!   mapping-system placement, control plane and workload;
+//!   `build(seed)` returns a [`spec::World`] whose handles are keyed by
+//!   site/provider name. [`spec::ScenarioSpec::fig1`] reproduces the
+//!   paper's Fig. 1 world exactly; [`spec::ScenarioSpec::multi_site`]
+//!   generates N-site scale scenarios.
+//! * [`scenario`] — the control-plane menu ([`scenario::CpKind`]), the
+//!   site-internal [`scenario::FlowRouter`], and the figure's
+//!   well-known addresses.
 //! * [`workload`] — deterministic Poisson/Zipf flow workload generation.
-//! * [`experiments`] — the E1–E8 / A1–A2 harnesses of DESIGN.md, each
-//!   returning a typed result and a printable table.
+//! * [`experiments`] — the E1–E9 / A1–A2 harnesses of DESIGN.md behind
+//!   the [`experiments::Experiment`] trait: each returns an
+//!   [`experiments::ExpReport`] with typed rows, printable tables and
+//!   JSON serialization, and [`experiments::registry`] drives them all.
 //!
 //! ```no_run
 //! use pcelisp::prelude::*;
 //!
 //! // Build the Fig. 1 world with the PCE control plane and run one flow.
-//! let mut world = Fig1Builder::new(CpKind::Pce).build(1);
+//! let mut world = ScenarioSpec::fig1(CpKind::Pce).build(1);
 //! world.start_flow(0);
 //! world.sim.run_until(Ns::from_secs(5));
+//!
+//! // Or a 32-destination-site scale world with Zipf popularity.
+//! let mut big = ScenarioSpec::multi_site(CpKind::Pce, 32, 4).build(1);
+//! big.schedule_all_flows();
+//! big.sim.run_until(big.last_flow_start() + Ns::from_secs(30));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -38,14 +53,18 @@ pub mod experiments;
 pub mod hosts;
 pub mod pce;
 pub mod scenario;
+pub mod spec;
 pub mod workload;
 
 /// Convenient re-exports for examples and benches.
 pub mod prelude {
-    pub use crate::experiments;
+    pub use crate::experiments::{self, ExpReport, Experiment};
     pub use crate::hosts::{FlowMode, FlowSpec, ServerHost, TrafficHost};
     pub use crate::pce::{Pce, PceConfig};
-    pub use crate::scenario::{CpKind, Fig1Builder, Fig1World};
+    pub use crate::scenario::{CpKind, FlowRouter};
+    pub use crate::spec::{
+        ProviderSpec, ScenarioSpec, SiteRole, SiteSpec, SiteWorld, TopologySpec, Workload, World,
+    };
     pub use crate::workload::{PoissonArrivals, ZipfPicker};
     pub use inet::{Prefix, Router};
     pub use lispdp::{CpMode, MissPolicy, Xtr};

@@ -1,32 +1,23 @@
-//! Scenario builders reproducing the paper's Fig. 1 world.
+//! Scenario vocabulary shared by every world: the control-plane menu
+//! ([`CpKind`]), the site-internal [`FlowRouter`], the paper's
+//! well-known addresses ([`addrs`]) and the classic Fig. 1 flow-script
+//! helper ([`flow_script`]).
 //!
-//! Two ASes: source domain **S** (EIDs `100/8`, providers **A** `10/8`
-//! and **B** `11/8`) and destination domain **D** (EIDs `101/8`,
-//! providers **X** `12/8` and **Y** `13/8`) — the exact prefixes of the
-//! figure. A core router stands in for the Internet; a three-level DNS
-//! hierarchy (root, `example` TLD, `d.example` authoritative inside
-//! domain D) provides `T_DNS`; any of the competing control planes can be
-//! installed by [`CpKind`].
+//! World *construction* lives in [`crate::spec`]: describe a topology
+//! with [`crate::spec::ScenarioSpec`] (the [`crate::spec::ScenarioSpec::fig1`]
+//! preset reproduces the paper's figure exactly) and `build(seed)` it
+//! into a [`crate::spec::World`].
 
-use crate::hosts::{FlowMode, FlowSpec, ServerHost, TrafficHost};
-use crate::pce::{Pce, PceConfig};
 use inet::stack::peek_dst;
-use inet::{LpmTrie, Prefix, Router};
-use ircte::Provider;
-use lispdp::{CpMode, MissPolicy, Xtr, XtrConfig};
-use lispwire::dnswire::Name;
+use inet::{LpmTrie, Prefix};
 use lispwire::Ipv4Address;
-use mapsys::alt::linear_chain;
-use mapsys::api::{MappingDb, SiteEntry};
-use mapsys::{ConsNode, MapResolver, NerdAuthority};
-use netsim::{Ctx, LazyCounter, LinkCfg, Node, NodeId, Ns, PortId, Sim};
-use simdns::zone::{Zone, ZoneStore};
-use simdns::{AuthServer, Resolver, ResolverConfig};
+use netsim::{Ctx, LazyCounter, Node, PortId};
 use std::any::Any;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Which control plane runs in the world.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpKind {
     /// No LISP at all: EIDs are globally routable (today's Internet, the
     /// `T_DNS + 2·OWD + OWD` baseline of §1).
@@ -44,7 +35,7 @@ pub enum CpKind {
     },
     /// LISP-CONS with the given number of interior CDR levels.
     Cons {
-        /// Interior depth (0 = the two CARs share one root CDR).
+        /// Interior depth (0 = the CARs share one root CDR).
         cdr_depth: usize,
     },
     /// NERD pushed database.
@@ -54,17 +45,18 @@ pub enum CpKind {
 }
 
 impl CpKind {
-    /// Report label.
-    pub fn label(&self) -> String {
+    /// Report label. Borrowed for the fixed variants so sweep row loops
+    /// don't allocate a fresh `String` per call.
+    pub fn label(&self) -> Cow<'static, str> {
         match self {
-            CpKind::NoLisp => "no-lisp".into(),
-            CpKind::LispDrop => "lisp-drop".into(),
-            CpKind::LispQueue => "lisp-queue".into(),
-            CpKind::LispDataCp => "lisp-data-cp".into(),
-            CpKind::Alt { hops } => format!("lisp-alt-{hops}"),
-            CpKind::Cons { cdr_depth } => format!("lisp-cons-{cdr_depth}"),
-            CpKind::Nerd => "nerd".into(),
-            CpKind::Pce => "pce".into(),
+            CpKind::NoLisp => Cow::Borrowed("no-lisp"),
+            CpKind::LispDrop => Cow::Borrowed("lisp-drop"),
+            CpKind::LispQueue => Cow::Borrowed("lisp-queue"),
+            CpKind::LispDataCp => Cow::Borrowed("lisp-data-cp"),
+            CpKind::Alt { hops } => Cow::Owned(format!("lisp-alt-{hops}")),
+            CpKind::Cons { cdr_depth } => Cow::Owned(format!("lisp-cons-{cdr_depth}")),
+            CpKind::Nerd => Cow::Borrowed("nerd"),
+            CpKind::Pce => Cow::Borrowed("pce"),
         }
     }
 
@@ -205,897 +197,23 @@ pub mod addrs {
     pub const NERD: Ipv4Address = Ipv4Address::new(8, 0, 0, 20);
 }
 
-/// Tunables of the builder.
-#[derive(Debug, Clone)]
-pub struct Fig1Params {
-    /// One-way delay of each provider↔core link.
-    pub provider_owd: Ns,
-    /// One-way delay of DNS-infrastructure links (root/TLD/MR/… ↔ core).
-    pub infra_owd: Ns,
-    /// Provider link bandwidth (bps), indexable per provider A,B,X,Y.
-    pub provider_bw: [u64; 4],
-    /// Map-cache TTL used by vanilla xTRs for their *replies* (minutes).
-    pub mapping_ttl_minutes: u16,
-    /// Number of `host-i.d.example` names (distinct destination EIDs).
-    pub dest_count: usize,
-    /// Flow script for `E_S`.
-    pub flows: Vec<FlowSpec>,
-    /// PCE precompute claim on/off (ablation A2).
-    pub pce_precompute: bool,
-    /// PCE pushes to all ITRs (ablation A1 turns off).
-    pub pce_push_all: bool,
-    /// Random drop probability injected on every provider/infra WAN link
-    /// (failure-injection experiments).
-    pub wan_drop_prob: f64,
-    /// Register host-granular (/32) mappings instead of one site prefix —
-    /// the regime where cache aging and cold misses are visible (E6).
-    pub fine_grained_mappings: bool,
-}
-
-impl Default for Fig1Params {
-    fn default() -> Self {
-        Self {
-            provider_owd: Ns::from_ms(30),
-            infra_owd: Ns::from_ms(15),
-            provider_bw: [1_000_000_000; 4],
-            mapping_ttl_minutes: 60,
-            dest_count: 8,
-            flows: vec![FlowSpec {
-                start: Ns::ZERO,
-                qname: Name::parse_str("host-0.d.example").expect("valid"),
-                mode: FlowMode::Tcp {
-                    packets: 4,
-                    interval: Ns::from_ms(1),
-                    size: 200,
-                },
-            }],
-            pce_precompute: true,
-            pce_push_all: true,
-            wan_drop_prob: 0.0,
-            fine_grained_mappings: false,
-        }
-    }
-}
-
-/// The built world: the simulation plus every handle experiments need.
-pub struct Fig1World {
-    /// The simulation.
-    pub sim: Sim,
-    /// Control plane installed.
-    pub cp: CpKind,
-    /// `E_S`.
-    pub host_s: NodeId,
-    /// `E_D` (serves all destination EIDs).
-    pub host_d: NodeId,
-    /// Border routers (A, B, X, Y); `None` under [`CpKind::NoLisp`].
-    pub xtrs: Option<[NodeId; 4]>,
-    /// `DNS_S` resolver node.
-    pub resolver_s: NodeId,
-    /// `DNS_D` authoritative node.
-    pub dns_d: NodeId,
-    /// PCE nodes (S, D) when `cp == Pce`.
-    pub pces: Option<(NodeId, NodeId)>,
-    /// Site routers (S, D).
-    pub site_routers: (NodeId, NodeId),
-    /// The core "Internet" router.
-    pub core: NodeId,
-    /// Link indices of the provider links (A, B, X, Y) for utilisation
-    /// accounting via `sim.link_stats`.
-    pub provider_links: [usize; 4],
-    /// Destination EID of `host-i.d.example`.
-    pub dest_eids: Vec<Ipv4Address>,
-    /// Site-router ports toward (xtr_a, xtr_b) at S — for egress pins.
-    pub site_s_egress_ports: Option<(PortId, PortId)>,
-    /// Map-resolver node (pull variants).
-    pub mr_node: Option<NodeId>,
-    /// NERD authority node.
-    pub nerd_node: Option<NodeId>,
-    /// ALT overlay nodes.
-    pub alt_nodes: Vec<NodeId>,
-    /// CONS overlay nodes (CAR_S, CAR_D, then CDRs).
-    pub cons_nodes: Vec<NodeId>,
-}
-
-impl Fig1World {
-    /// Schedule the start of every scripted flow at its spec time.
-    pub fn schedule_all_flows(&mut self) {
-        let starts: Vec<(usize, Ns)> = {
-            let host = self.sim.node_mut::<TrafficHost>(self.host_s);
-            host.flows
-                .iter()
-                .enumerate()
-                .map(|(i, f)| (i, f.start))
-                .collect()
-        };
-        for (i, at) in starts {
-            self.sim
-                .schedule_timer(self.host_s, at, TrafficHost::start_token(i));
-        }
-    }
-
-    /// Start one flow now.
-    pub fn start_flow(&mut self, i: usize) {
-        self.sim
-            .schedule_timer(self.host_s, Ns::ZERO, TrafficHost::start_token(i));
-    }
-
-    /// The flow records measured so far.
-    pub fn records(&mut self) -> Vec<crate::hosts::FlowRecord> {
-        self.sim
-            .node_ref::<TrafficHost>(self.host_s)
-            .records
-            .clone()
-    }
-
-    /// Data packets received by the destination host (UDP mode).
-    pub fn server_udp_received(&mut self) -> u64 {
-        self.sim.node_ref::<ServerHost>(self.host_d).total_udp()
-    }
-
-    /// Sum of miss-drops across all xTRs.
-    pub fn total_miss_drops(&mut self) -> u64 {
-        match self.xtrs {
-            Some(xtrs) => xtrs
-                .iter()
-                .map(|&x| self.sim.node_ref::<Xtr>(x).stats.miss_drops)
-                .sum(),
-            None => 0,
-        }
-    }
-
-    /// Bytes carried on each provider link (A, B, X, Y), both directions.
-    pub fn provider_bytes(&self) -> [u64; 4] {
-        let mut out = [0u64; 4];
-        for (i, &l) in self.provider_links.iter().enumerate() {
-            out[i] = self.sim.link_stats(l, 0).tx_bytes + self.sim.link_stats(l, 1).tx_bytes;
-        }
-        out
-    }
-
-    /// Bytes arriving INTO each domain per provider link (A, B, X, Y):
-    /// direction core→xtr (inbound TE accounting).
-    pub fn provider_inbound_bytes(&self) -> [u64; 4] {
-        // Links were created as connect(xtr, core): dir 0 = xtr→core
-        // (outbound), dir 1 = core→xtr (inbound).
-        let mut out = [0u64; 4];
-        for (i, &l) in self.provider_links.iter().enumerate() {
-            out[i] = self.sim.link_stats(l, 1).tx_bytes;
-        }
-        out
-    }
-}
-
-/// The builder.
-pub struct Fig1Builder {
-    cp: CpKind,
-    params: Fig1Params,
-}
-
-impl Fig1Builder {
-    /// A builder for the given control plane with default parameters.
-    pub fn new(cp: CpKind) -> Self {
-        Self {
-            cp,
-            params: Fig1Params::default(),
-        }
-    }
-
-    /// Override the parameters.
-    pub fn params(mut self, params: Fig1Params) -> Self {
-        self.params = params;
-        self
-    }
-
-    /// Mutate the parameters in place.
-    pub fn with_params(mut self, f: impl FnOnce(&mut Fig1Params)) -> Self {
-        f(&mut self.params);
-        self
-    }
-
-    fn eid_space() -> Vec<Prefix> {
-        vec![Prefix::new(Ipv4Address::new(100, 0, 0, 0), 7)] // 100/8 + 101/8
-    }
-
-    fn dest_eid(i: usize) -> Ipv4Address {
-        Ipv4Address::new(101, 0, 0, 10u8.wrapping_add((i % 200) as u8))
-    }
-
-    /// Construct the world.
-    pub fn build(self, seed: u64) -> Fig1World {
-        let p = &self.params;
-        let cp = self.cp;
-        let mut sim = Sim::new(seed);
-
-        let dest_eids: Vec<Ipv4Address> = (0..p.dest_count).map(Self::dest_eid).collect();
-
-        // ---- DNS zone data -------------------------------------------------
-        let mut root_zone = Zone::new(Name::root());
-        root_zone.delegate(
-            Name::parse_str("example").expect("valid"),
-            vec![(Name::parse_str("ns.example").expect("valid"), addrs::TLD)],
-            86_400,
-        );
-        let mut root_store = ZoneStore::new();
-        root_store.add_zone(root_zone);
-
-        let mut tld_zone = Zone::new(Name::parse_str("example").expect("valid"));
-        tld_zone.delegate(
-            Name::parse_str("d.example").expect("valid"),
-            vec![(
-                Name::parse_str("ns.d.example").expect("valid"),
-                addrs::DNS_D,
-            )],
-            86_400,
-        );
-        let mut tld_store = ZoneStore::new();
-        tld_store.add_zone(tld_zone);
-
-        let mut d_zone = Zone::new(Name::parse_str("d.example").expect("valid"));
-        d_zone.add_a(
-            Name::parse_str("host.d.example").expect("valid"),
-            addrs::HOST_D_BASE,
-            300,
-        );
-        for (i, eid) in dest_eids.iter().enumerate() {
-            d_zone.add_a(
-                Name::parse_str(&format!("host-{i}.d.example")).expect("valid"),
-                *eid,
-                300,
-            );
-        }
-        let mut d_store = ZoneStore::new();
-        d_store.add_zone(d_zone);
-
-        // ---- Nodes ----------------------------------------------------------
-        let core = sim.add_node("core", Box::new(Router::new()));
-        let site_s = sim.add_node("site-S", Box::new(FlowRouter::new()));
-        let site_d = sim.add_node("site-D", Box::new(FlowRouter::new()));
-
-        let host_s = sim.add_node(
-            "E_S",
-            Box::new(TrafficHost::new(
-                addrs::HOST_S,
-                addrs::DNS_S,
-                p.flows.clone(),
-            )),
-        );
-        let host_d = sim.add_node("E_D", Box::new(ServerHost::new(addrs::HOST_D_BASE)));
-
-        let mut resolver_cfg = ResolverConfig::default();
-        if cp == CpKind::Pce {
-            resolver_cfg.ipc_notify = Some(addrs::PCE_S);
-        }
-        let resolver_s = sim.add_node(
-            "DNS_S",
-            Box::new(Resolver::with_config(
-                addrs::DNS_S,
-                vec![addrs::ROOT],
-                resolver_cfg,
-            )),
-        );
-        let dns_d = sim.add_node("DNS_D", Box::new(AuthServer::new(addrs::DNS_D, d_store)));
-        let root = sim.add_node(
-            "dns-root",
-            Box::new(AuthServer::new(addrs::ROOT, root_store)),
-        );
-        let tld = sim.add_node("dns-tld", Box::new(AuthServer::new(addrs::TLD, tld_store)));
-
-        // ---- Hosts & site wiring ---------------------------------------------
-        let (_, sp_host_s) = sim.connect(host_s, site_s, LinkCfg::lan());
-        let (_, sp_host_d) = sim.connect(host_d, site_d, LinkCfg::lan());
-
-        // DNS attachment: behind the PCE bump when cp == Pce.
-        let (pces, sp_dns_s, sp_dns_d) = if cp == CpKind::Pce {
-            let providers_s = vec![
-                Provider::new("A", addrs::XTR_A, p.provider_bw[0] as f64 / 1e6),
-                Provider::new("B", addrs::XTR_B, p.provider_bw[1] as f64 / 1e6),
-            ];
-            let providers_d = vec![
-                Provider::new("X", addrs::XTR_X, p.provider_bw[2] as f64 / 1e6),
-                Provider::new("Y", addrs::XTR_Y, p.provider_bw[3] as f64 / 1e6),
-            ];
-            let mut cfg_s = PceConfig::new(
-                addrs::PCE_S,
-                vec![Prefix::new(Ipv4Address::new(100, 0, 0, 0), 8)],
-                vec![addrs::XTR_A, addrs::XTR_B],
-                providers_s,
-            );
-            cfg_s.precompute = p.pce_precompute;
-            cfg_s.push_to_all_itrs = p.pce_push_all;
-            cfg_s.mapping_ttl_minutes = p.mapping_ttl_minutes;
-            let mut cfg_d = PceConfig::new(
-                addrs::PCE_D,
-                vec![Prefix::new(Ipv4Address::new(101, 0, 0, 0), 8)],
-                vec![addrs::XTR_X, addrs::XTR_Y],
-                providers_d,
-            );
-            cfg_d.precompute = p.pce_precompute;
-            cfg_d.push_to_all_itrs = p.pce_push_all;
-            cfg_d.mapping_ttl_minutes = p.mapping_ttl_minutes;
-
-            let pce_s = sim.add_node("PCE_S", Box::new(Pce::new(cfg_s)));
-            let pce_d = sim.add_node("PCE_D", Box::new(Pce::new(cfg_d)));
-            // PCE port 0 = DNS side, port 1 = network side.
-            sim.connect(pce_s, resolver_s, LinkCfg::ipc());
-            let (_, sp_pce_s) = sim.connect(pce_s, site_s, LinkCfg::lan());
-            sim.connect(pce_d, dns_d, LinkCfg::ipc());
-            let (_, sp_pce_d) = sim.connect(pce_d, site_d, LinkCfg::lan());
-            (Some((pce_s, pce_d)), sp_pce_s, sp_pce_d)
-        } else {
-            let (_, sp_dns_s) = sim.connect(resolver_s, site_s, LinkCfg::lan());
-            let (_, sp_dns_d) = sim.connect(dns_d, site_d, LinkCfg::lan());
-            (None, sp_dns_s, sp_dns_d)
-        };
-
-        // ---- Border: xTRs or plain routing ------------------------------------
-        let eid_space = Self::eid_space();
-        let s_prefix = Prefix::new(Ipv4Address::new(100, 0, 0, 0), 8);
-        let d_prefix = Prefix::new(Ipv4Address::new(101, 0, 0, 0), 8);
-        let internal_s = vec![
-            Prefix::new(Ipv4Address::new(10, 0, 0, 0), 24),
-            Prefix::new(Ipv4Address::new(11, 0, 0, 0), 24),
-        ];
-        let internal_d = vec![
-            Prefix::new(Ipv4Address::new(12, 0, 0, 0), 24),
-            Prefix::new(Ipv4Address::new(13, 0, 0, 0), 24),
-        ];
-
-        let provider_links;
-        let mut xtrs_opt = None;
-        let mut site_s_egress_ports = None;
-        let mut mr_node = None;
-        let mut nerd_node = None;
-        let mut alt_nodes = Vec::new();
-        let mut cons_nodes = Vec::new();
-
-        if cp == CpKind::NoLisp {
-            // Sites connect straight to the core; EIDs globally routable.
-            let l_a = sim.link_count();
-            let (sp_up_s, cp_s) = sim.connect(
-                site_s,
-                core,
-                LinkCfg::wan(p.provider_owd)
-                    .with_bandwidth(p.provider_bw[0])
-                    .with_drop_prob(p.wan_drop_prob),
-            );
-            let l_x = sim.link_count();
-            let (sp_up_d, cp_d) = sim.connect(
-                site_d,
-                core,
-                LinkCfg::wan(p.provider_owd)
-                    .with_bandwidth(p.provider_bw[2])
-                    .with_drop_prob(p.wan_drop_prob),
-            );
-            provider_links = [l_a, l_a, l_x, l_x];
-            {
-                let r = sim.node_mut::<Router>(core);
-                r.add_route(s_prefix, cp_s);
-                r.add_route(Prefix::new(Ipv4Address::new(10, 0, 0, 0), 8), cp_s);
-                r.add_route(d_prefix, cp_d);
-                r.add_route(Prefix::new(Ipv4Address::new(12, 0, 0, 0), 8), cp_d);
-            }
-            {
-                let r = sim.node_mut::<FlowRouter>(site_s);
-                r.add_route(Prefix::host(addrs::HOST_S), sp_host_s);
-                r.add_route(Prefix::host(addrs::DNS_S), sp_dns_s);
-                r.set_default_route(sp_up_s);
-            }
-            {
-                let r = sim.node_mut::<FlowRouter>(site_d);
-                r.add_route(d_prefix, sp_host_d);
-                r.add_route(Prefix::host(addrs::DNS_D), sp_dns_d);
-                r.set_default_route(sp_up_d);
-            }
-        } else {
-            // xTR modes per control plane.
-            let mode_s: CpMode;
-            let mode_d: CpMode;
-            let miss: MissPolicy = match cp {
-                CpKind::LispQueue => MissPolicy::Queue { max_packets: 64 },
-                CpKind::LispDataCp => MissPolicy::DataOverCp {
-                    extra_latency: Ns::from_ms(40),
-                },
-                _ => MissPolicy::Drop,
-            };
-            match cp {
-                CpKind::Pce => {
-                    mode_s = CpMode::Pce;
-                    mode_d = CpMode::Pce;
-                }
-                CpKind::Nerd => {
-                    mode_s = CpMode::PushDb;
-                    mode_d = CpMode::PushDb;
-                }
-                CpKind::Alt { .. }
-                | CpKind::Cons { .. }
-                | CpKind::LispDrop
-                | CpKind::LispQueue
-                | CpKind::LispDataCp => {
-                    // Resolver address fixed below per variant.
-                    mode_s = CpMode::Pull {
-                        map_resolver: Some(addrs::MAP_RESOLVER),
-                    };
-                    mode_d = CpMode::Pull {
-                        map_resolver: Some(addrs::MAP_RESOLVER),
-                    };
-                }
-                CpKind::NoLisp => unreachable!(),
-            }
-
-            let make_cfg = |rloc: Ipv4Address,
-                            site: Prefix,
-                            mode: CpMode,
-                            internal: &[Prefix],
-                            peers: Vec<Ipv4Address>,
-                            pced: Option<Ipv4Address>| {
-                let mut cfg = XtrConfig::new(rloc, site, eid_space.clone(), mode);
-                cfg.miss_policy = miss;
-                cfg.internal_plain_prefixes = internal.to_vec();
-                cfg.reverse_sync_peers = peers;
-                cfg.pced_addr = pced;
-                cfg.reply_ttl_minutes = p.mapping_ttl_minutes;
-                cfg.reply_host_granularity = p.fine_grained_mappings;
-                cfg
-            };
-
-            let pce_s_db = if cp == CpKind::Pce {
-                Some(addrs::PCE_S)
-            } else {
-                None
-            };
-            let pce_d_db = if cp == CpKind::Pce {
-                Some(addrs::PCE_D)
-            } else {
-                None
-            };
-
-            let xtr_a = sim.add_node(
-                "xTR-A",
-                Box::new(Xtr::new(make_cfg(
-                    addrs::XTR_A,
-                    s_prefix,
-                    mode_s.clone(),
-                    &internal_s,
-                    vec![addrs::XTR_B],
-                    pce_s_db,
-                ))),
-            );
-            let xtr_b = sim.add_node(
-                "xTR-B",
-                Box::new(Xtr::new(make_cfg(
-                    addrs::XTR_B,
-                    s_prefix,
-                    mode_s.clone(),
-                    &internal_s,
-                    vec![addrs::XTR_A],
-                    pce_s_db,
-                ))),
-            );
-            let xtr_x = sim.add_node(
-                "xTR-X",
-                Box::new(Xtr::new(make_cfg(
-                    addrs::XTR_X,
-                    d_prefix,
-                    mode_d.clone(),
-                    &internal_d,
-                    vec![addrs::XTR_Y],
-                    pce_d_db,
-                ))),
-            );
-            let xtr_y = sim.add_node(
-                "xTR-Y",
-                Box::new(Xtr::new(make_cfg(
-                    addrs::XTR_Y,
-                    d_prefix,
-                    mode_d,
-                    &internal_d,
-                    vec![addrs::XTR_X],
-                    pce_d_db,
-                ))),
-            );
-            xtrs_opt = Some([xtr_a, xtr_b, xtr_x, xtr_y]);
-
-            // Site ports (xTR port 0 = site).
-            let (_, sp_xtr_a) = sim.connect(xtr_a, site_s, LinkCfg::lan());
-            let (_, sp_xtr_b) = sim.connect(xtr_b, site_s, LinkCfg::lan());
-            let (_, sp_xtr_x) = sim.connect(xtr_x, site_d, LinkCfg::lan());
-            let (_, sp_xtr_y) = sim.connect(xtr_y, site_d, LinkCfg::lan());
-            site_s_egress_ports = Some((sp_xtr_a, sp_xtr_b));
-
-            // WAN ports (xTR port 1 = provider link to core).
-            let mut links = [0usize; 4];
-            for (i, &(xtr, bw)) in [
-                (xtr_a, p.provider_bw[0]),
-                (xtr_b, p.provider_bw[1]),
-                (xtr_x, p.provider_bw[2]),
-                (xtr_y, p.provider_bw[3]),
-            ]
-            .iter()
-            .enumerate()
-            {
-                links[i] = sim.link_count();
-                let (_, core_port) = sim.connect(
-                    xtr,
-                    core,
-                    LinkCfg::wan(p.provider_owd)
-                        .with_bandwidth(bw)
-                        .with_drop_prob(p.wan_drop_prob),
-                );
-                let provider_prefix =
-                    Prefix::new(Ipv4Address::new([10, 11, 12, 13][i], 0, 0, 0), 8);
-                sim.node_mut::<Router>(core)
-                    .add_route(provider_prefix, core_port);
-            }
-            provider_links = links;
-
-            // Site-router tables.
-            {
-                let r = sim.node_mut::<FlowRouter>(site_s);
-                r.add_route(Prefix::host(addrs::HOST_S), sp_host_s);
-                r.add_route(s_prefix, sp_host_s);
-                r.add_route(Prefix::host(addrs::XTR_A), sp_xtr_a);
-                r.add_route(Prefix::host(addrs::XTR_B), sp_xtr_b);
-                r.add_route(Prefix::host(addrs::DNS_S), sp_dns_s);
-                if cp == CpKind::Pce {
-                    r.add_route(Prefix::host(addrs::PCE_S), sp_dns_s);
-                }
-                r.set_default_route(sp_xtr_a);
-            }
-            {
-                let r = sim.node_mut::<FlowRouter>(site_d);
-                r.add_route(d_prefix, sp_host_d);
-                r.add_route(Prefix::host(addrs::XTR_X), sp_xtr_x);
-                r.add_route(Prefix::host(addrs::XTR_Y), sp_xtr_y);
-                r.add_route(Prefix::host(addrs::DNS_D), sp_dns_d);
-                if cp == CpKind::Pce {
-                    r.add_route(Prefix::host(addrs::PCE_D), sp_dns_d);
-                }
-                r.set_default_route(sp_xtr_x);
-            }
-        }
-
-        // ---- DNS infrastructure at the core ------------------------------------
-        for (node, addr) in [(root, addrs::ROOT), (tld, addrs::TLD)] {
-            let (_, port) = sim.connect(
-                node,
-                core,
-                LinkCfg::wan(p.infra_owd).with_drop_prob(p.wan_drop_prob),
-            );
-            sim.node_mut::<Router>(core)
-                .add_route(Prefix::host(addr), port);
-        }
-
-        // ---- Mapping-system infrastructure --------------------------------------
-        let mut db = MappingDb::new();
-        if p.fine_grained_mappings {
-            db.register(SiteEntry::single(
-                Prefix::host(addrs::HOST_S),
-                addrs::XTR_A,
-                p.mapping_ttl_minutes,
-            ));
-            db.register(SiteEntry::single(
-                Prefix::host(addrs::HOST_D_BASE),
-                addrs::XTR_X,
-                p.mapping_ttl_minutes,
-            ));
-            for eid in &dest_eids {
-                db.register(SiteEntry::single(
-                    Prefix::host(*eid),
-                    addrs::XTR_X,
-                    p.mapping_ttl_minutes,
-                ));
-            }
-        } else {
-            db.register(SiteEntry::single(
-                s_prefix,
-                addrs::XTR_A,
-                p.mapping_ttl_minutes,
-            ));
-            db.register(SiteEntry::single(
-                d_prefix,
-                addrs::XTR_X,
-                p.mapping_ttl_minutes,
-            ));
-        }
-
-        match cp {
-            CpKind::LispDrop | CpKind::LispQueue | CpKind::LispDataCp => {
-                let mr = sim.add_node(
-                    "map-resolver",
-                    Box::new(MapResolver::new(addrs::MAP_RESOLVER, &db)),
-                );
-                let (_, port) = sim.connect(mr, core, LinkCfg::wan(p.infra_owd));
-                sim.node_mut::<Router>(core)
-                    .add_route(Prefix::host(addrs::MAP_RESOLVER), port);
-                mr_node = Some(mr);
-            }
-            CpKind::Alt { hops } => {
-                // One shared linear overlay; the entry router doubles as
-                // the map-resolver address; deliveries at the far end.
-                let chain_addrs: Vec<Ipv4Address> = (0..hops.max(1))
-                    .map(|i| Ipv4Address::new(9, 1, 0, (i + 1) as u8))
-                    .collect();
-                let mut routers = linear_chain(&chain_addrs, d_prefix, addrs::XTR_X);
-                // Also deliver the reverse direction at the far end.
-                if let Some(last) = routers.last_mut() {
-                    last.add_delivery(s_prefix, addrs::XTR_A);
-                }
-                // The *first* router is the entry the ITRs use: route both
-                // prefixes forward.
-                if routers.len() > 1 {
-                    routers[0].add_overlay_route(s_prefix, chain_addrs[1]);
-                    for i in 1..routers.len() - 1 {
-                        routers[i].add_overlay_route(s_prefix, chain_addrs[i + 1]);
-                    }
-                } else {
-                    routers[0].add_delivery(s_prefix, addrs::XTR_A);
-                }
-                for (i, r) in routers.into_iter().enumerate() {
-                    let node = sim.add_node(&format!("alt-{i}"), Box::new(r));
-                    let (_, port) = sim.connect(node, core, LinkCfg::wan(p.infra_owd));
-                    sim.node_mut::<Router>(core)
-                        .add_route(Prefix::host(chain_addrs[i]), port);
-                    alt_nodes.push(node);
-                }
-                // Point the xTRs at the entry router.
-                if let Some(xtrs) = xtrs_opt {
-                    for &x in &xtrs {
-                        sim.node_mut::<Xtr>(x).cfg.mode = CpMode::Pull {
-                            map_resolver: Some(chain_addrs[0]),
-                        };
-                    }
-                }
-            }
-            CpKind::Cons { cdr_depth } => {
-                let car_s_addr = Ipv4Address::new(9, 2, 0, 1);
-                let car_d_addr = Ipv4Address::new(9, 2, 0, 2);
-                let cdr_addrs: Vec<Ipv4Address> = (0..=cdr_depth)
-                    .map(|i| Ipv4Address::new(9, 2, 1, (i + 1) as u8))
-                    .collect();
-                // CAR_S -> cdr[0] -> ... -> cdr[depth] (root) and CAR_D
-                // under the root as well.
-                let mut car_s = ConsNode::new(car_s_addr, Some(cdr_addrs[0]));
-                car_s.add_site(s_prefix, addrs::XTR_A);
-                let mut car_d = ConsNode::new(car_d_addr, Some(cdr_addrs[0]));
-                car_d.add_site(d_prefix, addrs::XTR_X);
-                let mut cdrs: Vec<ConsNode> = Vec::new();
-                for (i, &addr) in cdr_addrs.iter().enumerate() {
-                    let parent = cdr_addrs.get(i + 1).copied();
-                    let mut n = ConsNode::new(addr, parent);
-                    if i == 0 {
-                        n.add_child(s_prefix, car_s_addr);
-                        n.add_child(d_prefix, car_d_addr);
-                    } else {
-                        n.add_child(s_prefix, cdr_addrs[i - 1]);
-                        n.add_child(d_prefix, cdr_addrs[i - 1]);
-                    }
-                    cdrs.push(n);
-                }
-                for (node, addr) in [(car_s, car_s_addr), (car_d, car_d_addr)] {
-                    let id = sim.add_node(&format!("cons-car-{addr}"), Box::new(node));
-                    let (_, port) = sim.connect(id, core, LinkCfg::wan(p.infra_owd));
-                    sim.node_mut::<Router>(core)
-                        .add_route(Prefix::host(addr), port);
-                    cons_nodes.push(id);
-                }
-                for (i, node) in cdrs.into_iter().enumerate() {
-                    let id = sim.add_node(&format!("cons-cdr-{i}"), Box::new(node));
-                    let (_, port) = sim.connect(id, core, LinkCfg::wan(p.infra_owd));
-                    sim.node_mut::<Router>(core)
-                        .add_route(Prefix::host(cdr_addrs[i]), port);
-                    cons_nodes.push(id);
-                }
-                if let Some(xtrs) = xtrs_opt {
-                    // S-side xTRs ask CAR_S; D-side ask CAR_D.
-                    sim.node_mut::<Xtr>(xtrs[0]).cfg.mode = CpMode::Pull {
-                        map_resolver: Some(car_s_addr),
-                    };
-                    sim.node_mut::<Xtr>(xtrs[1]).cfg.mode = CpMode::Pull {
-                        map_resolver: Some(car_s_addr),
-                    };
-                    sim.node_mut::<Xtr>(xtrs[2]).cfg.mode = CpMode::Pull {
-                        map_resolver: Some(car_d_addr),
-                    };
-                    sim.node_mut::<Xtr>(xtrs[3]).cfg.mode = CpMode::Pull {
-                        map_resolver: Some(car_d_addr),
-                    };
-                }
-            }
-            CpKind::Nerd => {
-                let authority = NerdAuthority::new(
-                    addrs::NERD,
-                    &db,
-                    vec![addrs::XTR_A, addrs::XTR_B, addrs::XTR_X, addrs::XTR_Y],
-                );
-                let nerd = sim.add_node("nerd", Box::new(authority));
-                let (_, port) = sim.connect(nerd, core, LinkCfg::wan(p.infra_owd));
-                sim.node_mut::<Router>(core)
-                    .add_route(Prefix::host(addrs::NERD), port);
-                nerd_node = Some(nerd);
-            }
-            CpKind::NoLisp | CpKind::Pce => {}
-        }
-
-        Fig1World {
-            sim,
-            cp,
-            host_s,
-            host_d,
-            xtrs: xtrs_opt,
-            resolver_s,
-            dns_d,
-            pces,
-            site_routers: (site_s, site_d),
-            core,
-            provider_links,
-            dest_eids,
-            site_s_egress_ports,
-            mr_node,
-            nerd_node,
-            alt_nodes,
-            cons_nodes,
-        }
-    }
-}
-
-/// Build a flow script: `n` flows starting at the given times, one
-/// destination name each (round-robin over `dest_count` names).
-pub fn flow_script(starts: &[Ns], dest_count: usize, mode: FlowMode) -> Vec<FlowSpec> {
+/// Build a flow script against the Fig. 1 zone: `n` flows starting at
+/// the given times, one destination name each (round-robin over
+/// `dest_count` names in `d.example`).
+pub fn flow_script(
+    starts: &[netsim::Ns],
+    dest_count: usize,
+    mode: crate::hosts::FlowMode,
+) -> Vec<crate::hosts::FlowSpec> {
+    use lispwire::dnswire::Name;
     starts
         .iter()
         .enumerate()
-        .map(|(i, &start)| FlowSpec {
+        .map(|(i, &start)| crate::hosts::FlowSpec {
             start,
             qname: Name::parse_str(&format!("host-{}.d.example", i % dest_count.max(1)))
                 .expect("valid"),
             mode,
         })
         .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tcp_mode() -> FlowMode {
-        FlowMode::Tcp {
-            packets: 2,
-            interval: Ns::from_ms(1),
-            size: 100,
-        }
-    }
-
-    fn run_one(cp: CpKind) -> (Fig1World, crate::hosts::FlowRecord) {
-        let mut world = Fig1Builder::new(cp)
-            .with_params(|p| {
-                p.flows = flow_script(&[Ns::ZERO], 4, tcp_mode());
-            })
-            .build(1);
-        world.sim.trace.enable();
-        world.schedule_all_flows();
-        world.sim.run_until(Ns::from_secs(30));
-        let rec = world.records()[0].clone();
-        (world, rec)
-    }
-
-    #[test]
-    fn no_lisp_flow_completes() {
-        let (_w, rec) = run_one(CpKind::NoLisp);
-        assert!(rec.dns_time().is_some(), "dns never answered");
-        assert!(rec.setup_time().is_some(), "tcp never established");
-    }
-
-    #[test]
-    fn pce_flow_completes() {
-        let (mut w, rec) = run_one(CpKind::Pce);
-        assert!(rec.dns_time().is_some(), "dns: {:?}", rec);
-        assert!(
-            rec.setup_time().is_some(),
-            "tcp never established; trace:\n{}",
-            w.sim.trace.render()
-        );
-        // No drops anywhere in the PCE world.
-        assert_eq!(w.total_miss_drops(), 0);
-        // The PCEs actually did their steps.
-        let (pce_s, pce_d) = w.pces.unwrap();
-        assert!(w.sim.node_ref::<Pce>(pce_d).stats.dns_intercepts >= 1);
-        let s = w.sim.node_ref::<Pce>(pce_s);
-        assert!(s.stats.p_decaps >= 1);
-        assert!(s.stats.pushes_sent >= 2);
-    }
-
-    #[test]
-    fn lisp_drop_flow_completes_with_retries() {
-        let (mut w, rec) = run_one(CpKind::LispDrop);
-        assert!(rec.dns_time().is_some());
-        // The SYN is dropped at the ITR; TCP has no retransmission in our
-        // mini-stack, so establishment never happens — exactly the
-        // pathology the paper describes (first packets lost).
-        let drops = w.total_miss_drops();
-        assert!(drops >= 1, "expected at least the SYN dropped, got {drops}");
-    }
-
-    #[test]
-    fn lisp_queue_flow_completes() {
-        let (mut w, rec) = run_one(CpKind::LispQueue);
-        assert!(
-            rec.setup_time().is_some(),
-            "queued SYN must eventually establish"
-        );
-        assert_eq!(w.total_miss_drops(), 0);
-        let xtrs = w.xtrs.unwrap();
-        let queued: u64 = xtrs
-            .iter()
-            .map(|&x| w.sim.node_ref::<Xtr>(x).stats.queued)
-            .sum();
-        assert!(queued >= 1);
-    }
-
-    #[test]
-    fn nerd_flow_completes_without_misses() {
-        let (mut w, rec) = run_one(CpKind::Nerd);
-        assert!(rec.setup_time().is_some());
-        assert_eq!(w.total_miss_drops(), 0);
-        let xtrs = w.xtrs.unwrap();
-        let installed: u64 = xtrs
-            .iter()
-            .map(|&x| w.sim.node_ref::<Xtr>(x).stats.db_records_installed)
-            .sum();
-        assert!(installed >= 8, "4 xTRs x 2 records");
-    }
-
-    #[test]
-    fn alt_flow_queue_policy_completes() {
-        let mut world = Fig1Builder::new(CpKind::Alt { hops: 3 })
-            .with_params(|p| {
-                p.flows = flow_script(&[Ns::ZERO], 4, tcp_mode());
-            })
-            .build(1);
-        // Queue policy so the handshake survives resolution latency.
-        if let Some(xtrs) = world.xtrs {
-            for &x in &xtrs {
-                world.sim.node_mut::<Xtr>(x).cfg.miss_policy =
-                    MissPolicy::Queue { max_packets: 64 };
-            }
-        }
-        world.schedule_all_flows();
-        world.sim.run_until(Ns::from_secs(30));
-        let rec = world.records()[0].clone();
-        assert!(rec.setup_time().is_some(), "alt resolution must complete");
-    }
-
-    #[test]
-    fn cons_flow_queue_policy_completes() {
-        let mut world = Fig1Builder::new(CpKind::Cons { cdr_depth: 1 })
-            .with_params(|p| {
-                p.flows = flow_script(&[Ns::ZERO], 4, tcp_mode());
-            })
-            .build(1);
-        if let Some(xtrs) = world.xtrs {
-            for &x in &xtrs {
-                world.sim.node_mut::<Xtr>(x).cfg.miss_policy =
-                    MissPolicy::Queue { max_packets: 64 };
-            }
-        }
-        world.schedule_all_flows();
-        world.sim.run_until(Ns::from_secs(30));
-        let rec = world.records()[0].clone();
-        assert!(rec.setup_time().is_some(), "cons resolution must complete");
-    }
-
-    #[test]
-    fn pce_faster_than_lisp_queue() {
-        let (_, rec_pce) = run_one(CpKind::Pce);
-        let (_, rec_q) = run_one(CpKind::LispQueue);
-        let (_, rec_nolisp) = run_one(CpKind::NoLisp);
-        let pce = rec_pce.setup_time().unwrap();
-        let q = rec_q.setup_time().unwrap();
-        let nolisp = rec_nolisp.setup_time().unwrap();
-        assert!(pce < q, "pce {pce} vs queue {q}");
-        // PCE ≈ today's Internet (within 15 ms of slack for PCE bumps).
-        assert!(
-            pce < nolisp + Ns::from_ms(15),
-            "pce {pce} vs no-lisp {nolisp}"
-        );
-    }
 }

@@ -1,0 +1,1567 @@
+//! Declarative scenario construction: describe a world, then build it.
+//!
+//! The paper's Fig. 1 topology used to be hand-welded into a builder
+//! with fixed-arity handles (two sites, four providers, `[u64; 4]`
+//! byte counters). This module replaces that with three declarative
+//! layers:
+//!
+//! * [`TopologySpec`] — *where things are*: a list of [`SiteSpec`]s
+//!   (EID prefix, K provider border routers with per-link OWD /
+//!   bandwidth / drop probability, host population, client or server
+//!   role), the DNS-hierarchy depth, and mapping-system placement.
+//! * [`ScenarioSpec`] — *what runs on it*: the control plane
+//!   ([`CpKind`]), the workload ([`Workload`], reusing
+//!   [`PoissonArrivals`]/[`ZipfPicker`]), mapping TTLs and granularity,
+//!   and the PCE ablation knobs.
+//! * [`ScenarioSpec::build`] — `spec + seed → `[`World`]: the running
+//!   simulation plus handles keyed by **site and provider name**
+//!   instead of fixed struct fields, so the same experiment code works
+//!   for 2 sites or 200.
+//!
+//! [`ScenarioSpec::fig1`] is a preset that reproduces the paper's
+//! Fig. 1 world *exactly* (same node names, ordering, addressing and
+//! therefore byte-identical experiment tables — pinned by
+//! `tests/golden_compat.rs`). [`ScenarioSpec::multi_site`] generates
+//! N-destination-site worlds for the scale experiments (E9).
+
+use crate::hosts::{FlowMode, FlowSpec, ServerHost, TrafficHost};
+use crate::pce::{Pce, PceConfig};
+use crate::scenario::{addrs, CpKind, FlowRouter};
+use crate::workload::{PoissonArrivals, ZipfPicker};
+use inet::{Prefix, Router};
+use ircte::Provider;
+use lispdp::{CpMode, MissPolicy, Xtr, XtrConfig};
+use lispwire::dnswire::Name;
+use lispwire::Ipv4Address;
+use mapsys::alt::linear_chain;
+use mapsys::api::{MappingDb, SiteEntry};
+use mapsys::{ConsNode, MapResolver, NerdAuthority};
+use netsim::{LinkCfg, NodeId, Ns, PortId, Sim};
+use simdns::zone::{Zone, ZoneStore};
+use simdns::{AuthServer, Resolver, ResolverConfig};
+
+/// What a site does in the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteRole {
+    /// Runs a [`TrafficHost`] plus a recursive resolver: originates the
+    /// workload's flows.
+    Client,
+    /// Runs a [`ServerHost`] plus an authoritative DNS server for the
+    /// site's zone: terminates flows.
+    Server,
+}
+
+/// One provider (border-router) attachment of a site.
+#[derive(Debug, Clone)]
+pub struct ProviderSpec {
+    /// Provider name; the border router is named `xTR-{name}`.
+    pub name: String,
+    /// The border router's RLOC (WAN-side address).
+    pub rloc: Ipv4Address,
+    /// One-way delay of the provider↔core link.
+    pub owd: Ns,
+    /// Provider link bandwidth (bps).
+    pub bandwidth_bps: u64,
+    /// Random drop probability on the provider link.
+    pub drop_prob: f64,
+    /// RLOC-space prefix announced for this provider at the core.
+    pub core_route: Prefix,
+    /// Site-internal RLOC subnet (DNS server, PCE live here).
+    pub internal_prefix: Prefix,
+}
+
+impl ProviderSpec {
+    /// A provider with Fig. 1 defaults: 30 ms OWD, 1 Gbps, no loss, a
+    /// `/8` core route and a `/24` internal subnet derived from `rloc`.
+    pub fn new(name: &str, rloc: Ipv4Address) -> Self {
+        let o = rloc.0;
+        Self {
+            name: name.to_string(),
+            rloc,
+            owd: Ns::from_ms(30),
+            bandwidth_bps: 1_000_000_000,
+            drop_prob: 0.0,
+            core_route: Prefix::new(Ipv4Address::new(o[0], 0, 0, 0), 8),
+            internal_prefix: Prefix::new(Ipv4Address::new(o[0], o[1], o[2], 0), 24),
+        }
+    }
+
+    /// Same, but announcing a `/16` at the core — the scheme generated
+    /// multi-site topologies use so provider routes never collide.
+    pub fn new_slash16(name: &str, rloc: Ipv4Address) -> Self {
+        let o = rloc.0;
+        Self {
+            core_route: Prefix::new(Ipv4Address::new(o[0], o[1], 0, 0), 16),
+            ..Self::new(name, rloc)
+        }
+    }
+}
+
+/// One site: an autonomous domain with its own EID prefix, providers,
+/// hosts and DNS presence.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Site name (`"S"`, `"D"`, `"D17"`, …). Node names derive from it.
+    pub name: String,
+    /// The site's EID prefix.
+    pub eid_prefix: Prefix,
+    /// Border routers, one per provider. At least one required.
+    pub providers: Vec<ProviderSpec>,
+    /// Client (traffic source) or server (traffic sink).
+    pub role: SiteRole,
+    /// Host population. For server sites this is the number of distinct
+    /// destination EIDs (`host-0 … host-{n-1}` in the site zone).
+    pub hosts: usize,
+}
+
+impl SiteSpec {
+    /// A client site (one traffic host, a recursive resolver, no zone).
+    pub fn client(name: &str, eid_prefix: Prefix, providers: Vec<ProviderSpec>) -> Self {
+        Self {
+            name: name.to_string(),
+            eid_prefix,
+            providers,
+            role: SiteRole::Client,
+            hosts: 1,
+        }
+    }
+
+    /// A server site with `hosts` destination EIDs and its own zone.
+    pub fn server(
+        name: &str,
+        eid_prefix: Prefix,
+        providers: Vec<ProviderSpec>,
+        hosts: usize,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            eid_prefix,
+            providers,
+            role: SiteRole::Server,
+            hosts,
+        }
+    }
+
+    fn eid_with_last_octet(&self, last: u8) -> Ipv4Address {
+        let o = self.eid_prefix.addr().0;
+        Ipv4Address::new(o[0], o[1], o[2], last)
+    }
+
+    /// The address of this site's single client / server host.
+    pub fn host_addr(&self) -> Ipv4Address {
+        match self.role {
+            SiteRole::Client => self.eid_with_last_octet(5),
+            SiteRole::Server => self.eid_with_last_octet(7),
+        }
+    }
+
+    /// Destination EID of `host-{i}` (server sites).
+    pub fn dest_eid(&self, i: usize) -> Ipv4Address {
+        self.eid_with_last_octet(10u8.wrapping_add((i % 200) as u8))
+    }
+
+    /// The site's DNS server address (first provider's internal subnet).
+    pub fn dns_addr(&self) -> Ipv4Address {
+        let o = self.providers[0].internal_prefix.addr().0;
+        Ipv4Address::new(o[0], o[1], o[2], 53)
+    }
+
+    /// The site's PCE address (first provider's internal subnet).
+    pub fn pce_addr(&self) -> Ipv4Address {
+        let o = self.providers[0].internal_prefix.addr().0;
+        Ipv4Address::new(o[0], o[1], o[2], 200)
+    }
+
+    /// The DNS zone label of a server site (lower-cased site name).
+    pub fn zone_label(&self) -> String {
+        self.name.to_lowercase()
+    }
+}
+
+/// Where things are: sites around a core, plus DNS and mapping-system
+/// placement.
+#[derive(Debug, Clone)]
+pub struct TopologySpec {
+    /// All sites, in construction order.
+    pub sites: Vec<SiteSpec>,
+    /// One-way delay of DNS-infrastructure links (root/TLD ↔ core).
+    pub infra_owd: Ns,
+    /// Drop probability on DNS-infrastructure links.
+    pub infra_drop_prob: f64,
+    /// DNS delegation levels above the site-authoritative servers:
+    /// `2` (default) is the paper's root + `example` TLD; `1` lets the
+    /// root delegate site zones directly; deeper values chain extra
+    /// servers (`sub.example`, `sub2.sub.example`, …).
+    pub dns_depth: usize,
+    /// Mapping-system placement: one-way delay of the mapping-system
+    /// infrastructure links (MR / NERD authority / ALT & CONS overlay
+    /// nodes ↔ core). `None` places them at `infra_owd`.
+    pub mapsys_owd: Option<Ns>,
+}
+
+impl TopologySpec {
+    /// Zone name served by each DNS-infrastructure level, root (`""`)
+    /// first. Site zones live under the deepest level's name — both the
+    /// delegation chain and the site-zone suffix derive from this one
+    /// list so they cannot drift apart.
+    pub fn level_suffixes(&self) -> Vec<String> {
+        let depth = self.dns_depth.max(1);
+        let mut suffixes = vec![String::new()]; // root
+        for level in 1..depth {
+            let mut s = "example".to_string();
+            for k in 0..level - 1 {
+                let label = if k == 0 {
+                    "sub".to_string()
+                } else {
+                    format!("sub{}", k + 1)
+                };
+                s = format!("{label}.{s}");
+            }
+            suffixes.push(s);
+        }
+        suffixes
+    }
+
+    /// The zone suffix under which site zones live, per [`Self::dns_depth`]:
+    /// depth 1 → `""` (site zones are TLDs), depth 2 → `"example"`,
+    /// depth 3 → `"sub.example"`, depth 4 → `"sub2.sub.example"`, …
+    pub fn zone_suffix(&self) -> String {
+        self.level_suffixes().pop().unwrap_or_default()
+    }
+
+    /// Fully-qualified zone name of a server site.
+    pub fn site_zone(&self, site: &SiteSpec) -> String {
+        let suffix = self.zone_suffix();
+        if suffix.is_empty() {
+            site.zone_label()
+        } else {
+            format!("{}.{}", site.zone_label(), suffix)
+        }
+    }
+
+    /// Fully-qualified name of `host-{i}` at a server site.
+    pub fn host_name(&self, site: &SiteSpec, i: usize) -> String {
+        format!("host-{i}.{}", self.site_zone(site))
+    }
+}
+
+/// How the client site exercises the network.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// An explicit flow script (full control; Fig. 1 experiments).
+    Explicit(Vec<FlowSpec>),
+    /// Poisson flow arrivals with Zipf *cross-site* destination
+    /// popularity: the destination site is Zipf(s)-ranked in spec
+    /// order, the host within the site is uniform.
+    PoissonZipf {
+        /// Number of flows to generate.
+        flows: usize,
+        /// Mean arrival rate (flows per second).
+        rate_per_sec: f64,
+        /// Zipf skew across destination sites (0 = uniform).
+        zipf_s: f64,
+        /// Traffic shape of every flow.
+        mode: FlowMode,
+    },
+}
+
+/// The full description of one runnable scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// The topology.
+    pub topology: TopologySpec,
+    /// The control plane installed.
+    pub cp: CpKind,
+    /// The workload driving the client site.
+    pub workload: Workload,
+    /// Map-cache TTL used by vanilla xTRs for their replies (minutes).
+    pub mapping_ttl_minutes: u16,
+    /// Register host-granular (/32) mappings instead of site prefixes.
+    pub fine_grained_mappings: bool,
+    /// PCE precompute claim on/off (ablation A2).
+    pub pce_precompute: bool,
+    /// PCE pushes to all ITRs (ablation A1 turns off).
+    pub pce_push_all: bool,
+    /// The global EID space the xTRs classify against. `None` derives
+    /// it from the site prefixes.
+    pub eid_space: Option<Vec<Prefix>>,
+}
+
+impl ScenarioSpec {
+    /// The paper's Fig. 1 world: source domain **S** (EIDs `100/8`,
+    /// providers **A** `10/8` and **B** `11/8`), destination domain
+    /// **D** (EIDs `101/8`, providers **X** `12/8`, **Y** `13/8`),
+    /// a three-level DNS hierarchy, and the given control plane. The
+    /// default workload is one TCP flow to `host-0.d.example`.
+    pub fn fig1(cp: CpKind) -> Self {
+        let site_s = SiteSpec::client(
+            "S",
+            Prefix::new(Ipv4Address::new(100, 0, 0, 0), 8),
+            vec![
+                ProviderSpec::new("A", addrs::XTR_A),
+                ProviderSpec::new("B", addrs::XTR_B),
+            ],
+        );
+        let site_d = SiteSpec::server(
+            "D",
+            Prefix::new(Ipv4Address::new(101, 0, 0, 0), 8),
+            vec![
+                ProviderSpec::new("X", addrs::XTR_X),
+                ProviderSpec::new("Y", addrs::XTR_Y),
+            ],
+            8,
+        );
+        Self {
+            topology: TopologySpec {
+                sites: vec![site_s, site_d],
+                infra_owd: Ns::from_ms(15),
+                infra_drop_prob: 0.0,
+                dns_depth: 2,
+                mapsys_owd: None,
+            },
+            cp,
+            workload: Workload::Explicit(vec![FlowSpec {
+                start: Ns::ZERO,
+                qname: Name::parse_str("host-0.d.example").expect("valid"),
+                mode: FlowMode::Tcp {
+                    packets: 4,
+                    interval: Ns::from_ms(1),
+                    size: 200,
+                },
+            }]),
+            mapping_ttl_minutes: 60,
+            fine_grained_mappings: false,
+            pce_precompute: true,
+            pce_push_all: true,
+            // The figure's xTRs classify against one covering prefix.
+            eid_space: Some(vec![Prefix::new(Ipv4Address::new(100, 0, 0, 0), 7)]),
+        }
+    }
+
+    /// A generated scale topology: one client site `S` plus
+    /// `dest_sites` server sites `D0 … D{n-1}`, each with two providers
+    /// and `hosts_per_site` destination EIDs, on non-colliding `/16`
+    /// address plans. The default workload is Poisson arrivals with
+    /// Zipf(1.0) cross-site popularity, `3 × dest_sites` flows.
+    ///
+    /// # Panics
+    /// Panics if `dest_sites` is 0 or above 200 (address-plan limit).
+    pub fn multi_site(cp: CpKind, dest_sites: usize, hosts_per_site: usize) -> Self {
+        assert!(
+            (1..=200).contains(&dest_sites),
+            "dest_sites must be in 1..=200"
+        );
+        let providers_of = |idx: usize, name: &str| -> Vec<ProviderSpec> {
+            vec![
+                ProviderSpec::new_slash16(
+                    &format!("{name}a"),
+                    Ipv4Address::new(24, idx as u8, 0, 1),
+                ),
+                ProviderSpec::new_slash16(
+                    &format!("{name}b"),
+                    Ipv4Address::new(25, idx as u8, 0, 1),
+                ),
+            ]
+        };
+        let mut sites = vec![SiteSpec::client(
+            "S",
+            Prefix::new(Ipv4Address::new(120, 0, 0, 0), 16),
+            providers_of(0, "S"),
+        )];
+        for i in 0..dest_sites {
+            let name = format!("D{i}");
+            sites.push(SiteSpec::server(
+                &name,
+                Prefix::new(Ipv4Address::new(120, (i + 1) as u8, 0, 0), 16),
+                providers_of(i + 1, &name),
+                hosts_per_site,
+            ));
+        }
+        Self {
+            topology: TopologySpec {
+                sites,
+                infra_owd: Ns::from_ms(15),
+                infra_drop_prob: 0.0,
+                dns_depth: 2,
+                mapsys_owd: None,
+            },
+            cp,
+            workload: Workload::PoissonZipf {
+                flows: 3 * dest_sites,
+                rate_per_sec: 2.0,
+                zipf_s: 1.0,
+                mode: FlowMode::Udp {
+                    packets: 3,
+                    interval: Ns::from_ms(2),
+                    size: 300,
+                },
+            },
+            mapping_ttl_minutes: 60,
+            fine_grained_mappings: false,
+            pce_precompute: true,
+            pce_push_all: true,
+            eid_space: None,
+        }
+    }
+
+    /// Mutate the spec in place, builder-style.
+    pub fn with(mut self, f: impl FnOnce(&mut Self)) -> Self {
+        f(&mut self);
+        self
+    }
+
+    /// Set the one-way delay of every provider link.
+    pub fn set_provider_owd(&mut self, owd: Ns) {
+        for site in &mut self.topology.sites {
+            for p in &mut site.providers {
+                p.owd = owd;
+            }
+        }
+    }
+
+    /// Set provider bandwidths in site-major, provider-minor order
+    /// (Fig. 1: `[A, B, X, Y]`). Extra entries are ignored; missing
+    /// entries leave the provider unchanged.
+    pub fn set_provider_bw(&mut self, bw: &[u64]) {
+        let mut it = bw.iter();
+        for site in &mut self.topology.sites {
+            for p in &mut site.providers {
+                if let Some(&b) = it.next() {
+                    p.bandwidth_bps = b;
+                }
+            }
+        }
+    }
+
+    /// Inject random loss on every provider and DNS-infrastructure WAN
+    /// link (failure experiments).
+    pub fn set_wan_drop_prob(&mut self, prob: f64) {
+        for site in &mut self.topology.sites {
+            for p in &mut site.providers {
+                p.drop_prob = prob;
+            }
+        }
+        self.topology.infra_drop_prob = prob;
+    }
+
+    /// Set the destination-EID count of every server site.
+    pub fn set_dest_count(&mut self, n: usize) {
+        for site in &mut self.topology.sites {
+            if site.role == SiteRole::Server {
+                site.hosts = n;
+            }
+        }
+    }
+
+    /// Replace the workload with an explicit flow script.
+    pub fn set_flows(&mut self, flows: Vec<FlowSpec>) {
+        self.workload = Workload::Explicit(flows);
+    }
+
+    /// Resolve the workload to a concrete flow script for the client.
+    pub fn resolve_flows(&self, seed: u64) -> Vec<FlowSpec> {
+        match &self.workload {
+            Workload::Explicit(flows) => flows.clone(),
+            Workload::PoissonZipf {
+                flows,
+                rate_per_sec,
+                zipf_s,
+                mode,
+            } => {
+                let servers: Vec<&SiteSpec> = self
+                    .topology
+                    .sites
+                    .iter()
+                    .filter(|s| s.role == SiteRole::Server)
+                    .collect();
+                assert!(!servers.is_empty(), "workload needs a server site");
+                let mut arrivals = PoissonArrivals::new(seed, *rate_per_sec);
+                let mut site_pick = ZipfPicker::new(seed.wrapping_add(1), servers.len(), *zipf_s);
+                let mut host_picks: Vec<ZipfPicker> = servers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        assert!(
+                            s.hosts > 0,
+                            "server site {:?} has no hosts: the generated workload \
+                             would query names its zone never registers",
+                            s.name
+                        );
+                        ZipfPicker::new(seed.wrapping_add(2 + i as u64), s.hosts, 0.0)
+                    })
+                    .collect();
+                (0..*flows)
+                    .map(|_| {
+                        let si = site_pick.pick();
+                        let hi = host_picks[si].pick();
+                        FlowSpec {
+                            start: arrivals.next_arrival(),
+                            qname: Name::parse_str(&self.topology.host_name(servers[si], hi))
+                                .expect("valid generated name"),
+                            mode: *mode,
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn derived_eid_space(&self) -> Vec<Prefix> {
+        match &self.eid_space {
+            Some(space) => space.clone(),
+            None => self.topology.sites.iter().map(|s| s.eid_prefix).collect(),
+        }
+    }
+}
+
+/// Built handles of one site, keyed by the site's spec.
+pub struct SiteWorld {
+    /// The site's name.
+    pub name: String,
+    /// Client or server.
+    pub role: SiteRole,
+    /// The site's EID prefix.
+    pub eid_prefix: Prefix,
+    /// The site-internal [`FlowRouter`].
+    pub router: NodeId,
+    /// The site host: [`TrafficHost`] (client) or [`ServerHost`]
+    /// (server).
+    pub host: NodeId,
+    /// The host's address.
+    pub host_addr: Ipv4Address,
+    /// The site DNS node: recursive [`Resolver`] (client) or
+    /// [`AuthServer`] (server).
+    pub dns: NodeId,
+    /// The DNS node's address.
+    pub dns_addr: Ipv4Address,
+    /// The site's PCE (when the control plane is [`CpKind::Pce`]).
+    pub pce: Option<NodeId>,
+    /// Provider names, in spec order.
+    pub provider_names: Vec<String>,
+    /// Border routers, one per provider; empty under [`CpKind::NoLisp`].
+    pub xtrs: Vec<NodeId>,
+    /// Border-router RLOCs, one per provider (also under `NoLisp`).
+    pub xtr_rlocs: Vec<Ipv4Address>,
+    /// Link index of each provider's WAN link (for `sim.link_stats`).
+    /// Under `NoLisp` every provider entry aliases the single uplink.
+    pub provider_links: Vec<usize>,
+    /// Site-router egress port toward each provider's xTR (TE pins).
+    pub egress_ports: Vec<PortId>,
+    /// Destination EIDs (`host-0 …`) of a server site.
+    pub dest_eids: Vec<Ipv4Address>,
+    /// The site's DNS zone (server sites).
+    pub zone: Option<String>,
+}
+
+impl SiteWorld {
+    /// Index of a provider by name.
+    pub fn provider_index(&self, name: &str) -> Option<usize> {
+        self.provider_names.iter().position(|p| p == name)
+    }
+}
+
+/// The built world: the simulation plus every handle experiments need,
+/// keyed by site / provider name.
+pub struct World {
+    /// The simulation.
+    pub sim: Sim,
+    /// Control plane installed.
+    pub cp: CpKind,
+    /// The core "Internet" router.
+    pub core: NodeId,
+    /// Per-site handles, in spec order.
+    pub sites: Vec<SiteWorld>,
+    /// DNS-infrastructure servers, root first.
+    pub infra_dns: Vec<NodeId>,
+    /// Map-resolver node (pull variants).
+    pub mr_node: Option<NodeId>,
+    /// NERD authority node.
+    pub nerd_node: Option<NodeId>,
+    /// ALT overlay nodes.
+    pub alt_nodes: Vec<NodeId>,
+    /// CONS overlay nodes (CARs in site order, then CDRs).
+    pub cons_nodes: Vec<NodeId>,
+}
+
+impl World {
+    /// The site with the given name.
+    ///
+    /// # Panics
+    /// Panics when no such site exists (a spec bug worth failing loudly
+    /// on).
+    pub fn site(&self, name: &str) -> &SiteWorld {
+        self.sites
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no site named {name:?} in this world"))
+    }
+
+    /// The first client site (the traffic source).
+    pub fn client(&self) -> &SiteWorld {
+        self.sites
+            .iter()
+            .find(|s| s.role == SiteRole::Client)
+            .expect("world has no client site")
+    }
+
+    /// All server sites, in spec order.
+    pub fn server_sites(&self) -> impl Iterator<Item = &SiteWorld> {
+        self.sites.iter().filter(|s| s.role == SiteRole::Server)
+    }
+
+    /// Every border router in the world, site-major.
+    pub fn all_xtrs(&self) -> Vec<NodeId> {
+        self.sites.iter().flat_map(|s| s.xtrs.clone()).collect()
+    }
+
+    /// Schedule the start of every scripted flow at its spec time.
+    pub fn schedule_all_flows(&mut self) {
+        let client = self.client().host;
+        let starts: Vec<(usize, Ns)> = {
+            let host = self.sim.node_ref::<TrafficHost>(client);
+            host.flows
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i, f.start))
+                .collect()
+        };
+        for (i, at) in starts {
+            self.sim
+                .schedule_timer(client, at, TrafficHost::start_token(i));
+        }
+    }
+
+    /// Start one flow now.
+    pub fn start_flow(&mut self, i: usize) {
+        let client = self.client().host;
+        self.sim
+            .schedule_timer(client, Ns::ZERO, TrafficHost::start_token(i));
+    }
+
+    /// Start time of the last scripted flow (workload horizon helper).
+    pub fn last_flow_start(&self) -> Ns {
+        self.sim
+            .node_ref::<TrafficHost>(self.client().host)
+            .flows
+            .iter()
+            .map(|f| f.start)
+            .fold(Ns::ZERO, Ns::max)
+    }
+
+    /// The flow records measured so far at the client.
+    pub fn records(&self) -> Vec<crate::hosts::FlowRecord> {
+        self.sim
+            .node_ref::<TrafficHost>(self.client().host)
+            .records
+            .clone()
+    }
+
+    /// Data packets received by all destination hosts (UDP mode).
+    pub fn server_udp_received(&self) -> u64 {
+        self.server_sites()
+            .map(|s| self.sim.node_ref::<ServerHost>(s.host).total_udp())
+            .sum()
+    }
+
+    /// Sum of miss-drops across all xTRs.
+    pub fn total_miss_drops(&self) -> u64 {
+        self.sites
+            .iter()
+            .flat_map(|s| s.xtrs.iter())
+            .map(|&x| self.sim.node_ref::<Xtr>(x).stats.miss_drops)
+            .sum()
+    }
+
+    /// Bytes carried on each provider link of a site, both directions,
+    /// in provider order.
+    pub fn provider_bytes(&self, site: &str) -> Vec<u64> {
+        self.site(site)
+            .provider_links
+            .iter()
+            .map(|&l| self.sim.link_stats(l, 0).tx_bytes + self.sim.link_stats(l, 1).tx_bytes)
+            .collect()
+    }
+
+    /// Bytes arriving INTO a site per provider link (direction
+    /// core→border), in provider order. Links are created as
+    /// `connect(xtr, core)`: dir 0 = outbound, dir 1 = inbound.
+    pub fn provider_inbound_bytes(&self, site: &str) -> Vec<u64> {
+        self.site(site)
+            .provider_links
+            .iter()
+            .map(|&l| self.sim.link_stats(l, 1).tx_bytes)
+            .collect()
+    }
+
+    /// Override the miss policy of every xTR running in Pull mode
+    /// (pull systems must queue for latency-oriented experiments).
+    pub fn override_pull_miss_policy(&mut self, policy: MissPolicy) {
+        for x in self.all_xtrs() {
+            let xtr = self.sim.node_mut::<Xtr>(x);
+            if matches!(xtr.cfg.mode, CpMode::Pull { .. }) {
+                xtr.cfg.miss_policy = policy;
+            }
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Construct the world.
+    ///
+    /// # Panics
+    /// Panics on an ill-formed spec: no sites, a site without
+    /// providers, not exactly one client site, a server site with a
+    /// host population outside `1..=200` (the per-site EID address
+    /// plan holds 200 hosts), or (via [`MappingDb`]) duplicate EID
+    /// prefixes across sites.
+    pub fn build(&self, seed: u64) -> World {
+        let topo = &self.topology;
+        let cp = self.cp;
+        assert!(!topo.sites.is_empty(), "spec has no sites");
+        assert!(
+            topo.sites.iter().all(|s| !s.providers.is_empty()),
+            "every site needs at least one provider"
+        );
+        let clients = topo
+            .sites
+            .iter()
+            .filter(|s| s.role == SiteRole::Client)
+            .count();
+        assert!(
+            clients == 1,
+            "spec needs exactly one client site (found {clients}): the workload \
+             drives a single traffic source"
+        );
+        for s in &topo.sites {
+            if s.role == SiteRole::Server {
+                assert!(
+                    (1..=200).contains(&s.hosts),
+                    "server site {:?} has {} hosts; the per-site EID plan \
+                     (last octet 10 + i) holds 1..=200",
+                    s.name,
+                    s.hosts
+                );
+            }
+        }
+
+        let mut sim = Sim::new(seed);
+        let flows = self.resolve_flows(seed);
+        let mapsys_owd = topo.mapsys_owd.unwrap_or(topo.infra_owd);
+
+        // ---- DNS infrastructure zone data -----------------------------------
+        // Chain of delegations: root → [intermediates] → site zones.
+        let depth = topo.dns_depth.max(1);
+        let suffixes = topo.level_suffixes(); // zone names per infra level
+        let infra_addr = |level: usize| -> Ipv4Address {
+            match level {
+                0 => addrs::ROOT,
+                1 => addrs::TLD,
+                l => Ipv4Address::new(9, 0, (l - 1) as u8, 53),
+            }
+        };
+        let zone_name_of = |s: &str| -> Name {
+            if s.is_empty() {
+                Name::root()
+            } else {
+                Name::parse_str(s).expect("valid zone name")
+            }
+        };
+        let mut infra_stores: Vec<ZoneStore> = Vec::new();
+        for level in 0..depth {
+            let mut zone = Zone::new(zone_name_of(&suffixes[level]));
+            if level + 1 < depth {
+                let child = &suffixes[level + 1];
+                zone.delegate(
+                    Name::parse_str(child).expect("valid"),
+                    vec![(
+                        Name::parse_str(&format!("ns.{child}")).expect("valid"),
+                        infra_addr(level + 1),
+                    )],
+                    86_400,
+                );
+            } else {
+                // Deepest infra level delegates every server-site zone.
+                for site in topo.sites.iter().filter(|s| s.role == SiteRole::Server) {
+                    let z = topo.site_zone(site);
+                    zone.delegate(
+                        Name::parse_str(&z).expect("valid"),
+                        vec![(
+                            Name::parse_str(&format!("ns.{z}")).expect("valid"),
+                            site.dns_addr(),
+                        )],
+                        86_400,
+                    );
+                }
+            }
+            let mut store = ZoneStore::new();
+            store.add_zone(zone);
+            infra_stores.push(store);
+        }
+
+        // Per-site authoritative zone data (server sites).
+        let site_dest_eids: Vec<Vec<Ipv4Address>> = topo
+            .sites
+            .iter()
+            .map(|s| match s.role {
+                SiteRole::Server => (0..s.hosts).map(|i| s.dest_eid(i)).collect(),
+                SiteRole::Client => Vec::new(),
+            })
+            .collect();
+        let site_stores: Vec<Option<ZoneStore>> = topo
+            .sites
+            .iter()
+            .zip(&site_dest_eids)
+            .map(|(s, eids)| match s.role {
+                SiteRole::Client => None,
+                SiteRole::Server => {
+                    let z = topo.site_zone(s);
+                    let mut zone = Zone::new(Name::parse_str(&z).expect("valid"));
+                    zone.add_a(
+                        Name::parse_str(&format!("host.{z}")).expect("valid"),
+                        s.host_addr(),
+                        300,
+                    );
+                    for (i, eid) in eids.iter().enumerate() {
+                        zone.add_a(
+                            Name::parse_str(&format!("host-{i}.{z}")).expect("valid"),
+                            *eid,
+                            300,
+                        );
+                    }
+                    let mut store = ZoneStore::new();
+                    store.add_zone(zone);
+                    Some(store)
+                }
+            })
+            .collect();
+
+        // ---- Nodes ----------------------------------------------------------
+        let core = sim.add_node("core", Box::new(Router::new()));
+        let site_routers: Vec<NodeId> = topo
+            .sites
+            .iter()
+            .map(|s| sim.add_node(&format!("site-{}", s.name), Box::new(FlowRouter::new())))
+            .collect();
+        let hosts: Vec<NodeId> = topo
+            .sites
+            .iter()
+            .map(|s| match s.role {
+                SiteRole::Client => sim.add_node(
+                    &format!("E_{}", s.name),
+                    Box::new(TrafficHost::new(s.host_addr(), s.dns_addr(), flows.clone())),
+                ),
+                SiteRole::Server => sim.add_node(
+                    &format!("E_{}", s.name),
+                    Box::new(ServerHost::new(s.host_addr())),
+                ),
+            })
+            .collect();
+        let mut site_stores = site_stores;
+        let dns_nodes: Vec<NodeId> = topo
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s.role {
+                SiteRole::Client => {
+                    let mut cfg = ResolverConfig::default();
+                    if cp == CpKind::Pce {
+                        cfg.ipc_notify = Some(s.pce_addr());
+                    }
+                    sim.add_node(
+                        &format!("DNS_{}", s.name),
+                        Box::new(Resolver::with_config(s.dns_addr(), vec![addrs::ROOT], cfg)),
+                    )
+                }
+                SiteRole::Server => sim.add_node(
+                    &format!("DNS_{}", s.name),
+                    Box::new(AuthServer::new(
+                        s.dns_addr(),
+                        site_stores[i].take().expect("server store"),
+                    )),
+                ),
+            })
+            .collect();
+        let infra_dns: Vec<NodeId> = infra_stores
+            .into_iter()
+            .enumerate()
+            .map(|(level, store)| {
+                let name = match level {
+                    0 => "dns-root".to_string(),
+                    1 => "dns-tld".to_string(),
+                    l => format!("dns-l{l}"),
+                };
+                sim.add_node(&name, Box::new(AuthServer::new(infra_addr(level), store)))
+            })
+            .collect();
+
+        // ---- Hosts & site wiring ---------------------------------------------
+        let host_ports: Vec<PortId> = topo
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let (_, sp) = sim.connect(hosts[i], site_routers[i], LinkCfg::lan());
+                sp
+            })
+            .collect();
+
+        // DNS attachment: behind the PCE bump when cp == Pce.
+        let mut pce_nodes: Vec<Option<NodeId>> = vec![None; topo.sites.len()];
+        let dns_ports: Vec<PortId> = if cp == CpKind::Pce {
+            let pces: Vec<NodeId> = topo
+                .sites
+                .iter()
+                .map(|s| {
+                    let providers: Vec<Provider> = s
+                        .providers
+                        .iter()
+                        .map(|p| Provider::new(&p.name, p.rloc, p.bandwidth_bps as f64 / 1e6))
+                        .collect();
+                    let mut cfg = PceConfig::new(
+                        s.pce_addr(),
+                        vec![s.eid_prefix],
+                        s.providers.iter().map(|p| p.rloc).collect(),
+                        providers,
+                    );
+                    cfg.precompute = self.pce_precompute;
+                    cfg.push_to_all_itrs = self.pce_push_all;
+                    cfg.mapping_ttl_minutes = self.mapping_ttl_minutes;
+                    sim.add_node(&format!("PCE_{}", s.name), Box::new(Pce::new(cfg)))
+                })
+                .collect();
+            // PCE port 0 = DNS side, port 1 = network side.
+            let ports = (0..topo.sites.len())
+                .map(|i| {
+                    sim.connect(pces[i], dns_nodes[i], LinkCfg::ipc());
+                    let (_, sp_pce) = sim.connect(pces[i], site_routers[i], LinkCfg::lan());
+                    sp_pce
+                })
+                .collect();
+            pce_nodes = pces.into_iter().map(Some).collect();
+            ports
+        } else {
+            (0..topo.sites.len())
+                .map(|i| {
+                    let (_, sp_dns) = sim.connect(dns_nodes[i], site_routers[i], LinkCfg::lan());
+                    sp_dns
+                })
+                .collect()
+        };
+
+        // ---- Border: xTRs or plain routing ------------------------------------
+        let eid_space = self.derived_eid_space();
+        let mut site_xtrs: Vec<Vec<NodeId>> = vec![Vec::new(); topo.sites.len()];
+        let mut site_links: Vec<Vec<usize>> = vec![Vec::new(); topo.sites.len()];
+        let mut site_egress: Vec<Vec<PortId>> = vec![Vec::new(); topo.sites.len()];
+        let mut mr_node = None;
+        let mut nerd_node = None;
+        let mut alt_nodes = Vec::new();
+        let mut cons_nodes = Vec::new();
+
+        // Mapping-system overlay addresses are deterministic, so xTR
+        // resolver targets can be computed before the overlay exists.
+        let alt_chain_addrs: Vec<Ipv4Address> = match cp {
+            CpKind::Alt { hops } => (0..hops.max(1))
+                .map(|i| Ipv4Address::new(9, 1, 0, (i + 1) as u8))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let car_addr_of = |site_idx: usize| Ipv4Address::new(9, 2, 0, (site_idx + 1) as u8);
+
+        if cp == CpKind::NoLisp {
+            // Sites connect straight to the core; EIDs globally routable.
+            let mut uplinks: Vec<(usize, PortId, PortId)> = Vec::new();
+            for (i, s) in topo.sites.iter().enumerate() {
+                let p0 = &s.providers[0];
+                let link = sim.link_count();
+                let (sp_up, cp_port) = sim.connect(
+                    site_routers[i],
+                    core,
+                    LinkCfg::wan(p0.owd)
+                        .with_bandwidth(p0.bandwidth_bps)
+                        .with_drop_prob(p0.drop_prob),
+                );
+                uplinks.push((link, sp_up, cp_port));
+                site_links[i] = vec![link; s.providers.len()];
+            }
+            {
+                let r = sim.node_mut::<Router>(core);
+                for (i, s) in topo.sites.iter().enumerate() {
+                    r.add_route(s.eid_prefix, uplinks[i].2);
+                    r.add_route(s.providers[0].core_route, uplinks[i].2);
+                }
+            }
+            for (i, s) in topo.sites.iter().enumerate() {
+                let r = sim.node_mut::<FlowRouter>(site_routers[i]);
+                match s.role {
+                    SiteRole::Client => {
+                        r.add_route(Prefix::host(s.host_addr()), host_ports[i]);
+                    }
+                    SiteRole::Server => {
+                        r.add_route(s.eid_prefix, host_ports[i]);
+                    }
+                }
+                r.add_route(Prefix::host(s.dns_addr()), dns_ports[i]);
+                r.set_default_route(uplinks[i].1);
+            }
+        } else {
+            // xTR modes per control plane.
+            let miss: MissPolicy = match cp {
+                CpKind::LispQueue => MissPolicy::Queue { max_packets: 64 },
+                CpKind::LispDataCp => MissPolicy::DataOverCp {
+                    extra_latency: Ns::from_ms(40),
+                },
+                _ => MissPolicy::Drop,
+            };
+            let mode_of = |site_idx: usize| -> CpMode {
+                match cp {
+                    CpKind::Pce => CpMode::Pce,
+                    CpKind::Nerd => CpMode::PushDb,
+                    CpKind::Alt { .. } => CpMode::Pull {
+                        map_resolver: Some(alt_chain_addrs[0]),
+                    },
+                    CpKind::Cons { .. } => CpMode::Pull {
+                        map_resolver: Some(car_addr_of(site_idx)),
+                    },
+                    CpKind::LispDrop | CpKind::LispQueue | CpKind::LispDataCp => CpMode::Pull {
+                        map_resolver: Some(addrs::MAP_RESOLVER),
+                    },
+                    CpKind::NoLisp => unreachable!(),
+                }
+            };
+
+            // All xTR nodes first (site-major, provider-minor), matching
+            // the figure's construction order.
+            for (i, s) in topo.sites.iter().enumerate() {
+                let internal: Vec<Prefix> = s.providers.iter().map(|p| p.internal_prefix).collect();
+                let pced = (cp == CpKind::Pce).then(|| s.pce_addr());
+                for (k, p) in s.providers.iter().enumerate() {
+                    let peers: Vec<Ipv4Address> = s
+                        .providers
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != k)
+                        .map(|(_, q)| q.rloc)
+                        .collect();
+                    let mut cfg =
+                        XtrConfig::new(p.rloc, s.eid_prefix, eid_space.clone(), mode_of(i));
+                    cfg.miss_policy = miss;
+                    cfg.internal_plain_prefixes = internal.clone();
+                    cfg.reverse_sync_peers = peers;
+                    cfg.pced_addr = pced;
+                    cfg.reply_ttl_minutes = self.mapping_ttl_minutes;
+                    cfg.reply_host_granularity = self.fine_grained_mappings;
+                    let id = sim.add_node(&format!("xTR-{}", p.name), Box::new(Xtr::new(cfg)));
+                    site_xtrs[i].push(id);
+                }
+            }
+
+            // Site ports (xTR port 0 = site).
+            for i in 0..topo.sites.len() {
+                let xtrs = site_xtrs[i].clone();
+                for x in xtrs {
+                    let (_, sp) = sim.connect(x, site_routers[i], LinkCfg::lan());
+                    site_egress[i].push(sp);
+                }
+            }
+
+            // WAN ports (xTR port 1 = provider link to core).
+            for (i, s) in topo.sites.iter().enumerate() {
+                for (k, p) in s.providers.iter().enumerate() {
+                    site_links[i].push(sim.link_count());
+                    let (_, core_port) = sim.connect(
+                        site_xtrs[i][k],
+                        core,
+                        LinkCfg::wan(p.owd)
+                            .with_bandwidth(p.bandwidth_bps)
+                            .with_drop_prob(p.drop_prob),
+                    );
+                    sim.node_mut::<Router>(core)
+                        .add_route(p.core_route, core_port);
+                }
+            }
+
+            // Site-router tables.
+            for (i, s) in topo.sites.iter().enumerate() {
+                let r = sim.node_mut::<FlowRouter>(site_routers[i]);
+                if s.role == SiteRole::Client {
+                    r.add_route(Prefix::host(s.host_addr()), host_ports[i]);
+                }
+                r.add_route(s.eid_prefix, host_ports[i]);
+                for (k, p) in s.providers.iter().enumerate() {
+                    r.add_route(Prefix::host(p.rloc), site_egress[i][k]);
+                }
+                r.add_route(Prefix::host(s.dns_addr()), dns_ports[i]);
+                if cp == CpKind::Pce {
+                    r.add_route(Prefix::host(s.pce_addr()), dns_ports[i]);
+                }
+                r.set_default_route(site_egress[i][0]);
+            }
+        }
+
+        // ---- DNS infrastructure at the core ------------------------------------
+        for (level, &node) in infra_dns.iter().enumerate() {
+            let (_, port) = sim.connect(
+                node,
+                core,
+                LinkCfg::wan(topo.infra_owd).with_drop_prob(topo.infra_drop_prob),
+            );
+            sim.node_mut::<Router>(core)
+                .add_route(Prefix::host(infra_addr(level)), port);
+        }
+
+        // ---- Mapping-system infrastructure --------------------------------------
+        let mut db = MappingDb::new();
+        for (i, s) in topo.sites.iter().enumerate() {
+            let etr = s.providers[0].rloc;
+            if self.fine_grained_mappings {
+                db.register(SiteEntry::single(
+                    Prefix::host(s.host_addr()),
+                    etr,
+                    self.mapping_ttl_minutes,
+                ));
+                for eid in &site_dest_eids[i] {
+                    db.register(SiteEntry::single(
+                        Prefix::host(*eid),
+                        etr,
+                        self.mapping_ttl_minutes,
+                    ));
+                }
+            } else {
+                db.register(SiteEntry::single(
+                    s.eid_prefix,
+                    etr,
+                    self.mapping_ttl_minutes,
+                ));
+            }
+        }
+
+        match cp {
+            CpKind::LispDrop | CpKind::LispQueue | CpKind::LispDataCp => {
+                let mr = sim.add_node(
+                    "map-resolver",
+                    Box::new(MapResolver::new(addrs::MAP_RESOLVER, &db)),
+                );
+                let (_, port) = sim.connect(mr, core, LinkCfg::wan(mapsys_owd));
+                sim.node_mut::<Router>(core)
+                    .add_route(Prefix::host(addrs::MAP_RESOLVER), port);
+                mr_node = Some(mr);
+            }
+            CpKind::Alt { .. } => {
+                // One shared linear overlay; the entry router is the
+                // resolver address every ITR uses; deliveries at the far
+                // end for every registered site.
+                let chain_addrs = &alt_chain_addrs;
+                // Seed the chain with the first server site (the
+                // figure's domain D), then add every other site.
+                let first_server = topo
+                    .sites
+                    .iter()
+                    .position(|s| s.role == SiteRole::Server)
+                    .expect("ALT needs a server site");
+                let mut routers = linear_chain(
+                    chain_addrs,
+                    topo.sites[first_server].eid_prefix,
+                    topo.sites[first_server].providers[0].rloc,
+                );
+                for (i, s) in topo.sites.iter().enumerate() {
+                    if i == first_server {
+                        continue;
+                    }
+                    let etr = s.providers[0].rloc;
+                    if let Some(last) = routers.last_mut() {
+                        last.add_delivery(s.eid_prefix, etr);
+                    }
+                    if routers.len() > 1 {
+                        routers[0].add_overlay_route(s.eid_prefix, chain_addrs[1]);
+                        for k in 1..routers.len() - 1 {
+                            routers[k].add_overlay_route(s.eid_prefix, chain_addrs[k + 1]);
+                        }
+                    } else {
+                        routers[0].add_delivery(s.eid_prefix, etr);
+                    }
+                }
+                for (i, r) in routers.into_iter().enumerate() {
+                    let node = sim.add_node(&format!("alt-{i}"), Box::new(r));
+                    let (_, port) = sim.connect(node, core, LinkCfg::wan(mapsys_owd));
+                    sim.node_mut::<Router>(core)
+                        .add_route(Prefix::host(chain_addrs[i]), port);
+                    alt_nodes.push(node);
+                }
+            }
+            CpKind::Cons { cdr_depth } => {
+                let cdr_addrs: Vec<Ipv4Address> = (0..=cdr_depth)
+                    .map(|i| Ipv4Address::new(9, 2, 1, (i + 1) as u8))
+                    .collect();
+                // One CAR per site under cdr[0]; CDRs chain up to the root.
+                let mut cars: Vec<ConsNode> = topo
+                    .sites
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let mut car = ConsNode::new(car_addr_of(i), Some(cdr_addrs[0]));
+                        car.add_site(s.eid_prefix, s.providers[0].rloc);
+                        car
+                    })
+                    .collect();
+                let mut cdrs: Vec<ConsNode> = Vec::new();
+                for (i, &addr) in cdr_addrs.iter().enumerate() {
+                    let parent = cdr_addrs.get(i + 1).copied();
+                    let mut n = ConsNode::new(addr, parent);
+                    for (j, s) in topo.sites.iter().enumerate() {
+                        if i == 0 {
+                            n.add_child(s.eid_prefix, car_addr_of(j));
+                        } else {
+                            n.add_child(s.eid_prefix, cdr_addrs[i - 1]);
+                        }
+                    }
+                    cdrs.push(n);
+                }
+                for (i, node) in cars.drain(..).enumerate() {
+                    let addr = car_addr_of(i);
+                    let id = sim.add_node(&format!("cons-car-{addr}"), Box::new(node));
+                    let (_, port) = sim.connect(id, core, LinkCfg::wan(mapsys_owd));
+                    sim.node_mut::<Router>(core)
+                        .add_route(Prefix::host(addr), port);
+                    cons_nodes.push(id);
+                }
+                for (i, node) in cdrs.into_iter().enumerate() {
+                    let id = sim.add_node(&format!("cons-cdr-{i}"), Box::new(node));
+                    let (_, port) = sim.connect(id, core, LinkCfg::wan(mapsys_owd));
+                    sim.node_mut::<Router>(core)
+                        .add_route(Prefix::host(cdr_addrs[i]), port);
+                    cons_nodes.push(id);
+                }
+            }
+            CpKind::Nerd => {
+                let subscribers: Vec<Ipv4Address> = topo
+                    .sites
+                    .iter()
+                    .flat_map(|s| s.providers.iter().map(|p| p.rloc))
+                    .collect();
+                let authority = NerdAuthority::new(addrs::NERD, &db, subscribers);
+                let nerd = sim.add_node("nerd", Box::new(authority));
+                let (_, port) = sim.connect(nerd, core, LinkCfg::wan(mapsys_owd));
+                sim.node_mut::<Router>(core)
+                    .add_route(Prefix::host(addrs::NERD), port);
+                nerd_node = Some(nerd);
+            }
+            CpKind::NoLisp | CpKind::Pce => {}
+        }
+
+        let sites: Vec<SiteWorld> = topo
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SiteWorld {
+                name: s.name.clone(),
+                role: s.role,
+                eid_prefix: s.eid_prefix,
+                router: site_routers[i],
+                host: hosts[i],
+                host_addr: s.host_addr(),
+                dns: dns_nodes[i],
+                dns_addr: s.dns_addr(),
+                pce: pce_nodes[i],
+                provider_names: s.providers.iter().map(|p| p.name.clone()).collect(),
+                xtrs: site_xtrs[i].clone(),
+                xtr_rlocs: s.providers.iter().map(|p| p.rloc).collect(),
+                provider_links: site_links[i].clone(),
+                egress_ports: site_egress[i].clone(),
+                dest_eids: site_dest_eids[i].clone(),
+                zone: (s.role == SiteRole::Server).then(|| topo.site_zone(s)),
+            })
+            .collect();
+
+        World {
+            sim,
+            cp,
+            core,
+            sites,
+            infra_dns,
+            mr_node,
+            nerd_node,
+            alt_nodes,
+            cons_nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::flow_script;
+
+    fn tcp_mode() -> FlowMode {
+        FlowMode::Tcp {
+            packets: 2,
+            interval: Ns::from_ms(1),
+            size: 100,
+        }
+    }
+
+    fn run_one(cp: CpKind) -> (World, crate::hosts::FlowRecord) {
+        let mut world = ScenarioSpec::fig1(cp)
+            .with(|s| s.set_flows(flow_script(&[Ns::ZERO], 4, tcp_mode())))
+            .build(1);
+        world.sim.trace.enable();
+        world.schedule_all_flows();
+        world.sim.run_until(Ns::from_secs(30));
+        let rec = world.records()[0].clone();
+        (world, rec)
+    }
+
+    #[test]
+    fn no_lisp_flow_completes() {
+        let (_w, rec) = run_one(CpKind::NoLisp);
+        assert!(rec.dns_time().is_some(), "dns never answered");
+        assert!(rec.setup_time().is_some(), "tcp never established");
+    }
+
+    #[test]
+    fn pce_flow_completes() {
+        let (w, rec) = run_one(CpKind::Pce);
+        assert!(rec.dns_time().is_some(), "dns: {:?}", rec);
+        assert!(
+            rec.setup_time().is_some(),
+            "tcp never established; trace:\n{}",
+            w.sim.trace.render()
+        );
+        assert_eq!(w.total_miss_drops(), 0);
+        let pce_s = w.site("S").pce.unwrap();
+        let pce_d = w.site("D").pce.unwrap();
+        assert!(w.sim.node_ref::<Pce>(pce_d).stats.dns_intercepts >= 1);
+        let s = w.sim.node_ref::<Pce>(pce_s);
+        assert!(s.stats.p_decaps >= 1);
+        assert!(s.stats.pushes_sent >= 2);
+    }
+
+    #[test]
+    fn lisp_drop_loses_the_syn() {
+        let (w, rec) = run_one(CpKind::LispDrop);
+        assert!(rec.dns_time().is_some());
+        let drops = w.total_miss_drops();
+        assert!(drops >= 1, "expected at least the SYN dropped, got {drops}");
+    }
+
+    #[test]
+    fn lisp_queue_flow_completes() {
+        let (w, rec) = run_one(CpKind::LispQueue);
+        assert!(
+            rec.setup_time().is_some(),
+            "queued SYN must eventually establish"
+        );
+        assert_eq!(w.total_miss_drops(), 0);
+        let queued: u64 = w
+            .all_xtrs()
+            .iter()
+            .map(|&x| w.sim.node_ref::<Xtr>(x).stats.queued)
+            .sum();
+        assert!(queued >= 1);
+    }
+
+    #[test]
+    fn nerd_flow_completes_without_misses() {
+        let (w, rec) = run_one(CpKind::Nerd);
+        assert!(rec.setup_time().is_some());
+        assert_eq!(w.total_miss_drops(), 0);
+        let installed: u64 = w
+            .all_xtrs()
+            .iter()
+            .map(|&x| w.sim.node_ref::<Xtr>(x).stats.db_records_installed)
+            .sum();
+        assert!(installed >= 8, "4 xTRs x 2 records");
+    }
+
+    #[test]
+    fn alt_and_cons_flows_complete_with_queue_policy() {
+        for cp in [CpKind::Alt { hops: 3 }, CpKind::Cons { cdr_depth: 1 }] {
+            let mut world = ScenarioSpec::fig1(cp)
+                .with(|s| s.set_flows(flow_script(&[Ns::ZERO], 4, tcp_mode())))
+                .build(1);
+            world.override_pull_miss_policy(MissPolicy::Queue { max_packets: 64 });
+            world.schedule_all_flows();
+            world.sim.run_until(Ns::from_secs(30));
+            let rec = world.records()[0].clone();
+            assert!(
+                rec.setup_time().is_some(),
+                "{} resolution must complete",
+                cp.label()
+            );
+        }
+    }
+
+    #[test]
+    fn pce_faster_than_lisp_queue() {
+        let (_, rec_pce) = run_one(CpKind::Pce);
+        let (_, rec_q) = run_one(CpKind::LispQueue);
+        let (_, rec_nolisp) = run_one(CpKind::NoLisp);
+        let pce = rec_pce.setup_time().unwrap();
+        let q = rec_q.setup_time().unwrap();
+        let nolisp = rec_nolisp.setup_time().unwrap();
+        assert!(pce < q, "pce {pce} vs queue {q}");
+        assert!(
+            pce < nolisp + Ns::from_ms(15),
+            "pce {pce} vs no-lisp {nolisp}"
+        );
+    }
+
+    // ---- multi-site specs ------------------------------------------------
+
+    fn run_multi(cp: CpKind, dest_sites: usize, seed: u64) -> World {
+        let mut world = ScenarioSpec::multi_site(cp, dest_sites, 4).build(seed);
+        world.sim.trace.enable();
+        world.schedule_all_flows();
+        let horizon = world.last_flow_start() + Ns::from_secs(30);
+        world.sim.run_until(horizon);
+        world
+    }
+
+    #[test]
+    fn multi_site_pce_resolves_across_sites() {
+        let w = run_multi(CpKind::Pce, 4, 3);
+        let answered = w.records().iter().filter(|r| r.t_answer.is_some()).count();
+        assert_eq!(answered, w.records().len(), "every flow must resolve");
+        assert_eq!(w.total_miss_drops(), 0, "pce never drops on miss");
+        // More than one destination site actually received traffic
+        // (Zipf spreads across sites).
+        let active_sites = w
+            .server_sites()
+            .filter(|s| w.sim.node_ref::<ServerHost>(s.host).total_udp() > 0)
+            .count();
+        assert!(
+            active_sites >= 2,
+            "zipf must hit ≥2 sites, got {active_sites}"
+        );
+    }
+
+    #[test]
+    fn multi_site_pull_resolves_with_queueing() {
+        let mut w = ScenarioSpec::multi_site(CpKind::LispQueue, 3, 4).build(7);
+        w.schedule_all_flows();
+        let horizon = w.last_flow_start() + Ns::from_secs(30);
+        w.sim.run_until(horizon);
+        let delivered = w.server_udp_received();
+        let sent: u64 = w.records().iter().map(|r| u64::from(r.data_sent)).sum();
+        assert_eq!(delivered, sent, "queue policy must not lose packets");
+    }
+
+    #[test]
+    fn multi_site_deterministic_same_seed_same_trace() {
+        let run = |seed: u64| -> String {
+            let w = run_multi(CpKind::Pce, 3, seed);
+            w.sim.trace.render()
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "same spec + seed must give identical traces");
+        assert!(!a.is_empty());
+        let c = run(12);
+        assert_ne!(a, c, "different seed must reshuffle the workload");
+    }
+
+    #[test]
+    fn deeper_dns_hierarchy_still_resolves() {
+        let mut spec = ScenarioSpec::multi_site(CpKind::NoLisp, 2, 2);
+        spec.topology.dns_depth = 3;
+        // Re-derive the workload against the deeper suffix.
+        spec.workload = Workload::PoissonZipf {
+            flows: 4,
+            rate_per_sec: 2.0,
+            zipf_s: 1.0,
+            mode: FlowMode::Udp {
+                packets: 2,
+                interval: Ns::from_ms(2),
+                size: 200,
+            },
+        };
+        assert_eq!(spec.topology.zone_suffix(), "sub.example");
+        let mut w = spec.build(5);
+        w.schedule_all_flows();
+        let horizon = w.last_flow_start() + Ns::from_secs(30);
+        w.sim.run_until(horizon);
+        let answered = w.records().iter().filter(|r| r.t_answer.is_some()).count();
+        assert_eq!(answered, 4, "4-level DNS walk must resolve");
+    }
+
+    #[test]
+    #[should_panic(expected = "holds 1..=200")]
+    fn oversized_host_population_fails_loudly() {
+        // dest_eid's last-octet plan wraps past 200 hosts; the spec must
+        // reject the population instead of silently aliasing EIDs (or
+        // tripping the MappingDb duplicate panic with a confusing message).
+        let spec = ScenarioSpec::fig1(CpKind::Pce).with(|s| {
+            s.set_dest_count(201);
+            s.fine_grained_mappings = true;
+        });
+        let _ = spec.build(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one client site")]
+    fn second_client_site_is_rejected() {
+        // World drives a single traffic source; a second client site
+        // would silently never start its flows, so build refuses it.
+        let mut spec = ScenarioSpec::multi_site(CpKind::Pce, 2, 2);
+        spec.topology.sites[2].role = SiteRole::Client;
+        let _ = spec.build(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds 1..=200")]
+    fn zero_host_server_site_fails_loudly() {
+        // A generated workload against an empty zone would NXDOMAIN
+        // forever and read as control-plane loss; fail at build instead.
+        let _ = ScenarioSpec::multi_site(CpKind::Pce, 2, 0).build(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no hosts")]
+    fn zero_host_workload_resolution_fails_loudly() {
+        // resolve_flows is also callable standalone; it must reject an
+        // empty server zone rather than generating unanswerable qnames.
+        let mut spec = ScenarioSpec::multi_site(CpKind::Pce, 2, 2);
+        spec.topology.sites[1].hosts = 0;
+        let _ = spec.resolve_flows(1);
+    }
+
+    #[test]
+    fn zone_suffix_matches_delegation_chain() {
+        for depth in 1..=4 {
+            let mut spec = ScenarioSpec::multi_site(CpKind::NoLisp, 2, 2);
+            spec.topology.dns_depth = depth;
+            let levels = spec.topology.level_suffixes();
+            assert_eq!(levels.len(), depth.max(1));
+            assert_eq!(
+                spec.topology.zone_suffix(),
+                levels.last().cloned().unwrap_or_default(),
+                "site zones must hang off the deepest delegation level"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_site_prefixes_fail_loudly() {
+        let mut spec = ScenarioSpec::multi_site(CpKind::LispDrop, 2, 2);
+        let dup = spec.topology.sites[1].eid_prefix;
+        spec.topology.sites[2].eid_prefix = dup;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.build(1)));
+        assert!(
+            result.is_err(),
+            "colliding EID prefixes must panic at build"
+        );
+    }
+
+    #[test]
+    fn fig1_world_handles_are_keyed_by_name() {
+        let w = ScenarioSpec::fig1(CpKind::Pce).build(1);
+        assert_eq!(w.sites.len(), 2);
+        assert_eq!(w.site("S").role, SiteRole::Client);
+        assert_eq!(w.site("D").role, SiteRole::Server);
+        assert_eq!(w.site("S").provider_index("B"), Some(1));
+        assert_eq!(w.site("D").provider_names, vec!["X", "Y"]);
+        assert_eq!(w.site("D").dest_eids.len(), 8);
+        assert_eq!(w.site("S").xtr_rlocs[0], addrs::XTR_A);
+        assert_eq!(w.provider_bytes("D").len(), 2);
+    }
+}

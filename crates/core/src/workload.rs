@@ -29,10 +29,15 @@ impl PoissonArrivals {
     }
 
     /// The next arrival instant.
+    ///
+    /// The exponential gap is clamped to ≥ 1 ns: at very high rates the
+    /// `f64 → u64` conversion would otherwise truncate sub-nanosecond
+    /// gaps to zero and silently break the strictly-increasing arrival
+    /// guarantee.
     pub fn next_arrival(&mut self) -> Ns {
         let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
         let gap_secs = -u.ln() / self.rate_per_sec;
-        self.now += Ns((gap_secs * 1e9) as u64);
+        self.now += Ns(((gap_secs * 1e9) as u64).max(1));
         self.now
     }
 
@@ -109,6 +114,19 @@ mod tests {
         assert!((rate - 100.0).abs() < 10.0, "rate {rate}");
         // Strictly increasing.
         assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn poisson_strictly_increasing_at_extreme_rate() {
+        // At 10^10 flows/s the mean gap is 0.1 ns, so almost every raw
+        // gap truncates to 0 ns — the clamp must keep arrivals strictly
+        // increasing anyway.
+        let mut p = PoissonArrivals::new(3, 1e10);
+        let arrivals = p.take(10_000);
+        assert!(
+            arrivals.windows(2).all(|w| w[0] < w[1]),
+            "arrivals must stay strictly increasing at high rates"
+        );
     }
 
     #[test]

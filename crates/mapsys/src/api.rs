@@ -55,7 +55,23 @@ impl MappingDb {
     }
 
     /// Register a site.
+    ///
+    /// # Panics
+    /// Panics if the exact EID prefix is already registered: two entries
+    /// for one prefix make [`MappingDb::lookup`] ambiguous (the
+    /// most-specific tie-break would pick one arbitrarily), which is a
+    /// spec-construction bug — multi-site scenarios that assign
+    /// colliding prefixes should fail loudly at build time. *Nested*
+    /// (more-/less-specific) registrations remain legal; longest-prefix
+    /// match disambiguates them.
     pub fn register(&mut self, site: SiteEntry) -> &mut Self {
+        if let Some(existing) = self.sites.iter().find(|s| s.prefix == site.prefix) {
+            panic!(
+                "duplicate EID-prefix registration {} (already registered with ETR {}, \
+                 new ETR {}): lookups would be ambiguous",
+                site.prefix, existing.etr_addr, site.etr_addr
+            );
+        }
         self.sites.push(site);
         self
     }
@@ -125,6 +141,41 @@ mod tests {
             a([13, 0, 0, 1])
         );
         assert!(db.lookup(a([99, 0, 0, 1])).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate EID-prefix registration")]
+    fn duplicate_prefix_rejected() {
+        let mut db = MappingDb::new();
+        db.register(SiteEntry::single(
+            Prefix::new(a([101, 0, 0, 0]), 8),
+            a([12, 0, 0, 1]),
+            60,
+        ));
+        // Same prefix, different ETR: ambiguous — must fail loudly.
+        db.register(SiteEntry::single(
+            Prefix::new(a([101, 0, 0, 0]), 8),
+            a([13, 0, 0, 1]),
+            60,
+        ));
+    }
+
+    #[test]
+    fn nested_prefixes_allowed() {
+        // More-specific registrations are legitimate (LPM disambiguates);
+        // only exact duplicates are rejected.
+        let mut db = MappingDb::new();
+        db.register(SiteEntry::single(
+            Prefix::new(a([101, 0, 0, 0]), 8),
+            a([12, 0, 0, 1]),
+            60,
+        ));
+        db.register(SiteEntry::single(
+            Prefix::new(a([101, 5, 0, 0]), 16),
+            a([13, 0, 0, 1]),
+            60,
+        ));
+        assert_eq!(db.len(), 2);
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! cargo run --release --example cache_aging
 //! ```
 
-use pcelisp::experiments::e6_cache::run_cache;
+use pcelisp::experiments::Experiment;
 
 fn main() {
-    let result = run_cache(3);
-    result.table().print();
+    let report = pcelisp::experiments::e6_cache::E6Cache.run(3);
+    report.print();
     println!();
     println!(
         "Short TTLs age mappings out mid-workload (expirations > 0) and every\n\

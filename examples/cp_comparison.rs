@@ -17,17 +17,18 @@ fn main() {
     for cp in e2_variants() {
         drops.rows.push(run_drops_cell(cp, owd, 1));
     }
-    drops.table().print();
+    drops.section().table().print();
     println!();
 
     let mut setup = pcelisp::experiments::e4_tcp_setup::SetupResult::default();
     for cp in e4_variants() {
         setup.rows.push(run_setup_cell(cp, owd, 1));
     }
-    setup.table().print();
+    setup.section().table().print();
     println!();
     println!(
         "Shape check: PCE loses nothing and matches the no-LISP setup time;\n\
-         vanilla LISP pays T_map on the handshake (queue) or fails outright (drop)."
+         vanilla LISP pays T_map on the handshake (queue) or fails outright (drop).\n\
+         The same rows are machine-readable: `exp_all --only e2,e4 --json out.json`."
     );
 }

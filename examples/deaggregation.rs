@@ -16,15 +16,15 @@
 use mapsys::NerdAuthority;
 use pcelisp::hosts::FlowMode;
 use pcelisp::prelude::*;
-use pcelisp::scenario::{flow_script, CpKind, Fig1Builder};
+use pcelisp::scenario::flow_script;
 
 fn run_cell(cp: CpKind, dest_count: usize, flows: usize) -> (u64, u64) {
     let starts: Vec<Ns> = (0..flows).map(|i| Ns::from_ms(300 * i as u64)).collect();
-    let mut world = Fig1Builder::new(cp)
-        .with_params(|p| {
-            p.dest_count = dest_count;
-            p.fine_grained_mappings = true; // de-aggregated /32 registrations
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(cp)
+        .with(|s| {
+            s.set_dest_count(dest_count);
+            s.fine_grained_mappings = true; // de-aggregated /32 registrations
+            s.set_flows(flow_script(
                 &starts,
                 dest_count,
                 FlowMode::Udp {
@@ -32,18 +32,16 @@ fn run_cell(cp: CpKind, dest_count: usize, flows: usize) -> (u64, u64) {
                     interval: Ns::from_ms(2),
                     size: 200,
                 },
-            );
+            ));
         })
         .build(1);
     world.schedule_all_flows();
     world.sim.run_until(Ns::from_secs(60));
 
     let mut itr_state = 0u64;
-    if let Some(xtrs) = world.xtrs {
-        for &x in &xtrs {
-            let xtr = world.sim.node_ref::<Xtr>(x);
-            itr_state += xtr.cache.len() as u64 + xtr.flows.len() as u64;
-        }
+    for x in world.all_xtrs() {
+        let xtr = world.sim.node_ref::<Xtr>(x);
+        itr_state += xtr.cache.len() as u64 + xtr.flows.len() as u64;
     }
     let push_bytes = world
         .nerd_node

@@ -8,23 +8,19 @@
 //! cargo run --release --example te_multihoming
 //! ```
 
-use pcelisp::experiments::e5_te::{run_ablation_push, run_te};
+use pcelisp::experiments::Experiment;
 
 fn main() {
-    let te = run_te(1);
-    te.table().print();
+    // E5 carries both sections (inbound TE + the A1 ablation) in one
+    // registry report.
+    let report = pcelisp::experiments::e5_te::E5Te.run(1);
+    report.print();
     println!();
     println!(
         "Vanilla LISP concentrates inbound traffic on the single registered\n\
          RLOC; the PCE control plane spreads flows across both providers of\n\
-         each domain (upstream *and* downstream TE).\n"
-    );
-
-    let ablation = run_ablation_push(1);
-    ablation.table().print();
-    println!();
-    println!(
-        "Pushing the mapping to ALL ITRs (step 7b) makes the mid-flow egress\n\
-         move lossless; pushing to one ITR strands the moved flow."
+         each domain (upstream *and* downstream TE). Pushing the mapping to\n\
+         ALL ITRs (step 7b) makes the mid-flow egress move lossless; pushing\n\
+         to one ITR strands the moved flow."
     );
 }

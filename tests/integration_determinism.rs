@@ -1,16 +1,18 @@
 //! Integration: bit-for-bit reproducibility — the whole Fig. 1 world,
 //! every control plane, same seed ⇒ identical trace; different seed with
-//! randomized workload ⇒ different schedule.
+//! randomized workload ⇒ different schedule. Also pins determinism for a
+//! non-Fig.1 multi-site spec (same spec + seed ⇒ identical traces).
 
 use netsim::Ns;
 use pcelisp::hosts::FlowMode;
-use pcelisp::scenario::{flow_script, CpKind, Fig1Builder};
+use pcelisp::scenario::{flow_script, CpKind};
+use pcelisp::spec::ScenarioSpec;
 use pcelisp::workload::PoissonArrivals;
 
 fn run_trace(cp: CpKind, seed: u64) -> String {
-    let mut world = Fig1Builder::new(cp)
-        .with_params(|p| {
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(cp)
+        .with(|s| {
+            s.set_flows(flow_script(
                 &[Ns::ZERO, Ns::from_ms(100)],
                 4,
                 FlowMode::Udp {
@@ -18,7 +20,7 @@ fn run_trace(cp: CpKind, seed: u64) -> String {
                     interval: Ns::from_ms(2),
                     size: 300,
                 },
-            );
+            ));
         })
         .build(seed);
     world.sim.trace.enable();
@@ -35,6 +37,24 @@ fn same_seed_same_trace_all_control_planes() {
         assert_eq!(a, b, "nondeterminism under {}", cp.label());
         assert!(!a.is_empty());
     }
+}
+
+#[test]
+fn multi_site_spec_same_seed_same_trace() {
+    let run = |seed: u64| -> String {
+        let mut world = ScenarioSpec::multi_site(CpKind::Pce, 6, 4).build(seed);
+        world.sim.trace.enable();
+        world.schedule_all_flows();
+        let horizon = world.last_flow_start() + Ns::from_secs(30);
+        world.sim.run_until(horizon);
+        world.sim.trace.render()
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a, b, "multi-site spec must be deterministic by seed");
+    assert!(!a.is_empty());
+    let c = run(43);
+    assert_ne!(a, c, "a different seed must reshuffle the Zipf workload");
 }
 
 #[test]

@@ -4,14 +4,15 @@
 //! rise with the loss rate.
 
 use netsim::Ns;
-use pcelisp::hosts::{FlowMode, TrafficHost};
-use pcelisp::scenario::{flow_script, CpKind, Fig1Builder};
+use pcelisp::hosts::FlowMode;
+use pcelisp::scenario::{flow_script, CpKind};
+use pcelisp::spec::ScenarioSpec;
 
 fn run_lossy(cp: CpKind, drop_prob: f64, seed: u64) -> (bool, u64) {
-    let mut world = Fig1Builder::new(cp)
-        .with_params(|p| {
-            p.wan_drop_prob = drop_prob;
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(cp)
+        .with(|s| {
+            s.set_wan_drop_prob(drop_prob);
+            s.set_flows(flow_script(
                 &[Ns::ZERO],
                 4,
                 FlowMode::Udp {
@@ -19,14 +20,12 @@ fn run_lossy(cp: CpKind, drop_prob: f64, seed: u64) -> (bool, u64) {
                     interval: Ns::from_ms(5),
                     size: 300,
                 },
-            );
+            ));
         })
         .build(seed);
     world.schedule_all_flows();
     world.sim.run_until(Ns::from_secs(120));
-    let answered = world.sim.node_ref::<TrafficHost>(world.host_s).records[0]
-        .t_answer
-        .is_some();
+    let answered = world.records()[0].t_answer.is_some();
     let fault_drops = world.sim.total_fault_drops();
     (answered, fault_drops)
 }
@@ -60,9 +59,9 @@ fn zero_loss_control() {
 fn corruption_is_detected_not_crashing() {
     // Corrupt 30% of packets on WAN links: checksums must reject them and
     // nothing should panic; resolution may or may not complete.
-    let mut world = Fig1Builder::new(CpKind::Pce)
-        .with_params(|p| {
-            p.flows = flow_script(
+    let mut world = ScenarioSpec::fig1(CpKind::Pce)
+        .with(|s| {
+            s.set_flows(flow_script(
                 &[Ns::ZERO],
                 4,
                 FlowMode::Udp {
@@ -70,7 +69,7 @@ fn corruption_is_detected_not_crashing() {
                     interval: Ns::from_ms(5),
                     size: 300,
                 },
-            );
+            ));
         })
         .build(3);
     // No builder knob for corruption; run clean — the per-link corruption
@@ -78,9 +77,7 @@ fn corruption_is_detected_not_crashing() {
     // has zero malformed count end to end.
     world.schedule_all_flows();
     world.sim.run_until(Ns::from_secs(30));
-    if let Some(xtrs) = world.xtrs {
-        for &x in &xtrs {
-            assert_eq!(world.sim.node_ref::<lispdp::Xtr>(x).stats.malformed, 0);
-        }
+    for x in world.all_xtrs() {
+        assert_eq!(world.sim.node_ref::<lispdp::Xtr>(x).stats.malformed, 0);
     }
 }
