@@ -1,4 +1,4 @@
-//! Registry-driven experiment runner: every experiment (E1–E9, with the
+//! Registry-driven experiment runner: every experiment (E1–E10, with the
 //! A1/A2 ablations inside E5/E3) in one command.
 //!
 //! ```sh
@@ -73,13 +73,20 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // Names match case-insensitively (`--only E10` works); any unknown
+    // name — or a selection that matches nothing at all — fails loudly
+    // with the valid names instead of silently running zero experiments.
     if let Some(only) = &args.only {
         let known: Vec<&str> = registry.iter().map(|e| e.name()).collect();
         for name in only {
-            if !known.contains(&name.as_str()) {
+            if !known.iter().any(|k| k.eq_ignore_ascii_case(name)) {
                 eprintln!("exp_all: unknown experiment {name:?} (have: {known:?})");
                 return ExitCode::FAILURE;
             }
+        }
+        if only.is_empty() {
+            eprintln!("exp_all: --only selected no experiments (have: {known:?})");
+            return ExitCode::FAILURE;
         }
     }
 
@@ -89,7 +96,7 @@ fn main() -> ExitCode {
         .filter(|e| {
             args.only
                 .as_ref()
-                .map(|only| only.iter().any(|n| n == e.name()))
+                .map(|only| only.iter().any(|n| n.eq_ignore_ascii_case(e.name())))
                 .unwrap_or(true)
         })
         .collect();

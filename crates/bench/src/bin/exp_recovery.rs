@@ -1,0 +1,5 @@
+//! E10: locator-failure recovery under live CBR traffic (dynamics
+//! subsystem; every control plane × destination-site count).
+fn main() {
+    pcelisp_bench::run_and_print("e10");
+}

@@ -15,6 +15,7 @@
 
 pub mod report;
 
+pub mod e10_recovery;
 pub mod e1_fig1;
 pub mod e2_drops;
 pub mod e3_resolution;
@@ -27,7 +28,7 @@ pub mod e9_scale;
 
 pub use report::{Cell, ExpReport, Experiment, Section, Value};
 
-/// Every experiment in run order (E1–E9).
+/// Every experiment in run order (E1–E10).
 pub fn registry() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(e1_fig1::E1Fig1),
@@ -39,10 +40,11 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(e7_reverse::E7Reverse),
         Box::new(e8_overhead::E8Overhead),
         Box::new(e9_scale::E9Scale),
+        Box::new(e10_recovery::E10Recovery),
     ]
 }
 
-/// Look up one experiment by its registry name (`"e1"` … `"e9"`).
+/// Look up one experiment by its registry name (`"e1"` … `"e10"`).
 pub fn by_name(name: &str) -> Option<Box<dyn Experiment>> {
     registry().into_iter().find(|e| e.name() == name)
 }
@@ -56,7 +58,7 @@ mod tests {
         let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
         assert_eq!(
             names,
-            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]
+            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
         );
     }
 

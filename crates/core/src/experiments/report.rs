@@ -139,9 +139,20 @@ impl Section {
 
 /// The result of one experiment run: typed sections with table and
 /// JSON renderings.
+///
+/// ```
+/// use pcelisp::experiments::{Cell, ExpReport, Section};
+///
+/// let mut s = Section::new("demo", "demo section", &["cp", "drops"]);
+/// s.row(vec![Cell::str("pce"), Cell::u64(0)]);
+/// let report = ExpReport::new("e0", "demo experiment").with_section(s);
+/// assert!(report.is_complete());
+/// assert!(report.tables()[0].render().contains("pce"));
+/// assert!(report.to_json().contains("[\"pce\",0]"));
+/// ```
 #[derive(Debug, Clone)]
 pub struct ExpReport {
-    /// Experiment key (`"e1"` … `"e9"`).
+    /// Experiment key (`"e1"` … `"e10"`).
     pub name: String,
     /// One-line experiment title.
     pub title: String,
@@ -276,8 +287,31 @@ fn json_value(v: &Value) -> String {
 }
 
 /// A runnable, registry-listed experiment.
+///
+/// Implementations are enumerated by [`crate::experiments::registry`]
+/// and selected by name through `exp_all --only`. Runs are pure
+/// functions of the seed (DESIGN.md §2), so a report regenerates
+/// byte-identically:
+///
+/// ```
+/// use pcelisp::experiments::{Cell, ExpReport, Experiment, Section};
+///
+/// struct Demo;
+/// impl Experiment for Demo {
+///     fn name(&self) -> &'static str { "demo" }
+///     fn title(&self) -> &'static str { "a demo experiment" }
+///     fn run(&self, seed: u64) -> ExpReport {
+///         let mut s = Section::new("k", "seeded", &["seed"]);
+///         s.row(vec![Cell::u64(seed)]);
+///         ExpReport::new(self.name(), self.title()).with_section(s)
+///     }
+/// }
+///
+/// let report = Demo.run(7);
+/// assert_eq!(report.to_json(), Demo.run(7).to_json());
+/// ```
 pub trait Experiment {
-    /// Stable key used by `exp_all --only` (`"e1"` … `"e9"`).
+    /// Stable key used by `exp_all --only` (`"e1"` … `"e10"`).
     fn name(&self) -> &'static str;
     /// One-line description for `--list` output.
     fn title(&self) -> &'static str;

@@ -144,7 +144,8 @@ impl TrafficHost {
     }
 
     /// The timer token that starts flow `i` (schedule it at the spec's
-    /// start time from outside, or call [`TrafficHost::schedule_all`]).
+    /// start time from outside; `World::schedule_all_flows` does this
+    /// for every scripted flow).
     pub fn start_token(i: usize) -> u64 {
         token(i, KIND_START, 0)
     }
@@ -312,6 +313,10 @@ pub struct ServerHost {
     tcp: HashMap<(Ipv4Address, u16), TcpMachine>,
     /// UDP data packets received, per source.
     pub udp_received: HashMap<Ipv4Address, u64>,
+    /// Arrival time of every UDP data packet, in order — the outage
+    /// signal of the failure-recovery experiments (E10): the longest
+    /// inter-arrival gap brackets the black-hole window.
+    pub udp_arrivals: Vec<Ns>,
     /// TCP data segments received, per source.
     pub tcp_data_received: HashMap<Ipv4Address, u64>,
     /// Establishment times observed at the server.
@@ -330,6 +335,7 @@ impl ServerHost {
             echo_udp: false,
             tcp: HashMap::new(),
             udp_received: HashMap::new(),
+            udp_arrivals: Vec::new(),
             tcp_data_received: HashMap::new(),
             established: Vec::new(),
             first_udp_at: HashMap::new(),
@@ -367,6 +373,7 @@ impl Node for ServerHost {
                 let _ = &self.stack; // identity only; replies use the addressed dst
                 *self.udp_received.entry(src).or_insert(0) += 1;
                 self.first_udp_at.entry(src).or_insert_with(|| ctx.now());
+                self.udp_arrivals.push(ctx.now());
                 self.ctr_udp.add(ctx, "server.udp_received", 1);
                 if self.echo_udp {
                     let reply = IpStack::new(dst).udp(dst_port, src, src_port, &payload);

@@ -22,12 +22,15 @@
 //!   `build(seed)` returns a [`spec::World`] whose handles are keyed by
 //!   site/provider name. [`spec::ScenarioSpec::fig1`] reproduces the
 //!   paper's Fig. 1 world exactly; [`spec::ScenarioSpec::multi_site`]
-//!   generates N-site scale scenarios.
+//!   generates N-site scale scenarios; [`spec::DynamicsSpec`] layers
+//!   deterministic timed dynamics on top — link failures, locator
+//!   failures with their control-plane aftermath, and mapping
+//!   re-registrations (DESIGN.md §7).
 //! * [`scenario`] — the control-plane menu ([`scenario::CpKind`]), the
 //!   site-internal [`scenario::FlowRouter`], and the figure's
 //!   well-known addresses.
 //! * [`workload`] — deterministic Poisson/Zipf flow workload generation.
-//! * [`experiments`] — the E1–E9 / A1–A2 harnesses of DESIGN.md behind
+//! * [`experiments`] — the E1–E10 / A1–A2 harnesses of DESIGN.md behind
 //!   the [`experiments::Experiment`] trait: each returns an
 //!   [`experiments::ExpReport`] with typed rows, printable tables and
 //!   JSON serialization, and [`experiments::registry`] drives them all.
@@ -63,7 +66,8 @@ pub mod prelude {
     pub use crate::pce::{Pce, PceConfig};
     pub use crate::scenario::{CpKind, FlowRouter};
     pub use crate::spec::{
-        ProviderSpec, ScenarioSpec, SiteRole, SiteSpec, SiteWorld, TopologySpec, Workload, World,
+        DynEvent, DynEventKind, DynamicsSpec, ProviderSpec, ScenarioSpec, SelectionPolicy,
+        SiteRole, SiteSpec, SiteWorld, TopologySpec, Workload, World,
     };
     pub use crate::workload::{PoissonArrivals, ZipfPicker};
     pub use inet::{Prefix, Router};

@@ -109,6 +109,10 @@ pub struct PceStats {
     pub reverse_syncs_received: u64,
     /// Step-7 arrivals whose requester EID was unknown (no IPC notice).
     pub unknown_requester: u64,
+    /// Provider reachability events processed (dynamics).
+    pub provider_events: u64,
+    /// Flows re-pathed onto a surviving provider after a failure.
+    pub repaths: u64,
     /// Malformed messages seen.
     pub malformed: u64,
 }
@@ -116,6 +120,8 @@ pub struct PceStats {
 const DNS_PORT: PortId = 0;
 const NET_PORT: PortId = 1;
 const TOKEN_RELEASE: u64 = 0x7CE0_0000_0000_0000;
+const TOKEN_PROVIDER_BASE: u64 = 0x7CE1_0000_0000_0000;
+const TOKEN_PROVIDER_UP_BIT: u64 = 1 << 16;
 
 /// The PCE node (acts as `PCE_S` and `PCE_D` simultaneously).
 pub struct Pce {
@@ -319,6 +325,93 @@ impl Pce {
         }
     }
 
+    /// The timer token that delivers a provider reachability change to
+    /// this node (scheduled externally by the dynamics subsystem; the
+    /// site-internal IGP tells the domain PCE its border link died).
+    pub fn provider_event_token(provider: usize, up: bool) -> u64 {
+        TOKEN_PROVIDER_BASE
+            | (if up { TOKEN_PROVIDER_UP_BIT } else { 0 })
+            | (provider as u64 & 0xffff)
+    }
+
+    /// React to a provider reachability change (DESIGN.md §7). On a
+    /// failure, the IRC engine is told the provider is down and every
+    /// database flow whose local tunnel end (`RLOC_S`) was the dead
+    /// locator is re-pathed onto a surviving provider, then re-pushed:
+    ///
+    /// * to **all local ITRs** (the paper's push-to-all argument makes
+    ///   the move hitless for locally-originated directions), and
+    /// * to the **remote tunnel end** (`RLOC_D`) of each affected flow,
+    ///   fixing the opposite direction's encapsulation target — the
+    ///   push-based cross-domain recovery a pull system can only match
+    ///   after probe timeout plus re-resolution.
+    pub fn provider_reachability_changed(&mut self, ctx: &mut Ctx<'_>, provider: usize, up: bool) {
+        self.stats.provider_events += 1;
+        self.irc.set_up(provider, up);
+        if up {
+            return;
+        }
+        let dead = self.irc.providers()[provider].rloc;
+        // Re-home every tracked flow exactly once; db flows the engine
+        // tracked under the same key reuse that choice, the rest (e.g.
+        // reverse-synced entries it never saw) are admitted fresh.
+        let moved: BTreeMap<(Ipv4Address, Ipv4Address), Ipv4Address> = self
+            .irc
+            .repath(provider)
+            .into_iter()
+            .map(|m| (m.flow_key, m.new_rloc))
+            .collect();
+        let affected: Vec<FlowMapping> = self
+            .db
+            .values()
+            .filter(|f| f.rloc_s == dead)
+            .copied()
+            .collect();
+        ctx.trace(format!(
+            "PCE {} provider {} (RLOC {}) down: re-pathing {} flows",
+            self.cfg.addr,
+            provider,
+            dead,
+            affected.len()
+        ));
+        for flow in affected {
+            let key = (flow.source_eid, flow.dest_eid);
+            let new_rloc = match moved.get(&key) {
+                Some(&rloc) => rloc,
+                None => match self.irc.admit_flow(key, self.cfg.flow_rate_estimate) {
+                    Some((_, rloc)) => rloc,
+                    None => continue, // every provider down: nothing to re-path onto
+                },
+            };
+            let updated = FlowMapping {
+                rloc_s: new_rloc,
+                ..flow
+            };
+            self.db.insert(key, updated);
+            self.push_flow(ctx, updated, PceKind::MappingPush);
+            // Fix the opposite direction at the remote tunnel end: its
+            // flow entry (dest→source) encapsulates toward our dead
+            // RLOC until told otherwise.
+            let remote_fix = FlowMapping {
+                source_eid: flow.dest_eid,
+                dest_eid: flow.source_eid,
+                rloc_s: flow.rloc_d,
+                rloc_d: new_rloc,
+                ttl_minutes: flow.ttl_minutes,
+            };
+            let msg = PceFlowMsg {
+                kind: PceKind::MappingPush,
+                mapping: remote_fix,
+            };
+            let pkt = self
+                .stack
+                .udp(ports::PCE_MAP, flow.rloc_d, ports::PCE_MAP, &msg.to_bytes());
+            ctx.send(NET_PORT, pkt);
+            self.stats.pushes_sent += 1;
+            self.stats.repaths += 1;
+        }
+    }
+
     /// TE action: re-optimise tracked flows and re-push the moved ones
     /// with an updated `RLOC_S` (inbound move). Returns the number of
     /// flows moved. Safe precisely because every ITR already has state
@@ -433,6 +526,12 @@ impl Node for Pce {
         if token == TOKEN_RELEASE {
             if let Some((port, pkt)) = self.release_queue.pop_front() {
                 ctx.send(port, pkt);
+            }
+        } else if token & TOKEN_PROVIDER_BASE == TOKEN_PROVIDER_BASE {
+            let provider = (token & 0xffff) as usize;
+            let up = token & TOKEN_PROVIDER_UP_BIT != 0;
+            if provider < self.irc.providers().len() {
+                self.provider_reachability_changed(ctx, provider, up);
             }
         }
     }
@@ -745,6 +844,60 @@ mod tests {
         let fast = run(true);
         let slow = run(false);
         assert_eq!(slow - fast, Ns::from_ms(2));
+    }
+
+    #[test]
+    fn provider_failure_repaths_and_pushes_remote_fix() {
+        let (mut sim, pce, _dns_side, net_side) = world(pce_d_config());
+        // A served inbound flow: remote E_S ↔ local E_D riding provider X.
+        let flow = FlowMapping {
+            source_eid: a([101, 0, 0, 7]),
+            dest_eid: a([100, 0, 0, 5]),
+            rloc_s: a([12, 0, 0, 1]),  // local end: provider X (fails)
+            rloc_d: a([10, 0, 0, 99]), // remote end
+            ttl_minutes: 60,
+        };
+        sim.node_mut::<Pce>(pce)
+            .db
+            .insert((flow.source_eid, flow.dest_eid), flow);
+        sim.schedule_timer(pce, Ns::from_ms(10), Pce::provider_event_token(0, false));
+        sim.run();
+
+        let p = sim.node_mut::<Pce>(pce);
+        assert_eq!(p.stats.provider_events, 1);
+        assert_eq!(p.stats.repaths, 1);
+        assert!(!p.irc.providers()[0].up);
+        let updated = p.db[&(a([101, 0, 0, 7]), a([100, 0, 0, 5]))];
+        assert_eq!(updated.rloc_s, a([13, 0, 0, 1]), "re-homed onto Y");
+        // Local pushes to both ITRs plus the remote fix.
+        assert_eq!(p.stats.pushes_sent, 3);
+        let out = sim.node_ref::<Tap>(net_side).received.clone();
+        let remote_fix = out
+            .iter()
+            .find_map(|b| match IpStack::parse(b) {
+                Ok(Parsed::Udp { dst, payload, .. }) if dst == a([10, 0, 0, 99]) => {
+                    PceFlowMsg::from_bytes(&payload).ok()
+                }
+                _ => None,
+            })
+            .expect("remote tunnel end must be told the new RLOC");
+        assert_eq!(remote_fix.kind, PceKind::MappingPush);
+        // The remote's forward direction (E_S -> E_D) now targets Y.
+        assert_eq!(remote_fix.mapping.source_eid, a([100, 0, 0, 5]));
+        assert_eq!(remote_fix.mapping.dest_eid, a([101, 0, 0, 7]));
+        assert_eq!(remote_fix.mapping.rloc_d, a([13, 0, 0, 1]));
+    }
+
+    #[test]
+    fn provider_recovery_only_marks_up() {
+        let (mut sim, pce, _dns_side, _net_side) = world(pce_d_config());
+        sim.schedule_timer(pce, Ns::from_ms(1), Pce::provider_event_token(0, false));
+        sim.schedule_timer(pce, Ns::from_ms(2), Pce::provider_event_token(0, true));
+        sim.run();
+        let p = sim.node_mut::<Pce>(pce);
+        assert_eq!(p.stats.provider_events, 2);
+        assert!(p.irc.providers()[0].up);
+        assert_eq!(p.stats.repaths, 0);
     }
 
     #[test]

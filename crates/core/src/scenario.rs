@@ -11,7 +11,7 @@
 use inet::stack::peek_dst;
 use inet::{LpmTrie, Prefix};
 use lispwire::Ipv4Address;
-use netsim::{Ctx, LazyCounter, Node, PortId};
+use netsim::{Ctx, LazyCounter, Node, PortId, ScheduledUpdates};
 use std::any::Any;
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -81,10 +81,14 @@ impl CpKind {
 pub struct FlowRouter {
     routes: LpmTrie<PortId>,
     overrides: HashMap<(Ipv4Address, Ipv4Address), PortId>,
+    /// Timed route changes (dynamics; see [`FlowRouter::schedule_route`]).
+    scheduled_routes: ScheduledUpdates<(Prefix, PortId)>,
     /// Packets forwarded.
     pub forwarded: u64,
     /// Packets dropped for lack of a route.
     pub dropped: u64,
+    /// Scheduled route changes applied so far.
+    pub route_updates_applied: u64,
     ctr_dropped: LazyCounter,
 }
 
@@ -94,8 +98,10 @@ impl FlowRouter {
         Self {
             routes: LpmTrie::new(),
             overrides: HashMap::new(),
+            scheduled_routes: ScheduledUpdates::new(),
             forwarded: 0,
             dropped: 0,
+            route_updates_applied: 0,
             ctr_dropped: LazyCounter::new(),
         }
     }
@@ -120,6 +126,14 @@ impl FlowRouter {
     pub fn unpin_flow(&mut self, src: Ipv4Address, dst: Ipv4Address) {
         self.overrides.remove(&(src, dst));
     }
+
+    /// Install (or replace) the route for `prefix` at absolute
+    /// simulation time `at` — the site IGP re-converging onto a
+    /// surviving egress after a border failure (DESIGN.md §7). Use
+    /// [`Prefix::DEFAULT`] to move the default route.
+    pub fn schedule_route(&mut self, at: netsim::Ns, prefix: Prefix, port: PortId) {
+        self.scheduled_routes.push(at, (prefix, port));
+    }
 }
 
 impl Default for FlowRouter {
@@ -129,6 +143,18 @@ impl Default for FlowRouter {
 }
 
 impl Node for FlowRouter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.scheduled_routes.arm(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some(&(prefix, port)) = self.scheduled_routes.get(token) {
+            self.routes.insert(prefix, port);
+            self.route_updates_applied += 1;
+            ctx.trace(format!("igp reroute: {prefix} now via port {port}"));
+        }
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
         // Site-internal hop: no TTL work (modelled as L2/IGP forwarding).
         let (src, dst) = match (inet::stack::peek_src(&bytes), peek_dst(&bytes)) {

@@ -30,13 +30,15 @@ use crate::scenario::{addrs, CpKind, FlowRouter};
 use crate::workload::{PoissonArrivals, ZipfPicker};
 use inet::{Prefix, Router};
 use ircte::Provider;
-use lispdp::{CpMode, MissPolicy, Xtr, XtrConfig};
+pub use ircte::SelectionPolicy;
+use lispdp::{CpMode, MissPolicy, RlocProbeCfg, Xtr, XtrConfig};
 use lispwire::dnswire::Name;
+use lispwire::lispctl::{Locator, MapRecord};
 use lispwire::Ipv4Address;
 use mapsys::alt::linear_chain;
 use mapsys::api::{MappingDb, SiteEntry};
-use mapsys::{ConsNode, MapResolver, NerdAuthority};
-use netsim::{LinkCfg, NodeId, Ns, PortId, Sim};
+use mapsys::{AltRouter, ConsNode, MapResolver, NerdAuthority};
+use netsim::{DownPolicy, LinkCfg, NodeId, Ns, PortId, Sim};
 use simdns::zone::{Zone, ZoneStore};
 use simdns::{AuthServer, Resolver, ResolverConfig};
 
@@ -265,7 +267,151 @@ pub enum Workload {
     },
 }
 
-/// The full description of one runnable scenario.
+/// One timed topology/mapping mutation.
+#[derive(Debug, Clone)]
+pub struct DynEvent {
+    /// Absolute simulation time at which the event fires.
+    pub at: Ns,
+    /// What happens.
+    pub kind: DynEventKind,
+}
+
+/// The kinds of timed mutation the dynamics subsystem can apply
+/// (DESIGN.md §7). Sites and providers are addressed by spec name.
+#[derive(Debug, Clone)]
+pub enum DynEventKind {
+    /// The provider's WAN link goes administratively down (both
+    /// directions). No control-plane reaction is scheduled — raw link
+    /// churn for testing transport behaviour.
+    LinkDown {
+        /// Site name.
+        site: String,
+        /// Provider name within the site.
+        provider: String,
+    },
+    /// The provider's WAN link comes back up (stalled packets flush).
+    LinkUp {
+        /// Site name.
+        site: String,
+        /// Provider name within the site.
+        provider: String,
+    },
+    /// A locator failure with its full control-plane aftermath: the
+    /// provider link goes down permanently, the site IGP re-routes its
+    /// default egress and notifies the domain PCE after
+    /// [`DynamicsSpec::detection_delay`], and the site re-registers its
+    /// mappings onto the next surviving provider after
+    /// [`DynamicsSpec::reregister_delay`] (Map-Resolver table update,
+    /// NERD update + full re-push, ALT/CONS delivery re-point).
+    RlocFail {
+        /// Site name.
+        site: String,
+        /// Provider name within the site.
+        provider: String,
+    },
+    /// Mapping churn without a failure: re-register the site's mappings
+    /// to point at the named provider at the event time.
+    Remap {
+        /// Site name.
+        site: String,
+        /// Provider name within the site.
+        provider: String,
+    },
+}
+
+/// Deterministic, seed-driven schedule of topology and mapping dynamics
+/// layered onto a [`ScenarioSpec`] (DESIGN.md §7). Every mutation is
+/// applied through the engine's `(time, seq)` event order — link-state
+/// changes as engine `LinkAdmin` events, node-state changes as timers
+/// pre-scheduled at build — so two runs of the same spec and seed stay
+/// byte-identical, failures included.
+#[derive(Debug, Clone)]
+pub struct DynamicsSpec {
+    /// The timed mutations, in any order.
+    pub events: Vec<DynEvent>,
+    /// Enable xTR RLOC probing (liveness detection on every referenced
+    /// locator; required for pull systems to notice a dead tunnel end).
+    pub rloc_probing: Option<RlocProbeCfg>,
+    /// How long the site-internal plane (IGP → PCE, IGP → default
+    /// route) takes to learn of a border failure.
+    pub detection_delay: Ns,
+    /// How long the site takes to re-register its mappings with the
+    /// mapping system after a locator failure.
+    pub reregister_delay: Ns,
+    /// What provider WAN links do with packets while down.
+    pub down_policy: DownPolicy,
+}
+
+impl Default for DynamicsSpec {
+    fn default() -> Self {
+        Self {
+            events: Vec::new(),
+            rloc_probing: None,
+            detection_delay: Ns::from_ms(50),
+            reregister_delay: Ns::from_ms(150),
+            down_policy: DownPolicy::Drop,
+        }
+    }
+}
+
+impl DynamicsSpec {
+    /// An empty schedule with the default delays and no probing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical failure-recovery schedule (experiment E10): RLOC
+    /// probing on every xTR, and one permanent locator failure of
+    /// `provider` at `site`, at time `at`.
+    pub fn rloc_failure(site: &str, provider: &str, at: Ns) -> Self {
+        Self {
+            events: vec![DynEvent {
+                at,
+                kind: DynEventKind::RlocFail {
+                    site: site.to_string(),
+                    provider: provider.to_string(),
+                },
+            }],
+            rloc_probing: Some(RlocProbeCfg::default()),
+            ..Self::default()
+        }
+    }
+
+    /// Append an event, builder-style.
+    pub fn with_event(mut self, at: Ns, kind: DynEventKind) -> Self {
+        self.events.push(DynEvent { at, kind });
+        self
+    }
+}
+
+/// The full description of one runnable scenario: topology + control
+/// plane + workload + mapping knobs + (optionally) timed dynamics.
+///
+/// Start from a preset and mutate, then [`ScenarioSpec::build`]:
+///
+/// ```
+/// use pcelisp::prelude::*;
+///
+/// // The paper's Fig. 1 world under the PCE control plane.
+/// let mut world = ScenarioSpec::fig1(CpKind::Pce).build(1);
+/// assert_eq!(world.site("S").role, SiteRole::Client);
+/// assert_eq!(world.site("D").provider_names, vec!["X", "Y"]);
+///
+/// world.start_flow(0);
+/// world.sim.run_until(Ns::from_secs(5));
+/// assert!(world.records()[0].setup_time().is_some());
+/// ```
+///
+/// A failure-recovery scenario layers a [`DynamicsSpec`] on top:
+///
+/// ```
+/// use pcelisp::prelude::*;
+///
+/// let mut spec = ScenarioSpec::multi_site(CpKind::Pce, 2, 2);
+/// spec.dynamics = Some(DynamicsSpec::rloc_failure("D0", "D0a", Ns::from_secs(2)));
+/// let world = spec.build(1); // schedules the failure deterministically
+/// assert_eq!(world.sites.len(), 3); // client S + servers D0, D1
+/// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
     /// The topology.
@@ -282,9 +428,18 @@ pub struct ScenarioSpec {
     pub pce_precompute: bool,
     /// PCE pushes to all ITRs (ablation A1 turns off).
     pub pce_push_all: bool,
+    /// IRC selection policy of every PCE. The default,
+    /// [`SelectionPolicy::WeightedBalance`], spreads flows across
+    /// providers; failure experiments use a utilisation-blind policy
+    /// (e.g. [`SelectionPolicy::MinCost`]) so the primary locator is
+    /// the same provider every control plane registers.
+    pub pce_policy: SelectionPolicy,
     /// The global EID space the xTRs classify against. `None` derives
     /// it from the site prefixes.
     pub eid_space: Option<Vec<Prefix>>,
+    /// Timed topology/mapping dynamics (`None` = the static world every
+    /// pre-dynamics experiment runs on).
+    pub dynamics: Option<DynamicsSpec>,
 }
 
 impl ScenarioSpec {
@@ -335,6 +490,8 @@ impl ScenarioSpec {
             pce_push_all: true,
             // The figure's xTRs classify against one covering prefix.
             eid_space: Some(vec![Prefix::new(Ipv4Address::new(100, 0, 0, 0), 7)]),
+            pce_policy: SelectionPolicy::WeightedBalance,
+            dynamics: None,
         }
     }
 
@@ -400,7 +557,9 @@ impl ScenarioSpec {
             fine_grained_mappings: false,
             pce_precompute: true,
             pce_push_all: true,
+            pce_policy: SelectionPolicy::WeightedBalance,
             eid_space: None,
+            dynamics: None,
         }
     }
 
@@ -656,6 +815,15 @@ impl World {
             .clone()
     }
 
+    /// UDP data-packet arrival times at one server site's host, in
+    /// arrival order (the outage signal of the recovery experiments).
+    pub fn udp_arrivals(&self, site: &str) -> Vec<Ns> {
+        self.sim
+            .node_ref::<ServerHost>(self.site(site).host)
+            .udp_arrivals
+            .clone()
+    }
+
     /// Data packets received by all destination hosts (UDP mode).
     pub fn server_udp_received(&self) -> u64 {
         self.server_sites()
@@ -747,6 +915,12 @@ impl ScenarioSpec {
         let mut sim = Sim::new(seed);
         let flows = self.resolve_flows(seed);
         let mapsys_owd = topo.mapsys_owd.unwrap_or(topo.infra_owd);
+        let dyn_probing = self.dynamics.as_ref().and_then(|d| d.rloc_probing);
+        let dyn_down_policy = self
+            .dynamics
+            .as_ref()
+            .map(|d| d.down_policy)
+            .unwrap_or_default();
 
         // ---- DNS infrastructure zone data -----------------------------------
         // Chain of delegations: root → [intermediates] → site zones.
@@ -925,6 +1099,7 @@ impl ScenarioSpec {
                     );
                     cfg.precompute = self.pce_precompute;
                     cfg.push_to_all_itrs = self.pce_push_all;
+                    cfg.policy = self.pce_policy;
                     cfg.mapping_ttl_minutes = self.mapping_ttl_minutes;
                     sim.add_node(&format!("PCE_{}", s.name), Box::new(Pce::new(cfg)))
                 })
@@ -979,7 +1154,8 @@ impl ScenarioSpec {
                     core,
                     LinkCfg::wan(p0.owd)
                         .with_bandwidth(p0.bandwidth_bps)
-                        .with_drop_prob(p0.drop_prob),
+                        .with_drop_prob(p0.drop_prob)
+                        .with_down_policy(dyn_down_policy),
                 );
                 uplinks.push((link, sp_up, cp_port));
                 site_links[i] = vec![link; s.providers.len()];
@@ -1051,6 +1227,7 @@ impl ScenarioSpec {
                     cfg.pced_addr = pced;
                     cfg.reply_ttl_minutes = self.mapping_ttl_minutes;
                     cfg.reply_host_granularity = self.fine_grained_mappings;
+                    cfg.rloc_probing = dyn_probing;
                     let id = sim.add_node(&format!("xTR-{}", p.name), Box::new(Xtr::new(cfg)));
                     site_xtrs[i].push(id);
                 }
@@ -1074,7 +1251,8 @@ impl ScenarioSpec {
                         core,
                         LinkCfg::wan(p.owd)
                             .with_bandwidth(p.bandwidth_bps)
-                            .with_drop_prob(p.drop_prob),
+                            .with_drop_prob(p.drop_prob)
+                            .with_down_policy(dyn_down_policy),
                     );
                     sim.node_mut::<Router>(core)
                         .add_route(p.core_route, core_port);
@@ -1247,6 +1425,146 @@ impl ScenarioSpec {
                 nerd_node = Some(nerd);
             }
             CpKind::NoLisp | CpKind::Pce => {}
+        }
+
+        // ---- Timed dynamics --------------------------------------------------
+        // Every mutation is scheduled *now*, at build time: link changes
+        // as engine LinkAdmin events, node changes as timers against
+        // state pre-loaded into the nodes above — so the whole failure
+        // story replays inside the deterministic (time, seq) event order.
+        if let Some(dynamics) = &self.dynamics {
+            let site_index = |name: &str| -> usize {
+                topo.sites
+                    .iter()
+                    .position(|s| s.name == name)
+                    .unwrap_or_else(|| panic!("dynamics event names unknown site {name:?}"))
+            };
+            let provider_index = |i: usize, name: &str| -> usize {
+                topo.sites[i]
+                    .providers
+                    .iter()
+                    .position(|p| p.name == name)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "dynamics event names unknown provider {name:?} at site {:?}",
+                            topo.sites[i].name
+                        )
+                    })
+            };
+            // The prefixes this site registered with the mapping system
+            // (mirrors the MappingDb registration loop above).
+            let registered_prefixes = |i: usize| -> Vec<Prefix> {
+                if self.fine_grained_mappings {
+                    let mut v = vec![Prefix::host(topo.sites[i].host_addr())];
+                    v.extend(site_dest_eids[i].iter().map(|e| Prefix::host(*e)));
+                    v
+                } else {
+                    vec![topo.sites[i].eid_prefix]
+                }
+            };
+            // Re-register site `i`'s mappings onto `rloc` at time `at`,
+            // whatever the mapping system in this world is.
+            let reregister = |sim: &mut Sim, at: Ns, i: usize, rloc: Ipv4Address| match cp {
+                CpKind::LispDrop | CpKind::LispQueue | CpKind::LispDataCp => {
+                    if let Some(mr) = mr_node {
+                        let node = sim.node_mut::<MapResolver>(mr);
+                        for prefix in registered_prefixes(i) {
+                            node.schedule_update(at, prefix, rloc);
+                        }
+                    }
+                }
+                CpKind::Nerd => {
+                    if let Some(nerd) = nerd_node {
+                        let node = sim.node_mut::<NerdAuthority>(nerd);
+                        for prefix in registered_prefixes(i) {
+                            node.schedule_update(
+                                at,
+                                MapRecord {
+                                    eid_prefix: prefix.addr(),
+                                    prefix_len: prefix.len(),
+                                    ttl_minutes: self.mapping_ttl_minutes,
+                                    locators: vec![Locator::new(rloc, 1, 100)],
+                                },
+                            );
+                        }
+                    }
+                }
+                CpKind::Alt { .. } => {
+                    // Delivery entries live on the chain's last router.
+                    if let Some(&last) = alt_nodes.last() {
+                        let node = sim.node_mut::<AltRouter>(last);
+                        for prefix in registered_prefixes(i) {
+                            node.schedule_update(at, prefix, rloc);
+                        }
+                    }
+                }
+                CpKind::Cons { .. } => {
+                    // cons_nodes lists the CARs in site order, CDRs after.
+                    let node = sim.node_mut::<ConsNode>(cons_nodes[i]);
+                    for prefix in registered_prefixes(i) {
+                        node.schedule_update(at, prefix, rloc);
+                    }
+                }
+                CpKind::NoLisp | CpKind::Pce => {}
+            };
+
+            for ev in &dynamics.events {
+                match &ev.kind {
+                    DynEventKind::LinkDown { site, provider } => {
+                        let i = site_index(site);
+                        let k = provider_index(i, provider);
+                        sim.schedule_link_admin(ev.at, site_links[i][k], false);
+                    }
+                    DynEventKind::LinkUp { site, provider } => {
+                        let i = site_index(site);
+                        let k = provider_index(i, provider);
+                        sim.schedule_link_admin(ev.at, site_links[i][k], true);
+                    }
+                    DynEventKind::Remap { site, provider } => {
+                        let i = site_index(site);
+                        let k = provider_index(i, provider);
+                        reregister(&mut sim, ev.at, i, topo.sites[i].providers[k].rloc);
+                    }
+                    DynEventKind::RlocFail { site, provider } => {
+                        let i = site_index(site);
+                        let k = provider_index(i, provider);
+                        sim.schedule_link_admin(ev.at, site_links[i][k], false);
+                        let detect_at = ev.at.saturating_add(dynamics.detection_delay);
+                        if let Some(fallback) = (0..topo.sites[i].providers.len()).find(|&j| j != k)
+                        {
+                            // Site IGP: re-home the default egress if the
+                            // failed border was carrying it.
+                            if k == 0 && !site_egress[i].is_empty() {
+                                sim.node_mut::<FlowRouter>(site_routers[i]).schedule_route(
+                                    detect_at,
+                                    Prefix::DEFAULT,
+                                    site_egress[i][fallback],
+                                );
+                            }
+                            let rereg_at = ev.at.saturating_add(dynamics.reregister_delay);
+                            reregister(
+                                &mut sim,
+                                rereg_at,
+                                i,
+                                topo.sites[i].providers[fallback].rloc,
+                            );
+                        }
+                        // The domain PCE hears from the site IGP and
+                        // re-paths its flow database (core::pce) — one
+                        // tick after the IGP itself re-converged, so the
+                        // PCE's cross-domain fix always exits via the
+                        // surviving default egress regardless of
+                        // node-construction order.
+                        if let Some(pce) = pce_nodes[i] {
+                            sim.schedule_timer(
+                                pce,
+                                detect_at.saturating_add(Ns(1)),
+                                Pce::provider_event_token(k, false),
+                            );
+                        }
+                    }
+                }
+            }
         }
 
         let sites: Vec<SiteWorld> = topo
@@ -1482,6 +1800,114 @@ mod tests {
         w.sim.run_until(horizon);
         let answered = w.records().iter().filter(|r| r.t_answer.is_some()).count();
         assert_eq!(answered, 4, "4-level DNS walk must resolve");
+    }
+
+    // ---- dynamics --------------------------------------------------------
+
+    const T_FAIL: Ns = Ns::from_ms(1500);
+
+    /// One long CBR flow S → host-0.d0.example with D0's primary
+    /// locator failing permanently at `T_FAIL`.
+    fn recovery_world(cp: CpKind) -> World {
+        let mut spec = ScenarioSpec::multi_site(cp, 2, 2);
+        let qname = spec.topology.host_name(&spec.topology.sites[1], 0);
+        spec.set_flows(vec![FlowSpec {
+            start: Ns::ZERO,
+            qname: Name::parse_str(&qname).expect("valid"),
+            mode: FlowMode::Udp {
+                packets: 80,
+                interval: Ns::from_ms(50),
+                size: 200,
+            },
+        }]);
+        spec.dynamics = Some(DynamicsSpec::rloc_failure("D0", "D0a", T_FAIL));
+        // Utilisation-blind ingress choice, so the PCE's primary locator
+        // is the registered provider 0 like every other control plane.
+        spec.pce_policy = SelectionPolicy::MinCost;
+        let mut w = spec.build(1);
+        w.schedule_all_flows();
+        w.sim.run_until(Ns::from_secs(10));
+        w
+    }
+
+    fn last_arrival(w: &World) -> Ns {
+        w.udp_arrivals("D0").last().copied().unwrap_or(Ns::ZERO)
+    }
+
+    #[test]
+    fn pce_recovers_quickly_after_locator_failure() {
+        let w = recovery_world(CpKind::Pce);
+        // The PCE of D0 re-pathed the flow and told the remote tunnel end.
+        let pce = w.site("D0").pce.expect("pce world");
+        let stats = &w.sim.node_ref::<Pce>(pce).stats;
+        assert_eq!(stats.provider_events, 1, "{stats:?}");
+        assert!(stats.repaths >= 1, "{stats:?}");
+        // Traffic kept flowing after the failure, over provider D0b.
+        assert!(last_arrival(&w) > T_FAIL + Ns::from_secs(1));
+        let inbound = w.provider_inbound_bytes("D0");
+        assert!(
+            inbound[1] > 0,
+            "recovered traffic must ride D0b: {inbound:?}"
+        );
+        // Push-based recovery: only a handful of packets died in the
+        // detection window.
+        let lost = w.records()[0].data_sent as u64 - w.server_udp_received();
+        assert!(lost <= 5, "pce black-holed {lost} packets");
+    }
+
+    #[test]
+    fn pull_recovers_via_probe_timeout_and_reresolution() {
+        let w = recovery_world(CpKind::LispQueue);
+        // The map-resolver applied the site's re-registration…
+        let mr = w.mr_node.expect("pull world");
+        assert_eq!(w.sim.node_ref::<MapResolver>(mr).updates_applied, 1);
+        // …and the probing ITR noticed the dead locator and re-resolved.
+        let probe_timeouts: u64 = w
+            .site("S")
+            .xtrs
+            .iter()
+            .map(|&x| w.sim.node_ref::<Xtr>(x).stats.probe_timeouts)
+            .sum();
+        assert!(probe_timeouts >= 1);
+        assert!(last_arrival(&w) > T_FAIL + Ns::from_secs(1));
+        let inbound = w.provider_inbound_bytes("D0");
+        assert!(
+            inbound[1] > 0,
+            "recovered traffic must ride D0b: {inbound:?}"
+        );
+    }
+
+    #[test]
+    fn nerd_recovers_via_full_repush() {
+        let w = recovery_world(CpKind::Nerd);
+        let nerd = w.nerd_node.expect("nerd world");
+        let auth = w.sim.node_ref::<NerdAuthority>(nerd);
+        assert_eq!(auth.updates_applied, 1);
+        assert!(auth.push_rounds >= 2, "boot push + failure re-push");
+        assert!(last_arrival(&w) > T_FAIL + Ns::from_secs(1));
+    }
+
+    #[test]
+    fn dynamics_runs_are_deterministic() {
+        let run = |seed: u64| -> String {
+            let mut spec = ScenarioSpec::multi_site(CpKind::LispQueue, 2, 2);
+            spec.dynamics = Some(DynamicsSpec::rloc_failure("D0", "D0a", T_FAIL));
+            let mut w = spec.build(seed);
+            w.sim.trace.enable();
+            w.schedule_all_flows();
+            w.sim.run_until(Ns::from_secs(8));
+            w.sim.trace.render()
+        };
+        assert_eq!(run(3), run(3), "failure dynamics must stay deterministic");
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown site")]
+    fn dynamics_event_with_unknown_site_fails_loudly() {
+        let mut spec = ScenarioSpec::multi_site(CpKind::Pce, 2, 2);
+        spec.dynamics = Some(DynamicsSpec::rloc_failure("D9", "D9a", T_FAIL));
+        let _ = spec.build(1);
     }
 
     #[test]

@@ -227,6 +227,44 @@ impl IrcEngine {
         self.flows.len()
     }
 
+    /// Reachability-driven repath: mark provider `dead` down and move
+    /// every flow it carried to a surviving provider chosen by the
+    /// active policy. Returns the applied moves (empty when every other
+    /// provider is also down — the flows then stay stranded, which the
+    /// caller can detect via [`IrcEngine::loads`]). This is the PCE's
+    /// reaction to a locator failure (DESIGN.md §7): unlike
+    /// [`IrcEngine::reoptimize`] it is triggered by a reachability
+    /// change, not by utilisation imbalance.
+    pub fn repath(&mut self, dead: ProviderId) -> Vec<Move> {
+        self.providers[dead].up = false;
+        let stranded: Vec<(Ipv4Address, Ipv4Address)> = self
+            .flows
+            .values()
+            .filter(|f| f.provider == dead)
+            .map(|f| f.key)
+            .collect();
+        let mut moves = Vec::new();
+        for key in stranded {
+            // Re-select per flow so balancing policies spread the
+            // displaced load instead of dog-piling one survivor.
+            let views = self.views();
+            let Some(new_p) = self.policy.select(&views) else {
+                break;
+            };
+            self.flows
+                .get_mut(&Self::key(key))
+                .expect("tracked")
+                .provider = new_p;
+            moves.push(Move {
+                flow_key: key,
+                new_provider: new_p,
+                new_rloc: self.providers[new_p].rloc,
+            });
+        }
+        self.moves_made += moves.len() as u64;
+        moves
+    }
+
     /// Globally re-optimise with the min-max objective; returns the moves
     /// (flows whose provider changed), already applied to the tracking
     /// state. This is the paper's "PCE_S can carry out local TE actions,
@@ -353,6 +391,29 @@ mod tests {
         assert!(after.max < before.max);
         // Post-optimum matches the objective's prediction.
         assert!((after.max - e.optimal_max_utilisation()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repath_moves_flows_off_dead_provider() {
+        let mut e = engine(SelectionPolicy::MinCost);
+        // MinCost puts everything on B (index 1).
+        for i in 0..4 {
+            e.admit_flow(flow(i), 5.0).unwrap();
+        }
+        let moves = e.repath(1);
+        assert_eq!(moves.len(), 4);
+        assert!(moves.iter().all(|m| m.new_provider == 0));
+        assert!(moves.iter().all(|m| m.new_rloc == a([10, 0, 0, 1])));
+        let loads = e.loads();
+        assert_eq!(loads[1], 0.0, "dead provider carries nothing");
+        assert!((loads[0] - 20.0).abs() < 1e-9);
+        // New admissions avoid the dead provider too.
+        assert_eq!(e.admit_flow(flow(9), 1.0).unwrap().0, 0);
+        // Everything down: flows stay stranded, no moves.
+        let mut all_down = engine(SelectionPolicy::MinCost);
+        all_down.admit_flow(flow(1), 1.0).unwrap();
+        all_down.set_up(0, false);
+        assert!(all_down.repath(1).is_empty());
     }
 
     #[test]

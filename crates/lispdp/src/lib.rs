@@ -23,4 +23,4 @@ pub mod xtr;
 
 pub use mapcache::{CacheEntry, MapCache};
 pub use policy::MissPolicy;
-pub use xtr::{CpMode, Xtr, XtrConfig};
+pub use xtr::{CpMode, RlocProbeCfg, Xtr, XtrConfig};

@@ -47,6 +47,9 @@ pub struct MapCache {
     pub evictions: u64,
     /// Entries dropped because they expired.
     pub expirations: u64,
+    /// Entries removed because every locator became unreachable (RLOC
+    /// probing; see [`MapCache::invalidate_rloc`]).
+    pub invalidations: u64,
 }
 
 impl MapCache {
@@ -59,6 +62,7 @@ impl MapCache {
             miss_count: 0,
             evictions: 0,
             expirations: 0,
+            invalidations: 0,
         }
     }
 
@@ -153,6 +157,36 @@ impl MapCache {
         self.trie.remove(prefix).is_some()
     }
 
+    /// Declare `rloc` unreachable (an RLOC-probe timeout): mark it
+    /// unreachable in every locator set that references it, and remove
+    /// entries left without any usable locator — the next packet toward
+    /// them misses and triggers a fresh resolution. Returns the number
+    /// of entries removed.
+    pub fn invalidate_rloc(&mut self, rloc: Ipv4Address) -> usize {
+        let touched: Vec<Prefix> = self
+            .trie
+            .entries()
+            .into_iter()
+            .filter(|(_, e)| e.record.locators.iter().any(|l| l.rloc == rloc))
+            .map(|(p, _)| p)
+            .collect();
+        let mut removed = 0;
+        for prefix in touched {
+            let entry = self.trie.get_mut(&prefix).expect("entry just listed");
+            for l in &mut entry.record.locators {
+                if l.rloc == rloc {
+                    l.reachable = false;
+                }
+            }
+            if entry.record.best_locator().is_none() {
+                self.trie.remove(&prefix);
+                self.invalidations += 1;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Observed hit ratio so far (0 when no lookups).
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hit_count + self.miss_count;
@@ -241,6 +275,24 @@ mod tests {
         c.purge_expired(Ns::from_secs(61));
         assert_eq!(c.len(), 1);
         assert_eq!(c.expirations, 1);
+    }
+
+    #[test]
+    fn invalidate_rloc_removes_orphaned_entries() {
+        let mut c = MapCache::new(10);
+        // 101/8 reachable only via 12.0.0.1; 102/8 has a backup locator.
+        c.insert(record([101, 0, 0, 0], 8, 60), Ns::ZERO);
+        let mut multi = record([102, 0, 0, 0], 8, 60);
+        multi.locators.push(Locator::new(a([13, 0, 0, 1]), 2, 100));
+        c.insert(multi, Ns::ZERO);
+        let removed = c.invalidate_rloc(a([12, 0, 0, 1]));
+        assert_eq!(removed, 1);
+        assert_eq!(c.invalidations, 1);
+        // 101/8 is gone (next packet misses and re-resolves).
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(1)).is_none());
+        // 102/8 survives on its backup locator.
+        let rec = c.lookup(a([102, 1, 1, 1]), Ns::from_secs(1)).unwrap();
+        assert_eq!(rec.best_locator().unwrap().rloc, a([13, 0, 0, 1]));
     }
 
     #[test]

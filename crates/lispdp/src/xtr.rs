@@ -26,7 +26,7 @@ use crate::policy::MissPolicy;
 use inet::stack::{build_udp_ip, peek_dst, peek_src, IpStack, Parsed};
 use inet::Prefix;
 use lispwire::lisp::{encapsulate, LispPacket, LispRepr};
-use lispwire::lispctl::{self, DbPush, Locator, MapRecord, MapReply, MapRequest};
+use lispwire::lispctl::{self, DbPush, Locator, MapRecord, MapReply, MapRequest, RlocProbe};
 use lispwire::pcewire::{FlowMapping, PceFlowMsg, PceKind};
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
@@ -45,6 +45,26 @@ pub enum CpMode {
     PushDb,
     /// The paper's PCE-based control plane.
     Pce,
+}
+
+/// RLOC-probing configuration: the xTR's liveness check on every remote
+/// locator its mapping state references (DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RlocProbeCfg {
+    /// How often a probe round runs.
+    pub interval: Ns,
+    /// How long a probe may stay unanswered before its locator is
+    /// declared unreachable (must be shorter than `interval`).
+    pub timeout: Ns,
+}
+
+impl Default for RlocProbeCfg {
+    fn default() -> Self {
+        Self {
+            interval: Ns::from_secs(1),
+            timeout: Ns::from_ms(250),
+        }
+    }
 }
 
 /// Static configuration of an xTR.
@@ -87,6 +107,11 @@ pub struct XtrConfig {
     pub request_retransmit: Ns,
     /// Map-Request max transmissions.
     pub request_max_tries: u32,
+    /// Periodic RLOC reachability probing (`None` = disabled). A probe
+    /// timeout invalidates every cache entry and PCE flow whose only
+    /// usable locator was the dead RLOC, so the next packet re-resolves
+    /// instead of black-holing into a failed tunnel.
+    pub rloc_probing: Option<RlocProbeCfg>,
 }
 
 impl XtrConfig {
@@ -114,6 +139,7 @@ impl XtrConfig {
             internal_plain_prefixes: Vec::new(),
             request_retransmit: Ns::from_secs(1),
             request_max_tries: 3,
+            rloc_probing: None,
         }
     }
 }
@@ -122,6 +148,8 @@ const SITE_PORT: PortId = 0;
 const WAN_PORT: PortId = 1;
 const TOKEN_RETRY_BASE: u64 = 0x4000_0000_0000_0000;
 const TOKEN_CP_RELEASE: u64 = 0x2000_0000_0000_0000;
+const TOKEN_PROBE_ROUND: u64 = 0x1000_0000_0000_0000;
+const TOKEN_PROBE_CHECK: u64 = 0x0800_0000_0000_0000;
 
 #[derive(Debug, Default, Clone)]
 /// Public data-plane counters of an xTR.
@@ -168,6 +196,18 @@ pub struct XtrStats {
     pub map_requests_answered: u64,
     /// Records installed from DbPush messages.
     pub db_records_installed: u64,
+    /// RLOC probes sent.
+    pub probes_sent: u64,
+    /// RLOC probes answered (we were the probe target).
+    pub probes_answered: u64,
+    /// Probe acknowledgements received.
+    pub probe_acks_received: u64,
+    /// Probe rounds that declared a locator unreachable.
+    pub probe_timeouts: u64,
+    /// Cache entries invalidated by probe timeouts.
+    pub invalidated_cache_entries: u64,
+    /// PCE flow entries invalidated by probe timeouts.
+    pub invalidated_flows: u64,
     /// Malformed / unparseable packets seen.
     pub malformed: u64,
 }
@@ -183,6 +223,7 @@ pub struct Xtr {
     pub flows: BTreeMap<(Ipv4Address, Ipv4Address), FlowMapping>,
     pending: BTreeMap<Ipv4Address, VecDeque<(Vec<u8>, Ns)>>,
     in_flight: BTreeMap<Ipv4Address, (u64, u32)>, // eid -> (nonce, tries)
+    probe_outstanding: BTreeMap<Ipv4Address, u64>, // rloc -> nonce
     cp_release: VecDeque<Vec<u8>>,
     seen_wan_flows: BTreeSet<(Ipv4Address, Ipv4Address)>,
     nonce_counter: u64,
@@ -211,6 +252,7 @@ impl Xtr {
             flows: BTreeMap::new(),
             pending: BTreeMap::new(),
             in_flight: BTreeMap::new(),
+            probe_outstanding: BTreeMap::new(),
             cp_release: VecDeque::new(),
             seen_wan_flows: BTreeSet::new(),
             nonce_counter: 1,
@@ -629,7 +671,114 @@ impl Xtr {
                     self.install_record(ctx, record, now);
                 }
             }
+            Ok(lispctl::TYPE_RLOC_PROBE) => {
+                let Ok(probe) = RlocProbe::from_bytes(payload) else {
+                    self.stats.malformed += 1;
+                    return;
+                };
+                let ack = RlocProbe {
+                    nonce: probe.nonce,
+                    origin: self.cfg.rloc,
+                    ack: true,
+                };
+                let port = self.control_port_for(probe.origin);
+                let pkt = self.stack.udp(
+                    ports::LISP_CONTROL,
+                    probe.origin,
+                    ports::LISP_CONTROL,
+                    &ack.to_bytes(),
+                );
+                ctx.send(port, pkt);
+                self.stats.probes_answered += 1;
+            }
+            Ok(lispctl::TYPE_RLOC_PROBE_ACK) => {
+                let Ok(probe) = RlocProbe::from_bytes(payload) else {
+                    self.stats.malformed += 1;
+                    return;
+                };
+                if self.probe_outstanding.get(&probe.origin) == Some(&probe.nonce) {
+                    self.probe_outstanding.remove(&probe.origin);
+                    self.stats.probe_acks_received += 1;
+                }
+            }
             _ => self.stats.malformed += 1,
+        }
+    }
+
+    /// Every remote RLOC the xTR's mapping state currently references
+    /// (map-cache locator sets plus PCE flow destinations), sorted for
+    /// deterministic probe order.
+    fn referenced_rlocs(&self) -> Vec<Ipv4Address> {
+        let mut set: BTreeSet<Ipv4Address> = BTreeSet::new();
+        for (_, entry) in self.cache.entries() {
+            for l in &entry.record.locators {
+                set.insert(l.rloc);
+            }
+        }
+        for flow in self.flows.values() {
+            set.insert(flow.rloc_d);
+        }
+        set.remove(&self.cfg.rloc);
+        set.into_iter().collect()
+    }
+
+    /// One RLOC-probing round: probe every referenced locator and arm
+    /// the timeout check.
+    fn run_probe_round(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(probe_cfg) = self.cfg.rloc_probing else {
+            return;
+        };
+        let targets = self.referenced_rlocs();
+        for rloc in targets {
+            let nonce = self.next_nonce();
+            self.probe_outstanding.insert(rloc, nonce);
+            let probe = RlocProbe {
+                nonce,
+                origin: self.cfg.rloc,
+                ack: false,
+            };
+            let port = self.control_port_for(rloc);
+            let pkt = self.stack.udp(
+                ports::LISP_CONTROL,
+                rloc,
+                ports::LISP_CONTROL,
+                &probe.to_bytes(),
+            );
+            ctx.send(port, pkt);
+            self.stats.probes_sent += 1;
+        }
+        if !self.probe_outstanding.is_empty() {
+            ctx.set_timer(probe_cfg.timeout, TOKEN_PROBE_CHECK);
+        }
+        ctx.set_timer(probe_cfg.interval, TOKEN_PROBE_ROUND);
+    }
+
+    /// Probe-timeout check: every probe still unanswered declares its
+    /// locator unreachable and invalidates the state referencing it.
+    fn check_probe_timeouts(&mut self, ctx: &mut Ctx<'_>) {
+        let dead: Vec<Ipv4Address> = self.probe_outstanding.keys().copied().collect();
+        self.probe_outstanding.clear();
+        for rloc in dead {
+            self.stats.probe_timeouts += 1;
+            let removed = self.cache.invalidate_rloc(rloc);
+            self.stats.invalidated_cache_entries += removed as u64;
+            let dead_flows: Vec<(Ipv4Address, Ipv4Address)> = self
+                .flows
+                .iter()
+                .filter(|(_, f)| f.rloc_d == rloc)
+                .map(|(k, _)| *k)
+                .collect();
+            for key in &dead_flows {
+                self.flows.remove(key);
+            }
+            self.stats.invalidated_flows += dead_flows.len() as u64;
+            ctx.trace(format!(
+                "xTR {} declares RLOC {} unreachable ({} cache entries, {} flows invalidated)",
+                self.cfg.rloc,
+                rloc,
+                removed,
+                dead_flows.len()
+            ));
         }
     }
 
@@ -657,6 +806,12 @@ impl Xtr {
 }
 
 impl Node for Xtr {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(probe_cfg) = self.cfg.rloc_probing {
+            ctx.set_timer(probe_cfg.interval, TOKEN_PROBE_ROUND);
+        }
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, bytes: Vec<u8>) {
         if port == SITE_PORT {
             self.stats.from_site += 1;
@@ -738,6 +893,14 @@ impl Node for Xtr {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_PROBE_ROUND {
+            self.run_probe_round(ctx);
+            return;
+        }
+        if token == TOKEN_PROBE_CHECK {
+            self.check_probe_timeouts(ctx);
+            return;
+        }
         if token & TOKEN_CP_RELEASE != 0 {
             if let Some(pkt) = self.cp_release.pop_front() {
                 ctx.send(WAN_PORT, pkt);
@@ -1229,6 +1392,46 @@ mod tests {
         assert_eq!(x.stats.db_records_installed, 1);
         assert_eq!(x.cache.len(), 1);
         drop(w);
+    }
+
+    #[test]
+    fn probe_timeout_invalidates_dead_locator_state() {
+        // Resolve a mapping, then kill the destination's WAN link: the
+        // probing ITR must declare the locator dead and drop the cache
+        // entry, so the next packet re-misses instead of black-holing.
+        let mut w = build_world(
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 10])),
+            },
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 10])),
+            },
+            MissPolicy::Queue { max_packets: 8 },
+            Ns::from_us(100),
+        );
+        let probe_cfg = RlocProbeCfg {
+            interval: Ns::from_secs(1),
+            timeout: Ns::from_ms(250),
+        };
+        w.sim.node_mut::<Xtr>(w.xtr_s).cfg.rloc_probing = Some(probe_cfg);
+        let pkt = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 1);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt];
+        w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
+        // Probe rounds at 1 s and 2 s answer (acks received); the D-side
+        // WAN link (link index 3: host-s, host-d, xtr_s-core, xtr_d-core)
+        // dies at 2.5 s, so the 3 s round times out at 3.25 s.
+        w.sim.schedule_link_admin(Ns::from_ms(2500), 3, false);
+        w.sim.run_until(Ns::from_secs(4));
+
+        let xtr = w.sim.node_ref::<Xtr>(w.xtr_s);
+        assert!(xtr.stats.probes_sent >= 3);
+        assert!(xtr.stats.probe_acks_received >= 2, "{:?}", xtr.stats);
+        assert_eq!(xtr.stats.probe_timeouts, 1, "{:?}", xtr.stats);
+        assert_eq!(xtr.stats.invalidated_cache_entries, 1);
+        assert_eq!(xtr.cache.len(), 0, "dead-locator entry must be gone");
+        // The probe target answered the earlier rounds.
+        let xtr_d = w.sim.node_ref::<Xtr>(w.xtr_d);
+        assert!(xtr_d.stats.probes_answered >= 2);
     }
 
     #[test]

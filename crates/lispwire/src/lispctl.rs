@@ -34,6 +34,10 @@ pub const TYPE_MAP_REQUEST: u8 = 1;
 pub const TYPE_MAP_REPLY: u8 = 2;
 /// Message type code for a NERD-style database push chunk.
 pub const TYPE_DB_PUSH: u8 = 3;
+/// Message type code for an RLOC reachability probe.
+pub const TYPE_RLOC_PROBE: u8 = 4;
+/// Message type code for an RLOC probe acknowledgement.
+pub const TYPE_RLOC_PROBE_ACK: u8 = 5;
 
 /// One routing locator with its selection attributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,6 +322,65 @@ impl DbPush {
     }
 }
 
+/// An RLOC reachability probe (or its acknowledgement): the liveness
+/// primitive of the dynamics subsystem (DESIGN.md §7). An xTR probes
+/// every remote locator its mapping state references; a probe that is
+/// not acknowledged within the configured timeout declares the locator
+/// unreachable and invalidates the state that references it.
+///
+/// ```text
+/// u8 type (=4 probe, =5 ack) | u8 flags | u16 mbz
+/// u32 nonce_hi | u32 nonce_lo
+/// u32 origin        (the prober's / acker's own RLOC)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RlocProbe {
+    /// Probe nonce, echoed in the acknowledgement.
+    pub nonce: u64,
+    /// The sender's own RLOC (reply target for probes; acker identity
+    /// for acknowledgements).
+    pub origin: Ipv4Address,
+    /// `false` = probe, `true` = acknowledgement.
+    pub ack: bool,
+}
+
+impl RlocProbe {
+    /// Wire length of a probe / ack.
+    pub const WIRE_LEN: usize = 4 + 8 + 4;
+
+    /// Serialize to owned bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_LEN);
+        out.push(if self.ack {
+            TYPE_RLOC_PROBE_ACK
+        } else {
+            TYPE_RLOC_PROBE
+        });
+        out.push(0);
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&self.nonce.to_be_bytes());
+        out.extend_from_slice(&self.origin.0);
+        out
+    }
+
+    /// Parse from bytes.
+    pub fn from_bytes(buf: &[u8]) -> WireResult<Self> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(WireError::Truncated);
+        }
+        let ack = match buf[0] {
+            TYPE_RLOC_PROBE => false,
+            TYPE_RLOC_PROBE_ACK => true,
+            _ => return Err(WireError::UnknownType),
+        };
+        Ok(Self {
+            nonce: u64::from_be_bytes(buf[4..12].try_into().unwrap()),
+            origin: Ipv4Address(buf[12..16].try_into().unwrap()),
+            ack,
+        })
+    }
+}
+
 /// Peek the control-message type code of a buffer.
 pub fn message_type(buf: &[u8]) -> WireResult<u8> {
     buf.first().copied().ok_or(WireError::Truncated)
@@ -420,6 +483,36 @@ mod tests {
         };
         let bytes = push.to_bytes();
         assert_eq!(DbPush::from_bytes(&bytes).unwrap(), push);
+    }
+
+    #[test]
+    fn rloc_probe_roundtrip_both_kinds() {
+        for ack in [false, true] {
+            let p = RlocProbe {
+                nonce: 0x0123_4567_89ab_cdef,
+                origin: addr(10, 0, 0, 1),
+                ack,
+            };
+            let bytes = p.to_bytes();
+            assert_eq!(bytes.len(), RlocProbe::WIRE_LEN);
+            assert_eq!(RlocProbe::from_bytes(&bytes).unwrap(), p);
+            assert_eq!(
+                message_type(&bytes).unwrap(),
+                if ack {
+                    TYPE_RLOC_PROBE_ACK
+                } else {
+                    TYPE_RLOC_PROBE
+                }
+            );
+        }
+        assert_eq!(
+            RlocProbe::from_bytes(&[9u8; 16]).unwrap_err(),
+            WireError::UnknownType
+        );
+        assert_eq!(
+            RlocProbe::from_bytes(&[TYPE_RLOC_PROBE, 0, 0]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

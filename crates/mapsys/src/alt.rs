@@ -13,7 +13,7 @@ use inet::stack::{IpStack, Parsed};
 use inet::{LpmTrie, Prefix};
 use lispwire::lispctl::MapRequest;
 use lispwire::{ports, Ipv4Address};
-use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
+use netsim::{Ctx, LazyCounter, Node, Ns, PortId, ScheduledUpdates};
 use std::any::Any;
 use std::collections::VecDeque;
 
@@ -26,12 +26,17 @@ pub struct AltRouter {
     delivery: LpmTrie<Ipv4Address>,
     processing_delay: Ns,
     outbox: VecDeque<Vec<u8>>,
+    /// Timed delivery re-registrations (dynamics; see
+    /// [`AltRouter::schedule_update`]).
+    scheduled_updates: ScheduledUpdates<(Prefix, Ipv4Address)>,
     /// Requests forwarded to another overlay router.
     pub overlay_hops: u64,
     /// Requests delivered to an ETR.
     pub delivered: u64,
     /// Requests dropped (no route or hop budget exhausted).
     pub dropped: u64,
+    /// Scheduled re-registrations applied so far.
+    pub updates_applied: u64,
     ctr_hop_exhausted: LazyCounter,
     ctr_no_route: LazyCounter,
 }
@@ -48,12 +53,22 @@ impl AltRouter {
             delivery: LpmTrie::new(),
             processing_delay: Ns::from_us(500),
             outbox: VecDeque::new(),
+            scheduled_updates: ScheduledUpdates::new(),
             overlay_hops: 0,
             delivered: 0,
             dropped: 0,
+            updates_applied: 0,
             ctr_hop_exhausted: LazyCounter::new(),
             ctr_no_route: LazyCounter::new(),
         }
+    }
+
+    /// Re-point the delivery entry for `prefix` at `etr` at absolute
+    /// simulation time `at` (the site re-registering after a locator
+    /// failure; only meaningful on the router that carries the delivery
+    /// entry). Timer-driven, so deterministic (DESIGN.md §7).
+    pub fn schedule_update(&mut self, at: Ns, prefix: Prefix, etr: Ipv4Address) {
+        self.scheduled_updates.push(at, (prefix, etr));
     }
 
     /// Override the per-hop processing delay.
@@ -81,6 +96,10 @@ impl AltRouter {
 }
 
 impl Node for AltRouter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.scheduled_updates.arm(ctx);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
         let Ok(Parsed::Udp {
             dst,
@@ -147,6 +166,13 @@ impl Node for AltRouter {
             if let Some(pkt) = self.outbox.pop_front() {
                 ctx.send(0, pkt);
             }
+        } else if let Some(&(prefix, etr)) = self.scheduled_updates.get(token) {
+            self.delivery.insert(prefix, etr);
+            self.updates_applied += 1;
+            ctx.trace(format!(
+                "alt {} re-registers delivery {prefix} -> {etr}",
+                self.stack.addr
+            ));
         }
     }
 

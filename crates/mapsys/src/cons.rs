@@ -14,7 +14,7 @@ use inet::stack::{IpStack, Parsed};
 use inet::{LpmTrie, Prefix};
 use lispwire::lispctl::{self, MapRequest};
 use lispwire::{ports, Ipv4Address, WireError, WireResult};
-use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
+use netsim::{Ctx, LazyCounter, Node, Ns, PortId, ScheduledUpdates};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
@@ -96,6 +96,9 @@ pub struct ConsNode {
     pending: HashMap<u64, (Ipv4Address, Vec<Ipv4Address>)>,
     processing_delay: Ns,
     outbox: VecDeque<Vec<u8>>,
+    /// Timed site re-registrations (dynamics; see
+    /// [`ConsNode::schedule_update`]).
+    scheduled_updates: ScheduledUpdates<(Prefix, Ipv4Address)>,
     /// Requests moved up/down the hierarchy.
     pub overlay_hops: u64,
     /// Requests handed to an ETR.
@@ -104,6 +107,8 @@ pub struct ConsNode {
     pub replies_relayed: u64,
     /// Messages dropped (no route).
     pub dropped: u64,
+    /// Scheduled re-registrations applied so far.
+    pub updates_applied: u64,
     ctr_no_route: LazyCounter,
 }
 
@@ -120,12 +125,21 @@ impl ConsNode {
             pending: HashMap::new(),
             processing_delay: Ns::from_us(500),
             outbox: VecDeque::new(),
+            scheduled_updates: ScheduledUpdates::new(),
             overlay_hops: 0,
             delivered: 0,
             replies_relayed: 0,
             dropped: 0,
+            updates_applied: 0,
             ctr_no_route: LazyCounter::new(),
         }
+    }
+
+    /// Re-point this CAR's served-site entry for `prefix` at `etr` at
+    /// absolute simulation time `at` (re-registration after a locator
+    /// failure). Timer-driven, so deterministic (DESIGN.md §7).
+    pub fn schedule_update(&mut self, at: Ns, prefix: Prefix, etr: Ipv4Address) {
+        self.scheduled_updates.push(at, (prefix, etr));
     }
 
     /// Override the per-hop processing delay.
@@ -239,6 +253,10 @@ impl ConsNode {
 }
 
 impl Node for ConsNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.scheduled_updates.arm(ctx);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
         let Ok(Parsed::Udp {
             dst,
@@ -306,6 +324,13 @@ impl Node for ConsNode {
             if let Some(pkt) = self.outbox.pop_front() {
                 ctx.send(0, pkt);
             }
+        } else if let Some(&(prefix, etr)) = self.scheduled_updates.get(token) {
+            self.serving.insert(prefix, etr);
+            self.updates_applied += 1;
+            ctx.trace(format!(
+                "cons {} re-registers site {prefix} -> {etr}",
+                self.stack.addr
+            ));
         }
     }
 

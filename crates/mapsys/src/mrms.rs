@@ -7,10 +7,10 @@
 
 use crate::api::MappingDb;
 use inet::stack::{IpStack, Parsed};
-use inet::LpmTrie;
+use inet::{LpmTrie, Prefix};
 use lispwire::lispctl::MapRequest;
 use lispwire::{ports, Ipv4Address};
-use netsim::{Ctx, Node, Ns, PortId};
+use netsim::{Ctx, Node, Ns, PortId, ScheduledUpdates};
 use std::any::Any;
 use std::collections::VecDeque;
 
@@ -20,12 +20,16 @@ pub struct MapResolver {
     table: LpmTrie<Ipv4Address>,
     processing_delay: Ns,
     outbox: VecDeque<Vec<u8>>,
+    /// Timed re-registrations (dynamics; see [`MapResolver::schedule_update`]).
+    scheduled_updates: ScheduledUpdates<(Prefix, Ipv4Address)>,
     /// Requests forwarded to an authoritative ETR.
     pub forwarded: u64,
     /// Requests for unregistered prefixes (dropped; ITR will retry and
     /// eventually give up — LISP sends a negative reply in later drafts,
     /// draft-08 behaviour is silence).
     pub unresolved: u64,
+    /// Scheduled re-registrations applied so far.
+    pub updates_applied: u64,
 }
 
 const TOKEN_FWD: u64 = 1;
@@ -42,9 +46,26 @@ impl MapResolver {
             table,
             processing_delay: Ns::from_us(50),
             outbox: VecDeque::new(),
+            scheduled_updates: ScheduledUpdates::new(),
             forwarded: 0,
             unresolved: 0,
+            updates_applied: 0,
         }
+    }
+
+    /// Re-register `prefix` to `etr` at absolute simulation time `at`
+    /// (a site re-homing its mapping after a locator failure — the
+    /// pull-refresh half of the dynamics model, DESIGN.md §7). The
+    /// change is timer-driven, so it lands in the deterministic
+    /// `(time, seq)` event order.
+    pub fn schedule_update(&mut self, at: Ns, prefix: Prefix, etr: Ipv4Address) {
+        self.scheduled_updates.push(at, (prefix, etr));
+    }
+
+    /// Apply a re-registration immediately.
+    pub fn update_site(&mut self, prefix: Prefix, etr: Ipv4Address) {
+        self.table.insert(prefix, etr);
+        self.updates_applied += 1;
     }
 
     /// Override the per-request processing delay.
@@ -60,6 +81,10 @@ impl MapResolver {
 }
 
 impl Node for MapResolver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.scheduled_updates.arm(ctx);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
         let Ok(Parsed::Udp {
             dst,
@@ -101,6 +126,9 @@ impl Node for MapResolver {
             if let Some(pkt) = self.outbox.pop_front() {
                 ctx.send(0, pkt);
             }
+        } else if let Some(&(prefix, etr)) = self.scheduled_updates.get(token) {
+            self.update_site(prefix, etr);
+            ctx.trace(format!("map-resolver re-registers {prefix} -> {etr}"));
         }
     }
 
@@ -232,6 +260,106 @@ mod tests {
         );
         let xd = sim.node_mut::<Xtr>(xtr_d);
         assert_eq!(xd.stats.map_requests_answered, 1);
+    }
+
+    #[test]
+    fn scheduled_update_repoints_resolution() {
+        // Before the scheduled re-registration the resolver forwards to
+        // the old ETR; afterwards to the new one — pull-refresh dynamics.
+        struct Asker {
+            stack: IpStack,
+            target: Ipv4Address,
+        }
+        impl Node for Asker {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+                let req = MapRequest {
+                    nonce: t,
+                    source_eid: a([100, 0, 0, 1]),
+                    target_eid: self.target,
+                    itr_rloc: a([10, 0, 0, 1]),
+                    hop_count: 8,
+                };
+                let pkt = self.stack.udp(
+                    ports::LISP_CONTROL,
+                    a([8, 0, 0, 1]),
+                    ports::LISP_CONTROL,
+                    &req.to_bytes(),
+                );
+                ctx.send(0, pkt);
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn Any {
+                self
+            }
+        }
+        struct EtrSink {
+            addr: Ipv4Address,
+            pub got: u64,
+        }
+        impl Node for EtrSink {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
+                if let Ok(Parsed::Udp { dst, .. }) = IpStack::parse(&bytes) {
+                    if dst == self.addr {
+                        self.got += 1;
+                    }
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn Any {
+                self
+            }
+        }
+
+        let mut sim = Sim::new(4);
+        let mut db = MappingDb::new();
+        let site = Prefix::new(a([101, 0, 0, 0]), 8);
+        db.register(SiteEntry::single(site, a([12, 0, 0, 1]), 60));
+        let mut resolver = MapResolver::new(a([8, 0, 0, 1]), &db);
+        resolver.schedule_update(Ns::from_ms(500), site, a([13, 0, 0, 1]));
+        let mr = sim.add_node("mr", Box::new(resolver));
+        let old_etr = sim.add_node(
+            "old-etr",
+            Box::new(EtrSink {
+                addr: a([12, 0, 0, 1]),
+                got: 0,
+            }),
+        );
+        let new_etr = sim.add_node(
+            "new-etr",
+            Box::new(EtrSink {
+                addr: a([13, 0, 0, 1]),
+                got: 0,
+            }),
+        );
+        let asker = sim.add_node(
+            "asker",
+            Box::new(Asker {
+                stack: IpStack::new(a([10, 0, 0, 1])),
+                target: a([101, 0, 0, 7]),
+            }),
+        );
+        let core = sim.add_node("core", Box::new(Router::new()));
+        let (_, p_mr) = sim.connect(mr, core, LinkCfg::wan(Ns::from_ms(5)));
+        let (_, p_old) = sim.connect(old_etr, core, LinkCfg::wan(Ns::from_ms(5)));
+        let (_, p_new) = sim.connect(new_etr, core, LinkCfg::wan(Ns::from_ms(5)));
+        let (_, p_ask) = sim.connect(asker, core, LinkCfg::wan(Ns::from_ms(5)));
+        {
+            let r = sim.node_mut::<Router>(core);
+            r.add_route(Prefix::host(a([8, 0, 0, 1])), p_mr);
+            r.add_route(Prefix::host(a([12, 0, 0, 1])), p_old);
+            r.add_route(Prefix::host(a([13, 0, 0, 1])), p_new);
+            r.add_route(Prefix::host(a([10, 0, 0, 1])), p_ask);
+        }
+        sim.schedule_timer(asker, Ns::ZERO, 0); // pre-update request
+        sim.schedule_timer(asker, Ns::from_secs(1), 1); // post-update request
+        sim.run();
+        assert_eq!(sim.node_ref::<EtrSink>(old_etr).got, 1);
+        assert_eq!(sim.node_ref::<EtrSink>(new_etr).got, 1);
+        assert_eq!(sim.node_ref::<MapResolver>(mr).updates_applied, 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::api::MappingDb;
 use inet::stack::IpStack;
 use lispwire::lispctl::{DbPush, MapRecord};
 use lispwire::{ports, Ipv4Address};
-use netsim::{Ctx, Node, Ns};
+use netsim::{Ctx, Node, Ns, ScheduledUpdates};
 use std::any::Any;
 
 /// The central NERD authority node.
@@ -20,12 +20,17 @@ pub struct NerdAuthority {
     subscribers: Vec<Ipv4Address>,
     chunk_records: usize,
     version: u32,
+    /// Timed database updates (dynamics; see
+    /// [`NerdAuthority::schedule_update`]).
+    scheduled_updates: ScheduledUpdates<MapRecord>,
     /// Push batches transmitted (chunks × subscribers).
     pub chunks_sent: u64,
     /// Bytes of database pushed in total.
     pub bytes_pushed: u64,
     /// Completed full-database push rounds.
     pub push_rounds: u64,
+    /// Scheduled updates applied so far.
+    pub updates_applied: u64,
 }
 
 /// Timer token: start (or restart) a full push round.
@@ -41,10 +46,20 @@ impl NerdAuthority {
             subscribers,
             chunk_records: 64,
             version: 1,
+            scheduled_updates: ScheduledUpdates::new(),
             chunks_sent: 0,
             bytes_pushed: 0,
             push_rounds: 0,
+            updates_applied: 0,
         }
+    }
+
+    /// Apply `record` to the database at absolute simulation time `at`
+    /// and immediately re-push the **whole** database to every
+    /// subscriber — NERD's push-update propagation model, whose cost is
+    /// the full database times the subscriber count (DESIGN.md §7).
+    pub fn schedule_update(&mut self, at: Ns, record: MapRecord) {
+        self.scheduled_updates.push(at, record);
     }
 
     /// Override the records-per-chunk granularity.
@@ -123,10 +138,16 @@ impl Node for NerdAuthority {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         // Initial synchronisation shortly after boot.
         ctx.set_timer(Ns::from_us(10), TOKEN_PUSH);
+        self.scheduled_updates.arm(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TOKEN_PUSH {
+            self.push_all(ctx);
+        } else if let Some(record) = self.scheduled_updates.get(token) {
+            let record = record.clone();
+            self.update(record);
+            self.updates_applied += 1;
             self.push_all(ctx);
         }
     }

@@ -59,10 +59,12 @@ pub mod node;
 pub mod sim;
 pub mod time;
 pub mod trace;
+pub mod update;
 
 pub use counters::{CounterId, Counters, LazyCounter};
-pub use link::{LinkCfg, LinkStats};
+pub use link::{DownPolicy, LinkCfg, LinkStats};
 pub use node::{Ctx, Node, NodeId, PortId};
 pub use sim::Sim;
 pub use time::Ns;
 pub use trace::{Trace, TraceEvent};
+pub use update::ScheduledUpdates;

@@ -1,4 +1,5 @@
-//! Link model: one-way delay, bandwidth, finite FIFO queue, fault injection.
+//! Link model: one-way delay, bandwidth, finite FIFO queue, fault injection,
+//! and administrative up/down state.
 //!
 //! A duplex link is two independent unidirectional transmitters. Each
 //! transmitter serialises packets at `bandwidth_bps` and keeps at most
@@ -7,8 +8,31 @@
 //! is delivered to the peer. Fault injection can additionally drop or
 //! corrupt packets with configured probabilities (driven by the simulation
 //! RNG so runs stay deterministic).
+//!
+//! A transmitter can also be **administratively down** (timed failures;
+//! see `Sim::schedule_link_admin` and DESIGN.md §7). Packets offered to a
+//! down transmitter follow its [`DownPolicy`]: dropped (the default) or
+//! stalled in a bounded buffer that is flushed, in FIFO order, the
+//! instant the link comes back up. Packets already accepted before the
+//! failure instant are treated as on the wire and still arrive.
 
 use crate::time::Ns;
+use std::collections::VecDeque;
+
+/// What happens to packets offered to a link direction that is
+/// administratively down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DownPolicy {
+    /// Drop the packet and count it in [`LinkStats::down_drops`].
+    #[default]
+    Drop,
+    /// Hold up to `max_packets` packets and retransmit them (FIFO, no
+    /// fault injection) when the link comes back up; overflow drops.
+    Stall {
+        /// Stall-buffer capacity in packets.
+        max_packets: usize,
+    },
+}
 
 /// Configuration for one link direction (a duplex link uses the same
 /// config for both directions unless connected asymmetrically).
@@ -24,6 +48,8 @@ pub struct LinkCfg {
     pub drop_prob: f64,
     /// Probability one octet of a packet is randomly corrupted.
     pub corrupt_prob: f64,
+    /// What happens to packets offered while the link is down.
+    pub down_policy: DownPolicy,
 }
 
 impl LinkCfg {
@@ -35,6 +61,7 @@ impl LinkCfg {
             queue_bytes: 256 * 1024,
             drop_prob: 0.0,
             corrupt_prob: 0.0,
+            down_policy: DownPolicy::Drop,
         }
     }
 
@@ -46,6 +73,7 @@ impl LinkCfg {
             queue_bytes: 1024 * 1024,
             drop_prob: 0.0,
             corrupt_prob: 0.0,
+            down_policy: DownPolicy::Drop,
         }
     }
 
@@ -58,6 +86,7 @@ impl LinkCfg {
             queue_bytes: u64::MAX,
             drop_prob: 0.0,
             corrupt_prob: 0.0,
+            down_policy: DownPolicy::Drop,
         }
     }
 
@@ -85,6 +114,12 @@ impl LinkCfg {
         self
     }
 
+    /// Builder-style: set the administrative-down policy.
+    pub fn with_down_policy(mut self, policy: DownPolicy) -> Self {
+        self.down_policy = policy;
+        self
+    }
+
     /// Serialisation time for `len` bytes at this link's bandwidth.
     pub fn serialization_time(&self, len: usize) -> Ns {
         if self.bandwidth_bps == 0 {
@@ -109,6 +144,10 @@ pub struct LinkStats {
     pub fault_drops: u64,
     /// Packets corrupted by fault injection (still delivered).
     pub corrupted: u64,
+    /// Packets dropped because the link was administratively down.
+    pub down_drops: u64,
+    /// Packets stalled while down (flushed on link-up; see [`DownPolicy`]).
+    pub stalled: u64,
 }
 
 /// One direction of a link: the transmitter state.
@@ -120,6 +159,10 @@ pub struct Transmitter {
     pub busy_until: Ns,
     /// Statistics.
     pub stats: LinkStats,
+    /// Administrative state: packets are carried only while `up`.
+    pub up: bool,
+    /// Packets held by [`DownPolicy::Stall`] awaiting link recovery.
+    pub(crate) stall_buf: VecDeque<Vec<u8>>,
     /// One-entry serialisation-time memo keyed on (size, bandwidth):
     /// most traffic repeats a handful of packet sizes, and the exact
     /// computation costs a u128 division. Keying on the bandwidth keeps
@@ -147,7 +190,32 @@ impl Transmitter {
             cfg,
             busy_until: Ns::ZERO,
             stats: LinkStats::default(),
+            up: true,
+            stall_buf: VecDeque::new(),
             ser_memo: (0, cfg.bandwidth_bps, Ns::ZERO),
+        }
+    }
+
+    /// Accept a packet while administratively down, per the configured
+    /// [`DownPolicy`]. Returns the packet back when it must be dropped
+    /// (so the caller can recycle the buffer), `None` when it was
+    /// stalled for retransmission on link-up.
+    pub(crate) fn hold_while_down(&mut self, bytes: Vec<u8>) -> Option<Vec<u8>> {
+        match self.cfg.down_policy {
+            DownPolicy::Drop => {
+                self.stats.down_drops += 1;
+                Some(bytes)
+            }
+            DownPolicy::Stall { max_packets } => {
+                if self.stall_buf.len() < max_packets {
+                    self.stats.stalled += 1;
+                    self.stall_buf.push_back(bytes);
+                    None
+                } else {
+                    self.stats.down_drops += 1;
+                    Some(bytes)
+                }
+            }
         }
     }
 

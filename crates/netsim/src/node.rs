@@ -111,6 +111,18 @@ impl<'a> Ctx<'a> {
     pub fn send(&mut self, port: PortId, bytes: Vec<u8>) -> bool {
         let binding = self.ports[port];
         let tx = &mut self.transmitters[binding.tx_index];
+        // Administratively-down link: drop or stall per policy, before
+        // fault injection (a dead link consumes no randomness, so runs
+        // with all links up are bit-identical to the pre-dynamics engine).
+        if !tx.up {
+            return match tx.hold_while_down(bytes) {
+                Some(dropped) => {
+                    crate::sim::recycle_into(self.pool, dropped);
+                    false
+                }
+                None => true, // stalled for retransmission on link-up
+            };
+        }
         // Fault injection: random drop.
         if tx.cfg.drop_prob > 0.0 && self.rng.random_bool(tx.cfg.drop_prob) {
             tx.stats.fault_drops += 1;

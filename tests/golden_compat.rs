@@ -9,7 +9,8 @@
 //! with `UPDATE_GOLDEN=1 cargo test --test golden_compat`.
 
 use pcelisp::experiments::{
-    e1_fig1, e2_drops, e3_resolution, e4_tcp_setup, e5_te, e6_cache, e7_reverse, e8_overhead,
+    e10_recovery, e1_fig1, e2_drops, e3_resolution, e4_tcp_setup, e5_te, e6_cache, e7_reverse,
+    e8_overhead,
 };
 use std::path::PathBuf;
 
@@ -102,5 +103,16 @@ fn e8_overhead_table_golden() {
     check(
         "e8_overhead",
         &e8_overhead::run_overhead(SEED).table().render(),
+    );
+}
+
+// E10 postdates the redesign; its golden pins the dynamics subsystem's
+// determinism contract from the experiment's introduction onward (a
+// locator failure must replay bit-identically, recovery timings included).
+#[test]
+fn e10_recovery_table_golden() {
+    check(
+        "e10_recovery",
+        &e10_recovery::run_recovery(SEED).table().render(),
     );
 }
