@@ -8,7 +8,22 @@ use pcelisp::experiments::{
     e1_fig1, e2_drops, e3_resolution, e4_tcp_setup, e5_te, e6_cache, e7_reverse, e8_overhead,
 };
 use pcelisp::scenario::CpKind;
+use pcelisp::workload::ZipfPicker;
 use std::hint::black_box;
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    // One Zipf draw over a large rank space: O(log n) CDF binary search
+    // (the CDF itself is precomputed once in `new`).
+    g.bench_function("zipf_pick_4096", |b| {
+        let mut z = ZipfPicker::new(1, 4096, 1.0);
+        b.iter(|| black_box(z.pick()))
+    });
+    g.bench_function("zipf_new_4096", |b| {
+        b.iter(|| black_box(ZipfPicker::new(1, 4096, 1.0).pick()))
+    });
+    g.finish();
+}
 
 fn bench_e1_fig1(c: &mut Criterion) {
     c.bench_function("e1/fig1_trace_pce", |b| {
@@ -99,6 +114,7 @@ fn bench_e8_overhead(c: &mut Criterion) {
 
 criterion_group!(
     experiments,
+    bench_workload,
     bench_e1_fig1,
     bench_e2_drops,
     bench_e3_resolution,

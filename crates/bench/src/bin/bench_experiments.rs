@@ -1,0 +1,216 @@
+//! Emit `BENCH_experiments.json`: end-to-end wall-clock of every
+//! registry experiment, serial vs parallel, so the perf trajectory
+//! covers whole experiment runs and not just the raw engine loop
+//! (`BENCH_engine.json`, DESIGN.md §5/§8).
+//!
+//! For each experiment the harness measures
+//!
+//! * **serial_seconds** — best-of-N wall-clock of `run(seed, 1)`;
+//! * **parallel_seconds** — best-of-N wall-clock of `run(seed, jobs)`;
+//! * **speedup** — serial / parallel (≈ 1.0 on a single-core host:
+//!   the pool is clamped to the machine's parallelism);
+//! * **events** — simulation events processed by one serial run
+//!   (via [`netsim::sim::process_events`]), and the derived events/s.
+//!
+//! It also *verifies* that the serial and parallel reports are
+//! byte-identical (the DESIGN.md §8 determinism contract) and exits
+//! non-zero on drift, so every bench run doubles as a determinism gate.
+//!
+//! Usage: `bench_experiments [--quick] [--jobs N] [--seed N] [out_path]`
+//! (default output `BENCH_experiments.json`; `--quick` = 1 rep instead
+//! of 3, the CI smoke setting; `--jobs 0` = auto).
+
+use pcelisp::experiments::sweep::resolve_jobs;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+struct ExpResult {
+    name: String,
+    /// Report rows across all sections — includes serially-run ablation
+    /// and trace rows, so it measures report size, not parallel fan-out.
+    rows: usize,
+    events: u64,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    identical: bool,
+}
+
+impl ExpResult {
+    fn speedup(&self) -> f64 {
+        self.serial_seconds / self.parallel_seconds
+    }
+    fn events_per_sec_serial(&self) -> f64 {
+        self.events as f64 / self.serial_seconds
+    }
+}
+
+/// Best-of-`reps` wall-clock of `f`, plus the report and the process
+/// event delta of the *first* timed run (the engine is deterministic,
+/// so every rep does identical work).
+fn measure(
+    reps: u32,
+    mut f: impl FnMut() -> pcelisp::experiments::ExpReport,
+) -> (f64, u64, pcelisp::experiments::ExpReport) {
+    let before = netsim::sim::process_events();
+    let start = Instant::now();
+    let report = f();
+    let mut best = start.elapsed().as_secs_f64();
+    let events = netsim::sim::process_events() - before;
+    for _ in 1..reps {
+        let start = Instant::now();
+        let _ = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, events, report)
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut jobs = 0usize;
+    let mut seed = pcelisp_bench::seed();
+    let mut out_path = "BENCH_experiments.json".to_string();
+    let mut saw_out_path = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("bench_experiments: --jobs needs a number (0 = auto)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("bench_experiments: --seed needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if !other.starts_with('-') => {
+                if saw_out_path {
+                    eprintln!(
+                        "bench_experiments: more than one output path ({out_path:?} and {other:?})"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                saw_out_path = true;
+                out_path = other.to_string();
+            }
+            other => {
+                eprintln!("bench_experiments: unknown argument {other:?}");
+                eprintln!("usage: bench_experiments [--quick] [--jobs N] [--seed N] [out_path]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let reps = if quick { 1 } else { 3 };
+    // Floor at 2 workers: determinism across threads doesn't need
+    // multiple cores, and on a single-core host auto would resolve to 1
+    // — the "parallel" run would take par_map's inline serial path and
+    // the drift gate would compare serial against serial.
+    let jobs = resolve_jobs(jobs).max(2);
+
+    let mut results: Vec<ExpResult> = Vec::new();
+    let mut drifted = Vec::new();
+    for exp in pcelisp::experiments::registry() {
+        let (serial_seconds, events, serial_report) = measure(reps, || exp.run(seed, 1));
+        let (parallel_seconds, _, parallel_report) = measure(reps, || exp.run(seed, jobs));
+        let identical = serial_report.to_json() == parallel_report.to_json();
+        if !identical {
+            drifted.push(exp.name().to_string());
+        }
+        let rows = serial_report.sections.iter().map(|s| s.rows.len()).sum();
+        let r = ExpResult {
+            name: exp.name().to_string(),
+            rows,
+            events,
+            serial_seconds,
+            parallel_seconds,
+            identical,
+        };
+        eprintln!(
+            "{:<5} {:>3} rows  serial {:>8.2} ms  jobs={jobs} {:>8.2} ms  speedup {:>5.2}x  {:>11} events  {}",
+            r.name,
+            r.rows,
+            r.serial_seconds * 1e3,
+            r.parallel_seconds * 1e3,
+            r.speedup(),
+            r.events,
+            if r.identical { "ok" } else { "DRIFT" },
+        );
+        results.push(r);
+    }
+
+    let total_serial: f64 = results.iter().map(|r| r.serial_seconds).sum();
+    let total_parallel: f64 = results.iter().map(|r| r.parallel_seconds).sum();
+    let total_events: u64 = results.iter().map(|r| r.events).sum();
+    eprintln!(
+        "total  serial {:.1} ms  parallel {:.1} ms  speedup {:.2}x  aggregate {:.0} events/s",
+        total_serial * 1e3,
+        total_parallel * 1e3,
+        total_serial / total_parallel,
+        total_events as f64 / total_serial
+    );
+
+    let timestamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"experiments\",\n");
+    let _ = writeln!(json, "  \"timestamp_unix\": {timestamp},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"host_parallelism\": {},",
+        netsim::par::available_jobs()
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"rows\": {}, \"serial_seconds\": {:.6}, \
+             \"parallel_seconds\": {:.6}, \"speedup\": {:.3}, \"events\": {}, \
+             \"events_per_sec_serial\": {:.0}, \"identical\": {}}}{}",
+            r.name,
+            r.rows,
+            r.serial_seconds,
+            r.parallel_seconds,
+            r.speedup(),
+            r.events,
+            r.events_per_sec_serial(),
+            r.identical,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"aggregate\": {{\"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \
+         \"speedup\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}",
+        total_serial,
+        total_parallel,
+        total_serial / total_parallel,
+        total_events,
+        total_events as f64 / total_serial
+    );
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_experiments: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if !drifted.is_empty() {
+        eprintln!("bench_experiments: serial/parallel report drift in: {drifted:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

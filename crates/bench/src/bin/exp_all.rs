@@ -1,4 +1,4 @@
-//! Registry-driven experiment runner: every experiment (E1–E10, with the
+//! Registry-driven experiment runner: every experiment (E1–E11, with the
 //! A1/A2 ablations inside E5/E3) in one command.
 //!
 //! ```sh
@@ -6,11 +6,15 @@
 //! exp_all --only e2,e5         # a subset, in registry order
 //! exp_all --json out.json      # also write the typed JSON report
 //! exp_all --seed 7             # override the seed (or PCELISP_SEED)
+//! exp_all --jobs 4             # worker threads per sweep (0 = auto,
+//!                              # also the PCELISP_JOBS env variable)
 //! exp_all --list               # list registered experiments and exit
 //! ```
 //!
-//! The process exits non-zero when any selected experiment produces an
-//! incomplete report (missing or empty sections) — the CI smoke gate.
+//! Reports are byte-identical at every `--jobs` value (DESIGN.md §8);
+//! the knob only changes wall-clock. The process exits non-zero when
+//! any selected experiment produces an incomplete report (missing or
+//! empty sections) — the CI smoke gate.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -19,6 +23,7 @@ struct Args {
     json: Option<String>,
     only: Option<Vec<String>>,
     seed: Option<u64>,
+    jobs: usize,
     list: bool,
 }
 
@@ -27,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         only: None,
         seed: None,
+        jobs: 0,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -48,6 +54,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a worker count (0 = auto)")?;
+                args.jobs = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
+            }
             "--list" => args.list = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -60,7 +70,9 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("exp_all: {e}");
-            eprintln!("usage: exp_all [--json out.json] [--only e2,e5] [--seed N] [--list]");
+            eprintln!(
+                "usage: exp_all [--json out.json] [--only e2,e5] [--seed N] [--jobs N] [--list]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -107,7 +119,7 @@ fn main() -> ExitCode {
         if i > 0 {
             println!();
         }
-        let report = exp.run(seed);
+        let report = exp.run(seed, args.jobs);
         report.print();
         if !report.is_complete() {
             incomplete.push(report.name.clone());

@@ -1,0 +1,5 @@
+//! E11: extra-large scale sweep (N ∈ {64, 128, 512} destination sites,
+//! PoissonZipf workload, parallel cell execution).
+fn main() {
+    pcelisp_bench::run_and_print("e11");
+}

@@ -19,12 +19,14 @@ pub fn seed() -> u64 {
 }
 
 /// Run one registry experiment at the default seed and print its
-/// tables — the body of every single-experiment binary.
+/// tables — the body of every single-experiment binary. Grid cells fan
+/// out across the worker pool (`PCELISP_JOBS` overrides the auto worker
+/// count; the printed report is byte-identical at any job count).
 ///
 /// # Panics
 /// Panics if `name` is not a registered experiment.
 pub fn run_and_print(name: &str) {
     let exp = pcelisp::experiments::by_name(name)
         .unwrap_or_else(|| panic!("no experiment named {name:?} in the registry"));
-    exp.run(seed()).print();
+    exp.run(seed(), 0).print();
 }

@@ -174,15 +174,26 @@ pub fn run_recovery_cell(cp: CpKind, n_sites: usize, seed: u64) -> RecoveryRow {
     }
 }
 
-/// Full sweep: every [`CpKind`] at every site count.
-pub fn run_recovery(seed: u64) -> RecoveryResult {
-    let mut result = RecoveryResult::default();
+/// Full sweep on up to `jobs` workers (`0` = auto): every [`CpKind`]
+/// at every site count.
+pub fn run_recovery_jobs(seed: u64, jobs: usize) -> RecoveryResult {
+    let mut cells = Vec::new();
     for n in SITE_COUNTS {
         for cp in CpKind::all() {
-            result.rows.push(run_recovery_cell(cp, n, seed));
+            cells.push((cp, n));
         }
     }
-    result
+    let rows = crate::experiments::sweep::Sweep::new("e10", cells).run(
+        jobs,
+        |&(cp, n)| format!("{}/n={n}", cp.label()),
+        |&(cp, n)| run_recovery_cell(cp, n, seed),
+    );
+    RecoveryResult { rows }
+}
+
+/// Full sweep, serial.
+pub fn run_recovery(seed: u64) -> RecoveryResult {
+    run_recovery_jobs(seed, 1)
 }
 
 /// The registry entry for E10.
@@ -195,8 +206,9 @@ impl crate::experiments::Experiment for E10Recovery {
     fn title(&self) -> &'static str {
         "Locator-failure recovery (dynamics subsystem)"
     }
-    fn run(&self, seed: u64) -> ExpReport {
-        ExpReport::new(self.name(), self.title()).with_section(run_recovery(seed).section())
+    fn run(&self, seed: u64, jobs: usize) -> ExpReport {
+        ExpReport::new(self.name(), self.title())
+            .with_section(run_recovery_jobs(seed, jobs).section())
     }
 }
 

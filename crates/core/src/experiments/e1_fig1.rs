@@ -142,7 +142,8 @@ impl crate::experiments::Experiment for E1Fig1 {
     fn title(&self) -> &'static str {
         "Fig.1 step-sequence reproduction (PCE control plane)"
     }
-    fn run(&self, seed: u64) -> ExpReport {
+    fn run(&self, seed: u64, _jobs: usize) -> ExpReport {
+        // A single cell: nothing to fan out.
         ExpReport::new(self.name(), self.title()).with_section(run_fig1_trace(seed).section())
     }
 }

@@ -11,6 +11,7 @@
 //! resolution paths lengthen.
 
 use crate::experiments::report::{Cell, ExpReport, Section};
+use crate::experiments::sweep::Sweep;
 use crate::hosts::FlowMode;
 use crate::scenario::{flow_script, CpKind};
 use crate::spec::ScenarioSpec;
@@ -146,20 +147,25 @@ pub fn run_drops_cell(cp: CpKind, owd: Ns, seed: u64) -> DropRow {
     }
 }
 
-/// Run the full sweep.
-pub fn run_drops(seed: u64) -> DropsResult {
-    let mut result = DropsResult::default();
-    for owd in [
-        Ns::from_ms(15),
-        Ns::from_ms(30),
-        Ns::from_ms(60),
-        Ns::from_ms(100),
-    ] {
+/// Run the full sweep on up to `jobs` workers (`0` = auto).
+pub fn run_drops_jobs(seed: u64, jobs: usize) -> DropsResult {
+    let mut cells = Vec::new();
+    for owd in crate::experiments::OWD_SWEEP {
         for cp in e2_variants() {
-            result.rows.push(run_drops_cell(cp, owd, seed));
+            cells.push((cp, owd));
         }
     }
-    result
+    let rows = Sweep::new("e2", cells).run(
+        jobs,
+        |&(cp, owd)| format!("{}/owd={}ms", cp.label(), owd.as_ms()),
+        |&(cp, owd)| run_drops_cell(cp, owd, seed),
+    );
+    DropsResult { rows }
+}
+
+/// Run the full sweep serially.
+pub fn run_drops(seed: u64) -> DropsResult {
+    run_drops_jobs(seed, 1)
 }
 
 /// The registry entry for E2.
@@ -172,8 +178,8 @@ impl crate::experiments::Experiment for E2Drops {
     fn title(&self) -> &'static str {
         "Packet loss/queueing during mapping resolution"
     }
-    fn run(&self, seed: u64) -> ExpReport {
-        ExpReport::new(self.name(), self.title()).with_section(run_drops(seed).section())
+    fn run(&self, seed: u64, jobs: usize) -> ExpReport {
+        ExpReport::new(self.name(), self.title()).with_section(run_drops_jobs(seed, jobs).section())
     }
 }
 

@@ -12,6 +12,7 @@
 //! ≈ 1.0 for its control plane.
 
 use crate::experiments::report::{Cell, ExpReport, Section};
+use crate::experiments::sweep::Sweep;
 use crate::hosts::FlowMode;
 use crate::scenario::{flow_script, CpKind};
 use crate::spec::ScenarioSpec;
@@ -125,20 +126,25 @@ pub fn run_resolution_cell(cp: CpKind, owd: Ns, seed: u64) -> ResolutionRow {
     }
 }
 
-/// Full sweep.
-pub fn run_resolution(seed: u64) -> ResolutionResult {
-    let mut result = ResolutionResult::default();
-    for owd in [
-        Ns::from_ms(15),
-        Ns::from_ms(30),
-        Ns::from_ms(60),
-        Ns::from_ms(100),
-    ] {
+/// Full sweep on up to `jobs` workers (`0` = auto).
+pub fn run_resolution_jobs(seed: u64, jobs: usize) -> ResolutionResult {
+    let mut cells = Vec::new();
+    for owd in crate::experiments::OWD_SWEEP {
         for cp in e3_variants() {
-            result.rows.push(run_resolution_cell(cp, owd, seed));
+            cells.push((cp, owd));
         }
     }
-    result
+    let rows = Sweep::new("e3", cells).run(
+        jobs,
+        |&(cp, owd)| format!("{}/owd={}ms", cp.label(), owd.as_ms()),
+        |&(cp, owd)| run_resolution_cell(cp, owd, seed),
+    );
+    ResolutionResult { rows }
+}
+
+/// Full sweep, serial.
+pub fn run_resolution(seed: u64) -> ResolutionResult {
+    run_resolution_jobs(seed, 1)
 }
 
 /// **Ablation A2** — PCE precompute vs. on-demand computation at step 6.
@@ -192,9 +198,9 @@ impl crate::experiments::Experiment for E3Resolution {
     fn title(&self) -> &'static str {
         "Mapping resolution hidden inside the DNS time"
     }
-    fn run(&self, seed: u64) -> ExpReport {
+    fn run(&self, seed: u64, jobs: usize) -> ExpReport {
         ExpReport::new(self.name(), self.title())
-            .with_section(run_resolution(seed).section())
+            .with_section(run_resolution_jobs(seed, jobs).section())
             .with_section(ablation_precompute_section(seed))
     }
 }

@@ -12,6 +12,7 @@
 //!   today's Internet.
 
 use crate::experiments::report::{Cell, ExpReport, Section};
+use crate::experiments::sweep::Sweep;
 use crate::hosts::FlowMode;
 use crate::scenario::{flow_script, CpKind};
 use crate::spec::ScenarioSpec;
@@ -126,20 +127,25 @@ pub fn run_setup_cell(cp: CpKind, owd: Ns, seed: u64) -> SetupRow {
     }
 }
 
-/// Full sweep.
-pub fn run_tcp_setup(seed: u64) -> SetupResult {
-    let mut result = SetupResult::default();
-    for owd in [
-        Ns::from_ms(15),
-        Ns::from_ms(30),
-        Ns::from_ms(60),
-        Ns::from_ms(100),
-    ] {
+/// Full sweep on up to `jobs` workers (`0` = auto).
+pub fn run_tcp_setup_jobs(seed: u64, jobs: usize) -> SetupResult {
+    let mut cells = Vec::new();
+    for owd in crate::experiments::OWD_SWEEP {
         for cp in e4_variants() {
-            result.rows.push(run_setup_cell(cp, owd, seed));
+            cells.push((cp, owd));
         }
     }
-    result
+    let rows = Sweep::new("e4", cells).run(
+        jobs,
+        |&(cp, owd)| format!("{}/owd={}ms", cp.label(), owd.as_ms()),
+        |&(cp, owd)| run_setup_cell(cp, owd, seed),
+    );
+    SetupResult { rows }
+}
+
+/// Full sweep, serial.
+pub fn run_tcp_setup(seed: u64) -> SetupResult {
+    run_tcp_setup_jobs(seed, 1)
 }
 
 /// The registry entry for E4.
@@ -152,8 +158,9 @@ impl crate::experiments::Experiment for E4TcpSetup {
     fn title(&self) -> &'static str {
         "TCP connection-establishment latency"
     }
-    fn run(&self, seed: u64) -> ExpReport {
-        ExpReport::new(self.name(), self.title()).with_section(run_tcp_setup(seed).section())
+    fn run(&self, seed: u64, jobs: usize) -> ExpReport {
+        ExpReport::new(self.name(), self.title())
+            .with_section(run_tcp_setup_jobs(seed, jobs).section())
     }
 }
 

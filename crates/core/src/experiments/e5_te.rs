@@ -12,6 +12,7 @@
 //! moved flows on a stateless border router.
 
 use crate::experiments::report::{Cell, ExpReport, Section};
+use crate::experiments::sweep::Sweep;
 use crate::hosts::{FlowMode, ServerHost};
 use crate::scenario::{flow_script, CpKind, FlowRouter};
 use crate::spec::ScenarioSpec;
@@ -116,13 +117,20 @@ pub fn run_te_cell(cp: CpKind, n_flows: usize, seed: u64) -> TeRow {
     }
 }
 
-/// Full comparison.
+/// Full comparison on up to `jobs` workers (`0` = auto).
+pub fn run_te_jobs(seed: u64, jobs: usize) -> TeResult {
+    let cells = vec![CpKind::LispQueue, CpKind::Nerd, CpKind::Pce];
+    let rows = Sweep::new("e5", cells).run(
+        jobs,
+        |cp| cp.label().into_owned(),
+        |&cp| run_te_cell(cp, 12, seed),
+    );
+    TeResult { rows }
+}
+
+/// Full comparison, serial.
 pub fn run_te(seed: u64) -> TeResult {
-    let mut result = TeResult::default();
-    for cp in [CpKind::LispQueue, CpKind::Nerd, CpKind::Pce] {
-        result.rows.push(run_te_cell(cp, 12, seed));
-    }
-    result
+    run_te_jobs(seed, 1)
 }
 
 /// **Ablation A1** result: mid-flow egress move with/without mappings
@@ -222,9 +230,9 @@ impl crate::experiments::Experiment for E5Te {
     fn title(&self) -> &'static str {
         "Inbound traffic-engineering flexibility"
     }
-    fn run(&self, seed: u64) -> ExpReport {
+    fn run(&self, seed: u64, jobs: usize) -> ExpReport {
         ExpReport::new(self.name(), self.title())
-            .with_section(run_te(seed).section())
+            .with_section(run_te_jobs(seed, jobs).section())
             .with_section(run_ablation_push(seed).section())
     }
 }

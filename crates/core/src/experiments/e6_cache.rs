@@ -151,20 +151,27 @@ pub fn run_cache_cell(cp: CpKind, ttl_minutes: u16, zipf_s: f64, seed: u64) -> C
     }
 }
 
-/// Full sweep: TTL × skew for vanilla, one PCE row per skew.
-pub fn run_cache(seed: u64) -> CacheResult {
-    let mut result = CacheResult::default();
+/// Full sweep on up to `jobs` workers (`0` = auto): TTL × skew for
+/// vanilla, one PCE row per skew.
+pub fn run_cache_jobs(seed: u64, jobs: usize) -> CacheResult {
+    let mut cells = Vec::new();
     for &zipf_s in &[0.0, 1.0] {
         for &ttl in &[1u16, 2, 10] {
-            result
-                .rows
-                .push(run_cache_cell(CpKind::LispQueue, ttl, zipf_s, seed));
+            cells.push((CpKind::LispQueue, ttl, zipf_s));
         }
-        result
-            .rows
-            .push(run_cache_cell(CpKind::Pce, 10, zipf_s, seed));
+        cells.push((CpKind::Pce, 10, zipf_s));
     }
-    result
+    let rows = crate::experiments::sweep::Sweep::new("e6", cells).run(
+        jobs,
+        |&(cp, ttl, zipf_s)| format!("{}/ttl={ttl}m/s={zipf_s}", cp.label()),
+        |&(cp, ttl, zipf_s)| run_cache_cell(cp, ttl, zipf_s, seed),
+    );
+    CacheResult { rows }
+}
+
+/// Full sweep, serial.
+pub fn run_cache(seed: u64) -> CacheResult {
+    run_cache_jobs(seed, 1)
 }
 
 /// The registry entry for E6.
@@ -177,8 +184,8 @@ impl crate::experiments::Experiment for E6Cache {
     fn title(&self) -> &'static str {
         "Map-cache behaviour under TTL aging and workload skew"
     }
-    fn run(&self, seed: u64) -> ExpReport {
-        ExpReport::new(self.name(), self.title()).with_section(run_cache(seed).section())
+    fn run(&self, seed: u64, jobs: usize) -> ExpReport {
+        ExpReport::new(self.name(), self.title()).with_section(run_cache_jobs(seed, jobs).section())
     }
 }
 

@@ -158,7 +158,8 @@ impl crate::experiments::Experiment for E7Reverse {
     fn title(&self) -> &'static str {
         "Two-way (reverse) mapping completion"
     }
-    fn run(&self, seed: u64) -> ExpReport {
+    fn run(&self, seed: u64, _jobs: usize) -> ExpReport {
+        // A single cell: nothing to fan out.
         ExpReport::new(self.name(), self.title()).with_section(run_reverse(4, seed).section())
     }
 }

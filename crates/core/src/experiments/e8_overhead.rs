@@ -169,19 +169,26 @@ pub fn run_overhead_cell(cp: CpKind, n_flows: usize, seed: u64) -> OverheadRow {
     }
 }
 
-/// Full comparison.
-pub fn run_overhead(seed: u64) -> OverheadResult {
-    let mut result = OverheadResult::default();
-    for cp in [
+/// Full comparison on up to `jobs` workers (`0` = auto).
+pub fn run_overhead_jobs(seed: u64, jobs: usize) -> OverheadResult {
+    let cells = vec![
         CpKind::LispQueue,
         CpKind::Alt { hops: 4 },
         CpKind::Cons { cdr_depth: 1 },
         CpKind::Nerd,
         CpKind::Pce,
-    ] {
-        result.rows.push(run_overhead_cell(cp, 12, seed));
-    }
-    result
+    ];
+    let rows = crate::experiments::sweep::Sweep::new("e8", cells).run(
+        jobs,
+        |cp| cp.label().into_owned(),
+        |&cp| run_overhead_cell(cp, 12, seed),
+    );
+    OverheadResult { rows }
+}
+
+/// Full comparison, serial.
+pub fn run_overhead(seed: u64) -> OverheadResult {
+    run_overhead_jobs(seed, 1)
 }
 
 /// The registry entry for E8.
@@ -194,8 +201,9 @@ impl crate::experiments::Experiment for E8Overhead {
     fn title(&self) -> &'static str {
         "Control-plane overhead: messages and state"
     }
-    fn run(&self, seed: u64) -> ExpReport {
-        ExpReport::new(self.name(), self.title()).with_section(run_overhead(seed).section())
+    fn run(&self, seed: u64, jobs: usize) -> ExpReport {
+        ExpReport::new(self.name(), self.title())
+            .with_section(run_overhead_jobs(seed, jobs).section())
     }
 }
 

@@ -115,9 +115,15 @@ pub const SITE_COUNTS: [usize; 3] = [2, 8, 32];
 /// Destination EIDs per site.
 pub const HOSTS_PER_SITE: usize = 4;
 
-/// Run one (cp, n_sites) cell.
+/// Run one (cp, n_sites) cell at the E9 host population.
 pub fn run_scale_cell(cp: CpKind, n_sites: usize, seed: u64) -> ScaleRow {
-    let mut world = ScenarioSpec::multi_site(cp, n_sites, HOSTS_PER_SITE).build(seed);
+    run_scale_cell_at(cp, n_sites, HOSTS_PER_SITE, seed)
+}
+
+/// Run one (cp, n_sites) cell with an explicit per-site host count —
+/// the shared cell runner behind E9 and the E11 XL sweep.
+pub fn run_scale_cell_at(cp: CpKind, n_sites: usize, hosts_per_site: usize, seed: u64) -> ScaleRow {
+    let mut world = ScenarioSpec::multi_site(cp, n_sites, hosts_per_site).build(seed);
     world.schedule_all_flows();
     let horizon = world.last_flow_start() + Ns::from_secs(30);
     world.sim.run_until(horizon);
@@ -155,15 +161,26 @@ pub fn run_scale_cell(cp: CpKind, n_sites: usize, seed: u64) -> ScaleRow {
     }
 }
 
-/// Full sweep: every [`CpKind`] at every site count.
-pub fn run_scale(seed: u64) -> ScaleResult {
-    let mut result = ScaleResult::default();
+/// Full sweep on up to `jobs` workers (`0` = auto): every [`CpKind`]
+/// at every site count.
+pub fn run_scale_jobs(seed: u64, jobs: usize) -> ScaleResult {
+    let mut cells = Vec::new();
     for n in SITE_COUNTS {
         for cp in CpKind::all() {
-            result.rows.push(run_scale_cell(cp, n, seed));
+            cells.push((cp, n));
         }
     }
-    result
+    let rows = crate::experiments::sweep::Sweep::new("e9", cells).run(
+        jobs,
+        |&(cp, n)| format!("{}/n={n}", cp.label()),
+        |&(cp, n)| run_scale_cell(cp, n, seed),
+    );
+    ScaleResult { rows }
+}
+
+/// Full sweep, serial.
+pub fn run_scale(seed: u64) -> ScaleResult {
+    run_scale_jobs(seed, 1)
 }
 
 /// The registry entry for E9.
@@ -176,8 +193,8 @@ impl crate::experiments::Experiment for E9Scale {
     fn title(&self) -> &'static str {
         "Mapping-system scale sweep (N destination sites)"
     }
-    fn run(&self, seed: u64) -> ExpReport {
-        ExpReport::new(self.name(), self.title()).with_section(run_scale(seed).section())
+    fn run(&self, seed: u64, jobs: usize) -> ExpReport {
+        ExpReport::new(self.name(), self.title()).with_section(run_scale_jobs(seed, jobs).section())
     }
 }
 

@@ -3,19 +3,24 @@
 //! Each `run_*` function builds its worlds, runs them, and returns a
 //! typed result struct with `section()` / `table()` renderers. Every
 //! experiment is also registered behind the [`Experiment`] trait, so
-//! runners iterate [`registry`] instead of hand-listing modules:
+//! runners iterate [`registry`] instead of hand-listing modules. Grid
+//! experiments fan their cells across the [`sweep::Sweep`] worker pool
+//! (`jobs`: `0` = auto, `1` = serial; reports are byte-identical either
+//! way — DESIGN.md §8):
 //!
 //! ```no_run
 //! for exp in pcelisp::experiments::registry() {
-//!     let report = exp.run(1);
+//!     let report = exp.run(1, 0); // seed 1, auto-parallel
 //!     report.print();
 //!     let _json = report.to_json();
 //! }
 //! ```
 
 pub mod report;
+pub mod sweep;
 
 pub mod e10_recovery;
+pub mod e11_scale_xl;
 pub mod e1_fig1;
 pub mod e2_drops;
 pub mod e3_resolution;
@@ -27,8 +32,20 @@ pub mod e8_overhead;
 pub mod e9_scale;
 
 pub use report::{Cell, ExpReport, Experiment, Section, Value};
+pub use sweep::Sweep;
 
-/// Every experiment in run order (E1–E10).
+/// The provider-link one-way-delay axis shared by the Fig.-1 sweeps
+/// (E2 drops, E3 resolution, E4 TCP setup) — one definition so the
+/// grids can't drift apart and each experiment's golden pins the same
+/// axis.
+pub const OWD_SWEEP: [netsim::Ns; 4] = [
+    netsim::Ns::from_ms(15),
+    netsim::Ns::from_ms(30),
+    netsim::Ns::from_ms(60),
+    netsim::Ns::from_ms(100),
+];
+
+/// Every experiment in run order (E1–E11).
 pub fn registry() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(e1_fig1::E1Fig1),
@@ -41,10 +58,11 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(e8_overhead::E8Overhead),
         Box::new(e9_scale::E9Scale),
         Box::new(e10_recovery::E10Recovery),
+        Box::new(e11_scale_xl::E11ScaleXl),
     ]
 }
 
-/// Look up one experiment by its registry name (`"e1"` … `"e10"`).
+/// Look up one experiment by its registry name (`"e1"` … `"e11"`).
 pub fn by_name(name: &str) -> Option<Box<dyn Experiment>> {
     registry().into_iter().find(|e| e.name() == name)
 }
@@ -58,7 +76,7 @@ mod tests {
         let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
         assert_eq!(
             names,
-            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
+            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"]
         );
     }
 

@@ -290,8 +290,10 @@ fn json_value(v: &Value) -> String {
 ///
 /// Implementations are enumerated by [`crate::experiments::registry`]
 /// and selected by name through `exp_all --only`. Runs are pure
-/// functions of the seed (DESIGN.md §2), so a report regenerates
-/// byte-identically:
+/// functions of the seed (DESIGN.md §2) — `jobs` only sets how many
+/// worker threads a grid-shaped experiment may fan its cells across
+/// (DESIGN.md §8; `0` = auto), never what the report contains — so a
+/// report regenerates byte-identically at any job count:
 ///
 /// ```
 /// use pcelisp::experiments::{Cell, ExpReport, Experiment, Section};
@@ -300,23 +302,25 @@ fn json_value(v: &Value) -> String {
 /// impl Experiment for Demo {
 ///     fn name(&self) -> &'static str { "demo" }
 ///     fn title(&self) -> &'static str { "a demo experiment" }
-///     fn run(&self, seed: u64) -> ExpReport {
+///     fn run(&self, seed: u64, _jobs: usize) -> ExpReport {
 ///         let mut s = Section::new("k", "seeded", &["seed"]);
 ///         s.row(vec![Cell::u64(seed)]);
 ///         ExpReport::new(self.name(), self.title()).with_section(s)
 ///     }
 /// }
 ///
-/// let report = Demo.run(7);
-/// assert_eq!(report.to_json(), Demo.run(7).to_json());
+/// let report = Demo.run(7, 1);
+/// assert_eq!(report.to_json(), Demo.run(7, 8).to_json());
 /// ```
 pub trait Experiment {
-    /// Stable key used by `exp_all --only` (`"e1"` … `"e10"`).
+    /// Stable key used by `exp_all --only` (`"e1"` … `"e11"`).
     fn name(&self) -> &'static str;
     /// One-line description for `--list` output.
     fn title(&self) -> &'static str;
-    /// Run the experiment at the given seed.
-    fn run(&self, seed: u64) -> ExpReport;
+    /// Run the experiment at the given seed on up to `jobs` worker
+    /// threads (`0` = auto; see [`crate::experiments::sweep::resolve_jobs`]).
+    /// The report is byte-identical for every `jobs` value.
+    fn run(&self, seed: u64, jobs: usize) -> ExpReport;
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@
 //!   site-internal [`scenario::FlowRouter`], and the figure's
 //!   well-known addresses.
 //! * [`workload`] — deterministic Poisson/Zipf flow workload generation.
-//! * [`experiments`] — the E1–E10 / A1–A2 harnesses of DESIGN.md behind
+//! * [`experiments`] — the E1–E11 / A1–A2 harnesses of DESIGN.md behind
 //!   the [`experiments::Experiment`] trait: each returns an
 //!   [`experiments::ExpReport`] with typed rows, printable tables and
 //!   JSON serialization, and [`experiments::registry`] drives them all.

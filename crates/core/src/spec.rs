@@ -443,6 +443,12 @@ pub struct ScenarioSpec {
 }
 
 impl ScenarioSpec {
+    /// Largest `dest_sites` the [`Self::multi_site`] address plan holds:
+    /// EID first octets walk `120..=128` and provider first octets
+    /// `24..=41`, clear of the `8.x`/`9.x` infrastructure space and of
+    /// each other.
+    pub const MAX_DEST_SITES: usize = 2048;
+
     /// The paper's Fig. 1 world: source domain **S** (EIDs `100/8`,
     /// providers **A** `10/8` and **B** `11/8`), destination domain
     /// **D** (EIDs `101/8`, providers **X** `12/8`, **Y** `13/8`),
@@ -501,35 +507,51 @@ impl ScenarioSpec {
     /// address plans. The default workload is Poisson arrivals with
     /// Zipf(1.0) cross-site popularity, `3 × dest_sites` flows.
     ///
+    /// The address plan spans site indexes beyond one octet by stepping
+    /// the *first* octet every 256 sites (EIDs walk `120.x`, `121.x`, …;
+    /// provider RLOC pairs walk `24.x`/`25.x`, then `26.x`/`27.x`, …),
+    /// so worlds up to [`Self::MAX_DEST_SITES`] sites stay collision-free
+    /// while plans for the first 255 sites are bit-identical to the
+    /// historical single-octet layout (E9/E10 goldens).
+    ///
     /// # Panics
-    /// Panics if `dest_sites` is 0 or above 200 (address-plan limit).
+    /// Panics if `dest_sites` is 0 or above [`Self::MAX_DEST_SITES`].
     pub fn multi_site(cp: CpKind, dest_sites: usize, hosts_per_site: usize) -> Self {
         assert!(
-            (1..=200).contains(&dest_sites),
-            "dest_sites must be in 1..=200"
+            (1..=Self::MAX_DEST_SITES).contains(&dest_sites),
+            "dest_sites must be in 1..={}",
+            Self::MAX_DEST_SITES
         );
         let providers_of = |idx: usize, name: &str| -> Vec<ProviderSpec> {
+            let hi = (idx >> 8) as u8;
+            let lo = (idx & 0xff) as u8;
             vec![
                 ProviderSpec::new_slash16(
                     &format!("{name}a"),
-                    Ipv4Address::new(24, idx as u8, 0, 1),
+                    Ipv4Address::new(24 + 2 * hi, lo, 0, 1),
                 ),
                 ProviderSpec::new_slash16(
                     &format!("{name}b"),
-                    Ipv4Address::new(25, idx as u8, 0, 1),
+                    Ipv4Address::new(25 + 2 * hi, lo, 0, 1),
                 ),
             ]
         };
+        let eid_prefix_of = |idx: usize| -> Prefix {
+            Prefix::new(
+                Ipv4Address::new(120 + (idx >> 8) as u8, (idx & 0xff) as u8, 0, 0),
+                16,
+            )
+        };
         let mut sites = vec![SiteSpec::client(
             "S",
-            Prefix::new(Ipv4Address::new(120, 0, 0, 0), 16),
+            eid_prefix_of(0),
             providers_of(0, "S"),
         )];
         for i in 0..dest_sites {
             let name = format!("D{i}");
             sites.push(SiteSpec::server(
                 &name,
-                Prefix::new(Ipv4Address::new(120, (i + 1) as u8, 0, 0), 16),
+                eid_prefix_of(i + 1),
                 providers_of(i + 1, &name),
                 hosts_per_site,
             ));

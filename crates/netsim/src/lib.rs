@@ -56,6 +56,7 @@
 pub mod counters;
 pub mod link;
 pub mod node;
+pub mod par;
 pub mod sim;
 pub mod time;
 pub mod trace;

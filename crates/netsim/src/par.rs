@@ -1,0 +1,170 @@
+//! Deterministic parallel map over independent work items.
+//!
+//! Experiment sweeps are grids of *independent* simulation cells — each
+//! cell builds its own [`crate::Sim`], runs it, and returns a row. The
+//! cells share nothing, so they can run on any number of OS threads;
+//! determinism is preserved because [`par_map`] reassembles results **in
+//! input order**, making the output a pure function of the items and the
+//! mapping function, regardless of thread count or scheduling.
+//!
+//! The pool is a hand-rolled scoped-thread worker loop over
+//! [`std::thread::scope`] (this repo vendors no crates.io dependencies;
+//! see DESIGN.md "Vendored dependency shims"): workers claim the next
+//! unclaimed item through a shared atomic cursor, so a slow cell never
+//! blocks the queue behind it (dynamic load balancing, which matters when
+//! one N=512-site cell costs 100× an N=64 one).
+//!
+//! ```
+//! use netsim::par::par_map;
+//!
+//! let squares = par_map(4, (0u64..100).collect(), |x| x * x);
+//! assert_eq!(squares, (0u64..100).map(|x| x * x).collect::<Vec<_>>());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-thread count the host offers (`std::thread::available_parallelism`,
+/// 1 when unknown). The `jobs = 0` convention in the experiment layer
+/// resolves to this.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `jobs` worker threads, returning the
+/// results **in input order**.
+///
+/// * `jobs` is clamped to `[1, items.len()]`; `jobs <= 1` (or a single
+///   item) runs inline on the caller's thread with no pool at all, so a
+///   serial run has zero threading overhead.
+/// * Items are claimed dynamically (atomic cursor), not pre-chunked:
+///   result `i` is always `f(items[i])`, but *when* each item runs is
+///   scheduling-dependent. Callers therefore get byte-identical output
+///   for any `jobs` as long as `f` is a pure function of its item.
+/// * A panic in any worker propagates to the caller once all workers
+///   have been joined (via [`std::thread::scope`]).
+pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // One slot per item: the input moves out when a worker claims it,
+    // the output moves in when the worker finishes. Slot locks are held
+    // only for the take/store moments (never across `f`), so contention
+    // is two uncontended lock ops per item.
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|item| Mutex::new((Some(item), None)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = {
+                    let mut slot = slots[i].lock().expect("slot lock");
+                    slot.0.take().expect("item claimed exactly once")
+                };
+                let result = f(item);
+                slots[i].lock().expect("slot lock").1 = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked")
+                .1
+                .expect("every item was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order_at_any_job_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let want: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8, 64, 1000] {
+            let got = par_map(jobs, items.clone(), |x| x * 3 + 1);
+            assert_eq!(got, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map(8, empty, |x| x + 1), Vec::<u32>::new());
+        assert_eq!(par_map(8, vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let got = par_map(4, (0..100).collect::<Vec<u64>>(), |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn moves_non_copy_items_and_results() {
+        let items: Vec<String> = (0..20).map(|i| format!("item-{i}")).collect();
+        let got = par_map(3, items, |s| s.to_uppercase());
+        assert_eq!(got[7], "ITEM-7");
+        assert_eq!(got.len(), 20);
+    }
+
+    #[test]
+    fn propagates_worker_panics() {
+        let outcome = std::panic::catch_unwind(|| {
+            par_map(4, (0..32).collect::<Vec<u32>>(), |x| {
+                if x == 17 {
+                    panic!("cell 17 exploded");
+                }
+                x
+            })
+        });
+        assert!(outcome.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn serial_path_propagates_panics_too() {
+        let outcome = std::panic::catch_unwind(|| {
+            par_map(1, vec![1u32, 2, 3], |x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

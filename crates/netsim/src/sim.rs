@@ -16,10 +16,24 @@ use crate::trace::Trace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::AtomicU64;
 
 /// Maximum number of packet buffers kept on the recycle freelist.
 const POOL_CAP: usize = 1024;
+
+/// Events processed by every [`Sim`] in this process, across all
+/// threads (see [`process_events`]). Each `run_until` flushes its delta
+/// once at the end, so the hot loop never touches the atomic.
+static PROCESS_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total events processed by every [`Sim`] in this process so far —
+/// including simulations that have already been dropped. End-to-end
+/// benchmarks (`bench_experiments`) diff this around a run to report an
+/// aggregate events/s figure without keeping every world alive.
+pub fn process_events() -> u64 {
+    PROCESS_EVENTS.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Push an event into `queue`, stamping it with the next sequence
 /// number — the single scheduling routine shared by the engine
@@ -125,9 +139,14 @@ pub struct Sim {
     stopped: bool,
     started: bool,
     events_processed: u64,
+    /// Portion of `events_processed` already flushed to [`PROCESS_EVENTS`].
+    events_flushed: u64,
     event_limit: u64,
     /// Freelist of packet buffers (see [`Ctx::buffer`] / [`Ctx::recycle`]).
     pool: Vec<Vec<u8>>,
+    /// Scratch deque reused by [`Sim::set_link_up`] so flushing a stalled
+    /// link allocates nothing in steady state.
+    stall_scratch: VecDeque<Vec<u8>>,
 }
 
 impl Sim {
@@ -148,8 +167,10 @@ impl Sim {
             stopped: false,
             started: false,
             events_processed: 0,
+            events_flushed: 0,
             event_limit: u64::MAX,
             pool: Vec::new(),
+            stall_scratch: VecDeque::new(),
         }
     }
 
@@ -294,9 +315,15 @@ impl Sim {
             let was_up = self.transmitters[idx].up;
             self.transmitters[idx].up = up;
             if up && !was_up {
-                let pending: Vec<Vec<u8>> = self.transmitters[idx].stall_buf.drain(..).collect();
+                // Swap the stalled backlog out through the reusable
+                // scratch deque instead of collecting into a fresh Vec:
+                // recoveries are allocation-free in steady state, and the
+                // (empty) scratch capacity parks in the transmitter until
+                // the next flush swaps it back.
+                let mut pending = std::mem::take(&mut self.stall_scratch);
+                std::mem::swap(&mut pending, &mut self.transmitters[idx].stall_buf);
                 let (peer_node, peer_port) = self.tx_targets[idx];
-                for bytes in pending {
+                while let Some(bytes) = pending.pop_front() {
                     match self.transmitters[idx].offer(self.now, bytes.len()) {
                         TxOutcome::Deliver { arrival } => {
                             let kind = EventKind::Packet {
@@ -308,6 +335,7 @@ impl Sim {
                         TxOutcome::QueueDrop => recycle_into(&mut self.pool, bytes),
                     }
                 }
+                self.stall_scratch = pending;
             }
         }
     }
@@ -431,6 +459,13 @@ impl Sim {
         if self.now < deadline && deadline != Ns::MAX {
             self.now = deadline;
         }
+        // Flush this run's event delta to the process-wide tally once,
+        // outside the hot loop.
+        PROCESS_EVENTS.fetch_add(
+            self.events_processed - self.events_flushed,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        self.events_flushed = self.events_processed;
     }
 
     /// True if a stop was requested.

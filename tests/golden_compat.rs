@@ -9,8 +9,8 @@
 //! with `UPDATE_GOLDEN=1 cargo test --test golden_compat`.
 
 use pcelisp::experiments::{
-    e10_recovery, e1_fig1, e2_drops, e3_resolution, e4_tcp_setup, e5_te, e6_cache, e7_reverse,
-    e8_overhead,
+    e10_recovery, e11_scale_xl, e1_fig1, e2_drops, e3_resolution, e4_tcp_setup, e5_te, e6_cache,
+    e7_reverse, e8_overhead,
 };
 use std::path::PathBuf;
 
@@ -114,5 +114,16 @@ fn e10_recovery_table_golden() {
     check(
         "e10_recovery",
         &e10_recovery::run_recovery(SEED).table().render(),
+    );
+}
+
+// E11 pins the XL-scale sweep — run *in parallel* (auto jobs), because
+// byte-identity across thread counts is exactly the contract the golden
+// protects (DESIGN.md §8).
+#[test]
+fn e11_scale_xl_table_golden() {
+    check(
+        "e11_scale_xl",
+        &e11_scale_xl::run_scale_xl_jobs(SEED, 0).table().render(),
     );
 }
