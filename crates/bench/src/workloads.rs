@@ -2,7 +2,7 @@
 //! (`benches/engine.rs`) and the JSON trajectory emitter
 //! (`bin/bench_engine_json.rs`), so both time exactly the same cells.
 //!
-//! Two shapes stress different parts of the hot path (DESIGN.md §1):
+//! Two shapes stress different parts of the hot path (DESIGN.md §1, §9):
 //!
 //! * **ping-pong** — two nodes, one link, one packet in flight: the
 //!   queue stays tiny, so per-event constant costs (dispatch, context
@@ -11,25 +11,52 @@
 //!   flight: the heap holds ~64 events, so sift depth and payload moves
 //!   matter too. With the default 8 000 rounds this processes >1M
 //!   events per run.
+//!
+//! The cells carry a [`Frame`] payload — a typed descriptor whose wire
+//! length is *computed*, exactly like the product's `lispwire::Packet`
+//! payloads since the typed-packet refactor. The event loop moves a
+//! two-word value per packet and allocates nothing.
 
-use netsim::{Ctx, LinkCfg, Node, Ns, Sim};
+use netsim::{Ctx, LinkCfg, Node, Ns, Payload, Sim};
+
+/// A typed bench payload: `len` simulated wire bytes, no backing buffer.
+/// This is the engine-bench analogue of the product's typed packets —
+/// byte accounting without byte shuffling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Simulated wire length in bytes.
+    pub len: usize,
+}
+
+impl Payload for Frame {
+    fn wire_len(&self) -> usize {
+        self.len
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        vec![0u8; self.len]
+    }
+
+    fn corrupt(&mut self, _idx: usize, _bit: u8) {}
+}
+
+/// Wire length of every bench frame (matches the pre-refactor 64-byte
+/// buffers, so link timing — and therefore event counts — are identical).
+const FRAME_LEN: usize = 64;
 
 /// Two nodes bouncing one packet back and forth `remaining` times each.
 struct PingPong {
     remaining: u64,
 }
 
-impl Node for PingPong {
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
-        let buf = ctx.buffer(64);
-        ctx.send(0, buf);
+impl Node<Frame> for PingPong {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Frame>, _t: u64) {
+        ctx.send(0, Frame { len: FRAME_LEN });
     }
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: usize, bytes: Vec<u8>) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Frame>, port: usize, frame: Frame) {
         if self.remaining > 0 {
             self.remaining -= 1;
-            ctx.send(port, bytes);
-        } else {
-            ctx.recycle(bytes);
+            ctx.send(port, frame);
         }
     }
     fn as_any(&mut self) -> &mut dyn std::any::Any {
@@ -43,7 +70,7 @@ impl Node for PingPong {
 /// Run the two-node ping-pong cell (`2 * pairs + 1` events) and return
 /// the number of events the engine processed.
 pub fn run_ping_pong(pairs: u64) -> u64 {
-    let mut sim = Sim::new(1);
+    let mut sim: Sim<Frame> = Sim::new(1);
     let a = sim.add_node("a", Box::new(PingPong { remaining: pairs }));
     let z = sim.add_node("z", Box::new(PingPong { remaining: pairs }));
     sim.connect(a, z, LinkCfg::lan());
@@ -55,9 +82,9 @@ pub fn run_ping_pong(pairs: u64) -> u64 {
 /// The hub of the star: echo every packet back out the port it came in.
 struct Hub;
 
-impl Node for Hub {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: usize, bytes: Vec<u8>) {
-        ctx.send(port, bytes);
+impl Node<Frame> for Hub {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Frame>, port: usize, frame: Frame) {
+        ctx.send(port, frame);
     }
     fn as_any(&mut self) -> &mut dyn std::any::Any {
         self
@@ -73,17 +100,14 @@ struct Leaf {
     rounds: u64,
 }
 
-impl Node for Leaf {
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
-        let buf = ctx.buffer(64);
-        ctx.send(0, buf);
+impl Node<Frame> for Leaf {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Frame>, _t: u64) {
+        ctx.send(0, Frame { len: FRAME_LEN });
     }
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: usize, bytes: Vec<u8>) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Frame>, port: usize, frame: Frame) {
         if self.rounds > 0 {
             self.rounds -= 1;
-            ctx.send(port, bytes);
-        } else {
-            ctx.recycle(bytes);
+            ctx.send(port, frame);
         }
     }
     fn as_any(&mut self) -> &mut dyn std::any::Any {
@@ -98,7 +122,7 @@ impl Node for Leaf {
 /// `rounds` round-trips (≈ `2 * leaves * rounds` events). Returns the
 /// number of events the engine processed.
 pub fn run_star(leaves: usize, rounds: u64) -> u64 {
-    let mut sim = Sim::new(1);
+    let mut sim: Sim<Frame> = Sim::new(1);
     let hub = sim.add_node("hub", Box::new(Hub));
     for i in 0..leaves {
         let leaf = sim.add_node(&format!("leaf{i}"), Box::new(Leaf { rounds }));
@@ -118,6 +142,12 @@ pub const STAR_ROUNDS: u64 = 8_000;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_wire_len_matches_encode() {
+        let f = Frame { len: FRAME_LEN };
+        assert_eq!(f.wire_len(), f.encode().len());
+    }
 
     #[test]
     fn ping_pong_event_count() {

@@ -9,8 +9,11 @@
 //! Design notes (following the smoltcp philosophy of simplicity over
 //! cleverness):
 //!
-//! * Packets are plain `Vec<u8>` wire bytes — nodes parse real headers at
-//!   every hop (see the `lispwire` crate).
+//! * Packets are **typed payloads** ([`payload::Payload`]): the engine is
+//!   generic over the payload type and needs only its computed wire
+//!   length for link timing — product code carries `lispwire::Packet`
+//!   values end to end with zero per-hop serialization, while tests and
+//!   benches use plain `Vec<u8>` (the default payload).
 //! * Events are totally ordered by `(time, sequence)`; same-time events
 //!   fire in scheduling order, so runs are deterministic.
 //! * Nodes interact with the world only through [`Ctx`], which exposes
@@ -40,7 +43,7 @@
 //!     fn as_any_ref(&self) -> &dyn std::any::Any { self }
 //! }
 //!
-//! let mut sim = Sim::new(1);
+//! let mut sim: Sim = Sim::new(1);
 //! let a = sim.add_node("pinger", Box::new(Pinger { got_reply: false }));
 //! let b = sim.add_node("echo", Box::new(Echo));
 //! sim.connect(a, b, LinkCfg::wan(Ns::from_ms(10)));
@@ -57,6 +60,7 @@ pub mod counters;
 pub mod link;
 pub mod node;
 pub mod par;
+pub mod payload;
 pub mod sim;
 pub mod time;
 pub mod trace;
@@ -65,6 +69,7 @@ pub mod update;
 pub use counters::{CounterId, Counters, LazyCounter};
 pub use link::{DownPolicy, LinkCfg, LinkStats};
 pub use node::{Ctx, Node, NodeId, PortId};
+pub use payload::Payload;
 pub use sim::Sim;
 pub use time::Ns;
 pub use trace::{Trace, TraceEvent};

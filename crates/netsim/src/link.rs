@@ -16,6 +16,7 @@
 //! instant the link comes back up. Packets already accepted before the
 //! failure instant are treated as on the wire and still arrive.
 
+use crate::payload::Payload;
 use crate::time::Ns;
 use std::collections::VecDeque;
 
@@ -150,9 +151,10 @@ pub struct LinkStats {
     pub stalled: u64,
 }
 
-/// One direction of a link: the transmitter state.
-#[derive(Debug, Clone)]
-pub struct Transmitter {
+/// One direction of a link: the transmitter state, generic over the
+/// packet [`Payload`] it may stall while administratively down.
+#[derive(Debug)]
+pub struct Transmitter<P: Payload = Vec<u8>> {
     /// Static configuration.
     pub cfg: LinkCfg,
     /// Virtual time at which the transmitter becomes idle.
@@ -162,7 +164,7 @@ pub struct Transmitter {
     /// Administrative state: packets are carried only while `up`.
     pub up: bool,
     /// Packets held by [`DownPolicy::Stall`] awaiting link recovery.
-    pub(crate) stall_buf: VecDeque<Vec<u8>>,
+    pub(crate) stall_buf: VecDeque<P>,
     /// One-entry serialisation-time memo keyed on (size, bandwidth):
     /// most traffic repeats a handful of packet sizes, and the exact
     /// computation costs a u128 division. Keying on the bandwidth keeps
@@ -182,7 +184,7 @@ pub enum TxOutcome {
     QueueDrop,
 }
 
-impl Transmitter {
+impl<P: Payload> Transmitter<P> {
     /// New idle transmitter.
     pub fn new(cfg: LinkCfg) -> Self {
         // Memo slot primed with the zero-length packet (always 0 ns).
@@ -197,23 +199,22 @@ impl Transmitter {
     }
 
     /// Accept a packet while administratively down, per the configured
-    /// [`DownPolicy`]. Returns the packet back when it must be dropped
-    /// (so the caller can recycle the buffer), `None` when it was
-    /// stalled for retransmission on link-up.
-    pub(crate) fn hold_while_down(&mut self, bytes: Vec<u8>) -> Option<Vec<u8>> {
+    /// [`DownPolicy`]. Returns the packet back when it must be dropped,
+    /// `None` when it was stalled for retransmission on link-up.
+    pub(crate) fn hold_while_down(&mut self, pkt: P) -> Option<P> {
         match self.cfg.down_policy {
             DownPolicy::Drop => {
                 self.stats.down_drops += 1;
-                Some(bytes)
+                Some(pkt)
             }
             DownPolicy::Stall { max_packets } => {
                 if self.stall_buf.len() < max_packets {
                     self.stats.stalled += 1;
-                    self.stall_buf.push_back(bytes);
+                    self.stall_buf.push_back(pkt);
                     None
                 } else {
                     self.stats.down_drops += 1;
-                    Some(bytes)
+                    Some(pkt)
                 }
             }
         }
@@ -283,7 +284,7 @@ mod tests {
 
     #[test]
     fn idle_link_delivers_after_ser_plus_delay() {
-        let mut tx = Transmitter::new(LinkCfg::wan(Ns::from_ms(10)));
+        let mut tx: Transmitter = Transmitter::new(LinkCfg::wan(Ns::from_ms(10)));
         match tx.offer(Ns::ZERO, 1250) {
             TxOutcome::Deliver { arrival } => {
                 assert_eq!(arrival, Ns::from_us(10) + Ns::from_ms(10));
@@ -294,7 +295,7 @@ mod tests {
 
     #[test]
     fn back_to_back_packets_queue() {
-        let mut tx = Transmitter::new(LinkCfg::wan(Ns::from_ms(1)));
+        let mut tx: Transmitter = Transmitter::new(LinkCfg::wan(Ns::from_ms(1)));
         let a1 = match tx.offer(Ns::ZERO, 1250) {
             TxOutcome::Deliver { arrival } => arrival,
             _ => panic!(),
@@ -314,7 +315,7 @@ mod tests {
         let cfg = LinkCfg::wan(Ns::from_ms(1))
             .with_queue_bytes(2500)
             .with_bandwidth(1_000_000); // 1 Mbps
-        let mut tx = Transmitter::new(cfg);
+        let mut tx: Transmitter = Transmitter::new(cfg);
         // Each 1250-byte packet takes 10 ms to serialise at 1 Mbps.
         let mut drops = 0;
         for _ in 0..10 {
@@ -330,7 +331,7 @@ mod tests {
 
     #[test]
     fn backlog_drains_with_time() {
-        let mut tx = Transmitter::new(LinkCfg::wan(Ns::from_ms(1)).with_bandwidth(1_000_000));
+        let mut tx: Transmitter = Transmitter::new(LinkCfg::wan(Ns::from_ms(1)).with_bandwidth(1_000_000));
         tx.offer(Ns::ZERO, 1250); // 10 ms serialisation
         assert_eq!(tx.backlog(Ns::ZERO), Ns::from_ms(10));
         assert_eq!(tx.backlog(Ns::from_ms(4)), Ns::from_ms(6));

@@ -3,6 +3,7 @@
 
 use crate::counters::{CounterId, Counters};
 use crate::link::{Transmitter, TxOutcome};
+use crate::payload::Payload;
 use crate::sim::{EventKind, TimedEvent};
 use crate::time::Ns;
 use crate::trace::Trace;
@@ -19,7 +20,9 @@ pub type NodeId = usize;
 /// the node was connected.
 pub type PortId = usize;
 
-/// Behaviour of a simulated element (host, router, DNS server, xTR, PCE…).
+/// Behaviour of a simulated element (host, router, DNS server, xTR, PCE…),
+/// generic over the packet [`Payload`] it exchanges (default: raw bytes;
+/// product nodes implement `Node<lispwire::Packet>`).
 ///
 /// Implementations must also provide `as_any` / `as_any_ref` so
 /// experiment code can downcast and read results after a run:
@@ -28,16 +31,16 @@ pub type PortId = usize;
 /// fn as_any(&mut self) -> &mut dyn std::any::Any { self }
 /// fn as_any_ref(&self) -> &dyn std::any::Any { self }
 /// ```
-pub trait Node {
+pub trait Node<P: Payload = Vec<u8>> {
     /// Called once when the simulation starts (before any event).
-    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, P>) {}
 
     /// A packet arrived on `port`.
-    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _bytes: Vec<u8>) {}
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_, P>, _port: PortId, _pkt: P) {}
 
     /// A timer set via [`Ctx::set_timer`] (or externally via
     /// `Sim::schedule_timer`) fired with its token.
-    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, P>, _token: u64) {}
 
     /// Downcast support (see trait docs).
     fn as_any(&mut self) -> &mut dyn Any;
@@ -62,27 +65,26 @@ pub(crate) struct PortBinding {
 
 /// The handle through which a node interacts with the simulation while
 /// handling an event.
-pub struct Ctx<'a> {
+pub struct Ctx<'a, P: Payload = Vec<u8>> {
     pub(crate) now: Ns,
     pub(crate) node: NodeId,
     pub(crate) node_name: &'a str,
     pub(crate) ports: &'a [PortBinding],
-    pub(crate) transmitters: &'a mut [Transmitter],
+    pub(crate) transmitters: &'a mut [Transmitter<P>],
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) trace: &'a mut Trace,
     pub(crate) counters: &'a mut Counters,
-    pub(crate) queue: &'a mut BinaryHeap<Reverse<TimedEvent>>,
+    pub(crate) queue: &'a mut BinaryHeap<Reverse<TimedEvent<P>>>,
     pub(crate) seq: &'a mut u64,
     pub(crate) stopped: &'a mut bool,
-    pub(crate) pool: &'a mut Vec<Vec<u8>>,
 }
 
-impl<'a> Ctx<'a> {
+impl<'a, P: Payload> Ctx<'a, P> {
     /// Push an event straight into the engine's queue (the shared
     /// scheduling routine, so engine- and node-scheduled events follow
     /// one `(time, seq)` total order).
     #[inline]
-    fn push_event(&mut self, at: Ns, node: NodeId, kind: EventKind) {
+    fn push_event(&mut self, at: Ns, node: NodeId, kind: EventKind<P>) {
         crate::sim::push_event(self.queue, self.seq, at, node, kind);
     }
 
@@ -101,60 +103,50 @@ impl<'a> Ctx<'a> {
         self.ports.len()
     }
 
-    /// Send `bytes` out of `port`. Queueing, serialisation, propagation
-    /// and fault injection are applied by the link; delivery to the peer
-    /// is scheduled automatically. Returns `false` if the packet was
-    /// dropped (queue full or fault injection).
+    /// Send `pkt` out of `port`. Queueing, serialisation, propagation
+    /// and fault injection are applied by the link — all of it computed
+    /// from [`Payload::wire_len`], never from materialized bytes;
+    /// delivery to the peer is scheduled automatically. Returns `false`
+    /// if the packet was dropped (queue full or fault injection).
     ///
     /// # Panics
     /// Panics if `port` is not connected.
-    pub fn send(&mut self, port: PortId, bytes: Vec<u8>) -> bool {
+    pub fn send(&mut self, port: PortId, pkt: P) -> bool {
         let binding = self.ports[port];
         let tx = &mut self.transmitters[binding.tx_index];
         // Administratively-down link: drop or stall per policy, before
         // fault injection (a dead link consumes no randomness, so runs
         // with all links up are bit-identical to the pre-dynamics engine).
         if !tx.up {
-            return match tx.hold_while_down(bytes) {
-                Some(dropped) => {
-                    crate::sim::recycle_into(self.pool, dropped);
-                    false
-                }
-                None => true, // stalled for retransmission on link-up
-            };
+            return tx.hold_while_down(pkt).is_none();
         }
         // Fault injection: random drop.
         if tx.cfg.drop_prob > 0.0 && self.rng.random_bool(tx.cfg.drop_prob) {
             tx.stats.fault_drops += 1;
-            crate::sim::recycle_into(self.pool, bytes);
             return false;
         }
-        let mut bytes = bytes;
-        // Fault injection: corrupt one random octet.
-        if tx.cfg.corrupt_prob > 0.0
-            && !bytes.is_empty()
-            && self.rng.random_bool(tx.cfg.corrupt_prob)
-        {
-            let idx = self.rng.random_range(0..bytes.len());
-            bytes[idx] ^= 1 << self.rng.random_range(0..8u8);
+        let mut pkt = pkt;
+        let len = pkt.wire_len();
+        // Fault injection: corrupt one random bit of the wire image.
+        if tx.cfg.corrupt_prob > 0.0 && len > 0 && self.rng.random_bool(tx.cfg.corrupt_prob) {
+            let idx = self.rng.random_range(0..len);
+            let bit = self.rng.random_range(0..8u8);
+            pkt.corrupt(idx, bit);
             tx.stats.corrupted += 1;
         }
-        match tx.offer(self.now, bytes.len()) {
+        match tx.offer(self.now, len) {
             TxOutcome::Deliver { arrival } => {
                 self.push_event(
                     arrival,
                     binding.peer_node,
                     EventKind::Packet {
                         port: binding.peer_port,
-                        bytes,
+                        payload: pkt,
                     },
                 );
                 true
             }
-            TxOutcome::QueueDrop => {
-                crate::sim::recycle_into(self.pool, bytes);
-                false
-            }
+            TxOutcome::QueueDrop => false,
         }
     }
 
@@ -193,26 +185,6 @@ impl<'a> Ctx<'a> {
     /// called once from [`Node::on_start`]).
     pub fn counter_id(&mut self, name: &str) -> CounterId {
         self.counters.register(name)
-    }
-
-    /// Take a packet buffer of `len` zeroed bytes from the engine's
-    /// freelist (allocating only when the pool is empty). Pairs with
-    /// [`Ctx::recycle`]; dropped sends are recycled automatically.
-    pub fn buffer(&mut self, len: usize) -> Vec<u8> {
-        match self.pool.pop() {
-            Some(mut buf) => {
-                buf.clear();
-                buf.resize(len, 0);
-                buf
-            }
-            None => vec![0; len],
-        }
-    }
-
-    /// Return a finished packet buffer to the engine's freelist so a
-    /// later [`Ctx::buffer`] (or internal) use can skip an allocation.
-    pub fn recycle(&mut self, bytes: Vec<u8>) {
-        crate::sim::recycle_into(self.pool, bytes);
     }
 
     /// The simulation RNG (seeded; deterministic).

@@ -1,26 +1,25 @@
 //! The simulation engine: event queue, node registry, link registry.
 //!
-//! Hot-path design (DESIGN.md §1–§3): the event queue is a single
+//! Hot-path design (DESIGN.md §1–§3, §9): the event queue is a single
 //! `BinaryHeap` of `TimedEvent`s carrying their payload inline —
 //! ordered by `(time, sequence)` so same-time events fire in scheduling
 //! (FIFO) order. Nodes schedule through [`Ctx`], which holds split
-//! borrows of the queue and pushes directly into the heap, and packet
-//! buffers come from a recycling freelist — so the steady-state event
-//! loop performs no allocations.
+//! borrows of the queue and pushes directly into the heap. The engine is
+//! generic over [`Payload`]: packets are *typed values* whose wire
+//! length is computed, not materialized, so the steady-state event loop
+//! moves no byte buffers and performs no allocations.
 
 use crate::counters::{CounterId, Counters};
 use crate::link::{LinkCfg, LinkStats, Transmitter, TxOutcome};
 use crate::node::{Ctx, Node, NodeId, PortBinding, PortId};
+use crate::payload::Payload;
 use crate::time::Ns;
-use crate::trace::Trace;
+use crate::trace::{fnv64, Trace};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::AtomicU64;
-
-/// Maximum number of packet buffers kept on the recycle freelist.
-const POOL_CAP: usize = 1024;
 
 /// Events processed by every [`Sim`] in this process, across all
 /// threads (see [`process_events`]). Each `run_until` flushes its delta
@@ -41,12 +40,12 @@ pub fn process_events() -> u64 {
 /// order has exactly one implementation. Events at [`Ns::MAX`] mean
 /// "never" (saturated timers) and are not enqueued at all.
 #[inline]
-pub(crate) fn push_event(
-    queue: &mut BinaryHeap<Reverse<TimedEvent>>,
+pub(crate) fn push_event<P: Payload>(
+    queue: &mut BinaryHeap<Reverse<TimedEvent<P>>>,
     seq: &mut u64,
     at: Ns,
     node: NodeId,
-    kind: EventKind,
+    kind: EventKind<P>,
 ) {
     if at == Ns::MAX {
         return;
@@ -60,21 +59,12 @@ pub(crate) fn push_event(
     }));
 }
 
-/// Return `bytes` to the freelist `pool` (dropped when the pool is full
-/// or the buffer never had a heap allocation).
-#[inline]
-pub(crate) fn recycle_into(pool: &mut Vec<Vec<u8>>, bytes: Vec<u8>) {
-    if pool.len() < POOL_CAP && bytes.capacity() > 0 {
-        pool.push(bytes);
-    }
-}
-
 /// What a scheduled event delivers.
 #[derive(Debug)]
-pub(crate) enum EventKind {
+pub(crate) enum EventKind<P> {
     Packet {
         port: PortId,
-        bytes: Vec<u8>,
+        payload: P,
     },
     Timer {
         token: u64,
@@ -93,43 +83,46 @@ pub(crate) enum EventKind {
 /// time ties deterministically and yields FIFO order among same-time
 /// events.
 #[derive(Debug)]
-pub(crate) struct TimedEvent {
+pub(crate) struct TimedEvent<P> {
     pub(crate) at: Ns,
     pub(crate) seq: u64,
     pub(crate) node: NodeId,
-    pub(crate) kind: EventKind,
+    pub(crate) kind: EventKind<P>,
 }
 
-impl PartialEq for TimedEvent {
+impl<P> PartialEq for TimedEvent<P> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl Eq for TimedEvent {}
+impl<P> Eq for TimedEvent<P> {}
 
-impl PartialOrd for TimedEvent {
+impl<P> PartialOrd for TimedEvent<P> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for TimedEvent {
+impl<P> Ord for TimedEvent<P> {
     fn cmp(&self, other: &Self) -> Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
-/// A deterministic discrete-event simulation.
-pub struct Sim {
-    nodes: Vec<Option<Box<dyn Node>>>,
+/// A deterministic discrete-event simulation, generic over the packet
+/// [`Payload`] its nodes exchange. Product code instantiates
+/// `Sim<lispwire::Packet>` (typed packets, computed wire lengths);
+/// engine tests and benches use the default `Sim<Vec<u8>>`.
+pub struct Sim<P: Payload = Vec<u8>> {
+    nodes: Vec<Option<Box<dyn Node<P>>>>,
     names: Vec<String>,
     ports: Vec<Vec<PortBinding>>,
-    transmitters: Vec<Transmitter>,
+    transmitters: Vec<Transmitter<P>>,
     /// Delivery target of each transmitter (peer node, peer port), in
     /// transmitter order — used to flush stalled packets on link-up.
     tx_targets: Vec<(NodeId, PortId)>,
-    queue: BinaryHeap<Reverse<TimedEvent>>,
+    queue: BinaryHeap<Reverse<TimedEvent<P>>>,
     now: Ns,
     seq: u64,
     rng: SmallRng,
@@ -142,14 +135,12 @@ pub struct Sim {
     /// Portion of `events_processed` already flushed to [`PROCESS_EVENTS`].
     events_flushed: u64,
     event_limit: u64,
-    /// Freelist of packet buffers (see [`Ctx::buffer`] / [`Ctx::recycle`]).
-    pool: Vec<Vec<u8>>,
     /// Scratch deque reused by [`Sim::set_link_up`] so flushing a stalled
     /// link allocates nothing in steady state.
-    stall_scratch: VecDeque<Vec<u8>>,
+    stall_scratch: VecDeque<P>,
 }
 
-impl Sim {
+impl<P: Payload> Sim<P> {
     /// Create a simulation with the given RNG seed.
     pub fn new(seed: u64) -> Self {
         Self {
@@ -169,13 +160,12 @@ impl Sim {
             events_processed: 0,
             events_flushed: 0,
             event_limit: u64::MAX,
-            pool: Vec::new(),
             stall_scratch: VecDeque::new(),
         }
     }
 
     /// Register a node; returns its id.
-    pub fn add_node(&mut self, name: &str, node: Box<dyn Node>) -> NodeId {
+    pub fn add_node(&mut self, name: &str, node: Box<dyn Node<P>>) -> NodeId {
         let id = self.nodes.len();
         self.nodes.push(Some(node));
         self.names.push(name.to_string());
@@ -323,16 +313,16 @@ impl Sim {
                 let mut pending = std::mem::take(&mut self.stall_scratch);
                 std::mem::swap(&mut pending, &mut self.transmitters[idx].stall_buf);
                 let (peer_node, peer_port) = self.tx_targets[idx];
-                while let Some(bytes) = pending.pop_front() {
-                    match self.transmitters[idx].offer(self.now, bytes.len()) {
+                while let Some(payload) = pending.pop_front() {
+                    match self.transmitters[idx].offer(self.now, payload.wire_len()) {
                         TxOutcome::Deliver { arrival } => {
                             let kind = EventKind::Packet {
                                 port: peer_port,
-                                bytes,
+                                payload,
                             };
                             push_event(&mut self.queue, &mut self.seq, arrival, peer_node, kind);
                         }
-                        TxOutcome::QueueDrop => recycle_into(&mut self.pool, bytes),
+                        TxOutcome::QueueDrop => {}
                     }
                 }
                 self.stall_scratch = pending;
@@ -377,7 +367,7 @@ impl Sim {
     }
 
     #[inline]
-    fn push_event(&mut self, at: Ns, node: NodeId, kind: EventKind) {
+    fn push_event(&mut self, at: Ns, node: NodeId, kind: EventKind<P>) {
         push_event(&mut self.queue, &mut self.seq, at, node, kind);
     }
 
@@ -388,7 +378,7 @@ impl Sim {
     /// schedules is pushed straight into the heap — steady-state
     /// dispatch materialises no intermediate action list and performs
     /// no allocations.
-    fn with_node_ctx<F: FnOnce(&mut dyn Node, &mut Ctx<'_>)>(&mut self, node_id: NodeId, f: F) {
+    fn with_node_ctx<F: FnOnce(&mut dyn Node<P>, &mut Ctx<'_, P>)>(&mut self, node_id: NodeId, f: F) {
         let Some(mut node) = self.nodes[node_id].take() else {
             return; // node is mid-event (cannot happen single-threaded)
         };
@@ -405,21 +395,37 @@ impl Sim {
                 queue: &mut self.queue,
                 seq: &mut self.seq,
                 stopped: &mut self.stopped,
-                pool: &mut self.pool,
             };
             f(node.as_mut(), &mut ctx);
         }
         self.nodes[node_id] = Some(node);
     }
 
-    fn dispatch(&mut self, ev: TimedEvent) {
+    fn dispatch(&mut self, ev: TimedEvent<P>) {
         match ev.kind {
             EventKind::LinkAdmin { link, up } => self.set_link_up(link, up),
-            kind => self.with_node_ctx(ev.node, move |node, ctx| match kind {
-                EventKind::Packet { port, bytes } => node.on_packet(ctx, port, bytes),
-                EventKind::Timer { token } => node.on_timer(ctx, token),
-                EventKind::LinkAdmin { .. } => unreachable!("handled above"),
-            }),
+            kind => {
+                // Lazy packet log: encodes the payload only when the
+                // trace was explicitly asked to record packet digests.
+                if self.trace.packet_log_enabled() {
+                    if let EventKind::Packet { port, payload } = &kind {
+                        let bytes = payload.encode();
+                        let msg = format!(
+                            "pkt rx port={} len={} fnv64={:016x}",
+                            port,
+                            bytes.len(),
+                            fnv64(&bytes)
+                        );
+                        self.trace
+                            .push(self.now, ev.node, &self.names[ev.node], msg);
+                    }
+                }
+                self.with_node_ctx(ev.node, move |node, ctx| match kind {
+                    EventKind::Packet { port, payload } => node.on_packet(ctx, port, payload),
+                    EventKind::Timer { token } => node.on_timer(ctx, token),
+                    EventKind::LinkAdmin { .. } => unreachable!("handled above"),
+                })
+            }
         }
     }
 
@@ -500,15 +506,13 @@ mod tests {
     impl Node for Pinger {
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
             self.sent_at = ctx.now();
-            let buf = ctx.buffer(self.payload);
-            ctx.send(0, buf);
+            ctx.send(0, vec![0u8; self.payload]);
             ctx.trace("ping sent");
         }
-        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, _bytes: Vec<u8>) {
             self.rtt = Some(ctx.now() - self.sent_at);
             ctx.trace("pong received");
             ctx.count("pongs", 1);
-            ctx.recycle(bytes);
         }
         fn as_any(&mut self) -> &mut dyn std::any::Any {
             self
@@ -519,7 +523,7 @@ mod tests {
     }
 
     fn ping_sim(delay: Ns, payload: usize) -> (Sim, NodeId) {
-        let mut sim = Sim::new(7);
+        let mut sim: Sim = Sim::new(7);
         let a = sim.add_node(
             "pinger",
             Box::new(Pinger {
@@ -557,7 +561,7 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_trace() {
         let run = |seed| {
-            let mut sim = Sim::new(seed);
+            let mut sim: Sim = Sim::new(seed);
             sim.trace.enable();
             let a = sim.add_node(
                 "pinger",
@@ -579,8 +583,26 @@ mod tests {
     }
 
     #[test]
+    fn packet_log_records_wire_digests() {
+        let run = |log: bool| {
+            let (mut sim, _) = ping_sim(Ns::from_ms(1), 64);
+            sim.trace.enable();
+            if log {
+                sim.trace.enable_packet_log();
+            }
+            sim.run();
+            sim.trace.render()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(!without.contains("pkt rx"));
+        assert!(with.contains("pkt rx port=0 len=64"));
+        assert!(with.contains("fnv64="));
+    }
+
+    #[test]
     fn fault_drops_counted() {
-        let mut sim = Sim::new(3);
+        let mut sim: Sim = Sim::new(3);
         let a = sim.add_node(
             "pinger",
             Box::new(Pinger {
@@ -625,7 +647,7 @@ mod tests {
                 self
             }
         }
-        let mut sim = Sim::new(5);
+        let mut sim: Sim = Sim::new(5);
         let s = sim.add_node("s", Box::new(Sender));
         let c = sim.add_node("c", Box::new(Collect { got: None }));
         sim.connect(s, c, LinkCfg::lan().with_corrupt_prob(1.0));
@@ -653,7 +675,7 @@ mod tests {
                 self
             }
         }
-        let mut sim = Sim::new(1);
+        let mut sim: Sim = Sim::new(1);
         let r = sim.add_node("r", Box::new(Recorder { tokens: Vec::new() }));
         for t in [3u64, 1, 4, 1, 5] {
             sim.schedule_timer(r, Ns::from_ms(1), t);
@@ -676,7 +698,7 @@ mod tests {
                 self
             }
         }
-        let mut sim = Sim::new(1);
+        let mut sim: Sim = Sim::new(1);
         let l = sim.add_node("loop", Box::new(Looper));
         sim.schedule_timer(l, Ns::ZERO, 0);
         sim.set_event_limit(100);
@@ -701,7 +723,7 @@ mod tests {
                 self
             }
         }
-        let mut sim = Sim::new(1);
+        let mut sim: Sim = Sim::new(1);
         let s = sim.add_node("s", Box::new(Stopper { fired: 0 }));
         sim.schedule_timer(s, Ns::from_ms(1), 0);
         sim.schedule_timer(s, Ns::from_ms(2), 1);
@@ -727,7 +749,7 @@ mod tests {
                 self
             }
         }
-        let mut sim = Sim::new(1);
+        let mut sim: Sim = Sim::new(1);
         let s = sim.add_node("s", Box::new(Starter { starts: 0 }));
         sim.run_until(Ns::from_ms(5));
         sim.run_until(Ns::from_ms(10));
@@ -736,7 +758,7 @@ mod tests {
 
     #[test]
     fn node_ref_through_shared_borrow() {
-        // node_ref now takes &self: two concurrent shared reads compile.
+        // node_ref takes &self: two concurrent shared reads compile.
         let (mut sim, a) = ping_sim(Ns::from_ms(1), 64);
         sim.run();
         let sim_ref: &Sim = &sim;
@@ -762,7 +784,7 @@ mod tests {
                 self
             }
         }
-        let mut sim = Sim::new(1);
+        let mut sim: Sim = Sim::new(1);
         let f = sim.add_node("f", Box::new(FarFuture));
         sim.schedule_timer(f, Ns::from_ms(1), 0);
         sim.schedule_timer(f, Ns::MAX, 7);
@@ -799,7 +821,7 @@ mod tests {
                 self
             }
         }
-        let mut sim = Sim::new(1);
+        let mut sim: Sim = Sim::new(1);
         let pre = sim.register_counter("events.seen");
         sim.add_node("c", Box::new(CountBoth { id: None }));
         sim.run();
@@ -849,7 +871,7 @@ mod tests {
                 self
             }
         }
-        let mut sim = Sim::new(1);
+        let mut sim: Sim = Sim::new(1);
         let b = sim.add_node(
             "beacon",
             Box::new(Beacon {
@@ -905,7 +927,7 @@ mod tests {
             }
         }
         use crate::link::DownPolicy;
-        let mut sim = Sim::new(1);
+        let mut sim: Sim = Sim::new(1);
         let b = sim.add_node("burst", Box::new(Burst));
         let s = sim.add_node("sink", Box::new(Sink { got: Vec::new() }));
         sim.connect(
@@ -927,46 +949,5 @@ mod tests {
         assert_eq!(sim.link_stats(0, 0).stalled, 2);
         assert_eq!(sim.link_stats(0, 0).down_drops, 1);
         assert!(sim.link_up(0, 0));
-    }
-
-    #[test]
-    fn packet_pool_recycles_buffers() {
-        // A dropped send must return its buffer to the pool, and
-        // `Ctx::buffer` must hand it back out.
-        struct Dropper {
-            grabbed: Vec<usize>,
-        }
-        impl Node for Dropper {
-            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-                let buf = ctx.buffer(48);
-                self.grabbed.push(buf.capacity());
-                if token < 3 {
-                    ctx.send(0, buf); // drop_prob = 1.0 → recycled
-                    ctx.set_timer(Ns::from_ms(1), token + 1);
-                } else {
-                    ctx.recycle(buf);
-                }
-            }
-            fn as_any(&mut self) -> &mut dyn std::any::Any {
-                self
-            }
-            fn as_any_ref(&self) -> &dyn std::any::Any {
-                self
-            }
-        }
-        let mut sim = Sim::new(1);
-        let d = sim.add_node(
-            "d",
-            Box::new(Dropper {
-                grabbed: Vec::new(),
-            }),
-        );
-        let e = sim.add_node("e", Box::new(Echo));
-        sim.connect(d, e, LinkCfg::wan(Ns::from_ms(1)).with_drop_prob(1.0));
-        sim.schedule_timer(d, Ns::ZERO, 0);
-        sim.run();
-        assert_eq!(sim.node_ref::<Dropper>(d).grabbed.len(), 4);
-        assert_eq!(sim.total_fault_drops(), 3);
-        assert_eq!(sim.pool.len(), 1, "final recycle keeps one pooled buffer");
     }
 }

@@ -32,11 +32,31 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// Fowler–Noll–Vo 64-bit hash of a byte slice — the digest the packet
+/// log records per delivered packet, so golden tests can pin the exact
+/// wire image of a run without storing the bytes themselves.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A bounded trace log. Disabled by default: enabling costs allocations
 /// per event, so experiments that only need counters leave it off.
+///
+/// Besides node-emitted messages, the trace can record a **packet log**
+/// ([`Trace::enable_packet_log`]): one line per delivered packet with
+/// its wire length and [`fnv64`] digest. Packets are typed values in
+/// the engine (see [`crate::payload::Payload`]), so the digest is the
+/// one place the engine *lazily* encodes a payload — normal dispatch
+/// never materializes bytes.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     enabled: bool,
+    packet_log: bool,
     events: Vec<TraceEvent>,
     cap: usize,
 }
@@ -46,6 +66,7 @@ impl Trace {
     pub fn new() -> Self {
         Self {
             enabled: false,
+            packet_log: false,
             events: Vec::new(),
             cap: 1 << 20,
         }
@@ -64,6 +85,19 @@ impl Trace {
     /// Whether recording is on.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Also record one digest line per delivered packet (lazy payload
+    /// encode; implies the cost of materializing every packet's wire
+    /// image, so leave off for timing-sensitive runs).
+    pub fn enable_packet_log(&mut self) {
+        self.enabled = true;
+        self.packet_log = true;
+    }
+
+    /// Whether the per-packet digest log is on.
+    pub fn packet_log_enabled(&self) -> bool {
+        self.enabled && self.packet_log
     }
 
     /// Set the maximum number of retained events.
@@ -189,6 +223,23 @@ mod tests {
     fn order_assertion_fails() {
         let t = mk();
         t.assert_order(&["step2", "step1"]);
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        // Pinned: the packet log's digests must not drift between PRs.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
+    }
+
+    #[test]
+    fn packet_log_flag() {
+        let mut t = Trace::new();
+        assert!(!t.packet_log_enabled());
+        t.enable_packet_log();
+        assert!(t.is_enabled());
+        assert!(t.packet_log_enabled());
     }
 
     #[test]

@@ -28,13 +28,14 @@
 //!
 //! let mut updates = ScheduledUpdates::new();
 //! updates.push(Ns::from_ms(5), 42);
-//! let mut sim = Sim::new(1);
+//! let mut sim: Sim = Sim::new(1);
 //! let n = sim.add_node("cfg", Box::new(Configurable { limit: 0, updates }));
 //! sim.run_until(Ns::from_ms(10));
 //! assert_eq!(sim.node_ref::<Configurable>(n).limit, 42);
 //! ```
 
 use crate::node::Ctx;
+use crate::payload::Payload;
 use crate::time::Ns;
 
 /// A list of `(absolute time, payload)` updates delivered to the owning
@@ -65,7 +66,7 @@ impl<T> ScheduledUpdates<T> {
 
     /// Arm one timer per scheduled item (call from `on_start`, where
     /// `now` is zero and the delay equals the absolute time).
-    pub fn arm(&self, ctx: &mut Ctx<'_>) {
+    pub fn arm<P: Payload>(&self, ctx: &mut Ctx<'_, P>) {
         for (i, (at, _)) in self.items.iter().enumerate() {
             ctx.set_timer(*at, Self::TOKEN_BASE + i as u64);
         }

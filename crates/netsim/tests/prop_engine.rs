@@ -148,8 +148,7 @@ impl Node for MixEmitter {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         self.fired.push((ctx.now(), token));
         ctx.trace(format!("timer {token}"));
-        let buf = ctx.buffer(self.payload);
-        ctx.send(0, buf);
+        ctx.send(0, vec![0u8; self.payload]);
     }
     fn as_any(&mut self) -> &mut dyn std::any::Any {
         self
@@ -159,8 +158,7 @@ impl Node for MixEmitter {
     }
 }
 
-/// A sink that records and traces every arrival, then recycles the
-/// buffer (exercising the freelist on the receive path).
+/// A sink that records and traces every arrival.
 struct TracingSink {
     arrivals: Vec<(Ns, usize)>,
 }
@@ -168,7 +166,6 @@ impl Node for TracingSink {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: usize, bytes: Vec<u8>) {
         self.arrivals.push((ctx.now(), bytes.len()));
         ctx.trace(format!("rx {}", bytes.len()));
-        ctx.recycle(bytes);
     }
     fn as_any(&mut self) -> &mut dyn std::any::Any {
         self
