@@ -383,6 +383,30 @@ impl Message {
         })
     }
 
+    /// Exact length of [`Message::to_bytes`] without materializing it
+    /// (uncompressed names; paired with the emitter so typed packets can
+    /// account bytes without byte shuffling).
+    pub fn wire_len(&self) -> usize {
+        let mut n = 12;
+        for q in &self.questions {
+            n += q.name.wire_len() + 4;
+        }
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authority)
+            .chain(&self.additional)
+        {
+            n += r.name.wire_len() + 10;
+            n += match &r.rdata {
+                Rdata::A(_) => 4,
+                Rdata::Ns(ns) => ns.wire_len(),
+                Rdata::Other(bytes) => bytes.len(),
+            };
+        }
+        n
+    }
+
     /// Serialize to owned wire bytes (uncompressed names).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
@@ -602,6 +626,7 @@ mod tests {
     fn query_roundtrip() {
         let q = Message::query_a(0x1234, name("host.d.example"), true);
         let bytes = q.to_bytes();
+        assert_eq!(bytes.len(), q.wire_len());
         let parsed = Message::from_bytes(&bytes).unwrap();
         assert_eq!(parsed, q);
         assert!(!parsed.is_response);
@@ -619,6 +644,7 @@ mod tests {
             300,
         ));
         let bytes = r.to_bytes();
+        assert_eq!(bytes.len(), r.wire_len());
         let parsed = Message::from_bytes(&bytes).unwrap();
         assert_eq!(parsed, r);
         assert_eq!(

@@ -1,11 +1,16 @@
 //! `lispwire` — typed wire formats for the PCE-LISP reproduction.
 //!
-//! Every packet that crosses a simulated link is a real byte buffer; nodes
-//! parse and emit these formats at every hop, in the style of
+//! Every packet that crosses a simulated link is a typed [`packet::Packet`]
+//! value carried directly through the `netsim` event queue: byte accounting
+//! is computed from paired `wire_len` functions, and the real wire image is
+//! only materialized lazily ([`packet::Packet::encode`]) for traces, golden
+//! hashing and equivalence tests (DESIGN.md §9). The per-format byte codecs
+//! remain, in the style of
 //! [smoltcp](https://github.com/smoltcp-rs/smoltcp): a zero-copy typed view
 //! (`Packet<T: AsRef<[u8]>>`) giving field accessors over the raw buffer,
 //! plus a high-level representation (`Repr`) that can be parsed from and
-//! emitted into such a view.
+//! emitted into such a view — they implement `encode`/`decode` and pin the
+//! typed representation to the legacy byte path.
 //!
 //! Formats provided:
 //!
@@ -22,8 +27,11 @@
 //! * [`pcewire`] — the paper's step-6 encapsulation: a UDP payload on the
 //!   special port `P` carrying the original DNS reply plus an EID-to-RLOC
 //!   mapping record (Fig. 1 of the paper).
+//! * [`packet`] — the typed in-simulator packet ([`Packet`]) implementing
+//!   [`netsim::Payload`]: one variant per protocol stack, structural LISP
+//!   encapsulation, computed wire lengths.
 //!
-//! The crate is `#![forbid(unsafe_code)]` and has no dependencies.
+//! The crate is `#![forbid(unsafe_code)]`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -34,12 +42,14 @@ pub mod error;
 pub mod ipv4;
 pub mod lisp;
 pub mod lispctl;
+pub mod packet;
 pub mod pcewire;
 pub mod tcpseg;
 pub mod udp;
 
 pub use error::{WireError, WireResult};
 pub use ipv4::{IpProtocol, Ipv4Address, Ipv4Packet, Ipv4Repr};
+pub use packet::{ConsMsg, CtlMsg, Ipv4Header, Packet, PceMsg, UdpPorts};
 pub use udp::{UdpPacket, UdpRepr};
 
 /// Well-known simulated port numbers used throughout the reproduction.
@@ -58,4 +68,6 @@ pub mod ports {
     /// The IPC channel between a domain's DNS server and its PCE (the
     /// dashed line of Fig. 1, step 1).
     pub const PCE_IPC: u16 = 44344;
+    /// LISP-CONS overlay traffic among CARs/CDRs (draft-meyer-lisp-cons).
+    pub const CONS: u16 = 4343;
 }

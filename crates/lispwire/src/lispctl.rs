@@ -229,6 +229,11 @@ pub struct MapReply {
 }
 
 impl MapReply {
+    /// Exact length of [`MapReply::to_bytes`], computed.
+    pub fn wire_len(&self) -> usize {
+        12 + self.records.iter().map(|r| r.wire_len()).sum::<usize>()
+    }
+
     /// Serialize to owned bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out =
@@ -279,6 +284,11 @@ pub struct DbPush {
 }
 
 impl DbPush {
+    /// Exact length of [`DbPush::to_bytes`], computed.
+    pub fn wire_len(&self) -> usize {
+        12 + self.records.iter().map(|r| r.wire_len()).sum::<usize>()
+    }
+
     /// Serialize to owned bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();

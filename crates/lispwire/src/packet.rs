@@ -1,0 +1,787 @@
+//! The typed in-simulator packet representation (DESIGN.md §9).
+//!
+//! Every packet crossing a simulated link used to be a `Vec<u8>` built
+//! by the codecs in this crate and re-parsed at every hop. [`Packet`]
+//! replaces that with a typed value the engine moves through its event
+//! queue directly: one variant per protocol stack the reproduction
+//! uses, each carrying the outer [`Ipv4Header`], its UDP ports where
+//! applicable, and the *typed* message body. Byte accounting is
+//! **computed** ([`Packet::wire_len`], paired with every codec's
+//! emitter) and the wire image is only materialized **lazily**
+//! ([`Packet::encode`]) for traces, golden hashing and the equivalence
+//! property tests — never on the simulation hot path.
+//!
+//! [`Packet::decode`] is the legacy byte decoder: it reconstructs a
+//! typed packet from real wire bytes using the checked/checksum-verified
+//! parsers (`Ipv4Packet`, `UdpRepr::parse`, …), pinning the typed
+//! representation to the pre-refactor byte path.
+
+use crate::dnswire::Message;
+use crate::error::{WireError, WireResult};
+use crate::ipv4::{build_ipv4, IpProtocol, Ipv4Address, Ipv4Packet, Ipv4Repr};
+use crate::lisp::{encapsulate, LispPacket, LispRepr};
+use crate::lispctl::{self, DbPush, MapRecord, MapRequest, MapReply, RlocProbe};
+use crate::pcewire::{self, IpcQueryNotice, PceDnsMapping, PceFlowMsg, PceKind};
+use crate::ports;
+use crate::tcpseg::{build_tcp, TcpPacket, TcpRepr};
+use crate::udp::{build_udp, UdpPacket, UdpRepr};
+
+/// The typed outer IPv4 header of a [`Packet`].
+///
+/// Checksums are not stored: they are an artefact of the wire image,
+/// recomputed by [`Packet::encode`]. Link fault injection instead
+/// records the flipped bit in `corrupt`, which receivers treat exactly
+/// like a failed checksum (and which `encode` applies literally, so the
+/// wire image of a corrupted packet is the corrupted bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Address,
+    /// Destination address.
+    pub dst: Ipv4Address,
+    /// Time to live (decremented by routers; see `inet::stack::forward_hop`).
+    pub ttl: u8,
+    /// Link corruption marker: `(octet index, bit)` of the wire image.
+    pub corrupt: Option<(usize, u8)>,
+}
+
+impl Ipv4Header {
+    /// A header with the default TTL and no corruption.
+    pub fn new(src: Ipv4Address, dst: Ipv4Address) -> Self {
+        Self {
+            src,
+            dst,
+            ttl: Ipv4Repr::DEFAULT_TTL,
+            corrupt: None,
+        }
+    }
+
+    /// Builder-style TTL override.
+    pub fn with_ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+}
+
+/// Source and destination UDP ports of a UDP-based [`Packet`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpPorts {
+    /// Source port.
+    pub src: u16,
+    /// Destination port.
+    pub dst: u16,
+}
+
+impl UdpPorts {
+    /// Construct from `(src, dst)`.
+    pub fn new(src: u16, dst: u16) -> Self {
+        Self { src, dst }
+    }
+
+    /// Both ports equal (the convention of every control protocol here).
+    pub fn both(port: u16) -> Self {
+        Self {
+            src: port,
+            dst: port,
+        }
+    }
+}
+
+/// A typed LISP control message (UDP port 4342, or the CONS overlay
+/// port 4343 for [`CtlMsg::Cons`] wrappers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtlMsg {
+    /// A Map-Request.
+    Request(MapRequest),
+    /// A Map-Reply.
+    Reply(MapReply),
+    /// A NERD-style database push chunk.
+    DbPush(DbPush),
+    /// An RLOC reachability probe or acknowledgement.
+    Probe(RlocProbe),
+    /// A CONS overlay wrapper retracing/record-routing a request/reply.
+    Cons(ConsMsg),
+}
+
+impl CtlMsg {
+    /// Exact length of [`CtlMsg::to_bytes`], computed.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            CtlMsg::Request(_) => MapRequest::WIRE_LEN,
+            CtlMsg::Reply(r) => r.wire_len(),
+            CtlMsg::DbPush(p) => p.wire_len(),
+            CtlMsg::Probe(_) => RlocProbe::WIRE_LEN,
+            CtlMsg::Cons(c) => c.wire_len(),
+        }
+    }
+
+    /// Serialize with the legacy codecs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            CtlMsg::Request(r) => r.to_bytes(),
+            CtlMsg::Reply(r) => r.to_bytes(),
+            CtlMsg::DbPush(p) => p.to_bytes(),
+            CtlMsg::Probe(p) => p.to_bytes(),
+            CtlMsg::Cons(c) => c.to_bytes(),
+        }
+    }
+
+    /// Parse with the legacy codecs, classifying by the type byte.
+    pub fn from_bytes(buf: &[u8]) -> WireResult<Self> {
+        match lispctl::message_type(buf)? {
+            lispctl::TYPE_MAP_REQUEST => Ok(CtlMsg::Request(MapRequest::from_bytes(buf)?)),
+            lispctl::TYPE_MAP_REPLY => Ok(CtlMsg::Reply(MapReply::from_bytes(buf)?)),
+            lispctl::TYPE_DB_PUSH => Ok(CtlMsg::DbPush(DbPush::from_bytes(buf)?)),
+            lispctl::TYPE_RLOC_PROBE | lispctl::TYPE_RLOC_PROBE_ACK => {
+                Ok(CtlMsg::Probe(RlocProbe::from_bytes(buf)?))
+            }
+            CONS_MAGIC => Ok(CtlMsg::Cons(ConsMsg::from_bytes(buf)?)),
+            _ => Err(WireError::UnknownType),
+        }
+    }
+}
+
+/// Magic first byte of a CONS overlay wrapper.
+pub const CONS_MAGIC: u8 = 0xC5;
+
+/// The LISP-CONS overlay wrapper (draft-meyer-lisp-cons, emulated):
+/// carries a Map-Request up/down the CAR/CDR hierarchy with an explicit
+/// record-route so the reply can retrace the path.
+///
+/// Layout: `u8 0xC5 | u8 is_reply | u32 orig_itr | u8 n | n×u32 via |
+/// u16 inner_len | inner (a Map-Request or Map-Reply)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsMsg {
+    /// True for replies retracing the path, false for requests going up.
+    pub is_reply: bool,
+    /// The original requesting ITR (final reply target).
+    pub orig_itr: Ipv4Address,
+    /// Record-route: addresses to retrace, most recent last.
+    pub via: Vec<Ipv4Address>,
+    /// The encapsulated control message (Map-Request or Map-Reply).
+    pub inner: Box<CtlMsg>,
+}
+
+impl ConsMsg {
+    /// Exact length of [`ConsMsg::to_bytes`], computed.
+    pub fn wire_len(&self) -> usize {
+        9 + self.via.len() * 4 + self.inner.wire_len()
+    }
+
+    /// Serialize.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let inner = self.inner.to_bytes();
+        let mut out = Vec::with_capacity(9 + self.via.len() * 4 + inner.len());
+        out.push(CONS_MAGIC);
+        out.push(u8::from(self.is_reply));
+        out.extend_from_slice(&self.orig_itr.0);
+        out.push(self.via.len() as u8);
+        for v in &self.via {
+            out.extend_from_slice(&v.0);
+        }
+        out.extend_from_slice(&(inner.len() as u16).to_be_bytes());
+        out.extend_from_slice(&inner);
+        out
+    }
+
+    /// Parse.
+    pub fn from_bytes(buf: &[u8]) -> WireResult<Self> {
+        if buf.len() < 9 {
+            return Err(WireError::Truncated);
+        }
+        if buf[0] != CONS_MAGIC {
+            return Err(WireError::UnknownType);
+        }
+        let is_reply = buf[1] != 0;
+        let orig_itr = Ipv4Address(buf[2..6].try_into().unwrap());
+        let n = buf[6] as usize;
+        let mut pos = 7;
+        let mut via = Vec::with_capacity(n);
+        for _ in 0..n {
+            let b = buf.get(pos..pos + 4).ok_or(WireError::Truncated)?;
+            via.push(Ipv4Address(b.try_into().unwrap()));
+            pos += 4;
+        }
+        let lb = buf.get(pos..pos + 2).ok_or(WireError::Truncated)?;
+        let len = u16::from_be_bytes([lb[0], lb[1]]) as usize;
+        pos += 2;
+        let inner_bytes = buf.get(pos..pos + len).ok_or(WireError::Truncated)?;
+        let inner = Box::new(CtlMsg::from_bytes(inner_bytes)?);
+        Ok(Self {
+            is_reply,
+            orig_itr,
+            via,
+            inner,
+        })
+    }
+}
+
+/// A typed PCE control-plane message (ports `PCE_MAP`, `ETR_SYNC`,
+/// `PCE_IPC`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PceMsg {
+    /// Step 6: the encapsulated DNS reply plus the forward mapping. The
+    /// original DNS-reply *packet* is carried as a typed value and
+    /// forwarded verbatim in step 7a.
+    DnsMapping {
+        /// Address of the originating `PCE_D`.
+        pce_d: Ipv4Address,
+        /// The precomputed mapping for the destination EID.
+        mapping: MapRecord,
+        /// The original DNS reply packet, forwarded unmodified (7a).
+        dns_reply: Box<Packet>,
+    },
+    /// A push / withdraw / reverse-sync flow message.
+    Flow(PceFlowMsg),
+    /// The DNS→PCE IPC notice (Fig. 1 step 1).
+    Ipc(IpcQueryNotice),
+}
+
+impl PceMsg {
+    /// Exact length of [`PceMsg::to_bytes`], computed.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            PceMsg::DnsMapping {
+                mapping, dns_reply, ..
+            } => PceDnsMapping::wire_len_with(mapping, dns_reply.wire_len()),
+            PceMsg::Flow(_) => PceFlowMsg::WIRE_LEN,
+            PceMsg::Ipc(n) => n.wire_len(),
+        }
+    }
+
+    /// Serialize with the legacy codecs (the DNS reply is encoded to
+    /// its full wire image first).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            PceMsg::DnsMapping {
+                pce_d,
+                mapping,
+                dns_reply,
+            } => PceDnsMapping {
+                pce_d: *pce_d,
+                mapping: mapping.clone(),
+                dns_reply: dns_reply.encode(),
+            }
+            .to_bytes(),
+            PceMsg::Flow(f) => f.to_bytes(),
+            PceMsg::Ipc(n) => n.to_bytes(),
+        }
+    }
+
+    /// Parse with the legacy codecs, classifying by the header tag.
+    pub fn from_bytes(buf: &[u8]) -> WireResult<Self> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        if buf[3] == pcewire::IPC_TAG {
+            return Ok(PceMsg::Ipc(IpcQueryNotice::from_bytes(buf)?));
+        }
+        match pcewire::peek_kind(buf)? {
+            PceKind::DnsMapping => {
+                let m = PceDnsMapping::from_bytes(buf)?;
+                let inner = Packet::decode(&m.dns_reply)?;
+                Ok(PceMsg::DnsMapping {
+                    pce_d: m.pce_d,
+                    mapping: m.mapping,
+                    dns_reply: Box::new(inner),
+                })
+            }
+            _ => Ok(PceMsg::Flow(PceFlowMsg::from_bytes(buf)?)),
+        }
+    }
+}
+
+/// A typed simulated packet: IPv4 header plus one protocol stack.
+///
+/// Variants mirror what the reproduction actually puts on the wire;
+/// `wire_len` is exact byte accounting against the legacy builders,
+/// pinned by the `prop_packet` equivalence tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// An opaque-payload UDP datagram (application data).
+    Udp {
+        /// Outer IPv4 header.
+        ip: Ipv4Header,
+        /// UDP ports.
+        ports: UdpPorts,
+        /// Application payload bytes.
+        payload: Vec<u8>,
+    },
+    /// A TCP segment.
+    Tcp {
+        /// Outer IPv4 header.
+        ip: Ipv4Header,
+        /// Segment header.
+        seg: TcpRepr,
+        /// Segment payload bytes.
+        payload: Vec<u8>,
+    },
+    /// A LISP-encapsulated data packet (RLOC → RLOC tunnel carrying an
+    /// inner EID → EID packet) — the encapsulation is *structural*: the
+    /// inner packet is a boxed [`Packet`], never serialized in-sim.
+    LispData {
+        /// Outer IPv4 header (RLOC addresses).
+        ip: Ipv4Header,
+        /// Outer UDP ports (4341/4341).
+        ports: UdpPorts,
+        /// The LISP data header.
+        lisp: LispRepr,
+        /// The encapsulated packet.
+        inner: Box<Packet>,
+    },
+    /// A LISP control message.
+    LispCtl {
+        /// Outer IPv4 header.
+        ip: Ipv4Header,
+        /// UDP ports (4342/4342, or 4343/4343 for CONS wrappers).
+        ports: UdpPorts,
+        /// The control message.
+        msg: CtlMsg,
+    },
+    /// A PCE control-plane message.
+    Pce {
+        /// Outer IPv4 header.
+        ip: Ipv4Header,
+        /// UDP ports (`PCE_MAP`, `ETR_SYNC` or `PCE_IPC`).
+        ports: UdpPorts,
+        /// The PCE message.
+        msg: PceMsg,
+    },
+    /// A DNS message.
+    Dns {
+        /// Outer IPv4 header.
+        ip: Ipv4Header,
+        /// UDP ports (port 53 on the server side).
+        ports: UdpPorts,
+        /// The DNS message.
+        msg: Message,
+    },
+}
+
+impl Packet {
+    /// An opaque UDP data packet with the default TTL.
+    pub fn udp(
+        src: Ipv4Address,
+        src_port: u16,
+        dst: Ipv4Address,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Self {
+        Packet::Udp {
+            ip: Ipv4Header::new(src, dst),
+            ports: UdpPorts::new(src_port, dst_port),
+            payload,
+        }
+    }
+
+    /// A TCP segment with the default TTL.
+    pub fn tcp(src: Ipv4Address, dst: Ipv4Address, seg: TcpRepr, payload: Vec<u8>) -> Self {
+        Packet::Tcp {
+            ip: Ipv4Header::new(src, dst),
+            seg,
+            payload,
+        }
+    }
+
+    /// A DNS message with the default TTL.
+    pub fn dns(
+        src: Ipv4Address,
+        src_port: u16,
+        dst: Ipv4Address,
+        dst_port: u16,
+        msg: Message,
+    ) -> Self {
+        Packet::Dns {
+            ip: Ipv4Header::new(src, dst),
+            ports: UdpPorts::new(src_port, dst_port),
+            msg,
+        }
+    }
+
+    /// A LISP control message with the default TTL.
+    pub fn ctl(
+        src: Ipv4Address,
+        src_port: u16,
+        dst: Ipv4Address,
+        dst_port: u16,
+        msg: CtlMsg,
+    ) -> Self {
+        Packet::LispCtl {
+            ip: Ipv4Header::new(src, dst),
+            ports: UdpPorts::new(src_port, dst_port),
+            msg,
+        }
+    }
+
+    /// A PCE message with the default TTL.
+    pub fn pce(
+        src: Ipv4Address,
+        src_port: u16,
+        dst: Ipv4Address,
+        dst_port: u16,
+        msg: PceMsg,
+    ) -> Self {
+        Packet::Pce {
+            ip: Ipv4Header::new(src, dst),
+            ports: UdpPorts::new(src_port, dst_port),
+            msg,
+        }
+    }
+
+    /// LISP-encapsulate `inner` between `outer_src` and `outer_dst`
+    /// (ports 4341/4341, TTL 64 — the xTR tunnel convention).
+    pub fn lisp_data(
+        outer_src: Ipv4Address,
+        outer_dst: Ipv4Address,
+        lisp: LispRepr,
+        inner: Packet,
+    ) -> Self {
+        Packet::LispData {
+            ip: Ipv4Header::new(outer_src, outer_dst),
+            ports: UdpPorts::both(ports::LISP_DATA),
+            lisp,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// The outer IPv4 header.
+    pub fn ip(&self) -> &Ipv4Header {
+        match self {
+            Packet::Udp { ip, .. }
+            | Packet::Tcp { ip, .. }
+            | Packet::LispData { ip, .. }
+            | Packet::LispCtl { ip, .. }
+            | Packet::Pce { ip, .. }
+            | Packet::Dns { ip, .. } => ip,
+        }
+    }
+
+    /// Mutable access to the outer IPv4 header.
+    pub fn ip_mut(&mut self) -> &mut Ipv4Header {
+        match self {
+            Packet::Udp { ip, .. }
+            | Packet::Tcp { ip, .. }
+            | Packet::LispData { ip, .. }
+            | Packet::LispCtl { ip, .. }
+            | Packet::Pce { ip, .. }
+            | Packet::Dns { ip, .. } => ip,
+        }
+    }
+
+    /// The outer source address.
+    pub fn src(&self) -> Ipv4Address {
+        self.ip().src
+    }
+
+    /// The outer destination address.
+    pub fn dst(&self) -> Ipv4Address {
+        self.ip().dst
+    }
+
+    /// The UDP ports, for every UDP-based variant (`None` for TCP).
+    pub fn udp_ports(&self) -> Option<UdpPorts> {
+        match self {
+            Packet::Udp { ports, .. }
+            | Packet::LispData { ports, .. }
+            | Packet::LispCtl { ports, .. }
+            | Packet::Pce { ports, .. }
+            | Packet::Dns { ports, .. } => Some(*ports),
+            Packet::Tcp { .. } => None,
+        }
+    }
+
+    /// True if link fault injection corrupted this packet anywhere —
+    /// endpoints treat this exactly like a failed end-to-end checksum.
+    pub fn is_corrupt(&self) -> bool {
+        self.ip().corrupt.is_some()
+    }
+
+    /// True if the corruption hit the outer IPv4 header (first 20
+    /// octets) — the region a transit router's header checksum covers,
+    /// so routers drop such packets as malformed.
+    pub fn header_corrupt(&self) -> bool {
+        matches!(self.ip().corrupt, Some((idx, _)) if idx < crate::ipv4::HEADER_LEN)
+    }
+
+    /// Exact number of bytes this packet occupies on the wire — equal
+    /// to `encode().len()` at all times (pinned by property tests), but
+    /// computed without materializing anything.
+    pub fn wire_len(&self) -> usize {
+        const IP_UDP: usize = crate::ipv4::HEADER_LEN + crate::udp::HEADER_LEN;
+        match self {
+            Packet::Udp { payload, .. } => IP_UDP + payload.len(),
+            Packet::Tcp { payload, .. } => {
+                crate::ipv4::HEADER_LEN + crate::tcpseg::HEADER_LEN + payload.len()
+            }
+            Packet::LispData { inner, .. } => IP_UDP + crate::lisp::HEADER_LEN + inner.wire_len(),
+            Packet::LispCtl { msg, .. } => IP_UDP + msg.wire_len(),
+            Packet::Pce { msg, .. } => IP_UDP + msg.wire_len(),
+            Packet::Dns { msg, .. } => IP_UDP + msg.wire_len(),
+        }
+    }
+
+    /// Materialize the exact wire image this packet would have had on
+    /// the legacy byte path: real headers, real checksums, uncompressed
+    /// names — with any corruption marker applied literally. Lazy: used
+    /// by traces, golden hashing, and equivalence tests only.
+    pub fn encode(&self) -> Vec<u8> {
+        let ip = *self.ip();
+        let mut bytes = match self {
+            Packet::Udp { ports, payload, .. } => emit_udp_ip(&ip, *ports, payload),
+            Packet::Tcp { seg, payload, .. } => {
+                let tcp_bytes = build_tcp(seg, ip.src, ip.dst, payload);
+                let repr = Ipv4Repr {
+                    src: ip.src,
+                    dst: ip.dst,
+                    protocol: IpProtocol::Tcp,
+                    ttl: ip.ttl,
+                    payload_len: tcp_bytes.len(),
+                };
+                build_ipv4(&repr, &tcp_bytes)
+            }
+            Packet::LispData {
+                ports, lisp, inner, ..
+            } => {
+                let inner_bytes = inner.encode();
+                let lisp_payload = encapsulate(lisp, &inner_bytes);
+                emit_udp_ip(&ip, *ports, &lisp_payload)
+            }
+            Packet::LispCtl { ports, msg, .. } => emit_udp_ip(&ip, *ports, &msg.to_bytes()),
+            Packet::Pce { ports, msg, .. } => emit_udp_ip(&ip, *ports, &msg.to_bytes()),
+            Packet::Dns { ports, msg, .. } => emit_udp_ip(&ip, *ports, &msg.to_bytes()),
+        };
+        if let Some((idx, bit)) = ip.corrupt {
+            if let Some(b) = bytes.get_mut(idx) {
+                *b ^= 1 << (bit & 7);
+            }
+        }
+        bytes
+    }
+
+    /// Decode a typed packet from real wire bytes with the **legacy**
+    /// checked parsers (checksums verified at every layer), classifying
+    /// UDP payloads by the well-known ports exactly as the
+    /// pre-refactor nodes did. Inverse of [`Packet::encode`] for
+    /// uncorrupted packets.
+    pub fn decode(bytes: &[u8]) -> WireResult<Packet> {
+        let ipp = Ipv4Packet::new_checked(bytes)?;
+        let repr = Ipv4Repr::parse(&ipp)?;
+        let ip = Ipv4Header {
+            src: repr.src,
+            dst: repr.dst,
+            ttl: repr.ttl,
+            corrupt: None,
+        };
+        let payload = ipp.payload();
+        match repr.protocol {
+            IpProtocol::Tcp => {
+                let tcp = TcpPacket::new_checked(payload)?;
+                let seg = TcpRepr::parse(&tcp, repr.src, repr.dst)?;
+                Ok(Packet::Tcp {
+                    ip,
+                    seg,
+                    payload: tcp.payload().to_vec(),
+                })
+            }
+            IpProtocol::Udp => {
+                let up = UdpPacket::new_checked(payload)?;
+                let urepr = UdpRepr::parse(&up, repr.src, repr.dst)?;
+                let ports = UdpPorts::new(urepr.src_port, urepr.dst_port);
+                let body = up.payload();
+                let is = |p: u16| ports.src == p || ports.dst == p;
+                if is(ports::LISP_DATA) {
+                    let lp = LispPacket::new_checked(body)?;
+                    let lisp = LispRepr::parse(&lp)?;
+                    let inner = Packet::decode(lp.payload())?;
+                    Ok(Packet::LispData {
+                        ip,
+                        ports,
+                        lisp,
+                        inner: Box::new(inner),
+                    })
+                } else if is(ports::LISP_CONTROL) || is(ports::CONS) {
+                    Ok(Packet::LispCtl {
+                        ip,
+                        ports,
+                        msg: CtlMsg::from_bytes(body)?,
+                    })
+                } else if is(ports::PCE_MAP) || is(ports::ETR_SYNC) || is(ports::PCE_IPC) {
+                    Ok(Packet::Pce {
+                        ip,
+                        ports,
+                        msg: PceMsg::from_bytes(body)?,
+                    })
+                } else if is(ports::DNS) {
+                    Ok(Packet::Dns {
+                        ip,
+                        ports,
+                        msg: Message::from_bytes(body)?,
+                    })
+                } else {
+                    Ok(Packet::Udp {
+                        ip,
+                        ports,
+                        payload: body.to_vec(),
+                    })
+                }
+            }
+            _ => Err(WireError::UnknownType),
+        }
+    }
+}
+
+/// Build the full `IPv4(UDP(body))` wire image for a header/ports pair
+/// (bit-identical to the legacy `build_udp_ip` helper).
+fn emit_udp_ip(ip: &Ipv4Header, ports: UdpPorts, body: &[u8]) -> Vec<u8> {
+    let udp_bytes = build_udp(
+        &UdpRepr {
+            src_port: ports.src,
+            dst_port: ports.dst,
+        },
+        ip.src,
+        ip.dst,
+        body,
+    );
+    let repr = Ipv4Repr {
+        src: ip.src,
+        dst: ip.dst,
+        protocol: IpProtocol::Udp,
+        ttl: ip.ttl,
+        payload_len: udp_bytes.len(),
+    };
+    build_ipv4(&repr, &udp_bytes)
+}
+
+impl netsim::payload::Payload for Packet {
+    fn wire_len(&self) -> usize {
+        Packet::wire_len(self)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        Packet::encode(self)
+    }
+
+    fn corrupt(&mut self, idx: usize, bit: u8) {
+        let header = self.ip_mut();
+        if header.corrupt.is_none() {
+            header.corrupt = Some((idx, bit & 7));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lispctl::Locator;
+    use netsim::payload::Payload;
+
+    fn a(x: u8, y: u8, z: u8, w: u8) -> Ipv4Address {
+        Ipv4Address::new(x, y, z, w)
+    }
+
+    fn sample_request() -> MapRequest {
+        MapRequest {
+            nonce: 0xfeed_beef,
+            source_eid: a(100, 0, 0, 5),
+            target_eid: a(101, 0, 0, 7),
+            itr_rloc: a(10, 0, 0, 1),
+            hop_count: 16,
+        }
+    }
+
+    #[test]
+    fn udp_roundtrip_through_legacy_decoder() {
+        let p = Packet::udp(a(100, 0, 0, 5), 7000, a(101, 0, 0, 7), 7001, vec![9; 32]);
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), p.wire_len());
+        assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn lisp_data_is_structural_encapsulation() {
+        let inner = Packet::udp(a(100, 0, 0, 5), 7000, a(101, 0, 0, 7), 7001, vec![1; 16]);
+        let inner_len = inner.wire_len();
+        let p = Packet::lisp_data(
+            a(10, 0, 0, 1),
+            a(12, 0, 0, 1),
+            LispRepr::with_nonce(0x42, 2),
+            inner,
+        );
+        assert_eq!(p.wire_len(), 36 + inner_len);
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), p.wire_len());
+        assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn ctl_and_cons_roundtrip() {
+        let req = CtlMsg::Request(sample_request());
+        let cons = CtlMsg::Cons(ConsMsg {
+            is_reply: false,
+            orig_itr: a(10, 0, 0, 1),
+            via: vec![a(9, 0, 0, 1), a(9, 0, 0, 2)],
+            inner: Box::new(req.clone()),
+        });
+        for (msg, port) in [(req, ports::LISP_CONTROL), (cons, ports::CONS)] {
+            let p = Packet::ctl(a(10, 0, 0, 1), port, a(8, 0, 0, 1), port, msg);
+            let bytes = p.encode();
+            assert_eq!(bytes.len(), p.wire_len());
+            assert_eq!(Packet::decode(&bytes).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn pce_dns_mapping_carries_inner_packet() {
+        let reply = Packet::dns(
+            a(12, 0, 0, 53),
+            ports::DNS,
+            a(10, 0, 0, 53),
+            32853,
+            Message::query_a(7, crate::dnswire::Name::parse_str("host.d.example").unwrap(), false),
+        );
+        let msg = PceMsg::DnsMapping {
+            pce_d: a(12, 0, 0, 200),
+            mapping: MapRecord {
+                eid_prefix: a(101, 0, 0, 7),
+                prefix_len: 32,
+                ttl_minutes: 60,
+                locators: vec![Locator::new(a(12, 0, 0, 1), 1, 100)],
+            },
+            dns_reply: Box::new(reply),
+        };
+        let p = Packet::pce(
+            a(12, 0, 0, 200),
+            ports::PCE_MAP,
+            a(10, 0, 0, 53),
+            ports::PCE_MAP,
+            msg,
+        );
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), p.wire_len());
+        assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn corruption_marks_and_flips_in_encode() {
+        let mut p = Packet::udp(a(1, 1, 1, 1), 1, a(2, 2, 2, 2), 2, vec![0; 8]);
+        let clean = p.encode();
+        Payload::corrupt(&mut p, 25, 3);
+        assert!(p.is_corrupt());
+        assert!(!p.header_corrupt());
+        let dirty = p.encode();
+        assert_eq!(clean.len(), dirty.len());
+        assert_eq!(clean[25] ^ (1 << 3), dirty[25]);
+        // A second corruption keeps the first marker (one bit max).
+        Payload::corrupt(&mut p, 0, 0);
+        assert_eq!(p.ip().corrupt, Some((25, 3)));
+        // Header-region flips are what routers drop on.
+        let mut q = Packet::udp(a(1, 1, 1, 1), 1, a(2, 2, 2, 2), 2, vec![0; 8]);
+        Payload::corrupt(&mut q, 12, 0);
+        assert!(q.header_corrupt());
+    }
+
+    #[test]
+    fn non_ip_rejected_by_decoder() {
+        assert!(Packet::decode(&[0u8; 6]).is_err());
+    }
+}

@@ -80,6 +80,13 @@ pub struct PceDnsMapping {
 }
 
 impl PceDnsMapping {
+    /// Exact length of [`PceDnsMapping::to_bytes`] given the DNS-reply
+    /// byte count, computed (typed packets carry the reply as a packet
+    /// value and account its length without materializing it).
+    pub fn wire_len_with(mapping: &MapRecord, dns_reply_len: usize) -> usize {
+        8 + mapping.wire_len() + 2 + dns_reply_len
+    }
+
     /// Serialize to owned bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(8 + self.mapping.wire_len() + 2 + self.dns_reply.len());
@@ -176,6 +183,9 @@ pub struct PceFlowMsg {
 }
 
 impl PceFlowMsg {
+    /// Wire length of any flow message (fixed-size body).
+    pub const WIRE_LEN: usize = 4 + FlowMapping::WIRE_LEN;
+
     /// Serialize to owned bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(4 + FlowMapping::WIRE_LEN);
@@ -219,9 +229,16 @@ pub struct IpcQueryNotice {
     pub qname: String,
 }
 
-const IPC_TAG: u8 = 0xF0;
+/// The header tag byte identifying an [`IpcQueryNotice`] (vs the
+/// [`PceKind`] codes of the other PCE messages).
+pub const IPC_TAG: u8 = 0xF0;
 
 impl IpcQueryNotice {
+    /// Exact length of [`IpcQueryNotice::to_bytes`], computed.
+    pub fn wire_len(&self) -> usize {
+        9 + self.qname.len().min(255)
+    }
+
     /// Serialize.
     pub fn to_bytes(&self) -> Vec<u8> {
         let name = self.qname.as_bytes();
