@@ -7,9 +7,10 @@
 //! drops or queues packets during mapping resolution). Every timing the
 //! equations mention is recorded per flow.
 
-use inet::stack::{IpStack, Parsed};
+use inet::stack::IpStack;
 use inet::tcp::{TcpEvent, TcpMachine};
 use lispwire::dnswire::{Message, Name};
+use lispwire::packet::Packet;
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
 use std::any::Any;
@@ -150,7 +151,7 @@ impl TrafficHost {
         token(i, KIND_START, 0)
     }
 
-    fn send_data(&mut self, ctx: &mut Ctx<'_>, flow: usize, seq: u32) {
+    fn send_data(&mut self, ctx: &mut Ctx<'_, Packet>, flow: usize, seq: u32) {
         let Some(dest) = self.records[flow].dest else {
             return;
         };
@@ -175,10 +176,9 @@ impl TrafficHost {
                 return;
             };
             let seg = m.data_segment(size);
-            self.stack.tcp(dest, &seg, &payload)
+            self.stack.tcp(dest, &seg, payload)
         } else {
-            self.stack
-                .udp(self.port_of_flow[flow], dest, 7001, &payload)
+            self.stack.udp(self.port_of_flow[flow], dest, 7001, payload)
         };
         ctx.send(0, pkt);
         self.records[flow].data_sent += 1;
@@ -188,8 +188,8 @@ impl TrafficHost {
     }
 }
 
-impl Node for TrafficHost {
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+impl Node<Packet> for TrafficHost {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, t: u64) {
         let (flow, kind, seq) = untoken(t);
         if flow >= self.flows.len() {
             return;
@@ -199,12 +199,9 @@ impl Node for TrafficHost {
                 let qname = self.flows[flow].qname.clone();
                 self.records[flow].t_query = Some(ctx.now());
                 let q = Message::query_a(flow as u16, qname.clone(), true);
-                let pkt = self.stack.udp(
-                    self.port_of_flow[flow],
-                    self.resolver,
-                    ports::DNS,
-                    &q.to_bytes(),
-                );
+                let pkt = self
+                    .stack
+                    .dns(self.port_of_flow[flow], self.resolver, ports::DNS, q);
                 ctx.trace(format!(
                     "E_S {} resolves {} (flow {})",
                     self.stack.addr, qname, flow
@@ -216,23 +213,15 @@ impl Node for TrafficHost {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        match IpStack::parse(&bytes) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        match pkt {
             // DNS answer.
-            Ok(Parsed::Udp {
-                src_port,
-                dst_port,
-                payload,
-                ..
-            }) if src_port == ports::DNS => {
-                let Ok(msg) = Message::from_bytes(&payload) else {
-                    return;
-                };
+            Packet::Dns { ports: p, msg, .. } if p.src == ports::DNS => {
                 if !msg.is_response {
                     return;
                 }
                 let flow = msg.id as usize;
-                if flow >= self.flows.len() || dst_port != self.port_of_flow[flow] {
+                if flow >= self.flows.len() || p.dst != self.port_of_flow[flow] {
                     return;
                 }
                 self.records[flow].t_answer = Some(ctx.now());
@@ -250,7 +239,7 @@ impl Node for TrafficHost {
                             TcpMachine::new(self.port_of_flow[flow], 7001, 1000 + flow as u32);
                         let syn = m.connect(ctx.now());
                         self.tcp.insert(flow, m);
-                        let pkt = self.stack.tcp(dest, &syn, &[]);
+                        let pkt = self.stack.tcp(dest, &syn, vec![]);
                         ctx.trace(format!(
                             "E_S {} SYN to {} (flow {})",
                             self.stack.addr, dest, flow
@@ -264,9 +253,10 @@ impl Node for TrafficHost {
                 }
             }
             // TCP segment.
-            Ok(Parsed::Tcp {
-                src, seg, payload, ..
-            }) => {
+            Packet::Tcp {
+                ip, seg, payload, ..
+            } => {
+                let src = ip.src;
                 let flow = self.port_of_flow.iter().position(|&p| p == seg.dst_port);
                 let Some(flow) = flow else { return };
                 let Some(m) = self.tcp.get_mut(&flow) else {
@@ -279,13 +269,13 @@ impl Node for TrafficHost {
                             "E_S {} established flow {} ({} -> {})",
                             self.stack.addr, flow, self.stack.addr, src
                         ));
-                        let pkt = self.stack.tcp(src, &ack, &[]);
+                        let pkt = self.stack.tcp(src, &ack, vec![]);
                         ctx.send(0, pkt);
                         // Begin the data phase.
                         ctx.set_timer(Ns::ZERO, token(flow, KIND_DATA, 0));
                     }
                     TcpEvent::Send(seg_out) => {
-                        let pkt = self.stack.tcp(src, &seg_out, &[]);
+                        let pkt = self.stack.tcp(src, &seg_out, vec![]);
                         ctx.send(0, pkt);
                     }
                     TcpEvent::Established | TcpEvent::None => {}
@@ -360,33 +350,27 @@ impl ServerHost {
     }
 }
 
-impl Node for ServerHost {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        match IpStack::parse(&bytes) {
-            Ok(Parsed::Udp {
-                src,
-                dst,
-                src_port,
-                dst_port,
+impl Node<Packet> for ServerHost {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        match pkt {
+            Packet::Udp {
+                ip,
+                ports: p,
                 payload,
-            }) if dst_port == 7001 => {
+            } if p.dst == 7001 => {
                 let _ = &self.stack; // identity only; replies use the addressed dst
+                let (src, dst) = (ip.src, ip.dst);
                 *self.udp_received.entry(src).or_insert(0) += 1;
                 self.first_udp_at.entry(src).or_insert_with(|| ctx.now());
                 self.udp_arrivals.push(ctx.now());
                 self.ctr_udp.add(ctx, "server.udp_received", 1);
                 if self.echo_udp {
-                    let reply = IpStack::new(dst).udp(dst_port, src, src_port, &payload);
+                    let reply = IpStack::new(dst).udp(p.dst, src, p.src, payload);
                     ctx.send(0, reply);
                 }
             }
-            Ok(Parsed::Tcp {
-                src,
-                dst,
-                seg,
-                payload,
-                ..
-            }) => {
+            Packet::Tcp { ip, seg, payload } => {
+                let (src, dst) = (ip.src, ip.dst);
                 // The server answers as whichever of its EIDs was
                 // addressed (multi-address host), so checksums and the
                 // client's flow demux line up.
@@ -402,7 +386,7 @@ impl Node for ServerHost {
                 }
                 match m.on_segment(ctx.now(), &seg, payload.len()) {
                     TcpEvent::Send(out) => {
-                        let pkt = reply_stack.tcp(src, &out, &[]);
+                        let pkt = reply_stack.tcp(src, &out, vec![]);
                         ctx.send(0, pkt);
                     }
                     TcpEvent::Established => {
@@ -411,7 +395,7 @@ impl Node for ServerHost {
                     }
                     TcpEvent::SendAndEstablish(out) => {
                         self.established.push((src, ctx.now()));
-                        let pkt = reply_stack.tcp(src, &out, &[]);
+                        let pkt = reply_stack.tcp(src, &out, vec![]);
                         ctx.send(0, pkt);
                     }
                     TcpEvent::None => {}
@@ -444,26 +428,21 @@ mod tests {
         stack: IpStack,
         answer: Ipv4Address,
         delay: Ns,
-        queue: std::collections::VecDeque<Vec<u8>>,
+        queue: std::collections::VecDeque<Packet>,
     }
-    impl Node for StubDns {
-        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
-            let Ok(Parsed::Udp {
-                src,
-                src_port,
-                dst_port,
-                payload,
-                ..
-            }) = IpStack::parse(&bytes)
+    impl Node<Packet> for StubDns {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _p: PortId, pkt: Packet) {
+            let Packet::Dns {
+                ip,
+                ports: p,
+                msg: q,
+            } = pkt
             else {
                 return;
             };
-            if dst_port != ports::DNS {
+            if p.dst != ports::DNS {
                 return;
             }
-            let Ok(q) = Message::from_bytes(&payload) else {
-                return;
-            };
             let mut r = Message::response_to(&q);
             if let Some(question) = q.question() {
                 r.answers.push(lispwire::dnswire::Record::a(
@@ -472,11 +451,11 @@ mod tests {
                     60,
                 ));
             }
-            let pkt = self.stack.udp(ports::DNS, src, src_port, &r.to_bytes());
+            let pkt = self.stack.dns(ports::DNS, ip.src, p.src, r);
             self.queue.push_back(pkt);
             ctx.set_timer(self.delay, 1);
         }
-        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, _t: u64) {
             if let Some(p) = self.queue.pop_front() {
                 ctx.send(0, p);
             }
@@ -490,9 +469,9 @@ mod tests {
     }
 
     /// client - router - {dns, server}; returns (sim, client, server).
-    fn world(mode: FlowMode, dns_delay: Ns) -> (Sim, netsim::NodeId, netsim::NodeId) {
+    fn world(mode: FlowMode, dns_delay: Ns) -> (Sim<Packet>, netsim::NodeId, netsim::NodeId) {
         use inet::{Prefix, Router};
-        let mut sim = Sim::new(8);
+        let mut sim: Sim<Packet> = Sim::new(8);
         sim.trace.enable();
         let c_addr = a([100, 0, 0, 5]);
         let s_addr = a([101, 0, 0, 7]);

@@ -24,12 +24,12 @@
 //! * **After step 8** — `ETR_SYNC` messages from the domain's ETRs update
 //!   the PCE database (two-way mapping completion).
 
-use inet::stack::{IpStack, Parsed};
+use inet::stack::IpStack;
 use inet::Prefix;
 use ircte::{IrcEngine, Provider, SelectionPolicy};
-use lispwire::dnswire::Message;
 use lispwire::lispctl::{Locator, MapRecord};
-use lispwire::pcewire::{FlowMapping, IpcQueryNotice, PceDnsMapping, PceFlowMsg, PceKind};
+use lispwire::packet::{Packet, PceMsg};
+use lispwire::pcewire::{FlowMapping, PceFlowMsg, PceKind};
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, Node, Ns, PortId};
 use std::any::Any;
@@ -135,7 +135,7 @@ pub struct Pce {
     /// The PCE mapping database: flow → mapping (updated by step 7b
     /// decisions and ETR reverse syncs).
     pub db: BTreeMap<(Ipv4Address, Ipv4Address), FlowMapping>,
-    release_queue: VecDeque<(PortId, Vec<u8>)>,
+    release_queue: VecDeque<(PortId, Packet)>,
     /// Counters.
     pub stats: PceStats,
     /// Times at which each step-7b push batch completed (for E3/E7).
@@ -170,7 +170,7 @@ impl Pce {
             .any(|p| p.contains(addr))
     }
 
-    fn release_later(&mut self, ctx: &mut Ctx<'_>, delay: Ns, port: PortId, pkt: Vec<u8>) {
+    fn release_later(&mut self, ctx: &mut Ctx<'_, Packet>, delay: Ns, port: PortId, pkt: Packet) {
         self.release_queue.push_back((port, pkt));
         ctx.set_timer(delay, TOKEN_RELEASE);
     }
@@ -199,11 +199,13 @@ impl Pce {
         }
     }
 
-    /// Step 6: intercept a DNS reply leaving the domain's server.
+    /// Step 6: intercept a DNS reply leaving the domain's server. The
+    /// original reply *packet* is carried inside the step-6 message as a
+    /// typed value (no re-serialization anywhere on the path).
     fn intercept_dns_reply(
         &mut self,
-        ctx: &mut Ctx<'_>,
-        original: Vec<u8>,
+        ctx: &mut Ctx<'_, Packet>,
+        original: Packet,
         reply_dst: Ipv4Address,
         answer_eid: Ipv4Address,
     ) {
@@ -222,14 +224,14 @@ impl Pce {
                 .map(|l| l.rloc.to_string())
                 .unwrap_or_default()
         ));
-        let msg = PceDnsMapping {
+        let msg = PceMsg::DnsMapping {
             pce_d: self.cfg.addr,
             mapping,
-            dns_reply: original,
+            dns_reply: Box::new(original),
         };
         let pkt = self
             .stack
-            .udp(ports::PCE_MAP, reply_dst, ports::PCE_MAP, &msg.to_bytes());
+            .pce(ports::PCE_MAP, reply_dst, ports::PCE_MAP, msg);
         let delay = if self.cfg.precompute {
             self.cfg.forward_delay
         } else {
@@ -239,29 +241,35 @@ impl Pce {
     }
 
     /// Steps 7a + 7b: a port-`P` packet arrived for our DNS server.
-    fn handle_port_p(&mut self, ctx: &mut Ctx<'_>, payload: &[u8]) {
-        let Ok(msg) = PceDnsMapping::from_bytes(payload) else {
+    fn handle_port_p(&mut self, ctx: &mut Ctx<'_, Packet>, pkt: Packet) {
+        let Packet::Pce {
+            msg: PceMsg::DnsMapping {
+                mapping, dns_reply, ..
+            },
+            ..
+        } = pkt
+        else {
             self.stats.malformed += 1;
             return;
         };
         self.stats.p_decaps += 1;
-        // 7a: forward the original DNS answer to the server, unmodified.
+        // 7a: forward the original DNS answer to the server, unmodified
+        // (the typed reply packet is lifted out of the encapsulation).
         ctx.trace(format!(
             "step7a: PCE_S {} forwards DNS answer to local server",
             self.cfg.addr
         ));
-        let dns_pkt = msg.dns_reply.clone();
+        let qname = parse_qname(&dns_reply);
         let fwd_delay = self.cfg.forward_delay;
-        self.release_later(ctx, fwd_delay, DNS_PORT, dns_pkt);
+        self.release_later(ctx, fwd_delay, DNS_PORT, *dns_reply);
 
         // 7b: install the two-one-way-tunnel mapping at every ITR.
-        let dest_eid = msg.mapping.eid_prefix;
-        let Some(rloc_d) = msg.mapping.best_locator().map(|l| l.rloc) else {
+        let dest_eid = mapping.eid_prefix;
+        let Some(rloc_d) = mapping.best_locator().map(|l| l.rloc) else {
             self.stats.malformed += 1;
             return;
         };
         // Find E_S from the IPC notice (match on the reply's qname).
-        let qname = parse_qname(&msg.dns_reply);
         let source_eid = match qname
             .as_deref()
             .and_then(|q| self.pending_requesters.remove(q))
@@ -304,19 +312,20 @@ impl Pce {
         ));
     }
 
-    fn push_flow(&mut self, ctx: &mut Ctx<'_>, flow: FlowMapping, kind: PceKind) {
+    fn push_flow(&mut self, ctx: &mut Ctx<'_, Packet>, flow: FlowMapping, kind: PceKind) {
         let msg = PceFlowMsg {
             kind,
             mapping: flow,
         };
-        let body = msg.to_bytes();
         let targets: Vec<Ipv4Address> = if self.cfg.push_to_all_itrs {
             self.cfg.itr_rlocs.clone()
         } else {
             self.cfg.itr_rlocs.first().copied().into_iter().collect()
         };
         for itr in targets {
-            let pkt = self.stack.udp(ports::PCE_MAP, itr, ports::PCE_MAP, &body);
+            let pkt = self
+                .stack
+                .pce(ports::PCE_MAP, itr, ports::PCE_MAP, PceMsg::Flow(msg));
             match kind {
                 PceKind::MappingWithdraw => self.stats.withdraws_sent += 1,
                 _ => self.stats.pushes_sent += 1,
@@ -345,7 +354,12 @@ impl Pce {
     ///   fixing the opposite direction's encapsulation target — the
     ///   push-based cross-domain recovery a pull system can only match
     ///   after probe timeout plus re-resolution.
-    pub fn provider_reachability_changed(&mut self, ctx: &mut Ctx<'_>, provider: usize, up: bool) {
+    pub fn provider_reachability_changed(
+        &mut self,
+        ctx: &mut Ctx<'_, Packet>,
+        provider: usize,
+        up: bool,
+    ) {
         self.stats.provider_events += 1;
         self.irc.set_up(provider, up);
         if up {
@@ -403,9 +417,12 @@ impl Pce {
                 kind: PceKind::MappingPush,
                 mapping: remote_fix,
             };
-            let pkt = self
-                .stack
-                .udp(ports::PCE_MAP, flow.rloc_d, ports::PCE_MAP, &msg.to_bytes());
+            let pkt = self.stack.pce(
+                ports::PCE_MAP,
+                flow.rloc_d,
+                ports::PCE_MAP,
+                PceMsg::Flow(msg),
+            );
             ctx.send(NET_PORT, pkt);
             self.stats.pushes_sent += 1;
             self.stats.repaths += 1;
@@ -416,7 +433,7 @@ impl Pce {
     /// with an updated `RLOC_S` (inbound move). Returns the number of
     /// flows moved. Safe precisely because every ITR already has state
     /// for every flow (the paper's argument for pushing to all ITRs).
-    pub fn reoptimize_and_push(&mut self, ctx: &mut Ctx<'_>) -> usize {
+    pub fn reoptimize_and_push(&mut self, ctx: &mut Ctx<'_, Packet>) -> usize {
         let moves = self.irc.reoptimize();
         let mut count = 0;
         for m in moves {
@@ -434,95 +451,85 @@ impl Pce {
     }
 }
 
-/// Extract the question name from a full DNS-reply IP packet.
-fn parse_qname(ip_packet: &[u8]) -> Option<String> {
-    match IpStack::parse(ip_packet) {
-        Ok(Parsed::Udp { payload, .. }) => {
-            let msg = Message::from_bytes(&payload).ok()?;
-            msg.question().map(|q| q.name.as_str().to_string())
-        }
+/// Extract the question name from a typed DNS-reply packet.
+fn parse_qname(pkt: &Packet) -> Option<String> {
+    match pkt {
+        Packet::Dns { msg, .. } => msg.question().map(|q| q.name.as_str().to_string()),
         _ => None,
     }
 }
 
-impl Node for Pce {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, bytes: Vec<u8>) {
+impl Node<Packet> for Pce {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, port: PortId, pkt: Packet) {
         let other = if port == DNS_PORT { NET_PORT } else { DNS_PORT };
-        let parsed = IpStack::parse(&bytes);
-        match parsed {
-            Ok(Parsed::Udp {
-                dst,
-                src_port,
-                dst_port,
-                payload,
-                ..
-            }) => {
-                // IPC from the local DNS server (either port; consumed).
-                if dst == self.cfg.addr && dst_port == ports::PCE_IPC {
-                    if let Ok(notice) = IpcQueryNotice::from_bytes(&payload) {
-                        self.stats.ipc_notices += 1;
+        let dst = pkt.dst();
+        if let Some(p) = pkt.udp_ports() {
+            // IPC from the local DNS server (either port; consumed).
+            if dst == self.cfg.addr && p.dst == ports::PCE_IPC {
+                if let Packet::Pce {
+                    msg: PceMsg::Ipc(notice),
+                    ..
+                } = pkt
+                {
+                    self.stats.ipc_notices += 1;
+                    ctx.trace(format!(
+                        "step1: PCE {} learns E_S {} for query {}",
+                        self.cfg.addr, notice.client, notice.qname
+                    ));
+                    self.pending_requesters.insert(notice.qname, notice.client);
+                } else {
+                    self.stats.malformed += 1;
+                }
+                return;
+            }
+            // ETR reverse sync addressed to us (database update).
+            if dst == self.cfg.addr && p.dst == ports::ETR_SYNC {
+                if let Packet::Pce {
+                    msg: PceMsg::Flow(msg),
+                    ..
+                } = pkt
+                {
+                    if msg.kind == PceKind::ReverseSync {
+                        self.stats.reverse_syncs_received += 1;
+                        self.db
+                            .insert((msg.mapping.source_eid, msg.mapping.dest_eid), msg.mapping);
                         ctx.trace(format!(
-                            "step1: PCE {} learns E_S {} for query {}",
-                            self.cfg.addr, notice.client, notice.qname
+                            "PCE {} database updated by reverse sync ({} -> {})",
+                            self.cfg.addr, msg.mapping.source_eid, msg.mapping.dest_eid
                         ));
-                        self.pending_requesters.insert(notice.qname, notice.client);
-                    } else {
-                        self.stats.malformed += 1;
                     }
-                    return;
+                } else {
+                    self.stats.malformed += 1;
                 }
-                // ETR reverse sync addressed to us (database update).
-                if dst == self.cfg.addr && dst_port == ports::ETR_SYNC {
-                    if let Ok(msg) = PceFlowMsg::from_bytes(&payload) {
-                        if msg.kind == PceKind::ReverseSync {
-                            self.stats.reverse_syncs_received += 1;
-                            self.db.insert(
-                                (msg.mapping.source_eid, msg.mapping.dest_eid),
-                                msg.mapping,
-                            );
-                            ctx.trace(format!(
-                                "PCE {} database updated by reverse sync ({} -> {})",
-                                self.cfg.addr, msg.mapping.source_eid, msg.mapping.dest_eid
-                            ));
-                        }
-                    } else {
-                        self.stats.malformed += 1;
-                    }
-                    return;
-                }
-                // Step 7: port-P packets heading to our DNS server.
-                if port == NET_PORT && dst_port == ports::PCE_MAP {
-                    self.handle_port_p(ctx, &payload);
-                    return;
-                }
-                // Step 6: DNS responses leaving our server with an answer
-                // in the domain's EID space.
-                if port == DNS_PORT && src_port == ports::DNS {
-                    if let Ok(msg) = Message::from_bytes(&payload) {
-                        if msg.is_response && msg.authoritative {
-                            if let Some(answer) = msg.first_answer_a() {
-                                if self.in_domain_eids(answer) {
-                                    self.intercept_dns_reply(ctx, bytes, dst, answer);
-                                    return;
-                                }
+                return;
+            }
+            // Step 7: port-P packets heading to our DNS server.
+            if port == NET_PORT && p.dst == ports::PCE_MAP {
+                self.handle_port_p(ctx, pkt);
+                return;
+            }
+            // Step 6: DNS responses leaving our server with an answer
+            // in the domain's EID space.
+            if port == DNS_PORT && p.src == ports::DNS {
+                if let Packet::Dns { msg, .. } = &pkt {
+                    if msg.is_response && msg.authoritative {
+                        if let Some(answer) = msg.first_answer_a() {
+                            if self.in_domain_eids(answer) {
+                                self.intercept_dns_reply(ctx, pkt, dst, answer);
+                                return;
                             }
                         }
                     }
                 }
-                // Everything else: transparent bump-in-the-wire forward.
-                self.stats.forwarded += 1;
-                let d = self.cfg.forward_delay;
-                self.release_later(ctx, d, other, bytes);
-            }
-            _ => {
-                self.stats.forwarded += 1;
-                let d = self.cfg.forward_delay;
-                self.release_later(ctx, d, other, bytes);
             }
         }
+        // Everything else: transparent bump-in-the-wire forward.
+        self.stats.forwarded += 1;
+        let d = self.cfg.forward_delay;
+        self.release_later(ctx, d, other, pkt);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         if token == TOKEN_RELEASE {
             if let Some((port, pkt)) = self.release_queue.pop_front() {
                 ctx.send(port, pkt);
@@ -547,6 +554,8 @@ impl Node for Pce {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lispwire::dnswire::Message;
+    use lispwire::pcewire::IpcQueryNotice;
     use netsim::{LinkCfg, Sim};
 
     fn a(o: [u8; 4]) -> Ipv4Address {
@@ -568,17 +577,17 @@ mod tests {
     /// Node that feeds packets into a PCE port and records what comes out
     /// the attached link.
     struct Tap {
-        outbox: Vec<Vec<u8>>,
-        pub received: Vec<Vec<u8>>,
+        outbox: Vec<Packet>,
+        pub received: Vec<Packet>,
     }
-    impl Node for Tap {
-        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    impl Node<Packet> for Tap {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
             if let Some(p) = self.outbox.get(token as usize) {
                 ctx.send(0, p.clone());
             }
         }
-        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
-            self.received.push(bytes);
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_, Packet>, _p: PortId, pkt: Packet) {
+            self.received.push(pkt);
         }
         fn as_any(&mut self) -> &mut dyn Any {
             self
@@ -588,8 +597,8 @@ mod tests {
         }
     }
 
-    fn world(cfg: PceConfig) -> (Sim, netsim::NodeId, netsim::NodeId, netsim::NodeId) {
-        let mut sim = Sim::new(2);
+    fn world(cfg: PceConfig) -> (Sim<Packet>, netsim::NodeId, netsim::NodeId, netsim::NodeId) {
+        let mut sim: Sim<Packet> = Sim::new(2);
         sim.trace.enable();
         let dns_side = sim.add_node(
             "dns-side",
@@ -612,7 +621,7 @@ mod tests {
         (sim, pce, dns_side, net_side)
     }
 
-    fn auth_reply_packet(answer: Ipv4Address, reply_dst: Ipv4Address) -> Vec<u8> {
+    fn auth_reply_packet(answer: Ipv4Address, reply_dst: Ipv4Address) -> Packet {
         use lispwire::dnswire::{Name, Record};
         let q = Message::query_a(42, Name::parse_str("host.d.example").unwrap(), false);
         let mut r = Message::response_to(&q);
@@ -622,7 +631,7 @@ mod tests {
             answer,
             300,
         ));
-        IpStack::new(a([12, 0, 0, 53])).udp(ports::DNS, reply_dst, 32853, &r.to_bytes())
+        IpStack::new(a([12, 0, 0, 53])).dns(ports::DNS, reply_dst, 32853, r)
     }
 
     #[test]
@@ -637,24 +646,24 @@ mod tests {
         assert_eq!(p.stats.forwarded, 0);
         let out = sim.node_ref::<Tap>(net_side).received.clone();
         assert_eq!(out.len(), 1);
-        match IpStack::parse(&out[0]).unwrap() {
-            Parsed::Udp {
-                dst,
-                dst_port,
-                payload,
-                ..
+        match &out[0] {
+            Packet::Pce {
+                ip,
+                ports: p,
+                msg:
+                    PceMsg::DnsMapping {
+                        pce_d,
+                        mapping,
+                        dns_reply,
+                    },
             } => {
-                assert_eq!(dst, a([10, 0, 0, 53]));
-                assert_eq!(dst_port, ports::PCE_MAP);
-                let msg = PceDnsMapping::from_bytes(&payload).unwrap();
-                assert_eq!(msg.pce_d, a([12, 0, 0, 200]));
-                assert_eq!(msg.mapping.eid_prefix, a([101, 0, 0, 7]));
-                assert_eq!(msg.mapping.locators.len(), 2);
+                assert_eq!(ip.dst, a([10, 0, 0, 53]));
+                assert_eq!(p.dst, ports::PCE_MAP);
+                assert_eq!(*pce_d, a([12, 0, 0, 200]));
+                assert_eq!(mapping.eid_prefix, a([101, 0, 0, 7]));
+                assert_eq!(mapping.locators.len(), 2);
                 // The original reply is carried verbatim.
-                assert!(matches!(
-                    IpStack::parse(&msg.dns_reply).unwrap(),
-                    Parsed::Udp { .. }
-                ));
+                assert!(matches!(**dns_reply, Packet::Dns { .. }));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -693,11 +702,11 @@ mod tests {
             client: a([100, 0, 0, 5]),
             qname: "host.d.example".into(),
         };
-        let ipc_pkt = IpStack::new(a([10, 0, 0, 53])).udp(
+        let ipc_pkt = IpStack::new(a([10, 0, 0, 53])).pce(
             ports::PCE_IPC,
             a([10, 0, 0, 200]),
             ports::PCE_IPC,
-            &notice.to_bytes(),
+            PceMsg::Ipc(notice),
         );
         // Then the port-P packet from PCE_D.
         let inner_reply = auth_reply_packet(a([101, 0, 0, 7]), a([10, 0, 0, 53]));
@@ -707,16 +716,16 @@ mod tests {
             ttl_minutes: 60,
             locators: vec![Locator::new(a([12, 0, 0, 1]), 1, 100)],
         };
-        let p_msg = PceDnsMapping {
+        let p_msg = PceMsg::DnsMapping {
             pce_d: a([12, 0, 0, 200]),
             mapping,
-            dns_reply: inner_reply,
+            dns_reply: Box::new(inner_reply),
         };
-        let p_pkt = IpStack::new(a([12, 0, 0, 200])).udp(
+        let p_pkt = IpStack::new(a([12, 0, 0, 200])).pce(
             ports::PCE_MAP,
             a([10, 0, 0, 53]),
             ports::PCE_MAP,
-            &p_msg.to_bytes(),
+            p_msg,
         );
 
         sim.node_mut::<Tap>(dns_side).outbox = vec![ipc_pkt];
@@ -738,10 +747,10 @@ mod tests {
         // 7a: the DNS server side got the original reply.
         let dns_out = sim.node_ref::<Tap>(dns_side).received.clone();
         assert_eq!(dns_out.len(), 1);
-        match IpStack::parse(&dns_out[0]).unwrap() {
-            Parsed::Udp { src_port, dst, .. } => {
-                assert_eq!(src_port, ports::DNS);
-                assert_eq!(dst, a([10, 0, 0, 53]));
+        match &dns_out[0] {
+            Packet::Dns { ip, ports: p, .. } => {
+                assert_eq!(p.src, ports::DNS);
+                assert_eq!(ip.dst, a([10, 0, 0, 53]));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -749,7 +758,7 @@ mod tests {
         let net_out = sim.node_ref::<Tap>(net_side).received.clone();
         let pushes: Vec<_> = net_out
             .iter()
-            .filter(|b| matches!(IpStack::parse(b), Ok(Parsed::Udp { dst_port, .. }) if dst_port == ports::PCE_MAP))
+            .filter(|b| matches!(b.udp_ports(), Some(p) if p.dst == ports::PCE_MAP))
             .collect();
         assert_eq!(pushes.len(), 2);
     }
@@ -765,16 +774,16 @@ mod tests {
         let (mut sim, pce, _dns_side, net_side) = world(cfg);
         let inner_reply = auth_reply_packet(a([101, 0, 0, 7]), a([10, 0, 0, 53]));
         let mapping = MapRecord::host(a([101, 0, 0, 7]), a([12, 0, 0, 1]), 60);
-        let p_msg = PceDnsMapping {
+        let p_msg = PceMsg::DnsMapping {
             pce_d: a([12, 0, 0, 200]),
             mapping,
-            dns_reply: inner_reply,
+            dns_reply: Box::new(inner_reply),
         };
-        let p_pkt = IpStack::new(a([12, 0, 0, 200])).udp(
+        let p_pkt = IpStack::new(a([12, 0, 0, 200])).pce(
             ports::PCE_MAP,
             a([10, 0, 0, 53]),
             ports::PCE_MAP,
-            &p_msg.to_bytes(),
+            p_msg,
         );
         sim.node_mut::<Tap>(net_side).outbox = vec![p_pkt];
         sim.schedule_timer(net_side, Ns::ZERO, 0);
@@ -802,23 +811,23 @@ mod tests {
             client: a([100, 0, 0, 5]),
             qname: "host.d.example".into(),
         };
-        let ipc_pkt = IpStack::new(a([10, 0, 0, 53])).udp(
+        let ipc_pkt = IpStack::new(a([10, 0, 0, 53])).pce(
             ports::PCE_IPC,
             a([10, 0, 0, 200]),
             ports::PCE_IPC,
-            &notice.to_bytes(),
+            PceMsg::Ipc(notice),
         );
         let inner_reply = auth_reply_packet(a([101, 0, 0, 7]), a([10, 0, 0, 53]));
-        let p_msg = PceDnsMapping {
+        let p_msg = PceMsg::DnsMapping {
             pce_d: a([12, 0, 0, 200]),
             mapping: MapRecord::host(a([101, 0, 0, 7]), a([12, 0, 0, 1]), 60),
-            dns_reply: inner_reply,
+            dns_reply: Box::new(inner_reply),
         };
-        let p_pkt = IpStack::new(a([12, 0, 0, 200])).udp(
+        let p_pkt = IpStack::new(a([12, 0, 0, 200])).pce(
             ports::PCE_MAP,
             a([10, 0, 0, 53]),
             ports::PCE_MAP,
-            &p_msg.to_bytes(),
+            p_msg,
         );
         sim.node_mut::<Tap>(dns_side).outbox = vec![ipc_pkt];
         sim.node_mut::<Tap>(net_side).outbox = vec![p_pkt];
@@ -874,10 +883,12 @@ mod tests {
         let out = sim.node_ref::<Tap>(net_side).received.clone();
         let remote_fix = out
             .iter()
-            .find_map(|b| match IpStack::parse(b) {
-                Ok(Parsed::Udp { dst, payload, .. }) if dst == a([10, 0, 0, 99]) => {
-                    PceFlowMsg::from_bytes(&payload).ok()
-                }
+            .find_map(|b| match b {
+                Packet::Pce {
+                    ip,
+                    msg: PceMsg::Flow(msg),
+                    ..
+                } if ip.dst == a([10, 0, 0, 99]) => Some(*msg),
                 _ => None,
             })
             .expect("remote tunnel end must be told the new RLOC");
@@ -914,11 +925,11 @@ mod tests {
             kind: PceKind::ReverseSync,
             mapping: flow,
         };
-        let pkt = IpStack::new(a([12, 0, 0, 1])).udp(
+        let pkt = IpStack::new(a([12, 0, 0, 1])).pce(
             ports::ETR_SYNC,
             a([12, 0, 0, 200]),
             ports::ETR_SYNC,
-            &msg.to_bytes(),
+            PceMsg::Flow(msg),
         );
         sim.node_mut::<Tap>(net_side).outbox = vec![pkt];
         sim.schedule_timer(net_side, Ns::ZERO, 0);

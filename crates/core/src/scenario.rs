@@ -8,9 +8,8 @@
 //! preset reproduces the paper's figure exactly) and `build(seed)` it
 //! into a [`crate::spec::World`].
 
-use inet::stack::peek_dst;
 use inet::{LpmTrie, Prefix};
-use lispwire::Ipv4Address;
+use lispwire::{Ipv4Address, Packet};
 use netsim::{Ctx, LazyCounter, Node, PortId, ScheduledUpdates};
 use std::any::Any;
 use std::borrow::Cow;
@@ -142,12 +141,12 @@ impl Default for FlowRouter {
     }
 }
 
-impl Node for FlowRouter {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+impl Node<Packet> for FlowRouter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
         self.scheduled_routes.arm(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         if let Some(&(prefix, port)) = self.scheduled_routes.get(token) {
             self.routes.insert(prefix, port);
             self.route_updates_applied += 1;
@@ -155,15 +154,9 @@ impl Node for FlowRouter {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
         // Site-internal hop: no TTL work (modelled as L2/IGP forwarding).
-        let (src, dst) = match (inet::stack::peek_src(&bytes), peek_dst(&bytes)) {
-            (Ok(s), Ok(d)) => (s, d),
-            _ => {
-                self.dropped += 1;
-                return;
-            }
-        };
+        let (src, dst) = (pkt.src(), pkt.dst());
         let port = self
             .overrides
             .get(&(src, dst))
@@ -172,7 +165,7 @@ impl Node for FlowRouter {
         match port {
             Some(p) => {
                 self.forwarded += 1;
-                ctx.send(p, bytes);
+                ctx.send(p, pkt);
             }
             None => {
                 self.dropped += 1;

@@ -34,7 +34,7 @@ pub use ircte::SelectionPolicy;
 use lispdp::{CpMode, MissPolicy, RlocProbeCfg, Xtr, XtrConfig};
 use lispwire::dnswire::Name;
 use lispwire::lispctl::{Locator, MapRecord};
-use lispwire::Ipv4Address;
+use lispwire::{Ipv4Address, Packet};
 use mapsys::alt::linear_chain;
 use mapsys::api::{MappingDb, SiteEntry};
 use mapsys::{AltRouter, ConsNode, MapResolver, NerdAuthority};
@@ -744,8 +744,8 @@ impl SiteWorld {
 /// The built world: the simulation plus every handle experiments need,
 /// keyed by site / provider name.
 pub struct World {
-    /// The simulation.
-    pub sim: Sim,
+    /// The simulation (typed packets; see DESIGN.md §9).
+    pub sim: Sim<Packet>,
     /// Control plane installed.
     pub cp: CpKind,
     /// The core "Internet" router.
@@ -934,7 +934,7 @@ impl ScenarioSpec {
             }
         }
 
-        let mut sim = Sim::new(seed);
+        let mut sim: Sim<Packet> = Sim::new(seed);
         let flows = self.resolve_flows(seed);
         let mapsys_owd = topo.mapsys_owd.unwrap_or(topo.infra_owd);
         let dyn_probing = self.dynamics.as_ref().and_then(|d| d.rloc_probing);
@@ -1486,7 +1486,7 @@ impl ScenarioSpec {
             };
             // Re-register site `i`'s mappings onto `rloc` at time `at`,
             // whatever the mapping system in this world is.
-            let reregister = |sim: &mut Sim, at: Ns, i: usize, rloc: Ipv4Address| match cp {
+            let reregister = |sim: &mut Sim<Packet>, at: Ns, i: usize, rloc: Ipv4Address| match cp {
                 CpKind::LispDrop | CpKind::LispQueue | CpKind::LispDataCp => {
                     if let Some(mr) = mr_node {
                         let node = sim.node_mut::<MapResolver>(mr);

@@ -5,11 +5,12 @@
 //! * [`addr`] — IPv4 prefixes with containment tests.
 //! * [`lpm`] — a longest-prefix-match binary trie used by router
 //!   forwarding tables (and by the LISP map-cache).
-//! * [`stack`] — helpers to build and parse full IPv4/UDP/TCP datagrams,
-//!   shared by every endpoint node in the workspace.
-//! * [`router`] — a transit IPv4 router [`netsim::Node`]: parses real
-//!   headers, decrements TTL, verifies and refreshes checksums, forwards
-//!   by longest-prefix match.
+//! * [`stack`] — the typed-packet factory ([`IpStack`]) every endpoint
+//!   node uses to construct `lispwire::Packet` values, plus the per-hop
+//!   forwarding helper.
+//! * [`router`] — a transit IPv4 router [`netsim::Node`]: decrements the
+//!   TTL of typed packets, drops header-corrupted ones, forwards by
+//!   longest-prefix match — no per-hop parsing.
 //! * [`tcp`] — a minimal TCP connection state machine (3-way handshake +
 //!   counted data segments), enough to measure the paper's
 //!   connection-establishment latencies.
@@ -26,5 +27,5 @@ pub mod tcp;
 pub use addr::Prefix;
 pub use lpm::LpmTrie;
 pub use router::Router;
-pub use stack::{IpStack, Parsed};
+pub use stack::IpStack;
 pub use tcp::{TcpEvent, TcpMachine, TcpState};

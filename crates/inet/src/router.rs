@@ -1,16 +1,18 @@
 //! A transit IPv4 router node.
 //!
-//! On every packet: parse the IPv4 header, verify the checksum, decrement
-//! the TTL (dropping expired packets), refresh the checksum, look the
-//! destination up in the longest-prefix-match table and forward out the
-//! matched port. Unroutable packets are dropped and counted.
+//! On every packet: verify (header-region corruption fails the hop, like
+//! a bad header checksum), decrement the TTL (dropping expired packets),
+//! look the destination up in the longest-prefix-match table and forward
+//! out the matched port. Unroutable packets are dropped and counted.
+//! Packets are typed [`Packet`] values — nothing is parsed per hop.
 //!
 //! A small fixed per-packet processing delay models lookup cost; it is
 //! configurable so experiments can explore its effect.
 
 use crate::addr::Prefix;
 use crate::lpm::LpmTrie;
-use crate::stack::{forward_hop, peek_dst};
+use crate::stack::forward_hop;
+use lispwire::Packet;
 use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
 use std::any::Any;
 use std::collections::VecDeque;
@@ -27,7 +29,7 @@ pub struct Router {
     pub ttl_drops: u64,
     /// Packets dropped: malformed / bad checksum.
     pub malformed_drops: u64,
-    pending: VecDeque<(PortId, Vec<u8>)>,
+    pending: VecDeque<(PortId, Packet)>,
     ctr_ttl: LazyCounter,
     ctr_malformed: LazyCounter,
     ctr_no_route: LazyCounter,
@@ -72,11 +74,6 @@ impl Router {
     pub fn route_count(&self) -> usize {
         self.routes.len()
     }
-
-    fn route(&self, bytes: &[u8]) -> Option<PortId> {
-        let dst = peek_dst(bytes).ok()?;
-        self.routes.lookup_value(dst).copied()
-    }
 }
 
 impl Default for Router {
@@ -85,9 +82,9 @@ impl Default for Router {
     }
 }
 
-impl Node for Router {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, mut bytes: Vec<u8>) {
-        match forward_hop(&mut bytes) {
+impl Node<Packet> for Router {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, mut pkt: Packet) {
+        match forward_hop(&mut pkt) {
             Ok(()) => {}
             Err(lispwire::WireError::Malformed) => {
                 self.ttl_drops += 1;
@@ -100,13 +97,13 @@ impl Node for Router {
                 return;
             }
         }
-        match self.route(&bytes) {
+        match self.routes.lookup_value(pkt.dst()).copied() {
             Some(out_port) => {
                 self.forwarded += 1;
                 if self.processing_delay == Ns::ZERO {
-                    ctx.send(out_port, bytes);
+                    ctx.send(out_port, pkt);
                 } else {
-                    self.pending.push_back((out_port, bytes));
+                    self.pending.push_back((out_port, pkt));
                     ctx.set_timer(self.processing_delay, TOKEN_FORWARD);
                 }
             }
@@ -117,10 +114,10 @@ impl Node for Router {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         if token == TOKEN_FORWARD {
-            if let Some((port, bytes)) = self.pending.pop_front() {
-                ctx.send(port, bytes);
+            if let Some((port, pkt)) = self.pending.pop_front() {
+                ctx.send(port, pkt);
             }
         }
     }
@@ -136,18 +133,18 @@ impl Node for Router {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stack::{IpStack, Parsed};
+    use crate::stack::IpStack;
     use lispwire::Ipv4Address;
     use netsim::{LinkCfg, Sim};
 
     /// A sink endpoint that records every packet it receives.
     pub struct Sink {
-        pub received: Vec<Vec<u8>>,
+        pub received: Vec<Packet>,
     }
 
-    impl Node for Sink {
-        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-            self.received.push(bytes);
+    impl Node<Packet> for Sink {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+            self.received.push(pkt);
         }
         fn as_any(&mut self) -> &mut dyn Any {
             self
@@ -159,11 +156,11 @@ mod tests {
 
     /// A source that emits one prebuilt packet per timer tick.
     pub struct Source {
-        pub packets: Vec<Vec<u8>>,
+        pub packets: Vec<Packet>,
     }
 
-    impl Node for Source {
-        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    impl Node<Packet> for Source {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
             let pkt = self.packets[token as usize].clone();
             ctx.send(0, pkt);
         }
@@ -187,10 +184,10 @@ mod tests {
         let alt_ip = addr([11, 0, 0, 9]);
 
         let stack = IpStack::new(src_ip);
-        let p1 = stack.udp(1000, dst_ip, 2000, b"to-12");
-        let p2 = stack.udp(1000, alt_ip, 2000, b"to-11");
+        let p1 = stack.udp(1000, dst_ip, 2000, b"to-12".to_vec());
+        let p2 = stack.udp(1000, alt_ip, 2000, b"to-11".to_vec());
 
-        let mut sim = Sim::new(1);
+        let mut sim: Sim<Packet> = Sim::new(1);
         let src = sim.add_node(
             "src",
             Box::new(Source {
@@ -221,23 +218,22 @@ mod tests {
 
         let got_dst = sim.node_ref::<Sink>(dst).received.clone();
         assert_eq!(got_dst.len(), 1);
-        match IpStack::parse(&got_dst[0]).unwrap() {
-            Parsed::Udp { payload, .. } => assert_eq!(payload, b"to-12"),
+        match &got_dst[0] {
+            Packet::Udp { payload, .. } => assert_eq!(payload, b"to-12"),
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(sim.node_ref::<Sink>(alt).received.len(), 1);
 
         // TTL decremented twice on the r1->r2 path, once on the alt path.
-        let ip = lispwire::Ipv4Packet::new_checked(&got_dst[0][..]).unwrap();
-        assert_eq!(ip.ttl(), 64 - 2);
-        assert!(ip.verify_checksum());
+        assert_eq!(got_dst[0].ip().ttl, 64 - 2);
+        assert_eq!(sim.node_ref::<Sink>(alt).received[0].ip().ttl, 64 - 1);
     }
 
     #[test]
     fn unroutable_dropped_and_counted() {
         let stack = IpStack::new(addr([10, 0, 0, 1]));
-        let pkt = stack.udp(1, addr([99, 0, 0, 1]), 2, b"x");
-        let mut sim = Sim::new(1);
+        let pkt = stack.udp(1, addr([99, 0, 0, 1]), 2, b"x".to_vec());
+        let mut sim: Sim<Packet> = Sim::new(1);
         let src = sim.add_node("src", Box::new(Source { packets: vec![pkt] }));
         let r = sim.add_node("r", Box::new(Router::new()));
         sim.connect(src, r, LinkCfg::lan());
@@ -251,8 +247,8 @@ mod tests {
     fn ttl_expiry_drops() {
         let mut stack = IpStack::new(addr([10, 0, 0, 1]));
         stack.ttl = 1;
-        let pkt = stack.udp(1, addr([12, 0, 0, 1]), 2, b"x");
-        let mut sim = Sim::new(1);
+        let pkt = stack.udp(1, addr([12, 0, 0, 1]), 2, b"x".to_vec());
+        let mut sim: Sim<Packet> = Sim::new(1);
         let src = sim.add_node("src", Box::new(Source { packets: vec![pkt] }));
         let r = sim.add_node("r", Box::new(Router::new()));
         let snk = sim.add_node("s", Box::new(Sink { received: vec![] }));
@@ -267,10 +263,11 @@ mod tests {
 
     #[test]
     fn corrupted_packet_dropped() {
+        use netsim::Payload;
         let stack = IpStack::new(addr([10, 0, 0, 1]));
-        let mut pkt = stack.udp(1, addr([12, 0, 0, 1]), 2, b"x");
-        pkt[13] ^= 0x40; // damage the source address field
-        let mut sim = Sim::new(1);
+        let mut pkt = stack.udp(1, addr([12, 0, 0, 1]), 2, b"x".to_vec());
+        Payload::corrupt(&mut pkt, 13, 6); // damage the header region
+        let mut sim: Sim<Packet> = Sim::new(1);
         let src = sim.add_node("src", Box::new(Source { packets: vec![pkt] }));
         let r = sim.add_node("r", Box::new(Router::new()));
         let snk = sim.add_node("s", Box::new(Sink { received: vec![] }));
@@ -286,9 +283,9 @@ mod tests {
     #[test]
     fn processing_delay_applied() {
         let stack = IpStack::new(addr([10, 0, 0, 1]));
-        let pkt = stack.udp(1, addr([12, 0, 0, 1]), 2, b"x");
+        let pkt = stack.udp(1, addr([12, 0, 0, 1]), 2, b"x".to_vec());
         let run_with = |delay: Ns| -> Ns {
-            let mut sim = Sim::new(1);
+            let mut sim: Sim<Packet> = Sim::new(1);
             let src = sim.add_node(
                 "src",
                 Box::new(Source {

@@ -1,62 +1,24 @@
-//! Datagram construction and parsing helpers shared by every endpoint.
+//! Typed packet construction helpers shared by every endpoint.
 //!
 //! [`IpStack`] owns a host's (or router interface's) IPv4 address and
-//! provides one-call builders for full UDP-in-IPv4 and TCP-in-IPv4
-//! packets, plus a one-call parser returning a [`Parsed`] classification.
-//! Every byte on every simulated link goes through these real codecs.
+//! stamps it — plus the configured TTL — onto outgoing typed
+//! [`Packet`]s. Since the typed-packet refactor (DESIGN.md §9) nothing
+//! serializes per hop: nodes construct and match `Packet` values, and
+//! the wire image exists only lazily (`Packet::encode`) for traces and
+//! equivalence tests.
 
-use lispwire::ipv4::{build_ipv4, Ipv4Packet, Ipv4Repr};
-use lispwire::tcpseg::{build_tcp, TcpPacket, TcpRepr};
-use lispwire::udp::{build_udp, UdpPacket, UdpRepr};
-use lispwire::{IpProtocol, Ipv4Address, WireError, WireResult};
+use lispwire::dnswire::Message;
+use lispwire::packet::{CtlMsg, Packet, PceMsg};
+use lispwire::tcpseg::TcpRepr;
+use lispwire::{Ipv4Address, Ipv4Repr, WireError, WireResult};
 
-/// A host-side packet factory / parser bound to a local address.
+/// A host-side packet factory bound to a local address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IpStack {
     /// The local IPv4 address stamped on outgoing packets.
     pub addr: Ipv4Address,
     /// TTL for new packets.
     pub ttl: u8,
-}
-
-/// A parsed incoming packet.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Parsed {
-    /// A UDP datagram.
-    Udp {
-        /// Outer IPv4 source.
-        src: Ipv4Address,
-        /// Outer IPv4 destination.
-        dst: Ipv4Address,
-        /// UDP source port.
-        src_port: u16,
-        /// UDP destination port.
-        dst_port: u16,
-        /// UDP payload bytes.
-        payload: Vec<u8>,
-    },
-    /// A TCP segment.
-    Tcp {
-        /// Outer IPv4 source.
-        src: Ipv4Address,
-        /// Outer IPv4 destination.
-        dst: Ipv4Address,
-        /// Parsed segment header.
-        seg: TcpRepr,
-        /// Segment payload bytes.
-        payload: Vec<u8>,
-    },
-    /// Some other IP protocol (delivered raw).
-    Other {
-        /// Outer IPv4 source.
-        src: Ipv4Address,
-        /// Outer IPv4 destination.
-        dst: Ipv4Address,
-        /// IP protocol number.
-        protocol: IpProtocol,
-        /// IP payload bytes.
-        payload: Vec<u8>,
-    },
 }
 
 impl IpStack {
@@ -68,111 +30,50 @@ impl IpStack {
         }
     }
 
-    /// Build a UDP-in-IPv4 packet from this stack's address.
-    pub fn udp(&self, src_port: u16, dst: Ipv4Address, dst_port: u16, payload: &[u8]) -> Vec<u8> {
-        build_udp_ip(self.addr, src_port, dst, dst_port, payload, self.ttl)
+    fn stamp(&self, mut pkt: Packet) -> Packet {
+        pkt.ip_mut().ttl = self.ttl;
+        pkt
     }
 
-    /// Build a TCP-in-IPv4 packet from this stack's address.
-    pub fn tcp(&self, dst: Ipv4Address, seg: &TcpRepr, payload: &[u8]) -> Vec<u8> {
-        let tcp_bytes = build_tcp(seg, self.addr, dst, payload);
-        let repr = Ipv4Repr {
-            src: self.addr,
-            dst,
-            protocol: IpProtocol::Tcp,
-            ttl: self.ttl,
-            payload_len: tcp_bytes.len(),
-        };
-        build_ipv4(&repr, &tcp_bytes)
+    /// An opaque-payload UDP packet from this stack's address.
+    pub fn udp(&self, src_port: u16, dst: Ipv4Address, dst_port: u16, payload: Vec<u8>) -> Packet {
+        self.stamp(Packet::udp(self.addr, src_port, dst, dst_port, payload))
     }
 
-    /// Parse an incoming packet, verifying every checksum on the way.
-    pub fn parse(bytes: &[u8]) -> WireResult<Parsed> {
-        parse_ip(bytes)
+    /// A DNS message packet from this stack's address.
+    pub fn dns(&self, src_port: u16, dst: Ipv4Address, dst_port: u16, msg: Message) -> Packet {
+        self.stamp(Packet::dns(self.addr, src_port, dst, dst_port, msg))
     }
-}
 
-/// Build a UDP-in-IPv4 packet with explicit source address.
-pub fn build_udp_ip(
-    src: Ipv4Address,
-    src_port: u16,
-    dst: Ipv4Address,
-    dst_port: u16,
-    payload: &[u8],
-    ttl: u8,
-) -> Vec<u8> {
-    let udp_bytes = build_udp(&UdpRepr { src_port, dst_port }, src, dst, payload);
-    let repr = Ipv4Repr {
-        src,
-        dst,
-        protocol: IpProtocol::Udp,
-        ttl,
-        payload_len: udp_bytes.len(),
-    };
-    build_ipv4(&repr, &udp_bytes)
-}
+    /// A LISP control message packet from this stack's address.
+    pub fn ctl(&self, src_port: u16, dst: Ipv4Address, dst_port: u16, msg: CtlMsg) -> Packet {
+        self.stamp(Packet::ctl(self.addr, src_port, dst, dst_port, msg))
+    }
 
-/// Parse a raw IPv4 packet into a [`Parsed`] classification.
-pub fn parse_ip(bytes: &[u8]) -> WireResult<Parsed> {
-    let ip = Ipv4Packet::new_checked(bytes)?;
-    let ip_repr = Ipv4Repr::parse(&ip)?;
-    let payload = ip.payload();
-    match ip_repr.protocol {
-        IpProtocol::Udp => {
-            let udp = UdpPacket::new_checked(payload)?;
-            let udp_repr = lispwire::udp::UdpRepr::parse(&udp, ip_repr.src, ip_repr.dst)?;
-            Ok(Parsed::Udp {
-                src: ip_repr.src,
-                dst: ip_repr.dst,
-                src_port: udp_repr.src_port,
-                dst_port: udp_repr.dst_port,
-                payload: udp.payload().to_vec(),
-            })
-        }
-        IpProtocol::Tcp => {
-            let tcp = TcpPacket::new_checked(payload)?;
-            let seg = TcpRepr::parse(&tcp, ip_repr.src, ip_repr.dst)?;
-            Ok(Parsed::Tcp {
-                src: ip_repr.src,
-                dst: ip_repr.dst,
-                seg,
-                payload: tcp.payload().to_vec(),
-            })
-        }
-        other => Ok(Parsed::Other {
-            src: ip_repr.src,
-            dst: ip_repr.dst,
-            protocol: other,
-            payload: payload.to_vec(),
-        }),
+    /// A PCE control-plane message packet from this stack's address.
+    pub fn pce(&self, src_port: u16, dst: Ipv4Address, dst_port: u16, msg: PceMsg) -> Packet {
+        self.stamp(Packet::pce(self.addr, src_port, dst, dst_port, msg))
+    }
+
+    /// A TCP segment packet from this stack's address.
+    pub fn tcp(&self, dst: Ipv4Address, seg: &TcpRepr, payload: Vec<u8>) -> Packet {
+        self.stamp(Packet::tcp(self.addr, dst, *seg, payload))
     }
 }
 
-/// Extract just the IPv4 destination without full parsing (used by
-/// routers before the per-hop TTL work).
-pub fn peek_dst(bytes: &[u8]) -> WireResult<Ipv4Address> {
-    let ip = Ipv4Packet::new_checked(bytes)?;
-    Ok(ip.dst_addr())
-}
-
-/// Extract just the IPv4 source.
-pub fn peek_src(bytes: &[u8]) -> WireResult<Ipv4Address> {
-    let ip = Ipv4Packet::new_checked(bytes)?;
-    Ok(ip.src_addr())
-}
-
-/// Rewrite an IPv4 packet for one forwarding hop: verify, decrement TTL,
-/// refresh checksum. Returns `Err(WireError::Malformed)` when the TTL
-/// expires (packet must be dropped).
-pub fn forward_hop(bytes: &mut [u8]) -> WireResult<()> {
-    let mut ip = Ipv4Packet::new_checked(&mut bytes[..])?;
-    if !ip.verify_checksum() {
+/// Rewrite a packet for one forwarding hop: verify (the typed analogue
+/// of the header checksum — a corruption marker in the header region
+/// fails it), decrement the TTL. Returns `Err(WireError::Malformed)`
+/// when the TTL expires (packet must be dropped).
+pub fn forward_hop(pkt: &mut Packet) -> WireResult<()> {
+    if pkt.header_corrupt() {
         return Err(WireError::BadChecksum);
     }
-    if ip.decrement_ttl() == 0 {
+    let ip = pkt.ip_mut();
+    ip.ttl = ip.ttl.saturating_sub(1);
+    if ip.ttl == 0 {
         return Err(WireError::Malformed);
     }
-    ip.fill_checksum();
     Ok(())
 }
 
@@ -180,34 +81,32 @@ pub fn forward_hop(bytes: &mut [u8]) -> WireResult<()> {
 mod tests {
     use super::*;
     use lispwire::tcpseg::TcpFlags;
+    use netsim::Payload;
 
     const A: Ipv4Address = Ipv4Address::new(100, 0, 0, 1);
     const B: Ipv4Address = Ipv4Address::new(101, 0, 0, 1);
 
     #[test]
-    fn udp_build_parse() {
+    fn udp_builder_stamps_addr_and_ttl() {
         let stack = IpStack::new(A);
-        let pkt = stack.udp(1234, B, 53, b"query");
-        match IpStack::parse(&pkt).unwrap() {
-            Parsed::Udp {
-                src,
-                dst,
-                src_port,
-                dst_port,
-                payload,
-            } => {
-                assert_eq!(src, A);
-                assert_eq!(dst, B);
-                assert_eq!(src_port, 1234);
-                assert_eq!(dst_port, 53);
+        let pkt = stack.udp(1234, B, 53, b"query".to_vec());
+        assert_eq!(pkt.src(), A);
+        assert_eq!(pkt.dst(), B);
+        assert_eq!(pkt.ip().ttl, Ipv4Repr::DEFAULT_TTL);
+        match &pkt {
+            Packet::Udp { ports, payload, .. } => {
+                assert_eq!((ports.src, ports.dst), (1234, 53));
                 assert_eq!(payload, b"query");
             }
             other => panic!("unexpected {other:?}"),
         }
+        // The wire image matches the legacy byte path exactly.
+        assert_eq!(pkt.encode().len(), pkt.wire_len());
+        assert_eq!(pkt.wire_len(), 20 + 8 + 5);
     }
 
     #[test]
-    fn tcp_build_parse() {
+    fn tcp_builder_produces_segment() {
         let stack = IpStack::new(A);
         let seg = TcpRepr {
             src_port: 40000,
@@ -216,65 +115,57 @@ mod tests {
             ack: 0,
             flags: TcpFlags::SYN,
         };
-        let pkt = stack.tcp(B, &seg, &[]);
-        match IpStack::parse(&pkt).unwrap() {
-            Parsed::Tcp {
-                src,
-                dst,
-                seg: parsed,
-                payload,
+        let pkt = stack.tcp(B, &seg, vec![]);
+        match &pkt {
+            Packet::Tcp {
+                seg: s, payload, ..
             } => {
-                assert_eq!(src, A);
-                assert_eq!(dst, B);
-                assert_eq!(parsed, seg);
+                assert_eq!(*s, seg);
                 assert!(payload.is_empty());
             }
             other => panic!("unexpected {other:?}"),
         }
-    }
-
-    #[test]
-    fn peek_addrs() {
-        let stack = IpStack::new(A);
-        let pkt = stack.udp(1, B, 2, &[]);
-        assert_eq!(peek_dst(&pkt).unwrap(), B);
-        assert_eq!(peek_src(&pkt).unwrap(), A);
+        assert_eq!(pkt.wire_len(), 40);
     }
 
     #[test]
     fn forward_hop_decrements() {
         let stack = IpStack::new(A);
-        let mut pkt = stack.udp(1, B, 2, b"x");
+        let mut pkt = stack.udp(1, B, 2, b"x".to_vec());
         forward_hop(&mut pkt).unwrap();
-        let ip = Ipv4Packet::new_checked(&pkt[..]).unwrap();
-        assert_eq!(ip.ttl(), Ipv4Repr::DEFAULT_TTL - 1);
-        assert!(ip.verify_checksum());
-        // Payload still parses after the hop.
-        assert!(matches!(IpStack::parse(&pkt).unwrap(), Parsed::Udp { .. }));
+        assert_eq!(pkt.ip().ttl, Ipv4Repr::DEFAULT_TTL - 1);
+        // Payload still valid after the hop (encode round-trips).
+        assert_eq!(Packet::decode(&pkt.encode()).unwrap(), pkt);
     }
 
     #[test]
     fn forward_hop_expires_ttl() {
         let mut stack = IpStack::new(A);
         stack.ttl = 1;
-        let mut pkt = stack.udp(1, B, 2, b"x");
+        let mut pkt = stack.udp(1, B, 2, b"x".to_vec());
         assert_eq!(forward_hop(&mut pkt).unwrap_err(), WireError::Malformed);
     }
 
     #[test]
-    fn forward_hop_rejects_corruption() {
+    fn forward_hop_rejects_header_corruption() {
         let stack = IpStack::new(A);
-        let mut pkt = stack.udp(1, B, 2, b"x");
-        pkt[14] ^= 0xff;
+        let mut pkt = stack.udp(1, B, 2, b"x".to_vec());
+        Payload::corrupt(&mut pkt, 14, 0); // source-address region
         assert_eq!(forward_hop(&mut pkt).unwrap_err(), WireError::BadChecksum);
     }
 
     #[test]
-    fn corrupt_udp_payload_detected_at_endpoint() {
+    fn payload_corruption_detected_at_endpoint() {
         let stack = IpStack::new(A);
-        let mut pkt = stack.udp(1, B, 2, b"payload");
-        let n = pkt.len();
-        pkt[n - 1] ^= 0x01;
-        assert!(IpStack::parse(&pkt).is_err());
+        let mut pkt = stack.udp(1, B, 2, b"payload".to_vec());
+        let n = pkt.wire_len();
+        Payload::corrupt(&mut pkt, n - 1, 0);
+        assert!(pkt.is_corrupt());
+        assert!(!pkt.header_corrupt());
+        // A transit hop still forwards it (checksum covers the header only)…
+        assert!(forward_hop(&mut pkt).is_ok());
+        // …and the legacy decoder rejects the corrupted wire image, just
+        // as endpoint UDP checksum verification did.
+        assert!(Packet::decode(&pkt.encode()).is_err());
     }
 }

@@ -20,7 +20,7 @@ use crate::dnswire::Message;
 use crate::error::{WireError, WireResult};
 use crate::ipv4::{build_ipv4, IpProtocol, Ipv4Address, Ipv4Packet, Ipv4Repr};
 use crate::lisp::{encapsulate, LispPacket, LispRepr};
-use crate::lispctl::{self, DbPush, MapRecord, MapRequest, MapReply, RlocProbe};
+use crate::lispctl::{self, DbPush, MapRecord, MapReply, MapRequest, RlocProbe};
 use crate::pcewire::{self, IpcQueryNotice, PceDnsMapping, PceFlowMsg, PceKind};
 use crate::ports;
 use crate::tcpseg::{build_tcp, TcpPacket, TcpRepr};
@@ -737,7 +737,11 @@ mod tests {
             ports::DNS,
             a(10, 0, 0, 53),
             32853,
-            Message::query_a(7, crate::dnswire::Name::parse_str("host.d.example").unwrap(), false),
+            Message::query_a(
+                7,
+                crate::dnswire::Name::parse_str("host.d.example").unwrap(),
+                false,
+            ),
         );
         let msg = PceMsg::DnsMapping {
             pce_d: a(12, 0, 0, 200),

@@ -7,8 +7,8 @@
 //! timing and byte counters — to the pre-refactor byte path.
 
 use lispwire::dnswire::{Message, Name, Rcode, Record};
-use lispwire::lispctl::{DbPush, Locator, MapRecord, MapRequest, MapReply, RlocProbe};
 use lispwire::lisp::LispRepr;
+use lispwire::lispctl::{DbPush, Locator, MapRecord, MapReply, MapRequest, RlocProbe};
 use lispwire::packet::{ConsMsg, CtlMsg, Packet, PceMsg};
 use lispwire::pcewire::{FlowMapping, IpcQueryNotice, PceFlowMsg, PceKind};
 use lispwire::ports;
@@ -54,8 +54,11 @@ fn arb_map_record() -> impl Strategy<Value = MapRecord> {
 }
 
 fn arb_name() -> impl Strategy<Value = Name> {
-    prop::collection::vec(proptest::string::string_regex("[a-z0-9]{1,12}").unwrap(), 0..4)
-        .prop_map(|labels| Name::parse_str(&labels.join(".")).unwrap())
+    prop::collection::vec(
+        proptest::string::string_regex("[a-z0-9]{1,12}").unwrap(),
+        0..4,
+    )
+    .prop_map(|labels| Name::parse_str(&labels.join(".")).unwrap())
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -81,15 +84,22 @@ fn arb_message() -> impl Strategy<Value = Message> {
 }
 
 fn arb_request() -> impl Strategy<Value = MapRequest> {
-    (any::<u64>(), arb_addr(), arb_addr(), arb_addr(), any::<u16>()).prop_map(
-        |(nonce, source_eid, target_eid, itr_rloc, hop_count)| MapRequest {
-            nonce,
-            source_eid,
-            target_eid,
-            itr_rloc,
-            hop_count,
-        },
+    (
+        any::<u64>(),
+        arb_addr(),
+        arb_addr(),
+        arb_addr(),
+        any::<u16>(),
     )
+        .prop_map(
+            |(nonce, source_eid, target_eid, itr_rloc, hop_count)| MapRequest {
+                nonce,
+                source_eid,
+                target_eid,
+                itr_rloc,
+                hop_count,
+            },
+        )
 }
 
 fn arb_ctl() -> impl Strategy<Value = CtlMsg> {

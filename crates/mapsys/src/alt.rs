@@ -9,9 +9,9 @@
 //! plus a per-hop processing delay — the well-known ALT latency cost is
 //! the sum of these hops (experiments E2/E3 expose it).
 
-use inet::stack::{IpStack, Parsed};
+use inet::stack::IpStack;
 use inet::{LpmTrie, Prefix};
-use lispwire::lispctl::MapRequest;
+use lispwire::packet::{CtlMsg, Packet};
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, LazyCounter, Node, Ns, PortId, ScheduledUpdates};
 use std::any::Any;
@@ -25,7 +25,7 @@ pub struct AltRouter {
     /// Local delivery: EID prefix → authoritative ETR address.
     delivery: LpmTrie<Ipv4Address>,
     processing_delay: Ns,
-    outbox: VecDeque<Vec<u8>>,
+    outbox: VecDeque<Packet>,
     /// Timed delivery re-registrations (dynamics; see
     /// [`AltRouter::schedule_update`]).
     scheduled_updates: ScheduledUpdates<(Prefix, Ipv4Address)>,
@@ -95,27 +95,23 @@ impl AltRouter {
     }
 }
 
-impl Node for AltRouter {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+impl Node<Packet> for AltRouter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
         self.scheduled_updates.arm(ctx);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let Ok(Parsed::Udp {
-            dst,
-            dst_port,
-            payload,
-            ..
-        }) = IpStack::parse(&bytes)
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        let Packet::LispCtl {
+            ip,
+            ports: p,
+            msg: CtlMsg::Request(mut req),
+        } = pkt
         else {
             return;
         };
-        if dst != self.stack.addr || dst_port != ports::LISP_CONTROL {
+        if ip.dst != self.stack.addr || p.dst != ports::LISP_CONTROL {
             return;
         }
-        let Ok(mut req) = MapRequest::from_bytes(&payload) else {
-            return;
-        };
 
         // Deliver if an attached site covers the target.
         if let Some(&etr) = self.delivery.lookup_value(req.target_eid) {
@@ -124,9 +120,12 @@ impl Node for AltRouter {
                 "alt {} delivers request for {} to etr {}",
                 self.stack.addr, req.target_eid, etr
             ));
-            let pkt = self
-                .stack
-                .udp(ports::LISP_CONTROL, etr, ports::LISP_CONTROL, &payload);
+            let pkt = self.stack.ctl(
+                ports::LISP_CONTROL,
+                etr,
+                ports::LISP_CONTROL,
+                CtlMsg::Request(req),
+            );
             self.outbox.push_back(pkt);
             ctx.set_timer(self.processing_delay, TOKEN_FWD);
             return;
@@ -145,11 +144,11 @@ impl Node for AltRouter {
                     "alt {} forwards request for {} to {}",
                     self.stack.addr, req.target_eid, next
                 ));
-                let pkt = self.stack.udp(
+                let pkt = self.stack.ctl(
                     ports::LISP_CONTROL,
                     next,
                     ports::LISP_CONTROL,
-                    &req.to_bytes(),
+                    CtlMsg::Request(req),
                 );
                 self.outbox.push_back(pkt);
                 ctx.set_timer(self.processing_delay, TOKEN_FWD);
@@ -161,7 +160,7 @@ impl Node for AltRouter {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         if token == TOKEN_FWD {
             if let Some(pkt) = self.outbox.pop_front() {
                 ctx.send(0, pkt);
@@ -215,18 +214,23 @@ mod tests {
         Ipv4Address(o)
     }
 
+    use lispwire::lispctl::MapRequest;
+
     /// A fake ETR: records delivered requests and replies nothing.
     struct EtrSink {
         stack: IpStack,
         pub requests: Vec<MapRequest>,
     }
-    impl Node for EtrSink {
-        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
-            if let Ok(Parsed::Udp { dst, payload, .. }) = IpStack::parse(&bytes) {
-                if dst == self.stack.addr {
-                    if let Ok(req) = MapRequest::from_bytes(&payload) {
-                        self.requests.push(req);
-                    }
+    impl Node<Packet> for EtrSink {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_, Packet>, _p: PortId, pkt: Packet) {
+            if let Packet::LispCtl {
+                ip,
+                msg: CtlMsg::Request(req),
+                ..
+            } = pkt
+            {
+                if ip.dst == self.stack.addr {
+                    self.requests.push(req);
                 }
             }
         }
@@ -244,8 +248,8 @@ mod tests {
         entry: Ipv4Address,
         hop_budget: u16,
     }
-    impl Node for Injector {
-        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+    impl Node<Packet> for Injector {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, _t: u64) {
             let req = MapRequest {
                 nonce: 9,
                 source_eid: a([100, 0, 0, 1]),
@@ -253,11 +257,11 @@ mod tests {
                 itr_rloc: self.stack.addr,
                 hop_count: self.hop_budget,
             };
-            let pkt = self.stack.udp(
+            let pkt = self.stack.ctl(
                 ports::LISP_CONTROL,
                 self.entry,
                 ports::LISP_CONTROL,
-                &req.to_bytes(),
+                CtlMsg::Request(req),
             );
             ctx.send(0, pkt);
         }
@@ -269,7 +273,7 @@ mod tests {
         }
     }
 
-    fn wire_star(sim: &mut Sim, core: NodeId, nodes: &[(NodeId, Ipv4Address)], owd: Ns) {
+    fn wire_star(sim: &mut Sim<Packet>, core: NodeId, nodes: &[(NodeId, Ipv4Address)], owd: Ns) {
         for &(node, addr) in nodes {
             let (_, port) = sim.connect(node, core, LinkCfg::wan(owd));
             sim.node_mut::<Router>(core)
@@ -279,7 +283,7 @@ mod tests {
 
     #[test]
     fn chain_routes_to_etr() {
-        let mut sim = Sim::new(9);
+        let mut sim: Sim<Packet> = Sim::new(9);
         sim.trace.enable();
         let core = sim.add_node("core", Box::new(Router::new()));
         let chain_addrs = [a([9, 0, 0, 1]), a([9, 0, 0, 2]), a([9, 0, 0, 3])];
@@ -330,7 +334,7 @@ mod tests {
 
     #[test]
     fn hop_budget_exhaustion_drops() {
-        let mut sim = Sim::new(9);
+        let mut sim: Sim<Packet> = Sim::new(9);
         let core = sim.add_node("core", Box::new(Router::new()));
         let chain_addrs = [a([9, 0, 0, 1]), a([9, 0, 0, 2]), a([9, 0, 0, 3])];
         let site = Prefix::new(a([101, 0, 0, 0]), 8);
@@ -373,7 +377,7 @@ mod tests {
 
     #[test]
     fn no_route_drops() {
-        let mut sim = Sim::new(9);
+        let mut sim: Sim<Packet> = Sim::new(9);
         let r_addr = a([9, 0, 0, 1]);
         let alt = sim.add_node("alt", Box::new(AltRouter::new(r_addr)));
         let inj_addr = a([10, 0, 0, 1]);

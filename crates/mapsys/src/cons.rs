@@ -7,82 +7,20 @@
 //! covering the target, then *down* to the CAR serving the destination
 //! site, which hands it to the ETR. Unlike ALT, the **reply retraces the
 //! overlay path** (CONS is connection-oriented); we emulate that state
-//! with an explicit record-route carried in a small wrapper format, plus a
-//! per-leaf pending table keyed by nonce.
+//! with an explicit record-route carried in the typed
+//! [`ConsMsg`](lispwire::packet::ConsMsg) wrapper, plus a per-leaf pending
+//! table keyed by nonce.
 
-use inet::stack::{IpStack, Parsed};
+use inet::stack::IpStack;
 use inet::{LpmTrie, Prefix};
-use lispwire::lispctl::{self, MapRequest};
-use lispwire::{ports, Ipv4Address, WireError, WireResult};
+use lispwire::packet::{ConsMsg, CtlMsg, Packet};
+use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, LazyCounter, Node, Ns, PortId, ScheduledUpdates};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
 /// UDP port CONS overlay nodes use among themselves.
-pub const CONS_PORT: u16 = 4343;
-
-/// Wrapper message carried between CONS nodes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConsMsg {
-    /// True for replies retracing the path, false for requests going up.
-    pub is_reply: bool,
-    /// The original requesting ITR (final reply target).
-    pub orig_itr: Ipv4Address,
-    /// Record-route: addresses to retrace, most recent last.
-    pub via: Vec<Ipv4Address>,
-    /// The encapsulated Map-Request or Map-Reply bytes.
-    pub inner: Vec<u8>,
-}
-
-impl ConsMsg {
-    /// Serialize.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + self.via.len() * 4 + self.inner.len());
-        out.push(0xC5);
-        out.push(u8::from(self.is_reply));
-        out.extend_from_slice(&self.orig_itr.0);
-        out.push(self.via.len() as u8);
-        for v in &self.via {
-            out.extend_from_slice(&v.0);
-        }
-        out.extend_from_slice(&(self.inner.len() as u16).to_be_bytes());
-        out.extend_from_slice(&self.inner);
-        out
-    }
-
-    /// Parse.
-    pub fn from_bytes(buf: &[u8]) -> WireResult<Self> {
-        if buf.len() < 9 {
-            return Err(WireError::Truncated);
-        }
-        if buf[0] != 0xC5 {
-            return Err(WireError::UnknownType);
-        }
-        let is_reply = buf[1] != 0;
-        let orig_itr = Ipv4Address(buf[2..6].try_into().unwrap());
-        let n = buf[6] as usize;
-        let mut pos = 7;
-        let mut via = Vec::with_capacity(n);
-        for _ in 0..n {
-            let b = buf.get(pos..pos + 4).ok_or(WireError::Truncated)?;
-            via.push(Ipv4Address(b.try_into().unwrap()));
-            pos += 4;
-        }
-        let lb = buf.get(pos..pos + 2).ok_or(WireError::Truncated)?;
-        let len = u16::from_be_bytes([lb[0], lb[1]]) as usize;
-        pos += 2;
-        let inner = buf
-            .get(pos..pos + len)
-            .ok_or(WireError::Truncated)?
-            .to_vec();
-        Ok(Self {
-            is_reply,
-            orig_itr,
-            via,
-            inner,
-        })
-    }
-}
+pub const CONS_PORT: u16 = ports::CONS;
 
 /// One CONS overlay node (CAR when it has attached sites, CDR otherwise).
 pub struct ConsNode {
@@ -95,7 +33,7 @@ pub struct ConsNode {
     /// Pending request state at leaf CARs: nonce → (orig itr, return path).
     pending: HashMap<u64, (Ipv4Address, Vec<Ipv4Address>)>,
     processing_delay: Ns,
-    outbox: VecDeque<Vec<u8>>,
+    outbox: VecDeque<Packet>,
     /// Timed site re-registrations (dynamics; see
     /// [`ConsNode::schedule_update`]).
     scheduled_updates: ScheduledUpdates<(Prefix, Ipv4Address)>,
@@ -165,14 +103,14 @@ impl ConsNode {
         self.stack.addr
     }
 
-    fn enqueue(&mut self, ctx: &mut Ctx<'_>, pkt: Vec<u8>) {
+    fn enqueue(&mut self, ctx: &mut Ctx<'_, Packet>, pkt: Packet) {
         self.outbox.push_back(pkt);
         ctx.set_timer(self.processing_delay, TOKEN_FWD);
     }
 
     /// Route a wrapped request one step.
-    fn route_request(&mut self, ctx: &mut Ctx<'_>, mut msg: ConsMsg) {
-        let Ok(req) = MapRequest::from_bytes(&msg.inner) else {
+    fn route_request(&mut self, ctx: &mut Ctx<'_, Packet>, mut msg: ConsMsg) {
+        let CtlMsg::Request(req) = *msg.inner.clone() else {
             self.dropped += 1;
             return;
         };
@@ -188,11 +126,11 @@ impl ConsNode {
                 "cons {} delivers request for {} to etr {}",
                 self.stack.addr, req.target_eid, etr
             ));
-            let pkt = self.stack.udp(
+            let pkt = self.stack.ctl(
                 ports::LISP_CONTROL,
                 etr,
                 ports::LISP_CONTROL,
-                &rewritten.to_bytes(),
+                CtlMsg::Request(rewritten),
             );
             self.enqueue(ctx, pkt);
             return;
@@ -211,7 +149,9 @@ impl ConsNode {
                     "cons {} relays request for {} to {}",
                     self.stack.addr, req.target_eid, next
                 ));
-                let pkt = self.stack.udp(CONS_PORT, next, CONS_PORT, &msg.to_bytes());
+                let pkt = self
+                    .stack
+                    .ctl(CONS_PORT, next, CONS_PORT, CtlMsg::Cons(msg));
                 self.enqueue(ctx, pkt);
             }
             None => {
@@ -222,7 +162,7 @@ impl ConsNode {
     }
 
     /// Route a wrapped reply one step back.
-    fn route_reply(&mut self, ctx: &mut Ctx<'_>, mut msg: ConsMsg) {
+    fn route_reply(&mut self, ctx: &mut Ctx<'_, Packet>, mut msg: ConsMsg) {
         match msg.via.pop() {
             Some(prev) => {
                 self.replies_relayed += 1;
@@ -230,7 +170,9 @@ impl ConsNode {
                     "cons {} relays reply toward {}",
                     self.stack.addr, prev
                 ));
-                let pkt = self.stack.udp(CONS_PORT, prev, CONS_PORT, &msg.to_bytes());
+                let pkt = self
+                    .stack
+                    .ctl(CONS_PORT, prev, CONS_PORT, CtlMsg::Cons(msg));
                 self.enqueue(ctx, pkt);
             }
             None => {
@@ -240,11 +182,11 @@ impl ConsNode {
                     "cons {} delivers reply to itr {}",
                     self.stack.addr, msg.orig_itr
                 ));
-                let pkt = self.stack.udp(
+                let pkt = self.stack.ctl(
                     ports::LISP_CONTROL,
                     msg.orig_itr,
                     ports::LISP_CONTROL,
-                    &msg.inner,
+                    *msg.inner,
                 );
                 self.enqueue(ctx, pkt);
             }
@@ -252,74 +194,56 @@ impl ConsNode {
     }
 }
 
-impl Node for ConsNode {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+impl Node<Packet> for ConsNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
         self.scheduled_updates.arm(ctx);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let Ok(Parsed::Udp {
-            dst,
-            dst_port,
-            payload,
-            ..
-        }) = IpStack::parse(&bytes)
-        else {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        let Packet::LispCtl { ip, ports: p, msg } = pkt else {
             return;
         };
-        if dst != self.stack.addr {
+        if ip.dst != self.stack.addr {
             return;
         }
-        match dst_port {
+        match (p.dst, msg) {
             // Plain control traffic: a new request from an ITR, or a reply
             // from an ETR we handed a request to.
-            ports::LISP_CONTROL => match lispctl::message_type(&payload) {
-                Ok(lispctl::TYPE_MAP_REQUEST) => {
-                    let Ok(req) = MapRequest::from_bytes(&payload) else {
-                        return;
-                    };
-                    let msg = ConsMsg {
-                        is_reply: false,
-                        orig_itr: req.itr_rloc,
-                        via: Vec::new(),
-                        inner: payload,
-                    };
-                    self.route_request(ctx, msg);
-                }
-                Ok(lispctl::TYPE_MAP_REPLY) => {
-                    let Ok(reply) = lispctl::MapReply::from_bytes(&payload) else {
-                        return;
-                    };
-                    let Some((orig_itr, via)) = self.pending.remove(&reply.nonce) else {
-                        self.dropped += 1;
-                        return;
-                    };
-                    let msg = ConsMsg {
-                        is_reply: true,
-                        orig_itr,
-                        via,
-                        inner: payload,
-                    };
-                    self.route_reply(ctx, msg);
-                }
-                _ => {}
-            },
-            CONS_PORT => {
-                let Ok(msg) = ConsMsg::from_bytes(&payload) else {
+            (ports::LISP_CONTROL, CtlMsg::Request(req)) => {
+                let msg = ConsMsg {
+                    is_reply: false,
+                    orig_itr: req.itr_rloc,
+                    via: Vec::new(),
+                    inner: Box::new(CtlMsg::Request(req)),
+                };
+                self.route_request(ctx, msg);
+            }
+            (ports::LISP_CONTROL, CtlMsg::Reply(reply)) => {
+                let Some((orig_itr, via)) = self.pending.remove(&reply.nonce) else {
                     self.dropped += 1;
                     return;
                 };
+                let msg = ConsMsg {
+                    is_reply: true,
+                    orig_itr,
+                    via,
+                    inner: Box::new(CtlMsg::Reply(reply)),
+                };
+                self.route_reply(ctx, msg);
+            }
+            (CONS_PORT, CtlMsg::Cons(msg)) => {
                 if msg.is_reply {
                     self.route_reply(ctx, msg);
                 } else {
                     self.route_request(ctx, msg);
                 }
             }
+            (CONS_PORT, _) => self.dropped += 1,
             _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         if token == TOKEN_FWD {
             if let Some(pkt) = self.outbox.pop_front() {
                 ctx.send(0, pkt);
@@ -346,7 +270,8 @@ impl Node for ConsNode {
 mod tests {
     use super::*;
     use inet::Router;
-    use lispwire::lispctl::{Locator, MapRecord, MapReply};
+    use lispwire::lispctl::{Locator, MapRecord, MapReply, MapRequest};
+    use lispwire::WireError;
     use netsim::{LinkCfg, NodeId, Sim};
 
     fn a(o: [u8; 4]) -> Ipv4Address {
@@ -359,9 +284,17 @@ mod tests {
             is_reply: true,
             orig_itr: a([10, 0, 0, 1]),
             via: vec![a([9, 0, 0, 1]), a([9, 0, 0, 2])],
-            inner: vec![1, 2, 3, 4],
+            inner: Box::new(CtlMsg::Request(MapRequest {
+                nonce: 1,
+                source_eid: a([100, 0, 0, 1]),
+                target_eid: a([101, 0, 0, 1]),
+                itr_rloc: a([10, 0, 0, 1]),
+                hop_count: 4,
+            })),
         };
-        assert_eq!(ConsMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.wire_len());
+        assert_eq!(ConsMsg::from_bytes(&bytes).unwrap(), msg);
     }
 
     #[test]
@@ -370,7 +303,10 @@ mod tests {
             is_reply: false,
             orig_itr: a([1, 1, 1, 1]),
             via: vec![],
-            inner: vec![7; 8],
+            inner: Box::new(CtlMsg::Reply(MapReply {
+                nonce: 3,
+                records: vec![],
+            })),
         };
         let b = msg.to_bytes();
         assert!(ConsMsg::from_bytes(&b[..b.len() - 2]).is_err());
@@ -389,27 +325,29 @@ mod tests {
         record: MapRecord,
         pub answered: u64,
     }
-    impl Node for EtrStub {
-        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
-            let Ok(Parsed::Udp { dst, payload, .. }) = IpStack::parse(&bytes) else {
+    impl Node<Packet> for EtrStub {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _p: PortId, pkt: Packet) {
+            let Packet::LispCtl {
+                ip,
+                msg: CtlMsg::Request(req),
+                ..
+            } = pkt
+            else {
                 return;
             };
-            if dst != self.stack.addr {
+            if ip.dst != self.stack.addr {
                 return;
             }
-            let Ok(req) = MapRequest::from_bytes(&payload) else {
-                return;
-            };
             self.answered += 1;
             let reply = MapReply {
                 nonce: req.nonce,
                 records: vec![self.record.clone()],
             };
-            let pkt = self.stack.udp(
+            let pkt = self.stack.ctl(
                 ports::LISP_CONTROL,
                 req.itr_rloc,
                 ports::LISP_CONTROL,
-                &reply.to_bytes(),
+                CtlMsg::Reply(reply),
             );
             ctx.send(0, pkt);
         }
@@ -429,8 +367,8 @@ mod tests {
         pub reply_at: Option<netsim::Ns>,
         pub reply: Option<MapReply>,
     }
-    impl Node for ItrStub {
-        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+    impl Node<Packet> for ItrStub {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, _t: u64) {
             let req = MapRequest {
                 nonce: 77,
                 source_eid: a([100, 0, 0, 1]),
@@ -438,25 +376,28 @@ mod tests {
                 itr_rloc: self.stack.addr,
                 hop_count: 32,
             };
-            let pkt = self.stack.udp(
+            let pkt = self.stack.ctl(
                 ports::LISP_CONTROL,
                 self.car,
                 ports::LISP_CONTROL,
-                &req.to_bytes(),
+                CtlMsg::Request(req),
             );
             ctx.send(0, pkt);
         }
-        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
-            let Ok(Parsed::Udp { dst, payload, .. }) = IpStack::parse(&bytes) else {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _p: PortId, pkt: Packet) {
+            let Packet::LispCtl {
+                ip,
+                msg: CtlMsg::Reply(reply),
+                ..
+            } = pkt
+            else {
                 return;
             };
-            if dst != self.stack.addr {
+            if ip.dst != self.stack.addr {
                 return;
             }
-            if let Ok(reply) = MapReply::from_bytes(&payload) {
-                self.reply_at = Some(ctx.now());
-                self.reply = Some(reply);
-            }
+            self.reply_at = Some(ctx.now());
+            self.reply = Some(reply);
         }
         fn as_any(&mut self) -> &mut dyn Any {
             self
@@ -466,7 +407,7 @@ mod tests {
         }
     }
 
-    fn wire_star(sim: &mut Sim, core: NodeId, nodes: &[(NodeId, Ipv4Address)], owd: Ns) {
+    fn wire_star(sim: &mut Sim<Packet>, core: NodeId, nodes: &[(NodeId, Ipv4Address)], owd: Ns) {
         for &(node, addr) in nodes {
             let (_, port) = sim.connect(node, core, LinkCfg::wan(owd));
             sim.node_mut::<Router>(core)
@@ -478,7 +419,7 @@ mod tests {
     /// attached to CAR-D; the reply retraces the overlay.
     #[test]
     fn request_up_down_reply_retraces() {
-        let mut sim = Sim::new(4);
+        let mut sim: Sim<Packet> = Sim::new(4);
         sim.trace.enable();
         let core = sim.add_node("core", Box::new(Router::new()));
 
@@ -558,7 +499,7 @@ mod tests {
 
     #[test]
     fn unknown_target_dropped_at_root() {
-        let mut sim = Sim::new(4);
+        let mut sim: Sim<Packet> = Sim::new(4);
         let cdr_addr = a([9, 0, 0, 1]);
         let itr_addr = a([10, 0, 0, 1]);
         let cdr = sim.add_node("cdr", Box::new(ConsNode::new(cdr_addr, None)));

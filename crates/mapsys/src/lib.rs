@@ -12,7 +12,7 @@
 //!   replies *directly* to the ITR over native forwarding.
 //! * [`cons`] — LISP-CONS: a CAR/CDR hierarchy; both the request *and the
 //!   reply* traverse the overlay (record-route emulation of CONS's
-//!   connection-oriented state).
+//!   connection-oriented state via `lispwire::packet::ConsMsg`).
 //! * [`nerd`] — NERD: a central authority pushes the *full* database to
 //!   every subscriber xTR; lookups never miss once synchronised, at the
 //!   cost of global state and slow update propagation (experiment E8).

@@ -6,9 +6,9 @@
 //! therefore `OWD(ITR,MR) + OWD(MR,ETR) + OWD(ETR,ITR)` plus processing.
 
 use crate::api::MappingDb;
-use inet::stack::{IpStack, Parsed};
+use inet::stack::IpStack;
 use inet::{LpmTrie, Prefix};
-use lispwire::lispctl::MapRequest;
+use lispwire::packet::{CtlMsg, Packet};
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, Node, Ns, PortId, ScheduledUpdates};
 use std::any::Any;
@@ -19,7 +19,7 @@ pub struct MapResolver {
     stack: IpStack,
     table: LpmTrie<Ipv4Address>,
     processing_delay: Ns,
-    outbox: VecDeque<Vec<u8>>,
+    outbox: VecDeque<Packet>,
     /// Timed re-registrations (dynamics; see [`MapResolver::schedule_update`]).
     scheduled_updates: ScheduledUpdates<(Prefix, Ipv4Address)>,
     /// Requests forwarded to an authoritative ETR.
@@ -80,27 +80,23 @@ impl MapResolver {
     }
 }
 
-impl Node for MapResolver {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+impl Node<Packet> for MapResolver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
         self.scheduled_updates.arm(ctx);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let Ok(Parsed::Udp {
-            dst,
-            dst_port,
-            payload,
-            ..
-        }) = IpStack::parse(&bytes)
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        let Packet::LispCtl {
+            ip,
+            ports: p,
+            msg: CtlMsg::Request(req),
+        } = pkt
         else {
             return;
         };
-        if dst != self.stack.addr || dst_port != ports::LISP_CONTROL {
+        if ip.dst != self.stack.addr || p.dst != ports::LISP_CONTROL {
             return;
         }
-        let Ok(req) = MapRequest::from_bytes(&payload) else {
-            return;
-        };
         match self.table.lookup_value(req.target_eid) {
             Some(&etr) => {
                 self.forwarded += 1;
@@ -108,9 +104,12 @@ impl Node for MapResolver {
                     "map-resolver forwards request for {} to {}",
                     req.target_eid, etr
                 ));
-                let pkt = self
-                    .stack
-                    .udp(ports::LISP_CONTROL, etr, ports::LISP_CONTROL, &payload);
+                let pkt = self.stack.ctl(
+                    ports::LISP_CONTROL,
+                    etr,
+                    ports::LISP_CONTROL,
+                    CtlMsg::Request(req),
+                );
                 self.outbox.push_back(pkt);
                 ctx.set_timer(self.processing_delay, TOKEN_FWD);
             }
@@ -121,7 +120,7 @@ impl Node for MapResolver {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         if token == TOKEN_FWD {
             if let Some(pkt) = self.outbox.pop_front() {
                 ctx.send(0, pkt);
@@ -146,6 +145,7 @@ mod tests {
     use crate::api::SiteEntry;
     use inet::{Prefix, Router};
     use lispdp::{CpMode, MissPolicy, Xtr, XtrConfig};
+    use lispwire::lispctl::MapRequest;
     use netsim::{LinkCfg, Sim};
 
     fn a(o: [u8; 4]) -> Ipv4Address {
@@ -155,7 +155,7 @@ mod tests {
     /// Full pull resolution: host packet -> ITR miss -> MR -> ETR -> reply.
     #[test]
     fn end_to_end_resolution_via_mrms() {
-        let mut sim = Sim::new(3);
+        let mut sim: Sim<Packet> = Sim::new(3);
         sim.trace.enable();
         let eid_space = vec![Prefix::new(a([100, 0, 0, 0]), 6)];
 
@@ -168,10 +168,10 @@ mod tests {
 
         // Site S sender host.
         struct Src {
-            pkt: Vec<u8>,
+            pkt: Packet,
         }
-        impl Node for Src {
-            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        impl Node<Packet> for Src {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, _t: u64) {
                 ctx.send(0, self.pkt.clone());
             }
             fn as_any(&mut self) -> &mut dyn Any {
@@ -184,8 +184,8 @@ mod tests {
         struct Dst {
             pub got: u64,
         }
-        impl Node for Dst {
-            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, _b: Vec<u8>) {
+        impl Node<Packet> for Dst {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_, Packet>, _p: PortId, _pkt: Packet) {
                 self.got += 1;
             }
             fn as_any(&mut self) -> &mut dyn Any {
@@ -196,7 +196,8 @@ mod tests {
             }
         }
 
-        let data = IpStack::new(a([100, 0, 0, 5])).udp(7000, a([101, 0, 0, 7]), 7001, b"hello");
+        let data =
+            IpStack::new(a([100, 0, 0, 5])).udp(7000, a([101, 0, 0, 7]), 7001, b"hello".to_vec());
         let src = sim.add_node("src", Box::new(Src { pkt: data }));
         let dst = sim.add_node("dst", Box::new(Dst { got: 0 }));
 
@@ -270,8 +271,8 @@ mod tests {
             stack: IpStack,
             target: Ipv4Address,
         }
-        impl Node for Asker {
-            fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+        impl Node<Packet> for Asker {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, t: u64) {
                 let req = MapRequest {
                     nonce: t,
                     source_eid: a([100, 0, 0, 1]),
@@ -279,11 +280,11 @@ mod tests {
                     itr_rloc: a([10, 0, 0, 1]),
                     hop_count: 8,
                 };
-                let pkt = self.stack.udp(
+                let pkt = self.stack.ctl(
                     ports::LISP_CONTROL,
                     a([8, 0, 0, 1]),
                     ports::LISP_CONTROL,
-                    &req.to_bytes(),
+                    CtlMsg::Request(req),
                 );
                 ctx.send(0, pkt);
             }
@@ -298,12 +299,10 @@ mod tests {
             addr: Ipv4Address,
             pub got: u64,
         }
-        impl Node for EtrSink {
-            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: PortId, bytes: Vec<u8>) {
-                if let Ok(Parsed::Udp { dst, .. }) = IpStack::parse(&bytes) {
-                    if dst == self.addr {
-                        self.got += 1;
-                    }
+        impl Node<Packet> for EtrSink {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_, Packet>, _p: PortId, pkt: Packet) {
+                if pkt.dst() == self.addr {
+                    self.got += 1;
                 }
             }
             fn as_any(&mut self) -> &mut dyn Any {
@@ -314,7 +313,7 @@ mod tests {
             }
         }
 
-        let mut sim = Sim::new(4);
+        let mut sim: Sim<Packet> = Sim::new(4);
         let mut db = MappingDb::new();
         let site = Prefix::new(a([101, 0, 0, 0]), 8);
         db.register(SiteEntry::single(site, a([12, 0, 0, 1]), 60));
@@ -364,14 +363,14 @@ mod tests {
 
     #[test]
     fn unregistered_prefix_counted() {
-        let mut sim = Sim::new(3);
+        let mut sim: Sim<Packet> = Sim::new(3);
         let db = MappingDb::new();
         let mr = sim.add_node("mr", Box::new(MapResolver::new(a([8, 0, 0, 1]), &db)));
         struct Asker {
             stack: IpStack,
         }
-        impl Node for Asker {
-            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        impl Node<Packet> for Asker {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, _t: u64) {
                 let req = MapRequest {
                     nonce: 5,
                     source_eid: a([100, 0, 0, 1]),
@@ -379,11 +378,11 @@ mod tests {
                     itr_rloc: a([10, 0, 0, 1]),
                     hop_count: 8,
                 };
-                let pkt = self.stack.udp(
+                let pkt = self.stack.ctl(
                     ports::LISP_CONTROL,
                     a([8, 0, 0, 1]),
                     ports::LISP_CONTROL,
-                    &req.to_bytes(),
+                    CtlMsg::Request(req),
                 );
                 ctx.send(0, pkt);
             }

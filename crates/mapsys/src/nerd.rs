@@ -9,6 +9,7 @@
 use crate::api::MappingDb;
 use inet::stack::IpStack;
 use lispwire::lispctl::{DbPush, MapRecord};
+use lispwire::packet::{CtlMsg, Packet};
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, Node, Ns, ScheduledUpdates};
 use std::any::Any;
@@ -95,7 +96,7 @@ impl NerdAuthority {
     }
 
     /// Execute one full push round immediately.
-    pub fn push_all(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn push_all(&mut self, ctx: &mut Ctx<'_, Packet>) {
         let chunks: Vec<Vec<MapRecord>> = self
             .records
             .chunks(self.chunk_records)
@@ -110,12 +111,16 @@ impl NerdAuthority {
                     total_chunks: total,
                     records: chunk.clone(),
                 };
-                let body = push.to_bytes();
-                self.bytes_pushed += body.len() as u64;
+                // Computed, not materialized — identical to the legacy
+                // to_bytes().len() (pinned by the codec wire_len pairs).
+                self.bytes_pushed += push.wire_len() as u64;
                 self.chunks_sent += 1;
-                let pkt = self
-                    .stack
-                    .udp(ports::LISP_CONTROL, sub, ports::LISP_CONTROL, &body);
+                let pkt = self.stack.ctl(
+                    ports::LISP_CONTROL,
+                    sub,
+                    ports::LISP_CONTROL,
+                    CtlMsg::DbPush(push),
+                );
                 ctx.send(0, pkt);
             }
         }
@@ -134,14 +139,14 @@ impl NerdAuthority {
     }
 }
 
-impl Node for NerdAuthority {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+impl Node<Packet> for NerdAuthority {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
         // Initial synchronisation shortly after boot.
         ctx.set_timer(Ns::from_us(10), TOKEN_PUSH);
         self.scheduled_updates.arm(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         if token == TOKEN_PUSH {
             self.push_all(ctx);
         } else if let Some(record) = self.scheduled_updates.get(token) {
@@ -173,8 +178,8 @@ mod tests {
         Ipv4Address(o)
     }
 
-    fn build() -> (Sim, netsim::NodeId, netsim::NodeId) {
-        let mut sim = Sim::new(6);
+    fn build() -> (Sim<Packet>, netsim::NodeId, netsim::NodeId) {
+        let mut sim: Sim<Packet> = Sim::new(6);
         sim.trace.enable();
         let eid_space = vec![Prefix::new(a([100, 0, 0, 0]), 6)];
         let mut db = MappingDb::new();
@@ -206,7 +211,7 @@ mod tests {
         let core = sim.add_node("core", Box::new(Router::new()));
         // xTR site port placeholder (unused), then WAN to core.
         struct Idle;
-        impl Node for Idle {
+        impl Node<Packet> for Idle {
             fn as_any(&mut self) -> &mut dyn Any {
                 self
             }

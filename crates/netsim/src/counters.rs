@@ -130,7 +130,12 @@ impl LazyCounter {
     /// Add `n` to the counter called `name`, interning it the first
     /// time and using the cached [`CounterId`] afterwards.
     #[inline]
-    pub fn add(&mut self, ctx: &mut crate::node::Ctx<'_>, name: &str, n: u64) {
+    pub fn add<P: crate::payload::Payload>(
+        &mut self,
+        ctx: &mut crate::node::Ctx<'_, P>,
+        name: &str,
+        n: u64,
+    ) {
         let id = match self.0 {
             Some(id) => id,
             None => {

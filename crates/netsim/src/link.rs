@@ -331,7 +331,8 @@ mod tests {
 
     #[test]
     fn backlog_drains_with_time() {
-        let mut tx: Transmitter = Transmitter::new(LinkCfg::wan(Ns::from_ms(1)).with_bandwidth(1_000_000));
+        let mut tx: Transmitter =
+            Transmitter::new(LinkCfg::wan(Ns::from_ms(1)).with_bandwidth(1_000_000));
         tx.offer(Ns::ZERO, 1250); // 10 ms serialisation
         assert_eq!(tx.backlog(Ns::ZERO), Ns::from_ms(10));
         assert_eq!(tx.backlog(Ns::from_ms(4)), Ns::from_ms(6));

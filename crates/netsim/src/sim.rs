@@ -378,7 +378,11 @@ impl<P: Payload> Sim<P> {
     /// schedules is pushed straight into the heap — steady-state
     /// dispatch materialises no intermediate action list and performs
     /// no allocations.
-    fn with_node_ctx<F: FnOnce(&mut dyn Node<P>, &mut Ctx<'_, P>)>(&mut self, node_id: NodeId, f: F) {
+    fn with_node_ctx<F: FnOnce(&mut dyn Node<P>, &mut Ctx<'_, P>)>(
+        &mut self,
+        node_id: NodeId,
+        f: F,
+    ) {
         let Some(mut node) = self.nodes[node_id].take() else {
             return; // node is mid-event (cannot happen single-threaded)
         };

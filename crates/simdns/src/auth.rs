@@ -1,8 +1,9 @@
 //! An authoritative DNS server node.
 
 use crate::zone::{LookupResult, ZoneStore};
-use inet::stack::{IpStack, Parsed};
+use inet::stack::IpStack;
 use lispwire::dnswire::{Message, Rcode};
+use lispwire::packet::Packet;
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, Node, Ns, PortId};
 use std::any::Any;
@@ -16,7 +17,7 @@ pub struct AuthServer {
     stack: IpStack,
     zones: ZoneStore,
     processing_delay: Ns,
-    pending: VecDeque<Vec<u8>>,
+    pending: VecDeque<Packet>,
     /// Queries answered (any rcode).
     pub queries_answered: u64,
     /// Queries ignored (not DNS / not a query).
@@ -80,34 +81,21 @@ impl AuthServer {
     }
 }
 
-impl Node for AuthServer {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let parsed = match IpStack::parse(&bytes) {
-            Ok(p) => p,
-            Err(_) => {
-                self.ignored += 1;
-                return;
-            }
-        };
-        let Parsed::Udp {
-            src,
-            dst,
-            src_port,
-            dst_port,
-            payload,
-        } = parsed
+impl Node<Packet> for AuthServer {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        let Packet::Dns {
+            ip,
+            ports: p,
+            msg: query,
+        } = pkt
         else {
             self.ignored += 1;
             return;
         };
-        if dst != self.stack.addr || dst_port != ports::DNS {
+        if ip.dst != self.stack.addr || p.dst != ports::DNS {
             self.ignored += 1;
             return;
         }
-        let Ok(query) = Message::from_bytes(&payload) else {
-            self.ignored += 1;
-            return;
-        };
         if query.is_response {
             self.ignored += 1;
             return;
@@ -120,7 +108,7 @@ impl Node for AuthServer {
                 self.stack.addr, q.name, resp.rcode
             ));
         }
-        let reply_pkt = self.stack.udp(ports::DNS, src, src_port, &resp.to_bytes());
+        let reply_pkt = self.stack.dns(ports::DNS, ip.src, p.src, resp);
         if self.processing_delay == Ns::ZERO {
             ctx.send(0, reply_pkt);
         } else {
@@ -129,7 +117,7 @@ impl Node for AuthServer {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         if token == TOKEN_ANSWER {
             if let Some(pkt) = self.pending.pop_front() {
                 ctx.send(0, pkt);
@@ -213,15 +201,15 @@ mod tests {
             server: Ipv4Address,
             pub got: Option<Message>,
         }
-        impl Node for Asker {
-            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        impl Node<Packet> for Asker {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, _token: u64) {
                 let q = Message::query_a(77, Name::parse_str("host.example").unwrap(), false);
-                let pkt = self.stack.udp(5555, self.server, ports::DNS, &q.to_bytes());
+                let pkt = self.stack.dns(5555, self.server, ports::DNS, q);
                 ctx.send(0, pkt);
             }
-            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-                if let Ok(Parsed::Udp { payload, .. }) = IpStack::parse(&bytes) {
-                    self.got = Message::from_bytes(&payload).ok();
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+                if let Packet::Dns { msg, .. } = pkt {
+                    self.got = Some(msg);
                 }
             }
             fn as_any(&mut self) -> &mut dyn Any {
@@ -232,7 +220,7 @@ mod tests {
             }
         }
 
-        let mut sim = Sim::new(1);
+        let mut sim: Sim<Packet> = Sim::new(1);
         let asker = sim.add_node(
             "asker",
             Box::new(Asker {

@@ -2,8 +2,9 @@
 //! answers with timing. Used by tests, examples, and the experiment
 //! harness as the `E_S`-side stub resolver interface.
 
-use inet::stack::{IpStack, Parsed};
+use inet::stack::IpStack;
 use lispwire::dnswire::{Message, Name, Rcode};
+use lispwire::packet::Packet;
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, Node, Ns, PortId};
 use std::any::Any;
@@ -65,8 +66,8 @@ impl DnsClient {
     }
 }
 
-impl Node for DnsClient {
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+impl Node<Packet> for DnsClient {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         let i = token as usize;
         let Some(name) = self.script.get(i).cloned() else {
             return;
@@ -76,29 +77,18 @@ impl Node for DnsClient {
         }
         self.asked[i] = Some(ctx.now());
         let q = Message::query_a(i as u16, name.clone(), true);
-        let pkt = self
-            .stack
-            .udp(40000, self.resolver, ports::DNS, &q.to_bytes());
+        let pkt = self.stack.dns(40000, self.resolver, ports::DNS, q);
         ctx.trace(format!("client queries {}", name));
         ctx.send(0, pkt);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let Ok(Parsed::Udp {
-            src_port,
-            dst_port,
-            payload,
-            ..
-        }) = IpStack::parse(&bytes)
-        else {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        let Packet::Dns { ports: p, msg, .. } = pkt else {
             return;
         };
-        if src_port != ports::DNS || dst_port != 40000 {
+        if p.src != ports::DNS || p.dst != 40000 {
             return;
         }
-        let Ok(msg) = Message::from_bytes(&payload) else {
-            return;
-        };
         if !msg.is_response {
             return;
         }

@@ -11,6 +11,7 @@ use crate::zone::{Zone, ZoneStore};
 use inet::{Prefix, Router};
 use lispwire::dnswire::Name;
 use lispwire::Ipv4Address;
+use lispwire::Packet;
 use netsim::{LinkCfg, NodeId, Ns, Sim};
 
 /// Specification of one leaf (authoritative) domain.
@@ -114,7 +115,12 @@ impl HierarchyBuilder {
     /// Create all server nodes in `sim`, attach each to `attach_router`
     /// with `link`, and install host routes for their addresses on the
     /// router. Returns the created node ids.
-    pub fn build(&self, sim: &mut Sim, attach_router: NodeId, link: LinkCfg) -> HierarchyNodes {
+    pub fn build(
+        &self,
+        sim: &mut Sim<Packet>,
+        attach_router: NodeId,
+        link: LinkCfg,
+    ) -> HierarchyNodes {
         let root = sim.add_node(
             "dns-root",
             Box::new(AuthServer::new(self.spec.root, self.root_store())),
@@ -207,7 +213,7 @@ mod tests {
 
     #[test]
     fn full_resolution_through_built_hierarchy() {
-        let mut sim = Sim::new(5);
+        let mut sim: Sim<Packet> = Sim::new(5);
         let router = sim.add_node("core-router", Box::new(Router::new()));
         let b = HierarchyBuilder::new(spec());
         let _nodes = b.build(&mut sim, router, LinkCfg::wan(Ns::from_ms(10)));

@@ -7,12 +7,13 @@
 //! referral chains.
 
 use crate::zone::ZoneStore;
-use inet::stack::{IpStack, Parsed};
+use inet::stack::IpStack;
 use lispwire::dnswire::{Message, Name, Rcode, Rdata, Record};
+use lispwire::packet::{Packet, PceMsg};
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, Node, Ns, PortId};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Resolver tunables.
 #[derive(Debug, Clone, Copy)]
@@ -74,8 +75,10 @@ pub struct Resolver {
     stack: IpStack,
     cfg: ResolverConfig,
     root_hints: Vec<Ipv4Address>,
-    answer_cache: HashMap<Name, CachedAnswer>,
-    ns_cache: HashMap<Name, CachedNs>,
+    // Ordered maps (not HashMap): any future iteration over the caches
+    // is deterministic, like every other table in the tree.
+    answer_cache: BTreeMap<Name, CachedAnswer>,
+    ns_cache: BTreeMap<Name, CachedNs>,
     in_flight: HashMap<u16, InFlight>,
     next_qid: u16,
     /// Client queries received.
@@ -112,8 +115,8 @@ impl Resolver {
             stack: IpStack::new(addr),
             cfg,
             root_hints,
-            answer_cache: HashMap::new(),
-            ns_cache: HashMap::new(),
+            answer_cache: BTreeMap::new(),
+            ns_cache: BTreeMap::new(),
             in_flight: HashMap::new(),
             next_qid: 1,
             client_queries: 0,
@@ -160,14 +163,12 @@ impl Resolver {
         self.root_hints[0]
     }
 
-    fn send_upstream(&mut self, ctx: &mut Ctx<'_>, qid: u16) {
+    fn send_upstream(&mut self, ctx: &mut Ctx<'_, Packet>, qid: u16) {
         let Some(fl) = self.in_flight.get(&qid) else {
             return;
         };
         let q = Message::query_a(qid, fl.qname.clone(), false);
-        let pkt = self
-            .stack
-            .udp(UPSTREAM_PORT, fl.server, ports::DNS, &q.to_bytes());
+        let pkt = self.stack.dns(UPSTREAM_PORT, fl.server, ports::DNS, q);
         self.upstream_queries += 1;
         ctx.trace(format!("resolver asks {} for {}", fl.server, fl.qname));
         ctx.send(0, pkt);
@@ -177,7 +178,7 @@ impl Resolver {
 
     fn reply_client(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_, Packet>,
         fl: &InFlight,
         rcode: Rcode,
         answers: Vec<Record>,
@@ -198,15 +199,13 @@ impl Resolver {
             additional: Vec::new(),
         };
         resp.recursion_available = true;
-        let pkt = self
-            .stack
-            .udp(ports::DNS, fl.client, fl.client_port, &resp.to_bytes());
+        let pkt = self.stack.dns(ports::DNS, fl.client, fl.client_port, resp);
         ctx.send(0, pkt);
     }
 
     fn handle_client_query(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_, Packet>,
         src: Ipv4Address,
         src_port: u16,
         msg: Message,
@@ -224,7 +223,7 @@ impl Resolver {
             };
             let pkt = self
                 .stack
-                .udp(ports::PCE_IPC, pce, ports::PCE_IPC, &notice.to_bytes());
+                .pce(ports::PCE_IPC, pce, ports::PCE_IPC, PceMsg::Ipc(notice));
             ctx.trace(format!(
                 "resolver IPC notice to PCE: {} asked for {}",
                 src, q.name
@@ -279,7 +278,7 @@ impl Resolver {
         self.send_upstream(ctx, qid);
     }
 
-    fn handle_upstream_response(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+    fn handle_upstream_response(&mut self, ctx: &mut Ctx<'_, Packet>, msg: Message) {
         let qid = msg.id;
         let Some(mut fl) = self.in_flight.remove(&qid) else {
             return;
@@ -388,32 +387,22 @@ fn timer_token(qid: u16, generation: u32) -> u64 {
     (u64::from(generation) << 16) | u64::from(qid)
 }
 
-impl Node for Resolver {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-        let Ok(Parsed::Udp {
-            src,
-            dst,
-            src_port,
-            dst_port,
-            payload,
-        }) = IpStack::parse(&bytes)
-        else {
+impl Node<Packet> for Resolver {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        let Packet::Dns { ip, ports: p, msg } = pkt else {
             return;
         };
-        if dst != self.stack.addr {
+        if ip.dst != self.stack.addr {
             return;
         }
-        let Ok(msg) = Message::from_bytes(&payload) else {
-            return;
-        };
-        if dst_port == ports::DNS && !msg.is_response {
-            self.handle_client_query(ctx, src, src_port, msg);
-        } else if dst_port == UPSTREAM_PORT && msg.is_response && src_port == ports::DNS {
+        if p.dst == ports::DNS && !msg.is_response {
+            self.handle_client_query(ctx, ip.src, p.src, msg);
+        } else if p.dst == UPSTREAM_PORT && msg.is_response && p.src == ports::DNS {
             self.handle_upstream_response(ctx, msg);
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         let qid = (token & 0xffff) as u16;
         let generation = (token >> 16) as u32;
         let give_up;
@@ -455,9 +444,9 @@ pub fn client_query_packet(
     resolver: Ipv4Address,
     qid: u16,
     qname: Name,
-) -> Vec<u8> {
+) -> Packet {
     let q = Message::query_a(qid, qname, true);
-    client.udp(client_port, resolver, ports::DNS, &q.to_bytes())
+    client.dns(client_port, resolver, ports::DNS, q)
 }
 
 /// Build zone stores for a classic 3-level hierarchy in tests.
@@ -487,8 +476,8 @@ mod tests {
         qname: Name,
         pub answers: Vec<(Ns, Option<Ipv4Address>)>,
     }
-    impl Node for TestClient {
-        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    impl Node<Packet> for TestClient {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
             let pkt = client_query_packet(
                 &self.stack,
                 40000,
@@ -498,11 +487,9 @@ mod tests {
             );
             ctx.send(0, pkt);
         }
-        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
-            if let Ok(Parsed::Udp { payload, .. }) = IpStack::parse(&bytes) {
-                if let Ok(msg) = Message::from_bytes(&payload) {
-                    self.answers.push((ctx.now(), msg.first_answer_a()));
-                }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+            if let Packet::Dns { msg, .. } = pkt {
+                self.answers.push((ctx.now(), msg.first_answer_a()));
             }
         }
         fn as_any(&mut self) -> &mut dyn Any {
@@ -516,7 +503,7 @@ mod tests {
     /// Build: client - resolver - router - {root, tld(example), auth(d.example)}
     /// Root delegates `example` to TLD; TLD delegates `d.example` to auth;
     /// auth holds host.d.example A 101.0.0.5.
-    fn build(owd: Ns, drop_prob: f64) -> (Sim, netsim::NodeId, netsim::NodeId) {
+    fn build(owd: Ns, drop_prob: f64) -> (Sim<Packet>, netsim::NodeId, netsim::NodeId) {
         let root_addr = a([8, 0, 0, 53]);
         let tld_addr = a([12, 0, 0, 53]);
         let auth_addr = a([13, 0, 0, 53]);
@@ -537,7 +524,7 @@ mod tests {
         let mut auth_store = ZoneStore::new();
         auth_store.add_zone(auth_zone);
 
-        let mut sim = Sim::new(11);
+        let mut sim: Sim<Packet> = Sim::new(11);
         sim.trace.enable();
         let client = sim.add_node(
             "client",
