@@ -10,6 +10,9 @@ use std::hint::black_box;
 fn bench_wire(c: &mut Criterion) {
     use lispwire::dnswire::{Message, Name};
     use lispwire::ipv4::{build_ipv4, IpProtocol, Ipv4Address, Ipv4Packet, Ipv4Repr};
+    use lispwire::lispctl::MapRequest;
+    use lispwire::packet::{CtlMsg, Packet};
+    use pcelisp_bench::workloads::run_packet_ping_pong;
 
     let mut g = c.benchmark_group("wire");
     let repr = Ipv4Repr {
@@ -35,6 +38,28 @@ fn bench_wire(c: &mut Criterion) {
     g.bench_function("dns_emit", |b| b.iter(|| black_box(q.to_bytes())));
     g.bench_function("dns_parse", |b| {
         b.iter(|| black_box(Message::from_bytes(&qb).unwrap()))
+    });
+    // The typed packet plane (DESIGN.md §9): lazily materializing a
+    // Map-Request's full wire image, and dispatching typed packets
+    // through the engine with no serialization at all.
+    let req_pkt = Packet::ctl(
+        Ipv4Address::new(10, 0, 0, 1),
+        lispwire::ports::LISP_CONTROL,
+        Ipv4Address::new(8, 0, 0, 10),
+        lispwire::ports::LISP_CONTROL,
+        CtlMsg::Request(MapRequest {
+            nonce: 7,
+            source_eid: Ipv4Address::new(100, 0, 0, 5),
+            target_eid: Ipv4Address::new(101, 0, 0, 7),
+            itr_rloc: Ipv4Address::new(10, 0, 0, 1),
+            hop_count: 32,
+        }),
+    );
+    g.bench_function("encode_map_request", |b| {
+        b.iter(|| black_box(req_pkt.encode()))
+    });
+    g.bench_function("packet_dispatch", |b| {
+        b.iter(|| black_box(run_packet_ping_pong(1_000)))
     });
     g.finish();
 }

@@ -133,6 +133,56 @@ pub fn run_star(leaves: usize, rounds: u64) -> u64 {
     sim.events_processed()
 }
 
+/// A typed-packet ping-pong: two nodes bouncing one `lispwire::Packet`
+/// end to end through the engine — the Criterion `wire/packet_dispatch`
+/// cell, measuring full typed dispatch (engine + variant match + send)
+/// with zero per-hop serialization.
+struct PacketPingPong {
+    remaining: u64,
+}
+
+impl Node<lispwire::Packet> for PacketPingPong {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, lispwire::Packet>, _t: u64) {
+        let pkt = lispwire::Packet::udp(
+            lispwire::Ipv4Address::new(100, 0, 0, 5),
+            7000,
+            lispwire::Ipv4Address::new(101, 0, 0, 7),
+            7001,
+            vec![0u8; 36],
+        );
+        ctx.send(0, pkt);
+    }
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, lispwire::Packet>,
+        port: usize,
+        pkt: lispwire::Packet,
+    ) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(port, pkt);
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Run the typed-packet ping-pong cell and return the number of events
+/// the engine processed.
+pub fn run_packet_ping_pong(pairs: u64) -> u64 {
+    let mut sim: Sim<lispwire::Packet> = Sim::new(1);
+    let a = sim.add_node("a", Box::new(PacketPingPong { remaining: pairs }));
+    let z = sim.add_node("z", Box::new(PacketPingPong { remaining: pairs }));
+    sim.connect(a, z, LinkCfg::lan());
+    sim.schedule_timer(a, Ns::ZERO, 0);
+    sim.run();
+    sim.events_processed()
+}
+
 /// Leaves in the standard star cell (64 nodes total with the hub).
 pub const STAR_LEAVES: usize = 63;
 
@@ -147,6 +197,11 @@ mod tests {
     fn frame_wire_len_matches_encode() {
         let f = Frame { len: FRAME_LEN };
         assert_eq!(f.wire_len(), f.encode().len());
+    }
+
+    #[test]
+    fn packet_ping_pong_counts_events() {
+        assert_eq!(run_packet_ping_pong(100), 202);
     }
 
     #[test]

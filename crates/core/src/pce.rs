@@ -10,7 +10,7 @@
 //!   direction.
 //! * **Step 6 (PCE_D role)** — a DNS *response* from the local server
 //!   whose A answer falls in this domain's EID space is intercepted and
-//!   re-sent as a [`PceDnsMapping`] on the special port `P`, addressed to
+//!   re-sent as a [`PceMsg::DnsMapping`] on the special port `P`, addressed to
 //!   the querying DNS server, carrying the original reply plus the
 //!   precomputed mapping. The IRC engine runs "online … in background, so
 //!   the mapping is always known aforehand" — the `precompute` knob

@@ -8,7 +8,7 @@
 //! site, which hands it to the ETR. Unlike ALT, the **reply retraces the
 //! overlay path** (CONS is connection-oriented); we emulate that state
 //! with an explicit record-route carried in the typed
-//! [`ConsMsg`](lispwire::packet::ConsMsg) wrapper, plus a per-leaf pending
+//! [`ConsMsg`] wrapper, plus a per-leaf pending
 //! table keyed by nonce.
 
 use inet::stack::IpStack;

@@ -4,14 +4,12 @@
 use crate::counters::{CounterId, Counters};
 use crate::link::{Transmitter, TxOutcome};
 use crate::payload::Payload;
-use crate::sim::{EventKind, TimedEvent};
+use crate::sim::{EventKind, EventQueue};
 use crate::time::Ns;
 use crate::trace::Trace;
 use rand::rngs::SmallRng;
 use rand::RngExt;
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Identifies a node within a simulation.
 pub type NodeId = usize;
@@ -74,8 +72,7 @@ pub struct Ctx<'a, P: Payload = Vec<u8>> {
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) trace: &'a mut Trace,
     pub(crate) counters: &'a mut Counters,
-    pub(crate) queue: &'a mut BinaryHeap<Reverse<TimedEvent<P>>>,
-    pub(crate) seq: &'a mut u64,
+    pub(crate) queue: &'a mut EventQueue<P>,
     pub(crate) stopped: &'a mut bool,
 }
 
@@ -85,7 +82,7 @@ impl<'a, P: Payload> Ctx<'a, P> {
     /// one `(time, seq)` total order).
     #[inline]
     fn push_event(&mut self, at: Ns, node: NodeId, kind: EventKind<P>) {
-        crate::sim::push_event(self.queue, self.seq, at, node, kind);
+        self.queue.push(at, node, kind);
     }
 
     /// The current virtual time.

@@ -17,7 +17,7 @@ use crate::time::Ns;
 use crate::trace::{fnv64, Trace};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::cmp::{Ordering, Reverse};
+use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::AtomicU64;
 
@@ -32,31 +32,6 @@ static PROCESS_EVENTS: AtomicU64 = AtomicU64::new(0);
 /// aggregate events/s figure without keeping every world alive.
 pub fn process_events() -> u64 {
     PROCESS_EVENTS.load(std::sync::atomic::Ordering::Relaxed)
-}
-
-/// Push an event into `queue`, stamping it with the next sequence
-/// number — the single scheduling routine shared by the engine
-/// ([`Sim`]) and node contexts ([`Ctx`]), so the `(time, seq)` total
-/// order has exactly one implementation. Events at [`Ns::MAX`] mean
-/// "never" (saturated timers) and are not enqueued at all.
-#[inline]
-pub(crate) fn push_event<P: Payload>(
-    queue: &mut BinaryHeap<Reverse<TimedEvent<P>>>,
-    seq: &mut u64,
-    at: Ns,
-    node: NodeId,
-    kind: EventKind<P>,
-) {
-    if at == Ns::MAX {
-        return;
-    }
-    *seq += 1;
-    queue.push(Reverse(TimedEvent {
-        at,
-        seq: *seq,
-        node,
-        kind,
-    }));
 }
 
 /// What a scheduled event delivers.
@@ -77,36 +52,91 @@ pub(crate) enum EventKind<P> {
     },
 }
 
-/// A scheduled event, stored inline in the priority queue (no side
-/// table, no per-event allocation). The total order is `(at, seq)`:
-/// `seq` increases monotonically with every schedule, which both breaks
-/// time ties deterministically and yields FIFO order among same-time
-/// events.
+/// A popped event, reassembled from the queue's key/slab halves.
 #[derive(Debug)]
 pub(crate) struct TimedEvent<P> {
     pub(crate) at: Ns,
-    pub(crate) seq: u64,
     pub(crate) node: NodeId,
     pub(crate) kind: EventKind<P>,
 }
 
-impl<P> PartialEq for TimedEvent<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// The engine's priority queue: a binary heap of 16-byte
+/// `(key = at ‖ seq, slot)` entries over a slab of event bodies.
+///
+/// The `(time, seq)` total order is packed into one `u128` key —
+/// `seq` increases monotonically with every schedule, which both breaks
+/// time ties deterministically and yields FIFO order among same-time
+/// events. Keeping the heap entries this small matters: sift operations
+/// move entries O(log n) times each, and event bodies are as large as
+/// the payload type (a typed `Packet` is >100 bytes), so bodies live in
+/// a free-listed slab and only the compact keys ride the heap. Events
+/// at [`Ns::MAX`] mean "never" (saturated timers) and are not enqueued
+/// at all.
+#[derive(Debug)]
+pub(crate) struct EventQueue<P> {
+    heap: BinaryHeap<Reverse<(u128, u32)>>,
+    slab: Vec<Option<(NodeId, EventKind<P>)>>,
+    free: Vec<u32>,
+    /// Monotonic schedule counter (the low 64 bits of every key).
+    seq: u64,
 }
 
-impl<P> Eq for TimedEvent<P> {}
-
-impl<P> PartialOrd for TimedEvent<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl<P> EventQueue<P> {
+    pub(crate) fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+        }
     }
-}
 
-impl<P> Ord for TimedEvent<P> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+    /// Schedule `kind` for `node` at `at`, stamping the next sequence
+    /// number — the single scheduling routine shared by the engine
+    /// ([`Sim`]) and node contexts ([`Ctx`]), so the `(time, seq)`
+    /// total order has exactly one implementation.
+    #[inline]
+    pub(crate) fn push(&mut self, at: Ns, node: NodeId, kind: EventKind<P>) {
+        if at == Ns::MAX {
+            return;
+        }
+        self.seq += 1;
+        let key = (u128::from(at.0) << 64) | u128::from(self.seq);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = Some((node, kind));
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("too many pending events");
+                self.slab.push(Some((node, kind)));
+                slot
+            }
+        };
+        self.heap.push(Reverse((key, slot)));
+    }
+
+    /// Virtual time of the earliest pending event.
+    #[inline]
+    pub(crate) fn peek_at(&self) -> Option<Ns> {
+        self.heap
+            .peek()
+            .map(|Reverse((key, _))| Ns((key >> 64) as u64))
+    }
+
+    /// Remove and return the earliest pending event.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<TimedEvent<P>> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        let (node, kind) = self.slab[slot as usize]
+            .take()
+            .expect("heap entry without slab body");
+        self.free.push(slot);
+        Some(TimedEvent {
+            at: Ns((key >> 64) as u64),
+            node,
+            kind,
+        })
     }
 }
 
@@ -122,9 +152,8 @@ pub struct Sim<P: Payload = Vec<u8>> {
     /// Delivery target of each transmitter (peer node, peer port), in
     /// transmitter order — used to flush stalled packets on link-up.
     tx_targets: Vec<(NodeId, PortId)>,
-    queue: BinaryHeap<Reverse<TimedEvent<P>>>,
+    queue: EventQueue<P>,
     now: Ns,
-    seq: u64,
     rng: SmallRng,
     /// The trace log (enable before running to record).
     pub trace: Trace,
@@ -149,9 +178,8 @@ impl<P: Payload> Sim<P> {
             ports: Vec::new(),
             transmitters: Vec::new(),
             tx_targets: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: Ns::ZERO,
-            seq: 0,
             rng: SmallRng::seed_from_u64(seed),
             trace: Trace::new(),
             counters: Counters::new(),
@@ -320,7 +348,7 @@ impl<P: Payload> Sim<P> {
                                 port: peer_port,
                                 payload,
                             };
-                            push_event(&mut self.queue, &mut self.seq, arrival, peer_node, kind);
+                            self.queue.push(arrival, peer_node, kind);
                         }
                         TxOutcome::QueueDrop => {}
                     }
@@ -368,7 +396,7 @@ impl<P: Payload> Sim<P> {
 
     #[inline]
     fn push_event(&mut self, at: Ns, node: NodeId, kind: EventKind<P>) {
-        push_event(&mut self.queue, &mut self.seq, at, node, kind);
+        self.queue.push(at, node, kind);
     }
 
     /// Run `f` against `node_id` with a fully-wired [`Ctx`]. This is the
@@ -378,58 +406,57 @@ impl<P: Payload> Sim<P> {
     /// schedules is pushed straight into the heap — steady-state
     /// dispatch materialises no intermediate action list and performs
     /// no allocations.
+    #[inline]
     fn with_node_ctx<F: FnOnce(&mut dyn Node<P>, &mut Ctx<'_, P>)>(
         &mut self,
         node_id: NodeId,
         f: F,
     ) {
-        let Some(mut node) = self.nodes[node_id].take() else {
-            return; // node is mid-event (cannot happen single-threaded)
+        // Split borrows: the node lives in `self.nodes`, everything the
+        // Ctx exposes lives in *other* fields, so the node can be handed
+        // out by `&mut` directly — no take/restore Option dance on the
+        // per-event hot path.
+        let Some(node) = self.nodes[node_id].as_deref_mut() else {
+            return; // node slot vacated (cannot happen single-threaded)
         };
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                node: node_id,
-                node_name: &self.names[node_id],
-                ports: &self.ports[node_id],
-                transmitters: &mut self.transmitters,
-                rng: &mut self.rng,
-                trace: &mut self.trace,
-                counters: &mut self.counters,
-                queue: &mut self.queue,
-                seq: &mut self.seq,
-                stopped: &mut self.stopped,
-            };
-            f(node.as_mut(), &mut ctx);
-        }
-        self.nodes[node_id] = Some(node);
+        let mut ctx = Ctx {
+            now: self.now,
+            node: node_id,
+            node_name: &self.names[node_id],
+            ports: &self.ports[node_id],
+            transmitters: &mut self.transmitters,
+            rng: &mut self.rng,
+            trace: &mut self.trace,
+            counters: &mut self.counters,
+            queue: &mut self.queue,
+            stopped: &mut self.stopped,
+        };
+        f(node, &mut ctx);
     }
 
+    #[inline]
     fn dispatch(&mut self, ev: TimedEvent<P>) {
         match ev.kind {
-            EventKind::LinkAdmin { link, up } => self.set_link_up(link, up),
-            kind => {
+            EventKind::Packet { port, payload } => {
                 // Lazy packet log: encodes the payload only when the
                 // trace was explicitly asked to record packet digests.
                 if self.trace.packet_log_enabled() {
-                    if let EventKind::Packet { port, payload } = &kind {
-                        let bytes = payload.encode();
-                        let msg = format!(
-                            "pkt rx port={} len={} fnv64={:016x}",
-                            port,
-                            bytes.len(),
-                            fnv64(&bytes)
-                        );
-                        self.trace
-                            .push(self.now, ev.node, &self.names[ev.node], msg);
-                    }
+                    let bytes = payload.encode();
+                    let msg = format!(
+                        "pkt rx port={} len={} fnv64={:016x}",
+                        port,
+                        bytes.len(),
+                        fnv64(&bytes)
+                    );
+                    self.trace
+                        .push(self.now, ev.node, &self.names[ev.node], msg);
                 }
-                self.with_node_ctx(ev.node, move |node, ctx| match kind {
-                    EventKind::Packet { port, payload } => node.on_packet(ctx, port, payload),
-                    EventKind::Timer { token } => node.on_timer(ctx, token),
-                    EventKind::LinkAdmin { .. } => unreachable!("handled above"),
-                })
+                self.with_node_ctx(ev.node, move |node, ctx| node.on_packet(ctx, port, payload));
             }
+            EventKind::Timer { token } => {
+                self.with_node_ctx(ev.node, move |node, ctx| node.on_timer(ctx, token));
+            }
+            EventKind::LinkAdmin { link, up } => self.set_link_up(link, up),
         }
     }
 
@@ -454,13 +481,13 @@ impl<P: Payload> Sim<P> {
     pub fn run_until(&mut self, deadline: Ns) {
         self.start_all();
         while !self.stopped && self.events_processed < self.event_limit {
-            let Some(Reverse(head)) = self.queue.peek() else {
+            let Some(head_at) = self.queue.peek_at() else {
                 break;
             };
-            if head.at > deadline {
+            if head_at > deadline {
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked event vanished");
+            let ev = self.queue.pop().expect("peeked event vanished");
             debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
             self.events_processed += 1;
