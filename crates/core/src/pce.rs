@@ -463,7 +463,10 @@ impl Node<Packet> for Pce {
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, port: PortId, pkt: Packet) {
         let other = if port == DNS_PORT { NET_PORT } else { DNS_PORT };
         let dst = pkt.dst();
-        if let Some(p) = pkt.udp_ports() {
+        // A corruption marker is the typed form of a failed checksum: the
+        // byte path could not parse such packets and fell through to the
+        // transparent bump-in-the-wire forward, so interpret nothing here.
+        if let Some(p) = pkt.udp_ports().filter(|_| !pkt.is_corrupt()) {
             // IPC from the local DNS server (either port; consumed).
             if dst == self.cfg.addr && p.dst == ports::PCE_IPC {
                 if let Packet::Pce {

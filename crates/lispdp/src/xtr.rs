@@ -798,6 +798,9 @@ impl Node<Packet> for Xtr {
             // Control messages from inside the domain (PCE pushes, peer
             // ETR syncs) addressed to this router.
             if dst == self.cfg.rloc {
+                if pkt.is_corrupt() {
+                    return; // failed end-to-end checksum (typed form)
+                }
                 match pkt {
                     Packet::Pce { ports: p, msg, .. }
                         if p.dst == ports::PCE_MAP || p.dst == ports::ETR_SYNC =>

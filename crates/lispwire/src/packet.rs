@@ -661,6 +661,10 @@ impl netsim::payload::Payload for Packet {
         Packet::encode(self)
     }
 
+    // Single-shot by design: the first corrupting link wins and later
+    // flips are not recorded — the receiver drops a marked packet either
+    // way, so only the lazily encoded wire image of a multiply-corrupted
+    // packet differs from the byte path (DESIGN.md §9).
     fn corrupt(&mut self, idx: usize, bit: u8) {
         let header = self.ip_mut();
         if header.corrupt.is_none() {

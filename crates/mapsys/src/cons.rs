@@ -110,10 +110,11 @@ impl ConsNode {
 
     /// Route a wrapped request one step.
     fn route_request(&mut self, ctx: &mut Ctx<'_, Packet>, mut msg: ConsMsg) {
-        let CtlMsg::Request(req) = *msg.inner.clone() else {
+        let CtlMsg::Request(req) = &*msg.inner else {
             self.dropped += 1;
             return;
         };
+        let req = *req;
         // Serving CAR: hand to the ETR with itr_rloc rewritten to us so
         // the reply comes back through the overlay.
         if let Some(&etr) = self.serving.lookup_value(req.target_eid) {
@@ -200,6 +201,9 @@ impl Node<Packet> for ConsNode {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        if pkt.is_corrupt() {
+            return; // failed end-to-end checksum (typed form)
+        }
         let Packet::LispCtl { ip, ports: p, msg } = pkt else {
             return;
         };

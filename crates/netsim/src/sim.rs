@@ -60,18 +60,20 @@ pub(crate) struct TimedEvent<P> {
     pub(crate) kind: EventKind<P>,
 }
 
-/// The engine's priority queue: a binary heap of 16-byte
+/// The engine's priority queue: a binary heap of compact
 /// `(key = at ‖ seq, slot)` entries over a slab of event bodies.
 ///
-/// The `(time, seq)` total order is packed into one `u128` key —
-/// `seq` increases monotonically with every schedule, which both breaks
-/// time ties deterministically and yields FIFO order among same-time
-/// events. Keeping the heap entries this small matters: sift operations
-/// move entries O(log n) times each, and event bodies are as large as
-/// the payload type (a typed `Packet` is >100 bytes), so bodies live in
-/// a free-listed slab and only the compact keys ride the heap. Events
-/// at [`Ns::MAX`] mean "never" (saturated timers) and are not enqueued
-/// at all.
+/// The `(time, seq)` total order is packed into one `u128` key — the
+/// full 64-bit `at` in the high half, the full 64-bit monotonic `seq`
+/// in the low half — so ordering is a single integer compare; `seq`
+/// both breaks time ties deterministically and yields FIFO order among
+/// same-time events. Keeping the heap entries small matters: sift
+/// operations move entries O(log n) times each, and event bodies are
+/// as large as the payload type (a typed `Packet` is >100 bytes), so
+/// bodies live in a free-listed slab (slots indexed by the entry's
+/// `u32`) and only the compact keys ride the heap. Events at
+/// [`Ns::MAX`] mean "never" (saturated timers) and are not enqueued at
+/// all.
 #[derive(Debug)]
 pub(crate) struct EventQueue<P> {
     heap: BinaryHeap<Reverse<(u128, u32)>>,

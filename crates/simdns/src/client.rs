@@ -83,6 +83,9 @@ impl Node<Packet> for DnsClient {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        if pkt.is_corrupt() {
+            return; // failed end-to-end checksum (typed form)
+        }
         let Packet::Dns { ports: p, msg, .. } = pkt else {
             return;
         };

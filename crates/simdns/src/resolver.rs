@@ -389,6 +389,9 @@ fn timer_token(qid: u16, generation: u32) -> u64 {
 
 impl Node<Packet> for Resolver {
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
+        if pkt.is_corrupt() {
+            return; // failed end-to-end checksum (typed form)
+        }
         let Packet::Dns { ip, ports: p, msg } = pkt else {
             return;
         };
