@@ -120,6 +120,40 @@ fn bench_mapcache(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cache_evict(c: &mut Criterion) {
+    use lispdp::{CacheSpec, EvictionPolicy, MapCache};
+    use lispwire::lispctl::{Locator, MapRecord};
+    use lispwire::Ipv4Address;
+    use netsim::Ns;
+
+    let mut g = c.benchmark_group("cache");
+    // A bounded LRU cache under steady eviction churn (the E12 regime):
+    // every iteration is one lookup over a rolling address plus one
+    // insert of a fresh prefix that forces an eviction, with the lazy
+    // expiry sweep armed.
+    g.bench_function("lookup_evict", |b| {
+        let spec = CacheSpec::bounded(1024, EvictionPolicy::Lru).with_sweep();
+        let mut cache = MapCache::from_spec(spec);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let probe = Ipv4Address::from_u32(0x6400_0000 | ((i % 4096) << 8) | 1);
+            let hit = cache.lookup(probe, Ns::from_secs(1)).is_some();
+            cache.insert(
+                MapRecord {
+                    eid_prefix: Ipv4Address::from_u32(0x6400_0000 | ((i % 4096) << 8)),
+                    prefix_len: 24,
+                    ttl_minutes: 60,
+                    locators: vec![Locator::new(Ipv4Address::new(12, 0, 0, 1), 1, 100)],
+                },
+                Ns::ZERO,
+            );
+            black_box(hit)
+        })
+    });
+    g.finish();
+}
+
 fn bench_engine(c: &mut Criterion) {
     use pcelisp_bench::workloads::{run_ping_pong, run_star, STAR_LEAVES, STAR_ROUNDS};
 
@@ -134,5 +168,12 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(engine, bench_wire, bench_lpm, bench_mapcache, bench_engine);
+criterion_group!(
+    engine,
+    bench_wire,
+    bench_lpm,
+    bench_mapcache,
+    bench_cache_evict,
+    bench_engine
+);
 criterion_main!(engine);

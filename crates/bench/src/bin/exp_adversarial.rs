@@ -1,0 +1,4 @@
+//! E12: graceful degradation — bounded caches and adversarial load.
+fn main() {
+    pcelisp_bench::run_and_print("e12");
+}

@@ -1,5 +1,7 @@
-//! Registry-driven experiment runner: every experiment (E1–E11, with the
-//! A1/A2 ablations inside E5/E3) in one command.
+//! Registry-driven experiment runner: every experiment registered in
+//! [`pcelisp::experiments::registry`] (with the A1/A2 ablations inside
+//! E5/E3) in one command — the list below, `--only` validation, and the
+//! run order all derive from the registry, never from a hand-kept list.
 //!
 //! ```sh
 //! exp_all                      # run the whole registry, print tables

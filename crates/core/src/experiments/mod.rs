@@ -21,6 +21,7 @@ pub mod sweep;
 
 pub mod e10_recovery;
 pub mod e11_scale_xl;
+pub mod e12_adversarial;
 pub mod e1_fig1;
 pub mod e2_drops;
 pub mod e3_resolution;
@@ -45,7 +46,10 @@ pub const OWD_SWEEP: [netsim::Ns; 4] = [
     netsim::Ns::from_ms(100),
 ];
 
-/// Every experiment in run order (E1–E11).
+/// Every experiment in run order. This is the single source of truth:
+/// runner `--list` output, the smoke-test expectations, and the docs
+/// index all derive from it, so adding an entry here is the only step a
+/// new experiment needs to be picked up everywhere.
 pub fn registry() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(e1_fig1::E1Fig1),
@@ -59,10 +63,11 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(e9_scale::E9Scale),
         Box::new(e10_recovery::E10Recovery),
         Box::new(e11_scale_xl::E11ScaleXl),
+        Box::new(e12_adversarial::E12Adversarial),
     ]
 }
 
-/// Look up one experiment by its registry name (`"e1"` … `"e11"`).
+/// Look up one experiment by its registry name (`"e1"`, `"e2"`, …).
 pub fn by_name(name: &str) -> Option<Box<dyn Experiment>> {
     registry().into_iter().find(|e| e.name() == name)
 }
@@ -73,11 +78,11 @@ mod tests {
 
     #[test]
     fn registry_names_are_unique_and_ordered() {
+        // Derived from the registry length, not a hand-kept list, so a
+        // new experiment only has to be added in `registry()` itself.
         let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(
-            names,
-            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"]
-        );
+        let expected: Vec<String> = (1..=registry().len()).map(|i| format!("e{i}")).collect();
+        assert_eq!(names, expected);
     }
 
     #[test]

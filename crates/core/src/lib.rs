@@ -30,7 +30,10 @@
 //!   site-internal [`scenario::FlowRouter`], and the figure's
 //!   well-known addresses.
 //! * [`workload`] — deterministic Poisson/Zipf flow workload generation.
-//! * [`experiments`] — the E1–E11 / A1–A2 harnesses of DESIGN.md behind
+//! * [`adversary`] — scripted attacker nodes for the graceful-degradation
+//!   study (E12): Map-Request floods, cache poisoning, prefix
+//!   overclaiming, all replay-deterministic (DESIGN.md §10).
+//! * [`experiments`] — the E1–E12 / A1–A2 harnesses of DESIGN.md behind
 //!   the [`experiments::Experiment`] trait: each returns an
 //!   [`experiments::ExpReport`] with typed rows, printable tables and
 //!   JSON serialization, and [`experiments::registry`] drives them all.
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod adversary;
 pub mod experiments;
 pub mod hosts;
 pub mod pce;
@@ -61,17 +65,19 @@ pub mod workload;
 
 /// Convenient re-exports for examples and benches.
 pub mod prelude {
+    pub use crate::adversary::{AttackNode, ScanRng};
     pub use crate::experiments::{self, ExpReport, Experiment};
     pub use crate::hosts::{FlowMode, FlowSpec, ServerHost, TrafficHost};
     pub use crate::pce::{Pce, PceConfig};
     pub use crate::scenario::{CpKind, FlowRouter};
     pub use crate::spec::{
-        DynEvent, DynEventKind, DynamicsSpec, ProviderSpec, ScenarioSpec, SelectionPolicy,
-        SiteRole, SiteSpec, SiteWorld, TopologySpec, Workload, World,
+        AttackerSpec, DefenseSpec, DynEvent, DynEventKind, DynamicsSpec, ProviderSpec,
+        ScenarioSpec, SelectionPolicy, SiteRole, SiteSpec, SiteWorld, TopologySpec, Workload,
+        World,
     };
     pub use crate::workload::{PoissonArrivals, ZipfPicker};
     pub use inet::{Prefix, Router};
-    pub use lispdp::{CpMode, MissPolicy, Xtr};
+    pub use lispdp::{CacheSpec, CpMode, DefenseCfg, EvictionPolicy, MissPolicy, Xtr};
     pub use lispwire::Ipv4Address;
     pub use netsim::{LinkCfg, Ns, Sim};
     pub use simstats::{Histogram, Summary, Table};

@@ -24,20 +24,23 @@
 //! `tests/golden_compat.rs`). [`ScenarioSpec::multi_site`] generates
 //! N-destination-site worlds for the scale experiments (E9).
 
+use crate::adversary::{AttackNode, ScanRng};
 use crate::hosts::{FlowMode, FlowSpec, ServerHost, TrafficHost};
 use crate::pce::{Pce, PceConfig};
 use crate::scenario::{addrs, CpKind, FlowRouter};
 use crate::workload::{PoissonArrivals, ZipfPicker};
+use inet::stack::IpStack;
 use inet::{Prefix, Router};
 use ircte::Provider;
 pub use ircte::SelectionPolicy;
-use lispdp::{CpMode, MissPolicy, RlocProbeCfg, Xtr, XtrConfig};
+use lispdp::{CacheSpec, CpMode, DefenseCfg, MissPolicy, RlocProbeCfg, Xtr, XtrConfig};
 use lispwire::dnswire::Name;
-use lispwire::lispctl::{Locator, MapRecord};
-use lispwire::{Ipv4Address, Packet};
+use lispwire::lispctl::{Locator, MapRecord, MapReply};
+use lispwire::packet::CtlMsg;
+use lispwire::{ports, Ipv4Address, Packet};
 use mapsys::alt::linear_chain;
 use mapsys::api::{MappingDb, SiteEntry};
-use mapsys::{AltRouter, ConsNode, MapResolver, NerdAuthority};
+use mapsys::{AltRouter, ConsNode, GuardCfg, MapResolver, NerdAuthority, RequestGuard};
 use netsim::{DownPolicy, LinkCfg, NodeId, Ns, PortId, Sim};
 use simdns::zone::{Zone, ZoneStore};
 use simdns::{AuthServer, Resolver, ResolverConfig};
@@ -114,6 +117,9 @@ pub struct SiteSpec {
     /// Host population. For server sites this is the number of distinct
     /// destination EIDs (`host-0 … host-{n-1}` in the site zone).
     pub hosts: usize,
+    /// Per-site map-cache override (`None` = the scenario-wide
+    /// [`ScenarioSpec::cache`]).
+    pub cache: Option<CacheSpec>,
 }
 
 impl SiteSpec {
@@ -125,6 +131,7 @@ impl SiteSpec {
             providers,
             role: SiteRole::Client,
             hosts: 1,
+            cache: None,
         }
     }
 
@@ -141,6 +148,7 @@ impl SiteSpec {
             providers,
             role: SiteRole::Server,
             hosts,
+            cache: None,
         }
     }
 
@@ -384,6 +392,78 @@ impl DynamicsSpec {
     }
 }
 
+/// One adversarial role layered onto a scenario (DESIGN.md §10).
+///
+/// Every role compiles at build time into a fully scripted
+/// [`AttackNode`] (or, for [`AttackerSpec::Overclaim`], a config flag on
+/// a legitimate xTR), so adversarial worlds replay byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackerSpec {
+    /// An in-site compromised host scanning randomized EIDs: each scan
+    /// packet is a spoofed Map-Request-triggering probe that forces the
+    /// site ITR to miss and signal. Targets mix live cross-site EIDs
+    /// (cache thrash) and dead EIDs (resolver waste: each dead target
+    /// costs the full retry budget).
+    MapRequestFlood {
+        /// Scan packets per second.
+        rate_per_sec: f64,
+        /// Total scan packets.
+        packets: usize,
+    },
+    /// An off-site node spraying spoofed, unsolicited Map-Replies that
+    /// claim every server site's prefix and point it at the attacker's
+    /// own RLOC. Undefended xTRs install them and tunnel traffic into
+    /// the attacker's sink.
+    CachePoison {
+        /// Spoofed replies per second (per victim xTR).
+        rate_per_sec: f64,
+        /// Spray rounds (each round re-poisons every victim).
+        rounds: usize,
+    },
+    /// A *legitimate* ETR of `site` answering Map-Requests with a
+    /// prefix truncated to `prefix_len` — claiming address space it
+    /// does not own (the overclaiming attack of Saucez et al.).
+    Overclaim {
+        /// The misbehaving site's name.
+        site: String,
+        /// The too-broad prefix length it claims.
+        prefix_len: u8,
+    },
+}
+
+/// Which defenses are armed, scenario-wide (DESIGN.md §10). Default is
+/// everything off — the pre-E12 worlds are reproduced bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DefenseSpec {
+    /// xTR-side defenses (nonce/origin verification, reply scope limit,
+    /// negative caching, per-source rate limiting).
+    pub xtr: DefenseCfg,
+    /// Ingress guard on the mapping-system side: the Map-Resolver, the
+    /// ALT gateway and every CONS CAR rate-limit per source EID; the
+    /// resolver also negative-caches unresolvable targets.
+    pub resolver_guard: Option<GuardCfg>,
+}
+
+impl DefenseSpec {
+    /// The standard armed-defenses profile E12 measures: reply
+    /// verification on, replies must be `/16` or finer, 5 s negative
+    /// TTL, 16 requests/s per source at both the xTR and the resolver.
+    pub fn armed() -> Self {
+        Self {
+            xtr: DefenseCfg {
+                verify_replies: true,
+                reply_scope_limit: Some(16),
+                negative_ttl: Some(Ns::from_secs(5)),
+                source_rate: Some(lispdp::SourceRateCfg {
+                    window: Ns::from_secs(1),
+                    max_requests: 16,
+                }),
+            },
+            resolver_guard: Some(GuardCfg::standard()),
+        }
+    }
+}
+
 /// The full description of one runnable scenario: topology + control
 /// plane + workload + mapping knobs + (optionally) timed dynamics.
 ///
@@ -440,6 +520,14 @@ pub struct ScenarioSpec {
     /// Timed topology/mapping dynamics (`None` = the static world every
     /// pre-dynamics experiment runs on).
     pub dynamics: Option<DynamicsSpec>,
+    /// Scenario-wide map-cache shape of every xTR (capacity + eviction
+    /// policy; [`SiteSpec::cache`] overrides per site). The default,
+    /// unbounded, reproduces the pre-E12 worlds bit-for-bit.
+    pub cache: CacheSpec,
+    /// Which defenses are armed (default: none).
+    pub defense: DefenseSpec,
+    /// Adversarial roles layered onto the world (default: none).
+    pub attackers: Vec<AttackerSpec>,
 }
 
 impl ScenarioSpec {
@@ -498,6 +586,9 @@ impl ScenarioSpec {
             eid_space: Some(vec![Prefix::new(Ipv4Address::new(100, 0, 0, 0), 7)]),
             pce_policy: SelectionPolicy::WeightedBalance,
             dynamics: None,
+            cache: CacheSpec::default(),
+            defense: DefenseSpec::default(),
+            attackers: Vec::new(),
         }
     }
 
@@ -582,6 +673,9 @@ impl ScenarioSpec {
             pce_policy: SelectionPolicy::WeightedBalance,
             eid_space: None,
             dynamics: None,
+            cache: CacheSpec::default(),
+            defense: DefenseSpec::default(),
+            attackers: Vec::new(),
         }
     }
 
@@ -762,6 +856,9 @@ pub struct World {
     pub alt_nodes: Vec<NodeId>,
     /// CONS overlay nodes (CARs in site order, then CDRs).
     pub cons_nodes: Vec<NodeId>,
+    /// Attacker nodes, in [`ScenarioSpec::attackers`] order (roles that
+    /// need no node of their own — overclaiming — contribute none).
+    pub attack_nodes: Vec<NodeId>,
 }
 
 impl World {
@@ -1250,6 +1347,15 @@ impl ScenarioSpec {
                     cfg.reply_ttl_minutes = self.mapping_ttl_minutes;
                     cfg.reply_host_granularity = self.fine_grained_mappings;
                     cfg.rloc_probing = dyn_probing;
+                    cfg.cache = s.cache.unwrap_or(self.cache);
+                    cfg.defense = self.defense.xtr;
+                    for atk in &self.attackers {
+                        if let AttackerSpec::Overclaim { site, prefix_len } = atk {
+                            if *site == s.name {
+                                cfg.overclaim = Some(Prefix::new(s.eid_prefix.addr(), *prefix_len));
+                            }
+                        }
+                    }
                     let id = sim.add_node(&format!("xTR-{}", p.name), Box::new(Xtr::new(cfg)));
                     site_xtrs[i].push(id);
                 }
@@ -1338,10 +1444,11 @@ impl ScenarioSpec {
 
         match cp {
             CpKind::LispDrop | CpKind::LispQueue | CpKind::LispDataCp => {
-                let mr = sim.add_node(
-                    "map-resolver",
-                    Box::new(MapResolver::new(addrs::MAP_RESOLVER, &db)),
-                );
+                let mut resolver = MapResolver::new(addrs::MAP_RESOLVER, &db);
+                if let Some(g) = self.defense.resolver_guard {
+                    resolver = resolver.with_guard(g);
+                }
+                let mr = sim.add_node("map-resolver", Box::new(resolver));
                 let (_, port) = sim.connect(mr, core, LinkCfg::wan(mapsys_owd));
                 sim.node_mut::<Router>(core)
                     .add_route(Prefix::host(addrs::MAP_RESOLVER), port);
@@ -1381,6 +1488,12 @@ impl ScenarioSpec {
                         routers[0].add_delivery(s.eid_prefix, etr);
                     }
                 }
+                if let Some(g) = self.defense.resolver_guard {
+                    // The entry router is the overlay's ingress; guard it.
+                    if let Some(first) = routers.first_mut() {
+                        first.guard = Some(RequestGuard::new(g));
+                    }
+                }
                 for (i, r) in routers.into_iter().enumerate() {
                     let node = sim.add_node(&format!("alt-{i}"), Box::new(r));
                     let (_, port) = sim.connect(node, core, LinkCfg::wan(mapsys_owd));
@@ -1401,6 +1514,9 @@ impl ScenarioSpec {
                     .map(|(i, s)| {
                         let mut car = ConsNode::new(car_addr_of(i), Some(cdr_addrs[0]));
                         car.add_site(s.eid_prefix, s.providers[0].rloc);
+                        if let Some(g) = self.defense.resolver_guard {
+                            car.guard = Some(RequestGuard::new(g));
+                        }
                         car
                     })
                     .collect();
@@ -1447,6 +1563,153 @@ impl ScenarioSpec {
                 nerd_node = Some(nerd);
             }
             CpKind::NoLisp | CpKind::Pce => {}
+        }
+
+        // ---- Adversaries -----------------------------------------------------
+        // Attacker nodes come after all legitimate infrastructure so that
+        // attacker-free specs construct node-for-node identical worlds,
+        // and every attack packet is scheduled *here*, at build time,
+        // through the deterministic (time, seq) timer order.
+        let mut attack_nodes: Vec<NodeId> = Vec::new();
+        if !self.attackers.is_empty() {
+            let live_targets: Vec<Ipv4Address> = topo
+                .sites
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.role == SiteRole::Server)
+                .flat_map(|(i, _)| site_dest_eids[i].iter().copied())
+                .collect();
+            let in_any_site = |a: Ipv4Address| topo.sites.iter().any(|s| s.eid_prefix.contains(a));
+            let client_idx = topo
+                .sites
+                .iter()
+                .position(|s| s.role == SiteRole::Client)
+                .expect("adversarial scenarios need a client site");
+            let attack_t0 = Ns::from_ms(50);
+
+            for (ai, atk) in self.attackers.iter().enumerate() {
+                match atk {
+                    AttackerSpec::MapRequestFlood {
+                        rate_per_sec,
+                        packets,
+                    } => {
+                        // A compromised host inside the client site scans
+                        // randomized EIDs. Each probe is ordinary data the
+                        // site ITR must classify: live cross-site targets
+                        // thrash the cache, dead ones burn the resolver's
+                        // full retry budget.
+                        let s = &topo.sites[client_idx];
+                        let addr = s.eid_with_last_octet(6);
+                        let stack = IpStack::new(addr);
+                        let mut rng = ScanRng::new(seed ^ (ai as u64 + 1));
+                        let mut script = Vec::with_capacity(*packets);
+                        for _ in 0..*packets {
+                            let want_live = rng.pick(2) == 0;
+                            let dead = (0..32).find_map(|_| {
+                                let p = eid_space[rng.pick(eid_space.len())];
+                                let cand = p.nth_host(rng.next_u64() as u32);
+                                (!in_any_site(cand)).then_some(cand)
+                            });
+                            let target = match (want_live, dead) {
+                                (true, _) | (false, None) if !live_targets.is_empty() => {
+                                    live_targets[rng.pick(live_targets.len())]
+                                }
+                                (_, Some(d)) => d,
+                                _ => eid_space[0].nth_host(rng.next_u64() as u32),
+                            };
+                            script.push(stack.udp(9666, target, 9666, vec![0u8; 40]));
+                        }
+                        let period = Ns((1e9 / rate_per_sec).max(1.0) as u64);
+                        let node = sim.add_node(
+                            &format!("attacker-flood-{ai}"),
+                            Box::new(AttackNode::new(addr, script)),
+                        );
+                        let (_, rp) = sim.connect(node, site_routers[client_idx], LinkCfg::lan());
+                        sim.node_mut::<FlowRouter>(site_routers[client_idx])
+                            .add_route(Prefix::host(addr), rp);
+                        for k in 0..*packets {
+                            sim.schedule_timer(
+                                node,
+                                attack_t0.saturating_add(Ns(period.0 * k as u64)),
+                                k as u64,
+                            );
+                        }
+                        attack_nodes.push(node);
+                    }
+                    AttackerSpec::CachePoison {
+                        rate_per_sec,
+                        rounds,
+                    } => {
+                        // An off-site node sprays spoofed Map-Replies at
+                        // every client-site xTR, claiming every server
+                        // prefix with the attacker's own RLOC as locator.
+                        // Hijacked tunnels then land back on this node,
+                        // which absorbs them (counted, never delivered).
+                        let addr = Ipv4Address::new(66, 6, 0, (ai + 1) as u8);
+                        let stack = IpStack::new(addr);
+                        let mut rng = ScanRng::new(seed ^ (0x5000 + ai as u64));
+                        let victims: Vec<Ipv4Address> = topo
+                            .sites
+                            .iter()
+                            .filter(|s| s.role == SiteRole::Client)
+                            .flat_map(|s| s.providers.iter().map(|p| p.rloc))
+                            .collect();
+                        let claims: Vec<Prefix> = topo
+                            .sites
+                            .iter()
+                            .filter(|s| s.role == SiteRole::Server)
+                            .map(|s| s.eid_prefix)
+                            .collect();
+                        let mut script = Vec::new();
+                        for _ in 0..*rounds {
+                            for &victim in &victims {
+                                for &claim in &claims {
+                                    let reply = MapReply {
+                                        // The attacker cannot see nonces in
+                                        // flight; it guesses (verification,
+                                        // when armed, rejects these).
+                                        nonce: rng.next_u64(),
+                                        records: vec![MapRecord {
+                                            eid_prefix: claim.addr(),
+                                            prefix_len: claim.len(),
+                                            ttl_minutes: self.mapping_ttl_minutes,
+                                            locators: vec![Locator::new(addr, 1, 100)],
+                                        }],
+                                    };
+                                    script.push(stack.ctl(
+                                        ports::LISP_CONTROL,
+                                        victim,
+                                        ports::LISP_CONTROL,
+                                        CtlMsg::Reply(reply),
+                                    ));
+                                }
+                            }
+                        }
+                        let per_round = victims.len() * claims.len();
+                        let node = sim.add_node(
+                            &format!("attacker-poison-{ai}"),
+                            Box::new(AttackNode::new(addr, script)),
+                        );
+                        let (_, port) = sim.connect(node, core, LinkCfg::wan(mapsys_owd));
+                        sim.node_mut::<Router>(core)
+                            .add_route(Prefix::new(Ipv4Address::new(66, 0, 0, 0), 8), port);
+                        let period = Ns((1e9 / rate_per_sec).max(1.0) as u64);
+                        for r in 0..*rounds {
+                            for j in 0..per_round {
+                                sim.schedule_timer(
+                                    node,
+                                    attack_t0.saturating_add(Ns(period.0 * r as u64)),
+                                    (r * per_round + j) as u64,
+                                );
+                            }
+                        }
+                        attack_nodes.push(node);
+                    }
+                    // Overclaiming is a config flag on the site's own
+                    // xTRs, applied in the border block above.
+                    AttackerSpec::Overclaim { .. } => {}
+                }
+            }
         }
 
         // ---- Timed dynamics --------------------------------------------------
@@ -1623,6 +1886,7 @@ impl ScenarioSpec {
             nerd_node,
             alt_nodes,
             cons_nodes,
+            attack_nodes,
         }
     }
 }

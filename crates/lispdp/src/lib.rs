@@ -1,7 +1,8 @@
 //! `lispdp` — the LISP data plane (draft-farinacci-lisp-08).
 //!
-//! * [`mapcache`] — the ITR's EID-prefix map-cache with TTL aging and a
-//!   bounded capacity with deterministic LRU eviction.
+//! * [`mapcache`] — the ITR's EID-prefix map-cache with TTL aging and an
+//!   optional capacity bound under a pluggable deterministic eviction
+//!   policy (LRU, LFU, or soonest-TTL; DESIGN.md §10).
 //! * [`policy`] — what an ITR does with packets that miss the cache while
 //!   the mapping resolves: **Drop** (default LISP), **Queue** (bounded
 //!   buffer, flushed on install), or **DataOverCp** (the palliative the
@@ -21,6 +22,6 @@ pub mod mapcache;
 pub mod policy;
 pub mod xtr;
 
-pub use mapcache::{CacheEntry, MapCache};
+pub use mapcache::{CacheEntry, CacheSpec, EvictionPolicy, MapCache};
 pub use policy::MissPolicy;
-pub use xtr::{CpMode, RlocProbeCfg, Xtr, XtrConfig};
+pub use xtr::{CpMode, DefenseCfg, RlocProbeCfg, SourceRateCfg, Xtr, XtrConfig};

@@ -1,16 +1,104 @@
 //! The ITR map-cache: EID-prefix → locator set, with TTL aging and a
-//! bounded capacity evicted in deterministic least-recently-used order.
+//! bounded capacity evicted under a pluggable, deterministic policy.
 //!
 //! The paper's weakness 1 ("a hit might not necessarily be found, either
 //! because the mapping has aged out, or simply because it was never
 //! requested before") is exactly what this structure models; experiment
-//! E6 sweeps its TTL against workload skew, and the `mapcache` Criterion
-//! group tracks its lookup cost (DESIGN.md §5).
+//! E6 sweeps its TTL against workload skew, E12 sweeps capacity and
+//! eviction policy under adversarial load (DESIGN.md §10), and the
+//! `mapcache` Criterion group tracks its lookup cost (DESIGN.md §5).
 
 use inet::{LpmTrie, Prefix};
 use lispwire::lispctl::MapRecord;
 use lispwire::Ipv4Address;
 use netsim::Ns;
+
+/// How a bounded [`MapCache`] chooses an eviction victim when full.
+///
+/// Every policy is deterministic: ties break on the prefix itself, so a
+/// replayed simulation evicts the same entries in the same order
+/// (DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Never evict — the cache grows without bound (the pre-E12
+    /// behaviour; E1–E11 run with this so their goldens are stable).
+    Unbounded,
+    /// Evict the least-recently-used entry (ties: lowest prefix).
+    Lru,
+    /// Evict the least-frequently-used entry (ties: least recently
+    /// used, then lowest prefix). Frequency survives refresh-inserts,
+    /// unlike the per-incarnation [`CacheEntry::hits`] counter.
+    Lfu,
+    /// Evict the entry closest to TTL expiry (ties: lowest prefix).
+    Ttl,
+}
+
+impl EvictionPolicy {
+    /// Short lower-case label for report tables (`"lru"`, `"lfu"`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictionPolicy::Unbounded => "unbounded",
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+            EvictionPolicy::Ttl => "ttl",
+        }
+    }
+}
+
+/// Declarative map-cache configuration, threaded from
+/// `ScenarioSpec`/`SiteSpec` down to every xTR's [`MapCache`].
+///
+/// The default is unbounded with the lazy expiry sweep off — exactly the
+/// pre-E12 cache behaviour, which is what keeps the E1–E11 goldens
+/// byte-identical (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Maximum number of entries (ignored when `policy` is
+    /// [`EvictionPolicy::Unbounded`]).
+    pub capacity: usize,
+    /// Eviction policy applied when an insert would exceed `capacity`.
+    pub policy: EvictionPolicy,
+    /// When set, every lookup first reaps all expired entries (amortised
+    /// behind an earliest-expiry watermark, so the common case is a
+    /// single comparison). Off by default: the sweep changes *when*
+    /// expirations are counted, which would drift the E6 golden.
+    pub lazy_expiry_sweep: bool,
+}
+
+impl Default for CacheSpec {
+    fn default() -> Self {
+        CacheSpec {
+            capacity: usize::MAX,
+            policy: EvictionPolicy::Unbounded,
+            lazy_expiry_sweep: false,
+        }
+    }
+}
+
+impl CacheSpec {
+    /// A bounded cache with the given capacity and policy (sweep off).
+    pub fn bounded(capacity: usize, policy: EvictionPolicy) -> Self {
+        CacheSpec {
+            capacity,
+            policy,
+            lazy_expiry_sweep: false,
+        }
+    }
+
+    /// Enable the lazy expiry sweep on lookup.
+    pub fn with_sweep(mut self) -> Self {
+        self.lazy_expiry_sweep = true;
+        self
+    }
+
+    /// Short label for report tables: `"unbounded"` or `"<cap> <policy>"`.
+    pub fn label(&self) -> String {
+        match self.policy {
+            EvictionPolicy::Unbounded => "unbounded".to_string(),
+            p => format!("{} {}", self.capacity, p.label()),
+        }
+    }
+}
 
 /// One cached mapping.
 #[derive(Debug, Clone)]
@@ -23,8 +111,12 @@ pub struct CacheEntry {
     pub expires: Ns,
     /// Last lookup that hit it (drives LRU eviction).
     pub last_used: Ns,
-    /// Number of hits.
+    /// Number of hits since this incarnation was installed (reset on
+    /// refresh-insert).
     pub hits: u64,
+    /// Lifetime hit count for the prefix — survives refresh-inserts and
+    /// drives [`EvictionPolicy::Lfu`] victim selection.
+    pub freq: u64,
 }
 
 impl CacheEntry {
@@ -38,7 +130,11 @@ impl CacheEntry {
 #[derive(Debug, Clone)]
 pub struct MapCache {
     trie: LpmTrie<CacheEntry>,
-    max_entries: usize,
+    spec: CacheSpec,
+    /// Watermark for the lazy sweep: the earliest `expires` of any entry
+    /// inserted since the last sweep. `None` means nothing can possibly
+    /// be expired, so a swept lookup costs one comparison.
+    earliest_expiry: Option<Ns>,
     /// Lookup hits.
     pub hit_count: u64,
     /// Lookup misses (no entry or expired).
@@ -53,17 +149,35 @@ pub struct MapCache {
 }
 
 impl MapCache {
-    /// A cache holding at most `max_entries` mappings.
+    /// A cache holding at most `max_entries` mappings, evicted LRU —
+    /// the historical constructor, equivalent to
+    /// `MapCache::from_spec(CacheSpec::bounded(max_entries, Lru))`.
     pub fn new(max_entries: usize) -> Self {
+        Self::from_spec(CacheSpec::bounded(max_entries, EvictionPolicy::Lru))
+    }
+
+    /// An unbounded cache (no eviction, no sweep).
+    pub fn unbounded() -> Self {
+        Self::from_spec(CacheSpec::default())
+    }
+
+    /// A cache configured by `spec`.
+    pub fn from_spec(spec: CacheSpec) -> Self {
         Self {
             trie: LpmTrie::new(),
-            max_entries,
+            spec,
+            earliest_expiry: None,
             hit_count: 0,
             miss_count: 0,
             evictions: 0,
             expirations: 0,
             invalidations: 0,
         }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn spec(&self) -> &CacheSpec {
+        &self.spec
     }
 
     /// Number of live entries (including not-yet-purged expired ones).
@@ -81,28 +195,51 @@ impl MapCache {
     pub fn insert(&mut self, record: MapRecord, now: Ns) {
         let prefix = Prefix::new(record.eid_prefix, record.prefix_len);
         let ttl = Ns::from_secs(u64::from(record.ttl_minutes) * 60);
-        if self.trie.get(&prefix).is_none() && self.trie.len() >= self.max_entries {
-            self.evict_lru();
+        // Lifetime frequency survives a refresh of the same prefix.
+        let freq = self.trie.get(&prefix).map_or(0, |e| e.freq);
+        if self.spec.policy != EvictionPolicy::Unbounded
+            && self.trie.get(&prefix).is_none()
+            && self.trie.len() >= self.spec.capacity
+        {
+            self.evict_one();
         }
+        let expires = now + ttl;
+        self.earliest_expiry = Some(match self.earliest_expiry {
+            Some(e) => e.min(expires),
+            None => expires,
+        });
         self.trie.insert(
             prefix,
             CacheEntry {
                 record,
                 inserted: now,
-                expires: now + ttl,
+                expires,
                 last_used: now,
                 hits: 0,
+                freq,
             },
         );
     }
 
-    fn evict_lru(&mut self) {
-        let victim = self
-            .trie
-            .entries()
-            .into_iter()
-            .min_by_key(|(p, e)| (e.last_used, *p))
-            .map(|(p, _)| p);
+    /// Remove one victim per the configured policy. Ties always break on
+    /// the prefix so eviction order is deterministic.
+    fn evict_one(&mut self) {
+        let entries = self.trie.entries();
+        let victim = match self.spec.policy {
+            EvictionPolicy::Unbounded => None,
+            EvictionPolicy::Lru => entries
+                .into_iter()
+                .min_by_key(|(p, e)| (e.last_used, *p))
+                .map(|(p, _)| p),
+            EvictionPolicy::Lfu => entries
+                .into_iter()
+                .min_by_key(|(p, e)| (e.freq, e.last_used, *p))
+                .map(|(p, _)| p),
+            EvictionPolicy::Ttl => entries
+                .into_iter()
+                .min_by_key(|(p, e)| (e.expires, *p))
+                .map(|(p, _)| p),
+        };
         if let Some(p) = victim {
             self.trie.remove(&p);
             self.evictions += 1;
@@ -110,8 +247,18 @@ impl MapCache {
     }
 
     /// Look up the mapping for `eid` at time `now`. Expired entries count
-    /// as misses (and are removed).
+    /// as misses (and are removed). With
+    /// [`CacheSpec::lazy_expiry_sweep`] set, *all* expired entries are
+    /// reaped first, so stale state can't linger unobserved even under
+    /// [`EvictionPolicy::Unbounded`].
     pub fn lookup(&mut self, eid: Ipv4Address, now: Ns) -> Option<&MapRecord> {
+        if self.spec.lazy_expiry_sweep {
+            if let Some(earliest) = self.earliest_expiry {
+                if earliest <= now {
+                    self.purge_expired(now);
+                }
+            }
+        }
         let matched = self.trie.lookup(eid).map(|(p, _)| p);
         let Some(prefix) = matched else {
             self.miss_count += 1;
@@ -134,10 +281,12 @@ impl MapCache {
         let entry = self.trie.get_mut(&prefix).expect("entry just matched");
         entry.last_used = now;
         entry.hits += 1;
+        entry.freq += 1;
         Some(&entry.record)
     }
 
-    /// Remove every expired entry at time `now`.
+    /// Remove every expired entry at time `now` and recompute the sweep
+    /// watermark.
     pub fn purge_expired(&mut self, now: Ns) {
         let expired: Vec<Prefix> = self
             .trie
@@ -150,6 +299,12 @@ impl MapCache {
             self.trie.remove(&p);
             self.expirations += 1;
         }
+        self.earliest_expiry = self
+            .trie
+            .entries()
+            .into_iter()
+            .map(|(_, e)| e.expires)
+            .min();
     }
 
     /// Remove a specific prefix.
@@ -259,6 +414,50 @@ mod tests {
     }
 
     #[test]
+    fn lfu_eviction_order() {
+        let mut c = MapCache::from_spec(CacheSpec::bounded(2, EvictionPolicy::Lfu));
+        c.insert(record([101, 0, 0, 0], 8, 60), Ns::ZERO);
+        c.insert(record([102, 0, 0, 0], 8, 60), Ns::ZERO);
+        // 101 is hit twice, 102 once — despite 102 being more recent.
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(1)).is_some());
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(2)).is_some());
+        assert!(c.lookup(a([102, 1, 1, 1]), Ns::from_secs(3)).is_some());
+        c.insert(record([103, 0, 0, 0], 8, 60), Ns::from_secs(4));
+        assert_eq!(c.evictions, 1);
+        assert!(c.lookup(a([102, 1, 1, 1]), Ns::from_secs(5)).is_none());
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(5)).is_some());
+    }
+
+    #[test]
+    fn lfu_frequency_survives_refresh() {
+        let mut c = MapCache::from_spec(CacheSpec::bounded(2, EvictionPolicy::Lfu));
+        c.insert(record([101, 0, 0, 0], 8, 60), Ns::ZERO);
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(1)).is_some());
+        // Refresh resets per-incarnation hits but not lifetime freq.
+        c.insert(record([101, 0, 0, 0], 8, 60), Ns::from_secs(2));
+        let (_, e) = c.entries().into_iter().next().unwrap();
+        assert_eq!(e.hits, 0);
+        assert_eq!(e.freq, 1);
+        // 102 (freq 0) is the LFU victim even though inserted later.
+        c.insert(record([102, 0, 0, 0], 8, 60), Ns::from_secs(3));
+        c.insert(record([103, 0, 0, 0], 8, 60), Ns::from_secs(4));
+        assert!(c.lookup(a([102, 1, 1, 1]), Ns::from_secs(5)).is_none());
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(5)).is_some());
+    }
+
+    #[test]
+    fn ttl_eviction_order() {
+        let mut c = MapCache::from_spec(CacheSpec::bounded(2, EvictionPolicy::Ttl));
+        c.insert(record([101, 0, 0, 0], 8, 5), Ns::ZERO); // expires first
+        c.insert(record([102, 0, 0, 0], 8, 60), Ns::ZERO);
+        c.insert(record([103, 0, 0, 0], 8, 60), Ns::from_secs(1));
+        assert_eq!(c.evictions, 1);
+        assert!(c.lookup(a([101, 1, 1, 1]), Ns::from_secs(2)).is_none());
+        assert!(c.lookup(a([102, 1, 1, 1]), Ns::from_secs(2)).is_some());
+        assert!(c.lookup(a([103, 1, 1, 1]), Ns::from_secs(2)).is_some());
+    }
+
+    #[test]
     fn reinsert_refreshes_ttl() {
         let mut c = MapCache::new(10);
         c.insert(record([101, 0, 0, 0], 8, 1), Ns::ZERO);
@@ -275,6 +474,51 @@ mod tests {
         c.purge_expired(Ns::from_secs(61));
         assert_eq!(c.len(), 1);
         assert_eq!(c.expirations, 1);
+    }
+
+    // Satellite regression: without the sweep, an expired entry that is
+    // never rematched (a more-specific sibling keeps winning LPM, or it
+    // is simply never looked up) stays resident forever under Unbounded.
+    // With the sweep, *any* later lookup reaps it.
+    #[test]
+    fn lazy_sweep_reaps_unobserved_expired_entries() {
+        let mut swept = MapCache::from_spec(CacheSpec::default().with_sweep());
+        let mut unswept = MapCache::unbounded();
+        for c in [&mut swept, &mut unswept] {
+            c.insert(record([101, 0, 0, 0], 8, 1), Ns::ZERO); // 1 minute
+            c.insert(record([102, 0, 0, 0], 8, 60), Ns::ZERO);
+        }
+        // Look up an *unrelated* EID long after 101/8 expired.
+        let t = Ns::from_secs(120);
+        assert!(swept.lookup(a([102, 1, 1, 1]), t).is_some());
+        assert!(unswept.lookup(a([102, 1, 1, 1]), t).is_some());
+        assert_eq!(swept.len(), 1, "sweep reaps the stale entry");
+        assert_eq!(swept.expirations, 1);
+        assert_eq!(unswept.len(), 2, "without sweep the stale entry lingers");
+        assert_eq!(unswept.expirations, 0);
+    }
+
+    #[test]
+    fn lazy_sweep_watermark_recovers_after_purge() {
+        let mut c = MapCache::from_spec(CacheSpec::default().with_sweep());
+        c.insert(record([101, 0, 0, 0], 8, 1), Ns::ZERO);
+        c.insert(record([102, 0, 0, 0], 8, 2), Ns::ZERO);
+        assert!(c.lookup(a([102, 1, 1, 1]), Ns::from_secs(61)).is_some());
+        assert_eq!(c.expirations, 1); // 101/8 swept
+                                      // Watermark now tracks 102/8's expiry; a later lookup reaps it too.
+        assert!(c.lookup(a([103, 1, 1, 1]), Ns::from_secs(121)).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.expirations, 2);
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut c = MapCache::unbounded();
+        for i in 0..64u8 {
+            c.insert(record([i + 1, 0, 0, 0], 8, 60), Ns::from_secs(u64::from(i)));
+        }
+        assert_eq!(c.len(), 64);
+        assert_eq!(c.evictions, 0);
     }
 
     #[test]

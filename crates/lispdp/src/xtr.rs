@@ -26,7 +26,7 @@
 //!   mapping, multicasts it to its peer xTRs and updates the PCE database
 //!   (the paper's two-way completion after step 8).
 
-use crate::mapcache::MapCache;
+use crate::mapcache::{CacheSpec, MapCache};
 use crate::policy::MissPolicy;
 use inet::stack::IpStack;
 use inet::Prefix;
@@ -73,6 +73,38 @@ impl Default for RlocProbeCfg {
     }
 }
 
+/// Per-source-EID Map-Request rate limit: at most `max_requests` first
+/// transmissions per `window` on behalf of any one site host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceRateCfg {
+    /// Window length.
+    pub window: Ns,
+    /// Requests allowed per source EID per window.
+    pub max_requests: u32,
+}
+
+/// Togglable control-plane defenses (DESIGN.md §10). Everything defaults
+/// to **off** — the trusting pre-E12 behaviour — so defended and
+/// undefended runs can be compared cell by cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DefenseCfg {
+    /// Accept a Map-Reply record only when its nonce matches an
+    /// outstanding request *and* the record covers the requested EID
+    /// (rejects spoofed / unsolicited replies — the CachePoison vector).
+    pub verify_replies: bool,
+    /// Contain Map-Reply records broader than this prefix length: an
+    /// over-broad record is *clamped* to this scope around the EID whose
+    /// outstanding request it answers (so an Overclaimed /8 only installs
+    /// the /16 actually being resolved), and rejected outright when it
+    /// matches no outstanding request.
+    pub reply_scope_limit: Option<u8>,
+    /// Negative cache: after a resolution gives up, remember the EID for
+    /// this long and drop packets toward it without signalling again.
+    pub negative_ttl: Option<Ns>,
+    /// Per-source-EID Map-Request rate limiting (tames a flooding host).
+    pub source_rate: Option<SourceRateCfg>,
+}
+
 /// Static configuration of an xTR.
 #[derive(Debug, Clone)]
 pub struct XtrConfig {
@@ -87,8 +119,14 @@ pub struct XtrConfig {
     pub mode: CpMode,
     /// Policy for cache-missing data packets.
     pub miss_policy: MissPolicy,
-    /// Map-cache capacity (entries).
-    pub cache_capacity: usize,
+    /// Map-cache capacity / eviction / expiry-sweep configuration.
+    pub cache: CacheSpec,
+    /// Control-plane defenses (all off by default).
+    pub defense: DefenseCfg,
+    /// Adversarial ETR role: answer Map-Requests with this too-broad
+    /// prefix (pointing at our own locators) instead of the real site
+    /// prefix — the Overclaim attack (DESIGN.md §10).
+    pub overclaim: Option<Prefix>,
     /// The locator set advertised for this site in Map-Replies, in
     /// priority order. Defaults to `[rloc]`.
     pub site_locators: Vec<Locator>,
@@ -134,7 +172,9 @@ impl XtrConfig {
             eid_space,
             mode,
             miss_policy: MissPolicy::Drop,
-            cache_capacity: 65_536,
+            cache: CacheSpec::default(),
+            defense: DefenseCfg::default(),
+            overclaim: None,
             site_locators: vec![Locator::new(rloc, 1, 100)],
             reply_ttl_minutes: 60,
             reply_host_granularity: false,
@@ -148,6 +188,16 @@ impl XtrConfig {
             rloc_probing: None,
         }
     }
+}
+
+/// An outstanding Map-Request resolution.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    nonce: u64,
+    tries: u32,
+    /// The site host that triggered the resolution — retries carry it so
+    /// resolver-side per-source accounting sees the real requester.
+    source_eid: Ipv4Address,
 }
 
 const SITE_PORT: PortId = 0;
@@ -214,6 +264,12 @@ pub struct XtrStats {
     pub invalidated_cache_entries: u64,
     /// PCE flow entries invalidated by probe timeouts.
     pub invalidated_flows: u64,
+    /// Map-Reply records rejected by the verify / scope-limit defenses.
+    pub replies_rejected: u64,
+    /// Packets dropped by an active negative-cache entry (no signalling).
+    pub neg_cache_drops: u64,
+    /// Map-Requests suppressed by the per-source rate limit.
+    pub rate_limited_requests: u64,
     /// Malformed / unparseable packets seen.
     pub malformed: u64,
 }
@@ -228,7 +284,9 @@ pub struct Xtr {
     /// The PCE per-flow table: `(src_eid, dst_eid)` → mapping.
     pub flows: BTreeMap<(Ipv4Address, Ipv4Address), FlowMapping>,
     pending: BTreeMap<Ipv4Address, VecDeque<(Packet, Ns)>>,
-    in_flight: BTreeMap<Ipv4Address, (u64, u32)>, // eid -> (nonce, tries)
+    in_flight: BTreeMap<Ipv4Address, InFlight>, // keyed by target EID
+    neg_cache: BTreeMap<Ipv4Address, Ns>,       // eid -> valid-until
+    req_windows: BTreeMap<Ipv4Address, (Ns, u32)>, // src eid -> (window start, count)
     probe_outstanding: BTreeMap<Ipv4Address, u64>, // rloc -> nonce
     cp_release: VecDeque<Packet>,
     seen_wan_flows: BTreeSet<(Ipv4Address, Ipv4Address)>,
@@ -251,13 +309,15 @@ pub struct Xtr {
 impl Xtr {
     /// Build an xTR from its configuration.
     pub fn new(cfg: XtrConfig) -> Self {
-        let cache_capacity = cfg.cache_capacity;
+        let cache_spec = cfg.cache;
         Self {
             stack: IpStack::new(cfg.rloc),
-            cache: MapCache::new(cache_capacity),
+            cache: MapCache::from_spec(cache_spec),
             flows: BTreeMap::new(),
             pending: BTreeMap::new(),
             in_flight: BTreeMap::new(),
+            neg_cache: BTreeMap::new(),
+            req_windows: BTreeMap::new(),
             probe_outstanding: BTreeMap::new(),
             cp_release: VecDeque::new(),
             seen_wan_flows: BTreeSet::new(),
@@ -363,6 +423,20 @@ impl Xtr {
         // Miss.
         self.stats.miss_events += 1;
         self.ctr_miss_events.add(ctx, "xtr.miss_events", 1);
+        // Negative cache: a destination that recently failed to resolve
+        // is dropped without signalling until its entry ages out.
+        if self.cfg.defense.negative_ttl.is_some() {
+            match self.neg_cache.get(&dst_eid) {
+                Some(until) if now < *until => {
+                    self.stats.neg_cache_drops += 1;
+                    return;
+                }
+                Some(_) => {
+                    self.neg_cache.remove(&dst_eid);
+                }
+                None => {}
+            }
+        }
         self.apply_miss_policy(ctx, pkt, dst_eid);
         self.maybe_request_mapping(ctx, src_eid, dst_eid);
     }
@@ -416,8 +490,29 @@ impl Xtr {
         if self.in_flight.contains_key(&dst_eid) {
             return;
         }
+        // Per-source rate limit: one site host may only trigger so many
+        // resolutions per window (retries are paced separately).
+        if let Some(rate) = self.cfg.defense.source_rate {
+            let now = ctx.now();
+            let w = self.req_windows.entry(src_eid).or_insert((now, 0));
+            if now.saturating_sub(w.0) >= rate.window {
+                *w = (now, 0);
+            }
+            if w.1 >= rate.max_requests {
+                self.stats.rate_limited_requests += 1;
+                return;
+            }
+            w.1 += 1;
+        }
         let nonce = self.next_nonce();
-        self.in_flight.insert(dst_eid, (nonce, 1));
+        self.in_flight.insert(
+            dst_eid,
+            InFlight {
+                nonce,
+                tries: 1,
+                source_eid: src_eid,
+            },
+        );
         self.stats.map_requests_sent += 1;
         let req = MapRequest {
             nonce,
@@ -438,6 +533,37 @@ impl Xtr {
             self.cfg.request_retransmit,
             TOKEN_RETRY_BASE | u64::from(dst_eid.to_u32()),
         );
+    }
+
+    /// Defense filter for incoming Map-Reply records. Nonce/origin
+    /// verification drops any record that does not answer an outstanding
+    /// request with the matching nonce (the CachePoison vector). The
+    /// prefix-scope limit contains Overclaim: an over-broad record is
+    /// clamped to the allowed scope around the EID it resolves — the
+    /// attacker site stays reachable, but its claim over everyone else's
+    /// space is never installed — and rejected when it answers no
+    /// outstanding request at all. Both default to off.
+    fn vet_reply_record(&self, mut record: MapRecord, nonce: u64) -> Option<MapRecord> {
+        let prefix = Prefix::new(record.eid_prefix, record.prefix_len);
+        if self.cfg.defense.verify_replies
+            && !self
+                .in_flight
+                .iter()
+                .any(|(eid, inf)| inf.nonce == nonce && prefix.contains(*eid))
+        {
+            return None;
+        }
+        if let Some(limit) = self.cfg.defense.reply_scope_limit {
+            if record.prefix_len < limit {
+                let target = self.in_flight.iter().find_map(|(eid, inf)| {
+                    (inf.nonce == nonce && prefix.contains(*eid)).then_some(*eid)
+                })?;
+                let clamped = Prefix::new(target, limit);
+                record.eid_prefix = clamped.addr();
+                record.prefix_len = limit;
+            }
+        }
+        Some(record)
     }
 
     /// Install a record and flush any packets waiting on it.
@@ -607,7 +733,17 @@ impl Xtr {
                 else {
                     return;
                 };
-                let record = if self.cfg.reply_host_granularity {
+                // Overclaim attack: a *legitimate* ETR answering with a
+                // too-broad prefix pointing at its own locators, so the
+                // requester's LPM cache hijacks unrelated destinations.
+                let record = if let Some(oc) = self.cfg.overclaim {
+                    MapRecord {
+                        eid_prefix: oc.addr(),
+                        prefix_len: oc.len(),
+                        ttl_minutes: self.cfg.reply_ttl_minutes,
+                        locators: self.cfg.site_locators.clone(),
+                    }
+                } else if self.cfg.reply_host_granularity {
                     MapRecord {
                         eid_prefix: req.target_eid,
                         prefix_len: 32,
@@ -647,7 +783,10 @@ impl Xtr {
                 ));
                 let now = ctx.now();
                 for record in reply.records {
-                    self.install_record(ctx, record, now);
+                    match self.vet_reply_record(record, reply.nonce) {
+                        Some(rec) => self.install_record(ctx, rec, now),
+                        None => self.stats.replies_rejected += 1,
+                    }
                 }
             }
             CtlMsg::DbPush(push) => {
@@ -885,22 +1024,33 @@ impl Node<Packet> for Xtr {
             else {
                 return;
             };
-            let Some((nonce, tries)) = self.in_flight.get(&eid).copied() else {
+            let Some(inf) = self.in_flight.get(&eid).copied() else {
                 return; // answered already
             };
-            if tries >= self.cfg.request_max_tries {
-                // Give up: drop any queued packets for this EID.
+            if inf.tries >= self.cfg.request_max_tries {
+                // Give up: drop any queued packets for this EID and
+                // (when the defense is armed) remember the failure so
+                // follow-up packets don't re-trigger the whole dance.
                 self.in_flight.remove(&eid);
                 if let Some(q) = self.pending.remove(&eid) {
                     self.stats.miss_drops += q.len() as u64;
                 }
+                if let Some(neg_ttl) = self.cfg.defense.negative_ttl {
+                    self.neg_cache.insert(eid, ctx.now() + neg_ttl);
+                }
                 return;
             }
-            self.in_flight.insert(eid, (nonce, tries + 1));
+            self.in_flight.insert(
+                eid,
+                InFlight {
+                    tries: inf.tries + 1,
+                    ..inf
+                },
+            );
             self.stats.map_request_retries += 1;
             let req = MapRequest {
-                nonce,
-                source_eid: Ipv4Address::UNSPECIFIED,
+                nonce: inf.nonce,
+                source_eid: inf.source_eid,
                 target_eid: eid,
                 itr_rloc: self.cfg.rloc,
                 hop_count: 32,

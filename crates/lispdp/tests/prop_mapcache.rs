@@ -1,7 +1,7 @@
 //! Property tests for the map-cache: capacity, TTL, and accounting
 //! invariants under arbitrary operation sequences.
 
-use lispdp::MapCache;
+use lispdp::{CacheSpec, EvictionPolicy, MapCache};
 use lispwire::lispctl::{Locator, MapRecord};
 use lispwire::Ipv4Address;
 use netsim::Ns;
@@ -87,5 +87,89 @@ proptest! {
         prop_assert!(cache.lookup(last, Ns::from_secs(n as u64)).is_some());
         prop_assert_eq!(cache.len(), 1);
         prop_assert_eq!(cache.evictions as usize, n - 1);
+    }
+
+    #[test]
+    fn lru_never_evicts_the_just_touched_entry(cap in 2usize..12, extra in 1usize..8) {
+        let mut cache = MapCache::from_spec(CacheSpec::bounded(cap, EvictionPolicy::Lru));
+        let mut now = Ns::ZERO;
+        for i in 0..cap {
+            cache.insert(record((i as u32) << 8, 24, 60), now);
+            now += Ns::from_ms(1);
+        }
+        // Keep touching the oldest insert while overflowing with fresh
+        // prefixes: the touched entry must always survive.
+        let touched = Ipv4Address::from_u32(0);
+        for j in 0..extra {
+            prop_assert!(cache.lookup(touched, now).is_some());
+            now += Ns::from_ms(1);
+            cache.insert(record(((cap + j) as u32) << 8, 24, 60), now);
+            now += Ns::from_ms(1);
+            prop_assert!(
+                cache.lookup(touched, now).is_some(),
+                "LRU evicted the just-touched entry"
+            );
+            prop_assert!(cache.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn lfu_never_evicts_the_strictly_most_frequent(cap in 2usize..12, extra in 1usize..8) {
+        let mut cache = MapCache::from_spec(CacheSpec::bounded(cap, EvictionPolicy::Lfu));
+        let mut now = Ns::ZERO;
+        for i in 0..cap {
+            cache.insert(record((i as u32) << 8, 24, 60), now);
+            now += Ns::from_ms(1);
+        }
+        // Make one entry strictly the most frequent, then overflow.
+        let hot = Ipv4Address::from_u32(0);
+        for _ in 0..(cap + extra + 2) {
+            prop_assert!(cache.lookup(hot, now).is_some());
+            now += Ns::from_ms(1);
+        }
+        for j in 0..extra {
+            cache.insert(record(((cap + j) as u32) << 8, 24, 60), now);
+            now += Ns::from_ms(1);
+            prop_assert!(
+                cache.lookup(hot, now).is_some(),
+                "LFU evicted the strictly-most-frequent entry"
+            );
+            prop_assert!(cache.len() <= cap);
+        }
+    }
+
+    // Capacity and stats accounting across every bounded policy, sweep
+    // on: the bound is never exceeded, and every eviction/expiration is
+    // backed by an insert (len + evicted + expired never exceeds the
+    // number of inserts).
+    #[test]
+    fn bounded_policies_respect_capacity_and_accounting(
+        ops in prop::collection::vec(arb_op(), 1..120),
+        cap in 1usize..16,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [EvictionPolicy::Lru, EvictionPolicy::Lfu, EvictionPolicy::Ttl][policy_idx];
+        let mut cache = MapCache::from_spec(CacheSpec::bounded(cap, policy).with_sweep());
+        let mut now = Ns::ZERO;
+        let mut inserts = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert { prefix, len, ttl } => {
+                    inserts += 1;
+                    cache.insert(record(prefix, len, ttl), now);
+                }
+                Op::Lookup { addr } => {
+                    let _ = cache.lookup(Ipv4Address::from_u32(addr), now);
+                }
+                Op::Advance { secs } => now += Ns::from_secs(u64::from(secs)),
+                Op::Purge => cache.purge_expired(now),
+            }
+            prop_assert!(cache.len() <= cap, "capacity exceeded under {policy:?}");
+            prop_assert!(
+                cache.evictions + cache.expirations + cache.len() as u64 <= inserts,
+                "stats out of sync: evict={} expired={} len={} inserts={}",
+                cache.evictions, cache.expirations, cache.len(), inserts
+            );
+        }
     }
 }

@@ -9,6 +9,7 @@
 //! plus a per-hop processing delay — the well-known ALT latency cost is
 //! the sum of these hops (experiments E2/E3 expose it).
 
+use crate::guard::{GuardCfg, RequestGuard};
 use inet::stack::IpStack;
 use inet::{LpmTrie, Prefix};
 use lispwire::packet::{CtlMsg, Packet};
@@ -29,6 +30,9 @@ pub struct AltRouter {
     /// Timed delivery re-registrations (dynamics; see
     /// [`AltRouter::schedule_update`]).
     scheduled_updates: ScheduledUpdates<(Prefix, Ipv4Address)>,
+    /// Optional ingress guard (enable on the ITR-facing gateway only:
+    /// per-source rate limiting of requests entering the overlay).
+    pub guard: Option<RequestGuard>,
     /// Requests forwarded to another overlay router.
     pub overlay_hops: u64,
     /// Requests delivered to an ETR.
@@ -54,6 +58,7 @@ impl AltRouter {
             processing_delay: Ns::from_us(500),
             outbox: VecDeque::new(),
             scheduled_updates: ScheduledUpdates::new(),
+            guard: None,
             overlay_hops: 0,
             delivered: 0,
             dropped: 0,
@@ -74,6 +79,12 @@ impl AltRouter {
     /// Override the per-hop processing delay.
     pub fn with_processing_delay(mut self, d: Ns) -> Self {
         self.processing_delay = d;
+        self
+    }
+
+    /// Enable the ingress guard (per-source rate limiting).
+    pub fn with_guard(mut self, cfg: GuardCfg) -> Self {
+        self.guard = Some(RequestGuard::new(cfg));
         self
     }
 
@@ -114,6 +125,15 @@ impl Node<Packet> for AltRouter {
         };
         if ip.dst != self.stack.addr || p.dst != ports::LISP_CONTROL {
             return;
+        }
+        if let Some(guard) = &mut self.guard {
+            if !guard.admit(req.source_eid, ctx.now()) {
+                ctx.trace(format!(
+                    "alt {} rate-limits {}",
+                    self.stack.addr, req.source_eid
+                ));
+                return;
+            }
         }
 
         // Deliver if an attached site covers the target.

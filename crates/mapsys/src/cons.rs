@@ -11,6 +11,7 @@
 //! [`ConsMsg`] wrapper, plus a per-leaf pending
 //! table keyed by nonce.
 
+use crate::guard::{GuardCfg, RequestGuard};
 use inet::stack::IpStack;
 use inet::{LpmTrie, Prefix};
 use lispwire::packet::{ConsMsg, CtlMsg, Packet};
@@ -37,6 +38,10 @@ pub struct ConsNode {
     /// Timed site re-registrations (dynamics; see
     /// [`ConsNode::schedule_update`]).
     scheduled_updates: ScheduledUpdates<(Prefix, Ipv4Address)>,
+    /// Optional ingress guard: per-source rate limiting of fresh requests
+    /// entering the overlay at this CAR (relayed overlay traffic on
+    /// [`CONS_PORT`] is not re-charged).
+    pub guard: Option<RequestGuard>,
     /// Requests moved up/down the hierarchy.
     pub overlay_hops: u64,
     /// Requests handed to an ETR.
@@ -64,6 +69,7 @@ impl ConsNode {
             processing_delay: Ns::from_us(500),
             outbox: VecDeque::new(),
             scheduled_updates: ScheduledUpdates::new(),
+            guard: None,
             overlay_hops: 0,
             delivered: 0,
             replies_relayed: 0,
@@ -83,6 +89,12 @@ impl ConsNode {
     /// Override the per-hop processing delay.
     pub fn with_processing_delay(mut self, d: Ns) -> Self {
         self.processing_delay = d;
+        self
+    }
+
+    /// Enable the ingress guard (per-source rate limiting at this CAR).
+    pub fn with_guard(mut self, cfg: GuardCfg) -> Self {
+        self.guard = Some(RequestGuard::new(cfg));
         self
     }
 
@@ -214,6 +226,15 @@ impl Node<Packet> for ConsNode {
             // Plain control traffic: a new request from an ITR, or a reply
             // from an ETR we handed a request to.
             (ports::LISP_CONTROL, CtlMsg::Request(req)) => {
+                if let Some(guard) = &mut self.guard {
+                    if !guard.admit(req.source_eid, ctx.now()) {
+                        ctx.trace(format!(
+                            "cons {} rate-limits {}",
+                            self.stack.addr, req.source_eid
+                        ));
+                        return;
+                    }
+                }
                 let msg = ConsMsg {
                     is_reply: false,
                     orig_itr: req.itr_rloc,

@@ -1,0 +1,161 @@
+//! Request guarding for mapping-system ingress: per-source rate limiting
+//! and negative caching, the resolver-side defenses of the adversarial
+//! experiments (DESIGN.md §10).
+//!
+//! One [`RequestGuard`] sits in front of each pull entry point — the
+//! Map-Resolver, the ALT entry router, a CONS CAR — and answers two
+//! questions before any processing happens: *is this source within its
+//! request budget?* and *is this target already known unresolvable?*
+//! Everything is deterministic (fixed windows, integer counters) so
+//! guarded runs replay byte-identically.
+
+use lispwire::Ipv4Address;
+use netsim::Ns;
+use std::collections::BTreeMap;
+
+/// Guard configuration. All limits are per fixed window; the window
+/// boundary restarts on the first request after expiry, which keeps the
+/// state one `(start, count)` pair per source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardCfg {
+    /// Rate-limit window length.
+    pub window: Ns,
+    /// Requests allowed per source EID per window.
+    pub max_per_source: u32,
+    /// How long an unresolvable target is remembered (`None` = no
+    /// negative caching).
+    pub negative_ttl: Option<Ns>,
+}
+
+impl GuardCfg {
+    /// The default guard used by the adversarial experiments: 16
+    /// requests per source per second, unresolved targets remembered
+    /// for 30 s.
+    pub fn standard() -> Self {
+        Self {
+            window: Ns::from_secs(1),
+            max_per_source: 16,
+            negative_ttl: Some(Ns::from_secs(30)),
+        }
+    }
+}
+
+/// Per-ingress guard state plus its drop counters.
+#[derive(Debug, Clone)]
+pub struct RequestGuard {
+    cfg: GuardCfg,
+    windows: BTreeMap<Ipv4Address, (Ns, u32)>,
+    negative: BTreeMap<Ipv4Address, Ns>,
+    /// Requests dropped because the source exceeded its window budget.
+    pub rate_limited: u64,
+    /// Requests answered from the negative cache (dropped without any
+    /// forwarding or overlay work).
+    pub negative_hits: u64,
+}
+
+impl RequestGuard {
+    /// A guard with the given configuration.
+    pub fn new(cfg: GuardCfg) -> Self {
+        Self {
+            cfg,
+            windows: BTreeMap::new(),
+            negative: BTreeMap::new(),
+            rate_limited: 0,
+            negative_hits: 0,
+        }
+    }
+
+    /// Charge one request from `source` at time `now`. Returns `false`
+    /// (and counts) when the source is over budget.
+    pub fn admit(&mut self, source: Ipv4Address, now: Ns) -> bool {
+        let w = self.windows.entry(source).or_insert((now, 0));
+        if now.saturating_sub(w.0) >= self.cfg.window {
+            *w = (now, 0);
+        }
+        if w.1 >= self.cfg.max_per_source {
+            self.rate_limited += 1;
+            return false;
+        }
+        w.1 += 1;
+        true
+    }
+
+    /// True when `target` is negatively cached (a recent resolution
+    /// failure). Expired entries are forgotten on probe.
+    pub fn known_unresolvable(&mut self, target: Ipv4Address, now: Ns) -> bool {
+        match self.negative.get(&target) {
+            Some(until) if now < *until => {
+                self.negative_hits += 1;
+                true
+            }
+            Some(_) => {
+                self.negative.remove(&target);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Record that `target` failed to resolve at time `now`.
+    pub fn note_unresolvable(&mut self, target: Ipv4Address, now: Ns) {
+        if let Some(ttl) = self.cfg.negative_ttl {
+            self.negative.insert(target, now + ttl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(o: [u8; 4]) -> Ipv4Address {
+        Ipv4Address(o)
+    }
+
+    #[test]
+    fn rate_limit_is_per_source_and_per_window() {
+        let mut g = RequestGuard::new(GuardCfg {
+            window: Ns::from_secs(1),
+            max_per_source: 2,
+            negative_ttl: None,
+        });
+        let t0 = Ns::ZERO;
+        assert!(g.admit(a([100, 0, 0, 5]), t0));
+        assert!(g.admit(a([100, 0, 0, 5]), t0));
+        assert!(!g.admit(a([100, 0, 0, 5]), t0), "third request over budget");
+        // A different source has its own budget.
+        assert!(g.admit(a([100, 0, 0, 6]), t0));
+        // The window rolls over after expiry.
+        assert!(g.admit(a([100, 0, 0, 5]), Ns::from_secs(2)));
+        assert_eq!(g.rate_limited, 1);
+    }
+
+    #[test]
+    fn negative_cache_remembers_then_forgets() {
+        let mut g = RequestGuard::new(GuardCfg {
+            window: Ns::from_secs(1),
+            max_per_source: 100,
+            negative_ttl: Some(Ns::from_secs(10)),
+        });
+        let dead = a([120, 200, 0, 1]);
+        assert!(!g.known_unresolvable(dead, Ns::ZERO));
+        g.note_unresolvable(dead, Ns::ZERO);
+        assert!(g.known_unresolvable(dead, Ns::from_secs(5)));
+        assert!(
+            !g.known_unresolvable(dead, Ns::from_secs(10)),
+            "TTL aged out"
+        );
+        assert_eq!(g.negative_hits, 1);
+    }
+
+    #[test]
+    fn negative_cache_disabled_when_no_ttl() {
+        let mut g = RequestGuard::new(GuardCfg {
+            window: Ns::from_secs(1),
+            max_per_source: 100,
+            negative_ttl: None,
+        });
+        g.note_unresolvable(a([1, 2, 3, 4]), Ns::ZERO);
+        assert!(!g.known_unresolvable(a([1, 2, 3, 4]), Ns::from_secs(1)));
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`nerd`] — NERD: a central authority pushes the *full* database to
 //!   every subscriber xTR; lookups never miss once synchronised, at the
 //!   cost of global state and slow update propagation (experiment E8).
+//! * [`guard`] — per-source rate limiting and negative caching for the
+//!   pull ingress points; the resolver-side defenses measured by the
+//!   adversarial experiment E12 (DESIGN.md §10).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -23,11 +26,13 @@
 pub mod alt;
 pub mod api;
 pub mod cons;
+pub mod guard;
 pub mod mrms;
 pub mod nerd;
 
 pub use alt::AltRouter;
 pub use api::MappingDb;
 pub use cons::ConsNode;
+pub use guard::{GuardCfg, RequestGuard};
 pub use mrms::MapResolver;
 pub use nerd::NerdAuthority;

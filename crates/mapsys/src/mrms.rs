@@ -6,6 +6,7 @@
 //! therefore `OWD(ITR,MR) + OWD(MR,ETR) + OWD(ETR,ITR)` plus processing.
 
 use crate::api::MappingDb;
+use crate::guard::{GuardCfg, RequestGuard};
 use inet::stack::IpStack;
 use inet::{LpmTrie, Prefix};
 use lispwire::packet::{CtlMsg, Packet};
@@ -22,6 +23,9 @@ pub struct MapResolver {
     outbox: VecDeque<Packet>,
     /// Timed re-registrations (dynamics; see [`MapResolver::schedule_update`]).
     scheduled_updates: ScheduledUpdates<(Prefix, Ipv4Address)>,
+    /// Optional ingress guard: per-source rate limiting plus negative
+    /// caching of unresolvable targets (DESIGN.md §10).
+    pub guard: Option<RequestGuard>,
     /// Requests forwarded to an authoritative ETR.
     pub forwarded: u64,
     /// Requests for unregistered prefixes (dropped; ITR will retry and
@@ -47,6 +51,7 @@ impl MapResolver {
             processing_delay: Ns::from_us(50),
             outbox: VecDeque::new(),
             scheduled_updates: ScheduledUpdates::new(),
+            guard: None,
             forwarded: 0,
             unresolved: 0,
             updates_applied: 0,
@@ -71,6 +76,12 @@ impl MapResolver {
     /// Override the per-request processing delay.
     pub fn with_processing_delay(mut self, d: Ns) -> Self {
         self.processing_delay = d;
+        self
+    }
+
+    /// Enable the ingress guard (rate limiting + negative caching).
+    pub fn with_guard(mut self, cfg: GuardCfg) -> Self {
+        self.guard = Some(RequestGuard::new(cfg));
         self
     }
 
@@ -100,6 +111,19 @@ impl Node<Packet> for MapResolver {
         if ip.dst != self.stack.addr || p.dst != ports::LISP_CONTROL {
             return;
         }
+        if let Some(guard) = &mut self.guard {
+            if !guard.admit(req.source_eid, ctx.now()) {
+                ctx.trace(format!("map-resolver rate-limits {}", req.source_eid));
+                return;
+            }
+            if guard.known_unresolvable(req.target_eid, ctx.now()) {
+                ctx.trace(format!(
+                    "map-resolver negative-cache drop for {}",
+                    req.target_eid
+                ));
+                return;
+            }
+        }
         match self.table.lookup_value(req.target_eid) {
             Some(&etr) => {
                 self.forwarded += 1;
@@ -119,6 +143,9 @@ impl Node<Packet> for MapResolver {
             None => {
                 self.unresolved += 1;
                 ctx.trace(format!("map-resolver has no entry for {}", req.target_eid));
+                if let Some(guard) = &mut self.guard {
+                    guard.note_unresolvable(req.target_eid, ctx.now());
+                }
             }
         }
     }

@@ -9,8 +9,8 @@
 //! with `UPDATE_GOLDEN=1 cargo test --test golden_compat`.
 
 use pcelisp::experiments::{
-    e10_recovery, e11_scale_xl, e1_fig1, e2_drops, e3_resolution, e4_tcp_setup, e5_te, e6_cache,
-    e7_reverse, e8_overhead,
+    e10_recovery, e11_scale_xl, e12_adversarial, e1_fig1, e2_drops, e3_resolution, e4_tcp_setup,
+    e5_te, e6_cache, e7_reverse, e8_overhead,
 };
 use std::path::PathBuf;
 
@@ -126,4 +126,14 @@ fn e11_scale_xl_table_golden() {
         "e11_scale_xl",
         &e11_scale_xl::run_scale_xl_jobs(SEED, 0).table().render(),
     );
+}
+
+// E12 pins the adversarial sweep — also run with auto jobs, because the
+// attack scripts are scheduled at build time and must replay
+// byte-identically at any `--jobs` level (DESIGN.md §8/§10).
+#[test]
+fn e12_adversarial_tables_golden() {
+    let r = e12_adversarial::run_adversarial_jobs(SEED, 0);
+    let rendered: Vec<String> = r.tables().iter().map(|t| t.render()).collect();
+    check("e12_adversarial", &rendered.join("\n"));
 }
