@@ -5,6 +5,8 @@
 //! benches in `benches/` time the underlying simulation cells and the
 //! hot data structures.
 
+#![forbid(unsafe_code)]
+
 pub use pcelisp;
 
 pub mod workloads;

@@ -196,7 +196,7 @@ mod tests {
         let sink = sim.add_node("sink", Box::new(Sink { got: 0 }));
         sim.connect(atk, sink, LinkCfg::lan());
         for k in 0..3u64 {
-            sim.schedule_timer(atk, Ns::from_ms(10 * (k + 1)), k);
+            sim.schedule_timer(atk, Ns::from_ms(10).saturating_add(Ns::from_ms(10 * k)), k);
         }
         sim.run();
         assert_eq!(sim.node_ref::<AttackNode>(atk).sent, 3);

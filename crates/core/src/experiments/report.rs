@@ -280,9 +280,8 @@ fn json_value(v: &Value) -> String {
                 format!("{s}.0")
             }
         }
-        Value::Float(_) => "null".to_string(),
+        Value::Float(_) | Value::Null => "null".to_string(),
         Value::Bool(b) => b.to_string(),
-        Value::Null => "null".to_string(),
     }
 }
 

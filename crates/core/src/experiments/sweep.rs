@@ -22,7 +22,7 @@
 
 use netsim::par::{available_jobs, par_map};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::Instant; // detlint: allow(R2) -- wall-clock feeds only the PCELISP_PROGRESS stderr log, never a report or trace
 
 /// Resolve a `jobs` knob to a concrete worker count: `0` means auto —
 /// the `PCELISP_JOBS` environment variable if set to a positive number,
@@ -77,6 +77,7 @@ impl<C: Send> Sweep<C> {
         let done = AtomicUsize::new(0);
         let exp = self.exp;
         par_map(jobs, self.cells, |cell| {
+            // detlint: allow(R2) -- per-cell wall-clock goes to the stderr progress line only; cell results are pure functions of the cell
             let started = Instant::now();
             let result = run_cell(&cell);
             if progress {

@@ -14,7 +14,7 @@ use lispwire::packet::Packet;
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, LazyCounter, Node, Ns, PortId};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How a flow exercises the network after resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,7 +109,7 @@ pub struct TrafficHost {
     pub flows: Vec<FlowSpec>,
     /// Per-flow measurements.
     pub records: Vec<FlowRecord>,
-    tcp: HashMap<usize, TcpMachine>,
+    tcp: BTreeMap<usize, TcpMachine>,
     port_of_flow: Vec<u16>,
 }
 
@@ -134,7 +134,7 @@ impl TrafficHost {
             resolver,
             flows,
             records,
-            tcp: HashMap::new(),
+            tcp: BTreeMap::new(),
             port_of_flow,
         }
     }
@@ -303,19 +303,19 @@ pub struct ServerHost {
     /// Echo received UDP payloads back to the sender (generates return
     /// traffic for the inbound-TE experiments).
     pub echo_udp: bool,
-    tcp: HashMap<(Ipv4Address, u16), TcpMachine>,
+    tcp: BTreeMap<(Ipv4Address, u16), TcpMachine>,
     /// UDP data packets received, per source.
-    pub udp_received: HashMap<Ipv4Address, u64>,
+    pub udp_received: BTreeMap<Ipv4Address, u64>,
     /// Arrival time of every UDP data packet, in order — the outage
     /// signal of the failure-recovery experiments (E10): the longest
     /// inter-arrival gap brackets the black-hole window.
     pub udp_arrivals: Vec<Ns>,
     /// TCP data segments received, per source.
-    pub tcp_data_received: HashMap<Ipv4Address, u64>,
+    pub tcp_data_received: BTreeMap<Ipv4Address, u64>,
     /// Establishment times observed at the server.
     pub established: Vec<(Ipv4Address, Ns)>,
     /// Arrival time of the first UDP packet per source.
-    pub first_udp_at: HashMap<Ipv4Address, Ns>,
+    pub first_udp_at: BTreeMap<Ipv4Address, Ns>,
     ctr_udp: LazyCounter,
     ctr_tcp_data: LazyCounter,
 }
@@ -326,12 +326,12 @@ impl ServerHost {
         Self {
             stack: IpStack::new(addr),
             echo_udp: false,
-            tcp: HashMap::new(),
-            udp_received: HashMap::new(),
+            tcp: BTreeMap::new(),
+            udp_received: BTreeMap::new(),
             udp_arrivals: Vec::new(),
-            tcp_data_received: HashMap::new(),
+            tcp_data_received: BTreeMap::new(),
             established: Vec::new(),
-            first_udp_at: HashMap::new(),
+            first_udp_at: BTreeMap::new(),
             ctr_udp: LazyCounter::new(),
             ctr_tcp_data: LazyCounter::new(),
         }
@@ -397,7 +397,7 @@ impl Node<Packet> for ServerHost {
                     }
                     TcpEvent::Established => {
                         self.established.push((src, ctx.now()));
-                        ctx.trace(format!("E_D {} established with {}", dst, src));
+                        ctx.trace(format!("E_D {dst} established with {src}"));
                     }
                     TcpEvent::SendAndEstablish(out) => {
                         self.established.push((src, ctx.now()));

@@ -270,15 +270,12 @@ impl Pce {
             return;
         };
         // Find E_S from the IPC notice (match on the reply's qname).
-        let source_eid = match qname
+        let Some(source_eid) = qname
             .as_deref()
             .and_then(|q| self.pending_requesters.remove(q))
-        {
-            Some(es) => es,
-            None => {
-                self.stats.unknown_requester += 1;
-                return;
-            }
+        else {
+            self.stats.unknown_requester += 1;
+            return;
         };
         // Step 1's ingress choice for the reverse (inbound) direction.
         let Some((_, rloc_s)) = self

@@ -13,7 +13,7 @@ use lispwire::{Ipv4Address, Packet};
 use netsim::{Ctx, LazyCounter, Node, PortId, ScheduledUpdates};
 use std::any::Any;
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which control plane runs in the world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,7 +79,7 @@ impl CpKind {
 /// ("PCE_S can … move part of its internal traffic").
 pub struct FlowRouter {
     routes: LpmTrie<PortId>,
-    overrides: HashMap<(Ipv4Address, Ipv4Address), PortId>,
+    overrides: BTreeMap<(Ipv4Address, Ipv4Address), PortId>,
     /// Timed route changes (dynamics; see [`FlowRouter::schedule_route`]).
     scheduled_routes: ScheduledUpdates<(Prefix, PortId)>,
     /// Packets forwarded.
@@ -96,7 +96,7 @@ impl FlowRouter {
     pub fn new() -> Self {
         Self {
             routes: LpmTrie::new(),
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
             scheduled_routes: ScheduledUpdates::new(),
             forwarded: 0,
             dropped: 0,

@@ -1627,12 +1627,8 @@ impl ScenarioSpec {
                         let (_, rp) = sim.connect(node, site_routers[client_idx], LinkCfg::lan());
                         sim.node_mut::<FlowRouter>(site_routers[client_idx])
                             .add_route(Prefix::host(addr), rp);
-                        for k in 0..*packets {
-                            sim.schedule_timer(
-                                node,
-                                attack_t0.saturating_add(Ns(period.0 * k as u64)),
-                                k as u64,
-                            );
+                        for k in 0..*packets as u64 {
+                            sim.schedule_timer(node, attack_t0.saturating_add(Ns(period.0 * k)), k);
                         }
                         attack_nodes.push(node);
                     }
@@ -1685,7 +1681,7 @@ impl ScenarioSpec {
                                 }
                             }
                         }
-                        let per_round = victims.len() * claims.len();
+                        let per_round = (victims.len() * claims.len()) as u64;
                         let node = sim.add_node(
                             &format!("attacker-poison-{ai}"),
                             Box::new(AttackNode::new(addr, script)),
@@ -1694,12 +1690,12 @@ impl ScenarioSpec {
                         sim.node_mut::<Router>(core)
                             .add_route(Prefix::new(Ipv4Address::new(66, 0, 0, 0), 8), port);
                         let period = Ns((1e9 / rate_per_sec).max(1.0) as u64);
-                        for r in 0..*rounds {
+                        for r in 0..*rounds as u64 {
                             for j in 0..per_round {
                                 sim.schedule_timer(
                                     node,
-                                    attack_t0.saturating_add(Ns(period.0 * r as u64)),
-                                    (r * per_round + j) as u64,
+                                    attack_t0.saturating_add(Ns(period.0 * r)),
+                                    r * per_round + j,
                                 );
                             }
                         }
@@ -1925,7 +1921,7 @@ mod tests {
     #[test]
     fn pce_flow_completes() {
         let (w, rec) = run_one(CpKind::Pce);
-        assert!(rec.dns_time().is_some(), "dns: {:?}", rec);
+        assert!(rec.dns_time().is_some(), "dns: {rec:?}");
         assert!(
             rec.setup_time().is_some(),
             "tcp never established; trace:\n{}",

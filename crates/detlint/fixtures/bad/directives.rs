@@ -1,0 +1,8 @@
+//! Directive-hygiene fixture: reason-less (line 3), stale (line 5),
+//! malformed (line 7) suppressions.
+use std::collections::HashMap; // detlint: allow(R1)
+
+// detlint: allow(R3) -- nothing on the next line uses partial_cmp
+fn clean() {}
+// detlint: ignore(R1) -- `ignore` is not a directive
+fn also_clean() {}

@@ -1,0 +1,16 @@
+//! R1 fixture: hash collections in runtime code (lines 2, 3, 6, 7).
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+struct State {
+    table: HashMap<u32, u32>,
+    seen: HashSet<u32>,
+}
+
+fn decoys_do_not_fire() {
+    // HashMap in a comment is fine.
+    /* HashSet in a block comment too. */
+    let _s = "HashMap::new() in a string";
+    let _r = r#"HashSet in a raw string"#;
+    let _m: std::collections::BTreeMap<u32, u32> = Default::default();
+}

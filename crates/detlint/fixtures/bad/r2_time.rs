@@ -1,0 +1,17 @@
+//! R2 fixture: wall clock and ambient randomness (lines 4, 5, 9, 10).
+
+fn wall_clock() {
+    let _t0 = std::time::Instant::now();
+    let _wall = SystemTime::now();
+}
+
+fn ambient_rng() {
+    let mut rng = thread_rng();
+    let _x: u8 = rand::random();
+    // `random` reached some other way is fine:
+    let _y = self_random();
+}
+
+fn self_random() -> u8 {
+    7
+}

@@ -1,0 +1,13 @@
+//! R3 fixture: float comparisons via partial_cmp (lines 4, 8).
+
+fn sort_scores(scores: &mut Vec<f64>) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn pick(xs: &[(usize, f64)]) -> Option<usize> {
+    xs.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).map(|x| x.0)
+}
+
+fn fine(scores: &mut [f64]) {
+    scores.sort_by(f64::total_cmp);
+}

@@ -1,0 +1,16 @@
+//! R5 fixture: serializing inside the per-packet hot path (line 6).
+
+impl Node<Packet> for Hot {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, port: PortId, pkt: Packet) {
+        // Encoding on dispatch is exactly what the typed plane removed:
+        let bytes = pkt.encode();
+        ctx.send(port, bytes);
+    }
+}
+
+impl Hot {
+    fn report(&self, pkt: &Packet) -> Vec<u8> {
+        // encode() outside on_packet is fine (trace/golden time).
+        pkt.encode()
+    }
+}

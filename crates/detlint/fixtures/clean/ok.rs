@@ -1,0 +1,11 @@
+//! A genuinely clean runtime file: ordered maps, virtual time, total
+//! float order, saturating schedules, no hot-path encoding.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn tick(ctx: &mut Ctx, base: Ns, jitter: Ns) {
+    ctx.set_timer(base.saturating_add(jitter), 1);
+}
+
+fn rank(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}

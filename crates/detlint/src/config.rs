@@ -1,0 +1,228 @@
+//! `detlint.toml` parsing: a hand-rolled reader for the small TOML
+//! subset the linter needs (`[section]`, `key = "str"`,
+//! `key = ["a", "b"]`, `key = true/false`, `#` comments). No crates.io
+//! in this environment, so no real TOML parser — the accepted grammar
+//! is documented in the shipped `detlint.toml`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed configuration value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `key = "text"`
+    Str(String),
+    /// `key = ["a", "b"]`
+    List(Vec<String>),
+    /// `key = true` / `key = false`
+    Bool(bool),
+}
+
+/// One `[section]`'s key/value pairs, in a deterministic order.
+pub type Section = BTreeMap<String, Value>;
+
+/// The whole config file: section name → keys.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    sections: BTreeMap<String, Section>,
+}
+
+/// A config syntax error with its line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Config {
+    /// Parse the config text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut current = String::new();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut i = 0usize;
+        while i < lines.len() {
+            let lineno = i + 1;
+            let mut line = strip_comment(lines[i]).trim().to_string();
+            i += 1;
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line lists: keep accumulating until brackets close.
+            while line.contains('[')
+                && !line.starts_with('[')
+                && !line.contains(']')
+                && i < lines.len()
+            {
+                line.push(' ');
+                line.push_str(strip_comment(lines[i]).trim());
+                i += 1;
+            }
+            let line = line.as_str();
+            if let Some(name) = line.strip_prefix('[') {
+                let Some(name) = name.strip_suffix(']') else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        msg: format!("unterminated section header `{line}`"),
+                    });
+                };
+                current = name.trim().to_string();
+                cfg.sections.entry(current.clone()).or_default();
+                continue;
+            }
+            let Some((key, val)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    msg: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let value = parse_value(val.trim()).map_err(|msg| ConfigError { line: lineno, msg })?;
+            cfg.sections
+                .entry(current.clone())
+                .or_default()
+                .insert(key.trim().to_string(), value);
+        }
+        Ok(cfg)
+    }
+
+    /// The named section, if present.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.get(name)
+    }
+
+    /// All section names, sorted.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.keys().map(String::as_str)
+    }
+
+    /// A list value, or the default when section/key is absent.
+    pub fn list(&self, section: &str, key: &str, default: &[&str]) -> Vec<String> {
+        match self.section(section).and_then(|s| s.get(key)) {
+            Some(Value::List(v)) => v.clone(),
+            Some(Value::Str(s)) => vec![s.clone()],
+            _ => default.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+
+    /// A bool value, or the default when section/key is absent.
+    pub fn bool(&self, section: &str, key: &str, default: bool) -> bool {
+        match self.section(section).and_then(|s| s.get(key)) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+}
+
+/// Strip a `#` comment, respecting `"` quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(s) = v.strip_prefix('"') {
+        let Some(s) = s.strip_suffix('"') else {
+            return Err(format!("unterminated string `{v}`"));
+        };
+        return Ok(Value::Str(s.to_string()));
+    }
+    if let Some(body) = v.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(format!("unterminated list `{v}`"));
+        };
+        let mut items = Vec::new();
+        for item in body.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let Some(s) = item.strip_prefix('"').and_then(|s| s.strip_suffix('"')) else {
+                return Err(format!("list items must be quoted strings, got `{item}`"));
+            };
+            items.push(s.to_string());
+        }
+        return Ok(Value::List(items));
+    }
+    Err(format!("unsupported value `{v}` (string, list, or bool)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_lists() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[scan]
+include = ["src", "crates"]   # inline comment
+exclude = ["vendor"]
+
+[R1]
+enabled = true
+note = "maps"
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.list("scan", "include", &[]),
+            vec!["src".to_string(), "crates".to_string()]
+        );
+        assert!(cfg.bool("R1", "enabled", false));
+        assert_eq!(
+            cfg.section("R1").unwrap().get("note"),
+            Some(&Value::Str("maps".into()))
+        );
+        assert_eq!(cfg.list("R9", "missing", &["d"]), vec!["d".to_string()]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Config::parse("[scan\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = Config::parse("\nkey value\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = Config::parse("k = [1, 2]\n").unwrap_err();
+        assert!(err.msg.contains("quoted"));
+    }
+
+    #[test]
+    fn multiline_lists_parse() {
+        let cfg = Config::parse("[R4]\nfns = [\n  \"a:0\",  # comment\n  \"b:1\",\n]\n").unwrap();
+        assert_eq!(
+            cfg.list("R4", "fns", &[]),
+            vec!["a:0".to_string(), "b:1".to_string()]
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let cfg = Config::parse("k = \"a#b\"\n").unwrap();
+        assert_eq!(
+            cfg.section("").unwrap().get("k"),
+            Some(&Value::Str("a#b".into()))
+        );
+    }
+}

@@ -4,14 +4,14 @@
 use inet::{LpmTrie, Prefix};
 use lispwire::Ipv4Address;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
     (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(Ipv4Address::from_u32(addr), len))
 }
 
 /// Oracle: longest matching prefix by linear scan.
-fn oracle_lookup(table: &HashMap<Prefix, u32>, addr: Ipv4Address) -> Option<(Prefix, u32)> {
+fn oracle_lookup(table: &BTreeMap<Prefix, u32>, addr: Ipv4Address) -> Option<(Prefix, u32)> {
     table
         .iter()
         .filter(|(p, _)| p.contains(addr))
@@ -22,7 +22,7 @@ fn oracle_lookup(table: &HashMap<Prefix, u32>, addr: Ipv4Address) -> Option<(Pre
 proptest! {
     #[test]
     fn trie_matches_linear_oracle(
-        routes in prop::collection::hash_map(arb_prefix(), any::<u32>(), 0..40),
+        routes in prop::collection::btree_map(arb_prefix(), any::<u32>(), 0..40),
         queries in prop::collection::vec(any::<u32>(), 0..60),
     ) {
         let mut trie = LpmTrie::new();
@@ -48,7 +48,7 @@ proptest! {
     }
 
     #[test]
-    fn insert_remove_restores(routes in prop::collection::hash_map(arb_prefix(), any::<u32>(), 1..20)) {
+    fn insert_remove_restores(routes in prop::collection::btree_map(arb_prefix(), any::<u32>(), 1..20)) {
         let mut trie = LpmTrie::new();
         for (p, v) in &routes {
             trie.insert(*p, *v);
@@ -88,7 +88,7 @@ proptest! {
     }
 
     #[test]
-    fn entries_roundtrip(routes in prop::collection::hash_map(arb_prefix(), any::<u32>(), 0..30)) {
+    fn entries_roundtrip(routes in prop::collection::btree_map(arb_prefix(), any::<u32>(), 0..30)) {
         let mut trie = LpmTrie::new();
         for (p, v) in &routes {
             trie.insert(*p, *v);

@@ -48,12 +48,7 @@ pub fn assign_min_max(flow_rates: &[f64], capacities: &[f64]) -> Vec<usize> {
     assert!(!capacities.is_empty(), "need at least one provider");
     let mut order: Vec<usize> = (0..flow_rates.len()).collect();
     // Heaviest first; ties by index for determinism.
-    order.sort_by(|&a, &b| {
-        flow_rates[b]
-            .partial_cmp(&flow_rates[a])
-            .expect("rates are finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| flow_rates[b].total_cmp(&flow_rates[a]).then(a.cmp(&b)));
     let mut load = vec![0.0f64; capacities.len()];
     let mut assignment = vec![0usize; flow_rates.len()];
     for &f in &order {

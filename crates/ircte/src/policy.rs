@@ -63,28 +63,16 @@ impl SelectionPolicy {
                 .min_by(|(ia, a), (ib, b)| a.latency_ns.cmp(&b.latency_ns).then(ia.cmp(ib)))
                 .map(|(i, _)| i),
             SelectionPolicy::MinLoss => candidates
-                .min_by(|(ia, a), (ib, b)| {
-                    a.loss
-                        .partial_cmp(&b.loss)
-                        .expect("loss is finite")
-                        .then(ia.cmp(ib))
-                })
+                .min_by(|(ia, a), (ib, b)| a.loss.total_cmp(&b.loss).then(ia.cmp(ib)))
                 .map(|(i, _)| i),
             SelectionPolicy::MinCost => candidates
-                .min_by(|(ia, a), (ib, b)| {
-                    a.cost
-                        .partial_cmp(&b.cost)
-                        .expect("cost is finite")
-                        .then(ia.cmp(ib))
-                })
+                .min_by(|(ia, a), (ib, b)| a.cost.total_cmp(&b.cost).then(ia.cmp(ib)))
                 .map(|(i, _)| i),
             SelectionPolicy::WeightedBalance => candidates
                 .min_by(|(ia, a), (ib, b)| {
                     let ra = a.utilisation / f64::from(a.weight.max(1));
                     let rb = b.utilisation / f64::from(b.weight.max(1));
-                    ra.partial_cmp(&rb)
-                        .expect("ratio is finite")
-                        .then(ia.cmp(ib))
+                    ra.total_cmp(&rb).then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i),
             SelectionPolicy::Composite { wl, wc, wu } => candidates
@@ -98,10 +86,7 @@ impl SelectionPolicy {
                         // Loss folds into latency as a 1 s penalty per unit.
                         wl * (lat_ms + v.loss * 1000.0) + wc * v.cost + wu * v.utilisation
                     };
-                    score(a)
-                        .partial_cmp(&score(b))
-                        .expect("score is finite")
-                        .then(ia.cmp(ib))
+                    score(a).total_cmp(&score(b)).then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i),
         }

@@ -18,7 +18,7 @@ use lispwire::packet::{ConsMsg, CtlMsg, Packet};
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, LazyCounter, Node, Ns, PortId, ScheduledUpdates};
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// UDP port CONS overlay nodes use among themselves.
 pub const CONS_PORT: u16 = ports::CONS;
@@ -32,7 +32,7 @@ pub struct ConsNode {
     /// Sites attached to this CAR: prefix → ETR address.
     serving: LpmTrie<Ipv4Address>,
     /// Pending request state at leaf CARs: nonce → (orig itr, return path).
-    pending: HashMap<u64, (Ipv4Address, Vec<Ipv4Address>)>,
+    pending: BTreeMap<u64, (Ipv4Address, Vec<Ipv4Address>)>,
     processing_delay: Ns,
     outbox: VecDeque<Packet>,
     /// Timed site re-registrations (dynamics; see
@@ -65,7 +65,7 @@ impl ConsNode {
             parent,
             children: LpmTrie::new(),
             serving: LpmTrie::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             processing_delay: Ns::from_us(500),
             outbox: VecDeque::new(),
             scheduled_updates: ScheduledUpdates::new(),

@@ -8,6 +8,12 @@
 //! happens only at registration and reporting time, and the hottest
 //! call sites hold a `CounterId` and pay a single bounds-checked add.
 
+// Audited non-conversion: `index` is a pure name-to-id lookup (get/insert
+// only, never iterated). Iteration and report order come from the
+// registration-ordered `names`/`values` Vecs, and `sorted()` sorts by name,
+// so map layout cannot reach traces. HashMap keeps `add_named` O(1) on the
+// per-event hot path (BENCH_engine.json pins the throughput).
+// detlint: allow-file(R1) -- name-to-id index: keyed get/insert only, never iterated; report order comes from the registration-ordered Vecs
 use std::collections::HashMap;
 
 /// Handle to one interned counter (cheap to copy, index into the table).

@@ -296,13 +296,11 @@ mod tests {
     #[test]
     fn back_to_back_packets_queue() {
         let mut tx: Transmitter = Transmitter::new(LinkCfg::wan(Ns::from_ms(1)));
-        let a1 = match tx.offer(Ns::ZERO, 1250) {
-            TxOutcome::Deliver { arrival } => arrival,
-            _ => panic!(),
+        let TxOutcome::Deliver { arrival: a1 } = tx.offer(Ns::ZERO, 1250) else {
+            panic!()
         };
-        let a2 = match tx.offer(Ns::ZERO, 1250) {
-            TxOutcome::Deliver { arrival } => arrival,
-            _ => panic!(),
+        let TxOutcome::Deliver { arrival: a2 } = tx.offer(Ns::ZERO, 1250) else {
+            panic!()
         };
         // Second packet waits for the first to serialise.
         assert_eq!(a2 - a1, Ns::from_us(10));

@@ -970,7 +970,7 @@ mod tests {
         );
         sim.schedule_link_admin(Ns::ZERO, 0, false);
         for t in 0..3u64 {
-            sim.schedule_timer(b, Ns::from_ms(1 + t), t);
+            sim.schedule_timer(b, Ns::from_ms(1).saturating_add(Ns::from_ms(t)), t);
         }
         sim.schedule_link_admin(Ns::from_ms(50), 0, true);
         sim.run();

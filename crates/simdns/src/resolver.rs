@@ -13,7 +13,7 @@ use lispwire::packet::{Packet, PceMsg};
 use lispwire::{ports, Ipv4Address};
 use netsim::{Ctx, Node, Ns, PortId};
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Resolver tunables.
 #[derive(Debug, Clone, Copy)]
@@ -79,7 +79,7 @@ pub struct Resolver {
     // is deterministic, like every other table in the tree.
     answer_cache: BTreeMap<Name, CachedAnswer>,
     ns_cache: BTreeMap<Name, CachedNs>,
-    in_flight: HashMap<u16, InFlight>,
+    in_flight: BTreeMap<u16, InFlight>,
     next_qid: u16,
     /// Client queries received.
     pub client_queries: u64,
@@ -117,7 +117,7 @@ impl Resolver {
             root_hints,
             answer_cache: BTreeMap::new(),
             ns_cache: BTreeMap::new(),
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             next_qid: 1,
             client_queries: 0,
             cache_hits: 0,
@@ -619,7 +619,7 @@ mod tests {
         sim.run();
         // A record TTL is 300 s; jump past it.
         let later = sim.now() + Ns::from_secs(301);
-        sim.schedule_timer(client, later - sim.now(), 2);
+        sim.schedule_timer(client, later.saturating_sub(sim.now()), 2);
         sim.run();
         let r = sim.node_mut::<Resolver>(resolver);
         assert_eq!(r.cache_hits, 0);

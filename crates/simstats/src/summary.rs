@@ -75,8 +75,7 @@ impl Summary {
             return 0.0;
         }
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary"));
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let p = p.clamp(0.0, 100.0);

@@ -77,7 +77,7 @@ impl Table {
                 if i > 0 {
                     line.push_str("  ");
                 }
-                let _ = write!(line, "{cell:<w$}", w = w);
+                let _ = write!(line, "{cell:<w$}");
             }
             line.trim_end().to_string()
         };

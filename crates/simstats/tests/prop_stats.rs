@@ -59,7 +59,7 @@ proptest! {
             s.record(v);
         }
         let mut sorted = values.clone();
-        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        sorted.sort_by(f64::total_cmp);
         for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
             let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
             prop_assert_eq!(s.percentile(p), sorted[rank - 1]);

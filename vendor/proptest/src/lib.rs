@@ -248,7 +248,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use core::ops::Range;
     use rand::RngExt;
-    use std::collections::HashMap;
+    use std::collections::{BTreeMap, HashMap};
     use std::hash::Hash;
 
     /// Strategy for `Vec`s with sizes drawn from `size`.
@@ -295,6 +295,42 @@ pub mod collection {
         fn generate(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
             let target = rng.0.random_range(self.size.clone());
             let mut map = HashMap::with_capacity(target);
+            let mut attempts = 0;
+            while map.len() < target && attempts < target * 10 + 16 {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+
+    /// Strategy for `BTreeMap`s with sizes drawn from `size`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// An ordered map of `key`/`value` pairs with a size in `size`
+    /// (best-effort: key collisions may yield a smaller map). Prefer
+    /// this over [`hash_map`] for model/oracle maps so test iteration
+    /// order is deterministic too (detlint R1).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = rng.0.random_range(self.size.clone());
+            let mut map = BTreeMap::new();
             let mut attempts = 0;
             while map.len() < target && attempts < target * 10 + 16 {
                 map.insert(self.key.generate(rng), self.value.generate(rng));
