@@ -1,0 +1,365 @@
+//! A calendar queue over packed `(at ‖ seq)` event keys (DESIGN.md §12).
+//!
+//! The engine's event queue orders compact `(u128 key, u32 slot)`
+//! entries — the full 64-bit virtual time in the key's high half, the
+//! 64-bit schedule sequence in the low half. A binary heap pays
+//! O(log n) *sifts* per operation, and PR 5 left the 64-node star
+//! bench sift-bound. A calendar queue instead hashes each entry into a
+//! fixed-width **time bucket** (power-of-two widths, so the bucket
+//! index is a shift and a mask), pops by draining the bucket under a
+//! rotating cursor, and keeps far-future entries (beyond the current
+//! bucket "year") in an overflow rung that is migrated one year at a
+//! time. For the steady-state workloads the engine runs — many events
+//! clustered inside one lookahead window, a tail of far-future timers —
+//! push and pop are O(1) amortized.
+//!
+//! Determinism: pop order is *exactly* ascending key order, the same
+//! total order the binary heap produced. Within a bucket entries are
+//! sorted by full key (time then sequence), so same-tick events pop in
+//! schedule (FIFO) order; the overflow rung is itself a min-heap on the
+//! full key. Sizing never adapts to wall-clock or occupancy heuristics
+//! that could differ between runs — geometry is fixed at construction,
+//! so the structure's behaviour is a pure function of the pushed keys.
+//! A differential proptest (`crates/netsim/tests/prop_calendar_queue.rs`)
+//! drives this structure and a reference `BinaryHeap` with arbitrary
+//! interleaved push/pop sequences and asserts identical pop order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Default bucket width: 2¹⁰ ns ≈ 1 µs — finer than the ~50 µs LAN
+/// one-way delays that set event spacing in the dense benches.
+const DEFAULT_WIDTH_SHIFT: u32 = 10;
+
+/// Default bucket count: 2¹⁰ buckets ⇒ a ~1 ms year with the default
+/// width, comfortably wider than one parallel lookahead window.
+/// (A 4× wider year was measured and bought nothing: sparse workloads
+/// are bound by per-event constants, not year rollovers.)
+const DEFAULT_BUCKET_SHIFT: u32 = 10;
+
+/// A calendar queue of `(key, slot)` entries popped in ascending `key`
+/// order. `key` packs `(time ‖ sequence)`; `slot` indexes the caller's
+/// event slab and rides along untouched.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// `1 << bucket_shift` buckets, each an *unsorted* pile until the
+    /// cursor reaches it (sorted descending on first drain so entries
+    /// pop from the back in ascending order).
+    buckets: Vec<Vec<(u128, u32)>>,
+    /// One bit per bucket: does it hold any entries this year?
+    occupied: Vec<u64>,
+    /// log2 of the bucket width in nanoseconds.
+    width_shift: u32,
+    /// log2 of the bucket count.
+    bucket_shift: u32,
+    /// First nanosecond of the current year (aligned to the year span).
+    year_start: u64,
+    /// First nanosecond *after* the current year (saturating; entries
+    /// at or past this go to the overflow rung).
+    year_end: u64,
+    /// Bucket index the pop cursor is parked on.
+    cursor: usize,
+    /// Whether the cursor bucket has been sorted (descending) already.
+    cursor_sorted: bool,
+    /// Entries currently held in `buckets` (this year).
+    in_year: usize,
+    /// Far-future rung: entries at or beyond `year_end`, min-keyed.
+    overflow: BinaryHeap<Reverse<(u128, u32)>>,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CalendarQueue {
+    /// An empty queue with the default geometry (1 µs × 1024 buckets).
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_WIDTH_SHIFT, DEFAULT_BUCKET_SHIFT)
+    }
+
+    /// An empty queue with `2^width_shift`-ns buckets, `2^bucket_shift`
+    /// of them. Exposed so tests can shrink the year and force heavy
+    /// overflow/rotation traffic.
+    pub fn with_geometry(width_shift: u32, bucket_shift: u32) -> Self {
+        assert!(bucket_shift >= 6, "need at least one occupancy word");
+        assert!(
+            width_shift + bucket_shift < 64,
+            "year span must fit in the clock"
+        );
+        let nb = 1usize << bucket_shift;
+        let span = 1u64 << (width_shift + bucket_shift);
+        Self {
+            buckets: (0..nb).map(|_| Vec::new()).collect(),
+            occupied: vec![0; nb / 64],
+            width_shift,
+            bucket_shift,
+            year_start: 0,
+            year_end: span,
+            cursor: 0,
+            cursor_sorted: false,
+            in_year: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.in_year + self.overflow.len()
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nanosecond time in a key's high half.
+    #[inline]
+    fn key_at(key: u128) -> u64 {
+        (key >> 64) as u64
+    }
+
+    /// The year span in nanoseconds.
+    #[inline]
+    fn span(&self) -> u64 {
+        1u64 << (self.width_shift + self.bucket_shift)
+    }
+
+    /// Whether `at` falls inside the current year's bucket coverage.
+    /// An unsaturated `year_end` is always span-aligned (even), so
+    /// `year_end == u64::MAX` can only mean the final, saturated year —
+    /// which runs to the end of time and covers everything remaining.
+    #[inline]
+    fn covers(&self, at: u64) -> bool {
+        at < self.year_end || self.year_end == u64::MAX
+    }
+
+    #[inline]
+    fn bucket_index(&self, at: u64) -> usize {
+        ((at >> self.width_shift) as usize) & ((1 << self.bucket_shift) - 1)
+    }
+
+    #[inline]
+    fn mark(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, idx: usize) {
+        self.occupied[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    /// Insert an entry. O(1) unless it lands in the already-sorted
+    /// cursor bucket, where it is placed by binary insertion so the
+    /// drain order stays exact (zero-delay self-schedules land here).
+    pub fn push(&mut self, key: u128, slot: u32) {
+        let at = Self::key_at(key);
+        if !self.covers(at) {
+            self.overflow.push(Reverse((key, slot)));
+            return;
+        }
+        // An entry behind the cursor (time earlier than the cursor's
+        // coverage — possible for adversarial push orders, never for
+        // the engine, which only schedules at or after `now`) must pop
+        // before everything still pending, so it joins the cursor
+        // bucket: full-key ordering inside the bucket puts it first.
+        let idx = if at < self.cursor_time() {
+            self.cursor
+        } else {
+            self.bucket_index(at)
+        };
+        self.in_year += 1;
+        self.mark(idx);
+        if idx == self.cursor && self.cursor_sorted {
+            let b = &mut self.buckets[idx];
+            // Descending order: find the first entry smaller than `key`.
+            let pos = b.partition_point(|&(k, _)| k > key);
+            b.insert(pos, (key, slot));
+        } else {
+            self.buckets[idx].push((key, slot));
+        }
+    }
+
+    /// First nanosecond covered by the cursor bucket this year.
+    #[inline]
+    fn cursor_time(&self) -> u64 {
+        self.year_start + ((self.cursor as u64) << self.width_shift)
+    }
+
+    /// Advance internal state until the cursor bucket holds the minimum
+    /// pending entry, sorted and ready to pop from the back. Returns
+    /// `false` when the queue is empty.
+    fn settle(&mut self) -> bool {
+        loop {
+            if self.in_year > 0 {
+                // Scan the occupancy bitset from the cursor forward.
+                let nb = 1usize << self.bucket_shift;
+                let mut idx = self.cursor;
+                while idx < nb {
+                    let word = self.occupied[idx / 64] >> (idx % 64);
+                    if word != 0 {
+                        idx += word.trailing_zeros() as usize;
+                        break;
+                    }
+                    idx = (idx / 64 + 1) * 64;
+                }
+                assert!(idx < nb, "occupancy bits out of sync");
+                if idx != self.cursor {
+                    self.cursor = idx;
+                    self.cursor_sorted = false;
+                }
+                if !self.cursor_sorted {
+                    self.buckets[self.cursor].sort_unstable_by_key(|&(k, _)| Reverse(k));
+                    self.cursor_sorted = true;
+                }
+                // The overflow head can precede bucketed entries only
+                // when both land in... it cannot: overflow keys are all
+                // >= year_end, bucketed keys all < year_end.
+                return true;
+            }
+            // Year exhausted: jump straight to the year holding the
+            // overflow minimum (skipping empty years in O(1)).
+            let Some(&Reverse((min_key, _))) = self.overflow.peek() else {
+                return false;
+            };
+            let span = self.span();
+            let min_at = Self::key_at(min_key);
+            self.year_start = min_at & !(span - 1);
+            self.year_end = self.year_start.saturating_add(span);
+            self.cursor = 0;
+            self.cursor_sorted = false;
+            // Migrate this year's entries out of the rung.
+            while let Some(&Reverse((key, _))) = self.overflow.peek() {
+                if !self.covers(Self::key_at(key)) {
+                    break;
+                }
+                let Reverse((key, slot)) = self.overflow.pop().expect("peeked entry");
+                let idx = self.bucket_index(Self::key_at(key));
+                self.mark(idx);
+                self.buckets[idx].push((key, slot));
+                self.in_year += 1;
+            }
+        }
+    }
+
+    /// The minimum pending key, if any.
+    pub fn peek(&mut self) -> Option<u128> {
+        if !self.settle() {
+            return None;
+        }
+        self.buckets[self.cursor].last().map(|&(k, _)| k)
+    }
+
+    /// Remove and return the minimum-key entry.
+    pub fn pop(&mut self) -> Option<(u128, u32)> {
+        if !self.settle() {
+            return None;
+        }
+        let entry = self.buckets[self.cursor].pop().expect("settled bucket");
+        self.in_year -= 1;
+        if self.buckets[self.cursor].is_empty() {
+            let cur = self.cursor;
+            self.clear(cur);
+        }
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(at: u64, seq: u64) -> u128 {
+        (u128::from(at) << 64) | u128::from(seq)
+    }
+
+    #[test]
+    fn pops_in_key_order_across_years() {
+        let mut q = CalendarQueue::with_geometry(6, 6); // 64 ns × 64 buckets
+        let ats = [5u64, 4096, 70_000, 5, 1_000_000, 63, 64, 4095];
+        for (i, &at) in ats.iter().enumerate() {
+            q.push(key(at, i as u64), i as u32);
+        }
+        let mut got = Vec::new();
+        while let Some((k, _)) = q.pop() {
+            got.push(k);
+        }
+        let mut want: Vec<u128> = ats
+            .iter()
+            .enumerate()
+            .map(|(i, &at)| key(at, i as u64))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn same_tick_pops_fifo_by_seq() {
+        let mut q = CalendarQueue::new();
+        for seq in [3u64, 1, 4, 1_000, 2] {
+            q.push(key(1_000_000, seq), seq as u32);
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(k, _)| k as u64)
+            .collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 1_000]);
+    }
+
+    #[test]
+    fn zero_delay_push_into_draining_bucket() {
+        let mut q = CalendarQueue::new();
+        q.push(key(100, 1), 0);
+        q.push(key(100, 2), 1);
+        assert_eq!(q.pop(), Some((key(100, 1), 0)));
+        // Bucket is now sorted and mid-drain; a same-tick push with a
+        // later seq must pop after seq 2, an earlier-time push first.
+        q.push(key(100, 3), 2);
+        q.push(key(90, 4), 3);
+        assert_eq!(q.pop(), Some((key(90, 4), 3)));
+        assert_eq!(q.pop(), Some((key(100, 2), 1)));
+        assert_eq!(q.pop(), Some((key(100, 3), 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn near_max_times_saturate_into_overflow() {
+        let mut q = CalendarQueue::new();
+        q.push(key(u64::MAX - 1, 1), 0);
+        q.push(key(5, 2), 1);
+        assert_eq!(q.peek(), Some(key(5, 2)));
+        assert_eq!(q.pop(), Some((key(5, 2), 1)));
+        assert_eq!(q.pop(), Some((key(u64::MAX - 1, 1), 0)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn exact_max_time_drains_from_saturated_final_year() {
+        // Regression: `at == u64::MAX` used to be un-migratable once
+        // `year_end` saturated, spinning `settle` forever.
+        let mut q = CalendarQueue::with_geometry(6, 6);
+        q.push(key(u64::MAX, 2), 0);
+        q.push(key(u64::MAX, 1), 1);
+        q.push(key(u64::MAX - 1, 3), 2);
+        assert_eq!(q.pop(), Some((key(u64::MAX - 1, 3), 2)));
+        assert_eq!(q.pop(), Some((key(u64::MAX, 1), 1)));
+        // A push while parked in the saturated year still orders right.
+        q.push(key(u64::MAX, 4), 3);
+        assert_eq!(q.pop(), Some((key(u64::MAX, 2), 0)));
+        assert_eq!(q.pop(), Some((key(u64::MAX, 4), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn len_tracks_both_tiers() {
+        let mut q = CalendarQueue::with_geometry(6, 6);
+        assert!(q.is_empty());
+        q.push(key(1, 1), 0); // in-year
+        q.push(key(1 << 40, 2), 1); // overflow
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -56,11 +56,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod calq;
 pub mod counters;
 pub mod link;
 pub mod node;
 pub mod par;
 pub mod payload;
+pub mod pdes;
 pub mod sim;
 pub mod time;
 pub mod trace;

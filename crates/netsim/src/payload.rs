@@ -15,7 +15,11 @@
 //! representation against the legacy byte codecs.
 
 /// A packet payload carried by the simulation engine.
-pub trait Payload: std::fmt::Debug + 'static {
+///
+/// `Send` because the conservative parallel engine ([`crate::pdes`])
+/// carries in-flight payloads across domain worker threads; payloads
+/// are plain data, so this is free in practice.
+pub trait Payload: std::fmt::Debug + Send + 'static {
     /// Exact number of bytes this payload occupies on the wire. Link
     /// serialisation timing and byte counters use this value, so it
     /// must equal `encode().len()` at all times.

@@ -1,24 +1,36 @@
 //! The simulation engine: event queue, node registry, link registry.
 //!
-//! Hot-path design (DESIGN.md §1–§3, §9): the event queue is a single
-//! `BinaryHeap` of `TimedEvent`s carrying their payload inline —
-//! ordered by `(time, sequence)` so same-time events fire in scheduling
-//! (FIFO) order. Nodes schedule through [`Ctx`], which holds split
-//! borrows of the queue and pushes directly into the heap. The engine is
-//! generic over [`Payload`]: packets are *typed values* whose wire
-//! length is computed, not materialized, so the steady-state event loop
-//! moves no byte buffers and performs no allocations.
+//! Hot-path design (DESIGN.md §1–§3, §9, §12): events are totally
+//! ordered by a packed `(at ‖ seq)` `u128` key — the full 64-bit
+//! virtual time in the high half, a 64-bit monotonic schedule counter
+//! in the low half — so same-time events fire in scheduling (FIFO)
+//! order and ordering is one integer compare. Event *bodies* (as large
+//! as the payload type) live in a free-listed slab; only the compact
+//! `(key, slot)` pairs enter the priority structure, which since PR 8
+//! is a [calendar queue](crate::calq) (fixed-width time buckets plus an
+//! overflow rung) rather than a `BinaryHeap`, cutting the per-event
+//! sift cost on wide worlds. Nodes schedule through [`Ctx`], which
+//! holds split borrows of the queue and pushes directly into it. The
+//! engine is generic over [`Payload`]: packets are *typed values* whose
+//! wire length is computed, not materialized, so the steady-state event
+//! loop moves no byte buffers and performs no allocations.
+//!
+//! A `Sim` can additionally carry a domain [partition](crate::pdes),
+//! enabling the conservative parallel engine: `run_until` then consults
+//! the `PCELISP_LANES` knob and produces byte-identical traces at any
+//! lane count.
 
+use crate::calq::CalendarQueue;
 use crate::counters::{CounterId, Counters};
 use crate::link::{LinkCfg, LinkStats, Transmitter, TxOutcome};
 use crate::node::{Ctx, Node, NodeId, PortBinding, PortId};
 use crate::payload::Payload;
+use crate::pdes;
 use crate::time::Ns;
 use crate::trace::{fnv64, Trace};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::AtomicU64;
 
 /// Events processed by every [`Sim`] in this process, across all
@@ -45,9 +57,14 @@ pub(crate) enum EventKind<P> {
         token: u64,
     },
     /// Administrative link state change, handled by the engine itself
-    /// (no node dispatch): both directions of link `link` go up/down.
+    /// (no node dispatch): transmitter `tx` (one *direction* of a link;
+    /// `link * 2 + dir`) goes up/down. `Sim::schedule_link_admin`
+    /// schedules one such event per direction with consecutive sequence
+    /// numbers, so under the parallel engine each event has exactly one
+    /// owning domain (the direction's sender side) while the serial
+    /// dispatch order is unchanged.
     LinkAdmin {
-        link: usize,
+        tx: usize,
         up: bool,
     },
 }
@@ -56,27 +73,29 @@ pub(crate) enum EventKind<P> {
 #[derive(Debug)]
 pub(crate) struct TimedEvent<P> {
     pub(crate) at: Ns,
+    /// Low half of the popped key: the schedule sequence number (may be
+    /// a provisional id under the parallel engine; see [`pdes`]).
+    pub(crate) seq: u64,
     pub(crate) node: NodeId,
     pub(crate) kind: EventKind<P>,
 }
 
-/// The engine's priority queue: a binary heap of compact
+/// The engine's priority queue: a [`CalendarQueue`] of compact
 /// `(key = at ‖ seq, slot)` entries over a slab of event bodies.
 ///
 /// The `(time, seq)` total order is packed into one `u128` key — the
 /// full 64-bit `at` in the high half, the full 64-bit monotonic `seq`
 /// in the low half — so ordering is a single integer compare; `seq`
 /// both breaks time ties deterministically and yields FIFO order among
-/// same-time events. Keeping the heap entries small matters: sift
-/// operations move entries O(log n) times each, and event bodies are
-/// as large as the payload type (a typed `Packet` is >100 bytes), so
-/// bodies live in a free-listed slab (slots indexed by the entry's
-/// `u32`) and only the compact keys ride the heap. Events at
-/// [`Ns::MAX`] mean "never" (saturated timers) and are not enqueued at
-/// all.
+/// same-time events. Keeping the ordered entries small matters: event
+/// bodies are as large as the payload type (a typed `Packet` is >100
+/// bytes), so bodies live in a free-listed slab (slots indexed by the
+/// entry's `u32`) and only the compact keys enter the calendar queue.
+/// Events at [`Ns::MAX`] mean "never" (saturated timers) and are not
+/// enqueued at all — they consume no sequence number either.
 #[derive(Debug)]
 pub(crate) struct EventQueue<P> {
-    heap: BinaryHeap<Reverse<(u128, u32)>>,
+    cal: CalendarQueue,
     slab: Vec<Option<(NodeId, EventKind<P>)>>,
     free: Vec<u32>,
     /// Monotonic schedule counter (the low 64 bits of every key).
@@ -86,10 +105,25 @@ pub(crate) struct EventQueue<P> {
 impl<P> EventQueue<P> {
     pub(crate) fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            cal: CalendarQueue::new(),
             slab: Vec::new(),
             free: Vec::new(),
             seq: 0,
+        }
+    }
+
+    #[inline]
+    fn insert_body(&mut self, node: NodeId, kind: EventKind<P>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = Some((node, kind));
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("too many pending events");
+                self.slab.push(Some((node, kind)));
+                slot
+            }
         }
     }
 
@@ -104,41 +138,136 @@ impl<P> EventQueue<P> {
         }
         self.seq += 1;
         let key = (u128::from(at.0) << 64) | u128::from(self.seq);
-        let slot = match self.free.pop() {
-            Some(slot) => {
-                self.slab[slot as usize] = Some((node, kind));
-                slot
-            }
-            None => {
-                let slot = u32::try_from(self.slab.len()).expect("too many pending events");
-                self.slab.push(Some((node, kind)));
-                slot
-            }
-        };
-        self.heap.push(Reverse((key, slot)));
+        let slot = self.insert_body(node, kind);
+        self.cal.push(key, slot);
+    }
+
+    /// Enqueue an event under an explicit, caller-stamped key. The
+    /// parallel engine uses this to move events between the global
+    /// queue and per-domain queues with their serial `(at, seq)` keys
+    /// intact (and to enqueue provisional-keyed window pushes); the
+    /// internal sequence counter is left alone.
+    #[inline]
+    pub(crate) fn push_with_key(&mut self, key: u128, node: NodeId, kind: EventKind<P>) {
+        let slot = self.insert_body(node, kind);
+        self.cal.push(key, slot);
+    }
+
+    /// Key of the earliest pending event.
+    #[inline]
+    pub(crate) fn peek_key(&mut self) -> Option<u128> {
+        self.cal.peek()
     }
 
     /// Virtual time of the earliest pending event.
     #[inline]
-    pub(crate) fn peek_at(&self) -> Option<Ns> {
-        self.heap
-            .peek()
-            .map(|Reverse((key, _))| Ns((key >> 64) as u64))
+    pub(crate) fn peek_at(&mut self) -> Option<Ns> {
+        self.cal.peek().map(|key| Ns((key >> 64) as u64))
+    }
+
+    /// Remove and return the earliest pending event with its full key.
+    #[inline]
+    pub(crate) fn pop_entry(&mut self) -> Option<(u128, NodeId, EventKind<P>)> {
+        let (key, slot) = self.cal.pop()?;
+        let (node, kind) = self.slab[slot as usize]
+            .take()
+            .expect("queue entry without slab body");
+        self.free.push(slot);
+        Some((key, node, kind))
     }
 
     /// Remove and return the earliest pending event.
     #[inline]
     pub(crate) fn pop(&mut self) -> Option<TimedEvent<P>> {
-        let Reverse((key, slot)) = self.heap.pop()?;
-        let (node, kind) = self.slab[slot as usize]
-            .take()
-            .expect("heap entry without slab body");
-        self.free.push(slot);
+        let (key, node, kind) = self.pop_entry()?;
         Some(TimedEvent {
             at: Ns((key >> 64) as u64),
+            seq: key as u64,
             node,
             kind,
         })
+    }
+
+    /// Number of pending events.
+    pub(crate) fn len(&self) -> usize {
+        self.cal.len()
+    }
+
+    /// The schedule counter (total sequence numbers stamped so far).
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Overwrite the schedule counter — used by the parallel engine to
+    /// resynchronise the global counter after a barrier walk assigned
+    /// sequence numbers on its behalf.
+    pub(crate) fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+}
+
+/// Test-only probe over the engine's real event queue, so differential
+/// oracle tests outside this crate can drive `EventQueue` (calendar
+/// queue + slab) against a reference implementation. Hidden: not API.
+#[doc(hidden)]
+pub mod queue_testing {
+    use super::{EventKind, EventQueue};
+    use crate::time::Ns;
+
+    /// Drives an `EventQueue<Vec<u8>>` with timer events.
+    #[derive(Debug)]
+    pub struct QueueProbe {
+        q: EventQueue<Vec<u8>>,
+    }
+
+    impl Default for QueueProbe {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl QueueProbe {
+        /// An empty probe.
+        pub fn new() -> Self {
+            Self {
+                q: EventQueue::new(),
+            }
+        }
+
+        /// Push a timer event for `node` at `at` (nanoseconds;
+        /// `u64::MAX` is the engine's "never" and must be skipped).
+        pub fn push(&mut self, at: u64, node: usize, token: u64) {
+            self.q.push(Ns(at), node, EventKind::Timer { token });
+        }
+
+        /// Pop the earliest event as `(at, seq, node, token)`.
+        pub fn pop(&mut self) -> Option<(u64, u64, usize, u64)> {
+            let ev = self.q.pop()?;
+            let EventKind::Timer { token } = ev.kind else {
+                unreachable!("probe pushes timers only")
+            };
+            Some((ev.at.0, ev.seq, ev.node, token))
+        }
+
+        /// Pending events.
+        pub fn len(&self) -> usize {
+            self.q.len()
+        }
+
+        /// True when nothing is pending.
+        pub fn is_empty(&self) -> bool {
+            self.q.len() == 0
+        }
+
+        /// Slab slots currently holding a live event body.
+        pub fn slab_occupied(&self) -> usize {
+            self.q.slab.iter().filter(|s| s.is_some()).count()
+        }
+
+        /// Total slab slots ever allocated (live + free-listed).
+        pub fn slab_capacity(&self) -> usize {
+            self.q.slab.len()
+        }
     }
 }
 
@@ -147,28 +276,35 @@ impl<P> EventQueue<P> {
 /// `Sim<lispwire::Packet>` (typed packets, computed wire lengths);
 /// engine tests and benches use the default `Sim<Vec<u8>>`.
 pub struct Sim<P: Payload = Vec<u8>> {
-    nodes: Vec<Option<Box<dyn Node<P>>>>,
-    names: Vec<String>,
-    ports: Vec<Vec<PortBinding>>,
-    transmitters: Vec<Transmitter<P>>,
+    pub(crate) nodes: Vec<Option<Box<dyn Node<P>>>>,
+    pub(crate) names: Vec<String>,
+    pub(crate) ports: Vec<Vec<PortBinding>>,
+    pub(crate) transmitters: Vec<Transmitter<P>>,
     /// Delivery target of each transmitter (peer node, peer port), in
     /// transmitter order — used to flush stalled packets on link-up.
-    tx_targets: Vec<(NodeId, PortId)>,
-    queue: EventQueue<P>,
-    now: Ns,
-    rng: SmallRng,
+    pub(crate) tx_targets: Vec<(NodeId, PortId)>,
+    pub(crate) queue: EventQueue<P>,
+    pub(crate) now: Ns,
+    pub(crate) rng: SmallRng,
     /// The trace log (enable before running to record).
     pub trace: Trace,
-    counters: Counters,
-    stopped: bool,
+    pub(crate) counters: Counters,
+    pub(crate) stopped: bool,
     started: bool,
-    events_processed: u64,
+    pub(crate) events_processed: u64,
     /// Portion of `events_processed` already flushed to [`PROCESS_EVENTS`].
     events_flushed: u64,
-    event_limit: u64,
+    pub(crate) event_limit: u64,
     /// Scratch deque reused by [`Sim::set_link_up`] so flushing a stalled
     /// link allocates nothing in steady state.
     stall_scratch: VecDeque<P>,
+    /// Domain partition for the conservative parallel engine, if enabled
+    /// (see [`Sim::enable_partition`] and [`pdes`]).
+    pub(crate) partition: Option<pdes::Partition>,
+    /// Set after the first parallel run. Once counter shards exist,
+    /// every later eligible run must take the parallel path (even at
+    /// lanes=1) so shard-interned [`CounterId`]s stay valid.
+    pub(crate) par_ran: bool,
 }
 
 impl<P: Payload> Sim<P> {
@@ -191,6 +327,8 @@ impl<P: Payload> Sim<P> {
             events_flushed: 0,
             event_limit: u64::MAX,
             stall_scratch: VecDeque::new(),
+            partition: None,
+            par_ran: false,
         }
     }
 
@@ -321,7 +459,16 @@ impl<P: Payload> Sim<P> {
     pub fn schedule_link_admin(&mut self, delay: Ns, link: usize, up: bool) {
         assert!(link < self.link_count(), "unknown link {link}");
         let at = self.now.saturating_add(delay);
-        self.push_event(at, usize::MAX, EventKind::LinkAdmin { link, up });
+        // One event per direction, with consecutive sequence numbers.
+        // Serial dispatch order is unchanged (no event can be stamped
+        // between two back-to-back pushes at the same instant), and under
+        // the parallel engine each direction is owned by the domain of
+        // its *sender* node — whose dispatch also owns the transmitter.
+        for dir in 0..2 {
+            let tx = link * 2 + dir;
+            let sender = self.tx_targets[tx ^ 1].0;
+            self.push_event(at, sender, EventKind::LinkAdmin { tx, up });
+        }
     }
 
     /// Apply an administrative state change to both directions of link
@@ -330,33 +477,38 @@ impl<P: Payload> Sim<P> {
     /// order starting at the current instant (no fault injection).
     pub fn set_link_up(&mut self, link: usize, up: bool) {
         assert!(link < self.link_count(), "unknown link {link}");
-        for dir in 0..2 {
-            let idx = link * 2 + dir;
-            let was_up = self.transmitters[idx].up;
-            self.transmitters[idx].up = up;
-            if up && !was_up {
-                // Swap the stalled backlog out through the reusable
-                // scratch deque instead of collecting into a fresh Vec:
-                // recoveries are allocation-free in steady state, and the
-                // (empty) scratch capacity parks in the transmitter until
-                // the next flush swaps it back.
-                let mut pending = std::mem::take(&mut self.stall_scratch);
-                std::mem::swap(&mut pending, &mut self.transmitters[idx].stall_buf);
-                let (peer_node, peer_port) = self.tx_targets[idx];
-                while let Some(payload) = pending.pop_front() {
-                    match self.transmitters[idx].offer(self.now, payload.wire_len()) {
-                        TxOutcome::Deliver { arrival } => {
-                            let kind = EventKind::Packet {
-                                port: peer_port,
-                                payload,
-                            };
-                            self.queue.push(arrival, peer_node, kind);
-                        }
-                        TxOutcome::QueueDrop => {}
+        self.set_link_dir_up(link * 2, up);
+        self.set_link_dir_up(link * 2 + 1, up);
+    }
+
+    /// Apply an administrative state change to one *direction* of a link
+    /// (transmitter index `idx`) — the unit the engine's `LinkAdmin`
+    /// events operate on.
+    pub(crate) fn set_link_dir_up(&mut self, idx: usize, up: bool) {
+        let was_up = self.transmitters[idx].up;
+        self.transmitters[idx].up = up;
+        if up && !was_up {
+            // Swap the stalled backlog out through the reusable
+            // scratch deque instead of collecting into a fresh Vec:
+            // recoveries are allocation-free in steady state, and the
+            // (empty) scratch capacity parks in the transmitter until
+            // the next flush swaps it back.
+            let mut pending = std::mem::take(&mut self.stall_scratch);
+            std::mem::swap(&mut pending, &mut self.transmitters[idx].stall_buf);
+            let (peer_node, peer_port) = self.tx_targets[idx];
+            while let Some(payload) = pending.pop_front() {
+                match self.transmitters[idx].offer(self.now, payload.wire_len()) {
+                    TxOutcome::Deliver { arrival } => {
+                        let kind = EventKind::Packet {
+                            port: peer_port,
+                            payload,
+                        };
+                        self.queue.push(arrival, peer_node, kind);
                     }
+                    TxOutcome::QueueDrop => {}
                 }
-                self.stall_scratch = pending;
             }
+            self.stall_scratch = pending;
         }
     }
 
@@ -432,6 +584,7 @@ impl<P: Payload> Sim<P> {
             counters: &mut self.counters,
             queue: &mut self.queue,
             stopped: &mut self.stopped,
+            par: None,
         };
         f(node, &mut ctx);
     }
@@ -458,11 +611,11 @@ impl<P: Payload> Sim<P> {
             EventKind::Timer { token } => {
                 self.with_node_ctx(ev.node, move |node, ctx| node.on_timer(ctx, token));
             }
-            EventKind::LinkAdmin { link, up } => self.set_link_up(link, up),
+            EventKind::LinkAdmin { tx, up } => self.set_link_dir_up(tx, up),
         }
     }
 
-    fn start_all(&mut self) {
+    pub(crate) fn start_all(&mut self) {
         if self.started {
             return;
         }
@@ -470,6 +623,26 @@ impl<P: Payload> Sim<P> {
         for node_id in 0..self.nodes.len() {
             self.with_node_ctx(node_id, |node, ctx| node.on_start(ctx));
         }
+    }
+
+    /// Partition the world into link-latency-separated domains for the
+    /// conservative parallel engine ([`pdes`], DESIGN.md §12): endpoints
+    /// of any link whose one-way delay (either direction) is below
+    /// `min_lookahead` — or that injects faults, which would consume the
+    /// global RNG — are merged into one domain. Returns the number of
+    /// domains (1 means the world stayed serial: either everything
+    /// merged, or partitioning was refused). Call after the last
+    /// `connect`; topology changes after this invalidate the partition
+    /// and runs silently fall back to the serial path.
+    pub fn enable_partition(&mut self, min_lookahead: Ns) -> usize {
+        self.partition = pdes::build_partition(self, min_lookahead);
+        self.partition_domains()
+    }
+
+    /// Number of domains in the enabled partition (1 when no partition
+    /// is enabled — i.e. every run takes the serial path).
+    pub fn partition_domains(&self) -> usize {
+        self.partition.as_ref().map_or(1, |p| p.n_domains())
     }
 
     /// Run until the event queue is empty, a node calls [`Ctx::stop`], or
@@ -480,7 +653,49 @@ impl<P: Payload> Sim<P> {
 
     /// Run until virtual time `deadline` (events at exactly `deadline` are
     /// processed), the queue drains, or a stop is requested.
+    ///
+    /// If a domain partition is enabled (see [`Sim::enable_partition`])
+    /// the lane count comes from the `PCELISP_LANES` environment knob
+    /// (default 1 = serial); the emitted trace and counters are
+    /// byte-identical at any lane count.
     pub fn run_until(&mut self, deadline: Ns) {
+        self.run_until_with_lanes(deadline, pdes::default_lanes());
+    }
+
+    /// [`Sim::run_until`] with an explicit lane count (tests and benches;
+    /// overrides the `PCELISP_LANES` knob).
+    pub fn run_until_with_lanes(&mut self, deadline: Ns, lanes: usize) {
+        let lanes = lanes.max(1);
+        let eligible = self.event_limit == u64::MAX
+            && !self.stopped
+            && (lanes > 1 || self.par_ran)
+            && self
+                .partition
+                .as_ref()
+                .is_some_and(|p| p.matches(self.nodes.len(), self.transmitters.len()));
+        if eligible {
+            pdes::run_parallel(self, deadline, lanes);
+        } else {
+            // Once counter-shard id layouts have diverged from the main
+            // table, shard-interned `CounterId`s cached inside nodes
+            // would silently misresolve on the serial path — refuse.
+            assert!(
+                !(self.par_ran
+                    && self
+                        .partition
+                        .as_ref()
+                        .is_some_and(pdes::Partition::divergent)),
+                "serial run after divergent parallel counter registration; \
+                 keep the run eligible for the parallel path"
+            );
+            self.run_serial(deadline);
+        }
+        self.flush_process_events();
+    }
+
+    /// The serial event loop (also the reference semantics the parallel
+    /// engine must reproduce byte-for-byte).
+    pub(crate) fn run_serial(&mut self, deadline: Ns) {
         self.start_all();
         while !self.stopped && self.events_processed < self.event_limit {
             let Some(head_at) = self.queue.peek_at() else {
@@ -498,8 +713,11 @@ impl<P: Payload> Sim<P> {
         if self.now < deadline && deadline != Ns::MAX {
             self.now = deadline;
         }
-        // Flush this run's event delta to the process-wide tally once,
-        // outside the hot loop.
+    }
+
+    /// Flush this run's event delta to the process-wide tally once,
+    /// outside the hot loop.
+    pub(crate) fn flush_process_events(&mut self) {
         PROCESS_EVENTS.fetch_add(
             self.events_processed - self.events_flushed,
             std::sync::atomic::Ordering::Relaxed,

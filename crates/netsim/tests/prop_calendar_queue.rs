@@ -1,0 +1,138 @@
+//! Differential oracle for the calendar-queue scheduler (DESIGN.md §12).
+//!
+//! Two layers are checked against a reference `BinaryHeap` model under
+//! arbitrary interleaved push/pop sequences:
+//!
+//! * [`netsim::calq::CalendarQueue`] directly, on raw `(at‖seq, slot)`
+//!   keys — including a deliberately tiny geometry that forces bucket
+//!   rotation, year jumps, and overflow-rung migration every few events;
+//! * the engine-facing [`netsim::sim::queue_testing::QueueProbe`], which
+//!   adds the slab of event bodies and the `Ns::MAX`-is-never rule
+//!   (never-events are skipped and consume **no** sequence number).
+//!
+//! The property in both cases: pop order is byte-identical to the
+//! reference, and (for the probe) slab occupancy tracks queue length.
+
+use netsim::calq::CalendarQueue;
+use netsim::sim::queue_testing::QueueProbe;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scripted operation against the queue under test.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push an event at a time drawn from an interesting band.
+    Push(u64),
+    /// Pop (a no-op when empty, matching on both sides).
+    Pop,
+}
+
+/// Times drawn from the bands the engine actually produces: same-tick
+/// bursts at zero, a dense near-term band, a far-future band beyond any
+/// small calendar year (overflow rung), and saturating near-`u64::MAX`
+/// timers (the probe additionally treats exactly `u64::MAX` as "never").
+fn arb_at() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        0u64..5_000,
+        0u64..5_000,
+        1_000_000u64..1_000_000_000,
+        u64::MAX - 4..=u64::MAX,
+    ]
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            arb_at().prop_map(Op::Push),
+            arb_at().prop_map(Op::Push),
+            arb_at().prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Pop),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Raw calendar queue vs `BinaryHeap` on the default geometry.
+    #[test]
+    fn calendar_matches_heap_default_geometry(ops in arb_ops()) {
+        check_calendar(CalendarQueue::new(), &ops);
+    }
+
+    /// A 64ns × 64-bucket calendar: every push lands near or past the
+    /// year end, exercising rotation, year jumps, and overflow
+    /// migration far more often than the default geometry ever would.
+    #[test]
+    fn calendar_matches_heap_tiny_geometry(ops in arb_ops()) {
+        check_calendar(CalendarQueue::with_geometry(6, 6), &ops);
+    }
+
+    /// Engine-facing probe: same pop stream as the model, the
+    /// `u64::MAX` never-rule consumes no seq, and the slab never leaks.
+    #[test]
+    fn queue_probe_matches_model(ops in arb_ops()) {
+        let mut probe: QueueProbe = QueueProbe::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64, usize, u64)>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut max_live = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Push(at) => {
+                    probe.push(at, i % 7, i as u64);
+                    if at != u64::MAX {
+                        seq += 1;
+                        model.push(Reverse((at, seq, i % 7, i as u64)));
+                    }
+                }
+                Op::Pop => {
+                    let got = probe.pop();
+                    let want = model.pop().map(|Reverse(e)| e);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(probe.len(), model.len());
+            prop_assert_eq!(probe.slab_occupied(), model.len());
+            max_live = max_live.max(model.len());
+        }
+        while let Some(Reverse(want)) = model.pop() {
+            prop_assert_eq!(probe.pop(), Some(want));
+        }
+        prop_assert_eq!(probe.pop(), None);
+        prop_assert!(probe.is_empty());
+        prop_assert_eq!(probe.slab_occupied(), 0);
+        // Freed slots are recycled: the slab never grows past the high
+        //-water mark of concurrently live events.
+        prop_assert!(probe.slab_capacity() <= max_live);
+    }
+}
+
+/// Drive `cal` and a reference heap through `ops`, comparing every pop,
+/// then drain both and compare the tails.
+fn check_calendar(mut cal: CalendarQueue, ops: &[Op]) {
+    let mut model: BinaryHeap<Reverse<(u128, u32)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    for op in ops {
+        match *op {
+            Op::Push(at) => {
+                seq += 1;
+                let key = (u128::from(at) << 64) | u128::from(seq);
+                let slot = seq as u32;
+                cal.push(key, slot);
+                model.push(Reverse((key, slot)));
+            }
+            Op::Pop => {
+                assert_eq!(cal.peek(), model.peek().map(|&Reverse((k, _))| k));
+                assert_eq!(cal.pop(), model.pop().map(|Reverse(e)| e));
+            }
+        }
+        assert_eq!(cal.len(), model.len());
+        assert_eq!(cal.is_empty(), model.is_empty());
+    }
+    while let Some(Reverse(want)) = model.pop() {
+        assert_eq!(cal.pop(), Some(want));
+    }
+    assert_eq!(cal.pop(), None);
+}

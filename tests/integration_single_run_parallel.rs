@@ -1,0 +1,46 @@
+//! Metamorphic check for the single-run parallel engine (DESIGN.md §12):
+//! the *entire* experiment registry — every table and JSON document
+//! `exp_all --json` would emit for E1–E12 — is byte-identical whether
+//! each simulation runs serially or on 8 lanes.
+//!
+//! This is the broadest net in the suite: every control plane, workload,
+//! dynamics script, and counter the experiments exercise must survive
+//! the domain-parallel scheduler unchanged. A single divergent event
+//! ordering anywhere shows up as a diff here.
+//!
+//! One `#[test]` on purpose: the lane override is process-global, so the
+//! serial and parallel passes must not interleave with other tests in
+//! this binary.
+
+use netsim::pdes::set_lanes_override;
+use pcelisp::experiments::registry;
+
+/// Render every experiment the way `exp_all --json` consumes it.
+fn full_registry_report(seed: u64) -> String {
+    let mut out = String::new();
+    for exp in registry() {
+        let report = exp.run(seed, 2);
+        out.push_str(&format!("== {} ==\n", exp.name()));
+        for table in report.tables() {
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out.push_str(&report.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn exp_all_json_byte_identical_serial_vs_eight_lanes() {
+    set_lanes_override(1);
+    let serial = full_registry_report(1);
+    set_lanes_override(8);
+    let parallel = full_registry_report(1);
+    set_lanes_override(0); // restore env-driven default
+    assert!(serial.contains("== e1 ==") && serial.contains("== e12 =="));
+    assert_eq!(
+        serial, parallel,
+        "registry output drifted between serial and 8-lane runs"
+    );
+}
