@@ -1,0 +1,4 @@
+//! E13: mapping-node crash, replicated resolvers and failover.
+fn main() {
+    pcelisp_bench::run_and_print("e13");
+}

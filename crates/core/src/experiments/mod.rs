@@ -22,6 +22,7 @@ pub mod sweep;
 pub mod e10_recovery;
 pub mod e11_scale_xl;
 pub mod e12_adversarial;
+pub mod e13_availability;
 pub mod e1_fig1;
 pub mod e2_drops;
 pub mod e3_resolution;
@@ -64,6 +65,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(e10_recovery::E10Recovery),
         Box::new(e11_scale_xl::E11ScaleXl),
         Box::new(e12_adversarial::E12Adversarial),
+        Box::new(e13_availability::E13Availability),
     ]
 }
 

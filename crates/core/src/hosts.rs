@@ -316,6 +316,13 @@ pub struct ServerHost {
     pub established: Vec<(Ipv4Address, Ns)>,
     /// Arrival time of the first UDP packet per source.
     pub first_udp_at: BTreeMap<Ipv4Address, Ns>,
+    /// Arrival time of the first UDP packet per *destination* EID — the
+    /// per-flow outage signal of the availability experiment (E13),
+    /// where concurrent flows from one client host differ only in the
+    /// destination EID they address.
+    pub first_udp_at_dst: BTreeMap<Ipv4Address, Ns>,
+    /// UDP data packets received, per destination EID.
+    pub udp_received_by_dst: BTreeMap<Ipv4Address, u64>,
     ctr_udp: LazyCounter,
     ctr_tcp_data: LazyCounter,
 }
@@ -332,6 +339,8 @@ impl ServerHost {
             tcp_data_received: BTreeMap::new(),
             established: Vec::new(),
             first_udp_at: BTreeMap::new(),
+            first_udp_at_dst: BTreeMap::new(),
+            udp_received_by_dst: BTreeMap::new(),
             ctr_udp: LazyCounter::new(),
             ctr_tcp_data: LazyCounter::new(),
         }
@@ -368,6 +377,8 @@ impl Node<Packet> for ServerHost {
                 let (src, dst) = (ip.src, ip.dst);
                 *self.udp_received.entry(src).or_insert(0) += 1;
                 self.first_udp_at.entry(src).or_insert_with(|| ctx.now());
+                self.first_udp_at_dst.entry(dst).or_insert_with(|| ctx.now());
+                *self.udp_received_by_dst.entry(dst).or_insert(0) += 1;
                 self.udp_arrivals.push(ctx.now());
                 self.ctr_udp.add(ctx, "server.udp_received", 1);
                 if self.echo_udp {

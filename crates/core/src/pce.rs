@@ -64,6 +64,11 @@ pub struct PceConfig {
     /// Push mappings to all ITRs (paper default) or only the first
     /// (ablation A1).
     pub push_to_all_itrs: bool,
+    /// Warm-standby twin, if any: every flow decision inserted into the
+    /// database is mirrored there as a [`PceKind::ReverseSync`] message,
+    /// so a [`TOKEN_TAKEOVER`] on the twin can re-push the full flow
+    /// database after this PCE dies (replica failover, DESIGN.md §13).
+    pub mirror_to: Option<Ipv4Address>,
 }
 
 impl PceConfig {
@@ -86,6 +91,7 @@ impl PceConfig {
             forward_delay: Ns::from_us(5),
             flow_rate_estimate: 1.0,
             push_to_all_itrs: true,
+            mirror_to: None,
         }
     }
 }
@@ -109,6 +115,10 @@ pub struct PceStats {
     pub reverse_syncs_received: u64,
     /// Step-7 arrivals whose requester EID was unknown (no IPC notice).
     pub unknown_requester: u64,
+    /// Database inserts mirrored to the standby twin.
+    pub mirrors_sent: u64,
+    /// Flows re-pushed by a standby takeover.
+    pub takeover_pushes: u64,
     /// Provider reachability events processed (dynamics).
     pub provider_events: u64,
     /// Flows re-pathed onto a surviving provider after a failure.
@@ -122,6 +132,11 @@ const NET_PORT: PortId = 1;
 const TOKEN_RELEASE: u64 = 0x7CE0_0000_0000_0000;
 const TOKEN_PROVIDER_BASE: u64 = 0x7CE1_0000_0000_0000;
 const TOKEN_PROVIDER_UP_BIT: u64 = 1 << 16;
+
+/// Timer token that promotes a warm standby: re-push every database
+/// flow to the local ITRs (scheduled by the dynamics subsystem at
+/// detection time after the primary dies).
+pub const TOKEN_TAKEOVER: u64 = 0x7CE2_0000_0000_0000;
 
 /// The PCE node (acts as `PCE_S` and `PCE_D` simultaneously).
 pub struct Pce {
@@ -292,6 +307,7 @@ impl Pce {
             ttl_minutes: self.cfg.mapping_ttl_minutes,
         };
         self.db.insert((source_eid, dest_eid), flow);
+        self.mirror_flow(ctx, flow);
         self.push_flow(ctx, flow, PceKind::MappingPush);
         self.push_times.push(ctx.now());
         ctx.trace(format!(
@@ -307,6 +323,24 @@ impl Pce {
                 1
             }
         ));
+    }
+
+    /// Mirror one database insert to the warm-standby twin (as the same
+    /// [`PceKind::ReverseSync`] kind the ETRs use, which the twin's
+    /// handler absorbs silently into its database).
+    fn mirror_flow(&mut self, ctx: &mut Ctx<'_, Packet>, flow: FlowMapping) {
+        let Some(twin) = self.cfg.mirror_to else {
+            return;
+        };
+        let msg = PceFlowMsg {
+            kind: PceKind::ReverseSync,
+            mapping: flow,
+        };
+        let pkt = self
+            .stack
+            .pce(ports::ETR_SYNC, twin, ports::ETR_SYNC, PceMsg::Flow(msg));
+        self.stats.mirrors_sent += 1;
+        ctx.send(NET_PORT, pkt);
     }
 
     fn push_flow(&mut self, ctx: &mut Ctx<'_, Packet>, flow: FlowMapping, kind: PceKind) {
@@ -399,6 +433,7 @@ impl Pce {
                 ..flow
             };
             self.db.insert(key, updated);
+            self.mirror_flow(ctx, updated);
             self.push_flow(ctx, updated, PceKind::MappingPush);
             // Fix the opposite direction at the remote tunnel end: its
             // flow entry (dest→source) encapsulates toward our dead
@@ -440,6 +475,7 @@ impl Pce {
                     ..flow
                 };
                 self.db.insert(m.flow_key, updated);
+                self.mirror_flow(ctx, updated);
                 self.push_flow(ctx, updated, PceKind::MappingPush);
                 count += 1;
             }
@@ -529,10 +565,35 @@ impl Node<Packet> for Pce {
         self.release_later(ctx, d, other, pkt);
     }
 
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, Packet>) {
+        // A PCE crash loses everything computed at runtime: the flow
+        // database, the IPC-learned requester map, packets parked in the
+        // forwarding queue, and the IRC engine's booked flows. The
+        // static configuration is provisioned state and survives; stats
+        // and push times model the operator's monitoring box.
+        self.db.clear();
+        self.pending_requesters.clear();
+        self.release_queue.clear();
+        self.irc = IrcEngine::new(self.cfg.providers.clone(), self.cfg.policy);
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         if token == TOKEN_RELEASE {
             if let Some((port, pkt)) = self.release_queue.pop_front() {
                 ctx.send(port, pkt);
+            }
+        } else if token == TOKEN_TAKEOVER {
+            // Standby promotion: re-install every mirrored flow at the
+            // local ITRs so state lost with the primary is re-pushed.
+            let flows: Vec<FlowMapping> = self.db.values().copied().collect();
+            ctx.trace(format!(
+                "PCE {} takes over: re-pushing {} flows",
+                self.cfg.addr,
+                flows.len()
+            ));
+            for flow in flows {
+                self.push_flow(ctx, flow, PceKind::MappingPush);
+                self.stats.takeover_pushes += 1;
             }
         } else if token & TOKEN_PROVIDER_BASE == TOKEN_PROVIDER_BASE {
             let provider = (token & 0xffff) as usize;

@@ -212,8 +212,14 @@ pub mod addrs {
     pub const TLD: Ipv4Address = Ipv4Address::new(9, 0, 0, 53);
     /// Map-resolver (vanilla pull).
     pub const MAP_RESOLVER: Ipv4Address = Ipv4Address::new(8, 0, 0, 10);
+    /// Standby map-resolver twin (replicated worlds only).
+    pub const MAP_RESOLVER_2: Ipv4Address = Ipv4Address::new(8, 0, 0, 11);
     /// NERD authority.
     pub const NERD: Ipv4Address = Ipv4Address::new(8, 0, 0, 20);
+    /// Standby NERD authority twin (replicated worlds only).
+    pub const NERD_2: Ipv4Address = Ipv4Address::new(8, 0, 0, 21);
+    /// Standby ALT entry gateway (replicated worlds only).
+    pub const ALT_GATEWAY_2: Ipv4Address = Ipv4Address::new(9, 1, 0, 254);
 }
 
 /// Build a flow script against the Fig. 1 zone: `n` flows starting at

@@ -325,6 +325,27 @@ pub enum DynEventKind {
         /// Provider name within the site.
         provider: String,
     },
+    /// The mapping-infrastructure node serving `site` crashes: volatile
+    /// state is lost (`Node::on_crash`), deliveries addressed to it are
+    /// dropped, and — when [`ScenarioSpec::replicas`] arms a standby —
+    /// failover fires after [`ReplicaSpec::detection_delay`]. Which node
+    /// this means depends on the control plane: the shared Map-Resolver
+    /// (pull variants), the NERD authority, the ALT entry gateway, the
+    /// site's CONS CAR, or the site's PCE bump. `NoLisp` has no mapping
+    /// node, so the event is a no-op there.
+    NodeDown {
+        /// Site whose mapping service is targeted (selects the CAR /
+        /// PCE in per-site planes; ignored by shared-node planes).
+        site: String,
+    },
+    /// The crashed mapping node restarts (`Node::on_restart`): it comes
+    /// back with whatever its plane's state-loss policy preserves
+    /// (DESIGN.md §13) and resumes serving. Traffic that failed over to
+    /// a standby stays there — failover is sticky.
+    NodeUp {
+        /// Same site key as the matching [`DynEventKind::NodeDown`].
+        site: String,
+    },
 }
 
 /// Deterministic, seed-driven schedule of topology and mapping dynamics
@@ -385,10 +406,94 @@ impl DynamicsSpec {
         }
     }
 
+    /// The canonical availability schedule (experiment E13): the
+    /// mapping node serving `site` crashes at `down_at` and restarts at
+    /// `up_at`. No RLOC probing — the data path is healthy throughout;
+    /// only the mapping infrastructure blinks.
+    pub fn mapsys_outage(site: &str, down_at: Ns, up_at: Ns) -> Self {
+        Self::new()
+            .with_event(
+                down_at,
+                DynEventKind::NodeDown {
+                    site: site.to_string(),
+                },
+            )
+            .with_event(
+                up_at,
+                DynEventKind::NodeUp {
+                    site: site.to_string(),
+                },
+            )
+    }
+
     /// Append an event, builder-style.
     pub fn with_event(mut self, at: Ns, kind: DynEventKind) -> Self {
         self.events.push(DynEvent { at, kind });
         self
+    }
+}
+
+/// Warm-standby replication of the mapping infrastructure (DESIGN.md
+/// §13). `Some(ReplicaSpec)` on [`ScenarioSpec::replicas`] adds one
+/// standby twin per mapping role: a second Map-Resolver sharing the
+/// registration database, a standby NERD authority that re-pushes on
+/// promotion, a standby ALT entry gateway, a standby CONS CAR per
+/// site, and (client sites only) a standby PCE bump warm-mirrored by
+/// the primary. Failover is deterministic: xTRs walk their ordered
+/// replica list on request exhaustion; infrastructure takeover timers
+/// fire exactly [`ReplicaSpec::detection_delay`] after a
+/// [`DynEventKind::NodeDown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaSpec {
+    /// Standby twins per mapping role. Currently 0 or 1 — the address
+    /// plan reserves one twin per role.
+    pub count: u32,
+    /// How long death of a primary takes to detect: promotion /
+    /// re-route timers fire this long after the crash.
+    pub detection_delay: Ns,
+    /// xTR failover stickiness: after failing over, new requests start
+    /// at the resolver that last answered instead of re-trying the
+    /// primary first.
+    pub sticky_failover: bool,
+}
+
+impl Default for ReplicaSpec {
+    fn default() -> Self {
+        Self {
+            count: 1,
+            detection_delay: Ns::from_ms(200),
+            sticky_failover: true,
+        }
+    }
+}
+
+/// xTR map-request retry shaping for the availability experiments. The
+/// default (`None`/identity everywhere) leaves the xTR's own defaults
+/// in place, so worlds built without a `RetrySpec` stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrySpec {
+    /// Map-request retransmit interval (`None` = xTR default, 1 s).
+    pub retransmit: Option<Ns>,
+    /// Attempts per resolver before rotating / giving up (`None` = 3).
+    pub max_tries: Option<u32>,
+    /// Exponential backoff multiplier between retransmits (1 = flat).
+    pub backoff_multiplier: u32,
+    /// Ceiling on any single backoff step.
+    pub backoff_cap: Ns,
+    /// Re-arm a fresh request cycle this long after exhausting every
+    /// resolver (`None` = give up permanently, the historical default).
+    pub cooldown: Option<Ns>,
+}
+
+impl Default for RetrySpec {
+    fn default() -> Self {
+        Self {
+            retransmit: None,
+            max_tries: None,
+            backoff_multiplier: 1,
+            backoff_cap: Ns::from_secs(30),
+            cooldown: None,
+        }
     }
 }
 
@@ -528,6 +633,11 @@ pub struct ScenarioSpec {
     pub defense: DefenseSpec,
     /// Adversarial roles layered onto the world (default: none).
     pub attackers: Vec<AttackerSpec>,
+    /// Warm-standby replication of the mapping infrastructure
+    /// (`None` = the historical single-instance worlds, bit-for-bit).
+    pub replicas: Option<ReplicaSpec>,
+    /// xTR map-request retry shaping (`None` = xTR defaults).
+    pub retry: Option<RetrySpec>,
 }
 
 impl ScenarioSpec {
@@ -589,6 +699,8 @@ impl ScenarioSpec {
             cache: CacheSpec::default(),
             defense: DefenseSpec::default(),
             attackers: Vec::new(),
+            replicas: None,
+            retry: None,
         }
     }
 
@@ -676,6 +788,8 @@ impl ScenarioSpec {
             cache: CacheSpec::default(),
             defense: DefenseSpec::default(),
             attackers: Vec::new(),
+            replicas: None,
+            retry: None,
         }
     }
 
@@ -811,6 +925,9 @@ pub struct SiteWorld {
     pub dns_addr: Ipv4Address,
     /// The site's PCE (when the control plane is [`CpKind::Pce`]).
     pub pce: Option<NodeId>,
+    /// The site's standby PCE twin (replicated PCE worlds, client
+    /// sites only).
+    pub pce_standby: Option<NodeId>,
     /// Provider names, in spec order.
     pub provider_names: Vec<String>,
     /// Border routers, one per provider; empty under [`CpKind::NoLisp`].
@@ -856,6 +973,14 @@ pub struct World {
     pub alt_nodes: Vec<NodeId>,
     /// CONS overlay nodes (CARs in site order, then CDRs).
     pub cons_nodes: Vec<NodeId>,
+    /// Standby Map-Resolver twin (replicated worlds only).
+    pub mr_standby: Option<NodeId>,
+    /// Standby NERD authority twin (replicated worlds only).
+    pub nerd_standby: Option<NodeId>,
+    /// Standby ALT entry gateway (replicated worlds only).
+    pub alt_standby: Option<NodeId>,
+    /// Standby CONS CARs, in site order (replicated worlds only).
+    pub cons_standby_nodes: Vec<NodeId>,
     /// Attacker nodes, in [`ScenarioSpec::attackers`] order (roles that
     /// need no node of their own — overclaiming — contribute none).
     pub attack_nodes: Vec<NodeId>,
@@ -1198,28 +1323,50 @@ impl ScenarioSpec {
             })
             .collect();
 
+        // Warm-standby replication (DESIGN.md §13): `Some` arms one
+        // standby twin per mapping role below.
+        let replicas = self.replicas.filter(|r| r.count > 0);
+        // The standby PCE bump lives next to the primary on the site's
+        // first internal subnet (primary .200, standby .201).
+        let pce_standby_addr = |s: &SiteSpec| -> Ipv4Address {
+            let o = s.providers[0].internal_prefix.addr().0;
+            Ipv4Address::new(o[0], o[1], o[2], 201)
+        };
+        let pce_cfg_of = |s: &SiteSpec, addr: Ipv4Address| -> PceConfig {
+            let providers: Vec<Provider> = s
+                .providers
+                .iter()
+                .map(|p| Provider::new(&p.name, p.rloc, p.bandwidth_bps as f64 / 1e6))
+                .collect();
+            let mut cfg = PceConfig::new(
+                addr,
+                vec![s.eid_prefix],
+                s.providers.iter().map(|p| p.rloc).collect(),
+                providers,
+            );
+            cfg.precompute = self.pce_precompute;
+            cfg.push_to_all_itrs = self.pce_push_all;
+            cfg.policy = self.pce_policy;
+            cfg.mapping_ttl_minutes = self.mapping_ttl_minutes;
+            cfg
+        };
+
         // DNS attachment: behind the PCE bump when cp == Pce.
         let mut pce_nodes: Vec<Option<NodeId>> = vec![None; topo.sites.len()];
+        let mut pce_standby_nodes: Vec<Option<NodeId>> = vec![None; topo.sites.len()];
+        let mut pce_standby_ports: Vec<Option<PortId>> = vec![None; topo.sites.len()];
         let dns_ports: Vec<PortId> = if cp == CpKind::Pce {
             let pces: Vec<NodeId> = topo
                 .sites
                 .iter()
                 .map(|s| {
-                    let providers: Vec<Provider> = s
-                        .providers
-                        .iter()
-                        .map(|p| Provider::new(&p.name, p.rloc, p.bandwidth_bps as f64 / 1e6))
-                        .collect();
-                    let mut cfg = PceConfig::new(
-                        s.pce_addr(),
-                        vec![s.eid_prefix],
-                        s.providers.iter().map(|p| p.rloc).collect(),
-                        providers,
-                    );
-                    cfg.precompute = self.pce_precompute;
-                    cfg.push_to_all_itrs = self.pce_push_all;
-                    cfg.policy = self.pce_policy;
-                    cfg.mapping_ttl_minutes = self.mapping_ttl_minutes;
+                    let mut cfg = pce_cfg_of(s, s.pce_addr());
+                    // The primary warm-mirrors every installed flow to
+                    // its standby twin (client sites only — server-site
+                    // DNS is authoritative, not resolver-driven).
+                    if replicas.is_some() && s.role == SiteRole::Client {
+                        cfg.mirror_to = Some(pce_standby_addr(s));
+                    }
                     sim.add_node(&format!("PCE_{}", s.name), Box::new(Pce::new(cfg)))
                 })
                 .collect();
@@ -1231,6 +1378,23 @@ impl ScenarioSpec {
                     sp_pce
                 })
                 .collect();
+            if replicas.is_some() {
+                for (i, s) in topo.sites.iter().enumerate() {
+                    if s.role != SiteRole::Client {
+                        continue;
+                    }
+                    let standby = pce_cfg_of(s, pce_standby_addr(s));
+                    let id = sim.add_node(&format!("PCE2_{}", s.name), Box::new(Pce::new(standby)));
+                    // Resolver port 1 = standby uplink; armed by the
+                    // TOKEN_FAILOVER timer the dynamics block schedules.
+                    sim.connect(id, dns_nodes[i], LinkCfg::ipc());
+                    let (_, sp) = sim.connect(id, site_routers[i], LinkCfg::lan());
+                    sim.node_mut::<Resolver>(dns_nodes[i])
+                        .set_failover(1, pce_standby_addr(s));
+                    pce_standby_nodes[i] = Some(id);
+                    pce_standby_ports[i] = Some(sp);
+                }
+            }
             pce_nodes = pces.into_iter().map(Some).collect();
             ports
         } else {
@@ -1251,6 +1415,10 @@ impl ScenarioSpec {
         let mut nerd_node = None;
         let mut alt_nodes = Vec::new();
         let mut cons_nodes = Vec::new();
+        let mut mr_standby = None;
+        let mut nerd_standby = None;
+        let mut alt_standby = None;
+        let mut cons_standby_nodes: Vec<NodeId> = Vec::new();
 
         // Mapping-system overlay addresses are deterministic, so xTR
         // resolver targets can be computed before the overlay exists.
@@ -1261,6 +1429,7 @@ impl ScenarioSpec {
             _ => Vec::new(),
         };
         let car_addr_of = |site_idx: usize| Ipv4Address::new(9, 2, 0, (site_idx + 1) as u8);
+        let standby_car_addr_of = |site_idx: usize| Ipv4Address::new(9, 2, 2, (site_idx + 1) as u8);
 
         if cp == CpKind::NoLisp {
             // Sites connect straight to the core; EIDs globally routable.
@@ -1349,6 +1518,30 @@ impl ScenarioSpec {
                     cfg.rloc_probing = dyn_probing;
                     cfg.cache = s.cache.unwrap_or(self.cache);
                     cfg.defense = self.defense.xtr;
+                    if let Some(r) = self.retry {
+                        if let Some(rt) = r.retransmit {
+                            cfg.request_retransmit = rt;
+                        }
+                        if let Some(mt) = r.max_tries {
+                            cfg.request_max_tries = mt;
+                        }
+                        cfg.request_backoff_multiplier = r.backoff_multiplier;
+                        cfg.request_backoff_cap = r.backoff_cap;
+                        cfg.request_cooldown = r.cooldown;
+                    }
+                    if let Some(rep) = replicas {
+                        cfg.resolver_failover_sticky = rep.sticky_failover;
+                        // Ordered failover list: the standby twin of
+                        // whatever resolver this plane points at.
+                        cfg.map_resolver_replicas = match cp {
+                            CpKind::LispDrop | CpKind::LispQueue | CpKind::LispDataCp => {
+                                vec![addrs::MAP_RESOLVER_2]
+                            }
+                            CpKind::Alt { .. } => vec![addrs::ALT_GATEWAY_2],
+                            CpKind::Cons { .. } => vec![standby_car_addr_of(i)],
+                            _ => Vec::new(),
+                        };
+                    }
                     for atk in &self.attackers {
                         if let AttackerSpec::Overclaim { site, prefix_len } = atk {
                             if *site == s.name {
@@ -1400,6 +1593,9 @@ impl ScenarioSpec {
                 r.add_route(Prefix::host(s.dns_addr()), dns_ports[i]);
                 if cp == CpKind::Pce {
                     r.add_route(Prefix::host(s.pce_addr()), dns_ports[i]);
+                    if let Some(sp) = pce_standby_ports[i] {
+                        r.add_route(Prefix::host(pce_standby_addr(s)), sp);
+                    }
                 }
                 r.set_default_route(site_egress[i][0]);
             }
@@ -1453,6 +1649,19 @@ impl ScenarioSpec {
                 sim.node_mut::<Router>(core)
                     .add_route(Prefix::host(addrs::MAP_RESOLVER), port);
                 mr_node = Some(mr);
+                if replicas.is_some() {
+                    // Standby twin sharing the registration database
+                    // (registrations go to both; DESIGN.md §13).
+                    let mut twin = MapResolver::new(addrs::MAP_RESOLVER_2, &db);
+                    if let Some(g) = self.defense.resolver_guard {
+                        twin = twin.with_guard(g);
+                    }
+                    let mr2 = sim.add_node("map-resolver-2", Box::new(twin));
+                    let (_, port) = sim.connect(mr2, core, LinkCfg::wan(mapsys_owd));
+                    sim.node_mut::<Router>(core)
+                        .add_route(Prefix::host(addrs::MAP_RESOLVER_2), port);
+                    mr_standby = Some(mr2);
+                }
             }
             CpKind::Alt { .. } => {
                 // One shared linear overlay; the entry router is the
@@ -1501,6 +1710,27 @@ impl ScenarioSpec {
                         .add_route(Prefix::host(chain_addrs[i]), port);
                     alt_nodes.push(node);
                 }
+                if replicas.is_some() {
+                    // Standby entry gateway: same first-hop overlay
+                    // routes as alt-0 under its own address, so the
+                    // rest of the chain serves either ingress.
+                    let mut gw = AltRouter::new(addrs::ALT_GATEWAY_2);
+                    for s in topo.sites.iter() {
+                        if chain_addrs.len() > 1 {
+                            gw.add_overlay_route(s.eid_prefix, chain_addrs[1]);
+                        } else {
+                            gw.add_delivery(s.eid_prefix, s.providers[0].rloc);
+                        }
+                    }
+                    if let Some(g) = self.defense.resolver_guard {
+                        gw.guard = Some(RequestGuard::new(g));
+                    }
+                    let node = sim.add_node("alt-standby", Box::new(gw));
+                    let (_, port) = sim.connect(node, core, LinkCfg::wan(mapsys_owd));
+                    sim.node_mut::<Router>(core)
+                        .add_route(Prefix::host(addrs::ALT_GATEWAY_2), port);
+                    alt_standby = Some(node);
+                }
             }
             CpKind::Cons { cdr_depth } => {
                 let cdr_addrs: Vec<Ipv4Address> = (0..=cdr_depth)
@@ -1548,6 +1778,24 @@ impl ScenarioSpec {
                         .add_route(Prefix::host(cdr_addrs[i]), port);
                     cons_nodes.push(id);
                 }
+                if replicas.is_some() {
+                    // A standby CAR per site, homed under the same
+                    // first-level CDR so queries it forwards reach the
+                    // destination's (live) primary CAR.
+                    for (i, s) in topo.sites.iter().enumerate() {
+                        let addr = standby_car_addr_of(i);
+                        let mut car = ConsNode::new(addr, Some(cdr_addrs[0]));
+                        car.add_site(s.eid_prefix, s.providers[0].rloc);
+                        if let Some(g) = self.defense.resolver_guard {
+                            car.guard = Some(RequestGuard::new(g));
+                        }
+                        let id = sim.add_node(&format!("cons-car2-{addr}"), Box::new(car));
+                        let (_, port) = sim.connect(id, core, LinkCfg::wan(mapsys_owd));
+                        sim.node_mut::<Router>(core)
+                            .add_route(Prefix::host(addr), port);
+                        cons_standby_nodes.push(id);
+                    }
+                }
             }
             CpKind::Nerd => {
                 let subscribers: Vec<Ipv4Address> = topo
@@ -1555,12 +1803,24 @@ impl ScenarioSpec {
                     .iter()
                     .flat_map(|s| s.providers.iter().map(|p| p.rloc))
                     .collect();
-                let authority = NerdAuthority::new(addrs::NERD, &db, subscribers);
+                let authority = NerdAuthority::new(addrs::NERD, &db, subscribers.clone());
                 let nerd = sim.add_node("nerd", Box::new(authority));
                 let (_, port) = sim.connect(nerd, core, LinkCfg::wan(mapsys_owd));
                 sim.node_mut::<Router>(core)
                     .add_route(Prefix::host(addrs::NERD), port);
                 nerd_node = Some(nerd);
+                if replicas.is_some() {
+                    // Standby authority: same database and subscriber
+                    // list, but no boot push — its first TOKEN_PUSH
+                    // (scheduled by the dynamics block on failover)
+                    // promotes it and re-pushes the full database.
+                    let twin = NerdAuthority::new(addrs::NERD_2, &db, subscribers).standby();
+                    let id = sim.add_node("nerd-2", Box::new(twin));
+                    let (_, port) = sim.connect(id, core, LinkCfg::wan(mapsys_owd));
+                    sim.node_mut::<Router>(core)
+                        .add_route(Prefix::host(addrs::NERD_2), port);
+                    nerd_standby = Some(id);
+                }
             }
             CpKind::NoLisp | CpKind::Pce => {}
         }
@@ -1747,16 +2007,16 @@ impl ScenarioSpec {
             // whatever the mapping system in this world is.
             let reregister = |sim: &mut Sim<Packet>, at: Ns, i: usize, rloc: Ipv4Address| match cp {
                 CpKind::LispDrop | CpKind::LispQueue | CpKind::LispDataCp => {
-                    if let Some(mr) = mr_node {
-                        let node = sim.node_mut::<MapResolver>(mr);
+                    for mr in mr_node.iter().chain(mr_standby.iter()) {
+                        let node = sim.node_mut::<MapResolver>(*mr);
                         for prefix in registered_prefixes(i) {
                             node.schedule_update(at, prefix, rloc);
                         }
                     }
                 }
                 CpKind::Nerd => {
-                    if let Some(nerd) = nerd_node {
-                        let node = sim.node_mut::<NerdAuthority>(nerd);
+                    for nerd in nerd_node.iter().chain(nerd_standby.iter()) {
+                        let node = sim.node_mut::<NerdAuthority>(*nerd);
                         for prefix in registered_prefixes(i) {
                             node.schedule_update(
                                 at,
@@ -1771,9 +2031,18 @@ impl ScenarioSpec {
                     }
                 }
                 CpKind::Alt { .. } => {
-                    // Delivery entries live on the chain's last router.
+                    // Delivery entries live on the chain's last router —
+                    // and on the standby gateway when the chain is one
+                    // router long (then the gateway delivers directly).
+                    let mut targets: Vec<NodeId> = Vec::new();
                     if let Some(&last) = alt_nodes.last() {
-                        let node = sim.node_mut::<AltRouter>(last);
+                        targets.push(last);
+                    }
+                    if alt_nodes.len() == 1 {
+                        targets.extend(alt_standby);
+                    }
+                    for node_id in targets {
+                        let node = sim.node_mut::<AltRouter>(node_id);
                         for prefix in registered_prefixes(i) {
                             node.schedule_update(at, prefix, rloc);
                         }
@@ -1781,12 +2050,30 @@ impl ScenarioSpec {
                 }
                 CpKind::Cons { .. } => {
                     // cons_nodes lists the CARs in site order, CDRs after.
-                    let node = sim.node_mut::<ConsNode>(cons_nodes[i]);
-                    for prefix in registered_prefixes(i) {
-                        node.schedule_update(at, prefix, rloc);
+                    let mut targets = vec![cons_nodes[i]];
+                    targets.extend(cons_standby_nodes.get(i).copied());
+                    for node_id in targets {
+                        let node = sim.node_mut::<ConsNode>(node_id);
+                        for prefix in registered_prefixes(i) {
+                            node.schedule_update(at, prefix, rloc);
+                        }
                     }
                 }
                 CpKind::NoLisp | CpKind::Pce => {}
+            };
+
+            // The mapping-infrastructure node a NodeDown/NodeUp event
+            // addresses, per control plane (shared node for pull/push
+            // planes, the site's own node for CONS and PCE).
+            let mapsys_node_of = |i: usize| -> Option<NodeId> {
+                match cp {
+                    CpKind::LispDrop | CpKind::LispQueue | CpKind::LispDataCp => mr_node,
+                    CpKind::Nerd => nerd_node,
+                    CpKind::Alt { .. } => alt_nodes.first().copied(),
+                    CpKind::Cons { .. } => cons_nodes.get(i).copied(),
+                    CpKind::Pce => pce_nodes[i],
+                    CpKind::NoLisp => None,
+                }
             };
 
             for ev in &dynamics.events {
@@ -1844,6 +2131,66 @@ impl ScenarioSpec {
                             );
                         }
                     }
+                    DynEventKind::NodeDown { site } => {
+                        let i = site_index(site);
+                        if let Some(target) = mapsys_node_of(i) {
+                            sim.schedule_node_admin(ev.at, target, false);
+                        }
+                        // Infrastructure-side takeover: pull planes fail
+                        // over client-side (the xTR replica list), but
+                        // push planes need the standby to start pushing.
+                        if let Some(rep) = replicas {
+                            let detect_at = ev.at.saturating_add(rep.detection_delay);
+                            match cp {
+                                CpKind::Nerd => {
+                                    if let Some(standby) = nerd_standby {
+                                        sim.schedule_timer(
+                                            standby,
+                                            detect_at,
+                                            mapsys::nerd::TOKEN_PUSH,
+                                        );
+                                    }
+                                }
+                                CpKind::Pce => {
+                                    // Three synchronized moves: the site
+                                    // resolver re-homes its uplink to the
+                                    // standby bump, the site IGP re-routes
+                                    // the DNS server address through it,
+                                    // and the standby re-pushes its
+                                    // mirrored flow database.
+                                    if pce_standby_nodes[i].is_some() {
+                                        sim.schedule_timer(
+                                            dns_nodes[i],
+                                            detect_at,
+                                            simdns::resolver::TOKEN_FAILOVER,
+                                        );
+                                    }
+                                    if let Some(sp) = pce_standby_ports[i] {
+                                        sim.node_mut::<FlowRouter>(site_routers[i])
+                                            .schedule_route(
+                                                detect_at,
+                                                Prefix::host(topo.sites[i].dns_addr()),
+                                                sp,
+                                            );
+                                    }
+                                    if let Some(standby) = pce_standby_nodes[i] {
+                                        sim.schedule_timer(
+                                            standby,
+                                            detect_at,
+                                            crate::pce::TOKEN_TAKEOVER,
+                                        );
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    DynEventKind::NodeUp { site } => {
+                        let i = site_index(site);
+                        if let Some(target) = mapsys_node_of(i) {
+                            sim.schedule_node_admin(ev.at, target, true);
+                        }
+                    }
                 }
             }
         }
@@ -1871,6 +2218,7 @@ impl ScenarioSpec {
                 dns: dns_nodes[i],
                 dns_addr: s.dns_addr(),
                 pce: pce_nodes[i],
+                pce_standby: pce_standby_nodes[i],
                 provider_names: s.providers.iter().map(|p| p.name.clone()).collect(),
                 xtrs: site_xtrs[i].clone(),
                 xtr_rlocs: s.providers.iter().map(|p| p.rloc).collect(),
@@ -1891,6 +2239,10 @@ impl ScenarioSpec {
             nerd_node,
             alt_nodes,
             cons_nodes,
+            mr_standby,
+            nerd_standby,
+            alt_standby,
+            cons_standby_nodes,
             attack_nodes,
         }
     }

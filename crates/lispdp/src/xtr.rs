@@ -147,10 +147,33 @@ pub struct XtrConfig {
     /// WAN packets to these are forwarded onto the site port, and plain
     /// site packets from them go out unencapsulated.
     pub internal_plain_prefixes: Vec<Prefix>,
-    /// Map-Request retransmit interval.
+    /// Map-Request retransmit interval (the backoff base).
     pub request_retransmit: Ns,
-    /// Map-Request max transmissions.
+    /// Map-Request max transmissions per resolver.
     pub request_max_tries: u32,
+    /// Deterministic exponential backoff: the wait after transmission
+    /// `k` is `request_retransmit × request_backoff_multiplier^(k-1)`,
+    /// each step capped at [`XtrConfig::request_backoff_cap`]. The
+    /// default multiplier of 1 reproduces the fixed-interval schedule
+    /// exactly.
+    pub request_backoff_multiplier: u32,
+    /// Per-step ceiling of the backoff schedule.
+    pub request_backoff_cap: Ns,
+    /// Ordered Map-Resolver replicas tried after the primary: when a
+    /// resolution exhausts [`XtrConfig::request_max_tries`] against the
+    /// current resolver, the xTR rotates to the next address in
+    /// `[primary, replicas...]` and restarts the try counter. Empty by
+    /// default (single-resolver behaviour).
+    pub map_resolver_replicas: Vec<Ipv4Address>,
+    /// After every resolver in the rotation is exhausted, wait this long
+    /// and re-arm the resolution instead of abandoning the EID forever
+    /// (`None` = historical permanent give-up). Queued packets are kept
+    /// across the cool-down.
+    pub request_cooldown: Option<Ns>,
+    /// Failover stickiness: `true` (default) starts new resolutions at
+    /// the resolver the last failover rotated to; `false` always starts
+    /// back at the primary.
+    pub resolver_failover_sticky: bool,
     /// Periodic RLOC reachability probing (`None` = disabled). A probe
     /// timeout invalidates every cache entry and PCE flow whose only
     /// usable locator was the dead RLOC, so the next packet re-resolves
@@ -185,12 +208,20 @@ impl XtrConfig {
             internal_plain_prefixes: Vec::new(),
             request_retransmit: Ns::from_secs(1),
             request_max_tries: 3,
+            request_backoff_multiplier: 1,
+            request_backoff_cap: Ns::from_secs(30),
+            map_resolver_replicas: Vec::new(),
+            request_cooldown: None,
+            resolver_failover_sticky: true,
             rloc_probing: None,
         }
     }
 }
 
-/// An outstanding Map-Request resolution.
+/// An outstanding Map-Request resolution. `tries == 0` marks a dormant
+/// entry: every resolver was exhausted and a cool-down timer is armed —
+/// queued packets are kept, new packets don't re-signal, and the next
+/// retry-timer firing starts a fresh round.
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
     nonce: u64,
@@ -198,6 +229,12 @@ struct InFlight {
     /// The site host that triggered the resolution — retries carry it so
     /// resolver-side per-source accounting sees the real requester.
     source_eid: Ipv4Address,
+    /// Index into `[primary, replicas...]` this resolution is currently
+    /// talking to.
+    resolver_idx: usize,
+    /// How many resolvers this resolution has attempted (bounds the
+    /// failover rotation to one full pass).
+    resolvers_tried: u32,
 }
 
 const SITE_PORT: PortId = 0;
@@ -270,6 +307,12 @@ pub struct XtrStats {
     pub neg_cache_drops: u64,
     /// Map-Requests suppressed by the per-source rate limit.
     pub rate_limited_requests: u64,
+    /// Resolver failovers: rotations to the next replica after a
+    /// resolution exhausted its tries against the current resolver.
+    pub resolver_failovers: u64,
+    /// Resolutions parked on a cool-down re-arm after every resolver in
+    /// the rotation was exhausted.
+    pub request_rearms: u64,
     /// Malformed / unparseable packets seen.
     pub malformed: u64,
 }
@@ -290,6 +333,9 @@ pub struct Xtr {
     probe_outstanding: BTreeMap<Ipv4Address, u64>, // rloc -> nonce
     cp_release: VecDeque<Packet>,
     seen_wan_flows: BTreeSet<(Ipv4Address, Ipv4Address)>,
+    /// Index into `[primary, replicas...]` new resolutions start at when
+    /// failover is sticky. Volatile: reset to the primary on crash.
+    resolver_cursor: usize,
     nonce_counter: u64,
     /// Data-plane counters.
     pub stats: XtrStats,
@@ -321,6 +367,7 @@ impl Xtr {
             probe_outstanding: BTreeMap::new(),
             cp_release: VecDeque::new(),
             seen_wan_flows: BTreeSet::new(),
+            resolver_cursor: 0,
             nonce_counter: 1,
             stats: XtrStats::default(),
             tx_per_rloc: BTreeMap::new(),
@@ -475,6 +522,67 @@ impl Xtr {
         }
     }
 
+    /// Resolve a rotation index to a resolver address: 0 is the mode's
+    /// primary, `i > 0` is `map_resolver_replicas[i-1]`.
+    fn resolver_addr(&self, idx: usize, primary: Ipv4Address) -> Ipv4Address {
+        if idx == 0 {
+            primary
+        } else {
+            self.cfg
+                .map_resolver_replicas
+                .get(idx - 1)
+                .copied()
+                .unwrap_or(primary)
+        }
+    }
+
+    /// The wait after transmission `k` (1-indexed): `base × mult^(k-1)`,
+    /// capped per step. A multiplier of 1 short-circuits to the fixed
+    /// interval, so default configurations schedule bit-identically to
+    /// the pre-backoff engine.
+    fn retransmit_delay(&self, transmission: u32) -> Ns {
+        let base = self.cfg.request_retransmit;
+        if self.cfg.request_backoff_multiplier <= 1 {
+            return base;
+        }
+        let mut delay = base;
+        for _ in 1..transmission {
+            delay = Ns(delay.0.saturating_mul(u64::from(self.cfg.request_backoff_multiplier)))
+                .min(self.cfg.request_backoff_cap);
+        }
+        delay
+    }
+
+    /// Transmit a Map-Request for `eid` as transmission number `tries`
+    /// of the given in-flight record and arm the matching retry timer.
+    fn send_map_request(&mut self, ctx: &mut Ctx<'_, Packet>, eid: Ipv4Address, inf: InFlight) {
+        let CpMode::Pull {
+            map_resolver: Some(primary),
+        } = self.cfg.mode
+        else {
+            return;
+        };
+        let target = self.resolver_addr(inf.resolver_idx, primary);
+        let req = MapRequest {
+            nonce: inf.nonce,
+            source_eid: inf.source_eid,
+            target_eid: eid,
+            itr_rloc: self.cfg.rloc,
+            hop_count: 32,
+        };
+        let pkt = self.stack.ctl(
+            ports::LISP_CONTROL,
+            target,
+            ports::LISP_CONTROL,
+            CtlMsg::Request(req),
+        );
+        ctx.send(WAN_PORT, pkt);
+        ctx.set_timer(
+            self.retransmit_delay(inf.tries),
+            TOKEN_RETRY_BASE | u64::from(eid.to_u32()),
+        );
+    }
+
     fn maybe_request_mapping(
         &mut self,
         ctx: &mut Ctx<'_, Packet>,
@@ -482,7 +590,7 @@ impl Xtr {
         dst_eid: Ipv4Address,
     ) {
         let CpMode::Pull {
-            map_resolver: Some(mr),
+            map_resolver: Some(_),
         } = self.cfg.mode
         else {
             return;
@@ -505,34 +613,22 @@ impl Xtr {
             w.1 += 1;
         }
         let nonce = self.next_nonce();
-        self.in_flight.insert(
-            dst_eid,
-            InFlight {
-                nonce,
-                tries: 1,
-                source_eid: src_eid,
-            },
-        );
-        self.stats.map_requests_sent += 1;
-        let req = MapRequest {
-            nonce,
-            source_eid: src_eid,
-            target_eid: dst_eid,
-            itr_rloc: self.cfg.rloc,
-            hop_count: 32,
+        let resolver_idx = if self.cfg.resolver_failover_sticky {
+            self.resolver_cursor
+        } else {
+            0
         };
-        let pkt = self.stack.ctl(
-            ports::LISP_CONTROL,
-            mr,
-            ports::LISP_CONTROL,
-            CtlMsg::Request(req),
-        );
+        let inf = InFlight {
+            nonce,
+            tries: 1,
+            source_eid: src_eid,
+            resolver_idx,
+            resolvers_tried: 1,
+        };
+        self.in_flight.insert(dst_eid, inf);
+        self.stats.map_requests_sent += 1;
         ctx.trace(format!("ITR {} map-request for {}", self.cfg.rloc, dst_eid));
-        ctx.send(WAN_PORT, pkt);
-        ctx.set_timer(
-            self.cfg.request_retransmit,
-            TOKEN_RETRY_BASE | u64::from(dst_eid.to_u32()),
-        );
+        self.send_map_request(ctx, dst_eid, inf);
     }
 
     /// Defense filter for incoming Map-Reply records. Nonce/origin
@@ -929,6 +1025,36 @@ impl Node<Packet> for Xtr {
         }
     }
 
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, Packet>) {
+        // State-loss policy (DESIGN.md §13): everything learned at
+        // runtime — map-cache, PCE flow table, buffered packets,
+        // in-flight resolutions, gleaned/negative entries, probe
+        // bookkeeping — dies with the process. Static configuration
+        // (`cfg`) and already-recorded measurements (stats, per-RLOC
+        // tallies, queue delays) survive: they model the operator's
+        // monitoring box, not the router.
+        self.cache = MapCache::from_spec(self.cfg.cache);
+        self.flows.clear();
+        self.pending.clear();
+        self.in_flight.clear();
+        self.neg_cache.clear();
+        self.req_windows.clear();
+        self.probe_outstanding.clear();
+        self.cp_release.clear();
+        self.seen_wan_flows.clear();
+        self.resolver_cursor = 0;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        // Pending timers were dropped while down: restart the periodic
+        // probe machinery exactly as a fresh boot would. Registrations
+        // are provisioned state on the mapping side (the site's entry in
+        // the mapping database), so nothing needs re-announcing here.
+        if let Some(probe_cfg) = self.cfg.rloc_probing {
+            ctx.set_timer(probe_cfg.interval, TOKEN_PROBE_ROUND);
+        }
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, port: PortId, pkt: Packet) {
         if port == SITE_PORT {
             self.stats.from_site += 1;
@@ -1018,16 +1144,76 @@ impl Node<Packet> for Xtr {
         }
         if token & TOKEN_RETRY_BASE != 0 {
             let eid = Ipv4Address::from_u32((token & 0xffff_ffff) as u32);
-            let CpMode::Pull {
-                map_resolver: Some(mr),
-            } = self.cfg.mode
-            else {
+            if !matches!(
+                self.cfg.mode,
+                CpMode::Pull {
+                    map_resolver: Some(_)
+                }
+            ) {
                 return;
-            };
+            }
             let Some(inf) = self.in_flight.get(&eid).copied() else {
                 return; // answered already
             };
+            if inf.tries == 0 {
+                // Cool-down expired: wake the dormant entry with a fresh
+                // round (new nonce, try counter restarted) against the
+                // preferred resolver.
+                let resolver_idx = if self.cfg.resolver_failover_sticky {
+                    self.resolver_cursor
+                } else {
+                    0
+                };
+                let fresh = InFlight {
+                    nonce: self.next_nonce(),
+                    tries: 1,
+                    source_eid: inf.source_eid,
+                    resolver_idx,
+                    resolvers_tried: 1,
+                };
+                self.in_flight.insert(eid, fresh);
+                self.stats.map_requests_sent += 1;
+                ctx.trace(format!(
+                    "ITR {} cool-down expired, re-requesting {}",
+                    self.cfg.rloc, eid
+                ));
+                self.send_map_request(ctx, eid, fresh);
+                return;
+            }
             if inf.tries >= self.cfg.request_max_tries {
+                let rotation = self.cfg.map_resolver_replicas.len() + 1;
+                if (inf.resolvers_tried as usize) < rotation {
+                    // Deterministic failover: rotate to the next resolver
+                    // in `[primary, replicas...]` and restart the try
+                    // counter against it.
+                    let next_idx = (inf.resolver_idx + 1) % rotation;
+                    self.resolver_cursor = next_idx;
+                    self.stats.resolver_failovers += 1;
+                    let moved = InFlight {
+                        nonce: self.next_nonce(),
+                        tries: 1,
+                        source_eid: inf.source_eid,
+                        resolver_idx: next_idx,
+                        resolvers_tried: inf.resolvers_tried + 1,
+                    };
+                    self.in_flight.insert(eid, moved);
+                    self.stats.map_request_retries += 1;
+                    ctx.trace(format!(
+                        "ITR {} fails over to resolver #{} for {}",
+                        self.cfg.rloc, next_idx, eid
+                    ));
+                    self.send_map_request(ctx, eid, moved);
+                    return;
+                }
+                if let Some(cooldown) = self.cfg.request_cooldown {
+                    // Every resolver exhausted: park the resolution in a
+                    // dormant entry instead of abandoning the EID forever.
+                    // Queued packets are kept for the next round.
+                    self.stats.request_rearms += 1;
+                    self.in_flight.insert(eid, InFlight { tries: 0, ..inf });
+                    ctx.set_timer(cooldown, TOKEN_RETRY_BASE | u64::from(eid.to_u32()));
+                    return;
+                }
                 // Give up: drop any queued packets for this EID and
                 // (when the defense is armed) remember the failure so
                 // follow-up packets don't re-trigger the whole dance.
@@ -1040,32 +1226,13 @@ impl Node<Packet> for Xtr {
                 }
                 return;
             }
-            self.in_flight.insert(
-                eid,
-                InFlight {
-                    tries: inf.tries + 1,
-                    ..inf
-                },
-            );
-            self.stats.map_request_retries += 1;
-            let req = MapRequest {
-                nonce: inf.nonce,
-                source_eid: inf.source_eid,
-                target_eid: eid,
-                itr_rloc: self.cfg.rloc,
-                hop_count: 32,
+            let again = InFlight {
+                tries: inf.tries + 1,
+                ..inf
             };
-            let pkt = self.stack.ctl(
-                ports::LISP_CONTROL,
-                mr,
-                ports::LISP_CONTROL,
-                CtlMsg::Request(req),
-            );
-            ctx.send(WAN_PORT, pkt);
-            ctx.set_timer(
-                self.cfg.request_retransmit,
-                TOKEN_RETRY_BASE | u64::from(eid.to_u32()),
-            );
+            self.in_flight.insert(eid, again);
+            self.stats.map_request_retries += 1;
+            self.send_map_request(ctx, eid, again);
         }
     }
 
@@ -1564,5 +1731,162 @@ mod tests {
         assert_eq!(xtr.stats.map_request_retries, 2); // tries 2 and 3
         assert_eq!(xtr.stats.miss_drops, 1, "queued packet dropped on give-up");
         assert!(w.sim.node_ref::<SiteHost>(w.host_d).received.is_empty());
+    }
+
+    #[test]
+    fn backoff_schedule_pinned() {
+        let mut cfg = XtrConfig::new(
+            a([10, 0, 0, 1]),
+            Prefix::new(a([100, 0, 0, 0]), 8),
+            eid_space(),
+            CpMode::Pull { map_resolver: None },
+        );
+        // Defaults (multiplier 1): the fixed interval, regardless of cap.
+        let xtr = Xtr::new(cfg.clone());
+        for k in 1..6 {
+            assert_eq!(xtr.retransmit_delay(k), Ns::from_secs(1));
+        }
+        // base 100ms × 3^(k-1), capped at 500ms.
+        cfg.request_retransmit = Ns::from_ms(100);
+        cfg.request_backoff_multiplier = 3;
+        cfg.request_backoff_cap = Ns::from_ms(500);
+        let xtr = Xtr::new(cfg.clone());
+        let schedule: Vec<Ns> = (1..5).map(|k| xtr.retransmit_delay(k)).collect();
+        assert_eq!(
+            schedule,
+            vec![
+                Ns::from_ms(100),
+                Ns::from_ms(300),
+                Ns::from_ms(500),
+                Ns::from_ms(500)
+            ]
+        );
+        // Classic doubling under a roomy cap.
+        cfg.request_retransmit = Ns::from_secs(1);
+        cfg.request_backoff_multiplier = 2;
+        cfg.request_backoff_cap = Ns::from_secs(30);
+        let xtr = Xtr::new(cfg);
+        let schedule: Vec<Ns> = (1..5).map(|k| xtr.retransmit_delay(k)).collect();
+        assert_eq!(
+            schedule,
+            vec![
+                Ns::from_secs(1),
+                Ns::from_secs(2),
+                Ns::from_secs(4),
+                Ns::from_secs(8)
+            ]
+        );
+    }
+
+    #[test]
+    fn backoff_stretches_retransmit_times() {
+        // Unreachable resolver, doubling backoff: transmissions at 0 s,
+        // 1 s, 3 s; give-up 4 s after the last.
+        let mut w = build_world(
+            CpMode::Pull {
+                map_resolver: Some(a([9, 9, 9, 9])),
+            },
+            CpMode::Pull { map_resolver: None },
+            MissPolicy::Queue { max_packets: 8 },
+            Ns::from_us(100),
+        );
+        w.sim.node_mut::<Xtr>(w.xtr_s).cfg.request_backoff_multiplier = 2;
+        let pkt = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 1);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt];
+        w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
+        let checkpoints = [
+            (Ns::from_ms(500), 0u64, 0u64),
+            (Ns::from_ms(1500), 1, 0),
+            (Ns::from_ms(2500), 1, 0),
+            (Ns::from_ms(3500), 2, 0),
+            (Ns::from_ms(6500), 2, 0),
+            (Ns::from_ms(8000), 2, 1),
+        ];
+        for (until, retries, drops) in checkpoints {
+            w.sim.run_until(until);
+            let xtr = w.sim.node_ref::<Xtr>(w.xtr_s);
+            assert_eq!(xtr.stats.map_request_retries, retries, "at {until}");
+            assert_eq!(xtr.stats.miss_drops, drops, "at {until}");
+        }
+    }
+
+    #[test]
+    fn failover_rotates_to_replica_and_sticks() {
+        // Primary resolver unreachable; the working stub at 8.0.0.10 is
+        // configured as the single replica.
+        let mut w = build_world(
+            CpMode::Pull {
+                map_resolver: Some(a([9, 9, 9, 9])),
+            },
+            CpMode::Pull { map_resolver: None },
+            MissPolicy::Queue { max_packets: 8 },
+            Ns::from_us(100),
+        );
+        w.sim
+            .node_mut::<Xtr>(w.xtr_s)
+            .cfg
+            .map_resolver_replicas = vec![a([8, 0, 0, 10])];
+        let pkt = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 1);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt];
+        w.sim.schedule_timer(w.host_s, Ns::ZERO, 0);
+        w.sim.run_until(Ns::from_secs(10));
+
+        let xtr = w.sim.node_ref::<Xtr>(w.xtr_s);
+        assert_eq!(xtr.stats.map_requests_sent, 1);
+        // Tries 2 and 3 against the primary, then the failover round.
+        assert_eq!(xtr.stats.map_request_retries, 3);
+        assert_eq!(xtr.stats.resolver_failovers, 1);
+        assert_eq!(xtr.stats.map_replies_received, 1);
+        assert_eq!(xtr.stats.miss_drops, 0);
+        assert_eq!(
+            xtr.resolver_cursor, 1,
+            "sticky failover: new resolutions start at the replica"
+        );
+        let received = &w.sim.node_ref::<SiteHost>(w.host_d).received;
+        assert_eq!(received.len(), 1, "queued packet flushed after failover");
+    }
+
+    /// Satellite regression: a flow whose packets all arrive during a
+    /// resolver outage. Historically the give-up at `request_max_tries`
+    /// dropped the queued packets and nothing ever retried — the flow
+    /// was stuck at zero deliveries for the rest of the run even after
+    /// the resolver came back. The cool-down re-arm keeps the queue and
+    /// re-resolves.
+    fn resolver_outage_run(cooldown: Option<Ns>) -> (usize, XtrStats) {
+        let mut w = build_world(
+            CpMode::Pull {
+                map_resolver: Some(a([8, 0, 0, 10])),
+            },
+            CpMode::Pull { map_resolver: None },
+            MissPolicy::Queue { max_packets: 8 },
+            Ns::from_us(100),
+        );
+        w.sim.node_mut::<Xtr>(w.xtr_s).cfg.request_cooldown = cooldown;
+        // The map-server is down from the start until t = 10 s.
+        w.sim.set_node_up(w.ms, false);
+        w.sim.schedule_node_admin(Ns::from_secs(10), w.ms, true);
+        let pkt = data_packet(a([100, 0, 0, 5]), a([101, 0, 0, 7]), 1);
+        w.sim.node_mut::<SiteHost>(w.host_s).outbox = vec![pkt];
+        w.sim.schedule_timer(w.host_s, Ns::from_secs(1), 0);
+        w.sim.run_until(Ns::from_secs(30));
+        let stats = w.sim.node_ref::<Xtr>(w.xtr_s).stats.clone();
+        (w.sim.node_ref::<SiteHost>(w.host_d).received.len(), stats)
+    }
+
+    #[test]
+    fn give_up_without_cooldown_is_stuck_forever() {
+        let (delivered, stats) = resolver_outage_run(None);
+        assert_eq!(delivered, 0, "flow never recovers after the outage");
+        assert_eq!(stats.miss_drops, 1);
+        assert_eq!(stats.request_rearms, 0);
+    }
+
+    #[test]
+    fn cooldown_rearm_recovers_after_resolver_restart() {
+        let (delivered, stats) = resolver_outage_run(Some(Ns::from_secs(4)));
+        assert_eq!(delivered, 1, "queued packet survives to the re-resolution");
+        assert_eq!(stats.miss_drops, 0);
+        assert!(stats.request_rearms >= 1, "{stats:?}");
+        assert_eq!(stats.map_replies_received, 1);
     }
 }

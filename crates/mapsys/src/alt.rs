@@ -111,6 +111,21 @@ impl Node<Packet> for AltRouter {
         self.scheduled_updates.arm(ctx);
     }
 
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, Packet>) {
+        // Volatile: requests mid-processing and the guard's learned
+        // windows. Overlay routes and delivery entries are BGP
+        // advertisements the neighbours re-announce on session
+        // re-establishment — modelled as surviving configuration.
+        self.outbox.clear();
+        if let Some(guard) = &mut self.guard {
+            guard.clear_learned();
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        self.scheduled_updates.rearm(ctx);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
         if pkt.is_corrupt() {
             return; // failed end-to-end checksum (typed form)

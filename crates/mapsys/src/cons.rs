@@ -212,6 +212,22 @@ impl Node<Packet> for ConsNode {
         self.scheduled_updates.arm(ctx);
     }
 
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, Packet>) {
+        // CONS is connection-oriented: the per-nonce pending table (the
+        // overlay's connection state) and queued messages die with the
+        // node — replies for them can never be routed back. The tree
+        // topology and served-site entries are configuration.
+        self.pending.clear();
+        self.outbox.clear();
+        if let Some(guard) = &mut self.guard {
+            guard.clear_learned();
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        self.scheduled_updates.rearm(ctx);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
         if pkt.is_corrupt() {
             return; // failed end-to-end checksum (typed form)

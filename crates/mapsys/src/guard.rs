@@ -65,6 +65,14 @@ impl RequestGuard {
         }
     }
 
+    /// Forget the learned state — rate windows and negative cache — as
+    /// a crashing node would (DESIGN.md §13). The drop counters are
+    /// measurements and survive.
+    pub fn clear_learned(&mut self) {
+        self.windows.clear();
+        self.negative.clear();
+    }
+
     /// Charge one request from `source` at time `now`. Returns `false`
     /// (and counts) when the source is over budget.
     pub fn admit(&mut self, source: Ipv4Address, now: Ns) -> bool {

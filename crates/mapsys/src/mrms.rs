@@ -96,6 +96,22 @@ impl Node<Packet> for MapResolver {
         self.scheduled_updates.arm(ctx);
     }
 
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, Packet>) {
+        // Volatile: half-processed forwards and the guard's learned
+        // windows. The registration table is provisioned state (seeded
+        // from the site database, like stable storage) and survives.
+        self.outbox.clear();
+        if let Some(guard) = &mut self.guard {
+            guard.clear_learned();
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        // Re-registrations scheduled for after the outage still arrive
+        // (the sites keep announcing); the crash dropped their timers.
+        self.scheduled_updates.rearm(ctx);
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_, Packet>, _port: PortId, pkt: Packet) {
         if pkt.is_corrupt() {
             return; // failed end-to-end checksum (typed form)

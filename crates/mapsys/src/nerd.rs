@@ -24,6 +24,10 @@ pub struct NerdAuthority {
     /// Timed database updates (dynamics; see
     /// [`NerdAuthority::schedule_update`]).
     scheduled_updates: ScheduledUpdates<MapRecord>,
+    /// Standby twin: keeps its database warm from the same update
+    /// stream but never pushes until a takeover [`TOKEN_PUSH`] timer
+    /// promotes it (replica failover, DESIGN.md §13).
+    standby: bool,
     /// Push batches transmitted (chunks × subscribers).
     pub chunks_sent: u64,
     /// Bytes of database pushed in total.
@@ -48,6 +52,7 @@ impl NerdAuthority {
             chunk_records: 64,
             version: 1,
             scheduled_updates: ScheduledUpdates::new(),
+            standby: false,
             chunks_sent: 0,
             bytes_pushed: 0,
             push_rounds: 0,
@@ -67,6 +72,20 @@ impl NerdAuthority {
     pub fn with_chunk_records(mut self, n: usize) -> Self {
         self.chunk_records = n.max(1);
         self
+    }
+
+    /// Mark this authority as a warm standby: it applies the update
+    /// stream silently and skips the boot push; the first [`TOKEN_PUSH`]
+    /// timer (the takeover, scheduled by the dynamics subsystem at
+    /// detection time) promotes it to active.
+    pub fn standby(mut self) -> Self {
+        self.standby = true;
+        self
+    }
+
+    /// Whether this authority is still a passive standby.
+    pub fn is_standby(&self) -> bool {
+        self.standby
     }
 
     /// This node's address.
@@ -141,19 +160,42 @@ impl NerdAuthority {
 
 impl Node<Packet> for NerdAuthority {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Packet>) {
-        // Initial synchronisation shortly after boot.
-        ctx.set_timer(Ns::from_us(10), TOKEN_PUSH);
+        // Initial synchronisation shortly after boot (standbys stay
+        // silent until a takeover promotes them).
+        if !self.standby {
+            ctx.set_timer(Ns::from_us(10), TOKEN_PUSH);
+        }
         self.scheduled_updates.arm(ctx);
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, Packet>) {
+        // The database is stable storage (NERD's model: a signed file
+        // re-read at boot), so records and version survive; there is no
+        // connection state to lose.
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        // Boot behaviour again: actives re-push the (persistent)
+        // database to every subscriber, and the crash-dropped update
+        // timers are re-armed for updates still in the future.
+        if !self.standby {
+            ctx.set_timer(Ns::from_us(10), TOKEN_PUSH);
+        }
+        self.scheduled_updates.rearm(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
         if token == TOKEN_PUSH {
+            // A takeover push promotes a standby to active.
+            self.standby = false;
             self.push_all(ctx);
         } else if let Some(record) = self.scheduled_updates.get(token) {
             let record = record.clone();
             self.update(record);
             self.updates_applied += 1;
-            self.push_all(ctx);
+            if !self.standby {
+                self.push_all(ctx);
+            }
         }
     }
 

@@ -47,6 +47,23 @@ pub trait Node<P: Payload = Vec<u8>>: Send {
     /// `Sim::schedule_timer`) fired with its token.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, P>, _token: u64) {}
 
+    /// The node crashed (`Sim::schedule_node_admin` / `Sim::set_node_up`
+    /// with `up == false`). State-loss policy (DESIGN.md §13):
+    /// implementations clear **volatile** state here — caches, pending
+    /// requests, in-flight bookkeeping, learned registrations — and keep
+    /// **static configuration** (addresses, prefixes, peer lists).
+    /// Pending timers addressed to the node are part of the volatile
+    /// state: the engine drops them while the node is down, so
+    /// [`Node::on_restart`] must re-arm whatever periodic machinery the
+    /// node needs. Default: no-op (an immortal-by-convention node).
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, P>) {}
+
+    /// The node restarted after a crash (`up == true` transition).
+    /// Implementations re-arm timers and re-announce themselves (an xTR
+    /// re-registers its mappings, a PCE re-syncs its flow DB). Default:
+    /// no-op.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, P>) {}
+
     /// Downcast support (see trait docs).
     fn as_any(&mut self) -> &mut dyn Any;
 

@@ -67,6 +67,17 @@ pub(crate) enum EventKind<P> {
         tx: usize,
         up: bool,
     },
+    /// Administrative *node* state change: the event's target node
+    /// crashes (`up == false`) or restarts (`up == true`). The event is
+    /// addressed to the affected node itself, so under the parallel
+    /// engine it has exactly one owning domain. On a down-transition the
+    /// node's [`Node::on_crash`] hook runs (volatile state is lost); on
+    /// an up-transition [`Node::on_restart`] runs. While a node is down,
+    /// packets and timers addressed to it are dropped and counted in
+    /// [`Sim::node_down_drops`].
+    NodeAdmin {
+        up: bool,
+    },
 }
 
 /// A popped event, reassembled from the queue's key/slab halves.
@@ -283,6 +294,12 @@ pub struct Sim<P: Payload = Vec<u8>> {
     /// Delivery target of each transmitter (peer node, peer port), in
     /// transmitter order — used to flush stalled packets on link-up.
     pub(crate) tx_targets: Vec<(NodeId, PortId)>,
+    /// Administrative per-node state: `false` while a node is crashed.
+    /// All-up worlds pay one bool test per delivered event and nothing
+    /// else, so runs without node dynamics stay byte-identical.
+    pub(crate) node_up: Vec<bool>,
+    /// Packets and timers dropped because their target node was down.
+    pub(crate) node_down_drops: u64,
     pub(crate) queue: EventQueue<P>,
     pub(crate) now: Ns,
     pub(crate) rng: SmallRng,
@@ -316,6 +333,8 @@ impl<P: Payload> Sim<P> {
             ports: Vec::new(),
             transmitters: Vec::new(),
             tx_targets: Vec::new(),
+            node_up: Vec::new(),
+            node_down_drops: 0,
             queue: EventQueue::new(),
             now: Ns::ZERO,
             rng: SmallRng::seed_from_u64(seed),
@@ -338,6 +357,7 @@ impl<P: Payload> Sim<P> {
         self.nodes.push(Some(node));
         self.names.push(name.to_string());
         self.ports.push(Vec::new());
+        self.node_up.push(true);
         id
     }
 
@@ -471,6 +491,51 @@ impl<P: Payload> Sim<P> {
         }
     }
 
+    /// Schedule an administrative state change of `node` (crash when
+    /// `up == false`, restart when `up == true`), `delay` from now — the
+    /// node-mortality primitive of the dynamics subsystem (DESIGN.md
+    /// §13). The change fires in `(time, seq)` total order with every
+    /// other event; packets and timers already addressed to the node
+    /// that pop while it is down are dropped and counted in
+    /// [`Sim::node_down_drops`]. On the transition the node's
+    /// [`Node::on_crash`] / [`Node::on_restart`] hook runs.
+    pub fn schedule_node_admin(&mut self, delay: Ns, node: NodeId, up: bool) {
+        assert!(node < self.nodes.len(), "unknown node {node}");
+        let at = self.now.saturating_add(delay);
+        self.push_event(at, node, EventKind::NodeAdmin { up });
+    }
+
+    /// Apply an administrative node state change immediately (the
+    /// untimed variant of [`Sim::schedule_node_admin`]).
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        assert!(node < self.nodes.len(), "unknown node {node}");
+        self.apply_node_admin(node, up);
+    }
+
+    /// Whether `node` is administratively up.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.node_up[node]
+    }
+
+    /// Packets and timers dropped because their target node was down.
+    pub fn node_down_drops(&self) -> u64 {
+        self.node_down_drops
+    }
+
+    /// The shared transition routine behind [`EventKind::NodeAdmin`] and
+    /// [`Sim::set_node_up`]: flip the flag and run the matching hook on
+    /// a real transition (redundant admin events are no-ops, so a
+    /// scripted Down/Down pair cannot double-clear state).
+    fn apply_node_admin(&mut self, node: NodeId, up: bool) {
+        let was_up = self.node_up[node];
+        self.node_up[node] = up;
+        if was_up && !up {
+            self.with_node_ctx(node, |n, ctx| n.on_crash(ctx));
+        } else if !was_up && up {
+            self.with_node_ctx(node, |n, ctx| n.on_restart(ctx));
+        }
+    }
+
     /// Apply an administrative state change to both directions of link
     /// `link` immediately. On an up-transition, packets stalled by
     /// [`crate::link::DownPolicy::Stall`] are retransmitted in FIFO
@@ -591,6 +656,19 @@ impl<P: Payload> Sim<P> {
 
     #[inline]
     fn dispatch(&mut self, ev: TimedEvent<P>) {
+        // Down-node check first: a crashed node receives neither packets
+        // nor timers (its pending timers are part of the volatile state
+        // lost in the crash). One bool test on the hot path, before the
+        // packet log, so all-up runs are byte-identical to the
+        // pre-node-dynamics engine.
+        if !self.node_up[ev.node] && !matches!(ev.kind, EventKind::NodeAdmin { .. }) {
+            if !matches!(ev.kind, EventKind::LinkAdmin { .. }) {
+                self.node_down_drops += 1;
+                return;
+            }
+            // LinkAdmin is engine state, not node state: it applies even
+            // while the owning endpoint is down.
+        }
         match ev.kind {
             EventKind::Packet { port, payload } => {
                 // Lazy packet log: encodes the payload only when the
@@ -612,6 +690,7 @@ impl<P: Payload> Sim<P> {
                 self.with_node_ctx(ev.node, move |node, ctx| node.on_timer(ctx, token));
             }
             EventKind::LinkAdmin { tx, up } => self.set_link_dir_up(tx, up),
+            EventKind::NodeAdmin { up } => self.apply_node_admin(ev.node, up),
         }
     }
 
@@ -1147,6 +1226,134 @@ mod tests {
         assert!(got
             .iter()
             .any(|&(at, tag)| tag == 2 && at >= Ns::from_ms(25) && at < Ns::from_ms(26)));
+    }
+
+    /// Receives packets/timers; crash clears the volatile inbox and the
+    /// restart hook re-arms a heartbeat — the engine-level template of
+    /// the product nodes' state-loss policy.
+    struct Fragile {
+        got: Vec<u8>,
+        heartbeat: u64,
+        crashes: u64,
+        restarts: u64,
+    }
+    impl Node for Fragile {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, bytes: Vec<u8>) {
+            self.got.push(bytes[0]);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {
+            self.heartbeat += 1;
+        }
+        fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+            self.crashes += 1;
+            self.got.clear(); // volatile state lost
+        }
+        fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+            self.restarts += 1;
+            ctx.set_timer(Ns::from_ms(1), 99); // re-armed heartbeat
+        }
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn downed_node_drops_deliveries_and_timers() {
+        struct Beacon {
+            interval: Ns,
+        }
+        impl Node for Beacon {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(Ns::ZERO, 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                if token < 10 {
+                    ctx.send(0, vec![token as u8; 32]);
+                    ctx.set_timer(self.interval, token + 1);
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim: Sim = Sim::new(1);
+        let b = sim.add_node(
+            "beacon",
+            Box::new(Beacon {
+                interval: Ns::from_ms(10),
+            }),
+        );
+        let f = sim.add_node(
+            "fragile",
+            Box::new(Fragile {
+                got: Vec::new(),
+                heartbeat: 0,
+                crashes: 0,
+                restarts: 0,
+            }),
+        );
+        sim.connect(b, f, LinkCfg::wan(Ns::from_ms(5)));
+        // Beacons at 0,10,..,90 ms; node down during [25, 65) ms; a
+        // timer addressed to the node mid-outage is dropped too.
+        sim.schedule_node_admin(Ns::from_ms(25), f, false);
+        sim.schedule_timer(f, Ns::from_ms(40), 7);
+        sim.schedule_node_admin(Ns::from_ms(65), f, true);
+        sim.run();
+        let node = sim.node_ref::<Fragile>(f);
+        // Beacons 0,1 landed pre-crash but on_crash cleared them
+        // (volatile state); 2..=5 arrived while down and were dropped
+        // with the 40 ms timer; 6..=9 landed after the restart.
+        assert_eq!(node.got, vec![6, 7, 8, 9]);
+        assert_eq!(node.crashes, 1);
+        assert_eq!(node.restarts, 1);
+        assert_eq!(node.heartbeat, 1, "restart re-armed the heartbeat");
+        assert_eq!(sim.node_down_drops(), 5);
+        assert!(sim.node_up(f));
+    }
+
+    #[test]
+    fn redundant_node_admin_is_a_noop() {
+        let mut sim: Sim = Sim::new(1);
+        let f = sim.add_node(
+            "fragile",
+            Box::new(Fragile {
+                got: Vec::new(),
+                heartbeat: 0,
+                crashes: 0,
+                restarts: 0,
+            }),
+        );
+        sim.set_node_up(f, true); // already up: no hook
+        sim.schedule_node_admin(Ns::from_ms(1), f, false);
+        sim.schedule_node_admin(Ns::from_ms(2), f, false); // redundant
+        sim.schedule_node_admin(Ns::from_ms(3), f, true);
+        sim.run();
+        let node = sim.node_ref::<Fragile>(f);
+        assert_eq!(node.crashes, 1);
+        assert_eq!(node.restarts, 1);
+    }
+
+    #[test]
+    fn node_admin_after_horizon_leaves_trace_identical() {
+        // A crash scheduled after the last event of the run must leave
+        // the trace byte-identical to a run without it (the all-up
+        // byte-identity contract, DESIGN.md §13).
+        let run = |crash: bool| {
+            let (mut sim, _) = ping_sim(Ns::from_ms(25), 1250);
+            sim.trace.enable();
+            if crash {
+                sim.schedule_node_admin(Ns::from_secs(10), 0, false);
+            }
+            sim.run_until(Ns::from_secs(1));
+            sim.trace.render()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

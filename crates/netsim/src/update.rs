@@ -72,6 +72,22 @@ impl<T> ScheduledUpdates<T> {
         }
     }
 
+    /// Re-arm the timers for every item still strictly in the future —
+    /// the restart-path counterpart of [`ScheduledUpdates::arm`], called
+    /// from `on_restart` after a crash dropped the node's pending
+    /// timers. Items at or before the restart instant are *not*
+    /// replayed: they were either applied before the crash or lost with
+    /// it, and the state-loss policy (DESIGN.md §13) treats missed
+    /// updates as lost configuration pushes.
+    pub fn rearm<P: Payload>(&self, ctx: &mut Ctx<'_, P>) {
+        let now = ctx.now();
+        for (i, (at, _)) in self.items.iter().enumerate() {
+            if *at > now {
+                ctx.set_timer(at.saturating_sub(now), Self::TOKEN_BASE + i as u64);
+            }
+        }
+    }
+
     /// Resolve a timer token back to its payload; `None` for tokens
     /// outside this mechanism's range.
     pub fn get(&self, token: u64) -> Option<&T> {

@@ -70,11 +70,23 @@ struct CachedNs {
     expires: Ns,
 }
 
+/// Timer token that switches the resolver onto its standby uplink (see
+/// [`Resolver::set_failover`]). Distinct from every query timer: those
+/// pack `(generation << 16) | qid` and stay below 2^48.
+pub const TOKEN_FAILOVER: u64 = 0xD45F_0000_0000_0000;
+
 /// A recursive (iterating) resolver.
 pub struct Resolver {
     stack: IpStack,
     cfg: ResolverConfig,
     root_hints: Vec<Ipv4Address>,
+    /// The port every outgoing packet leaves on. Single-homed resolvers
+    /// keep the default 0; a resolver behind a replicated PCE bump is
+    /// re-pointed at the standby's port by a [`TOKEN_FAILOVER`] timer.
+    uplink: PortId,
+    /// Standby uplink: `(port, standby PCE address)` applied at
+    /// [`TOKEN_FAILOVER`] time.
+    failover: Option<(PortId, Ipv4Address)>,
     // Ordered maps (not HashMap): any future iteration over the caches
     // is deterministic, like every other table in the tree.
     answer_cache: BTreeMap<Name, CachedAnswer>,
@@ -115,6 +127,8 @@ impl Resolver {
             stack: IpStack::new(addr),
             cfg,
             root_hints,
+            uplink: 0,
+            failover: None,
             answer_cache: BTreeMap::new(),
             ns_cache: BTreeMap::new(),
             in_flight: BTreeMap::new(),
@@ -146,6 +160,16 @@ impl Resolver {
         self.ns_cache.clear();
     }
 
+    /// Configure the standby uplink: when a [`TOKEN_FAILOVER`] timer
+    /// fires (scheduled by the dynamics subsystem at detection time),
+    /// the resolver moves every future transmission onto `port` and —
+    /// if IPC notification is on — re-targets its notices at
+    /// `standby_pce`. Models the site switching its DNS path onto the
+    /// backup PCE appliance after the primary bump dies.
+    pub fn set_failover(&mut self, port: PortId, standby_pce: Ipv4Address) {
+        self.failover = Some((port, standby_pce));
+    }
+
     /// The deepest cached NS set applicable to `qname`, else a root hint.
     fn pick_server(&self, qname: &Name, now: Ns) -> Ipv4Address {
         let mut zone = qname.clone();
@@ -171,7 +195,7 @@ impl Resolver {
         let pkt = self.stack.dns(UPSTREAM_PORT, fl.server, ports::DNS, q);
         self.upstream_queries += 1;
         ctx.trace(format!("resolver asks {} for {}", fl.server, fl.qname));
-        ctx.send(0, pkt);
+        ctx.send(self.uplink, pkt);
         let token = timer_token(qid, fl.generation);
         ctx.set_timer(self.cfg.retransmit, token);
     }
@@ -200,7 +224,7 @@ impl Resolver {
         };
         resp.recursion_available = true;
         let pkt = self.stack.dns(ports::DNS, fl.client, fl.client_port, resp);
-        ctx.send(0, pkt);
+        ctx.send(self.uplink, pkt);
     }
 
     fn handle_client_query(
@@ -228,7 +252,7 @@ impl Resolver {
                 "resolver IPC notice to PCE: {} asked for {}",
                 src, q.name
             ));
-            ctx.send(0, pkt);
+            ctx.send(self.uplink, pkt);
         }
         let now = ctx.now();
         if self.cfg.cache_enabled {
@@ -406,6 +430,19 @@ impl Node<Packet> for Resolver {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
+        if token == TOKEN_FAILOVER {
+            if let Some((port, pce)) = self.failover {
+                self.uplink = port;
+                if self.cfg.ipc_notify.is_some() {
+                    self.cfg.ipc_notify = Some(pce);
+                }
+                ctx.trace(format!(
+                    "resolver {} fails over to standby uplink port {port}",
+                    self.stack.addr
+                ));
+            }
+            return;
+        }
         let qid = (token & 0xffff) as u16;
         let generation = (token >> 16) as u32;
         let give_up;
@@ -653,6 +690,67 @@ mod tests {
         let answers = &sim.node_ref::<TestClient>(client).answers;
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0].1, None);
+    }
+
+    #[test]
+    fn failover_token_switches_uplink() {
+        // Resolver between two taps; every transmission leaves on the
+        // uplink, which TOKEN_FAILOVER re-points from port 0 to port 1.
+        struct Tap {
+            outbox: Vec<Packet>,
+            got: Vec<Packet>,
+        }
+        impl Node<Packet> for Tap {
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
+                if let Some(p) = self.outbox.get(token as usize) {
+                    ctx.send(0, p.clone());
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_, Packet>, _p: PortId, pkt: Packet) {
+                self.got.push(pkt);
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn Any {
+                self
+            }
+        }
+        let resolver_addr = a([10, 0, 0, 53]);
+        let client = IpStack::new(a([10, 0, 0, 1]));
+        let q1 = client_query_packet(&client, 40000, resolver_addr, 1, n("a.d.example"));
+        let q2 = client_query_packet(&client, 40000, resolver_addr, 2, n("b.d.example"));
+        let mut sim: Sim<Packet> = Sim::new(3);
+        let res = sim.add_node(
+            "resolver",
+            Box::new(Resolver::new(resolver_addr, vec![a([8, 0, 0, 53])])),
+        );
+        let s0 = sim.add_node(
+            "s0",
+            Box::new(Tap {
+                outbox: vec![q1],
+                got: vec![],
+            }),
+        );
+        let s1 = sim.add_node(
+            "s1",
+            Box::new(Tap {
+                outbox: vec![q2],
+                got: vec![],
+            }),
+        );
+        sim.connect(res, s0, LinkCfg::ipc()); // resolver port 0
+        sim.connect(res, s1, LinkCfg::ipc()); // resolver port 1
+        sim.node_mut::<Resolver>(res)
+            .set_failover(1, a([10, 0, 0, 201]));
+        sim.schedule_timer(s0, Ns::ZERO, 0); // q1 before failover
+        sim.schedule_timer(res, Ns::from_ms(1), TOKEN_FAILOVER);
+        sim.schedule_timer(s1, Ns::from_ms(2), 0); // q2 after failover
+        sim.run_until(Ns::from_ms(5));
+        let first_out = sim.node_ref::<Tap>(s0).got.len();
+        let second_out = sim.node_ref::<Tap>(s1).got.len();
+        assert!(first_out >= 1, "pre-failover upstream must exit port 0");
+        assert!(second_out >= 1, "post-failover upstream must exit port 1");
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! with `UPDATE_GOLDEN=1 cargo test --test golden_compat`.
 
 use pcelisp::experiments::{
-    e10_recovery, e11_scale_xl, e12_adversarial, e1_fig1, e2_drops, e3_resolution, e4_tcp_setup,
-    e5_te, e6_cache, e7_reverse, e8_overhead,
+    e10_recovery, e11_scale_xl, e12_adversarial, e13_availability, e1_fig1, e2_drops,
+    e3_resolution, e4_tcp_setup, e5_te, e6_cache, e7_reverse, e8_overhead,
 };
 use std::path::PathBuf;
 
@@ -136,4 +136,15 @@ fn e12_adversarial_tables_golden() {
     let r = e12_adversarial::run_adversarial_jobs(SEED, 0);
     let rendered: Vec<String> = r.tables().iter().map(|t| t.render()).collect();
     check("e12_adversarial", &rendered.join("\n"));
+}
+
+// E13 pins the availability sweep — crash/restart of the mapping node
+// plus deterministic failover must replay byte-identically, and (like
+// E11/E12) at any `--jobs` level, so the golden runs with auto jobs.
+#[test]
+fn e13_availability_table_golden() {
+    check(
+        "e13_availability",
+        &e13_availability::run_availability_jobs(SEED, 0).table().render(),
+    );
 }

@@ -123,3 +123,74 @@ fn downed_link_never_delivers_post_failure_sends() {
     assert!(sent > delivered, "failure must strand packets");
     assert!(world.sim.total_down_drops() > 0);
 }
+
+/// Observable output of a run, for the metamorphic node-crash checks:
+/// flow records, destination arrival times, and total delivery.
+fn observables(spec: &ScenarioSpec, seed: u64) -> (String, Vec<Ns>, u64) {
+    let mut world = spec.build(seed);
+    world.schedule_all_flows();
+    world.sim.run_until(Ns::from_secs(8));
+    (
+        format!("{:?}", world.records()),
+        world.udp_arrivals("D0"),
+        world.server_udp_received(),
+    )
+}
+
+/// Flows to D0 only, so D1's per-site mapping nodes carry no traffic.
+fn d0_only_spec(cp: CpKind) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::multi_site(cp, 2, 2);
+    let qname = spec.topology.host_name(&spec.topology.sites[1], 0);
+    spec.set_flows(vec![FlowSpec {
+        start: Ns::from_ms(100),
+        qname: lispwire::dnswire::Name::parse_str(&qname).expect("valid"),
+        mode: FlowMode::Udp {
+            packets: 40,
+            interval: Ns::from_ms(50),
+            size: 200,
+        },
+    }]);
+    spec
+}
+
+proptest! {
+    /// Metamorphic: a node crash scheduled *after* the run horizon is
+    /// indistinguishable from no crash at all — the event never fires,
+    /// so even the raw trace must match byte-for-byte.
+    #[test]
+    fn node_crash_after_horizon_is_invisible(seed in 0u64..500) {
+        for cp in [CpKind::Pce, CpKind::Cons { cdr_depth: 1 }] {
+            let base = d0_only_spec(cp);
+            let crashed = base.clone().with(|s| {
+                s.dynamics = Some(DynamicsSpec::mapsys_outage(
+                    "S",
+                    Ns::from_secs(100),
+                    Ns::from_secs(101),
+                ));
+            });
+            let a = observables(&base, seed);
+            let b = observables(&crashed, seed);
+            prop_assert_eq!(a, b, "post-horizon crash visible under {}", cp.label());
+        }
+    }
+
+    /// Metamorphic: crashing a mapping node that serves no traffic
+    /// (D1's CAR / PCE bump, while every flow targets D0) changes no
+    /// observable output.
+    #[test]
+    fn crash_of_idle_mapping_node_is_invisible(seed in 0u64..500) {
+        for cp in [CpKind::Pce, CpKind::Cons { cdr_depth: 1 }] {
+            let base = d0_only_spec(cp);
+            let crashed = base.clone().with(|s| {
+                s.dynamics = Some(DynamicsSpec::mapsys_outage(
+                    "D1",
+                    Ns::from_ms(1000),
+                    Ns::from_ms(2000),
+                ));
+            });
+            let a = observables(&base, seed);
+            let b = observables(&crashed, seed);
+            prop_assert_eq!(a, b, "idle-node crash visible under {}", cp.label());
+        }
+    }
+}

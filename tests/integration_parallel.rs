@@ -63,7 +63,7 @@ fn grid_sweeps_byte_identical_across_seeds_and_jobs() {
 /// the whole registry is covered (jobs 1 vs 3).
 #[test]
 fn remaining_sweeps_identical_serial_vs_parallel() {
-    for name in ["e3", "e4", "e5", "e6", "e10"] {
+    for name in ["e3", "e4", "e5", "e6", "e10", "e13"] {
         assert_identical_across_jobs(name, 5, &[3]);
     }
 }
@@ -208,5 +208,28 @@ proptest! {
     #[test]
     fn multi_site_single_run_byte_identical_any_seed(seed in 1u64..1_000_000) {
         assert_lane_invariant(&flowing_multi_site(CpKind::Pce), seed);
+    }
+}
+
+/// A mapping-node crash/restart cycle (E13's outage) with the warm
+/// standbys armed — `NodeAdmin` events, down-drops, takeover timers and
+/// failover re-routes must all survive the lane scheduler unchanged.
+#[test]
+fn node_crash_single_run_byte_identical_across_lanes() {
+    for cp in [CpKind::Pce, CpKind::LispQueue] {
+        let mut spec = flowing_multi_site(cp);
+        spec.dynamics = Some(pcelisp::spec::DynamicsSpec::mapsys_outage(
+            "S",
+            Ns::from_ms(1500),
+            Ns::from_ms(4000),
+        ));
+        spec.replicas = Some(pcelisp::spec::ReplicaSpec::default());
+        spec.retry = Some(pcelisp::spec::RetrySpec {
+            retransmit: Some(Ns::from_ms(500)),
+            max_tries: Some(2),
+            cooldown: Some(Ns::from_secs(1)),
+            ..pcelisp::spec::RetrySpec::default()
+        });
+        assert_lane_invariant(&spec, 7);
     }
 }

@@ -1,6 +1,6 @@
 //! Metamorphic check for the single-run parallel engine (DESIGN.md §12):
 //! the *entire* experiment registry — every table and JSON document
-//! `exp_all --json` would emit for E1–E12 — is byte-identical whether
+//! `exp_all --json` would emit for E1–E13 — is byte-identical whether
 //! each simulation runs serially or on 8 lanes.
 //!
 //! This is the broadest net in the suite: every control plane, workload,
@@ -38,7 +38,7 @@ fn exp_all_json_byte_identical_serial_vs_eight_lanes() {
     set_lanes_override(8);
     let parallel = full_registry_report(1);
     set_lanes_override(0); // restore env-driven default
-    assert!(serial.contains("== e1 ==") && serial.contains("== e12 =="));
+    assert!(serial.contains("== e1 ==") && serial.contains("== e13 =="));
     assert_eq!(
         serial, parallel,
         "registry output drifted between serial and 8-lane runs"
